@@ -1,0 +1,239 @@
+//! The Expedited Forwarding application (paper §6): Lemma 4's
+//! non-preemption delay `δᵢ` and Property 3's EF response-time bound.
+//!
+//! In a DiffServ router the EF class is served at the highest fixed
+//! priority, FIFO within the class, and packet transmission is
+//! non-preemptive: an EF packet arriving while a lower-priority (AF /
+//! best-effort) packet is being transmitted waits for its completion. On
+//! each node this blocking is at most one residual lower-priority packet;
+//! Lemma 4 bounds the *accumulated* effect along the path, distinguishing
+//! where the blocking packet can come from.
+
+use traj_model::{CrossDirection, Duration, FlowSet, Path, SporadicFlow};
+
+use crate::config::AnalysisConfig;
+use crate::jitter::jitter_bound;
+use crate::report::{FlowReport, SetReport, Verdict};
+use crate::wcrt::{Analyzer, DeltaProvider};
+
+/// Lemma 4: maximum non-preemption delay suffered by a packet of the EF
+/// flow `flow` along `prefix` (a prefix of its path).
+///
+/// With `maxⱼ` ranging over non-EF flows and `(x)⁺ = max(0, x)`:
+///
+/// * on the first node: `( max_{first_{j,i} = firstᵢ} C_j^{firstᵢ} − 1 )⁺`;
+/// * on each later node `h`, the largest of three cases, clamped at 0:
+///   1. `h` is the first node of `Pᵢ` visited by `τⱼ`: `C_jʰ − 1`;
+///   2. `τⱼ` already crossed `Pᵢ` before `h` in the *reverse* direction:
+///      `C_jʰ − 1`;
+///   3. `τⱼ` travels *with* `τᵢ` (same direction): the blocker left the
+///      previous node no earlier than the EF packet, so only
+///      `C_jʰ − Cᵢ^{preᵢ(h)} + Lmax − Lmin` remains (and this case only
+///      exists when non-EF flows exist at all: the `1_α` indicator).
+pub fn nonpreemption_delta(set: &FlowSet, flow: &SporadicFlow, prefix: &Path) -> Duration {
+    let non_ef: Vec<&SporadicFlow> = set.non_ef_flows().collect();
+    if non_ef.is_empty() {
+        return 0;
+    }
+    let first = prefix.first();
+    let mut delta: Duration = 0;
+
+    // First node: only flows entering the path at the ingress (in their
+    // own visiting order) can block there. Segment-aware: a flow may
+    // cross the path in several segments (Assumption 1 reduction).
+    let first_blocker = non_ef
+        .iter()
+        .filter(|j| {
+            set.crossing_segments(j, prefix)
+                .iter()
+                .any(|seg| seg.first_in_crosser_order() == first)
+        })
+        .map(|j| j.cost_at(first))
+        .max()
+        .unwrap_or(0);
+    delta += (first_blocker - 1).max(0);
+
+    for &h in &prefix.nodes()[1..] {
+        let mut candidates: Vec<Duration> = Vec::new();
+        for j in &non_ef {
+            for seg in set.crossing_segments(j, prefix) {
+                if !seg.contains(h) {
+                    continue;
+                }
+                if seg.first_in_crosser_order() == h {
+                    // Case 1: fresh blocker entering the path at h (also
+                    // covers re-entries after leaving the path).
+                    candidates.push(j.cost_at(h) - 1);
+                } else {
+                    match seg.direction {
+                        CrossDirection::Reverse => {
+                            // Case 2: reverse traveller re-blocking
+                            // downstream.
+                            candidates.push(j.cost_at(h) - 1);
+                        }
+                        CrossDirection::Same => {
+                            // Case 3: co-traveller; 1_α = 1 since non-EF
+                            // flows exist.
+                            let pre = prefix.pre(h).expect("h is not the first node");
+                            let link = set.network().link_delay(pre, h);
+                            candidates.push(
+                                j.cost_at(h) - flow.cost_at(pre) + link.lmax - link.lmin,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        delta += candidates.into_iter().max().unwrap_or(0).max(0);
+    }
+    delta
+}
+
+/// [`DeltaProvider`] wiring Lemma 4 into the trajectory engine.
+pub struct EfDelta;
+
+impl DeltaProvider for EfDelta {
+    fn delta(&self, set: &FlowSet, flow_idx: usize, prefix: &Path) -> Duration {
+        nonpreemption_delta(set, &set.flows()[flow_idx], prefix)
+    }
+}
+
+/// Property 3: worst-case end-to-end response times of the EF flows.
+///
+/// The FIFO interference universe is restricted to EF flows; non-EF flows
+/// only contribute through `δᵢ`. Returns one report per **EF** flow, in
+/// flow-set order.
+pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
+    let universe: Vec<bool> = set.flows().iter().map(|f| f.class.is_ef()).collect();
+    let ef_indices: Vec<usize> =
+        (0..set.len()).filter(|&i| universe[i]).collect();
+    match Analyzer::with_universe_and_delta(set, cfg, universe, EfDelta) {
+        Ok(an) => SetReport::new(
+            ef_indices
+                .into_iter()
+                .map(|i| {
+                    let f = &set.flows()[i];
+                    let wcrt = an.wcrt(i);
+                    let jitter = wcrt.value().map(|r| jitter_bound(set, f, r));
+                    FlowReport {
+                        flow: f.id,
+                        name: f.name.clone(),
+                        wcrt,
+                        jitter,
+                        deadline: f.deadline,
+                    }
+                })
+                .collect(),
+        ),
+        Err(verdict) => SetReport::new(
+            ef_indices
+                .into_iter()
+                .map(|i| {
+                    let f = &set.flows()[i];
+                    FlowReport {
+                        flow: f.id,
+                        name: f.name.clone(),
+                        wcrt: verdict.clone(),
+                        jitter: None,
+                        deadline: f.deadline,
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Convenience: the plain-FIFO bounds of the EF flows when no other class
+/// exists, used to quantify the cost of non-preemption.
+pub fn ef_penalty(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<(Verdict, Verdict)> {
+    let ef_only: Vec<SporadicFlow> = set.ef_flows().cloned().collect();
+    let pure = FlowSet::new(set.network().clone(), ef_only)
+        .expect("EF subset is a valid flow set");
+    let base = crate::analyze_all(&pure, cfg);
+    let with_np = analyze_ef(set, cfg);
+    base.per_flow()
+        .iter()
+        .zip(with_np.per_flow())
+        .map(|(a, b)| (a.wcrt.clone(), b.wcrt.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::{paper_example, paper_example_with_best_effort};
+    use traj_model::FlowId;
+
+    #[test]
+    fn delta_is_zero_without_lower_priority_traffic() {
+        let set = paper_example();
+        for f in set.flows() {
+            assert_eq!(nonpreemption_delta(&set, f, &f.path), 0);
+        }
+    }
+
+    #[test]
+    fn delta_grows_with_blocker_size() {
+        let small = paper_example_with_best_effort(2);
+        let large = paper_example_with_best_effort(40);
+        for (fs, fl) in small.ef_flows().zip(large.ef_flows()) {
+            let ds = nonpreemption_delta(&small, fs, &fs.path);
+            let dl = nonpreemption_delta(&large, fl, &fl.path);
+            assert!(dl > ds, "flow {}: {} !> {}", fs.id, dl, ds);
+        }
+    }
+
+    #[test]
+    fn delta_first_node_case() {
+        // P1 = [1,3,4,5]. Its BE twin shares the whole path (same
+        // direction, same ingress): (C_be - 1)+ at node 1. The BE twins of
+        // P3/P4/P5 first cross P1 at node 3: case 1 there, (C_be - 1)+.
+        // Nodes 4 and 5 only see co-travelling blockers: case 3,
+        // (C_be - C_1 + Lmax - Lmin)+ = 5.
+        let set = paper_example_with_best_effort(9);
+        let f1 = set.flow(FlowId(1)).unwrap();
+        let d = nonpreemption_delta(&set, f1, &f1.path);
+        assert_eq!(d, (9 - 1) + (9 - 1) + (9 - 4) + (9 - 4));
+    }
+
+    #[test]
+    fn small_be_packets_vanish_in_case3() {
+        // C_be = 3 < C_i = 4 and Lmax = Lmin: case 3 clamps to 0; what
+        // remains is the ingress blocking (node 1) and the fresh entry of
+        // the P3/P4/P5 twins at node 3 (case 1).
+        let set = paper_example_with_best_effort(3);
+        let f1 = set.flow(FlowId(1)).unwrap();
+        assert_eq!(nonpreemption_delta(&set, f1, &f1.path), (3 - 1) + (3 - 1));
+    }
+
+    #[test]
+    fn property3_reduces_to_property2_without_cross_traffic() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let p2 = crate::analyze_all(&set, &cfg);
+        let p3 = analyze_ef(&set, &cfg);
+        assert_eq!(p2.bounds(), p3.bounds());
+    }
+
+    #[test]
+    fn property3_bounds_exceed_property2_with_cross_traffic() {
+        let set = paper_example_with_best_effort(9);
+        let cfg = AnalysisConfig::default();
+        let p3 = analyze_ef(&set, &cfg);
+        assert_eq!(p3.per_flow().len(), 5);
+        let pure = crate::analyze_all(&paper_example(), &cfg);
+        for (with_np, without) in p3.per_flow().iter().zip(pure.per_flow()) {
+            assert!(with_np.wcrt.value().unwrap() > without.wcrt.value().unwrap());
+        }
+    }
+
+    #[test]
+    fn ef_penalty_pairs_up() {
+        let set = paper_example_with_best_effort(9);
+        let pairs = ef_penalty(&set, &AnalysisConfig::default());
+        assert_eq!(pairs.len(), 5);
+        for (base, np) in pairs {
+            assert!(np.value().unwrap() > base.value().unwrap());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Figure-2-style explanation of a bound: which packets, which nodes and
+//! which links make up the worst case.
+//!
+//! The paper's Figure 2 illustrates the backward construction of the
+//! worst-case trajectory: busy periods chained from the last node back to
+//! the ingress. [`explain_flow`] reconstructs the analytical counterpart —
+//! for the maximising activation instant `t*`, every interference window
+//! with its packet count, the per-node extra-packet terms and the link
+//! budget — so users can audit a bound term by term.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowId, FlowSet, NodeId, Tick};
+
+use crate::config::AnalysisConfig;
+use crate::report::Verdict;
+use crate::wcrt::Analyzer;
+
+/// One interfering flow's contribution at the worst-case instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceLine {
+    /// The interfering flow.
+    pub flow: FlowId,
+    /// Window alignment `A_{i,j}`.
+    pub a: Tick,
+    /// Packets counted at `t*`.
+    pub packets: i64,
+    /// Cost per packet (`C_j^{slow_{j,i}}`).
+    pub cost_per_packet: Duration,
+    /// Total workload.
+    pub workload: Duration,
+}
+
+/// Full decomposition of a flow's bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundBreakdown {
+    /// The analysed flow.
+    pub flow: FlowId,
+    /// The worst-case activation instant `t*`.
+    pub t_star: Tick,
+    /// Busy-period bound `Bᵢ^{slow}` (Lemma 3), the width of the search
+    /// domain.
+    pub busy_period: Duration,
+    /// Packets of the flow itself ahead of the studied packet.
+    pub self_packets: i64,
+    /// Workload of those packets.
+    pub self_workload: Duration,
+    /// Per-interfering-flow lines, ordered as encountered.
+    pub interference: Vec<InterferenceLine>,
+    /// Per-node extra packet (`max_{same-dir j} C_jʰ` for `h ≠ slowᵢ`).
+    pub per_node_extra: Vec<(NodeId, Duration)>,
+    /// Total link budget `Σ Lmax`.
+    pub links: Duration,
+    /// Non-preemption delay `δᵢ` (0 for plain FIFO).
+    pub delta: Duration,
+    /// The resulting bound: must equal the sum of all parts minus `t*`.
+    pub bound: Duration,
+}
+
+impl BoundBreakdown {
+    /// Re-sums the parts; equals [`Self::bound`] by construction (checked
+    /// in tests, useful as an audit).
+    pub fn total(&self) -> Duration {
+        self.self_workload
+            + self.interference.iter().map(|l| l.workload).sum::<Duration>()
+            + self.per_node_extra.iter().map(|(_, c)| *c).sum::<Duration>()
+            + self.links
+            + self.delta
+            - self.t_star
+    }
+}
+
+/// Explains the Property 2 bound of one flow. Returns `Err` with the
+/// divergence verdict on overloaded sets.
+pub fn explain_flow(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    id: FlowId,
+) -> Result<BoundBreakdown, Verdict> {
+    let idx = set
+        .index_of(id)
+        .ok_or_else(|| Verdict::unbounded(format!("unknown flow {id}")))?;
+    let an = Analyzer::new(set, cfg)?;
+    let f = &set.flows()[idx];
+    let bf = an.bound_function(idx, &f.path);
+    let max = bf
+        .maximise(cfg.max_busy_period)
+        .ok_or_else(|| Verdict::unbounded("busy period diverged"))?;
+    let busy_period = bf
+        .busy_period(cfg.max_busy_period)
+        .expect("maximise succeeded");
+
+    let mut interference = Vec::new();
+    let mut self_packets = 0;
+    let mut self_workload = 0;
+    for w in &bf.windows {
+        let packets = w.packets(max.t_star);
+        if w.flow == f.id {
+            self_packets += packets;
+            self_workload += packets * w.cost;
+        } else {
+            interference.push(InterferenceLine {
+                flow: w.flow,
+                a: w.a,
+                packets,
+                cost_per_packet: w.cost,
+                workload: packets * w.cost,
+            });
+        }
+    }
+
+    // Recompute the constant's visible parts for the per-node table.
+    let slow = f.slow_node();
+    let keep = |_: &traj_model::SporadicFlow| true;
+    let per_node_extra: Vec<(NodeId, Duration)> = f
+        .path
+        .nodes()
+        .iter()
+        .filter(|&&h| h != slow)
+        .map(|&h| (h, set.max_samedir_cost_filtered(&f.path, h, keep)))
+        .collect();
+    let links: Duration = f
+        .path
+        .links()
+        .map(|(a, b)| set.network().link_delay(a, b).lmax)
+        .sum();
+
+    Ok(BoundBreakdown {
+        flow: f.id,
+        t_star: max.t_star,
+        busy_period,
+        self_packets,
+        self_workload,
+        interference,
+        per_node_extra,
+        links,
+        delta: 0,
+        bound: max.value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn breakdown_sums_to_bound() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        for f in set.flows() {
+            let b = explain_flow(&set, &cfg, f.id).unwrap();
+            assert_eq!(b.total(), b.bound, "flow {}", f.id);
+        }
+    }
+
+    #[test]
+    fn flow1_breakdown_matches_hand_computation() {
+        let set = paper_example();
+        let b = explain_flow(&set, &AnalysisConfig::default(), FlowId(1)).unwrap();
+        assert_eq!(b.bound, 31);
+        assert_eq!(b.t_star, 0);
+        assert_eq!(b.busy_period, 16);
+        assert_eq!(b.self_packets, 1);
+        // flows 3, 4, 5 each contribute one 4-tick packet
+        assert_eq!(b.interference.len(), 3);
+        for line in &b.interference {
+            assert_eq!(line.packets, 1);
+            assert_eq!(line.workload, 4);
+        }
+        // three non-slow nodes with a 4-tick extra packet each
+        assert_eq!(b.per_node_extra.iter().map(|(_, c)| c).sum::<i64>(), 12);
+        assert_eq!(b.links, 3);
+        assert_eq!(b.delta, 0);
+    }
+
+    #[test]
+    fn unknown_flow_is_an_error() {
+        let set = paper_example();
+        assert!(explain_flow(&set, &AnalysisConfig::default(), FlowId(77)).is_err());
+    }
+}

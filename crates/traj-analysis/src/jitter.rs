@@ -1,0 +1,54 @@
+//! Definition 2: end-to-end jitter bound.
+//!
+//! The end-to-end jitter of `τᵢ` is the difference between its maximum and
+//! minimum end-to-end response times:
+//! `Rᵢ − ( Σ_{h∈Pᵢ} Cᵢʰ + Σ_{links} Lmin )`.
+
+use traj_model::{Duration, FlowSet, SporadicFlow};
+
+/// Minimum end-to-end response time of a flow: every node idle, every link
+/// at its minimum delay.
+pub fn min_response(set: &FlowSet, flow: &SporadicFlow) -> Duration {
+    let mut r = flow.total_cost();
+    for (a, b) in flow.path.links() {
+        r += set.network().link_delay(a, b).lmin;
+    }
+    r
+}
+
+/// Definition 2: jitter bound given a worst-case response-time bound.
+pub fn jitter_bound(set: &FlowSet, flow: &SporadicFlow, wcrt: Duration) -> Duration {
+    (wcrt - min_response(set, flow)).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_all, AnalysisConfig};
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn min_response_on_paper_example() {
+        let set = paper_example();
+        // flow 1: 4 nodes * 4 + 3 links * 1
+        assert_eq!(min_response(&set, &set.flows()[0]), 19);
+        // flow 3: 6 nodes * 4 + 5 links * 1
+        assert_eq!(min_response(&set, &set.flows()[2]), 29);
+    }
+
+    #[test]
+    fn jitter_equals_wcrt_minus_floor() {
+        let set = paper_example();
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        let r1 = report.per_flow()[0].clone();
+        assert_eq!(r1.wcrt.value(), Some(31));
+        assert_eq!(r1.jitter, Some(31 - 19));
+    }
+
+    #[test]
+    fn jitter_is_clamped_non_negative() {
+        let set = paper_example();
+        let f = &set.flows()[0];
+        assert_eq!(jitter_bound(&set, f, 5), 0);
+    }
+}

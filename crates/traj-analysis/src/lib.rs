@@ -1,0 +1,36 @@
+//! Trajectory-approach schedulability analysis of FIFO-scheduled flows.
+//!
+//! Implements the analysis of Martin & Minet (IPDPS 2006):
+//!
+//! * **Property 1** — bound on the latest starting time `W_{i,t}^{lastᵢ}`
+//!   of the packet of `τᵢ` generated at time `t` on its last node;
+//! * **Lemma 3 / Property 2** — the worst-case end-to-end response time
+//!   `Rᵢ = max_{-Jᵢ ≤ t < -Jᵢ + Bᵢ^{slow}} ( W_{i,t}^{lastᵢ} + Cᵢ^{lastᵢ} - t )`;
+//! * **Definition 2** — the end-to-end jitter bound;
+//! * **Lemma 4 / Property 3** — the Expedited Forwarding variant with the
+//!   non-preemption term `δᵢ`.
+//!
+//! The paper leaves `Smaxᵢʰ` (maximum source-to-`h` traversal time)
+//! unspecified; [`smax::SmaxTable`] computes it as a global fixed point
+//! over path prefixes, which is the sound, self-consistent reading (see
+//! DESIGN.md §2 for the full discussion and the ablation modes).
+//!
+//! Entry points: [`analyze_all`], [`analyze_flow`], [`ef::analyze_ef`],
+//! and [`explain::explain_flow`] for a Figure-2-style breakdown.
+
+pub mod config;
+pub mod ef;
+pub mod explain;
+pub mod jitter;
+pub mod report;
+pub mod sensitivity;
+pub mod smax;
+pub mod terms;
+pub mod wcrt;
+
+pub use config::{AnalysisConfig, ReverseCounting, SmaxMode};
+pub use ef::{analyze_ef, nonpreemption_delta};
+pub use jitter::jitter_bound;
+pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
+pub use report::{FlowReport, SetReport, Verdict};
+pub use wcrt::{analyze_all, analyze_flow, Analyzer};

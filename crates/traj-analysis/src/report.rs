@@ -1,0 +1,145 @@
+//! Analysis results: per-flow verdicts and whole-set reports.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowId};
+
+/// Outcome of a bound computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// A finite worst-case bound (ticks).
+    Bounded(Duration),
+    /// The analysis diverged (overloaded node, non-convergent `Smax`
+    /// fixed point, or busy period beyond the configured guard).
+    Unbounded {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// The bound, if finite.
+    pub fn value(&self) -> Option<Duration> {
+        match self {
+            Verdict::Bounded(v) => Some(*v),
+            Verdict::Unbounded { .. } => None,
+        }
+    }
+
+    /// Whether a finite bound was obtained.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, Verdict::Bounded(_))
+    }
+
+    /// Builds an unbounded verdict.
+    pub fn unbounded(reason: impl Into<String>) -> Self {
+        Verdict::Unbounded { reason: reason.into() }
+    }
+}
+
+/// Per-flow analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Analysed flow.
+    pub flow: FlowId,
+    /// Its display name.
+    pub name: String,
+    /// Worst-case end-to-end response-time bound (Property 2 / 3).
+    pub wcrt: Verdict,
+    /// End-to-end jitter bound (Definition 2), when the WCRT is finite.
+    pub jitter: Option<Duration>,
+    /// The flow's deadline `Dᵢ`.
+    pub deadline: Duration,
+}
+
+impl FlowReport {
+    /// `Some(true)` when the bound is finite and within the deadline,
+    /// `Some(false)` when finite but late, `None` when unbounded.
+    pub fn meets_deadline(&self) -> Option<bool> {
+        self.wcrt.value().map(|r| r <= self.deadline)
+    }
+}
+
+/// Whole-set analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetReport {
+    per_flow: Vec<FlowReport>,
+}
+
+impl SetReport {
+    /// Assembles a report.
+    pub fn new(per_flow: Vec<FlowReport>) -> Self {
+        SetReport { per_flow }
+    }
+
+    /// Per-flow results in flow-set order.
+    pub fn per_flow(&self) -> &[FlowReport] {
+        &self.per_flow
+    }
+
+    /// Result for one flow.
+    pub fn for_flow(&self, id: FlowId) -> Option<&FlowReport> {
+        self.per_flow.iter().find(|r| r.flow == id)
+    }
+
+    /// True when every flow has a finite bound within its deadline.
+    pub fn all_schedulable(&self) -> bool {
+        self.per_flow.iter().all(|r| r.meets_deadline() == Some(true))
+    }
+
+    /// Number of flows with a finite bound exceeding their deadline or no
+    /// bound at all.
+    pub fn misses(&self) -> usize {
+        self.per_flow
+            .iter()
+            .filter(|r| r.meets_deadline() != Some(true))
+            .count()
+    }
+
+    /// The finite bounds as a vector aligned with the flow order
+    /// (`None` entries for unbounded flows).
+    pub fn bounds(&self) -> Vec<Option<Duration>> {
+        self.per_flow.iter().map(|r| r.wcrt.value()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(wcrt: Verdict, deadline: Duration) -> FlowReport {
+        FlowReport {
+            flow: FlowId(1),
+            name: "f".into(),
+            wcrt,
+            jitter: None,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert_eq!(Verdict::Bounded(5).value(), Some(5));
+        assert!(Verdict::Bounded(5).is_bounded());
+        let u = Verdict::unbounded("overload");
+        assert_eq!(u.value(), None);
+        assert!(!u.is_bounded());
+    }
+
+    #[test]
+    fn deadline_verdicts() {
+        assert_eq!(rep(Verdict::Bounded(10), 10).meets_deadline(), Some(true));
+        assert_eq!(rep(Verdict::Bounded(11), 10).meets_deadline(), Some(false));
+        assert_eq!(rep(Verdict::unbounded("x"), 10).meets_deadline(), None);
+    }
+
+    #[test]
+    fn set_aggregation() {
+        let r = SetReport::new(vec![
+            rep(Verdict::Bounded(5), 10),
+            rep(Verdict::unbounded("x"), 10),
+        ]);
+        assert!(!r.all_schedulable());
+        assert_eq!(r.misses(), 1);
+        assert_eq!(r.bounds(), vec![Some(5), None]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Sensitivity analysis on top of Property 2: slack, critical flows, and
+//! capacity margins.
+//!
+//! Deterministic admission control and dimensioning need more than a
+//! yes/no verdict: *how far* is each flow from its deadline, which flows
+//! constrain the set, and how much additional load fits. All questions
+//! reduce to re-running the (cheap) Property 2 bound under perturbed
+//! parameters; monotonicity of the bound in costs and rates (verified by
+//! the property tests) makes binary search valid.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowId, FlowSet, SporadicFlow};
+
+use crate::config::AnalysisConfig;
+use crate::report::Verdict;
+use crate::wcrt::analyze_all;
+
+/// Slack of one flow: distance between its deadline and its bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSlack {
+    /// The flow.
+    pub flow: FlowId,
+    /// Its Property 2 bound.
+    pub wcrt: Verdict,
+    /// `Dᵢ − Rᵢ` (negative = deadline miss), `None` when unbounded.
+    pub slack: Option<Duration>,
+}
+
+/// Per-flow slacks, most constrained first.
+pub fn slacks(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<FlowSlack> {
+    let rep = analyze_all(set, cfg);
+    let mut out: Vec<FlowSlack> = rep
+        .per_flow()
+        .iter()
+        .map(|r| FlowSlack {
+            flow: r.flow,
+            wcrt: r.wcrt.clone(),
+            slack: r.wcrt.value().map(|w| r.deadline - w),
+        })
+        .collect();
+    out.sort_by_key(|s| s.slack.unwrap_or(i64::MIN));
+    out
+}
+
+/// The most constrained flow (smallest slack; unbounded flows first).
+pub fn critical_flow(set: &FlowSet, cfg: &AnalysisConfig) -> FlowSlack {
+    slacks(set, cfg).into_iter().next().expect("flow sets are non-empty")
+}
+
+/// Largest uniform cost `c` for `candidate` (its per-node costs all set
+/// to `c`) such that the whole set stays schedulable with the candidate
+/// added; `None` when even `c = 1` does not fit. Binary search over
+/// `[1, c_max]`.
+pub fn max_admissible_cost(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    candidate: &SporadicFlow,
+    c_max: Duration,
+) -> Option<Duration> {
+    let fits = |c: Duration| -> bool {
+        let mut trial = candidate.clone();
+        trial = SporadicFlow::uniform(
+            trial.id.0,
+            trial.path.clone(),
+            trial.period,
+            c,
+            trial.jitter,
+            trial.deadline,
+        )
+        .expect("candidate parameters are valid")
+        .with_class(trial.class);
+        let mut flows = set.flows().to_vec();
+        flows.push(trial);
+        match FlowSet::new(set.network().clone(), flows) {
+            Ok(s) => analyze_all(&s, cfg).all_schedulable(),
+            Err(_) => false,
+        }
+    };
+    if !fits(1) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1, c_max.max(1));
+    if fits(hi) {
+        return Some(hi);
+    }
+    // Invariant: fits(lo), !fits(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// How much every deadline could uniformly shrink (in ticks) with the set
+/// remaining schedulable — the set-wide robustness margin.
+pub fn deadline_margin(set: &FlowSet, cfg: &AnalysisConfig) -> Option<Duration> {
+    slacks(set, cfg)
+        .into_iter()
+        .map(|s| s.slack)
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.into_iter().min().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+    use traj_model::Path;
+
+    #[test]
+    fn slacks_on_paper_example() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let s = slacks(&set, &cfg);
+        assert_eq!(s.len(), 5);
+        // Bounds {31,37,47,47,40} against deadlines {40,45,55,55,50}:
+        // slacks {9,8,8,8,10}; most constrained first.
+        let by_flow: Vec<(u32, i64)> =
+            s.iter().map(|x| (x.flow.0, x.slack.unwrap())).collect();
+        assert_eq!(by_flow.iter().map(|(_, s)| *s).min(), Some(8));
+        assert_eq!(by_flow[0].1, 8);
+        assert_eq!(by_flow.last().unwrap().1, 10);
+    }
+
+    #[test]
+    fn critical_flow_is_minimal_slack() {
+        let set = paper_example();
+        let c = critical_flow(&set, &AnalysisConfig::default());
+        assert_eq!(c.slack, Some(8));
+    }
+
+    #[test]
+    fn deadline_margin_matches_min_slack() {
+        let set = paper_example();
+        assert_eq!(deadline_margin(&set, &AnalysisConfig::default()), Some(8));
+    }
+
+    #[test]
+    fn max_admissible_cost_binary_search() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let cand = SporadicFlow::uniform(
+            99,
+            Path::from_ids([2, 3, 4]).unwrap(),
+            72,
+            1,
+            0,
+            1_000,
+        )
+        .unwrap();
+        let c = max_admissible_cost(&set, &cfg, &cand, 64).expect("some load fits");
+        assert!(c >= 1);
+        // Boundary property: c fits, c+1 does not (or c == c_max).
+        let fits = |cost: i64| {
+            let mut flows = set.flows().to_vec();
+            flows.push(
+                SporadicFlow::uniform(99, cand.path.clone(), 72, cost, 0, 1_000).unwrap(),
+            );
+            let s = FlowSet::new(set.network().clone(), flows).unwrap();
+            analyze_all(&s, &cfg).all_schedulable()
+        };
+        assert!(fits(c));
+        if c < 64 {
+            assert!(!fits(c + 1));
+        }
+    }
+
+    #[test]
+    fn impossible_candidate_yields_none() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        // Tiny deadline: even cost 1 cannot meet it through three nodes.
+        let cand = SporadicFlow::uniform(
+            99,
+            Path::from_ids([2, 3, 4]).unwrap(),
+            72,
+            1,
+            0,
+            2,
+        )
+        .unwrap();
+        assert_eq!(max_admissible_cost(&set, &cfg, &cand, 16), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The arithmetic pieces of Property 2: interference windows `A_{i,j}`,
+//! the busy-period bound `Bᵢ^{slow}` (Lemma 3), and the latest-starting-time
+//! function `W_{i,t}` (Property 1).
+//!
+//! A *window* is one `(1 + ⌊(t + A)/T⌋)⁺ · C` term of the bound: the
+//! packets of one interfering flow (or, for reverse-direction flows under
+//! [`crate::ReverseCounting::PerCrossingNode`], of one flow at one crossing
+//! node) that can delay the packet under study.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{plus_one_floor, Duration, FlowId, Tick};
+
+/// One interference term of `W_{i,t}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// Flow contributing the packets (the analysed flow itself for the
+    /// self term).
+    pub flow: FlowId,
+    /// Alignment `A_{i,j}` (or `Jᵢ` for the self term); may be negative.
+    pub a: Tick,
+    /// Period `Tⱼ` of the contributing flow.
+    pub period: Duration,
+    /// Cost per counted packet: `C_j^{slow_{j,i}}`.
+    pub cost: Duration,
+}
+
+impl Window {
+    /// Packets contributed at activation instant `t`:
+    /// `(1 + ⌊(t + A)/T⌋)⁺`.
+    #[inline]
+    pub fn packets(&self, t: Tick) -> i64 {
+        plus_one_floor(t + self.a, self.period)
+    }
+
+    /// Workload contributed at activation instant `t`.
+    #[inline]
+    pub fn workload(&self, t: Tick) -> Duration {
+        self.packets(t) * self.cost
+    }
+}
+
+/// The fully-assembled bound for one flow (over a full path or a prefix):
+/// `R(t) = Σ_w workload_w(t) + constant - t`, maximised over
+/// `t ∈ [-Jᵢ, -Jᵢ + B)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundFunction {
+    /// All interference windows, self term included.
+    pub windows: Vec<Window>,
+    /// The `t`-independent part: `Σ_{h≠slow} max C` + `Σ Lmax` −
+    /// `Cᵢ^{last}` + `Cᵢ^{last}` (completion) + non-preemption `δᵢ`.
+    pub constant: Duration,
+    /// Lower end of the maximisation domain (`-Jᵢ`).
+    pub t_lo: Tick,
+}
+
+/// Result of maximising a [`BoundFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPoint {
+    /// The bound value.
+    pub value: Duration,
+    /// An activation instant achieving it.
+    pub t_star: Tick,
+}
+
+impl BoundFunction {
+    /// Evaluates `R(t)`.
+    pub fn eval(&self, t: Tick) -> Duration {
+        let w: Duration = self.windows.iter().map(|w| w.workload(t)).sum();
+        w + self.constant - t
+    }
+
+    /// Smallest positive fixed point of
+    /// `B = Σ_w ⌈B / T_w⌉ · C_w` (Lemma 3's `Bᵢ^{slow}`), or `None` when it
+    /// exceeds `max_busy_period` (overload / divergence guard).
+    pub fn busy_period(&self, max_busy_period: Duration) -> Option<Duration> {
+        let mut b: Duration = self.windows.iter().map(|w| w.cost).sum();
+        if b == 0 {
+            return Some(0);
+        }
+        loop {
+            let nb: Duration = self
+                .windows
+                .iter()
+                .map(|w| traj_model::ceil_div(b, w.period) * w.cost)
+                .sum();
+            if nb == b {
+                return Some(b);
+            }
+            if nb > max_busy_period {
+                return None;
+            }
+            b = nb;
+        }
+    }
+
+    /// Maximises `R(t)` over `t ∈ [t_lo, t_lo + B)`.
+    ///
+    /// `R` is piecewise of the form `const - t` between window jump points
+    /// (where some `t + A_w` crosses a multiple of `T_w`), so the maximum
+    /// is attained at `t_lo` or at a jump point; only those candidates are
+    /// evaluated — `O(Σ_w B/T_w)` instead of `O(B)`.
+    pub fn maximise(&self, max_busy_period: Duration) -> Option<MaxPoint> {
+        let b = self.busy_period(max_busy_period)?;
+        let t_hi = self.t_lo + b; // exclusive
+        let mut best = MaxPoint { value: self.eval(self.t_lo), t_star: self.t_lo };
+        for w in &self.windows {
+            // jump points: t = k*T - A with t in (t_lo, t_hi)
+            let mut k = traj_model::ceil_div(self.t_lo + w.a + 1, w.period);
+            loop {
+                let t = k * w.period - w.a;
+                if t >= t_hi {
+                    break;
+                }
+                if t > self.t_lo {
+                    let v = self.eval(t);
+                    if v > best.value {
+                        best = MaxPoint { value: v, t_star: t };
+                    }
+                }
+                k += 1;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: i64, period: i64, cost: i64) -> Window {
+        Window { flow: FlowId(9), a, period, cost }
+    }
+
+    #[test]
+    fn window_packet_counts() {
+        let win = w(0, 36, 4);
+        assert_eq!(win.packets(0), 1);
+        assert_eq!(win.packets(35), 1);
+        assert_eq!(win.packets(36), 2);
+        assert_eq!(win.packets(-1), 0);
+        assert_eq!(win.workload(36), 8);
+    }
+
+    #[test]
+    fn busy_period_fixed_point() {
+        // Paper example, flow 1: four crossing flows with T = 36, C = 4.
+        let f = BoundFunction {
+            windows: (0..4).map(|_| w(0, 36, 4)).collect(),
+            constant: 0,
+            t_lo: 0,
+        };
+        assert_eq!(f.busy_period(1_000_000), Some(16));
+    }
+
+    #[test]
+    fn busy_period_divergence_guard() {
+        // Utilisation 2.0: C = 2 T for a single window -> diverges.
+        let f = BoundFunction { windows: vec![w(0, 10, 20)], constant: 0, t_lo: 0 };
+        assert_eq!(f.busy_period(1_000_000), None);
+    }
+
+    #[test]
+    fn busy_period_full_utilisation_converges_to_lcm_scale() {
+        // u = 1 exactly: B = ceil(B/10)*10 stabilises at the seed.
+        let f = BoundFunction { windows: vec![w(0, 10, 10)], constant: 0, t_lo: 0 };
+        assert_eq!(f.busy_period(1_000_000), Some(10));
+    }
+
+    #[test]
+    fn maximise_finds_interior_jump() {
+        // One window jumping at t = 4 (a = 32, T = 36): R(4) = 2*4 - 4 + c
+        // beats R(0) = 4 + c when cost > t.
+        let f = BoundFunction {
+            windows: vec![w(32, 36, 6), w(0, 36, 30)],
+            constant: 0,
+            t_lo: 0,
+        };
+        // B: 36 = ceil(B/36)*6 + ceil(B/36)*30 -> B = 36
+        assert_eq!(f.busy_period(1 << 40), Some(36));
+        let m = f.maximise(1 << 40).unwrap();
+        // candidates: t=0 -> 36; t=4 -> 12+30-4 = 38
+        assert_eq!(m.t_star, 4);
+        assert_eq!(m.value, 38);
+    }
+
+    #[test]
+    fn maximise_matches_exhaustive_scan() {
+        // Cross-check the jump-point optimisation against brute force.
+        let f = BoundFunction {
+            windows: vec![w(5, 7, 2), w(-2, 11, 3), w(9, 13, 2), w(0, 36, 4)],
+            constant: 17,
+            t_lo: -3,
+        };
+        let b = f.busy_period(1 << 40).unwrap();
+        let brute = (f.t_lo..f.t_lo + b).map(|t| f.eval(t)).max().unwrap();
+        let m = f.maximise(1 << 40).unwrap();
+        assert_eq!(m.value, brute);
+    }
+
+    #[test]
+    fn maximise_with_jitter_domain() {
+        // t_lo = -J < 0; the self window (a = J) contributes 1 packet at
+        // t = -J.
+        let f = BoundFunction { windows: vec![w(6, 20, 5)], constant: 0, t_lo: -6 };
+        let m = f.maximise(1 << 40).unwrap();
+        assert_eq!(m.t_star, -6);
+        assert_eq!(m.value, 5 + 6);
+    }
+}

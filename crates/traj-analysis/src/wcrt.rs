@@ -1,0 +1,416 @@
+//! Property 2: the worst-case end-to-end response-time bound.
+//!
+//! [`Analyzer`] assembles, for one flow over one (possibly truncated)
+//! path, the [`BoundFunction`] of Property 1 — interference windows,
+//! same-direction extra-packet terms, link delays, optional non-preemption
+//! `δᵢ` — and maximises it over `t ∈ [-Jᵢ, -Jᵢ + Bᵢ^{slow})` per Lemma 3.
+//!
+//! The same engine serves the plain FIFO analysis (universe = all flows,
+//! `δ = 0`) and the EF analysis of Property 3 (universe = EF flows,
+//! `δ` = Lemma 4), and is reused node-prefix by node-prefix by the `Smax`
+//! fixed point.
+
+use rayon::prelude::*;
+use traj_model::{CrossDirection, Duration, FlowId, FlowSet, Path, SporadicFlow};
+
+use crate::config::{AnalysisConfig, ReverseCounting, SmaxMode};
+use crate::jitter::jitter_bound;
+use crate::report::{FlowReport, SetReport, Verdict};
+use crate::smax::SmaxTable;
+use crate::terms::{BoundFunction, Window};
+
+/// Supplies the non-preemption term `δᵢ` added to `W` (Lemma 4). The plain
+/// FIFO analysis uses [`NoDelta`].
+pub trait DeltaProvider: Sync {
+    /// `δ` for the flow at `flow_idx` restricted to `prefix`.
+    fn delta(&self, set: &FlowSet, flow_idx: usize, prefix: &Path) -> Duration;
+}
+
+/// `δ = 0`: no lower-priority traffic (paper §4).
+pub struct NoDelta;
+
+impl DeltaProvider for NoDelta {
+    fn delta(&self, _set: &FlowSet, _flow_idx: usize, _prefix: &Path) -> Duration {
+        0
+    }
+}
+
+/// Reusable analysis engine for one flow set and configuration.
+pub struct Analyzer<'a, D: DeltaProvider = NoDelta> {
+    set: &'a FlowSet,
+    cfg: &'a AnalysisConfig,
+    /// Flow-index membership of the FIFO universe under analysis.
+    universe: Vec<bool>,
+    delta: D,
+    smax: SmaxTable,
+}
+
+impl<'a> Analyzer<'a, NoDelta> {
+    /// Builds the engine for a plain FIFO analysis of all flows.
+    ///
+    /// Computes the `Smax` fixed point up front; an overloaded set yields
+    /// `Err` with the divergence reason.
+    pub fn new(set: &'a FlowSet, cfg: &'a AnalysisConfig) -> Result<Self, Verdict> {
+        Self::with_universe_and_delta(set, cfg, vec![true; set.len()], NoDelta)
+    }
+}
+
+impl<'a, D: DeltaProvider> Analyzer<'a, D> {
+    /// Builds the engine over an explicit flow universe and `δ` provider
+    /// (the EF analysis restricts the universe to EF flows and supplies
+    /// Lemma 4's `δᵢ`).
+    pub fn with_universe_and_delta(
+        set: &'a FlowSet,
+        cfg: &'a AnalysisConfig,
+        universe: Vec<bool>,
+        delta: D,
+    ) -> Result<Self, Verdict> {
+        assert_eq!(universe.len(), set.len());
+        let mut an = Analyzer {
+            set,
+            cfg,
+            universe,
+            delta,
+            smax: SmaxTable::transit(set),
+        };
+        if cfg.smax_mode == SmaxMode::RecursivePrefix {
+            an.fixpoint_smax()?;
+        }
+        Ok(an)
+    }
+
+    /// The flow set under analysis.
+    pub fn set(&self) -> &FlowSet {
+        self.set
+    }
+
+    /// The converged `Smax` table.
+    pub fn smax(&self) -> &SmaxTable {
+        &self.smax
+    }
+
+    /// Worst-case end-to-end response-time bound for the flow at
+    /// `flow_idx` (Property 2, or Property 3 when `δ` is the EF provider).
+    pub fn wcrt(&self, flow_idx: usize) -> Verdict {
+        let f = &self.set.flows()[flow_idx];
+        self.wcrt_prefix(flow_idx, f.path.len())
+    }
+
+    /// Bound over the prefix made of the first `k` visited nodes.
+    pub fn wcrt_prefix(&self, flow_idx: usize, k: usize) -> Verdict {
+        let f = &self.set.flows()[flow_idx];
+        let prefix = f.path.prefix_len(k).expect("prefix length in range");
+        let bf = self.bound_function(flow_idx, &prefix);
+        match bf.maximise(self.cfg.max_busy_period) {
+            Some(m) => Verdict::Bounded(m.value),
+            None => Verdict::unbounded(format!(
+                "busy period of flow {} exceeds the {}-tick guard (overload)",
+                f.id, self.cfg.max_busy_period
+            )),
+        }
+    }
+
+    /// Assembles Property 1's bound function for one flow over `prefix`
+    /// (public for the explanation module and tests).
+    pub fn bound_function(&self, flow_idx: usize, prefix: &Path) -> BoundFunction {
+        let set = self.set;
+        let fi = &set.flows()[flow_idx];
+        let keep = |f: &SporadicFlow| {
+            set.index_of(f.id).map(|k| self.universe[k]).unwrap_or(false)
+        };
+
+        let mut windows = Vec::new();
+        for (j_idx, fj) in set.flows().iter().enumerate() {
+            if j_idx == flow_idx || !self.universe[j_idx] || !set.crosses(fj, prefix) {
+                continue;
+            }
+            // One virtual interfering flow per contiguous crossing
+            // segment: a route that leaves the path and meets it again is
+            // "a new flow" at each re-entry (the paper's Assumption 1
+            // reduction), so each segment carries its own window(s) and
+            // its own C^{slow} restricted to the segment's nodes.
+            for segment in set.crossing_segments(fj, prefix) {
+                let cost = segment
+                    .nodes
+                    .iter()
+                    .map(|&h| fj.cost_at(h))
+                    .max()
+                    .expect("segments are non-empty");
+                for (fji, fij) in self.segment_points(&segment, prefix) {
+                    let a = self.smax.get(set, flow_idx, fji).expect("fji on prefix")
+                        - set.smin(fj, fji, self.cfg.smin_mode).expect("fji on Pj")
+                        - set
+                            .m_term_filtered(prefix, fij, self.cfg.min_convention, keep)
+                            .expect("fij on prefix")
+                        + self.smax.get(set, j_idx, fij).expect("fij on Pj")
+                        + fj.jitter;
+                    windows.push(Window { flow: fj.id, a, period: fj.period, cost });
+                }
+            }
+        }
+        // Self term: (1 + ⌊(t + Jᵢ)/Tᵢ⌋) · Cᵢ^{slowᵢ}.
+        let trunc = fi.truncated(prefix.len()).expect("prefix of own path");
+        windows.push(Window {
+            flow: fi.id,
+            a: fi.jitter,
+            period: fi.period,
+            cost: trunc.max_cost(),
+        });
+
+        // Constant part: Σ_{h ≠ slowᵢ} max same-direction cost, plus link
+        // delays; the -Cᵢ^{last} of W and the +Cᵢ^{last} of the response
+        // cancel. δᵢ covers non-preemption (0 for plain FIFO).
+        let slow = trunc.slow_node();
+        let mut constant = self.delta.delta(set, flow_idx, prefix);
+        for &h in prefix.nodes() {
+            if h != slow {
+                constant += set.max_samedir_cost_filtered(prefix, h, keep);
+            }
+        }
+        for (a, b) in prefix.links() {
+            constant += set.network().link_delay(a, b).lmax;
+        }
+        BoundFunction { windows, constant, t_lo: -fi.jitter }
+    }
+
+    /// The `(first_{j,i}, first_{i,j})` anchor pairs for one crossing
+    /// segment: a single pair per segment under
+    /// [`ReverseCounting::PerFlow`]; one pair per shared node for
+    /// reverse-direction segments under
+    /// [`ReverseCounting::PerCrossingNode`].
+    fn segment_points(
+        &self,
+        segment: &traj_model::CrossingSegment,
+        prefix: &Path,
+    ) -> Vec<(traj_model::NodeId, traj_model::NodeId)> {
+        let reverse = segment.direction == CrossDirection::Reverse;
+        if reverse && self.cfg.reverse_counting == ReverseCounting::PerCrossingNode {
+            segment.nodes.iter().map(|&h| (h, h)).collect()
+        } else {
+            vec![(
+                segment.first_in_crosser_order(),
+                segment.entry_in_path_order(prefix),
+            )]
+        }
+    }
+
+    /// Iterates the recursive-prefix `Smax` fixed point to convergence.
+    fn fixpoint_smax(&mut self) -> Result<(), Verdict> {
+        for _round in 0..self.cfg.max_smax_rounds {
+            let mut changed = false;
+            for fi in 0..self.set.len() {
+                if !self.universe[fi] {
+                    continue;
+                }
+                let path = self.set.flows()[fi].path.clone();
+                for pos in 1..path.len() {
+                    let r = match self.wcrt_prefix(fi, pos) {
+                        Verdict::Bounded(r) => r,
+                        u @ Verdict::Unbounded { .. } => return Err(u),
+                    };
+                    let from = path.nodes()[pos - 1];
+                    let to = path.nodes()[pos];
+                    let val = r + self.set.network().link_delay(from, to).lmax;
+                    if val > self.cfg.max_busy_period {
+                        return Err(Verdict::unbounded(format!(
+                            "Smax of flow {} at node {} exceeds the guard",
+                            self.set.flows()[fi].id,
+                            to
+                        )));
+                    }
+                    if self.smax.set(fi, pos, val) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+        Err(Verdict::unbounded(format!(
+            "Smax fixed point did not converge within {} rounds",
+            self.cfg.max_smax_rounds
+        )))
+    }
+
+    /// Full report for the flow at `flow_idx`.
+    pub fn report(&self, flow_idx: usize) -> FlowReport {
+        let f = &self.set.flows()[flow_idx];
+        let wcrt = self.wcrt(flow_idx);
+        let jitter = wcrt
+            .value()
+            .map(|r| jitter_bound(self.set, f, r));
+        FlowReport {
+            flow: f.id,
+            name: f.name.clone(),
+            wcrt,
+            jitter,
+            deadline: f.deadline,
+        }
+    }
+}
+
+/// Analyses every flow of the set with Property 2 (plain FIFO).
+///
+/// Flows are analysed in parallel once the shared `Smax` fixed point has
+/// converged.
+pub fn analyze_all(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
+    match Analyzer::new(set, cfg) {
+        Ok(an) => {
+            let reports: Vec<FlowReport> =
+                (0..set.len()).into_par_iter().map(|i| an.report(i)).collect();
+            SetReport::new(reports)
+        }
+        Err(verdict) => SetReport::new(
+            set.flows()
+                .iter()
+                .map(|f| FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: verdict.clone(),
+                    jitter: None,
+                    deadline: f.deadline,
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Analyses a single flow; `None` when the id is unknown.
+pub fn analyze_flow(set: &FlowSet, cfg: &AnalysisConfig, id: FlowId) -> Option<FlowReport> {
+    let idx = set.index_of(id)?;
+    match Analyzer::new(set, cfg) {
+        Ok(an) => Some(an.report(idx)),
+        Err(verdict) => {
+            let f = set.flow(id)?;
+            Some(FlowReport {
+                flow: f.id,
+                name: f.name.clone(),
+                wcrt: verdict,
+                jitter: None,
+                deadline: f.deadline,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::{line_topology, paper_example};
+    use traj_model::{Network, Path};
+
+    #[test]
+    fn paper_example_default_bounds() {
+        // Faithful Property 2 with the sound recursive Smax (see
+        // EXPERIMENTS.md: the published Table 2 used a cruder accounting;
+        // our bounds are tighter and simulation-validated).
+        let set = paper_example();
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        assert_eq!(
+            report.bounds(),
+            vec![Some(31), Some(37), Some(47), Some(47), Some(40)]
+        );
+        assert!(report.all_schedulable());
+    }
+
+    #[test]
+    fn paper_calibrated_bounds_bracket_table2() {
+        let set = paper_example();
+        let report = analyze_all(&set, &AnalysisConfig::paper_calibrated());
+        let bounds: Vec<i64> = report.bounds().into_iter().map(|b| b.unwrap()).collect();
+        // Still schedulable, never tighter than the default mode.
+        let def = analyze_all(&set, &AnalysisConfig::default());
+        for (b, d) in bounds.iter().zip(def.bounds()) {
+            assert!(*b >= d.unwrap());
+        }
+        assert!(report.all_schedulable());
+        // tau_1 matches the paper exactly in every mode.
+        assert_eq!(bounds[0], 31);
+    }
+
+    #[test]
+    fn single_flow_has_transit_bound() {
+        // One flow alone: R = Σ C + (q-1) Lmax + J.
+        let set = line_topology(1, 4, 100, 5, 1, 2);
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        assert_eq!(report.bounds(), vec![Some(4 * 5 + 3 * 2)]);
+    }
+
+    #[test]
+    fn single_node_flows_reduce_to_busy_period_analysis() {
+        // n flows sharing one node: FIFO worst case for the packet under
+        // study is all other flows' packets ahead of it plus its own.
+        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        for b in report.bounds() {
+            assert_eq!(b, Some(21));
+        }
+    }
+
+    #[test]
+    fn overload_is_reported_not_looped() {
+        // Utilisation 3 * 50/100 = 1.5 on every node.
+        let set = line_topology(3, 3, 100, 50, 1, 1);
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        assert_eq!(report.misses(), 3);
+        for r in report.per_flow() {
+            assert!(!r.wcrt.is_bounded());
+        }
+    }
+
+    #[test]
+    fn jitter_shifts_the_domain_and_the_bound() {
+        let net = Network::uniform(2, 1, 1).unwrap();
+        let mk = |jit| {
+            let f = traj_model::SporadicFlow::uniform(
+                1,
+                Path::from_ids([1, 2]).unwrap(),
+                100,
+                5,
+                jit,
+                1000,
+            )
+            .unwrap();
+            FlowSet::new(net.clone(), vec![f]).unwrap()
+        };
+        let r0 = analyze_all(&mk(0), &AnalysisConfig::default());
+        let r9 = analyze_all(&mk(9), &AnalysisConfig::default());
+        // Alone, the jittered flow still completes within transit time of
+        // its *latest* release, measured from generation: +J.
+        assert_eq!(r0.bounds()[0], Some(11));
+        assert_eq!(r9.bounds()[0], Some(20));
+    }
+
+    #[test]
+    fn monotone_in_interference_cost() {
+        // Adding a crossing flow can only increase the bound of tau_1.
+        let base = line_topology(2, 3, 100, 4, 1, 1);
+        let more = line_topology(3, 3, 100, 4, 1, 1);
+        let cfg = AnalysisConfig::default();
+        let b0 = analyze_all(&base, &cfg).bounds()[0].unwrap();
+        let b1 = analyze_all(&more, &cfg).bounds()[0].unwrap();
+        assert!(b1 > b0);
+    }
+
+    #[test]
+    fn transit_only_mode_is_never_tighter_checked_elsewhere() {
+        // TransitOnly skips the fixed point: it must at least produce a
+        // bound on the paper example without panicking.
+        let set = paper_example();
+        let cfg = AnalysisConfig {
+            smax_mode: SmaxMode::TransitOnly,
+            ..Default::default()
+        };
+        let report = analyze_all(&set, &cfg);
+        assert!(report.per_flow().iter().all(|r| r.wcrt.is_bounded()));
+    }
+
+    #[test]
+    fn analyze_flow_single() {
+        let set = paper_example();
+        let r = analyze_flow(&set, &AnalysisConfig::default(), FlowId(1)).unwrap();
+        assert_eq!(r.wcrt, Verdict::Bounded(31));
+        assert!(analyze_flow(&set, &AnalysisConfig::default(), FlowId(99)).is_none());
+    }
+}

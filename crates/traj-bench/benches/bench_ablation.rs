@@ -1,0 +1,55 @@
+//! Criterion bench for E11: cost of the interpretation knobs (Smax fixed
+//! point vs transit-only seed, reverse-flow counting) and of the EF
+//! non-preemption analysis (Property 3 vs Property 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traj_analysis::{analyze_all, analyze_ef, AnalysisConfig, ReverseCounting, SmaxMode};
+use traj_model::examples::{paper_example, paper_example_with_best_effort};
+
+fn bench_smax_modes(c: &mut Criterion) {
+    let set = paper_example();
+    let mut g = c.benchmark_group("ablation/smax");
+    g.bench_function("recursive_prefix", |b| {
+        let cfg = AnalysisConfig::default();
+        b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
+    });
+    g.bench_function("transit_only", |b| {
+        let cfg = AnalysisConfig { smax_mode: SmaxMode::TransitOnly, ..Default::default() };
+        b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_reverse_counting(c: &mut Criterion) {
+    let set = paper_example();
+    let mut g = c.benchmark_group("ablation/reverse");
+    for (name, rc) in [
+        ("per_flow", ReverseCounting::PerFlow),
+        ("per_crossing_node", ReverseCounting::PerCrossingNode),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = AnalysisConfig { reverse_counting: rc, ..Default::default() };
+            b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ef(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ef");
+    let pure = paper_example();
+    let mixed = paper_example_with_best_effort(9);
+    g.bench_function("property2_pure", |b| {
+        let cfg = AnalysisConfig::default();
+        b.iter(|| black_box(analyze_all(black_box(&pure), &cfg)))
+    });
+    g.bench_function("property3_with_best_effort", |b| {
+        let cfg = AnalysisConfig::default();
+        b.iter(|| black_box(analyze_ef(black_box(&mixed), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smax_modes, bench_reverse_counting, bench_ef);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E10: how the analyses scale with flow count and
+//! path length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_analysis::{analyze_all, AnalysisConfig};
+use traj_holistic::{analyze_holistic, HolisticConfig};
+use traj_model::examples::line_topology;
+use traj_model::gen::{random_mesh, MeshParams};
+
+fn bench_flow_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability/flows");
+    for n in [5u32, 10, 20, 40] {
+        let set = random_mesh(
+            1,
+            &MeshParams {
+                flows: n,
+                nodes: 20,
+                max_utilisation: 0.7,
+                ..Default::default()
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("trajectory", n), &set, |b, s| {
+            let cfg = AnalysisConfig::default();
+            b.iter(|| black_box(analyze_all(s, &cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("holistic", n), &set, |b, s| {
+            let cfg = HolisticConfig::default();
+            b.iter(|| black_box(analyze_holistic(s, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability/hops");
+    for hops in [2u32, 4, 8, 16] {
+        let set = line_topology(8, hops, 200, 3, 1, 2);
+        g.bench_with_input(BenchmarkId::new("trajectory", hops), &set, |b, s| {
+            let cfg = AnalysisConfig::default();
+            b.iter(|| black_box(analyze_all(s, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_count, bench_path_length);
+criterion_main!(benches);

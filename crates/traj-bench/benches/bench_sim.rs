@@ -1,0 +1,41 @@
+//! Criterion bench for the simulator substrate: event throughput of the
+//! FIFO and DiffServ node models, and one adversarial-search step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_model::examples::{paper_example, paper_example_with_best_effort};
+use traj_sim::{SchedulerKind, SimConfig, Simulator};
+
+fn bench_fifo_sim(c: &mut Criterion) {
+    let set = paper_example();
+    let mut g = c.benchmark_group("sim/fifo");
+    for packets in [32usize, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(packets), &packets, |b, &n| {
+            let sim = Simulator::new(
+                &set,
+                SimConfig { packets_per_flow: n, ..Default::default() },
+            );
+            b.iter(|| black_box(sim.run_periodic(black_box(&[0, 5, 10, 15, 20]))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_diffserv_sim(c: &mut Criterion) {
+    let set = paper_example_with_best_effort(9);
+    let offsets: Vec<i64> = vec![0; set.len()];
+    c.bench_function("sim/diffserv_128pkt", |b| {
+        let sim = Simulator::new(
+            &set,
+            SimConfig {
+                packets_per_flow: 128,
+                scheduler: SchedulerKind::DiffServ,
+                ..Default::default()
+            },
+        );
+        b.iter(|| black_box(sim.run_periodic(black_box(&offsets))))
+    });
+}
+
+criterion_group!(benches, bench_fifo_sim, bench_diffserv_sim);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for E2: the full Table 2 pipeline on the paper example
+//! (trajectory default, paper-calibrated, holistic, network calculus).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use traj_analysis::{analyze_all, AnalysisConfig};
+use traj_holistic::{analyze_holistic, HolisticConfig};
+use traj_model::examples::paper_example;
+use traj_netcalc::analyze_netcalc;
+
+fn bench_table2(c: &mut Criterion) {
+    let set = paper_example();
+    let mut g = c.benchmark_group("table2");
+
+    g.bench_function("trajectory_default", |b| {
+        let cfg = AnalysisConfig::default();
+        b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
+    });
+    g.bench_function("trajectory_paper_calibrated", |b| {
+        let cfg = AnalysisConfig::paper_calibrated();
+        b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
+    });
+    g.bench_function("holistic", |b| {
+        let cfg = HolisticConfig::default();
+        b.iter(|| black_box(analyze_holistic(black_box(&set), &cfg)))
+    });
+    g.bench_function("netcalc", |b| {
+        b.iter(|| black_box(analyze_netcalc(black_box(&set))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E11 — Ablation of the under-specified choices in Property 2.
+//!
+//! The paper leaves `Smax`, the `M` min-set and the treatment of
+//! reverse-direction flows open (DESIGN.md §2). This binary compares all
+//! combinations on the paper example and reports the pessimism spread, as
+//! well as which combinations stay sound against the adversarial
+//! simulation.
+//!
+//! Run: `cargo run --release -p traj-bench --bin ablation`
+
+use traj_analysis::{analyze_all, AnalysisConfig, ReverseCounting, SmaxMode};
+use traj_bench::{bounds_row, render_table};
+use traj_model::examples::paper_example;
+use traj_model::MinConvention;
+use traj_sim::{adversarial_search, AdversaryParams};
+
+fn main() {
+    let set = paper_example();
+    let adv = adversarial_search(&set, &AdversaryParams { trials: 300, ..Default::default() });
+    println!(
+        "adversarial lower bounds: {:?}\n",
+        adv.observed
+    );
+
+    let mut rows = Vec::new();
+    for smax in [SmaxMode::RecursivePrefix, SmaxMode::TransitOnly] {
+        for minc in [
+            MinConvention::Visiting,
+            MinConvention::ZeroConvention,
+            MinConvention::EdgeTraversing,
+        ] {
+            for rev in [ReverseCounting::PerFlow, ReverseCounting::PerCrossingNode] {
+                let cfg = AnalysisConfig {
+                    smax_mode: smax,
+                    min_convention: minc,
+                    reverse_counting: rev,
+                    ..Default::default()
+                };
+                let rep = analyze_all(&set, &cfg);
+                let sound = rep
+                    .bounds()
+                    .iter()
+                    .zip(&adv.observed)
+                    .all(|(b, &o)| b.map(|b| o <= b).unwrap_or(true));
+                let mut row = vec![
+                    format!("{smax:?}"),
+                    format!("{minc:?}"),
+                    format!("{rev:?}"),
+                ];
+                row.extend(bounds_row(&rep));
+                row.push(if sound { "ok".into() } else { "UNSOUND".into() });
+                rows.push(row);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: Property 2 interpretation knobs on the paper example",
+            &["smax", "M-min", "reverse", "t1", "t2", "t3", "t4", "t5", "sound?"],
+            &rows,
+        )
+    );
+    println!(
+        "published Table 2 row: {:?} (not reproducible from the literal formulas; \
+         see EXPERIMENTS.md)",
+        traj_model::examples::PAPER_TABLE2_TRAJECTORY
+    );
+}

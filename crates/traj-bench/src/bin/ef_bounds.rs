@@ -1,0 +1,60 @@
+//! E6 — Property 3 on the EF class: non-preemption penalty sweep.
+//!
+//! The paper's §6 applies the FIFO analysis to the DiffServ EF class with
+//! the extra non-preemption term δᵢ (Lemma 4). This binary sweeps the
+//! size of the largest lower-priority (best-effort) packet and reports,
+//! per EF flow: δᵢ, the Property 3 bound, and the simulated worst case on
+//! Figure 3 routers.
+//!
+//! Run: `cargo run --release -p traj-bench --bin ef_bounds`
+
+use traj_analysis::{analyze_ef, nonpreemption_delta, AnalysisConfig};
+use traj_bench::render_table;
+use traj_diffserv::DiffServDomain;
+use traj_model::examples::{paper_example, paper_example_with_best_effort};
+
+fn main() {
+    let cfg = AnalysisConfig::default();
+
+    // Reference: pure EF (paper §4 analysis).
+    let pure = traj_analysis::analyze_all(&paper_example(), &cfg);
+    println!("pure FIFO bounds (no lower-priority traffic):");
+    for r in pure.per_flow() {
+        println!("  {}: R = {:?}", r.name, r.wcrt.value().unwrap());
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for be_cost in [1i64, 2, 4, 8, 16, 32, 64] {
+        let set = paper_example_with_best_effort(be_cost);
+        let rep = analyze_ef(&set, &cfg);
+        let dom = DiffServDomain::new(set.clone());
+        let sim = dom.simulator(24);
+        let out = sim.run_periodic(&vec![0; set.len()]);
+
+        for (i, r) in rep.per_flow().iter().enumerate() {
+            let flow = set.flow(r.flow).unwrap();
+            let delta = nonpreemption_delta(&set, flow, &flow.path);
+            let bound = r.wcrt.value().unwrap();
+            let observed = out.flows[i].max_response;
+            assert!(observed <= bound, "{}: {} > {}", r.name, observed, bound);
+            rows.push(vec![
+                be_cost.to_string(),
+                r.name.clone(),
+                delta.to_string(),
+                bound.to_string(),
+                observed.to_string(),
+                if r.meets_deadline() == Some(true) { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "EF bounds vs best-effort packet size (Property 3 / Lemma 4)",
+            &["C_be", "flow", "delta_i", "bound", "sim", "meets D"],
+            &rows,
+        )
+    );
+    println!("(sim = worst response over synchronous release on Figure 3 routers)");
+}

@@ -1,0 +1,77 @@
+//! E7 — Trajectory vs holistic improvement across random topologies.
+//!
+//! The paper claims a > 25 % improvement on its example. This binary
+//! measures the improvement distribution over randomised meshes and
+//! parking-lot topologies (the canonical holistic worst case, where
+//! jitter accumulates along a shared trunk).
+//!
+//! Run: `cargo run --release -p traj-bench --bin improvement`
+
+use traj_analysis::{analyze_all, AnalysisConfig};
+use traj_bench::render_table;
+use traj_holistic::{analyze_holistic, HolisticConfig};
+use traj_model::examples::paper_example;
+use traj_model::gen::{parking_lot, random_mesh, MeshParams};
+
+fn improvement(set: &traj_model::FlowSet) -> Option<f64> {
+    let t = analyze_all(set, &AnalysisConfig::default());
+    let h = analyze_holistic(set, &HolisticConfig::default());
+    let ts: Option<i64> = t.bounds().into_iter().sum();
+    let hs: Option<i64> = h.bounds().into_iter().sum();
+    match (ts, hs) {
+        (Some(ts), Some(hs)) if hs > 0 => Some(1.0 - ts as f64 / hs as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let paper = improvement(&paper_example()).unwrap();
+    rows.push(vec!["paper example".into(), "-".into(), format!("{:.1}%", 100.0 * paper)]);
+
+    // Parking lots: deeper trunks => more holistic jitter accumulation.
+    for trunk in [3u32, 5, 8, 12] {
+        let set = parking_lot(7, 6, trunk, 120, 4);
+        if let Some(imp) = improvement(&set) {
+            rows.push(vec![
+                format!("parking lot, trunk {trunk}"),
+                format!("{} flows", set.len()),
+                format!("{:.1}%", 100.0 * imp),
+            ]);
+        }
+    }
+
+    // Random meshes at growing utilisation.
+    for (label, max_u) in [("light", 0.3), ("medium", 0.5), ("heavy", 0.7)] {
+        let mut imps = Vec::new();
+        for seed in 0..20u64 {
+            let set = random_mesh(
+                seed,
+                &MeshParams { flows: 8, nodes: 10, max_utilisation: max_u, ..Default::default() },
+            );
+            if let Some(imp) = improvement(&set) {
+                imps.push(imp);
+            }
+        }
+        if !imps.is_empty() {
+            let mean = imps.iter().sum::<f64>() / imps.len() as f64;
+            let max = imps.iter().cloned().fold(f64::MIN, f64::max);
+            rows.push(vec![
+                format!("random mesh ({label}, u<={max_u})"),
+                format!("{} sets", imps.len()),
+                format!("mean {:.1}%, max {:.1}%", 100.0 * mean, 100.0 * max),
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Trajectory improvement over holistic (sum of WCRT bounds)",
+            &["workload", "size", "improvement"],
+            &rows,
+        )
+    );
+    println!("paper's claim on its example: > 25% - ours: {:.1}%", 100.0 * paper);
+}

@@ -1,0 +1,104 @@
+//! E1/E2 — Regenerates the paper's Tables 1 and 2.
+//!
+//! Prints the flow parameters (Table 1), then the worst-case end-to-end
+//! response times under: the faithful trajectory analysis (Property 2,
+//! default config), the paper-calibrated pessimistic mode, the holistic
+//! baseline, the per-hop network-calculus baseline, plus the paper's
+//! published rows and the adversarial-simulation lower bound.
+//!
+//! Run: `cargo run --release -p traj-bench --bin table2`
+
+use traj_analysis::{analyze_all, AnalysisConfig};
+use traj_bench::{bounds_row, render_table};
+use traj_holistic::{analyze_holistic, HolisticConfig};
+use traj_model::examples::{
+    paper_example, PAPER_TABLE2_HOLISTIC, PAPER_TABLE2_TRAJECTORY,
+};
+use traj_netcalc::analyze_netcalc;
+use traj_sim::{adversarial_search, AdversaryParams};
+
+fn main() {
+    let set = paper_example();
+
+    // Table 1: inputs.
+    let mut rows = Vec::new();
+    for f in set.flows() {
+        rows.push(vec![
+            f.name.clone(),
+            format!("{}", f.path),
+            f.period.to_string(),
+            f.max_cost().to_string(),
+            f.jitter.to_string(),
+            f.deadline.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 1 - flow parameters (T=36, C=4, J=0, Lmin=Lmax=1)",
+            &["flow", "path", "T", "C", "J", "D"],
+            &rows,
+        )
+    );
+
+    // Table 2: bounds.
+    let traj = analyze_all(&set, &AnalysisConfig::default());
+    let calib = analyze_all(&set, &AnalysisConfig::paper_calibrated());
+    let hol = analyze_holistic(&set, &HolisticConfig::default());
+    let nc = analyze_netcalc(&set);
+    let adv = adversarial_search(&set, &AdversaryParams { trials: 400, ..Default::default() });
+
+    let names: Vec<&str> = vec!["tau_1", "tau_2", "tau_3", "tau_4", "tau_5"];
+    let mut header = vec!["method"];
+    header.extend(names.iter().copied());
+    let fmt_row = |label: &str, vals: Vec<String>| {
+        let mut r = vec![label.to_string()];
+        r.extend(vals);
+        r
+    };
+    let rows = vec![
+        fmt_row("trajectory (ours, Property 2)", bounds_row(&traj)),
+        fmt_row("trajectory (paper-calibrated mode)", bounds_row(&calib)),
+        fmt_row(
+            "trajectory (paper, published)",
+            PAPER_TABLE2_TRAJECTORY.iter().map(|v| v.to_string()).collect(),
+        ),
+        fmt_row("holistic (ours)", bounds_row(&hol)),
+        fmt_row(
+            "holistic (paper, published)",
+            PAPER_TABLE2_HOLISTIC.iter().map(|v| v.to_string()).collect(),
+        ),
+        fmt_row(
+            "network calculus (per-hop)",
+            nc.iter()
+                .map(|r| r.total.map(|v| v.to_string()).unwrap_or("unstable".into()))
+                .collect(),
+        ),
+        fmt_row(
+            "simulation (adversarial, lower bd)",
+            adv.observed.iter().map(|v| v.to_string()).collect(),
+        ),
+        fmt_row(
+            "deadline D_i",
+            set.flows().iter().map(|f| f.deadline.to_string()).collect(),
+        ),
+    ];
+    println!("{}", render_table("Table 2 - worst-case end-to-end response times", &header, &rows));
+
+    // Verdicts, as in the paper's discussion.
+    println!(
+        "trajectory: {} flows meet their deadline; holistic: {} do.",
+        set.len() - traj.misses(),
+        set.len() - hol.misses()
+    );
+    let ts: i64 = traj.bounds().iter().map(|b| b.unwrap()).sum();
+    let hs: i64 = hol.bounds().iter().map(|b| b.unwrap()).sum();
+    println!(
+        "aggregate improvement of trajectory over holistic: {:.1}% (paper claims > 25%)",
+        100.0 * (1.0 - ts as f64 / hs as f64)
+    );
+    for (row, b) in adv.observed.iter().zip(traj.bounds()) {
+        assert!(*row <= b.unwrap(), "soundness violated");
+    }
+    println!("soundness: observed <= trajectory bound for all flows  [ok]");
+}

@@ -1,0 +1,55 @@
+//! E9 — Utilisation sweep: where each analysis stops producing bounds.
+//!
+//! Flows share a line of `HOPS` nodes; per-node utilisation grows with
+//! the flow count. The sweep reports, per utilisation point, the bound of
+//! the observed flow under: trajectory, holistic, per-hop network
+//! calculus, and the Charny–Le Boudec closed form (whose validity ends at
+//! `ν = 1/(H−1)` — the crossover the paper's related-work section cites).
+//!
+//! Run: `cargo run --release -p traj-bench --bin utilization_sweep`
+
+use traj_analysis::{analyze_all, AnalysisConfig};
+use traj_bench::render_table;
+use traj_holistic::{analyze_holistic, HolisticConfig};
+use traj_model::examples::line_topology;
+use traj_netcalc::{analyze_netcalc, charny_le_boudec_bound, CharnyParams};
+
+const HOPS: u32 = 5;
+const PERIOD: i64 = 240;
+const COST: i64 = 4;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n_flows in [1u32, 3, 6, 9, 12, 15, 20, 30, 40, 50, 58] {
+        let set = line_topology(n_flows, HOPS, PERIOD, COST, 1, 1);
+        let u = set.max_utilisation();
+
+        let traj = analyze_all(&set, &AnalysisConfig::default());
+        let hol = analyze_holistic(&set, &HolisticConfig::default());
+        let nc = analyze_netcalc(&set);
+        let charny = charny_le_boudec_bound(&CharnyParams::from_flow_set(&set));
+
+        let s = |b: Option<i64>| b.map(|v| v.to_string()).unwrap_or("-".into());
+        rows.push(vec![
+            format!("{:.3}", u),
+            s(traj.bounds()[0]),
+            s(hol.bounds()[0]),
+            s(nc[0].total),
+            s(charny),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "WCRT bound of one flow on a {HOPS}-hop shared line (T={PERIOD}, C={COST}); \
+                 Charny validity ends at u = 1/{} = {:.2}",
+                HOPS - 1,
+                1.0 / (HOPS - 1) as f64
+            ),
+            &["util", "trajectory", "holistic", "netcalc", "charny"],
+            &rows,
+        )
+    );
+    println!("'-' = no bound (analysis diverged or outside validity region)");
+}

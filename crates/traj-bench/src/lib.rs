@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark binaries and criterion benches: table
+//! rendering and the experiment definitions of EXPERIMENTS.md.
+
+use traj_analysis::SetReport;
+use traj_model::FlowSet;
+
+/// Renders a compact ASCII table: header row plus one row per flow.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a [`SetReport`] row for table rendering (bound or `unbounded`).
+pub fn bounds_row(report: &SetReport) -> Vec<String> {
+    report
+        .per_flow()
+        .iter()
+        .map(|r| match r.wcrt.value() {
+            Some(v) => v.to_string(),
+            None => "unbounded".into(),
+        })
+        .collect()
+}
+
+/// Flow display names for a header.
+pub fn flow_names(set: &FlowSet) -> Vec<String> {
+    set.flows().iter().map(|f| f.name.clone()).collect()
+}
+
+/// Sum of finite bounds; `None` when any flow is unbounded.
+pub fn bound_sum(report: &SetReport) -> Option<i64> {
+    report.bounds().into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_analysis::{analyze_all, AnalysisConfig};
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["flow", "R"],
+            &[vec!["tau_1".into(), "31".into()], vec!["tau_22".into(), "7".into()]],
+        );
+        assert!(t.contains("tau_22"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn bound_sum_on_paper_example() {
+        let set = paper_example();
+        let rep = analyze_all(&set, &AnalysisConfig::default());
+        assert_eq!(bound_sum(&rep), Some(31 + 37 + 47 + 47 + 40));
+        assert_eq!(bounds_row(&rep)[0], "31");
+    }
+}

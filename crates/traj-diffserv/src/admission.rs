@@ -1,0 +1,199 @@
+//! Deterministic admission control for the EF class.
+//!
+//! The paper (§6.2, discussing [12]) argues that deterministic guarantees
+//! require admission control based on *worst-case* response times and
+//! jitters, not measurements. [`AdmissionController`] implements exactly
+//! that: a candidate EF flow is admitted iff, after adding it, **every**
+//! EF flow (existing and new) still meets its deadline under the
+//! Property 3 bound.
+
+use serde::{Deserialize, Serialize};
+use traj_analysis::{analyze_ef, AnalysisConfig};
+use traj_model::{FlowId, FlowSet, ModelError, SporadicFlow};
+
+/// Why a flow was rejected, or the bounds it was admitted with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Admitted; the bound computed for the new flow.
+    Admitted {
+        /// Property 3 bound of the new flow.
+        wcrt: i64,
+    },
+    /// Rejected: some flow (possibly the candidate) would miss its
+    /// deadline.
+    Rejected {
+        /// The first flow that would miss, with its bound (`None` when
+        /// the analysis diverged).
+        victim: FlowId,
+        /// The offending bound.
+        wcrt: Option<i64>,
+    },
+    /// Rejected: the candidate is malformed for this network.
+    Invalid(String),
+}
+
+/// Stateful admission controller for a DiffServ domain.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    current: FlowSet,
+    cfg: AnalysisConfig,
+}
+
+impl AdmissionController {
+    /// Starts from an existing (already guaranteed) flow set.
+    pub fn new(current: FlowSet, cfg: AnalysisConfig) -> Self {
+        AdmissionController { current, cfg }
+    }
+
+    /// The current flow set.
+    pub fn flows(&self) -> &FlowSet {
+        &self.current
+    }
+
+    /// Tries to admit `candidate`; on success the controller's state is
+    /// updated.
+    pub fn try_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
+        let cand_id = candidate.id;
+        let mut flows: Vec<SporadicFlow> = self.current.flows().to_vec();
+        flows.push(candidate);
+        let tentative = match FlowSet::new(self.current.network().clone(), flows) {
+            Ok(s) => s,
+            Err(e @ ModelError::DuplicateFlowId { .. })
+            | Err(e @ ModelError::UnknownNode { .. }) => {
+                return AdmissionDecision::Invalid(e.to_string())
+            }
+            Err(e) => return AdmissionDecision::Invalid(e.to_string()),
+        };
+        let report = analyze_ef(&tentative, &self.cfg);
+        for r in report.per_flow() {
+            if r.meets_deadline() != Some(true) {
+                return AdmissionDecision::Rejected {
+                    victim: r.flow,
+                    wcrt: r.wcrt.value(),
+                };
+            }
+        }
+        let wcrt = report
+            .for_flow(cand_id)
+            .and_then(|r| r.wcrt.value())
+            .expect("candidate is EF or analysis covered it");
+        self.current = tentative;
+        AdmissionDecision::Admitted { wcrt }
+    }
+
+    /// Removes a flow (session teardown); `true` when it existed.
+    pub fn release(&mut self, id: FlowId) -> bool {
+        let flows: Vec<SporadicFlow> = self
+            .current
+            .flows()
+            .iter()
+            .filter(|f| f.id != id)
+            .cloned()
+            .collect();
+        if flows.len() == self.current.len() {
+            return false;
+        }
+        if flows.is_empty() {
+            return false; // keep the last flow; FlowSet cannot be empty
+        }
+        self.current = FlowSet::new(self.current.network().clone(), flows)
+            .expect("removal keeps the set valid");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+    use traj_model::Path;
+
+    fn candidate(id: u32, period: i64, deadline: i64) -> SporadicFlow {
+        SporadicFlow::uniform(
+            id,
+            Path::from_ids([2, 3, 4]).unwrap(),
+            period,
+            4,
+            0,
+            deadline,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admits_light_flow() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        match ac.try_admit(candidate(10, 360, 200)) {
+            AdmissionDecision::Admitted { wcrt } => assert!(wcrt <= 200),
+            other => panic!("expected admission, got {other:?}"),
+        }
+        assert_eq!(ac.flows().len(), 6);
+    }
+
+    #[test]
+    fn rejects_when_existing_flow_would_miss() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        // A heavy flow on the shared trunk pushes someone past a deadline.
+        let heavy = SporadicFlow::uniform(
+            11,
+            Path::from_ids([2, 3, 4, 7]).unwrap(),
+            36,
+            12,
+            0,
+            10_000,
+        )
+        .unwrap();
+        match ac.try_admit(heavy) {
+            AdmissionDecision::Rejected { .. } => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(ac.flows().len(), 5, "state unchanged on rejection");
+    }
+
+    #[test]
+    fn rejects_candidate_missing_its_own_deadline() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        match ac.try_admit(candidate(12, 360, 5)) {
+            AdmissionDecision::Rejected { victim, .. } => assert_eq!(victim, FlowId(12)),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_id_is_invalid() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        match ac.try_admit(candidate(1, 360, 200)) {
+            AdmissionDecision::Invalid(msg) => assert!(msg.contains("duplicate")),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert!(ac.release(FlowId(10)));
+        assert!(!ac.release(FlowId(10)));
+        assert_eq!(ac.flows().len(), 5);
+    }
+
+    #[test]
+    fn admission_fills_up_then_rejects() {
+        // Keep admitting identical light flows until rejection: the
+        // controller must reject in finite time (capacity is finite).
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut admitted = 0;
+        for id in 100..200 {
+            match ac.try_admit(candidate(id, 72, 60)) {
+                AdmissionDecision::Admitted { .. } => admitted += 1,
+                AdmissionDecision::Rejected { .. } => break,
+                AdmissionDecision::Invalid(m) => panic!("unexpected invalid: {m}"),
+            }
+        }
+        assert!(admitted >= 1, "at least one light flow fits");
+        assert!(admitted < 100, "capacity is finite");
+    }
+}

@@ -1,0 +1,225 @@
+//! Delay estimation for the Assured Forwarding classes.
+//!
+//! The paper only bounds the EF class; AF traffic receives a *bandwidth
+//! share*, not a hard deadline. Still, a DiffServ operator dimensioning a
+//! domain wants per-class delay estimates. This module derives them with
+//! the network-calculus residual-service construction: at each node, the
+//! EF aggregate (strictly higher priority) plus the AF classes of higher
+//! weight are subtracted from the unit-rate server; the class's aggregate
+//! then crosses the residual rate-latency curve.
+//!
+//! These are *estimates under the SFQ weight model* (documented
+//! approximation), not the deterministic Property 3 guarantees — which is
+//! exactly the service differentiation the DiffServ architecture intends.
+
+use serde::{Deserialize, Serialize};
+use traj_model::flow::TrafficClass;
+use traj_model::{Duration, FlowSet, NodeId};
+use traj_netcalc::curves::{delay_bound, output_curve, ArrivalCurve, ServiceCurve};
+use traj_netcalc::Ratio;
+
+/// Per-class end-to-end delay estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AfDelayEstimate {
+    /// The AF class (1..=4), or `None` for best effort.
+    pub class: Option<u8>,
+    /// Per-flow end-to-end estimates `(flow index, ticks)`; `None` when
+    /// some node's residual service is saturated.
+    pub per_flow: Vec<(usize, Option<Duration>)>,
+}
+
+/// Estimates end-to-end delays for every non-EF flow.
+///
+/// Priority model: EF preempts (up to one packet, ignored here — the
+/// residual is an estimate), AF classes 1..4 rank above best effort, and
+/// within the lower band classes share by SFQ weight; a class's residual
+/// subtracts everything ranked at or above it.
+pub fn af_delay_estimates(set: &FlowSet) -> Vec<AfDelayEstimate> {
+    let mut classes: Vec<Option<u8>> = set
+        .non_ef_flows()
+        .map(|f| match f.class {
+            TrafficClass::Af(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+
+    classes
+        .into_iter()
+        .map(|class| {
+            let per_flow = set
+                .flows()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| match (&f.class, class) {
+                    (TrafficClass::Af(c), Some(k)) => *c == k,
+                    (TrafficClass::BestEffort, None) => true,
+                    _ => false,
+                })
+                .map(|(idx, f)| {
+                    let mut total = Ratio::ZERO;
+                    let mut cur = ArrivalCurve::sporadic(f.max_cost(), f.period, f.jitter);
+                    let mut ok = true;
+                    for &h in f.path.nodes() {
+                        match residual_at(set, h, class) {
+                            Some(beta) => match delay_bound(&agg_class(set, h, class, idx, &cur), &beta) {
+                                Some(d) => {
+                                    total = total + d;
+                                    if let Some(out) = output_curve(&cur, &beta) {
+                                        cur = out;
+                                    }
+                                }
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            },
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    let links: i64 = f
+                        .path
+                        .links()
+                        .map(|(a, b)| set.network().link_delay(a, b).lmax)
+                        .sum();
+                    (idx, ok.then(|| total.ceil() + links))
+                })
+                .collect();
+            AfDelayEstimate { class, per_flow }
+        })
+        .collect()
+}
+
+/// Residual rate-latency service left for `class` at `node` after EF and
+/// higher-ranked classes.
+fn residual_at(set: &FlowSet, node: NodeId, class: Option<u8>) -> Option<ServiceCurve> {
+    let higher = |f: &traj_model::SporadicFlow| -> bool {
+        match (&f.class, class) {
+            (TrafficClass::Ef, _) => true,
+            (TrafficClass::Af(c), Some(k)) => *c < k,
+            (TrafficClass::Af(_), None) => true, // all AF above best effort
+            _ => false,
+        }
+    };
+    let mut cross = ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO };
+    for f in set.flows() {
+        if f.path.visits(node) && higher(f) {
+            cross = cross.aggregate(&ArrivalCurve::sporadic(
+                f.cost_at(node),
+                f.period,
+                f.jitter,
+            ));
+        }
+    }
+    ServiceCurve::constant_rate(Ratio::ONE).residual(&cross)
+}
+
+/// Aggregate of the class's own flows at a node (the flow under study
+/// uses its accumulated curve `cur`).
+fn agg_class(
+    set: &FlowSet,
+    node: NodeId,
+    class: Option<u8>,
+    me: usize,
+    cur: &ArrivalCurve,
+) -> ArrivalCurve {
+    let mut agg = *cur;
+    for (idx, f) in set.flows().iter().enumerate() {
+        if idx == me || !f.path.visits(node) {
+            continue;
+        }
+        let same = match (&f.class, class) {
+            (TrafficClass::Af(c), Some(k)) => *c == k,
+            (TrafficClass::BestEffort, None) => true,
+            _ => false,
+        };
+        if same {
+            agg = agg.aggregate(&ArrivalCurve::sporadic(f.cost_at(node), f.period, f.jitter));
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example_with_best_effort;
+    use traj_model::{Network, Path, SporadicFlow};
+
+    fn mixed_set() -> FlowSet {
+        let network = Network::uniform(3, 1, 1).unwrap();
+        let chain = Path::from_ids([1, 2, 3]).unwrap();
+        let flows = vec![
+            SporadicFlow::uniform(1, chain.clone(), 30, 2, 0, 60)
+                .unwrap()
+                .with_class(TrafficClass::Ef),
+            SporadicFlow::uniform(2, chain.clone(), 40, 4, 0, 1_000)
+                .unwrap()
+                .with_class(TrafficClass::Af(1)),
+            SporadicFlow::uniform(3, chain.clone(), 40, 4, 0, 1_000)
+                .unwrap()
+                .with_class(TrafficClass::Af(2)),
+            SporadicFlow::uniform(4, chain, 60, 6, 0, 1_000)
+                .unwrap()
+                .with_class(TrafficClass::BestEffort),
+        ];
+        FlowSet::new(network, flows).unwrap()
+    }
+
+    #[test]
+    fn estimates_cover_all_non_ef_classes() {
+        let set = mixed_set();
+        let est = af_delay_estimates(&set);
+        let classes: Vec<Option<u8>> = est.iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![None, Some(1), Some(2)]);
+        for e in &est {
+            assert_eq!(e.per_flow.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lower_classes_see_larger_delays() {
+        let set = mixed_set();
+        let est = af_delay_estimates(&set);
+        let by_class: std::collections::HashMap<Option<u8>, i64> = est
+            .iter()
+            .map(|e| (e.class, e.per_flow[0].1.expect("stable")))
+            .collect();
+        // AF1 outranks AF2 outranks best effort.
+        assert!(by_class[&Some(1)] <= by_class[&Some(2)]);
+        assert!(by_class[&Some(2)] <= by_class[&None]);
+    }
+
+    #[test]
+    fn saturation_yields_none() {
+        // EF consumes the full rate: residual for AF vanishes.
+        let network = Network::uniform(2, 1, 1).unwrap();
+        let chain = Path::from_ids([1, 2]).unwrap();
+        let flows = vec![
+            SporadicFlow::uniform(1, chain.clone(), 10, 10, 0, 1_000)
+                .unwrap()
+                .with_class(TrafficClass::Ef),
+            SporadicFlow::uniform(2, chain, 50, 2, 0, 1_000)
+                .unwrap()
+                .with_class(TrafficClass::Af(1)),
+        ];
+        let set = FlowSet::new(network, flows).unwrap();
+        let est = af_delay_estimates(&set);
+        assert_eq!(est[0].per_flow[0].1, None);
+    }
+
+    #[test]
+    fn paper_example_best_effort_estimates_exist() {
+        let set = paper_example_with_best_effort(4);
+        let est = af_delay_estimates(&set);
+        assert_eq!(est.len(), 1); // only best effort
+        for (_, d) in &est[0].per_flow {
+            let d = d.expect("light BE load is stable");
+            assert!(d > 0);
+        }
+    }
+}

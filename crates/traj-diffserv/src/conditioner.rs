@@ -1,0 +1,139 @@
+//! Token-bucket traffic conditioning at the domain boundary.
+//!
+//! RFC 2598 grants EF guarantees "up to a negotiated rate": ingress
+//! routers police or shape each flow against a token bucket. The bucket
+//! here is exact-integer: `rate_num / rate_den` tokens per tick (tokens
+//! are work units), capacity `burst`.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{SporadicFlow, Tick};
+
+/// An integer-exact token bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Tokens gained per `rate_den` ticks.
+    pub rate_num: i64,
+    /// Denominator of the rate.
+    pub rate_den: i64,
+    /// Bucket capacity.
+    pub burst: i64,
+    /// Current level, scaled by `rate_den` to stay integral.
+    level_scaled: i64,
+    /// Last update instant.
+    last: Tick,
+}
+
+impl TokenBucket {
+    /// A bucket with rate `rate_num/rate_den` tokens per tick and the
+    /// given capacity, initially full.
+    pub fn new(rate_num: i64, rate_den: i64, burst: i64) -> TokenBucket {
+        assert!(rate_num > 0 && rate_den > 0 && burst > 0);
+        TokenBucket { rate_num, rate_den, burst, level_scaled: burst * rate_den, last: 0 }
+    }
+
+    /// The bucket dimensioned for a sporadic flow: sustained rate `C/T`,
+    /// burst one packet plus the jitter allowance (matching the arrival
+    /// curve of `traj-netcalc`).
+    pub fn for_flow(f: &SporadicFlow) -> TokenBucket {
+        let c = f.max_cost();
+        // burst = C + ceil(C*J/T)
+        let extra = (c * f.jitter + f.period - 1) / f.period;
+        TokenBucket::new(c, f.period, c + extra)
+    }
+
+    fn refill(&mut self, now: Tick) {
+        assert!(now >= self.last, "time moves forward");
+        let gained = (now - self.last) * self.rate_num;
+        self.level_scaled = (self.level_scaled + gained).min(self.burst * self.rate_den);
+        self.last = now;
+    }
+
+    /// Polices a packet of `size` work units arriving at `now`: consumes
+    /// tokens and returns `true` when conformant, or returns `false`
+    /// (tokens untouched) when the packet would overdraw the bucket.
+    pub fn police(&mut self, now: Tick, size: i64) -> bool {
+        self.refill(now);
+        let need = size * self.rate_den;
+        if self.level_scaled >= need {
+            self.level_scaled -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shapes a packet of `size` arriving at `now`: returns the earliest
+    /// instant it may be forwarded (tokens consumed at that instant).
+    pub fn shape(&mut self, now: Tick, size: i64) -> Tick {
+        self.refill(now);
+        let need = size * self.rate_den;
+        if self.level_scaled >= need {
+            self.level_scaled -= need;
+            return now;
+        }
+        let deficit = need - self.level_scaled;
+        // ceil(deficit / rate_num) ticks until enough tokens.
+        let wait = (deficit + self.rate_num - 1) / self.rate_num;
+        self.level_scaled += wait * self.rate_num - need;
+        self.last = now + wait;
+        now + wait
+    }
+
+    /// Current token level (floored).
+    pub fn level(&self) -> i64 {
+        self.level_scaled / self.rate_den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::Path;
+
+    #[test]
+    fn conformant_stream_passes() {
+        // rate 1/9 per tick (C=4, T=36), burst 4.
+        let mut tb = TokenBucket::new(4, 36, 4);
+        for k in 0..50 {
+            assert!(tb.police(k * 36, 4), "packet {k}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_burst_rejected() {
+        let mut tb = TokenBucket::new(4, 36, 4);
+        assert!(tb.police(0, 4));
+        assert!(!tb.police(1, 4), "second packet one tick later must overdraw");
+        // After a full period the bucket has refilled.
+        assert!(tb.police(37, 4));
+    }
+
+    #[test]
+    fn shaping_delays_to_conformance() {
+        let mut tb = TokenBucket::new(4, 36, 4);
+        assert_eq!(tb.shape(0, 4), 0);
+        // Needs 4 tokens = 36 ticks at 4/36.
+        assert_eq!(tb.shape(0, 4), 36);
+        assert_eq!(tb.shape(36, 4), 72);
+    }
+
+    #[test]
+    fn for_flow_matches_curve_parameters() {
+        let f = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 36, 4, 9, 99)
+            .unwrap();
+        let tb = TokenBucket::for_flow(&f);
+        assert_eq!(tb.rate_num, 4);
+        assert_eq!(tb.rate_den, 36);
+        assert_eq!(tb.burst, 5); // 4 + ceil(36/36)
+    }
+
+    #[test]
+    fn level_reports_floored_tokens() {
+        let mut tb = TokenBucket::new(1, 3, 5);
+        assert_eq!(tb.level(), 5);
+        assert!(tb.police(0, 5));
+        assert_eq!(tb.level(), 0);
+        assert!(!tb.police(2, 1)); // only 2/3 token
+        assert!(tb.police(3, 1));
+    }
+}

@@ -1,0 +1,127 @@
+//! DSCP codepoints and per-hop behaviours.
+
+use serde::{Deserialize, Serialize};
+use traj_model::flow::TrafficClass;
+
+/// A Differentiated Services codepoint (6 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dscp(pub u8);
+
+impl Dscp {
+    /// Expedited Forwarding (RFC 2598): 101110.
+    pub const EF: Dscp = Dscp(0b101110);
+    /// Default / best effort: 000000.
+    pub const DEFAULT: Dscp = Dscp(0);
+
+    /// Assured Forwarding class `c ∈ 1..=4`, drop precedence `d ∈ 1..=3`
+    /// (RFC 2597): `001dd0` patterns — AFcd = `c*8 + d*2`.
+    pub fn af(class: u8, drop: u8) -> Option<Dscp> {
+        if (1..=4).contains(&class) && (1..=3).contains(&drop) {
+            Some(Dscp(class * 8 + drop * 2))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the codepoint is valid (6 bits).
+    pub fn is_valid(&self) -> bool {
+        self.0 < 64
+    }
+}
+
+/// The per-hop behaviour a codepoint selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PerHopBehaviour {
+    /// Expedited Forwarding: low latency, low drop, fixed priority.
+    Ef,
+    /// Assured Forwarding with class and drop precedence.
+    Af {
+        /// AF class 1..=4.
+        class: u8,
+        /// Drop precedence 1..=3.
+        drop: u8,
+    },
+    /// Default forwarding.
+    BestEffort,
+}
+
+impl PerHopBehaviour {
+    /// Classifies a codepoint (unknown codepoints default to best effort,
+    /// per RFC 2475 §4).
+    pub fn classify(dscp: Dscp) -> PerHopBehaviour {
+        if dscp == Dscp::EF {
+            return PerHopBehaviour::Ef;
+        }
+        for class in 1..=4u8 {
+            for drop in 1..=3u8 {
+                if Dscp::af(class, drop) == Some(dscp) {
+                    return PerHopBehaviour::Af { class, drop };
+                }
+            }
+        }
+        PerHopBehaviour::BestEffort
+    }
+
+    /// The scheduling class used by the analytical model.
+    pub fn traffic_class(&self) -> TrafficClass {
+        match self {
+            PerHopBehaviour::Ef => TrafficClass::Ef,
+            PerHopBehaviour::Af { class, .. } => TrafficClass::Af(*class),
+            PerHopBehaviour::BestEffort => TrafficClass::BestEffort,
+        }
+    }
+
+    /// The codepoint to mark packets with.
+    pub fn dscp(&self) -> Dscp {
+        match self {
+            PerHopBehaviour::Ef => Dscp::EF,
+            PerHopBehaviour::Af { class, drop } => {
+                Dscp::af(*class, *drop).expect("valid AF selector")
+            }
+            PerHopBehaviour::BestEffort => Dscp::DEFAULT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ef_codepoint_is_46() {
+        assert_eq!(Dscp::EF.0, 46);
+        assert!(Dscp::EF.is_valid());
+    }
+
+    #[test]
+    fn af_codepoints_match_rfc_2597() {
+        assert_eq!(Dscp::af(1, 1), Some(Dscp(10)));
+        assert_eq!(Dscp::af(2, 2), Some(Dscp(20)));
+        assert_eq!(Dscp::af(4, 3), Some(Dscp(38)));
+        assert_eq!(Dscp::af(0, 1), None);
+        assert_eq!(Dscp::af(5, 1), None);
+        assert_eq!(Dscp::af(1, 4), None);
+    }
+
+    #[test]
+    fn classify_roundtrips() {
+        for phb in [
+            PerHopBehaviour::Ef,
+            PerHopBehaviour::Af { class: 2, drop: 3 },
+            PerHopBehaviour::BestEffort,
+        ] {
+            assert_eq!(PerHopBehaviour::classify(phb.dscp()), phb);
+        }
+        // Unknown codepoints fall back to best effort.
+        assert_eq!(PerHopBehaviour::classify(Dscp(63)), PerHopBehaviour::BestEffort);
+    }
+
+    #[test]
+    fn traffic_class_mapping() {
+        assert_eq!(PerHopBehaviour::Ef.traffic_class(), TrafficClass::Ef);
+        assert_eq!(
+            PerHopBehaviour::Af { class: 3, drop: 1 }.traffic_class(),
+            TrafficClass::Af(3)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! DiffServ Expedited Forwarding application (paper §6).
+//!
+//! The DiffServ architecture (RFC 2475) distributes traffic over a small
+//! number of classes; packets carry a codepoint selecting a per-hop
+//! behaviour. This crate models the pieces the paper builds on:
+//!
+//! * [`dscp`] — codepoints and their mapping to per-hop behaviours
+//!   (EF — RFC 2598, the AF groups — RFC 2597, best effort);
+//! * [`conditioner`] — token-bucket traffic conditioning at the boundary
+//!   (EF guarantees hold "up to a negotiated rate");
+//! * [`router`] — the Figure 3 router: EF at fixed priority, AF/BE under
+//!   fair queueing, non-preemptive service; assembles the simulator
+//!   configuration for a DiffServ domain;
+//! * [`admission`] — deterministic admission control for the EF class
+//!   driven by Property 3 (worst-case bounds, not measurements);
+//! * [`af`] — residual-service delay estimates for the AF classes and
+//!   best effort (the bandwidth-share side of the architecture).
+
+pub mod admission;
+pub mod af;
+pub mod conditioner;
+pub mod dscp;
+pub mod router;
+
+pub use admission::{AdmissionController, AdmissionDecision};
+pub use af::{af_delay_estimates, AfDelayEstimate};
+pub use conditioner::TokenBucket;
+pub use dscp::{Dscp, PerHopBehaviour};
+pub use router::DiffServDomain;

@@ -1,0 +1,131 @@
+//! The DiffServ domain: Figure 3 routers over a flow set.
+//!
+//! A DiffServ-compliant router (paper Figure 3) classifies packets on
+//! their codepoint, serves EF at fixed priority, shares the rest of the
+//! capacity between AF and best effort under fair queueing, and never
+//! preempts an ongoing transmission. [`DiffServDomain`] ties together the
+//! model, the analytical EF bounds (Property 3) and the simulator
+//! configuration realising the same router.
+
+use serde::{Deserialize, Serialize};
+use traj_analysis::{analyze_ef, AnalysisConfig, SetReport};
+use traj_model::{FlowSet, SporadicFlow};
+use traj_sim::{SchedulerKind, SimConfig, Simulator};
+
+use crate::dscp::PerHopBehaviour;
+
+/// A DiffServ domain: a flow set where classes matter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffServDomain {
+    flows: FlowSet,
+    /// Analysis configuration for the EF bounds.
+    pub analysis: AnalysisConfig,
+}
+
+impl DiffServDomain {
+    /// Wraps a flow set as a DiffServ domain.
+    pub fn new(flows: FlowSet) -> Self {
+        DiffServDomain { flows, analysis: AnalysisConfig::default() }
+    }
+
+    /// The underlying flows.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// Classifies one flow's per-hop behaviour.
+    pub fn phb(&self, flow: &SporadicFlow) -> PerHopBehaviour {
+        match flow.class {
+            traj_model::flow::TrafficClass::Ef => PerHopBehaviour::Ef,
+            traj_model::flow::TrafficClass::Af(c) => {
+                PerHopBehaviour::Af { class: c.clamp(1, 4), drop: 1 }
+            }
+            traj_model::flow::TrafficClass::BestEffort => PerHopBehaviour::BestEffort,
+        }
+    }
+
+    /// Property 3 bounds for the EF flows of the domain.
+    pub fn ef_bounds(&self) -> SetReport {
+        analyze_ef(&self.flows, &self.analysis)
+    }
+
+    /// A simulator over the domain with Figure 3 routers.
+    pub fn simulator(&self, packets_per_flow: usize) -> Simulator<'_> {
+        Simulator::new(
+            &self.flows,
+            SimConfig {
+                scheduler: SchedulerKind::DiffServ,
+                packets_per_flow,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// EF utilisation at the busiest node (EF flows only) — the quantity
+    /// the Charny–Le Boudec validity threshold constrains.
+    pub fn ef_utilisation(&self) -> f64 {
+        self.flows
+            .network()
+            .nodes()
+            .iter()
+            .map(|&n| {
+                self.flows
+                    .ef_flows()
+                    .map(|f| f.utilisation_at(n))
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::{paper_example, paper_example_with_best_effort};
+
+    #[test]
+    fn ef_bounds_match_property3() {
+        let dom = DiffServDomain::new(paper_example_with_best_effort(9));
+        let rep = dom.ef_bounds();
+        assert_eq!(rep.per_flow().len(), 5);
+        for r in rep.per_flow() {
+            assert!(r.wcrt.is_bounded());
+        }
+    }
+
+    #[test]
+    fn simulated_ef_responses_respect_property3() {
+        let dom = DiffServDomain::new(paper_example_with_best_effort(9));
+        let bounds = dom.ef_bounds();
+        let sim = dom.simulator(16);
+        let offsets: Vec<i64> = vec![0; dom.flows().len()];
+        let out = sim.run_periodic(&offsets);
+        for (r, s) in bounds.per_flow().iter().zip(&out.flows[..5]) {
+            assert!(s.delivered > 0);
+            assert!(
+                s.max_response <= r.wcrt.value().unwrap(),
+                "flow {}: observed {} > Property 3 bound {:?}",
+                s.flow,
+                s.max_response,
+                r.wcrt
+            );
+        }
+    }
+
+    #[test]
+    fn utilisation_counts_only_ef() {
+        let pure = DiffServDomain::new(paper_example());
+        let mixed = DiffServDomain::new(paper_example_with_best_effort(9));
+        assert!((pure.ef_utilisation() - mixed.ef_utilisation()).abs() < 1e-12);
+        assert!(pure.ef_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn phb_classification_follows_flow_class() {
+        let dom = DiffServDomain::new(paper_example_with_best_effort(5));
+        let ef = dom.flows().ef_flows().next().unwrap();
+        let be = dom.flows().non_ef_flows().next().unwrap();
+        assert_eq!(dom.phb(ef), PerHopBehaviour::Ef);
+        assert_eq!(dom.phb(be), PerHopBehaviour::BestEffort);
+    }
+}

@@ -1,0 +1,367 @@
+//! The **holistic** baseline the paper compares against (§3, Table 2).
+//!
+//! The holistic approach (Tindell & Clark; Spuri) analyses each node in
+//! isolation under its local worst case and propagates the resulting
+//! response-time *jitter* to the next node:
+//!
+//! 1. on node `h`, the worst-case response time of a packet of `τᵢ` is a
+//!    FIFO busy-period analysis where every flow may release
+//!    `(1 + ⌊(t + Jⱼʰ)/Tⱼ⌋)⁺` packets no later than the studied packet;
+//! 2. the arrival jitter at the next node grows by the response-time
+//!    spread: `Jᵢ^{suc(h)} = Jᵢʰ + (Rᵢʰ − Cᵢʰ) + (Lmax − Lmin)`;
+//! 3. steps 1–2 iterate to a fixed point (crossing flows make the jitters
+//!    mutually dependent);
+//! 4. the end-to-end bound is `Σ_h Rᵢʰ + Σ_links Lmax`.
+//!
+//! Because each node assumes its *own* worst case — scenarios that cannot
+//! all happen to one packet — the result is pessimistic; quantifying that
+//! pessimism against Property 2 is exactly the paper's Table 2 experiment.
+//!
+//! The exact variant used in the paper is not specified; two pessimism
+//! knobs are exposed and the default (`NonNegative` activation domain,
+//! accumulated jitter) is the mildest sound combination, which keeps the
+//! comparison conservative *in favour of* the holistic baseline.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use traj_analysis::report::{FlowReport, SetReport, Verdict};
+use traj_analysis::terms::{BoundFunction, Window};
+use traj_model::{Duration, FlowId, FlowSet, NodeId};
+
+/// Activation-instant domain of the per-node busy-period maximisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ActivationDomain {
+    /// `t ∈ [0, B)`: the studied packet arrives at or after the busy
+    /// period start (default).
+    #[default]
+    NonNegative,
+    /// `t ∈ [-Jᵢʰ, B)`: classic Tindell domain; markedly more pessimistic
+    /// on long paths.
+    FullBusyPeriod,
+    /// `t = 0` only: evaluate the synchronous-release instant and nothing
+    /// else. **Not sound in general** (the per-node worst case can occur
+    /// later in the busy period); provided because the paper's published
+    /// holistic row appears to have been computed this way — its τ₁ = 43
+    /// and the overall all-miss verdict are reproduced by this variant at
+    /// a fraction of the pessimism of the sound domains.
+    SingleInstant,
+}
+
+/// Holistic analysis configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HolisticConfig {
+    /// Per-node activation domain.
+    pub domain: ActivationDomain,
+    /// Maximum outer fixed-point iterations before declaring divergence.
+    pub max_iterations: usize,
+    /// Busy-period guard, as in the trajectory analysis.
+    pub max_busy_period: Duration,
+}
+
+impl Default for HolisticConfig {
+    fn default() -> Self {
+        HolisticConfig {
+            domain: ActivationDomain::NonNegative,
+            max_iterations: 512,
+            max_busy_period: 10_000_000,
+        }
+    }
+}
+
+/// Per-node detail of a holistic result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeResponse {
+    /// The node.
+    pub node: NodeId,
+    /// Arrival jitter of the flow at this node after convergence.
+    pub jitter_in: Duration,
+    /// Worst-case response time on this node.
+    pub response: Duration,
+}
+
+/// Detailed holistic result for one flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HolisticFlowDetail {
+    /// The flow.
+    pub flow: FlowId,
+    /// Per-node breakdown in path order.
+    pub nodes: Vec<NodeResponse>,
+    /// Total link budget.
+    pub links: Duration,
+    /// End-to-end bound.
+    pub total: Duration,
+}
+
+/// Runs the holistic analysis on the whole set.
+pub fn analyze_holistic(set: &FlowSet, cfg: &HolisticConfig) -> SetReport {
+    match run(set, cfg) {
+        Ok(details) => SetReport::new(
+            set.flows()
+                .iter()
+                .zip(&details)
+                .map(|(f, d)| FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: Verdict::Bounded(d.total),
+                    jitter: Some(
+                        (d.total - traj_analysis::jitter::min_response(set, f)).max(0),
+                    ),
+                    deadline: f.deadline,
+                })
+                .collect(),
+        ),
+        Err(reason) => SetReport::new(
+            set.flows()
+                .iter()
+                .map(|f| FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: Verdict::unbounded(reason.clone()),
+                    jitter: None,
+                    deadline: f.deadline,
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Runs the holistic analysis and returns the per-node details.
+pub fn analyze_holistic_detailed(
+    set: &FlowSet,
+    cfg: &HolisticConfig,
+) -> Result<Vec<HolisticFlowDetail>, String> {
+    run(set, cfg)
+}
+
+fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, String> {
+    // State: per (flow, node) arrival jitter and response.
+    let mut jitter: HashMap<(FlowId, NodeId), Duration> = HashMap::new();
+    let mut response: HashMap<(FlowId, NodeId), Duration> = HashMap::new();
+    for f in set.flows() {
+        for &h in f.path.nodes() {
+            jitter.insert((f.id, h), if h == f.path.first() { f.jitter } else { 0 });
+            response.insert((f.id, h), f.cost_at(h));
+        }
+    }
+
+    for _round in 0..cfg.max_iterations {
+        let mut changed = false;
+        for f in set.flows() {
+            // 1. per-node responses under current jitters
+            for &h in f.path.nodes() {
+                let r = node_response(set, cfg, f.id, h, &jitter)
+                    .ok_or_else(|| format!("node {h} busy period diverged (overload)"))?;
+                if r > cfg.max_busy_period {
+                    return Err(format!("response of flow {} on node {h} exceeds guard", f.id));
+                }
+                let slot = response.get_mut(&(f.id, h)).expect("initialised");
+                if *slot != r {
+                    *slot = r;
+                    changed = true;
+                }
+            }
+            // 2. jitter propagation along the path
+            for (pre, h) in f.path.links() {
+                let link = set.network().link_delay(pre, h);
+                let j = jitter[&(f.id, pre)] + (response[&(f.id, pre)] - f.cost_at(pre))
+                    + link.spread();
+                if j > cfg.max_busy_period {
+                    return Err(format!(
+                        "jitter of flow {} at node {h} exceeds guard (non-convergent)",
+                        f.id
+                    ));
+                }
+                let slot = jitter.get_mut(&(f.id, h)).expect("initialised");
+                if *slot != j {
+                    *slot = j;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            // Converged: assemble details.
+            return Ok(set
+                .flows()
+                .iter()
+                .map(|f| {
+                    let nodes = f
+                        .path
+                        .nodes()
+                        .iter()
+                        .map(|&h| NodeResponse {
+                            node: h,
+                            jitter_in: jitter[&(f.id, h)],
+                            response: response[&(f.id, h)],
+                        })
+                        .collect::<Vec<_>>();
+                    let links: Duration = f
+                        .path
+                        .links()
+                        .map(|(a, b)| set.network().link_delay(a, b).lmax)
+                        .sum();
+                    let total =
+                        nodes.iter().map(|n| n.response).sum::<Duration>() + links;
+                    HolisticFlowDetail { flow: f.id, nodes, links, total }
+                })
+                .collect());
+        }
+    }
+    Err(format!(
+        "holistic fixed point did not converge within {} iterations",
+        cfg.max_iterations
+    ))
+}
+
+/// Single-node FIFO busy-period analysis under given arrival jitters.
+fn node_response(
+    set: &FlowSet,
+    cfg: &HolisticConfig,
+    flow: FlowId,
+    node: NodeId,
+    jitter: &HashMap<(FlowId, NodeId), Duration>,
+) -> Option<Duration> {
+    let me = set.flow(flow).expect("flow exists");
+    let windows: Vec<Window> = set
+        .flows()
+        .iter()
+        .filter(|j| j.path.visits(node))
+        .map(|j| Window {
+            flow: j.id,
+            a: jitter[&(j.id, node)],
+            period: j.period,
+            cost: j.cost_at(node),
+        })
+        .collect();
+    let t_lo = match cfg.domain {
+        ActivationDomain::NonNegative | ActivationDomain::SingleInstant => 0,
+        ActivationDomain::FullBusyPeriod => -jitter[&(me.id, node)],
+    };
+    let bf = BoundFunction { windows, constant: 0, t_lo };
+    if cfg.domain == ActivationDomain::SingleInstant {
+        // Evaluate t = 0 only; still guard divergence via the busy period.
+        bf.busy_period(cfg.max_busy_period)?;
+        return Some(bf.eval(0));
+    }
+    bf.maximise(cfg.max_busy_period).map(|m| m.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_analysis::{analyze_all, AnalysisConfig};
+    use traj_model::examples::{line_topology, paper_example};
+
+    #[test]
+    fn paper_example_holistic_bounds() {
+        // Calibrated reference values for the default (mildest sound)
+        // variant; the paper's published row {43,63,73,73,56} used an
+        // unspecified variant — see EXPERIMENTS.md. The verdict pattern
+        // (every flow misses its deadline) is what Table 2 demonstrates.
+        let set = paper_example();
+        let rep = analyze_holistic(&set, &HolisticConfig::default());
+        let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
+        assert_eq!(bounds, vec![43, 59, 113, 113, 80]);
+        assert_eq!(rep.misses(), 5, "the paper's point: none meets its deadline");
+    }
+
+    #[test]
+    fn single_instant_variant_tracks_the_published_row_shape() {
+        // The documented-unsound variant that matches how the paper's
+        // holistic row was evidently computed: same verdict (all miss),
+        // tau_1 = 43 exactly, and bounds between trajectory and the sound
+        // holistic domains.
+        let set = paper_example();
+        let rep = analyze_holistic(
+            &set,
+            &HolisticConfig { domain: ActivationDomain::SingleInstant, ..Default::default() },
+        );
+        let b: Vec<i64> = rep.bounds().into_iter().map(|x| x.unwrap()).collect();
+        assert_eq!(b[0], 43);
+        assert_eq!(rep.misses(), 5);
+        let sound = analyze_holistic(&set, &HolisticConfig::default());
+        for (si, s) in b.iter().zip(sound.bounds()) {
+            assert!(*si <= s.unwrap());
+        }
+    }
+
+    #[test]
+    fn full_busy_period_domain_is_more_pessimistic() {
+        let set = paper_example();
+        let mild = analyze_holistic(&set, &HolisticConfig::default());
+        let harsh = analyze_holistic(
+            &set,
+            &HolisticConfig { domain: ActivationDomain::FullBusyPeriod, ..Default::default() },
+        );
+        for (m, h) in mild.bounds().iter().zip(harsh.bounds()) {
+            assert!(h.unwrap() >= m.unwrap());
+        }
+    }
+
+    #[test]
+    fn holistic_dominates_trajectory_on_paper_example() {
+        // The central claim: trajectory <= holistic for every flow.
+        let set = paper_example();
+        let t = analyze_all(&set, &AnalysisConfig::default());
+        let h = analyze_holistic(&set, &HolisticConfig::default());
+        for (tb, hb) in t.bounds().iter().zip(h.bounds()) {
+            assert!(tb.unwrap() <= hb.unwrap());
+        }
+    }
+
+    #[test]
+    fn improvement_exceeds_25_percent() {
+        // The paper claims "> 25%" improvement; verify on our calibrated
+        // numbers.
+        let set = paper_example();
+        let t = analyze_all(&set, &AnalysisConfig::default());
+        let h = analyze_holistic(&set, &HolisticConfig::default());
+        let ts: i64 = t.bounds().iter().map(|b| b.unwrap()).sum();
+        let hs: i64 = h.bounds().iter().map(|b| b.unwrap()).sum();
+        let improvement = 1.0 - ts as f64 / hs as f64;
+        assert!(improvement > 0.25, "improvement was {improvement:.3}");
+    }
+
+    #[test]
+    fn single_node_case_agrees_with_trajectory() {
+        // With one shared node there is no jitter propagation and both
+        // methods compute the same busy-period bound.
+        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let t = analyze_all(&set, &AnalysisConfig::default());
+        let h = analyze_holistic(&set, &HolisticConfig::default());
+        assert_eq!(t.bounds(), h.bounds());
+    }
+
+    #[test]
+    fn detailed_breakdown_sums() {
+        let set = paper_example();
+        let details = analyze_holistic_detailed(&set, &HolisticConfig::default()).unwrap();
+        for d in &details {
+            let s: i64 = d.nodes.iter().map(|n| n.response).sum();
+            assert_eq!(d.total, s + d.links);
+        }
+        // flow 1: uncontended first/last node
+        assert_eq!(details[0].nodes[0].response, 4);
+        assert_eq!(details[0].nodes[3].response, 4);
+    }
+
+    #[test]
+    fn overload_reported() {
+        let set = line_topology(3, 2, 100, 50, 1, 1);
+        let rep = analyze_holistic(&set, &HolisticConfig::default());
+        assert!(rep.per_flow().iter().all(|r| !r.wcrt.is_bounded()));
+    }
+
+    #[test]
+    fn jitter_grows_along_the_path() {
+        let set = paper_example();
+        let details = analyze_holistic_detailed(&set, &HolisticConfig::default()).unwrap();
+        // flow 3 accumulates jitter monotonically.
+        let f3 = &details[2];
+        let jits: Vec<i64> = f3.nodes.iter().map(|n| n.jitter_in).collect();
+        for w in jits.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(jits.last().unwrap() > &0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Assumption 1: a flow never revisits another flow's path after leaving
+//! it.
+//!
+//! The paper requires, for every pair `(τᵢ, τⱼ)` with intersecting paths,
+//! that the nodes of `Pᵢ` visited by `τⱼ` form one *contiguous* segment of
+//! `Pᵢ`, traversed either forward or backward. When a route violates this
+//! ("leaves the path and crosses it again later"), the paper's fix is to
+//! treat the flow's later crossing as a **new flow**, iterating until the
+//! assumption holds. [`enforce_assumption1`] implements that iteration.
+//!
+//! Splitting semantics: a flow split at node `k` becomes a head flow over
+//! `path[..k]` and a tail flow over `path[k..]`. The tail inherits the
+//! period and class; its release jitter is the head's jitter plus the
+//! head's *transit spread* (`Σ (Lmax − Lmin)` over the head), which is the
+//! variability a lossless, otherwise idle network would add. Callers that
+//! need a sound jitter under load should iterate with the analysis (see
+//! `traj-analysis::ef` for how admission control does this); the split
+//! machinery deliberately stays analysis-agnostic.
+
+use crate::error::ModelError;
+use crate::flow::SporadicFlow;
+use crate::flowset::FlowSet;
+
+/// A single detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The flow that leaves and re-enters.
+    pub offender: crate::flow::FlowId,
+    /// The flow whose path is re-entered.
+    pub against: crate::flow::FlowId,
+    /// Index (in the offender's path) of the first node of the re-entry.
+    pub reentry_index: usize,
+}
+
+/// Checks Assumption 1 for the pair (`owner`, `crosser`): the positions in
+/// `owner.path` of the shared nodes, listed in `crosser`'s visiting order,
+/// must be consecutive and monotone (ascending = same direction,
+/// descending = reverse). Returns the index in `crosser.path` where the
+/// first re-entry happens, or `None` when the pair is compliant.
+pub fn first_reentry(owner: &SporadicFlow, crosser: &SporadicFlow) -> Option<usize> {
+    let mut positions: Vec<(usize, usize)> = Vec::new(); // (idx in crosser, idx in owner)
+    for (ci, n) in crosser.path.nodes().iter().enumerate() {
+        if let Some(oi) = owner.path.index_of(*n) {
+            positions.push((ci, oi));
+        }
+    }
+    if positions.len() < 2 {
+        return None;
+    }
+    // Shared visits must be contiguous in the crosser's path: a gap means
+    // the crosser left the owner's path and came back.
+    for w in positions.windows(2) {
+        let (c0, _) = w[0];
+        let (c1, _) = w[1];
+        if c1 != c0 + 1 {
+            return Some(c1);
+        }
+    }
+    // And their positions on the owner's path must be consecutive and
+    // monotone: |P_i| positions form the interval [first, last] walked
+    // forward or backward.
+    let ascending = positions[1].1 > positions[0].1;
+    for w in positions.windows(2) {
+        let (_, o0) = w[0];
+        let (c1, o1) = w[1];
+        let ok = if ascending { o1 == o0 + 1 } else { o0 == o1 + 1 };
+        if !ok {
+            return Some(c1);
+        }
+    }
+    None
+}
+
+/// Scans a flow set for Assumption 1 violations.
+pub fn violations(set: &FlowSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for owner in set.flows() {
+        for crosser in set.flows() {
+            if owner.id == crosser.id {
+                continue;
+            }
+            if let Some(reentry_index) = first_reentry(owner, crosser) {
+                out.push(Violation {
+                    offender: crosser.id,
+                    against: owner.id,
+                    reentry_index,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Iteratively splits offending flows until Assumption 1 holds.
+///
+/// Each split assigns the tail a fresh id (`base * 1000 + seq`) and a name
+/// suffix `#k`; the process terminates because every split strictly
+/// shortens some path. Returns the compliant set together with the number
+/// of splits performed.
+pub fn enforce_assumption1(set: &FlowSet) -> Result<(FlowSet, usize), ModelError> {
+    let mut flows: Vec<SporadicFlow> = set.flows().to_vec();
+    let mut splits = 0usize;
+    let lspread = {
+        let net = set.network();
+        net.lmax() - net.lmin()
+    };
+    'outer: loop {
+        for oi in 0..flows.len() {
+            for ci in 0..flows.len() {
+                if oi == ci {
+                    continue;
+                }
+                if let Some(cut) = first_reentry(&flows[oi], &flows[ci]) {
+                    let offender = flows[ci].clone();
+                    let (head, tail) = split_flow(&offender, cut, lspread, splits)?;
+                    flows[ci] = head;
+                    flows.push(tail);
+                    splits += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    let out = set.with_flows(flows)?;
+    debug_assert!(violations(&out).is_empty());
+    Ok((out, splits))
+}
+
+fn split_flow(
+    f: &SporadicFlow,
+    cut: usize,
+    link_spread_per_hop: i64,
+    seq: usize,
+) -> Result<(SporadicFlow, SporadicFlow), ModelError> {
+    assert!(cut > 0 && cut < f.path.len(), "cut must be interior");
+    let head_path = f.path.prefix_len(cut).expect("cut in range");
+    let tail_nodes = f.path.nodes()[cut..].to_vec();
+    let tail_path = crate::path::Path::new(tail_nodes)?;
+    let head_costs = f.costs()[..cut].to_vec();
+    let tail_costs = f.costs()[cut..].to_vec();
+
+    // Transit spread the head can add to the tail's release jitter.
+    let head_hops = (cut - 1) as i64;
+    let extra_jitter = head_hops.max(0) * link_spread_per_hop;
+
+    let head = SporadicFlow::with_costs(
+        f.id.0,
+        head_path,
+        f.period,
+        head_costs,
+        f.jitter,
+        f.deadline,
+    )?
+    .named(format!("{}#head", f.name))
+    .with_class(f.class);
+    let tail = SporadicFlow::with_costs(
+        f.id.0 * 1000 + seq as u32 + 1,
+        tail_path,
+        f.period,
+        tail_costs,
+        f.jitter + extra_jitter,
+        f.deadline,
+    )?
+    .named(format!("{}#tail{}", f.name, seq + 1))
+    .with_class(f.class);
+    Ok((head, tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_example;
+    use crate::network::Network;
+    use crate::path::Path;
+
+    fn f(id: u32, nodes: &[u32]) -> SporadicFlow {
+        SporadicFlow::uniform(
+            id,
+            Path::from_ids(nodes.iter().copied()).unwrap(),
+            36,
+            4,
+            0,
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_is_compliant() {
+        assert!(violations(&paper_example()).is_empty());
+    }
+
+    #[test]
+    fn reverse_crossing_is_compliant() {
+        // P2 = [9,10,7,6] vs P3 = [2,3,4,7,10,11]: consecutive descending.
+        let owner = f(1, &[9, 10, 7, 6]);
+        let crosser = f(2, &[2, 3, 4, 7, 10, 11]);
+        assert_eq!(first_reentry(&owner, &crosser), None);
+    }
+
+    #[test]
+    fn leave_and_rejoin_detected() {
+        // Crosser visits node 1, leaves to node 9, re-enters at node 3.
+        let owner = f(1, &[1, 2, 3, 4]);
+        let crosser = f(2, &[1, 9, 3]);
+        assert_eq!(first_reentry(&owner, &crosser), Some(2));
+    }
+
+    #[test]
+    fn skipping_a_node_of_the_owner_is_a_violation() {
+        // Crosser hops 1 -> 3 directly while the owner goes 1 -> 2 -> 3:
+        // the shared positions on the owner's path are not consecutive.
+        let owner = f(1, &[1, 2, 3]);
+        let crosser = f(2, &[1, 3, 8]);
+        assert_eq!(first_reentry(&owner, &crosser), Some(1));
+    }
+
+    #[test]
+    fn enforcement_splits_until_compliant() {
+        let net = Network::uniform(9, 1, 2).unwrap();
+        let owner = f(1, &[1, 2, 3, 4]);
+        let crosser = f(2, &[1, 9, 3]); // re-enters owner's path at 3
+        let set = FlowSet::new(net, vec![owner, crosser]).unwrap();
+        let (fixed, splits) = enforce_assumption1(&set).unwrap();
+        assert_eq!(splits, 1);
+        assert_eq!(fixed.len(), 3);
+        assert!(violations(&fixed).is_empty());
+        // The tail flow starts at the re-entry node and carries the head's
+        // transit spread as extra jitter: head [1,9] has 1 hop * spread 1.
+        let tail = fixed
+            .flows()
+            .iter()
+            .find(|fl| fl.name.contains("#tail"))
+            .unwrap();
+        assert_eq!(tail.path.first(), crate::network::NodeId(3));
+        assert_eq!(tail.jitter, 1);
+    }
+
+    #[test]
+    fn enforcement_is_a_noop_on_compliant_sets() {
+        let (fixed, splits) = enforce_assumption1(&paper_example()).unwrap();
+        assert_eq!(splits, 0);
+        assert_eq!(fixed.len(), 5);
+    }
+}

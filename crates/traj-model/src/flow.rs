@@ -1,0 +1,278 @@
+//! Sporadic flows: the paper's traffic model.
+//!
+//! A sporadic flow `τᵢ` is defined by its minimum inter-arrival time `Tᵢ`
+//! ("period"), its per-node maximum processing times `Cᵢʰ` (with the
+//! convention `Cᵢʰ = 0` when `h ∉ Pᵢ`), its maximum release jitter `Jᵢ` at
+//! the ingress node, and its end-to-end deadline `Dᵢ`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::network::NodeId;
+use crate::path::Path;
+use crate::time::Duration;
+
+/// Identifier of a flow within a [`crate::FlowSet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u32);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Traffic class of a flow in a DiffServ deployment.
+///
+/// Only the EF class is FIFO-analysed; other classes matter through the
+/// non-preemption term `δᵢ` of Lemma 4 (their packets can block an EF
+/// packet for at most one residual transmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TrafficClass {
+    /// Expedited Forwarding: highest fixed priority, FIFO within class.
+    #[default]
+    Ef,
+    /// Assured Forwarding group (class 1..=4).
+    Af(u8),
+    /// Best effort.
+    BestEffort,
+}
+
+impl TrafficClass {
+    /// Whether the flow belongs to the EF aggregate (`i ∈ EF`).
+    pub fn is_ef(&self) -> bool {
+        matches!(self, TrafficClass::Ef)
+    }
+}
+
+/// A sporadic flow following a fixed path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SporadicFlow {
+    /// Identifier, unique within a flow set.
+    pub id: FlowId,
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Fixed route `Pᵢ`.
+    pub path: Path,
+    /// Minimum inter-arrival time `Tᵢ` between successive packets.
+    pub period: Duration,
+    /// Maximum processing time on each visited node, aligned with
+    /// `path.nodes()`.
+    costs: Vec<Duration>,
+    /// Maximum release jitter `Jᵢ` at the ingress node.
+    pub jitter: Duration,
+    /// End-to-end deadline `Dᵢ`.
+    pub deadline: Duration,
+    /// DiffServ class; plain FIFO analyses ignore it, the EF analysis
+    /// (Property 3) partitions flows on it.
+    pub class: TrafficClass,
+}
+
+impl SporadicFlow {
+    /// Builds a flow with uniform per-node cost `c`.
+    pub fn uniform(
+        id: u32,
+        path: Path,
+        period: Duration,
+        c: Duration,
+        jitter: Duration,
+        deadline: Duration,
+    ) -> Result<Self, ModelError> {
+        let costs = vec![c; path.len()];
+        Self::with_costs(id, path, period, costs, jitter, deadline)
+    }
+
+    /// Builds a flow with an explicit per-node cost vector (aligned with
+    /// the path's node order).
+    pub fn with_costs(
+        id: u32,
+        path: Path,
+        period: Duration,
+        costs: Vec<Duration>,
+        jitter: Duration,
+        deadline: Duration,
+    ) -> Result<Self, ModelError> {
+        let id = FlowId(id);
+        if costs.len() != path.len() {
+            return Err(ModelError::CostLengthMismatch {
+                flow: id,
+                costs: costs.len(),
+                path: path.len(),
+            });
+        }
+        if period <= 0 {
+            return Err(ModelError::NonPositive { what: "period", value: period });
+        }
+        for &c in &costs {
+            if c <= 0 {
+                return Err(ModelError::NonPositive { what: "cost", value: c });
+            }
+        }
+        if jitter < 0 {
+            return Err(ModelError::Negative { what: "jitter", value: jitter });
+        }
+        if deadline < 0 {
+            return Err(ModelError::Negative { what: "deadline", value: deadline });
+        }
+        Ok(SporadicFlow {
+            id,
+            name: format!("tau_{}", id.0),
+            path,
+            period,
+            costs,
+            jitter,
+            deadline,
+            class: TrafficClass::Ef,
+        })
+    }
+
+    /// Renames the flow (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Assigns a DiffServ class (builder style).
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// `Cᵢʰ`: maximum processing time on node `h`, `0` when `h ∉ Pᵢ`
+    /// (the paper's convention).
+    pub fn cost_at(&self, node: NodeId) -> Duration {
+        match self.path.index_of(node) {
+            Some(i) => self.costs[i],
+            None => 0,
+        }
+    }
+
+    /// Cost at the `idx`-th visited node.
+    pub fn cost_at_index(&self, idx: usize) -> Duration {
+        self.costs[idx]
+    }
+
+    /// All per-node costs, aligned with `path.nodes()`.
+    pub fn costs(&self) -> &[Duration] {
+        &self.costs
+    }
+
+    /// `Cᵢ^{slowᵢ}`: the largest per-node cost along the path.
+    pub fn max_cost(&self) -> Duration {
+        *self.costs.iter().max().expect("paths are non-empty")
+    }
+
+    /// `slowᵢ`: the slowest node visited (first of the maxima).
+    pub fn slow_node(&self) -> NodeId {
+        let max = self.max_cost();
+        let idx = self
+            .costs
+            .iter()
+            .position(|&c| c == max)
+            .expect("max exists");
+        self.path.nodes()[idx]
+    }
+
+    /// Total processing demand along the path `Σ_{h∈Pᵢ} Cᵢʰ`.
+    pub fn total_cost(&self) -> Duration {
+        self.costs.iter().sum()
+    }
+
+    /// Best-case end-to-end response time
+    /// `Σ_{h∈Pᵢ} Cᵢʰ + (|Pᵢ|-1)·Lmin` (Definition 2's subtrahend).
+    pub fn min_response(&self, lmin: Duration) -> Duration {
+        self.total_cost() + (self.path.len() as i64 - 1) * lmin
+    }
+
+    /// Utilisation contributed at node `h`: `Cᵢʰ / Tᵢ` (as a fraction).
+    pub fn utilisation_at(&self, node: NodeId) -> f64 {
+        self.cost_at(node) as f64 / self.period as f64
+    }
+
+    /// Restricts the flow to a prefix of its path (used by the recursive
+    /// `Smax` computation). `k` is the prefix length in nodes.
+    pub fn truncated(&self, k: usize) -> Option<SporadicFlow> {
+        let path = self.path.prefix_len(k)?;
+        let costs = self.costs[..k].to_vec();
+        Some(SporadicFlow { path, costs, ..self.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> SporadicFlow {
+        SporadicFlow::with_costs(
+            7,
+            Path::from_ids([2, 3, 4]).unwrap(),
+            36,
+            vec![2, 5, 3],
+            1,
+            50,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let p = Path::from_ids([1, 2]).unwrap();
+        assert!(SporadicFlow::uniform(1, p.clone(), 0, 1, 0, 10).is_err());
+        assert!(SporadicFlow::uniform(1, p.clone(), 10, 0, 0, 10).is_err());
+        assert!(SporadicFlow::uniform(1, p.clone(), 10, 1, -1, 10).is_err());
+        assert!(SporadicFlow::with_costs(1, p, 10, vec![1], 0, 10).is_err());
+    }
+
+    #[test]
+    fn cost_convention_zero_off_path() {
+        let f = flow();
+        assert_eq!(f.cost_at(NodeId(3)), 5);
+        assert_eq!(f.cost_at(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn slow_node_is_first_maximum() {
+        let f = flow();
+        assert_eq!(f.max_cost(), 5);
+        assert_eq!(f.slow_node(), NodeId(3));
+        let tie = SporadicFlow::uniform(
+            1,
+            Path::from_ids([5, 6, 7]).unwrap(),
+            10,
+            4,
+            0,
+            99,
+        )
+        .unwrap();
+        assert_eq!(tie.slow_node(), NodeId(5));
+    }
+
+    #[test]
+    fn min_response_matches_definition_2() {
+        let f = flow();
+        // sum of costs 10 + 2 links * lmin
+        assert_eq!(f.min_response(1), 12);
+        assert_eq!(f.min_response(0), 10);
+    }
+
+    #[test]
+    fn truncation_keeps_alignment() {
+        let f = flow();
+        let t = f.truncated(2).unwrap();
+        assert_eq!(t.path.nodes().len(), 2);
+        assert_eq!(t.cost_at(NodeId(3)), 5);
+        assert_eq!(t.cost_at(NodeId(4)), 0, "truncated flows no longer visit node 4");
+        assert!(f.truncated(9).is_none());
+    }
+
+    #[test]
+    fn class_helpers() {
+        assert!(TrafficClass::Ef.is_ef());
+        assert!(!TrafficClass::Af(1).is_ef());
+        assert!(!TrafficClass::BestEffort.is_ef());
+        let f = flow().with_class(TrafficClass::BestEffort);
+        assert!(!f.class.is_ef());
+    }
+}

@@ -1,0 +1,651 @@
+//! A validated set of flows plus all the path relations of the paper.
+//!
+//! The trajectory analysis constantly asks questions such as "which node of
+//! `Pᵢ` does `τⱼ` visit first?" (`first_{j,i}`), "is `τⱼ` crossing `Pᵢ` in
+//! the same direction?" (the `first_{j,i} = first_{i,j}` criterion), "what
+//! is `τⱼ`'s largest cost on `Pᵢ`?" (`C_j^{slow_{j,i}}`), and needs the
+//! quantities `Sminⱼʰ` and `Mᵢʰ`. All of them are answered here, against an
+//! arbitrary *reference path* so the same machinery serves full paths and
+//! the prefixes used by the recursive `Smax` computation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::flow::{FlowId, SporadicFlow};
+use crate::network::{Network, NodeId};
+use crate::path::Path;
+use crate::time::Duration;
+
+/// Direction in which a flow crosses a reference path (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossDirection {
+    /// `first_{j,i} = first_{i,j}`: the crossing flow traverses the shared
+    /// segment in the same direction as the path owner. A flow crossing at
+    /// a single node is a degenerate same-direction crossing.
+    Same,
+    /// The crossing flow traverses the shared segment against the path
+    /// owner's direction.
+    Reverse,
+}
+
+/// A maximal contiguous crossing of a reference path by another flow.
+///
+/// Within a segment, consecutive shared nodes are adjacent in **both**
+/// paths and walked in a consistent direction on the reference path. A
+/// flow that leaves the path (via an off-path node or an off-path link)
+/// and meets it again later crosses in **several** segments; the paper's
+/// Assumption 1 handles that case by treating each re-entry "as a new
+/// flow" — the analysis implements exactly that by accounting
+/// interference per segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossingSegment {
+    /// Shared nodes in the *crossing flow's* visiting order.
+    pub nodes: Vec<NodeId>,
+    /// Direction relative to the reference path (single-node segments are
+    /// degenerate same-direction crossings).
+    pub direction: CrossDirection,
+}
+
+impl CrossingSegment {
+    /// The segment's first node in the crossing flow's order
+    /// (`first_{j,i}` of the virtual flow).
+    pub fn first_in_crosser_order(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The segment's entry node in the reference path's order
+    /// (`first_{i,j}` of the virtual flow).
+    pub fn entry_in_path_order(&self, path: &Path) -> NodeId {
+        self.nodes
+            .iter()
+            .copied()
+            .min_by_key(|n| path.index_of(*n).expect("segment nodes lie on the path"))
+            .expect("segments are non-empty")
+    }
+
+    /// Whether the segment contains `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// How the `min` inside `Mᵢʰ` selects candidate costs.
+///
+/// `Mᵢʰ = Σ_{h'=firstᵢ}^{preᵢ(h)} ( min_j C_j^{h'} + Lmin )` is a lower
+/// bound on the arrival time, at node `h`, of the first packet of the busy
+/// period that started on `firstᵢ` at time 0: the busy-period front must be
+/// relayed hop by hop, paying at least one minimal packet processing plus
+/// one minimal link delay per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MinConvention {
+    /// Minimum over same-direction flows that actually visit `h'`
+    /// (default; semantically justified: only a packet processed at `h'`
+    /// can relay the front).
+    #[default]
+    Visiting,
+    /// Literal reading of the paper with the `C_j^h = 0` convention: any
+    /// same-direction flow that skips `h'` drives the minimum to zero.
+    /// More pessimistic (smaller `M` ⇒ larger `A_{i,j}`), trivially sound.
+    ZeroConvention,
+    /// Minimum over same-direction flows that traverse the *link*
+    /// `h' → suc(h')` of the reference path; tightest variant.
+    EdgeTraversing,
+}
+
+/// What `Sminⱼʰ` accounts for on each upstream hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SminMode {
+    /// `Σ (Cⱼ + Lmin)` per upstream hop: a packet must be fully processed
+    /// on each node before being forwarded (default, the store-and-forward
+    /// reading).
+    #[default]
+    ProcessingAndLink,
+    /// `Σ Lmin` only: cut-through reading, more pessimistic
+    /// (smaller `Smin` ⇒ larger interference window).
+    LinkOnly,
+}
+
+/// A validated set of sporadic flows over a network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowSet {
+    network: Network,
+    flows: Vec<SporadicFlow>,
+}
+
+impl FlowSet {
+    /// Validates and builds a flow set.
+    pub fn new(network: Network, flows: Vec<SporadicFlow>) -> Result<Self, ModelError> {
+        if flows.is_empty() {
+            return Err(ModelError::EmptyFlowSet);
+        }
+        let mut ids = std::collections::HashSet::new();
+        for f in &flows {
+            if !ids.insert(f.id) {
+                return Err(ModelError::DuplicateFlowId { id: f.id });
+            }
+            for &n in f.path.nodes() {
+                if !network.contains(n) {
+                    return Err(ModelError::UnknownNode { flow: f.id, node: n });
+                }
+            }
+        }
+        Ok(FlowSet { network, flows })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// All flows, in insertion order.
+    pub fn flows(&self) -> &[SporadicFlow] {
+        &self.flows
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flow sets are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks a flow up by id.
+    pub fn flow(&self, id: FlowId) -> Option<&SporadicFlow> {
+        self.flows.iter().find(|f| f.id == id)
+    }
+
+    /// Index of a flow in [`Self::flows`].
+    pub fn index_of(&self, id: FlowId) -> Option<usize> {
+        self.flows.iter().position(|f| f.id == id)
+    }
+
+    /// Flows of the EF class.
+    pub fn ef_flows(&self) -> impl Iterator<Item = &SporadicFlow> {
+        self.flows.iter().filter(|f| f.class.is_ef())
+    }
+
+    /// Flows outside the EF class.
+    pub fn non_ef_flows(&self) -> impl Iterator<Item = &SporadicFlow> {
+        self.flows.iter().filter(|f| !f.class.is_ef())
+    }
+
+    // ------------------------------------------------------------------
+    // Path relations (paper §2.2, Figure 1)
+    // ------------------------------------------------------------------
+
+    /// Whether `τⱼ` crosses the reference path (`P_j ∩ path ≠ ∅`).
+    pub fn crosses(&self, j: &SporadicFlow, path: &Path) -> bool {
+        j.path.nodes().iter().any(|n| path.visits(*n))
+    }
+
+    /// `first_{j,path}`: first node of `path` visited by `τⱼ`, in `τⱼ`'s
+    /// own visiting order.
+    pub fn first_on(&self, j: &SporadicFlow, path: &Path) -> Option<NodeId> {
+        j.path.nodes().iter().copied().find(|n| path.visits(*n))
+    }
+
+    /// `last_{j,path}`: last node of `path` visited by `τⱼ`, in `τⱼ`'s own
+    /// visiting order.
+    pub fn last_on(&self, j: &SporadicFlow, path: &Path) -> Option<NodeId> {
+        j.path.nodes().iter().rev().copied().find(|n| path.visits(*n))
+    }
+
+    /// The node of `path` (in *path order*) where the crossing with `τⱼ`
+    /// begins: `first_{owner,j}` when the owner follows `path`.
+    pub fn entry_on_path(&self, j: &SporadicFlow, path: &Path) -> Option<NodeId> {
+        path.nodes().iter().copied().find(|n| j.path.visits(*n))
+    }
+
+    /// Crossing direction of `τⱼ` over the reference path, `None` when the
+    /// paths are disjoint. Implements the `first_{j,i} = first_{i,j}`
+    /// criterion of the paper.
+    pub fn direction(&self, j: &SporadicFlow, path: &Path) -> Option<CrossDirection> {
+        let fji = self.first_on(j, path)?;
+        let fij = self.entry_on_path(j, path)?;
+        Some(if fji == fij { CrossDirection::Same } else { CrossDirection::Reverse })
+    }
+
+    /// Whether `τⱼ` satisfies the same-direction criterion over `path`.
+    pub fn same_direction(&self, j: &SporadicFlow, path: &Path) -> bool {
+        self.direction(j, path) == Some(CrossDirection::Same)
+    }
+
+    /// Shared nodes between `τⱼ` and the path, in `τⱼ`'s visiting order.
+    pub fn shared_nodes(&self, j: &SporadicFlow, path: &Path) -> Vec<NodeId> {
+        j.path.shared_with(path)
+    }
+
+    /// Decomposes `τⱼ`'s crossing of the reference path into maximal
+    /// contiguous [`CrossingSegment`]s (empty when the paths are
+    /// disjoint). A compliant (Assumption 1) crossing yields exactly one
+    /// segment; leave-and-rejoin routes yield several.
+    pub fn crossing_segments(&self, j: &SporadicFlow, path: &Path) -> Vec<CrossingSegment> {
+        // (index in j's path, index in reference path) of shared nodes.
+        let shared: Vec<(usize, usize)> = j
+            .path
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, n)| path.index_of(*n).map(|pi| (ci, pi)))
+            .collect();
+        let mut segments = Vec::new();
+        let mut cur: Vec<(usize, usize)> = Vec::new();
+        let mut dir: i64 = 0; // 0 unknown, +1 ascending, -1 descending
+        for &(ci, pi) in &shared {
+            let extend = match cur.last() {
+                None => true,
+                Some(&(pci, ppi)) => {
+                    let step = pi as i64 - ppi as i64;
+                    ci == pci + 1 && step.abs() == 1 && (dir == 0 || step == dir)
+                }
+            };
+            if extend {
+                if let Some(&(_, ppi)) = cur.last() {
+                    dir = pi as i64 - ppi as i64;
+                }
+                cur.push((ci, pi));
+            } else {
+                segments.push(Self::finish_segment(j, &cur, dir));
+                cur = vec![(ci, pi)];
+                dir = 0;
+            }
+        }
+        if !cur.is_empty() {
+            segments.push(Self::finish_segment(j, &cur, dir));
+        }
+        segments
+    }
+
+    fn finish_segment(
+        j: &SporadicFlow,
+        items: &[(usize, usize)],
+        dir: i64,
+    ) -> CrossingSegment {
+        CrossingSegment {
+            nodes: items.iter().map(|&(ci, _)| j.path.nodes()[ci]).collect(),
+            direction: if dir < 0 { CrossDirection::Reverse } else { CrossDirection::Same },
+        }
+    }
+
+    /// Direction of the crossing segment of `τⱼ` containing `node`, if
+    /// any. This is the segment-aware refinement of [`Self::direction`]:
+    /// the two agree on Assumption-1-compliant crossings.
+    pub fn segment_direction_at(
+        &self,
+        j: &SporadicFlow,
+        path: &Path,
+        node: NodeId,
+    ) -> Option<CrossDirection> {
+        self.crossing_segments(j, path)
+            .into_iter()
+            .find(|s| s.contains(node))
+            .map(|s| s.direction)
+    }
+
+    /// `C_j^{slow_{j,path}}`: largest processing time of `τⱼ` on the nodes
+    /// it shares with the path (0 when disjoint).
+    pub fn slow_cost_on(&self, j: &SporadicFlow, path: &Path) -> Duration {
+        j.path
+            .nodes()
+            .iter()
+            .filter(|n| path.visits(**n))
+            .map(|n| j.cost_at(*n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `max_{j same-direction} C_j^h` over flows visiting `h`: the cost of
+    /// the extra packet counted once per non-slow node in `W`. The path
+    /// owner always participates, so the max is positive whenever the owner
+    /// visits `h`.
+    pub fn max_samedir_cost(&self, path: &Path, node: NodeId) -> Duration {
+        self.max_samedir_cost_filtered(path, node, |_| true)
+    }
+
+    /// Like [`Self::max_samedir_cost`], restricted to a flow subset
+    /// selected by `keep` (used by the EF analysis which partitions flows).
+    pub fn max_samedir_cost_filtered(
+        &self,
+        path: &Path,
+        node: NodeId,
+        keep: impl Fn(&SporadicFlow) -> bool,
+    ) -> Duration {
+        self.flows
+            .iter()
+            .filter(|j| {
+                keep(j)
+                    && self.segment_direction_at(j, path, node)
+                        == Some(CrossDirection::Same)
+            })
+            .map(|j| j.cost_at(node))
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Smin and M
+    // ------------------------------------------------------------------
+
+    /// `Sminⱼʰ`: minimum time for a packet of `τⱼ` to go from its source
+    /// node to (arrival at) node `h ∈ Pⱼ`.
+    pub fn smin(&self, j: &SporadicFlow, node: NodeId, mode: SminMode) -> Option<Duration> {
+        let idx = j.path.index_of(node)?;
+        let mut s = 0;
+        for k in 0..idx {
+            let here = j.path.nodes()[k];
+            let next = j.path.nodes()[k + 1];
+            if mode == SminMode::ProcessingAndLink {
+                s += j.cost_at_index(k);
+            }
+            s += self.network.link_delay(here, next).lmin;
+            let _ = here;
+        }
+        Some(s)
+    }
+
+    /// Transit-only upper bound on the traversal time to `h ∈ Pⱼ`
+    /// (`Σ (Cⱼ + Lmax)` upstream). This is *not* a sound `Smax` in loaded
+    /// networks (it ignores queueing); the analysis crate computes the
+    /// sound recursive variant. Exposed for seeding and for the
+    /// `TransitOnly` ablation mode.
+    pub fn transit_smax(&self, j: &SporadicFlow, node: NodeId) -> Option<Duration> {
+        let idx = j.path.index_of(node)?;
+        let mut s = 0;
+        for k in 0..idx {
+            let here = j.path.nodes()[k];
+            let next = j.path.nodes()[k + 1];
+            s += j.cost_at_index(k) + self.network.link_delay(here, next).lmax;
+        }
+        Some(s)
+    }
+
+    /// `Mᵢʰ` along the reference path: minimum propagation time of a
+    /// busy-period front from the path's first node up to (arrival at)
+    /// `h ∈ path`.
+    pub fn m_term(
+        &self,
+        path: &Path,
+        node: NodeId,
+        convention: MinConvention,
+    ) -> Option<Duration> {
+        self.m_term_filtered(path, node, convention, |_| true)
+    }
+
+    /// [`Self::m_term`] restricted to a flow subset selected by `keep`
+    /// (the EF analysis only lets EF packets relay EF busy-period fronts).
+    pub fn m_term_filtered(
+        &self,
+        path: &Path,
+        node: NodeId,
+        convention: MinConvention,
+        keep: impl Fn(&SporadicFlow) -> bool + Copy,
+    ) -> Option<Duration> {
+        let idx = path.index_of(node)?;
+        let mut s = 0;
+        for k in 0..idx {
+            let here = path.nodes()[k];
+            let next = path.nodes()[k + 1];
+            let min_cost = self.min_front_cost(path, here, next, convention, keep);
+            s += min_cost + self.network.link_delay(here, next).lmin;
+        }
+        Some(s)
+    }
+
+    fn min_front_cost(
+        &self,
+        path: &Path,
+        here: NodeId,
+        next: NodeId,
+        convention: MinConvention,
+        keep: impl Fn(&SporadicFlow) -> bool + Copy,
+    ) -> Duration {
+        let samedir_here = |j: &&SporadicFlow| {
+            self.segment_direction_at(j, path, here) == Some(CrossDirection::Same)
+        };
+        match convention {
+            MinConvention::Visiting => self
+                .flows
+                .iter()
+                .filter(|j| keep(j) && samedir_here(j))
+                .map(|j| j.cost_at(here))
+                .min()
+                .unwrap_or(0),
+            MinConvention::ZeroConvention => self
+                .flows
+                .iter()
+                .filter(|j| {
+                    keep(j) && self.crosses(j, path) && self.same_direction(j, path)
+                })
+                .map(|j| j.cost_at(here))
+                .min()
+                .unwrap_or(0),
+            MinConvention::EdgeTraversing => self
+                .flows
+                .iter()
+                .filter(|j| keep(j) && samedir_here(j) && j.path.suc(here) == Some(next))
+                .map(|j| j.cost_at(here))
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load metrics
+    // ------------------------------------------------------------------
+
+    /// Total utilisation at a node: `Σᵢ Cᵢʰ / Tᵢ`.
+    pub fn utilisation_at(&self, node: NodeId) -> f64 {
+        self.flows.iter().map(|f| f.utilisation_at(node)).sum()
+    }
+
+    /// The most loaded node's utilisation; `>= 1.0` means the analysis
+    /// busy periods may diverge.
+    pub fn max_utilisation(&self) -> f64 {
+        self.network
+            .nodes()
+            .iter()
+            .map(|&n| self.utilisation_at(n))
+            .fold(0.0, f64::max)
+    }
+
+    /// Replaces the flow list (used by Assumption 1 splitting).
+    pub(crate) fn with_flows(&self, flows: Vec<SporadicFlow>) -> Result<Self, ModelError> {
+        FlowSet::new(self.network.clone(), flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_example;
+
+    fn set() -> FlowSet {
+        paper_example()
+    }
+
+    fn flow(s: &FlowSet, id: u32) -> &SporadicFlow {
+        s.flow(FlowId(id)).unwrap()
+    }
+
+    #[test]
+    fn crossing_and_direction_on_paper_example() {
+        let s = set();
+        let p1 = &flow(&s, 1).path.clone();
+        let p2 = &flow(&s, 2).path.clone();
+        let p3 = &flow(&s, 3).path.clone();
+
+        // tau_2 and tau_1 are disjoint
+        assert!(!s.crosses(flow(&s, 2), p1));
+        assert_eq!(s.direction(flow(&s, 2), p1), None);
+
+        // tau_3 crosses P1 at nodes {3,4} in the same direction
+        assert!(s.crosses(flow(&s, 3), p1));
+        assert_eq!(s.first_on(flow(&s, 3), p1), Some(NodeId(3)));
+        assert_eq!(s.last_on(flow(&s, 3), p1), Some(NodeId(4)));
+        assert_eq!(s.direction(flow(&s, 3), p1), Some(CrossDirection::Same));
+
+        // tau_3 crosses P2 = [9,10,7,6] in reverse: it visits 7 before 10
+        assert_eq!(s.first_on(flow(&s, 3), p2), Some(NodeId(7)));
+        assert_eq!(s.entry_on_path(flow(&s, 3), p2), Some(NodeId(10)));
+        assert_eq!(s.direction(flow(&s, 3), p2), Some(CrossDirection::Reverse));
+
+        // and symmetrically tau_2 crosses P3 in reverse
+        assert_eq!(s.direction(flow(&s, 2), p3), Some(CrossDirection::Reverse));
+
+        // tau_5 shares the single node 7 with P2: degenerate same direction
+        assert_eq!(s.direction(flow(&s, 5), p2), Some(CrossDirection::Same));
+
+        // a flow is same-direction with its own path
+        assert_eq!(s.direction(flow(&s, 1), p1), Some(CrossDirection::Same));
+    }
+
+    #[test]
+    fn slow_cost_is_restricted_to_shared_nodes() {
+        let s = set();
+        let p1 = flow(&s, 1).path.clone();
+        assert_eq!(s.slow_cost_on(flow(&s, 3), &p1), 4);
+        assert_eq!(s.slow_cost_on(flow(&s, 2), &p1), 0);
+    }
+
+    #[test]
+    fn smin_accumulates_processing_and_links() {
+        let s = set();
+        let f3 = flow(&s, 3);
+        // nodes 2,3,4 before 7: 3 * (4 + 1)
+        assert_eq!(s.smin(f3, NodeId(7), SminMode::ProcessingAndLink), Some(15));
+        assert_eq!(s.smin(f3, NodeId(7), SminMode::LinkOnly), Some(3));
+        assert_eq!(s.smin(f3, NodeId(2), SminMode::ProcessingAndLink), Some(0));
+        assert_eq!(s.smin(f3, NodeId(1), SminMode::ProcessingAndLink), None);
+    }
+
+    #[test]
+    fn transit_smax_uses_lmax() {
+        let s = set();
+        let f3 = flow(&s, 3);
+        assert_eq!(s.transit_smax(f3, NodeId(10)), Some(20));
+        assert_eq!(s.transit_smax(f3, NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn m_term_conventions_differ_as_documented() {
+        let s = set();
+        let p2 = flow(&s, 2).path.clone();
+        // Visiting: on nodes 9 and 10, the only same-direction flows
+        // visiting them is tau_2 itself (tau_5's crossing is degenerate at
+        // node 7, tau_3/tau_4 are reverse): min C = 4, so M = 2*(4+1).
+        assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::Visiting), Some(10));
+        // ZeroConvention: tau_5 is same-direction but does not visit 9/10,
+        // its conventional cost 0 drives the min down: M = 2*(0+1).
+        assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::ZeroConvention), Some(2));
+        // EdgeTraversing: only tau_2 traverses links 9->10 and 10->7.
+        assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::EdgeTraversing), Some(10));
+        assert_eq!(s.m_term(&p2, NodeId(9), MinConvention::Visiting), Some(0));
+    }
+
+    #[test]
+    fn crossing_segments_on_compliant_flows() {
+        let s = set();
+        let p1 = flow(&s, 1).path.clone();
+        // tau_3 crosses P1 contiguously at [3,4]: one same-direction
+        // segment.
+        let segs = s.crossing_segments(flow(&s, 3), &p1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].nodes, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(segs[0].direction, CrossDirection::Same);
+        assert_eq!(segs[0].first_in_crosser_order(), NodeId(3));
+        assert_eq!(segs[0].entry_in_path_order(&p1), NodeId(3));
+        // tau_3 over P2 = [9,10,7,6]: one reverse segment [7,10].
+        let p2 = flow(&s, 2).path.clone();
+        let segs = s.crossing_segments(flow(&s, 3), &p2);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].direction, CrossDirection::Reverse);
+        assert_eq!(segs[0].first_in_crosser_order(), NodeId(7));
+        assert_eq!(segs[0].entry_in_path_order(&p2), NodeId(10));
+        // disjoint flows have no segment
+        assert!(s.crossing_segments(flow(&s, 2), &p1).is_empty());
+    }
+
+    #[test]
+    fn crossing_segments_split_on_leave_and_rejoin() {
+        // The soundness-regression topology: tau_b = [3,8,2] leaves
+        // tau_a's path [3,2,7,6] after node 3 and re-enters at node 2.
+        let net = Network::uniform(8, 1, 1).unwrap();
+        let a = SporadicFlow::uniform(1, Path::from_ids([3, 2, 7, 6]).unwrap(), 92, 6, 0, 500)
+            .unwrap();
+        let b = SporadicFlow::uniform(2, Path::from_ids([3, 8, 2]).unwrap(), 54, 8, 0, 500)
+            .unwrap();
+        let s = FlowSet::new(net, vec![a, b]).unwrap();
+        let pa = s.flows()[0].path.clone();
+        let segs = s.crossing_segments(&s.flows()[1], &pa);
+        assert_eq!(segs.len(), 2, "leave-and-rejoin must split");
+        assert_eq!(segs[0].nodes, vec![NodeId(3)]);
+        assert_eq!(segs[1].nodes, vec![NodeId(2)]);
+        // Both single-node segments are degenerate same-direction.
+        assert!(segs.iter().all(|x| x.direction == CrossDirection::Same));
+        assert_eq!(s.segment_direction_at(&s.flows()[1], &pa, NodeId(2)),
+                   Some(CrossDirection::Same));
+        assert_eq!(s.segment_direction_at(&s.flows()[1], &pa, NodeId(7)), None);
+    }
+
+    #[test]
+    fn crossing_segments_split_on_skipped_node() {
+        // Crosser hops 1 -> 3 directly while the path goes 1 -> 2 -> 3:
+        // adjacent in the crosser's path but not on the reference path.
+        let net = Network::uniform(8, 1, 1).unwrap();
+        let a = SporadicFlow::uniform(1, Path::from_ids([1, 2, 3]).unwrap(), 50, 2, 0, 500)
+            .unwrap();
+        let b = SporadicFlow::uniform(2, Path::from_ids([1, 3, 8]).unwrap(), 50, 2, 0, 500)
+            .unwrap();
+        let s = FlowSet::new(net, vec![a, b]).unwrap();
+        let pa = s.flows()[0].path.clone();
+        let segs = s.crossing_segments(&s.flows()[1], &pa);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn max_samedir_cost_excludes_reverse_flows() {
+        let s = set();
+        let p2 = flow(&s, 2).path.clone();
+        // At node 10, tau_3/tau_4 cross P2 in reverse; only tau_2 counts.
+        assert_eq!(s.max_samedir_cost(&p2, NodeId(10)), 4);
+        // At node 7, tau_5's degenerate crossing counts.
+        assert_eq!(s.max_samedir_cost(&p2, NodeId(7)), 4);
+        // Filtered variant can exclude the owner's class entirely.
+        assert_eq!(s.max_samedir_cost_filtered(&p2, NodeId(7), |f| f.id.0 > 90), 0);
+    }
+
+    #[test]
+    fn utilisation_metrics() {
+        let s = set();
+        // node 3 carries tau_1, tau_3, tau_4, tau_5: 4 * 4/36
+        let u = s.utilisation_at(NodeId(3));
+        assert!((u - 4.0 * 4.0 / 36.0).abs() < 1e-12);
+        assert!(s.max_utilisation() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sets() {
+        let net = Network::uniform(3, 1, 1).unwrap();
+        let f = SporadicFlow::uniform(1, Path::from_ids([1, 9]).unwrap(), 10, 1, 0, 20)
+            .unwrap();
+        assert!(matches!(
+            FlowSet::new(net.clone(), vec![f]).unwrap_err(),
+            ModelError::UnknownNode { .. }
+        ));
+        let f1 = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 10, 1, 0, 20)
+            .unwrap();
+        let f2 = SporadicFlow::uniform(1, Path::from_ids([2, 3]).unwrap(), 10, 1, 0, 20)
+            .unwrap();
+        assert!(matches!(
+            FlowSet::new(net.clone(), vec![f1, f2]).unwrap_err(),
+            ModelError::DuplicateFlowId { .. }
+        ));
+        assert!(matches!(
+            FlowSet::new(net, vec![]).unwrap_err(),
+            ModelError::EmptyFlowSet
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! Random workload generators for tests, fuzzing and benchmarks.
+//!
+//! All generators are deterministic given the seed and produce flow sets
+//! that satisfy the model invariants (loop-free paths, positive periods,
+//! Assumption 1 by construction for the tree/line families).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::SporadicFlow;
+use crate::flowset::FlowSet;
+use crate::network::Network;
+use crate::path::Path;
+
+/// Parameters of the random mesh generator.
+#[derive(Debug, Clone)]
+pub struct MeshParams {
+    /// Number of nodes in the network.
+    pub nodes: u32,
+    /// Number of flows to generate.
+    pub flows: u32,
+    /// Path length range (inclusive), clamped to the node count.
+    pub path_len: (usize, usize),
+    /// Period range (inclusive).
+    pub period: (i64, i64),
+    /// Per-node cost range (inclusive).
+    pub cost: (i64, i64),
+    /// Release jitter range (inclusive).
+    pub jitter: (i64, i64),
+    /// Link delay bounds.
+    pub lmin: i64,
+    /// Link delay bounds.
+    pub lmax: i64,
+    /// Target maximum per-node utilisation; generation rejects flows that
+    /// would push any node above it.
+    pub max_utilisation: f64,
+}
+
+impl Default for MeshParams {
+    fn default() -> Self {
+        MeshParams {
+            nodes: 12,
+            flows: 10,
+            path_len: (2, 6),
+            period: (50, 200),
+            cost: (1, 8),
+            jitter: (0, 4),
+            lmin: 1,
+            lmax: 2,
+            max_utilisation: 0.85,
+        }
+    }
+}
+
+/// Generates a random flow set over a full mesh: each flow follows a
+/// random loop-free node sequence (any sequence is a route under source
+/// routing). Deadlines are set generously (`5 * transit upper bound`) so
+/// generated sets exercise the analysis rather than trivially failing.
+pub fn random_mesh(seed: u64, p: &MeshParams) -> FlowSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = Network::uniform(p.nodes, p.lmin, p.lmax).expect("valid params");
+    let mut flows = Vec::with_capacity(p.flows as usize);
+    let mut util = vec![0.0f64; p.nodes as usize + 1];
+    let mut id = 1u32;
+    let mut attempts = 0;
+    while flows.len() < p.flows as usize && attempts < p.flows as usize * 50 {
+        attempts += 1;
+        let len = rng
+            .gen_range(p.path_len.0..=p.path_len.1)
+            .min(p.nodes as usize)
+            .max(1);
+        // Sample `len` distinct nodes.
+        let mut pool: Vec<u32> = (1..=p.nodes).collect();
+        for i in 0..len {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let nodes: Vec<u32> = pool[..len].to_vec();
+        let period = rng.gen_range(p.period.0..=p.period.1);
+        let cost = rng.gen_range(p.cost.0..=p.cost.1);
+        let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
+        // Utilisation admission.
+        let du = cost as f64 / period as f64;
+        if nodes.iter().any(|&n| util[n as usize] + du > p.max_utilisation) {
+            continue;
+        }
+        for &n in &nodes {
+            util[n as usize] += du;
+        }
+        let path = Path::from_ids(nodes).expect("distinct nodes");
+        let transit: i64 = (cost + p.lmax) * len as i64;
+        let deadline = transit * 5;
+        let flow = SporadicFlow::uniform(id, path, period, cost, jitter, deadline)
+            .expect("valid params");
+        flows.push(flow);
+        id += 1;
+    }
+    assert!(!flows.is_empty(), "generator produced no flow; relax max_utilisation");
+    FlowSet::new(network, flows).expect("generated flows are valid")
+}
+
+/// A "parking lot" topology: `n_cross` flows each join a shared trunk of
+/// `trunk_len` nodes at a random position and stay until the sink — the
+/// classic worst case for holistic pessimism (jitter accumulates along the
+/// trunk). All crossings are same-direction by construction.
+pub fn parking_lot(seed: u64, n_cross: u32, trunk_len: u32, period: i64, cost: i64) -> FlowSet {
+    assert!(trunk_len >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Nodes 1..=trunk_len form the trunk; nodes trunk_len+1.. are sources.
+    let total_nodes = trunk_len + n_cross;
+    let network = Network::uniform(total_nodes, 1, 1).expect("valid");
+    let mut flows = Vec::new();
+    // The observed flow traverses the full trunk.
+    let trunk: Vec<u32> = (1..=trunk_len).collect();
+    flows.push(
+        SporadicFlow::uniform(
+            1,
+            Path::from_ids(trunk.iter().copied()).unwrap(),
+            period,
+            cost,
+            0,
+            i64::MAX / 4,
+        )
+        .unwrap()
+        .named("observed"),
+    );
+    for k in 0..n_cross {
+        let join = rng.gen_range(1..trunk_len); // trunk index where it joins
+        let src = trunk_len + 1 + k;
+        let mut nodes = vec![src];
+        nodes.extend(join..=trunk_len);
+        flows.push(
+            SporadicFlow::uniform(
+                2 + k,
+                Path::from_ids(nodes).unwrap(),
+                period,
+                cost,
+                0,
+                i64::MAX / 4,
+            )
+            .unwrap(),
+        );
+    }
+    FlowSet::new(network, flows).expect("generated flows are valid")
+}
+
+/// A bidirectional line: `n_fwd` flows traverse nodes `1..=len` forward,
+/// `n_rev` flows traverse them backward — every forward/backward pair
+/// crosses in *reverse* direction at every shared node, the hardest case
+/// for the `A_{i,j}` accounting (paper Figure 1, case 2).
+pub fn bidirectional_line(
+    n_fwd: u32,
+    n_rev: u32,
+    len: u32,
+    period: i64,
+    cost: i64,
+) -> FlowSet {
+    assert!(len >= 2);
+    let network = Network::uniform(len, 1, 1).expect("valid");
+    let fwd: Vec<u32> = (1..=len).collect();
+    let rev: Vec<u32> = (1..=len).rev().collect();
+    let mut flows = Vec::new();
+    for k in 0..n_fwd {
+        flows.push(
+            SporadicFlow::uniform(
+                1 + k,
+                Path::from_ids(fwd.iter().copied()).unwrap(),
+                period,
+                cost,
+                0,
+                i64::MAX / 4,
+            )
+            .unwrap()
+            .named(format!("fwd_{k}")),
+        );
+    }
+    for k in 0..n_rev {
+        flows.push(
+            SporadicFlow::uniform(
+                100 + k,
+                Path::from_ids(rev.iter().copied()).unwrap(),
+                period,
+                cost,
+                0,
+                i64::MAX / 4,
+            )
+            .unwrap()
+            .named(format!("rev_{k}")),
+        );
+    }
+    FlowSet::new(network, flows).expect("generated flows are valid")
+}
+
+/// A star: `n_arms` flows, each entering through its own edge node,
+/// crossing the shared hub, and leaving through its own egress node.
+/// Every pairwise crossing is the degenerate single-node case.
+pub fn star(n_arms: u32, period: i64, cost: i64) -> FlowSet {
+    assert!(n_arms >= 1);
+    let hub = 1u32;
+    let total = 1 + 2 * n_arms;
+    let network = Network::uniform(total, 1, 1).expect("valid");
+    let flows = (0..n_arms)
+        .map(|k| {
+            let ingress = 2 + 2 * k;
+            let egress = 3 + 2 * k;
+            SporadicFlow::uniform(
+                1 + k,
+                Path::from_ids([ingress, hub, egress]).unwrap(),
+                period,
+                cost,
+                0,
+                i64::MAX / 4,
+            )
+            .unwrap()
+        })
+        .collect();
+    FlowSet::new(network, flows).expect("generated flows are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assumption::violations;
+
+    #[test]
+    fn random_mesh_is_deterministic_per_seed() {
+        let p = MeshParams::default();
+        let a = random_mesh(7, &p);
+        let b = random_mesh(7, &p);
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.flows().iter().zip(b.flows()) {
+            assert_eq!(fa, fb);
+        }
+        let c = random_mesh(8, &p);
+        // Different seed almost surely differs.
+        assert!(a.flows() != c.flows() || a.len() != c.len());
+    }
+
+    #[test]
+    fn random_mesh_respects_utilisation_cap() {
+        let p = MeshParams { max_utilisation: 0.5, flows: 30, ..Default::default() };
+        let s = random_mesh(3, &p);
+        assert!(s.max_utilisation() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn bidirectional_line_is_reverse_heavy() {
+        let s = bidirectional_line(2, 2, 4, 100, 3);
+        assert_eq!(s.len(), 4);
+        assert!(violations(&s).is_empty(), "reverse traversal satisfies Assumption 1");
+        let fwd_path = s.flows()[0].path.clone();
+        let rev = &s.flows()[2];
+        assert_eq!(
+            s.direction(rev, &fwd_path),
+            Some(crate::flowset::CrossDirection::Reverse)
+        );
+    }
+
+    #[test]
+    fn star_crossings_are_degenerate_same_direction() {
+        let s = star(4, 100, 3);
+        assert_eq!(s.len(), 4);
+        let p0 = s.flows()[0].path.clone();
+        for f in &s.flows()[1..] {
+            assert_eq!(s.shared_nodes(f, &p0), vec![crate::network::NodeId(1)]);
+            assert!(s.same_direction(f, &p0));
+        }
+    }
+
+    #[test]
+    fn parking_lot_is_assumption1_compliant() {
+        let s = parking_lot(11, 6, 5, 100, 3);
+        assert_eq!(s.len(), 7);
+        assert!(violations(&s).is_empty());
+        // Every crossing flow is same-direction w.r.t. the observed trunk.
+        let trunk = s.flows()[0].path.clone();
+        for f in &s.flows()[1..] {
+            assert!(s.same_direction(f, &trunk));
+        }
+    }
+}

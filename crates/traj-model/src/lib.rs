@@ -1,0 +1,38 @@
+//! Network, path and sporadic-flow model underlying the trajectory-approach
+//! schedulability analysis of Martin & Minet (IPDPS 2006).
+//!
+//! This crate defines:
+//!
+//! * discrete time ([`Tick`]) and the integer helpers used throughout the
+//!   paper's formulas (floor/ceil division, the `(1 + ⌊·⌋)⁺` operator);
+//! * the network model: [`NodeId`], [`Network`] with bounded link delays
+//!   `Lmin`/`Lmax`;
+//! * the traffic model: [`Path`], [`SporadicFlow`] (period `Tᵢ`, per-node
+//!   processing times `Cᵢʰ`, release jitter `Jᵢ`, deadline `Dᵢ`);
+//! * [`FlowSet`]: a validated set of flows with all the path relations of
+//!   the paper precomputed (`first_{j,i}`, `last_{j,i}`, `slow_i`,
+//!   `slow_{j,i}`, direction of crossing, `Sminᵢʰ`, `Mᵢʰ`);
+//! * Assumption 1 enforcement by iterative flow splitting;
+//! * deterministic example sets (the paper's 5-flow/11-node example) and
+//!   random workload generators used by tests and benchmarks.
+//!
+//! Everything is integer arithmetic: the paper assumes discrete time and
+//! results with discrete scheduling are as general as continuous ones when
+//! all parameters are multiples of the clock tick.
+
+pub mod assumption;
+pub mod error;
+pub mod examples;
+pub mod flow;
+pub mod flowset;
+pub mod gen;
+pub mod network;
+pub mod path;
+pub mod time;
+
+pub use error::ModelError;
+pub use flow::{FlowId, SporadicFlow};
+pub use flowset::{CrossDirection, CrossingSegment, FlowSet, MinConvention, SminMode};
+pub use network::{LinkDelay, Network, NodeId};
+pub use path::Path;
+pub use time::{ceil_div, floor_div, plus_one_floor, Duration, Tick};

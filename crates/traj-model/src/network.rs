@@ -1,0 +1,210 @@
+//! Network model: nodes and links with bounded delays.
+//!
+//! The paper's network model is deliberately abstract: links are FIFO and
+//! the network delay between two nodes has known bounds `Lmin` and `Lmax`;
+//! there are no failures and no losses. [`Network`] captures exactly that:
+//! a node universe plus global delay bounds, with optional per-link
+//! overrides for experiments that need heterogeneous links.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::time::Duration;
+
+/// Identifier of a store-and-forward node (router / switch output port).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Lower/upper bound on the delay of a link (the paper's `Lmin`/`Lmax`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkDelay {
+    /// Minimum network delay between two consecutive nodes.
+    pub lmin: Duration,
+    /// Maximum network delay between two consecutive nodes.
+    pub lmax: Duration,
+}
+
+impl LinkDelay {
+    /// Builds a delay bound pair, validating `0 <= lmin <= lmax`.
+    pub fn new(lmin: Duration, lmax: Duration) -> Result<Self, ModelError> {
+        if lmin < 0 {
+            return Err(ModelError::Negative { what: "lmin", value: lmin });
+        }
+        if lmin > lmax {
+            return Err(ModelError::InvertedLinkDelay { lmin, lmax });
+        }
+        Ok(LinkDelay { lmin, lmax })
+    }
+
+    /// A deterministic link: `lmin == lmax == delay`.
+    pub fn fixed(delay: Duration) -> Result<Self, ModelError> {
+        Self::new(delay, delay)
+    }
+
+    /// Width of the delay interval (`lmax - lmin`), the per-hop jitter a
+    /// link can introduce.
+    pub fn spread(&self) -> Duration {
+        self.lmax - self.lmin
+    }
+}
+
+/// The network: a set of nodes and delay bounds for the links between them.
+///
+/// The paper uses a single global `(Lmin, Lmax)` pair; [`Network::uniform`]
+/// models that. Per-link overrides can be registered with
+/// [`Network::set_link_delay`] for heterogeneous scenarios; lookups fall
+/// back to the global bounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<NodeId>,
+    default_delay: LinkDelay,
+    #[serde(default)]
+    overrides: HashMap<(NodeId, NodeId), LinkDelay>,
+}
+
+impl Network {
+    /// A network of `n` nodes numbered `1..=n` with uniform link bounds.
+    pub fn uniform(n: u32, lmin: Duration, lmax: Duration) -> Result<Self, ModelError> {
+        let default_delay = LinkDelay::new(lmin, lmax)?;
+        Ok(Network {
+            nodes: (1..=n).map(NodeId).collect(),
+            default_delay,
+            overrides: HashMap::new(),
+        })
+    }
+
+    /// A network over an explicit node list.
+    pub fn with_nodes(
+        nodes: Vec<NodeId>,
+        delay: LinkDelay,
+    ) -> Result<Self, ModelError> {
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != nodes.len() {
+            // find one duplicate for the error message
+            let mut seen = std::collections::HashSet::new();
+            for n in &nodes {
+                if !seen.insert(*n) {
+                    return Err(ModelError::DuplicateNode { node: *n });
+                }
+            }
+        }
+        Ok(Network { nodes, default_delay: delay, overrides: HashMap::new() })
+    }
+
+    /// All nodes of the network.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the network has no node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` belongs to the network.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Global default delay bounds.
+    pub fn default_delay(&self) -> LinkDelay {
+        self.default_delay
+    }
+
+    /// Registers heterogeneous bounds for the directed link `from -> to`.
+    pub fn set_link_delay(&mut self, from: NodeId, to: NodeId, delay: LinkDelay) {
+        self.overrides.insert((from, to), delay);
+    }
+
+    /// Delay bounds of the directed link `from -> to`.
+    pub fn link_delay(&self, from: NodeId, to: NodeId) -> LinkDelay {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_delay)
+    }
+
+    /// The most pessimistic `Lmax` over the whole network (used by the
+    /// closed-form bounds which assume a global constant).
+    pub fn lmax(&self) -> Duration {
+        self.overrides
+            .values()
+            .map(|d| d.lmax)
+            .chain(std::iter::once(self.default_delay.lmax))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The most optimistic `Lmin` over the whole network.
+    pub fn lmin(&self) -> Duration {
+        self.overrides
+            .values()
+            .map(|d| d.lmin)
+            .chain(std::iter::once(self.default_delay.lmin))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_network_numbers_nodes_from_one() {
+        let net = Network::uniform(4, 1, 2).unwrap();
+        assert_eq!(net.nodes(), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert!(net.contains(NodeId(4)));
+        assert!(!net.contains(NodeId(5)));
+    }
+
+    #[test]
+    fn link_delay_validation() {
+        assert!(LinkDelay::new(2, 1).is_err());
+        assert!(LinkDelay::new(-1, 1).is_err());
+        let d = LinkDelay::new(1, 3).unwrap();
+        assert_eq!(d.spread(), 2);
+        assert_eq!(LinkDelay::fixed(5).unwrap().spread(), 0);
+    }
+
+    #[test]
+    fn per_link_override_falls_back_to_default() {
+        let mut net = Network::uniform(3, 1, 1).unwrap();
+        net.set_link_delay(NodeId(1), NodeId(2), LinkDelay::new(2, 5).unwrap());
+        assert_eq!(net.link_delay(NodeId(1), NodeId(2)).lmax, 5);
+        assert_eq!(net.link_delay(NodeId(2), NodeId(3)).lmax, 1);
+        assert_eq!(net.lmax(), 5);
+        assert_eq!(net.lmin(), 1);
+    }
+
+    #[test]
+    fn duplicate_nodes_rejected() {
+        let err =
+            Network::with_nodes(vec![NodeId(1), NodeId(1)], LinkDelay::fixed(1).unwrap());
+        assert_eq!(err.unwrap_err(), ModelError::DuplicateNode { node: NodeId(1) });
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed routes: ordered, loop-free sequences of nodes.
+//!
+//! The paper assumes each flow follows a fixed path `Pᵢ = [firstᵢ, ...,
+//! lastᵢ]` (source routing or MPLS). [`Path`] provides the positional
+//! queries used by the analysis: `preᵢ(h)`, `sucᵢ(h)`, prefixes, and
+//! membership.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::network::NodeId;
+
+/// An ordered, loop-free sequence of nodes visited by a flow.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Builds a path, rejecting empty sequences and repeated nodes.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyPath);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(nodes.len());
+        for n in &nodes {
+            if !seen.insert(*n) {
+                return Err(ModelError::DuplicateNode { node: *n });
+            }
+        }
+        Ok(Path { nodes })
+    }
+
+    /// Convenience constructor from raw node numbers.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Result<Self, ModelError> {
+        Path::new(ids.into_iter().map(NodeId).collect())
+    }
+
+    /// The visited nodes in order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `|Pᵢ|`: number of visited nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Paths are never empty, but clippy insists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `firstᵢ`: ingress node.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// `lastᵢ`: egress node.
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Position of `node` on the path, if visited.
+    pub fn index_of(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// Whether the path visits `node`.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.index_of(node).is_some()
+    }
+
+    /// `preᵢ(h)`: node visited just before `h`, if any.
+    pub fn pre(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.index_of(node)?;
+        if i == 0 {
+            None
+        } else {
+            Some(self.nodes[i - 1])
+        }
+    }
+
+    /// `sucᵢ(h)`: node visited just after `h`, if any.
+    pub fn suc(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.index_of(node)?;
+        self.nodes.get(i + 1).copied()
+    }
+
+    /// The prefix of the path ending at `node` (inclusive).
+    pub fn prefix_through(&self, node: NodeId) -> Option<Path> {
+        let i = self.index_of(node)?;
+        Some(Path { nodes: self.nodes[..=i].to_vec() })
+    }
+
+    /// The prefix consisting of the first `k` nodes (`1 <= k <= len`).
+    pub fn prefix_len(&self, k: usize) -> Option<Path> {
+        if k == 0 || k > self.nodes.len() {
+            return None;
+        }
+        Some(Path { nodes: self.nodes[..k].to_vec() })
+    }
+
+    /// Nodes shared with another path, in **this** path's visiting order.
+    pub fn shared_with(&self, other: &Path) -> Vec<NodeId> {
+        self.nodes.iter().copied().filter(|n| other.visits(*n)).collect()
+    }
+
+    /// Successive `(from, to)` links along the path.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> Path {
+        Path::from_ids(ids.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn construction_rules() {
+        assert_eq!(Path::new(vec![]).unwrap_err(), ModelError::EmptyPath);
+        assert!(Path::from_ids([1, 2, 1]).is_err());
+        assert_eq!(p(&[1, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn endpoints_and_neighbours() {
+        let path = p(&[2, 3, 4, 7, 8]);
+        assert_eq!(path.first(), NodeId(2));
+        assert_eq!(path.last(), NodeId(8));
+        assert_eq!(path.pre(NodeId(2)), None);
+        assert_eq!(path.pre(NodeId(7)), Some(NodeId(4)));
+        assert_eq!(path.suc(NodeId(7)), Some(NodeId(8)));
+        assert_eq!(path.suc(NodeId(8)), None);
+        assert_eq!(path.pre(NodeId(99)), None);
+    }
+
+    #[test]
+    fn prefixes() {
+        let path = p(&[1, 3, 4, 5]);
+        assert_eq!(path.prefix_through(NodeId(4)).unwrap(), p(&[1, 3, 4]));
+        assert_eq!(path.prefix_len(1).unwrap(), p(&[1]));
+        assert_eq!(path.prefix_len(0), None);
+        assert_eq!(path.prefix_len(5), None);
+    }
+
+    #[test]
+    fn shared_nodes_keep_self_order() {
+        // P2 = [9,10,7,6] crosses P3 = [2,3,4,7,10,11] at 10 then 7 (in
+        // P2's order) - the reverse-direction case of the paper's Figure 1.
+        let p2 = p(&[9, 10, 7, 6]);
+        let p3 = p(&[2, 3, 4, 7, 10, 11]);
+        assert_eq!(p2.shared_with(&p3), vec![NodeId(10), NodeId(7)]);
+        assert_eq!(p3.shared_with(&p2), vec![NodeId(7), NodeId(10)]);
+    }
+
+    #[test]
+    fn links_iterate_pairs() {
+        let path = p(&[1, 3, 4]);
+        let links: Vec<_> = path.links().collect();
+        assert_eq!(links, vec![(NodeId(1), NodeId(3)), (NodeId(3), NodeId(4))]);
+    }
+
+    #[test]
+    fn display_renders_arrows() {
+        assert_eq!(p(&[1, 2]).to_string(), "[1 -> 2]");
+    }
+}

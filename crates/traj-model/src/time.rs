@@ -1,0 +1,127 @@
+//! Discrete time and the integer arithmetic helpers of the paper.
+//!
+//! The analysis manipulates *signed* quantities (the activation instant `t`
+//! ranges over `[-Jᵢ, -Jᵢ + B)` and the alignment terms `A_{i,j}` may be
+//! negative), so ticks are `i64` throughout. Durations (periods, processing
+//! times, link delays) are non-negative by construction and validated at
+//! model-build time.
+
+/// A point or offset on the discrete time axis (may be negative).
+pub type Tick = i64;
+
+/// A non-negative span of ticks (periods, costs, delays, bounds).
+pub type Duration = i64;
+
+/// Floor division that is correct for negative numerators.
+///
+/// Rust's `/` truncates towards zero; the paper's `⌊a/b⌋` requires
+/// flooring. `b` must be positive.
+///
+/// ```
+/// use traj_model::floor_div;
+/// assert_eq!(floor_div(7, 2), 3);
+/// assert_eq!(floor_div(-7, 2), -4);
+/// assert_eq!(floor_div(-8, 2), -4);
+/// ```
+#[inline]
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "floor_div requires a positive divisor");
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division, correct for negative numerators. `b` must be positive.
+///
+/// ```
+/// use traj_model::ceil_div;
+/// assert_eq!(ceil_div(7, 2), 4);
+/// assert_eq!(ceil_div(8, 2), 4);
+/// assert_eq!(ceil_div(-7, 2), -3);
+/// ```
+#[inline]
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "ceil_div requires a positive divisor");
+    let q = a / b;
+    if a % b != 0 && (a > 0) == (b > 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// The paper's `(1 + ⌊a/b⌋)⁺` operator: `max(0, 1 + ⌊a/b⌋)`.
+///
+/// This is the maximum number of packets of a sporadic flow of period `b`
+/// that can be generated in a window of length `a` (closed at both ends),
+/// zero when the window is empty.
+///
+/// ```
+/// use traj_model::plus_one_floor;
+/// assert_eq!(plus_one_floor(0, 36), 1);   // a single release fits
+/// assert_eq!(plus_one_floor(35, 36), 1);
+/// assert_eq!(plus_one_floor(36, 36), 2);
+/// assert_eq!(plus_one_floor(-1, 36), 0);  // empty window
+/// ```
+#[inline]
+pub fn plus_one_floor(a: i64, b: i64) -> i64 {
+    (1 + floor_div(a, b)).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_div_matches_mathematical_floor() {
+        for a in -50..=50 {
+            for b in 1..=7 {
+                let expect = ((a as f64) / (b as f64)).floor() as i64;
+                assert_eq!(floor_div(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_div_matches_mathematical_ceil() {
+        for a in -50..=50 {
+            for b in 1..=7 {
+                let expect = ((a as f64) / (b as f64)).ceil() as i64;
+                assert_eq!(ceil_div(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_plus_ceil_relation() {
+        // ⌈a/b⌉ = ⌊(a + b - 1)/b⌋ for all integers a, positive b.
+        for a in -100..=100 {
+            for b in 1..=9 {
+                assert_eq!(ceil_div(a, b), floor_div(a + b - 1, b));
+            }
+        }
+    }
+
+    #[test]
+    fn plus_one_floor_is_window_packet_count() {
+        // A sporadic flow of period T releases at most 1 + floor(len/T)
+        // packets in a closed window of length len >= 0.
+        assert_eq!(plus_one_floor(71, 36), 2);
+        assert_eq!(plus_one_floor(72, 36), 3);
+        assert_eq!(plus_one_floor(-36, 36), 0);
+        assert_eq!(plus_one_floor(-37, 36), 0);
+    }
+
+    #[test]
+    fn plus_one_floor_is_monotone_in_window() {
+        let mut prev = 0;
+        for a in -80..=200 {
+            let v = plus_one_floor(a, 17);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Charny–Le Boudec closed-form delay bound for networks with FIFO
+//! aggregate scheduling ("Delay bounds in a network with aggregate
+//! scheduling", QoFIS 2000 — the paper's reference [11]).
+//!
+//! For a network where every flow traverses at most `H` hops and every
+//! node's utilisation by the aggregate is at most `ν`, the per-hop delay
+//! is bounded by `D₁ = e / (1 − (H−1) ν)` and the end-to-end delay by
+//! `H · D₁`, **provided** `ν < 1/(H−1)`. Above that utilisation threshold
+//! the bound does not exist — precisely the limitation the paper quotes
+//! ("valid only for reasonably small EF traffic utilization") to motivate
+//! the trajectory approach.
+
+use serde::{Deserialize, Serialize};
+use traj_model::FlowSet;
+
+use crate::rational::Ratio;
+
+/// Inputs of the closed-form bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharnyParams {
+    /// Maximum hop count `H` over all flows.
+    pub hops: i64,
+    /// Per-node utilisation bound `ν` of the aggregate.
+    pub utilisation: Ratio,
+    /// Per-hop latency term `e`: largest packet transmission time plus
+    /// the worst link delay.
+    pub per_hop_latency: Ratio,
+}
+
+impl CharnyParams {
+    /// Extracts the parameters from a flow set (unit-rate servers).
+    pub fn from_flow_set(set: &FlowSet) -> CharnyParams {
+        let hops = set
+            .flows()
+            .iter()
+            .map(|f| f.path.len() as i64)
+            .max()
+            .unwrap_or(1);
+        // ν = max over nodes of Σ C/T, as an exact rational.
+        let mut util = Ratio::ZERO;
+        for &n in set.network().nodes() {
+            let mut u = Ratio::ZERO;
+            for f in set.flows() {
+                let c = f.cost_at(n);
+                if c > 0 {
+                    u = u + Ratio::new(c as i128, f.period as i128);
+                }
+            }
+            util = util.max(u);
+        }
+        let max_packet = set.flows().iter().map(|f| f.max_cost()).max().unwrap_or(0);
+        CharnyParams {
+            hops,
+            utilisation: util,
+            per_hop_latency: Ratio::int(max_packet + set.network().lmax()),
+        }
+    }
+
+    /// The utilisation threshold `1/(H−1)` below which the bound exists.
+    pub fn threshold(&self) -> Option<Ratio> {
+        if self.hops <= 1 {
+            None // single hop: always stable below rate 1
+        } else {
+            Some(Ratio::new(1, (self.hops - 1) as i128))
+        }
+    }
+}
+
+/// End-to-end Charny–Le Boudec bound in ticks (`⌈H · e / (1 − (H−1)ν)⌉`),
+/// `None` when `ν ≥ 1/(H−1)` (outside the bound's validity region).
+pub fn charny_le_boudec_bound(p: &CharnyParams) -> Option<i64> {
+    if p.hops <= 1 {
+        return (p.utilisation < Ratio::ONE).then(|| p.per_hop_latency.ceil());
+    }
+    let hm1 = Ratio::int(p.hops - 1);
+    let denom = Ratio::ONE - hm1 * p.utilisation;
+    if denom <= Ratio::ZERO {
+        return None;
+    }
+    let d1 = p.per_hop_latency / denom;
+    Some((Ratio::int(p.hops) * d1).ceil())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::{line_topology, paper_example};
+
+    #[test]
+    fn bound_exists_below_threshold() {
+        let p = CharnyParams {
+            hops: 4,
+            utilisation: Ratio::new(1, 10),
+            per_hop_latency: Ratio::int(5),
+        };
+        assert_eq!(p.threshold(), Some(Ratio::new(1, 3)));
+        // D1 = 5 / (1 - 3/10) = 50/7; H*D1 = 200/7 -> 29
+        assert_eq!(charny_le_boudec_bound(&p), Some(29));
+    }
+
+    #[test]
+    fn bound_vanishes_at_threshold() {
+        let p = CharnyParams {
+            hops: 4,
+            utilisation: Ratio::new(1, 3),
+            per_hop_latency: Ratio::int(5),
+        };
+        assert_eq!(charny_le_boudec_bound(&p), None);
+        let above = CharnyParams { utilisation: Ratio::new(1, 2), ..p };
+        assert_eq!(charny_le_boudec_bound(&above), None);
+    }
+
+    #[test]
+    fn paper_example_parameters() {
+        let set = paper_example();
+        let p = CharnyParams::from_flow_set(&set);
+        assert_eq!(p.hops, 6);
+        // busiest node (3) carries 4 flows of 4/36 each.
+        assert_eq!(p.utilisation, Ratio::new(4, 9));
+        assert_eq!(p.per_hop_latency, Ratio::int(5));
+        // ν = 4/9 exceeds the validity threshold 1/(H−1) = 1/5: the
+        // closed-form bound does not exist — exactly the limitation the
+        // paper cites to motivate the trajectory approach, which bounds
+        // this very flow set without difficulty.
+        assert_eq!(p.threshold(), Some(Ratio::new(1, 5)));
+        assert_eq!(charny_le_boudec_bound(&p), None);
+    }
+
+    #[test]
+    fn trajectory_beats_charny_below_the_threshold() {
+        // A lightly-loaded shared line where the Charny bound exists:
+        // H = 3, ν = 2·4/100 = 2/25 < 1/2.
+        let set = line_topology(2, 3, 100, 4, 1, 1);
+        let p = CharnyParams::from_flow_set(&set);
+        assert!(p.utilisation < p.threshold().unwrap());
+        let charny = charny_le_boudec_bound(&p).unwrap();
+        let tr = traj_analysis::analyze_all(&set, &traj_analysis::AnalysisConfig::default());
+        for b in tr.bounds() {
+            assert!(b.unwrap() <= charny, "{b:?} > {charny}");
+        }
+    }
+
+    #[test]
+    fn single_hop_degenerates_gracefully() {
+        let set = line_topology(2, 1, 10, 3, 1, 1);
+        let p = CharnyParams::from_flow_set(&set);
+        assert_eq!(p.hops, 1);
+        assert!(charny_le_boudec_bound(&p).is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Token-bucket arrival curves, rate-latency service curves, and the
+//! three classic min-plus results: delay bound, backlog bound, output
+//! curve.
+//!
+//! With `α(t) = σ + ρ t` (for `t > 0`) and `β(t) = R (t − T)⁺`, provided
+//! `ρ ≤ R`:
+//!
+//! * delay (horizontal deviation):  `h(α, β) = T + σ / R`;
+//! * backlog (vertical deviation):  `v(α, β) = σ + ρ T`;
+//! * output curve:                  `α*(t) = (σ + ρ T) + ρ t`.
+//!
+//! These closed forms make the general min-plus convolution unnecessary
+//! for the affine/rate-latency family used here, keeping everything exact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Ratio;
+
+/// A token-bucket ("leaky bucket") arrival curve `α(t) = σ + ρ t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalCurve {
+    /// Burst `σ` (work units).
+    pub sigma: Ratio,
+    /// Sustained rate `ρ` (work units per tick).
+    pub rho: Ratio,
+}
+
+impl ArrivalCurve {
+    /// The arrival curve of a sporadic flow with per-node work `c`, period
+    /// `t`, and release jitter `j`: rate `c/t`, burst `c + (c/t)·j`
+    /// (jitter lets a packet arrive up to `j` early, inflating the burst).
+    pub fn sporadic(c: i64, t: i64, j: i64) -> ArrivalCurve {
+        let rho = Ratio::new(c as i128, t as i128);
+        let sigma = Ratio::int(c) + rho * Ratio::int(j);
+        ArrivalCurve { sigma, rho }
+    }
+
+    /// Evaluates `α(t)` for `t >= 0` (with `α(0) = σ`, the right-limit
+    /// convention).
+    pub fn eval(&self, t: Ratio) -> Ratio {
+        self.sigma + self.rho * t
+    }
+
+    /// Aggregates two curves (`α₁ + α₂`): sums of bursts and rates.
+    pub fn aggregate(&self, other: &ArrivalCurve) -> ArrivalCurve {
+        ArrivalCurve { sigma: self.sigma + other.sigma, rho: self.rho + other.rho }
+    }
+
+    /// Sum over an iterator of curves.
+    pub fn sum<'a>(curves: impl IntoIterator<Item = &'a ArrivalCurve>) -> ArrivalCurve {
+        curves
+            .into_iter()
+            .fold(ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO }, |acc, c| {
+                acc.aggregate(c)
+            })
+    }
+}
+
+/// A rate-latency service curve `β(t) = R (t − T)⁺`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceCurve {
+    /// Service rate `R` (work units per tick).
+    pub rate: Ratio,
+    /// Latency `T` (ticks).
+    pub latency: Ratio,
+}
+
+impl ServiceCurve {
+    /// A constant-rate server (latency 0).
+    pub fn constant_rate(rate: Ratio) -> ServiceCurve {
+        ServiceCurve { rate, latency: Ratio::ZERO }
+    }
+
+    /// The concatenation of two rate-latency servers
+    /// (`β₁ ⊗ β₂` is again rate-latency): `min(R₁,R₂)`, `T₁+T₂`.
+    pub fn concatenate(&self, other: &ServiceCurve) -> ServiceCurve {
+        ServiceCurve {
+            rate: self.rate.min(other.rate),
+            latency: self.latency + other.latency,
+        }
+    }
+
+    /// The residual service left for a flow after serving a higher- or
+    /// equal-priority aggregate `cross` (blind multiplexing):
+    /// `R' = R − ρ_cross`, `T' = (T R + σ_cross)/(R − ρ_cross)`.
+    /// `None` when the cross rate saturates the server.
+    pub fn residual(&self, cross: &ArrivalCurve) -> Option<ServiceCurve> {
+        if cross.rho >= self.rate {
+            return None;
+        }
+        let rate = self.rate - cross.rho;
+        let latency = (self.latency * self.rate + cross.sigma) / rate;
+        Some(ServiceCurve { rate, latency })
+    }
+}
+
+/// Delay bound `h(α, β) = T + σ/R`, `None` when `ρ > R` (unstable).
+pub fn delay_bound(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<Ratio> {
+    if alpha.rho > beta.rate {
+        return None;
+    }
+    Some(beta.latency + alpha.sigma / beta.rate)
+}
+
+/// Backlog bound `v(α, β) = σ + ρ T`, `None` when `ρ > R`.
+pub fn backlog_bound(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<Ratio> {
+    if alpha.rho > beta.rate {
+        return None;
+    }
+    Some(alpha.sigma + alpha.rho * beta.latency)
+}
+
+/// Output arrival curve `α* = (σ + ρ T, ρ)` after crossing `β`, `None`
+/// when unstable.
+pub fn output_curve(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<ArrivalCurve> {
+    if alpha.rho > beta.rate {
+        return None;
+    }
+    Some(ArrivalCurve { sigma: alpha.sigma + alpha.rho * beta.latency, rho: alpha.rho })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn sporadic_arrival_curve() {
+        let a = ArrivalCurve::sporadic(4, 36, 0);
+        assert_eq!(a.sigma, Ratio::int(4));
+        assert_eq!(a.rho, r(1, 9));
+        let aj = ArrivalCurve::sporadic(4, 36, 9);
+        assert_eq!(aj.sigma, Ratio::int(5));
+    }
+
+    #[test]
+    fn aggregation_sums_components() {
+        let a = ArrivalCurve::sporadic(4, 36, 0);
+        let b = ArrivalCurve::sporadic(2, 18, 0);
+        let s = a.aggregate(&b);
+        assert_eq!(s.sigma, Ratio::int(6));
+        assert_eq!(s.rho, r(2, 9));
+        let many = ArrivalCurve::sum([&a, &b, &a]);
+        assert_eq!(many.sigma, Ratio::int(10));
+    }
+
+    #[test]
+    fn delay_backlog_output_closed_forms() {
+        let alpha = ArrivalCurve { sigma: Ratio::int(6), rho: r(1, 4) };
+        let beta = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(2) };
+        assert_eq!(delay_bound(&alpha, &beta), Some(Ratio::int(8)));
+        assert_eq!(backlog_bound(&alpha, &beta), Some(r(13, 2)));
+        let out = output_curve(&alpha, &beta).unwrap();
+        assert_eq!(out.sigma, r(13, 2));
+        assert_eq!(out.rho, alpha.rho);
+    }
+
+    #[test]
+    fn instability_detected() {
+        let alpha = ArrivalCurve { sigma: Ratio::int(1), rho: Ratio::int(2) };
+        let beta = ServiceCurve::constant_rate(Ratio::int(1));
+        assert_eq!(delay_bound(&alpha, &beta), None);
+        assert_eq!(backlog_bound(&alpha, &beta), None);
+        assert!(output_curve(&alpha, &beta).is_none());
+    }
+
+    #[test]
+    fn concatenation_is_rate_latency() {
+        let b1 = ServiceCurve { rate: Ratio::int(2), latency: Ratio::int(1) };
+        let b2 = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(3) };
+        let c = b1.concatenate(&b2);
+        assert_eq!(c.rate, Ratio::int(1));
+        assert_eq!(c.latency, Ratio::int(4));
+    }
+
+    #[test]
+    fn residual_service() {
+        let beta = ServiceCurve::constant_rate(Ratio::int(1));
+        let cross = ArrivalCurve { sigma: Ratio::int(8), rho: r(1, 2) };
+        let res = beta.residual(&cross).unwrap();
+        assert_eq!(res.rate, r(1, 2));
+        assert_eq!(res.latency, Ratio::int(16));
+        let saturating = ArrivalCurve { sigma: Ratio::int(1), rho: Ratio::int(1) };
+        assert!(beta.residual(&saturating).is_none());
+    }
+
+    #[test]
+    fn pay_bursts_only_once_beats_per_hop_sum() {
+        // The PBOO phenomenon: delay through the concatenation is smaller
+        // than the sum of per-hop delays.
+        let alpha = ArrivalCurve { sigma: Ratio::int(10), rho: r(1, 10) };
+        let b = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(1) };
+        let through = delay_bound(&alpha, &b.concatenate(&b)).unwrap();
+        let hop1 = delay_bound(&alpha, &b).unwrap();
+        let out1 = output_curve(&alpha, &b).unwrap();
+        let hop2 = delay_bound(&out1, &b).unwrap();
+        assert!(through < hop1 + hop2);
+    }
+}

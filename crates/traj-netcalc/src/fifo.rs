@@ -1,0 +1,214 @@
+//! Per-node FIFO-aggregate end-to-end analysis.
+//!
+//! Every node is a unit-rate server (one work unit per tick, matching the
+//! model's "processing time" semantics) shared FIFO by all flows crossing
+//! it. For each flow the analysis walks its path:
+//!
+//! 1. at node `h`, the *aggregate* arrival curve of all crossing flows
+//!    (each with its burstiness as accumulated so far) is put through the
+//!    node's service curve; for FIFO, every packet of the aggregate that
+//!    is present ahead of the studied packet delays it, so the flow's
+//!    per-node delay bound is the aggregate's delay bound;
+//! 2. the flow's own curve is updated with the node's output-burstiness
+//!    formula and the link delay spread widens the burst further;
+//! 3. the end-to-end bound is the sum of per-node delays plus `Σ Lmax`.
+//!
+//! Burstiness of *cross* traffic at a node is approximated by running the
+//! same accumulation for every flow (computed once, in path order). This
+//! is the textbook per-hop FIFO bound — it pays bursts at every hop, which
+//! is exactly the pessimism the trajectory approach removes; the
+//! comparison is the point of this crate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use traj_model::{Duration, FlowId, FlowSet, NodeId};
+
+use crate::curves::{delay_bound, ArrivalCurve, ServiceCurve};
+use crate::rational::Ratio;
+
+/// End-to-end result for one flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetcalcFlowResult {
+    /// The flow.
+    pub flow: FlowId,
+    /// Per-node delay bounds (ticks, exact rationals rounded up at the
+    /// very end only).
+    pub per_node: Vec<(NodeId, Ratio)>,
+    /// End-to-end delay bound in ticks (`⌈·⌉` of the rational sum plus
+    /// link delays), `None` when some node is unstable for the aggregate.
+    pub total: Option<Duration>,
+}
+
+/// Runs the per-node FIFO network-calculus analysis for every flow.
+///
+/// Returns results in flow-set order. A node whose aggregate rate reaches
+/// the service rate makes every flow crossing it unbounded (`total =
+/// None`), mirroring the divergence verdicts of the other analyses.
+pub fn analyze_netcalc(set: &FlowSet) -> Vec<NetcalcFlowResult> {
+    // Pass 1: accumulate each flow's arrival curve at each of its nodes
+    // (burstiness grows hop by hop). Iterate to a fixed point because the
+    // delay at a node depends on cross-flow bursts at that node, which
+    // depend on their upstream delays, which depend on this flow's bursts.
+    let mut curve_at: HashMap<(FlowId, NodeId), ArrivalCurve> = HashMap::new();
+    for f in set.flows() {
+        let c = ArrivalCurve::sporadic(f.max_cost(), f.period, f.jitter);
+        for &h in f.path.nodes() {
+            curve_at.insert((f.id, h), c);
+        }
+    }
+    let unit = ServiceCurve::constant_rate(Ratio::ONE);
+
+    // Monotone iteration: bursts only grow; stop on fixed point or after a
+    // round limit. Bursts are quantised to integers (rounding *up*, hence
+    // still sound) so denominators cannot blow up across rounds. Cyclic
+    // flow dependencies can make per-hop burstiness grow without bound
+    // even below utilisation 1 — the very phenomenon the Charny-Le Boudec
+    // threshold captures — so non-convergence is reported as instability.
+    let mut converged = false;
+    const SIGMA_GUARD: i64 = 1 << 40;
+    'rounds: for _ in 0..256 {
+        let mut changed = false;
+        for f in set.flows() {
+            let mut cur = ArrivalCurve::sporadic(f.max_cost(), f.period, f.jitter);
+            for (k, &h) in f.path.nodes().iter().enumerate() {
+                let slot = curve_at.get_mut(&(f.id, h)).expect("seeded");
+                if slot.sigma < cur.sigma {
+                    *slot = cur;
+                    changed = true;
+                }
+                let cur_stored = *curve_at.get(&(f.id, h)).expect("seeded");
+                // Aggregate at h with everyone's current curves.
+                let agg = aggregate_at(set, &curve_at, h);
+                let Some(d) = delay_bound(&agg, &unit) else {
+                    // Unstable node: freeze; totals become None later.
+                    break;
+                };
+                let mut sigma = cur_stored.sigma + cur_stored.rho * d;
+                // Link jitter widens the burst further.
+                if k + 1 < f.path.len() {
+                    let link =
+                        set.network().link_delay(h, f.path.nodes()[k + 1]);
+                    sigma = sigma + cur_stored.rho * Ratio::int(link.spread());
+                }
+                // Quantise up: sound and keeps the arithmetic small.
+                let sigma = Ratio::int(sigma.ceil());
+                if sigma > Ratio::int(SIGMA_GUARD) {
+                    break 'rounds; // divergent feedback loop
+                }
+                cur = ArrivalCurve { sigma, rho: cur_stored.rho };
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    // Pass 2: per-flow delay accumulation with the converged curves.
+    set.flows()
+        .iter()
+        .map(|f| {
+            let mut per_node = Vec::new();
+            let mut total = Ratio::ZERO;
+            let mut ok = converged;
+            for &h in f.path.nodes() {
+                let agg = aggregate_at(set, &curve_at, h);
+                match delay_bound(&agg, &unit) {
+                    Some(d) => {
+                        per_node.push((h, d));
+                        total = total + d;
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let links: i64 = f
+                .path
+                .links()
+                .map(|(a, b)| set.network().link_delay(a, b).lmax)
+                .sum();
+            NetcalcFlowResult {
+                flow: f.id,
+                per_node,
+                total: ok.then(|| total.ceil() + links),
+            }
+        })
+        .collect()
+}
+
+fn aggregate_at(
+    set: &FlowSet,
+    curve_at: &HashMap<(FlowId, NodeId), ArrivalCurve>,
+    node: NodeId,
+) -> ArrivalCurve {
+    let mut agg = ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO };
+    for f in set.flows() {
+        if let Some(c) = curve_at.get(&(f.id, node)) {
+            agg = agg.aggregate(c);
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::{line_topology, paper_example};
+
+    #[test]
+    fn paper_example_is_bounded_and_sound_vs_trajectory_floor() {
+        let set = paper_example();
+        let res = analyze_netcalc(&set);
+        assert_eq!(res.len(), 5);
+        for (r, f) in res.iter().zip(set.flows()) {
+            let t = r.total.expect("utilisation < 1 everywhere");
+            // Any sound upper bound is at least the uncontended floor.
+            let floor = f.total_cost() + (f.path.len() as i64 - 1);
+            assert!(t >= floor, "flow {}: {} < {}", f.id, t, floor);
+        }
+    }
+
+    #[test]
+    fn single_flow_line_pays_bursts_per_hop() {
+        let set = line_topology(1, 3, 100, 5, 1, 1);
+        let res = analyze_netcalc(&set);
+        // Per-hop accumulation: burst 5 at node 1 (delay 5), then the
+        // output burst inflates by rho*d and is quantised up: 6 at node 2,
+        // 7 at node 3; plus 2 links. The true transit is 17 — this gap is
+        // precisely the per-hop pessimism the trajectory approach avoids.
+        assert_eq!(res[0].total, Some(5 + 6 + 7 + 2));
+    }
+
+    #[test]
+    fn overload_yields_none() {
+        let set = line_topology(3, 2, 10, 5, 1, 1); // utilisation 1.5
+        let res = analyze_netcalc(&set);
+        for r in res {
+            assert_eq!(r.total, None);
+        }
+    }
+
+    #[test]
+    fn burstiness_accumulates_along_the_path() {
+        // With two flows sharing a line, per-node delays grow downstream.
+        let set = line_topology(2, 4, 50, 5, 1, 1);
+        let res = analyze_netcalc(&set);
+        let d: Vec<Ratio> = res[0].per_node.iter().map(|(_, d)| *d).collect();
+        assert!(d.last().unwrap() > d.first().unwrap());
+    }
+
+    #[test]
+    fn netcalc_is_more_pessimistic_than_trajectory_on_shared_lines() {
+        // Multi-hop shared line: paying bursts at every hop must cost at
+        // least as much as the trajectory bound.
+        let set = line_topology(4, 5, 100, 4, 1, 1);
+        let nc = analyze_netcalc(&set);
+        let tr = traj_analysis::analyze_all(&set, &traj_analysis::AnalysisConfig::default());
+        for (n, t) in nc.iter().zip(tr.bounds()) {
+            assert!(n.total.unwrap() >= t.unwrap());
+        }
+    }
+}

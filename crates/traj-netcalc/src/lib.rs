@@ -1,0 +1,31 @@
+//! Network-calculus baseline (paper §3, related work [4][11]).
+//!
+//! The paper discusses deterministic network calculus as the other
+//! established route to end-to-end FIFO delay bounds. This crate provides:
+//!
+//! * exact rational arithmetic ([`rational::Ratio`]) so curve algebra
+//!   stays integer-exact like the rest of the workspace;
+//! * token-bucket arrival curves `α(t) = σ + ρ t` and rate-latency service
+//!   curves `β(t) = R (t − T)⁺` ([`curves`]);
+//! * the min-plus results used here: delay bound (horizontal deviation),
+//!   backlog bound (vertical deviation), output arrival curve
+//!   ([`curves`]);
+//! * a per-node FIFO-aggregate end-to-end analysis that propagates
+//!   burstiness hop by hop ([`fifo`]);
+//! * the Charny–Le Boudec closed-form bound for FIFO aggregates, valid
+//!   only below the utilisation threshold `1/(H−1)` — the very limitation
+//!   the paper cites when motivating the trajectory approach ([`charny`]);
+//! * exact staircase curves for sporadic flows ([`staircase`]), tighter
+//!   than the affine approximation on single nodes.
+
+pub mod charny;
+pub mod curves;
+pub mod fifo;
+pub mod rational;
+pub mod staircase;
+
+pub use charny::{charny_le_boudec_bound, CharnyParams};
+pub use curves::{ArrivalCurve, ServiceCurve};
+pub use fifo::{analyze_netcalc, NetcalcFlowResult};
+pub use rational::Ratio;
+pub use staircase::{staircase_delay_bound, staircase_node_delay, Staircase};

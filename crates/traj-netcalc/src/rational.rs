@@ -1,0 +1,193 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Network-calculus slopes (`ρ = C/T`) are rarely integers; floating point
+//! would make bound comparisons flaky. This minimal rational type keeps
+//! every curve operation exact. Values stay tiny (numerators bounded by
+//! products of a few periods), so `i128` never overflows in practice and
+//! every operation normalises eagerly.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den`, normalised with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds and normalises `num / den`; panics on a zero denominator.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Ratio { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// An integer as a rational.
+    pub fn int(v: i64) -> Ratio {
+        Ratio { num: v as i128, den: 1 }
+    }
+
+    /// Numerator (normalised).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normalised, positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True when the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// `⌈self⌉` as an integer.
+    pub fn ceil(&self) -> i64 {
+        let q = self.num.div_euclid(self.den);
+        let r = self.num.rem_euclid(self.den);
+        (if r == 0 { q } else { q + 1 }) as i64
+    }
+
+    /// `⌊self⌋` as an integer.
+    pub fn floor(&self) -> i64 {
+        self.num.div_euclid(self.den) as i64
+    }
+
+    /// Approximate value for reporting.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `max(self, 0)`.
+    pub fn clamp_nonneg(&self) -> Ratio {
+        if self.num < 0 {
+            Ratio::ZERO
+        } else {
+            *self
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, o: Ratio) -> Ratio {
+        assert!(o.num != 0, "division by zero");
+        Ratio::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, o: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, o: &Ratio) -> Ordering {
+        (self.num * o.den).cmp(&(o.num * self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::int(2));
+        assert_eq!(-a, Ratio::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering_and_rounding() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert_eq!(Ratio::new(7, 2).ceil(), 4);
+        assert_eq!(Ratio::new(7, 2).floor(), 3);
+        assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+        assert_eq!(Ratio::new(-7, 2).floor(), -4);
+        assert_eq!(Ratio::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn clamp() {
+        assert_eq!(Ratio::new(-1, 2).clamp_nonneg(), Ratio::ZERO);
+        assert_eq!(Ratio::new(1, 2).clamp_nonneg(), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(3, 1).to_string(), "3");
+        assert_eq!(Ratio::new(1, 2).to_string(), "1/2");
+    }
+}

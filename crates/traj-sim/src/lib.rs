@@ -1,0 +1,36 @@
+//! Discrete-event network simulator for FIFO / DiffServ store-and-forward
+//! networks.
+//!
+//! The paper's evaluation is purely analytical; this crate supplies the
+//! missing empirical substrate (DESIGN.md §3): it realises exactly the
+//! paper's network model — per-node non-preemptive servers, FIFO links
+//! with delays in `[Lmin, Lmax]`, sporadic sources with release jitter —
+//! and measures actual end-to-end response times, so that every analytical
+//! bound can be checked against observed behaviour (`observed ≤ bound`).
+//!
+//! * [`engine`] — the event-driven simulator core;
+//! * [`scheduler`] — queue disciplines: FIFO, and the paper's Figure 3
+//!   DiffServ router (fixed priority for EF, start-time fair queueing
+//!   among AF/best-effort);
+//! * [`source`] — release patterns (periodic with offsets, bounded release
+//!   jitter, sporadic gaps);
+//! * [`adversary`] — randomised offset search for near-worst-case
+//!   scenarios;
+//! * [`validate`] — the harness comparing observed worst cases against
+//!   analytical bounds.
+
+pub mod adversary;
+pub mod engine;
+pub mod scheduler;
+pub mod source;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use adversary::{adversarial_search, AdversaryParams};
+pub use engine::{DelayPolicy, SimConfig, Simulator, TieBreak};
+pub use scheduler::SchedulerKind;
+pub use source::ReleasePattern;
+pub use stats::{FlowStats, SimOutcome};
+pub use trace::{BusyPeriod, HopTimeline, Trace, TraceRecorder};
+pub use validate::{validate_bounds, ValidationRow};

@@ -1,0 +1,196 @@
+//! Queue disciplines for the node servers.
+//!
+//! Two disciplines cover the paper:
+//!
+//! * [`SchedulerKind::Fifo`] — the §4 model: one queue ordered by arrival
+//!   time (ties broken by an explicit key so adversarial tie-breaking is
+//!   reproducible);
+//! * [`SchedulerKind::DiffServ`] — the §6 / Figure 3 router: the EF class
+//!   is served at fixed priority (FIFO within the class); AF and
+//!   best-effort packets share the remaining capacity under start-time
+//!   fair queueing (a standard practical WFQ approximation), and service
+//!   is non-preemptive: an EF arrival waits for the residual transmission.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use traj_model::Tick;
+
+/// A packet waiting in a node queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Index of the flow in the flow set.
+    pub flow_idx: usize,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// Arrival time at this node.
+    pub arrival: Tick,
+    /// Tie-breaking key for simultaneous arrivals (smaller first).
+    pub tie_key: u64,
+    /// Remaining hops (index into the path).
+    pub hop: usize,
+    /// Service demand at this node.
+    pub cost: i64,
+    /// Scheduling band: 0 = EF (or everything for plain FIFO), 1 = lower.
+    pub band: u8,
+    /// WFQ weight of the packet's class (used in band 1).
+    pub weight: u32,
+}
+
+/// Which discipline a node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Single FIFO queue for all packets (paper §4).
+    #[default]
+    Fifo,
+    /// EF at fixed priority over a fair-queued lower band (paper §6).
+    DiffServ,
+}
+
+/// Node queue state.
+#[derive(Debug)]
+pub struct NodeQueue {
+    kind: SchedulerKind,
+    fifo: VecDeque<QueuedPacket>,
+    /// Lower band under start-time fair queueing: (start_tag, packet).
+    lower: Vec<(u64, QueuedPacket)>,
+    /// SFQ virtual time: start tag of the last dequeued lower packet.
+    virtual_time: u64,
+    /// Per-weight-class last finish tag (indexed by band-1 class weight).
+    last_finish: std::collections::HashMap<u32, u64>,
+}
+
+impl NodeQueue {
+    /// An empty queue of the given discipline.
+    pub fn new(kind: SchedulerKind) -> Self {
+        NodeQueue {
+            kind,
+            fifo: VecDeque::new(),
+            lower: Vec::new(),
+            virtual_time: 0,
+            last_finish: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Whether no packet waits.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.lower.is_empty()
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.fifo.len() + self.lower.len()
+    }
+
+    /// Enqueues a packet.
+    pub fn push(&mut self, p: QueuedPacket) {
+        match (self.kind, p.band) {
+            (SchedulerKind::Fifo, _) | (SchedulerKind::DiffServ, 0) => {
+                // FIFO insertion ordered by (arrival, tie_key); packets
+                // arrive mostly in order so scan from the back.
+                let pos = self
+                    .fifo
+                    .iter()
+                    .rposition(|q| (q.arrival, q.tie_key) <= (p.arrival, p.tie_key))
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                self.fifo.insert(pos, p);
+            }
+            (SchedulerKind::DiffServ, _) => {
+                // SFQ: start tag = max(virtual time, class's last finish).
+                let lf = self.last_finish.entry(p.weight).or_insert(0);
+                let start = (*lf).max(self.virtual_time);
+                let finish = start + (p.cost as u64 * 1000) / p.weight.max(1) as u64;
+                *lf = finish;
+                self.lower.push((start, p));
+            }
+        }
+    }
+
+    /// Dequeues the next packet to serve (non-preemptive: the engine only
+    /// calls this when the server is idle).
+    pub fn pop(&mut self) -> Option<QueuedPacket> {
+        if let Some(p) = self.fifo.pop_front() {
+            return Some(p);
+        }
+        if self.lower.is_empty() {
+            return None;
+        }
+        // Smallest start tag; ties by (arrival, tie_key) for determinism.
+        let (idx, _) = self
+            .lower
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (tag, p))| (*tag, p.arrival, p.tie_key))
+            .expect("non-empty");
+        let (tag, p) = self.lower.remove(idx);
+        self.virtual_time = self.virtual_time.max(tag);
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: usize, arrival: Tick, tie: u64, band: u8, weight: u32) -> QueuedPacket {
+        QueuedPacket {
+            flow_idx: flow,
+            seq: 0,
+            arrival,
+            tie_key: tie,
+            hop: 0,
+            cost: 4,
+            band,
+            weight,
+        }
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_then_tie_key() {
+        let mut q = NodeQueue::new(SchedulerKind::Fifo);
+        q.push(pkt(1, 10, 0, 0, 1));
+        q.push(pkt(2, 5, 9, 0, 1));
+        q.push(pkt(3, 5, 1, 0, 1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().flow_idx, 3);
+        assert_eq!(q.pop().unwrap().flow_idx, 2);
+        assert_eq!(q.pop().unwrap().flow_idx, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn diffserv_ef_preempts_queueing_order_not_service() {
+        let mut q = NodeQueue::new(SchedulerKind::DiffServ);
+        q.push(pkt(1, 0, 0, 1, 10)); // best effort, arrived first
+        q.push(pkt(2, 3, 0, 0, 1)); // EF, arrived later
+        assert_eq!(q.pop().unwrap().flow_idx, 2, "EF band served first");
+        assert_eq!(q.pop().unwrap().flow_idx, 1);
+    }
+
+    #[test]
+    fn sfq_shares_by_weight() {
+        let mut q = NodeQueue::new(SchedulerKind::DiffServ);
+        // Two classes, weight 2 vs 1, three packets each, same arrivals.
+        for s in 0..3 {
+            q.push(QueuedPacket { seq: s, ..pkt(1, 0, 1, 1, 2) });
+            q.push(QueuedPacket { seq: s, ..pkt(2, 0, 2, 1, 1) });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|p| p.flow_idx))
+            .collect();
+        // Weight-2 flow must get 2 of the first 3 services.
+        let heavy_early = order[..3].iter().filter(|&&f| f == 1).count();
+        assert!(heavy_early >= 2, "order was {order:?}");
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn fifo_tie_key_is_total_order() {
+        let mut q = NodeQueue::new(SchedulerKind::Fifo);
+        for tie in [4u64, 2, 7, 0] {
+            q.push(pkt(tie as usize, 0, tie, 0, 1));
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|p| p.tie_key)).collect();
+        assert_eq!(popped, vec![0, 2, 4, 7]);
+    }
+}

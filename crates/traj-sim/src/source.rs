@@ -1,0 +1,132 @@
+//! Packet release patterns.
+//!
+//! A sporadic flow of period `T` with release jitter `J` may release its
+//! `k`-th packet at any `offset + k·T' + j` with `T' ≥ T` and `j ∈ [0, J]`.
+//! The patterns here cover the deterministic corners used by the
+//! adversarial search and randomised soak testing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traj_model::{SporadicFlow, Tick};
+
+/// How a flow releases packets during a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReleasePattern {
+    /// Strictly periodic from `offset` (the densest legal pattern).
+    Periodic {
+        /// Phase of the first release.
+        offset: Tick,
+    },
+    /// Periodic base releases, each delayed by an independent random
+    /// jitter in `[0, Jᵢ]`.
+    JitteredPeriodic {
+        /// Phase of the first release.
+        offset: Tick,
+        /// RNG seed for the per-packet jitters.
+        seed: u64,
+    },
+    /// Sporadic: inter-arrival `Tᵢ + gap`, gaps uniform in `[0, max_gap]`.
+    Sporadic {
+        /// Phase of the first release.
+        offset: Tick,
+        /// Largest extra gap.
+        max_gap: i64,
+        /// RNG seed for the gaps.
+        seed: u64,
+    },
+    /// Explicit release instants (must be non-decreasing and respect the
+    /// period; validated by [`ReleasePattern::releases`] in debug builds).
+    Explicit(Vec<Tick>),
+}
+
+impl ReleasePattern {
+    /// The first `n` release instants of `flow` under this pattern.
+    pub fn releases(&self, flow: &SporadicFlow, n: usize) -> Vec<Tick> {
+        match self {
+            ReleasePattern::Periodic { offset } => {
+                (0..n as i64).map(|k| offset + k * flow.period).collect()
+            }
+            ReleasePattern::JitteredPeriodic { offset, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..n as i64)
+                    .map(|k| {
+                        let j = if flow.jitter > 0 {
+                            rng.gen_range(0..=flow.jitter)
+                        } else {
+                            0
+                        };
+                        offset + k * flow.period + j
+                    })
+                    .collect()
+            }
+            ReleasePattern::Sporadic { offset, max_gap, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut t = *offset;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(t);
+                    let gap = if *max_gap > 0 { rng.gen_range(0..=*max_gap) } else { 0 };
+                    t += flow.period + gap;
+                }
+                out
+            }
+            ReleasePattern::Explicit(v) => {
+                let out: Vec<Tick> = v.iter().copied().take(n).collect();
+                debug_assert!(
+                    out.windows(2).all(|w| w[1] - w[0] >= flow.period),
+                    "explicit releases violate the minimum inter-arrival time"
+                );
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::Path;
+
+    fn flow(period: i64, jitter: i64) -> SporadicFlow {
+        SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), period, 2, jitter, 99)
+            .unwrap()
+    }
+
+    #[test]
+    fn periodic_releases() {
+        let f = flow(10, 0);
+        let r = ReleasePattern::Periodic { offset: 3 }.releases(&f, 4);
+        assert_eq!(r, vec![3, 13, 23, 33]);
+    }
+
+    #[test]
+    fn jittered_releases_stay_in_window_and_are_deterministic() {
+        let f = flow(10, 4);
+        let p = ReleasePattern::JitteredPeriodic { offset: 0, seed: 5 };
+        let a = p.releases(&f, 50);
+        let b = p.releases(&f, 50);
+        assert_eq!(a, b);
+        for (k, t) in a.iter().enumerate() {
+            let base = k as i64 * 10;
+            assert!(*t >= base && *t <= base + 4, "release {k} at {t}");
+        }
+    }
+
+    #[test]
+    fn sporadic_respects_min_interarrival() {
+        let f = flow(10, 0);
+        let r = ReleasePattern::Sporadic { offset: 0, max_gap: 7, seed: 1 }.releases(&f, 30);
+        for w in r.windows(2) {
+            assert!(w[1] - w[0] >= 10);
+            assert!(w[1] - w[0] <= 17);
+        }
+    }
+
+    #[test]
+    fn explicit_passthrough() {
+        let f = flow(5, 0);
+        let r = ReleasePattern::Explicit(vec![0, 5, 11]).releases(&f, 2);
+        assert_eq!(r, vec![0, 5]);
+    }
+}

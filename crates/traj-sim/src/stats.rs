@@ -1,0 +1,93 @@
+//! Simulation outcome: per-flow response-time statistics.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowId};
+
+/// Response-time statistics of one flow over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// The flow.
+    pub flow: FlowId,
+    /// Delivered packets.
+    pub delivered: u64,
+    /// Worst observed end-to-end response time.
+    pub max_response: Duration,
+    /// Best observed end-to-end response time.
+    pub min_response: Duration,
+    /// Sum of response times (for the mean).
+    pub total_response: i64,
+}
+
+impl FlowStats {
+    pub(crate) fn empty(flow: FlowId) -> Self {
+        FlowStats {
+            flow,
+            delivered: 0,
+            max_response: 0,
+            min_response: i64::MAX,
+            total_response: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, response: Duration) {
+        self.delivered += 1;
+        self.max_response = self.max_response.max(response);
+        self.min_response = self.min_response.min(response);
+        self.total_response += response;
+    }
+
+    /// Mean response time, `None` before any delivery.
+    pub fn mean_response(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.total_response as f64 / self.delivered as f64)
+    }
+
+    /// Observed end-to-end jitter (max − min response).
+    pub fn observed_jitter(&self) -> Duration {
+        if self.delivered == 0 {
+            0
+        } else {
+            self.max_response - self.min_response
+        }
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-flow statistics, in flow-set order.
+    pub flows: Vec<FlowStats>,
+    /// Total simulated ticks.
+    pub horizon: i64,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Largest observed backlog per node (queued work in ticks, including
+    /// the packet in service), keyed by node id. Cross-validated against
+    /// the network-calculus backlog bound in the integration tests.
+    pub max_backlog: std::collections::HashMap<u32, i64>,
+}
+
+impl SimOutcome {
+    /// Stats of one flow.
+    pub fn for_flow(&self, flow: FlowId) -> Option<&FlowStats> {
+        self.flows.iter().find(|s| s.flow == flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_extrema() {
+        let mut s = FlowStats::empty(FlowId(1));
+        assert_eq!(s.mean_response(), None);
+        s.record(10);
+        s.record(4);
+        s.record(7);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.max_response, 10);
+        assert_eq!(s.min_response, 4);
+        assert_eq!(s.mean_response(), Some(7.0));
+        assert_eq!(s.observed_jitter(), 6);
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-packet event traces and busy-period reconstruction.
+//!
+//! The paper's Figure 2 illustrates the worst-case trajectory as a chain
+//! of busy periods linked backwards from the last node to the ingress.
+//! [`TraceRecorder`] captures every queueing/service event of a run so
+//! that exactly this structure can be *observed*: for a delivered packet,
+//! [`Trace::trajectory`] extracts its per-hop timeline, and
+//! [`Trace::busy_periods`] reconstructs the maximal busy intervals of a
+//! node's server — the empirical counterpart of the `bp_h` chains in the
+//! analysis.
+
+use serde::{Deserialize, Serialize};
+use traj_model::{FlowId, NodeId, Tick};
+
+/// One recorded event in a packet's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// Entered a node's queue.
+    Enqueued,
+    /// Started service at a node.
+    ServiceStart,
+    /// Completed service at a node.
+    ServiceEnd,
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event time.
+    pub time: Tick,
+    /// Node where it happened.
+    pub node: NodeId,
+    /// The packet's flow.
+    pub flow: FlowId,
+    /// The packet's sequence number within the flow.
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Collects events during a simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Finalises into an immutable, time-sorted [`Trace`].
+    pub fn finish(mut self) -> Trace {
+        self.events.sort_by_key(|e| (e.time, e.node, e.flow, e.seq));
+        Trace { events: self.events }
+    }
+}
+
+/// An immutable, queryable event trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// One hop of a packet's observed trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopTimeline {
+    /// The node.
+    pub node: NodeId,
+    /// Arrival (enqueue) time.
+    pub arrival: Tick,
+    /// Service start.
+    pub start: Tick,
+    /// Service completion.
+    pub end: Tick,
+}
+
+impl HopTimeline {
+    /// Queueing delay at this hop.
+    pub fn queueing(&self) -> Tick {
+        self.start - self.arrival
+    }
+}
+
+/// A maximal busy interval of one node's server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyPeriod {
+    /// The node.
+    pub node: NodeId,
+    /// First service start of the interval.
+    pub start: Tick,
+    /// Last service end of the interval.
+    pub end: Tick,
+    /// Packets served, in service order.
+    pub packets: Vec<(FlowId, u64)>,
+}
+
+impl BusyPeriod {
+    /// Length of the interval.
+    pub fn len(&self) -> Tick {
+        self.end - self.start
+    }
+
+    /// Busy periods are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Trace {
+    /// All events, time-sorted.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The per-hop timeline of one packet, in path order; empty when the
+    /// packet never appears.
+    pub fn trajectory(&self, flow: FlowId, seq: u64) -> Vec<HopTimeline> {
+        let mut hops: Vec<HopTimeline> = Vec::new();
+        let mut pending: Option<(NodeId, Tick, Option<Tick>)> = None;
+        for e in self.events.iter().filter(|e| e.flow == flow && e.seq == seq) {
+            match e.kind {
+                TraceEventKind::Enqueued => {
+                    pending = Some((e.node, e.time, None));
+                }
+                TraceEventKind::ServiceStart => {
+                    if let Some((n, _, start)) = &mut pending {
+                        if *n == e.node {
+                            *start = Some(e.time);
+                        }
+                    }
+                }
+                TraceEventKind::ServiceEnd => {
+                    if let Some((n, arrival, Some(start))) = pending {
+                        if n == e.node {
+                            hops.push(HopTimeline {
+                                node: n,
+                                arrival,
+                                start,
+                                end: e.time,
+                            });
+                            pending = None;
+                        }
+                    }
+                }
+            }
+        }
+        hops
+    }
+
+    /// Reconstructs the maximal busy periods of one node: consecutive
+    /// services with no idle gap between a completion and the next start.
+    pub fn busy_periods(&self, node: NodeId) -> Vec<BusyPeriod> {
+        let mut services: Vec<(Tick, Tick, FlowId, u64)> = Vec::new();
+        let mut open: std::collections::HashMap<(FlowId, u64), Tick> = Default::default();
+        for e in self.events.iter().filter(|e| e.node == node) {
+            match e.kind {
+                TraceEventKind::ServiceStart => {
+                    open.insert((e.flow, e.seq), e.time);
+                }
+                TraceEventKind::ServiceEnd => {
+                    if let Some(start) = open.remove(&(e.flow, e.seq)) {
+                        services.push((start, e.time, e.flow, e.seq));
+                    }
+                }
+                TraceEventKind::Enqueued => {}
+            }
+        }
+        services.sort_unstable();
+        let mut out: Vec<BusyPeriod> = Vec::new();
+        for (start, end, flow, seq) in services {
+            match out.last_mut() {
+                Some(bp) if bp.end == start => {
+                    bp.end = end;
+                    bp.packets.push((flow, seq));
+                }
+                _ => out.push(BusyPeriod { node, start, end, packets: vec![(flow, seq)] }),
+            }
+        }
+        out
+    }
+
+    /// Renders a packet's trajectory as a human-readable timeline
+    /// (used by the walkthrough example).
+    pub fn render_trajectory(&self, flow: FlowId, seq: u64) -> String {
+        let hops = self.trajectory(flow, seq);
+        if hops.is_empty() {
+            return format!("packet ({flow}, {seq}): not observed");
+        }
+        let mut s = format!("packet ({flow}, {seq}):\n");
+        for h in &hops {
+            s.push_str(&format!(
+                "  node {:>3}: arrive {:>5}, wait {:>3}, serve [{:>5}, {:>5})\n",
+                h.node,
+                h.arrival,
+                h.queueing(),
+                h.start,
+                h.end
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Tick, node: u32, flow: u32, seq: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { time, node: NodeId(node), flow: FlowId(flow), seq, kind }
+    }
+
+    fn sample() -> Trace {
+        let mut r = TraceRecorder::new();
+        use TraceEventKind::*;
+        // Packet (1,0): node 1 [0,4), node 2 arrives 5, waits 3, [8,12).
+        r.record(ev(0, 1, 1, 0, Enqueued));
+        r.record(ev(0, 1, 1, 0, ServiceStart));
+        r.record(ev(4, 1, 1, 0, ServiceEnd));
+        r.record(ev(5, 2, 1, 0, Enqueued));
+        r.record(ev(8, 2, 1, 0, ServiceStart));
+        r.record(ev(12, 2, 1, 0, ServiceEnd));
+        // Rival packet (2,0) on node 2: [4,8) - makes [4,12) one busy period.
+        r.record(ev(4, 2, 2, 0, Enqueued));
+        r.record(ev(4, 2, 2, 0, ServiceStart));
+        r.record(ev(8, 2, 2, 0, ServiceEnd));
+        r.finish()
+    }
+
+    #[test]
+    fn trajectory_extraction() {
+        let t = sample();
+        let hops = t.trajectory(FlowId(1), 0);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].node, NodeId(1));
+        assert_eq!(hops[0].queueing(), 0);
+        assert_eq!(hops[1].queueing(), 3);
+        assert_eq!(hops[1].end, 12);
+        assert!(t.trajectory(FlowId(9), 0).is_empty());
+    }
+
+    #[test]
+    fn busy_period_reconstruction() {
+        let t = sample();
+        let bps = t.busy_periods(NodeId(2));
+        assert_eq!(bps.len(), 1, "contiguous services merge into one busy period");
+        assert_eq!(bps[0].start, 4);
+        assert_eq!(bps[0].end, 12);
+        assert_eq!(bps[0].packets, vec![(FlowId(2), 0), (FlowId(1), 0)]);
+        assert_eq!(bps[0].len(), 8);
+
+        let bps1 = t.busy_periods(NodeId(1));
+        assert_eq!(bps1.len(), 1);
+        assert_eq!(bps1[0].len(), 4);
+    }
+
+    #[test]
+    fn idle_gaps_split_busy_periods() {
+        let mut r = TraceRecorder::new();
+        use TraceEventKind::*;
+        r.record(ev(0, 1, 1, 0, ServiceStart));
+        r.record(ev(4, 1, 1, 0, ServiceEnd));
+        r.record(ev(6, 1, 1, 1, ServiceStart));
+        r.record(ev(10, 1, 1, 1, ServiceEnd));
+        let t = r.finish();
+        assert_eq!(t.busy_periods(NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let t = sample();
+        let s = t.render_trajectory(FlowId(1), 0);
+        assert!(s.contains("node"), "render: {s}");
+        assert!(s.contains("wait"), "render: {s}");
+        assert!(s.contains(", wait   3,") || s.contains("wait   3"), "render: {s}");
+        assert!(t.render_trajectory(FlowId(7), 3).contains("not observed"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Bound-validation harness: analytical upper bound vs observed worst
+//! case, per flow.
+//!
+//! The soundness contract of every analysis in this workspace is
+//! `observed ≤ bound` for any legal scenario. [`validate_bounds`] runs the
+//! adversarial search and checks the contract, returning the margin
+//! (`bound − observed`, the bracket on the bound's pessimism).
+
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowId, FlowSet};
+
+use crate::adversary::{adversarial_search, AdversaryParams};
+
+/// One flow's validation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// The flow.
+    pub flow: FlowId,
+    /// Analytical upper bound (`None` when the analysis diverged).
+    pub bound: Option<Duration>,
+    /// Worst response the adversary observed.
+    pub observed: Duration,
+    /// `bound − observed` when both exist.
+    pub margin: Option<Duration>,
+    /// The soundness contract: observed ≤ bound (vacuously true when the
+    /// analysis declared the flow unbounded).
+    pub sound: bool,
+}
+
+/// Validates a vector of per-flow bounds (flow-set order) against the
+/// adversarial simulation.
+pub fn validate_bounds(
+    set: &FlowSet,
+    bounds: &[Option<Duration>],
+    params: &AdversaryParams,
+) -> Vec<ValidationRow> {
+    assert_eq!(bounds.len(), set.len());
+    let adv = adversarial_search(set, params);
+    set.flows()
+        .iter()
+        .zip(bounds)
+        .zip(&adv.observed)
+        .map(|((f, bound), &observed)| ValidationRow {
+            flow: f.id,
+            bound: *bound,
+            observed,
+            margin: bound.map(|b| b - observed),
+            sound: bound.map(|b| observed <= b).unwrap_or(true),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_analysis::{analyze_all, AnalysisConfig};
+    use traj_model::examples::paper_example;
+    use traj_model::gen::{random_mesh, MeshParams};
+
+    #[test]
+    fn paper_example_bounds_validate() {
+        let set = paper_example();
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        let rows = validate_bounds(
+            &set,
+            &report.bounds(),
+            &AdversaryParams { trials: 40, ..Default::default() },
+        );
+        for r in &rows {
+            assert!(r.sound, "flow {}: observed {} > bound {:?}", r.flow, r.observed, r.bound);
+            assert!(r.margin.unwrap() >= 0);
+        }
+    }
+
+    #[test]
+    fn random_meshes_validate() {
+        // Randomised soak: for several seeds, the trajectory bound must
+        // dominate everything the adversary can produce.
+        for seed in [1u64, 2, 3] {
+            let set = random_mesh(
+                seed,
+                &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.6, ..Default::default() },
+            );
+            let report = analyze_all(&set, &AnalysisConfig::default());
+            let rows = validate_bounds(
+                &set,
+                &report.bounds(),
+                &AdversaryParams { trials: 15, ..Default::default() },
+            );
+            for r in rows {
+                assert!(
+                    r.sound,
+                    "seed {seed} flow {}: observed {} > bound {:?}",
+                    r.flow, r.observed, r.bound
+                );
+            }
+        }
+    }
+}

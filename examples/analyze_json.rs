@@ -1,0 +1,66 @@
+//! Analyze a flow set loaded from JSON — the batch interface for using
+//! the library from other toolchains.
+//!
+//! Usage:
+//!   cargo run -p fifo-trajectory --example analyze_json -- <flows.json>
+//!   cargo run -p fifo-trajectory --example analyze_json -- --emit-sample > flows.json
+//!
+//! The JSON schema is the serde form of `FlowSet` (see `--emit-sample`).
+
+use fifo_trajectory::analysis::{analyze_all, analyze_ef, slacks, AnalysisConfig};
+use fifo_trajectory::holistic::{analyze_holistic, HolisticConfig};
+use fifo_trajectory::model::examples::paper_example;
+use fifo_trajectory::model::FlowSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    let set: FlowSet = match arg.as_deref() {
+        Some("--emit-sample") => {
+            println!("{}", serde_json::to_string_pretty(&paper_example())?);
+            return Ok(());
+        }
+        Some(path) => serde_json::from_str(&std::fs::read_to_string(path)?)?,
+        None => {
+            eprintln!("no input file given; analysing the built-in paper example");
+            paper_example()
+        }
+    };
+
+    let cfg = AnalysisConfig::default();
+    let traj = analyze_all(&set, &cfg);
+    let hol = analyze_holistic(&set, &HolisticConfig::default());
+    let ef = analyze_ef(&set, &cfg);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}",
+        "flow", "trajectory", "holistic", "ef(P3)", "deadline", "verdict"
+    );
+    for (i, r) in traj.per_flow().iter().enumerate() {
+        let fmt = |v: Option<i64>| v.map(|x| x.to_string()).unwrap_or("-".into());
+        let efb = ef.for_flow(r.flow).and_then(|x| x.wcrt.value());
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>7}",
+            r.name,
+            fmt(r.wcrt.value()),
+            fmt(hol.per_flow()[i].wcrt.value()),
+            fmt(efb),
+            r.deadline,
+            match r.meets_deadline() {
+                Some(true) => "ok",
+                Some(false) => "MISS",
+                None => "UNBOUND",
+            }
+        );
+    }
+
+    println!("\nmost constrained flows (slack = deadline - bound):");
+    for s in slacks(&set, &cfg).iter().take(3) {
+        println!("  flow {}: slack {:?}", s.flow, s.slack);
+    }
+
+    // Machine-readable output on demand.
+    if std::env::var("ANALYZE_JSON_OUT").is_ok() {
+        println!("{}", serde_json::to_string_pretty(&traj)?);
+    }
+    Ok(())
+}

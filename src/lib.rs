@@ -1,0 +1,41 @@
+//! # fifo-trajectory
+//!
+//! Worst-case end-to-end response-time analysis of FIFO-scheduled sporadic
+//! flows using the **trajectory approach**, with the DiffServ Expedited
+//! Forwarding application — a reproduction of Martin & Minet, *"Schedulability
+//! analysis of flows scheduled with FIFO: application to the Expedited
+//! Forwarding class"*, IPDPS 2006.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`model`] — network, paths, sporadic flows, path relations;
+//! * [`analysis`] — Property 1/2 trajectory bounds, Definition 2 jitter,
+//!   Lemma 4 / Property 3 EF bounds;
+//! * [`holistic`] — the holistic baseline the paper compares against;
+//! * [`netcalc`] — a network-calculus baseline plus the Charny–Le Boudec
+//!   aggregate-FIFO bound;
+//! * [`sim`] — a discrete-event simulator used to validate the analytical
+//!   bounds empirically;
+//! * [`diffserv`] — DiffServ classes, traffic conditioning and EF
+//!   admission control.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fifo_trajectory::model::examples::paper_example;
+//! use fifo_trajectory::analysis::{analyze_all, AnalysisConfig};
+//!
+//! let flows = paper_example();
+//! let report = analyze_all(&flows, &AnalysisConfig::default());
+//! for r in report.per_flow() {
+//!     println!("{}: wcrt = {:?} (deadline {})", r.flow, r.wcrt, r.deadline);
+//! }
+//! assert!(report.all_schedulable());
+//! ```
+
+pub use traj_analysis as analysis;
+pub use traj_diffserv as diffserv;
+pub use traj_holistic as holistic;
+pub use traj_model as model;
+pub use traj_netcalc as netcalc;
+pub use traj_sim as sim;

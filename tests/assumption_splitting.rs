@@ -1,0 +1,85 @@
+//! Assumption 1 enforcement end-to-end: detect a leave-and-rejoin route,
+//! split it per the paper's iteration, and analyse the resulting set.
+
+use fifo_trajectory::analysis::{analyze_all, AnalysisConfig};
+use fifo_trajectory::model::assumption::{enforce_assumption1, violations};
+use fifo_trajectory::model::{FlowSet, Network, Path, SporadicFlow};
+
+fn offending_set() -> FlowSet {
+    // tau_1 runs 1->2->3->4; tau_2 touches node 1, detours via 8, 9 and
+    // re-enters tau_1's path at node 3.
+    let network = Network::uniform(9, 1, 2).unwrap();
+    let flows = vec![
+        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4]).unwrap(), 50, 4, 0, 200)
+            .unwrap(),
+        SporadicFlow::uniform(2, Path::from_ids([1, 8, 9, 3, 4]).unwrap(), 60, 3, 0, 300)
+            .unwrap(),
+    ];
+    FlowSet::new(network, flows).unwrap()
+}
+
+#[test]
+fn violation_is_detected() {
+    let set = offending_set();
+    let v = violations(&set);
+    assert!(!v.is_empty());
+    assert_eq!(v[0].offender, fifo_trajectory::model::FlowId(2));
+    assert_eq!(v[0].against, fifo_trajectory::model::FlowId(1));
+}
+
+#[test]
+fn analysis_after_splitting_is_well_defined() {
+    let set = offending_set();
+    let (fixed, splits) = enforce_assumption1(&set).unwrap();
+    assert!(splits >= 1);
+    assert!(violations(&fixed).is_empty());
+
+    // Every split set remains analysable and bounded.
+    let rep = analyze_all(&fixed, &AnalysisConfig::default());
+    for r in rep.per_flow() {
+        assert!(r.wcrt.is_bounded(), "{}: {:?}", r.name, r.wcrt);
+    }
+
+    // Path coverage is preserved: the union of the offender's segments
+    // visits the original node sequence.
+    let mut covered = Vec::new();
+    for f in fixed.flows().iter().filter(|f| f.id.0 == 2 || f.id.0 >= 2000) {
+        covered.extend(f.path.nodes().iter().map(|n| n.0));
+    }
+    assert_eq!(covered.len(), 5, "all five original hops survive the split");
+}
+
+#[test]
+fn tail_inherits_transit_spread_as_jitter() {
+    let set = offending_set();
+    let (fixed, _) = enforce_assumption1(&set).unwrap();
+    let tail = fixed
+        .flows()
+        .iter()
+        .find(|f| f.name.contains("#tail"))
+        .expect("a tail flow exists");
+    // Head [1,8,9] has 2 links of spread (2-1) each.
+    assert_eq!(tail.jitter, 2);
+    // The tail keeps period and class.
+    assert_eq!(tail.period, 60);
+}
+
+#[test]
+fn multiple_offenders_converge() {
+    // Two flows that each leave and re-join a shared trunk.
+    let network = Network::uniform(12, 1, 1).unwrap();
+    let flows = vec![
+        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4, 5]).unwrap(), 80, 2, 0, 400)
+            .unwrap(),
+        SporadicFlow::uniform(2, Path::from_ids([1, 10, 3, 4]).unwrap(), 80, 2, 0, 400)
+            .unwrap(),
+        SporadicFlow::uniform(3, Path::from_ids([2, 11, 4, 5]).unwrap(), 80, 2, 0, 400)
+            .unwrap(),
+    ];
+    let set = FlowSet::new(network, flows).unwrap();
+    let (fixed, splits) = enforce_assumption1(&set).unwrap();
+    assert!(splits >= 2);
+    assert!(violations(&fixed).is_empty());
+    let rep = analyze_all(&fixed, &AnalysisConfig::default());
+    assert!(rep.per_flow().iter().all(|r| r.wcrt.is_bounded()));
+}

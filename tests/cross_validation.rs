@@ -1,0 +1,201 @@
+//! Cross-analysis invariants on randomised workloads:
+//!
+//! * every analytical bound dominates the adversarial simulation;
+//! * on structured same-direction workloads (shared lines, parking lots)
+//!   the trajectory bound dominates the holistic one — the paper's claim;
+//! * all bounds dominate the uncontended floor;
+//! * divergence verdicts are consistent across analyses.
+
+use fifo_trajectory::analysis::{analyze_all, AnalysisConfig};
+use fifo_trajectory::holistic::{analyze_holistic, HolisticConfig};
+use fifo_trajectory::model::gen::{parking_lot, random_mesh, MeshParams};
+use fifo_trajectory::model::{examples::line_topology, FlowSet};
+use fifo_trajectory::netcalc::analyze_netcalc;
+use fifo_trajectory::sim::{validate_bounds, AdversaryParams};
+
+fn check_set(set: &FlowSet, label: &str, expect_trajectory_dominates: bool) {
+    let cfg = AnalysisConfig::default();
+    let traj = analyze_all(set, &cfg);
+    let hol = analyze_holistic(set, &HolisticConfig::default());
+
+    for (f, (t, h)) in set.flows().iter().zip(traj.bounds().iter().zip(hol.bounds())) {
+        // Floor: nothing beats uncontended transit.
+        let floor: i64 = f.total_cost()
+            + f.path
+                .links()
+                .map(|(a, b)| set.network().link_delay(a, b).lmin)
+                .sum::<i64>();
+        if let Some(t) = t {
+            assert!(*t >= floor, "{label}: trajectory below floor for {}", f.id);
+        }
+        // On multi-hop same-direction workloads the trajectory bound
+        // dominates (that is the paper's claim); on arbitrary meshes with
+        // release jitter neither method dominates the other pointwise, so
+        // the check is opt-in per workload family.
+        if expect_trajectory_dominates {
+            if let (Some(t), Some(h)) = (t, h) {
+                assert!(h >= *t, "{label}: holistic {h} < trajectory {t} for flow {}", f.id);
+            }
+        }
+    }
+
+    // Simulation soundness.
+    let rows = validate_bounds(
+        set,
+        &traj.bounds(),
+        &AdversaryParams { trials: 25, ..Default::default() },
+    );
+    for r in rows {
+        assert!(r.sound, "{label}: flow {} observed {} > bound {:?}", r.flow, r.observed, r.bound);
+    }
+}
+
+#[test]
+fn random_meshes() {
+    for seed in 0..8u64 {
+        let set = random_mesh(
+            seed,
+            &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.55, ..Default::default() },
+        );
+        check_set(&set, &format!("mesh seed {seed}"), false);
+    }
+}
+
+#[test]
+fn parking_lots() {
+    for seed in [3u64, 9] {
+        for trunk in [3u32, 6] {
+            let set = parking_lot(seed, 4, trunk, 150, 4);
+            check_set(&set, &format!("parking lot {seed}/{trunk}"), true);
+        }
+    }
+}
+
+#[test]
+fn shared_lines_across_utilisations() {
+    for n in [2u32, 5, 10] {
+        let set = line_topology(n, 4, 120, 4, 1, 2);
+        check_set(&set, &format!("line with {n} flows"), true);
+    }
+}
+
+#[test]
+fn bidirectional_lines_reverse_crossing_soundness() {
+    // Reverse-direction crossings drive the trickiest part of the
+    // A_{i,j} accounting; validate it against the adversary on
+    // bidirectional lines of several depths.
+    use fifo_trajectory::model::gen::bidirectional_line;
+    for len in [2u32, 3, 5] {
+        let set = bidirectional_line(2, 2, len, 90, 4);
+        check_set(&set, &format!("bidi line len {len}"), false);
+    }
+}
+
+#[test]
+fn star_single_node_crossings() {
+    use fifo_trajectory::model::gen::star;
+    let set = star(5, 80, 4);
+    check_set(&set, "star 5 arms", true);
+}
+
+#[test]
+fn leave_and_rejoin_routes_are_bounded_soundly() {
+    // Regression for the segment-accounting fix: a flow that leaves the
+    // victim's path and re-enters later interferes once per crossing
+    // segment; the original per-flow accounting under-counted it (mesh
+    // seed 7 produced observed 57 > bound 53).
+    let set = random_mesh(
+        7,
+        &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.55, ..Default::default() },
+    );
+    let cfg = AnalysisConfig::default();
+    let traj = analyze_all(&set, &cfg);
+    let rows = validate_bounds(
+        &set,
+        &traj.bounds(),
+        &AdversaryParams { trials: 60, ..Default::default() },
+    );
+    for r in &rows {
+        assert!(r.sound, "flow {}: observed {} > bound {:?}", r.flow, r.observed, r.bound);
+    }
+    // The specific victim (flow id 4) must now be covered with margin.
+    let idx3 = rows.iter().position(|r| r.flow.0 == 4).unwrap();
+    assert!(rows[idx3].bound.unwrap() >= 57);
+}
+
+#[test]
+fn netcalc_agrees_on_divergence_direction() {
+    // Where netcalc produces a bound, trajectory must too (netcalc's
+    // stability condition is at least as strict on these workloads).
+    for seed in 0..5u64 {
+        let set = random_mesh(
+            seed,
+            &MeshParams { flows: 5, nodes: 7, max_utilisation: 0.5, ..Default::default() },
+        );
+        let nc = analyze_netcalc(&set);
+        let traj = analyze_all(&set, &AnalysisConfig::default());
+        for (n, t) in nc.iter().zip(traj.bounds()) {
+            if n.total.is_some() {
+                assert!(t.is_some(), "trajectory diverged where netcalc did not");
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_backlog_within_staircase_bound() {
+    // On a shared single node the exact staircase aggregate bounds both
+    // the delay and the backlog (unit-rate server: the two coincide);
+    // the simulator's observed peak backlog must stay below it.
+    use fifo_trajectory::netcalc::{staircase_delay_bound, Staircase};
+    use fifo_trajectory::sim::{SimConfig, Simulator};
+    for (n, c, t) in [(3u32, 7i64, 100i64), (5, 4, 60), (2, 9, 40)] {
+        let set = line_topology(n, 1, t, c, 1, 1);
+        let curves: Vec<Staircase> =
+            set.flows().iter().map(Staircase::of_flow).collect();
+        let bound = staircase_delay_bound(&curves, 1 << 30).unwrap();
+        let out = Simulator::new(&set, SimConfig::default())
+            .run_periodic(&vec![0; n as usize]);
+        let observed = out.max_backlog.get(&1).copied().unwrap_or(0);
+        assert!(
+            observed <= bound,
+            "{n} flows: backlog {observed} > staircase bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn jittered_release_patterns_respect_bounds() {
+    use fifo_trajectory::sim::{ReleasePattern, SimConfig, Simulator};
+    // Flows *with* release jitter, exercised with jittered sources.
+    let set = random_mesh(
+        11,
+        &MeshParams {
+            flows: 5,
+            nodes: 6,
+            jitter: (2, 6),
+            max_utilisation: 0.5,
+            ..Default::default()
+        },
+    );
+    let traj = analyze_all(&set, &AnalysisConfig::default());
+    let sim = Simulator::new(&set, SimConfig::default());
+    for seed in 0..10u64 {
+        let patterns: Vec<ReleasePattern> = (0..set.len())
+            .map(|i| ReleasePattern::JitteredPeriodic {
+                offset: (seed as i64 * 7 + i as i64 * 13) % 50,
+                seed: seed * 100 + i as u64,
+            })
+            .collect();
+        let out = sim.run(&patterns);
+        for (s, b) in out.flows.iter().zip(traj.bounds()) {
+            assert!(
+                s.max_response <= b.unwrap(),
+                "jittered run {seed}: flow {} observed {} > {:?}",
+                s.flow,
+                s.max_response,
+                b
+            );
+        }
+    }
+}

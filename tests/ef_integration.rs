@@ -1,0 +1,144 @@
+//! Integration of the EF pipeline: Lemma 4 / Property 3 analysis, the
+//! DiffServ simulator, and admission control working together.
+
+use fifo_trajectory::analysis::{analyze_ef, nonpreemption_delta, AnalysisConfig};
+use fifo_trajectory::diffserv::{AdmissionController, AdmissionDecision, DiffServDomain};
+use fifo_trajectory::model::examples::{paper_example, paper_example_with_best_effort};
+use fifo_trajectory::model::flow::TrafficClass;
+use fifo_trajectory::model::{FlowSet, Network, Path, SporadicFlow};
+use fifo_trajectory::sim::{SchedulerKind, SimConfig, Simulator, TieBreak};
+
+#[test]
+fn property3_bounds_are_monotone_in_blocker_size() {
+    let cfg = AnalysisConfig::default();
+    let mut prev: Option<Vec<i64>> = None;
+    for be in [1i64, 4, 9, 20, 50] {
+        let set = paper_example_with_best_effort(be);
+        let rep = analyze_ef(&set, &cfg);
+        let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
+        if let Some(prev) = &prev {
+            for (now, before) in bounds.iter().zip(prev) {
+                assert!(now >= before, "bound shrank as blockers grew");
+            }
+        }
+        prev = Some(bounds);
+    }
+}
+
+#[test]
+fn delta_only_counts_non_ef_flows() {
+    // Same topology, cross traffic declared EF instead of BE: delta
+    // vanishes and the interference moves into the FIFO terms.
+    let mixed = paper_example_with_best_effort(9);
+    let all_ef = {
+        let flows = mixed
+            .flows()
+            .iter()
+            .map(|f| f.clone().with_class(TrafficClass::Ef))
+            .collect();
+        FlowSet::new(mixed.network().clone(), flows).unwrap()
+    };
+    for f in all_ef.flows() {
+        assert_eq!(nonpreemption_delta(&all_ef, f, &f.path), 0);
+    }
+    let with_np = analyze_ef(&mixed, &AnalysisConfig::default());
+    for r in with_np.per_flow() {
+        let f = mixed.flow(r.flow).unwrap();
+        assert!(nonpreemption_delta(&mixed, f, &f.path) > 0);
+    }
+}
+
+#[test]
+fn diffserv_simulation_respects_property3_under_many_scenarios() {
+    let set = paper_example_with_best_effort(9);
+    let rep = analyze_ef(&set, &AnalysisConfig::default());
+    let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
+    for victim in 0..5usize {
+        for offset_scale in [0i64, 7, 18] {
+            let sim = Simulator::new(
+                &set,
+                SimConfig {
+                    scheduler: SchedulerKind::DiffServ,
+                    tie_break: TieBreak::VictimLast(victim),
+                    packets_per_flow: 24,
+                    ..Default::default()
+                },
+            );
+            let offsets: Vec<i64> =
+                (0..set.len()).map(|i| (i as i64 * offset_scale) % 36).collect();
+            let out = sim.run_periodic(&offsets);
+            for (s, b) in out.flows.iter().take(5).zip(&bounds) {
+                assert!(
+                    s.max_response <= *b,
+                    "victim {victim} scale {offset_scale}: EF flow {} observed {} > {}",
+                    s.flow,
+                    s.max_response,
+                    b
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ef_flows_unscathed_by_heavy_best_effort_load() {
+    // Saturating BE load must not break EF guarantees (only the bounded
+    // non-preemptive blocking remains).
+    let network = Network::uniform(3, 1, 1).unwrap();
+    let chain = Path::from_ids([1, 2, 3]).unwrap();
+    let mut flows = vec![SporadicFlow::uniform(1, chain.clone(), 30, 2, 0, 60)
+        .unwrap()
+        .with_class(TrafficClass::Ef)];
+    // BE flows at ~90% combined utilisation.
+    for id in 2..=10u32 {
+        flows.push(
+            SporadicFlow::uniform(id, chain.clone(), 100, 10, 0, 1_000_000)
+                .unwrap()
+                .with_class(TrafficClass::BestEffort),
+        );
+    }
+    let set = FlowSet::new(network, flows).unwrap();
+    let rep = analyze_ef(&set, &AnalysisConfig::default());
+    let bound = rep.per_flow()[0].wcrt.value().expect("EF must stay bounded");
+
+    let sim = Simulator::new(
+        &set,
+        SimConfig {
+            scheduler: SchedulerKind::DiffServ,
+            packets_per_flow: 48,
+            tie_break: TieBreak::VictimLast(0),
+            ..Default::default()
+        },
+    );
+    let out = sim.run_periodic(&vec![0; set.len()]);
+    assert!(out.flows[0].delivered > 0);
+    assert!(
+        out.flows[0].max_response <= bound,
+        "observed {} > bound {bound}",
+        out.flows[0].max_response
+    );
+}
+
+#[test]
+fn admission_control_guarantees_hold_in_simulation() {
+    // Admit sessions until full, then simulate the admitted set: every
+    // admitted flow must meet its deadline in every tried scenario.
+    let base = paper_example();
+    let mut ac = AdmissionController::new(base, AnalysisConfig::default());
+    let trunk = Path::from_ids([2, 3, 4]).unwrap();
+    for id in 50..60u32 {
+        let cand = SporadicFlow::uniform(id, trunk.clone(), 72, 4, 0, 70).unwrap();
+        if let AdmissionDecision::Rejected { .. } = ac.try_admit(cand) {
+            break;
+        }
+    }
+    let set = ac.flows().clone();
+    let rep = analyze_ef(&set, &AnalysisConfig::default());
+    assert!(rep.all_schedulable(), "controller state must stay guaranteed");
+
+    let dom = DiffServDomain::new(set.clone());
+    let out = dom.simulator(16).run_periodic(&vec![0; set.len()]);
+    for (r, s) in rep.per_flow().iter().zip(&out.flows) {
+        assert!(s.max_response <= r.deadline, "{}: {} > {}", r.name, s.max_response, r.deadline);
+    }
+}

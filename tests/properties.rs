@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * integer-arithmetic laws used by the bound formulas;
+//! * monotonicity of the trajectory bound in the workload parameters;
+//! * soundness of the bound against simulation on random small sets;
+//! * structural invariants of path relations.
+
+use fifo_trajectory::analysis::{analyze_all, AnalysisConfig};
+use fifo_trajectory::model::gen::{random_mesh, MeshParams};
+use fifo_trajectory::model::{
+    ceil_div, floor_div, plus_one_floor, FlowSet, Network, Path, SporadicFlow,
+};
+use fifo_trajectory::sim::{SimConfig, Simulator, TieBreak};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn floor_ceil_duality(a in -10_000i64..10_000, b in 1i64..500) {
+        prop_assert_eq!(ceil_div(a, b), -floor_div(-a, b));
+        prop_assert!(floor_div(a, b) * b <= a);
+        prop_assert!(ceil_div(a, b) * b >= a);
+        prop_assert!(ceil_div(a, b) - floor_div(a, b) <= 1);
+    }
+
+    #[test]
+    fn packet_count_window_laws(a in -1_000i64..10_000, t in 1i64..1_000) {
+        let n = plus_one_floor(a, t);
+        prop_assert!(n >= 0);
+        // n packets of a sporadic flow of period t need a window of at
+        // least (n-1)*t.
+        if n > 0 {
+            prop_assert!(a >= (n - 1) * t);
+            prop_assert!(a < n * t);
+        } else {
+            prop_assert!(a < 0);
+        }
+        // Monotone in the window, sub-additive across splits.
+        prop_assert!(plus_one_floor(a + 1, t) >= n);
+        let b = 137i64;
+        prop_assert!(plus_one_floor(a + b, t) <= n + plus_one_floor(b, t));
+    }
+
+    #[test]
+    fn path_relations_are_consistent(ids in proptest::collection::vec(1u32..30, 2..8)) {
+        let mut uniq = ids.clone();
+        uniq.dedup();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assume!(uniq.len() >= 2);
+        let path = Path::new(uniq.iter().map(|&v| fifo_trajectory::model::NodeId(v)).collect()).unwrap();
+        // pre/suc are inverses along the chain.
+        for &n in path.nodes() {
+            if let Some(p) = path.pre(n) {
+                prop_assert_eq!(path.suc(p), Some(n));
+            }
+            if let Some(s) = path.suc(n) {
+                prop_assert_eq!(path.pre(s), Some(n));
+            }
+        }
+        prop_assert_eq!(path.pre(path.first()), None);
+        prop_assert_eq!(path.suc(path.last()), None);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_cost(cost in 1i64..10, extra in 1i64..5) {
+        let net = Network::uniform(3, 1, 1).unwrap();
+        let mk = |c: i64| {
+            let flows = vec![
+                SporadicFlow::uniform(1, Path::from_ids([1, 2, 3]).unwrap(), 100, c, 0, 10_000).unwrap(),
+                SporadicFlow::uniform(2, Path::from_ids([2, 3]).unwrap(), 90, 3, 0, 10_000).unwrap(),
+            ];
+            FlowSet::new(net.clone(), flows).unwrap()
+        };
+        let cfg = AnalysisConfig::default();
+        let lo = analyze_all(&mk(cost), &cfg).bounds()[1].unwrap();
+        let hi = analyze_all(&mk(cost + extra), &cfg).bounds()[1].unwrap();
+        prop_assert!(hi >= lo, "increasing a rival's cost shrank the bound: {hi} < {lo}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_rate(period in 30i64..200, shrink in 1i64..20) {
+        // Decreasing a rival's period (more packets) cannot shrink the bound.
+        let net = Network::uniform(2, 1, 1).unwrap();
+        let mk = |t: i64| {
+            let flows = vec![
+                SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 100, 4, 0, 10_000).unwrap(),
+                SporadicFlow::uniform(2, Path::from_ids([1, 2]).unwrap(), t, 4, 0, 10_000).unwrap(),
+            ];
+            FlowSet::new(net.clone(), flows).unwrap()
+        };
+        let cfg = AnalysisConfig::default();
+        let slow = analyze_all(&mk(period + shrink), &cfg).bounds()[0].unwrap();
+        let fast = analyze_all(&mk(period), &cfg).bounds()[0].unwrap();
+        prop_assert!(fast >= slow);
+    }
+
+    #[test]
+    fn trajectory_bound_sound_against_random_sims(
+        seed in 0u64..500,
+        offsets_seed in 0u64..1000,
+    ) {
+        let set = random_mesh(seed, &MeshParams {
+            flows: 4, nodes: 5, max_utilisation: 0.6,
+            path_len: (1, 4), ..Default::default()
+        });
+        let rep = analyze_all(&set, &AnalysisConfig::default());
+        let sim = Simulator::new(&set, SimConfig {
+            packets_per_flow: 8,
+            tie_break: TieBreak::Seeded(offsets_seed),
+            ..Default::default()
+        });
+        let max_t = set.flows().iter().map(|f| f.period).max().unwrap();
+        let offsets: Vec<i64> = (0..set.len())
+            .map(|i| ((offsets_seed as i64).wrapping_mul(31).wrapping_add(i as i64 * 17)).rem_euclid(max_t))
+            .collect();
+        let out = sim.run_periodic(&offsets);
+        for (s, b) in out.flows.iter().zip(rep.bounds()) {
+            if let Some(b) = b {
+                prop_assert!(
+                    s.max_response <= b,
+                    "seed {} offsets {:?}: flow {} observed {} > bound {}",
+                    seed, offsets, s.flow, s.max_response, b
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn crossing_segments_partition_shared_nodes(
+        owner_ids in proptest::collection::vec(1u32..12, 2..6),
+        crosser_ids in proptest::collection::vec(1u32..12, 2..6),
+    ) {
+        use std::collections::HashSet;
+        let dedup = |v: &[u32]| -> Vec<u32> {
+            let mut seen = HashSet::new();
+            v.iter().copied().filter(|x| seen.insert(*x)).collect()
+        };
+        let o = dedup(&owner_ids);
+        let c = dedup(&crosser_ids);
+        prop_assume!(o.len() >= 2 && c.len() >= 2);
+        let net = Network::uniform(12, 1, 1).unwrap();
+        let fo = SporadicFlow::uniform(1, Path::from_ids(o.clone()).unwrap(), 50, 2, 0, 900).unwrap();
+        let fc = SporadicFlow::uniform(2, Path::from_ids(c.clone()).unwrap(), 50, 2, 0, 900).unwrap();
+        let set = FlowSet::new(net, vec![fo, fc]).unwrap();
+        let path = set.flows()[0].path.clone();
+        let crosser = set.flows()[1].clone();
+        let segs = set.crossing_segments(&crosser, &path);
+        // 1. Segments partition the shared nodes, preserving crosser order.
+        let flat: Vec<_> = segs.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+        prop_assert_eq!(flat, set.shared_nodes(&crosser, &path));
+        // 2. Within a segment, nodes are adjacent in both paths.
+        for seg in &segs {
+            for w in seg.nodes.windows(2) {
+                let ci = crosser.path.index_of(w[0]).unwrap();
+                let cj = crosser.path.index_of(w[1]).unwrap();
+                prop_assert_eq!(cj, ci + 1);
+                let pi = path.index_of(w[0]).unwrap() as i64;
+                let pj = path.index_of(w[1]).unwrap() as i64;
+                prop_assert_eq!((pj - pi).abs(), 1);
+            }
+        }
+        // 3. Compliant (single-segment or no) crossings match the
+        //    Assumption 1 checker.
+        use fifo_trajectory::model::assumption::first_reentry;
+        let compliant = first_reentry(&set.flows()[0], &crosser).is_none();
+        prop_assert_eq!(compliant, segs.len() <= 1,
+            "checker and segmentation disagree: {} segments", segs.len());
+    }
+
+    #[test]
+    fn staircase_dominated_by_affine(
+        c in 1i64..10, t in 10i64..100, j in 0i64..20, n in 1usize..5,
+    ) {
+        use fifo_trajectory::netcalc::{staircase_delay_bound, Staircase};
+        let curves = vec![Staircase::new(c, t, j); n];
+        prop_assume!((c * n as i64) < t); // keep utilisation < 1
+        let exact = staircase_delay_bound(&curves, 1 << 30).unwrap();
+        // Affine sigma_tot = n * (c + c*j/t); delay through rate-1 server.
+        let affine_sigma = n as f64 * (c as f64 + c as f64 * j as f64 / t as f64);
+        prop_assert!(exact as f64 <= affine_sigma.ceil() + 1e-9);
+        prop_assert!(exact >= c * n as i64, "at least one packet per flow");
+    }
+
+    #[test]
+    fn ef_delta_monotone_in_blocker(c1 in 2i64..20, extra in 1i64..20) {
+        use fifo_trajectory::analysis::nonpreemption_delta;
+        use fifo_trajectory::model::examples::paper_example_with_best_effort;
+        let small = paper_example_with_best_effort(c1);
+        let large = paper_example_with_best_effort(c1 + extra);
+        for (fs, fl) in small.ef_flows().zip(large.ef_flows()) {
+            let ds = nonpreemption_delta(&small, fs, &fs.path);
+            let dl = nonpreemption_delta(&large, fl, &fl.path);
+            prop_assert!(dl >= ds);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rational_field_laws(
+        an in -500i128..500, ad in 1i128..40,
+        bn in -500i128..500, bd in 1i128..40,
+        cn in -500i128..500, cd in 1i128..40,
+    ) {
+        use fifo_trajectory::netcalc::Ratio;
+        let a = Ratio::new(an, ad);
+        let b = Ratio::new(bn, bd);
+        let c = Ratio::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Ratio::ZERO);
+        if b != Ratio::ZERO {
+            prop_assert_eq!((a / b) * b, a);
+        }
+        // floor/ceil consistency
+        prop_assert!(Ratio::int(a.floor()) <= a);
+        prop_assert!(Ratio::int(a.ceil()) >= a);
+    }
+}

@@ -1,0 +1,63 @@
+//! Serialisation round-trips: flow sets, configurations and reports are
+//! stable JSON artifacts (used by downstream tooling and the bench
+//! harness).
+
+use fifo_trajectory::analysis::{analyze_all, AnalysisConfig, SetReport};
+use fifo_trajectory::model::examples::{paper_example, paper_example_with_best_effort};
+use fifo_trajectory::model::FlowSet;
+
+#[test]
+fn flow_set_roundtrip() {
+    let set = paper_example();
+    let json = serde_json::to_string_pretty(&set).unwrap();
+    let back: FlowSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), set.len());
+    for (a, b) in set.flows().iter().zip(back.flows()) {
+        assert_eq!(a, b);
+    }
+    assert_eq!(back.network().lmax(), set.network().lmax());
+}
+
+#[test]
+fn flow_set_with_classes_roundtrip() {
+    let set = paper_example_with_best_effort(9);
+    let json = serde_json::to_string(&set).unwrap();
+    let back: FlowSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.ef_flows().count(), 5);
+    assert_eq!(back.non_ef_flows().count(), 5);
+}
+
+#[test]
+fn report_roundtrip_preserves_verdicts() {
+    let set = paper_example();
+    let rep = analyze_all(&set, &AnalysisConfig::default());
+    let json = serde_json::to_string(&rep).unwrap();
+    let back: SetReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.bounds(), rep.bounds());
+    assert_eq!(back.all_schedulable(), rep.all_schedulable());
+}
+
+#[test]
+fn config_roundtrip() {
+    for cfg in [AnalysisConfig::default(), AnalysisConfig::paper_calibrated()] {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reverse_counting, cfg.reverse_counting);
+        assert_eq!(back.smax_mode, cfg.smax_mode);
+        assert_eq!(back.min_convention, cfg.min_convention);
+    }
+}
+
+#[test]
+fn analysis_of_deserialised_set_matches_original() {
+    // The serialised artifact is analysis-equivalent, not merely
+    // structurally equal.
+    let set = paper_example();
+    let back: FlowSet =
+        serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
+    let cfg = AnalysisConfig::default();
+    assert_eq!(
+        analyze_all(&set, &cfg).bounds(),
+        analyze_all(&back, &cfg).bounds()
+    );
+}
