@@ -34,6 +34,25 @@ pub enum ReverseCounting {
     PerCrossingNode,
 }
 
+/// Iteration scheme of the global `Smax` fixed point.
+///
+/// Both schemes iterate the same monotone operator from the same
+/// transit-only seed, so they converge to the same *least* fixed point
+/// and yield bit-identical bounds; they differ only in evaluation order
+/// (see DESIGN.md, "Jacobi vs Gauss–Seidel").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FixpointStrategy {
+    /// Each round reads the previous round's full table and writes a new
+    /// one; the per-flow updates of a round are independent and run in
+    /// parallel (default).
+    #[default]
+    Jacobi,
+    /// Updates are applied in place as they are computed, each one
+    /// immediately visible to the next (the historical sequential
+    /// scheme; usually fewer rounds, but inherently serial).
+    GaussSeidel,
+}
+
 /// Full analysis configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalysisConfig {
@@ -53,6 +72,10 @@ pub struct AnalysisConfig {
     /// (each round is monotone; non-convergence indicates an unschedulable
     /// or overloaded set).
     pub max_smax_rounds: usize,
+    /// Iteration scheme of the `Smax` fixed point; both converge to the
+    /// same least fixed point. Defaults to the parallel Jacobi sweep.
+    #[serde(default)]
+    pub fixpoint: FixpointStrategy,
 }
 
 impl Default for AnalysisConfig {
@@ -64,6 +87,7 @@ impl Default for AnalysisConfig {
             reverse_counting: ReverseCounting::PerFlow,
             max_busy_period: 10_000_000,
             max_smax_rounds: 256,
+            fixpoint: FixpointStrategy::default(),
         }
     }
 }
@@ -81,9 +105,43 @@ impl AnalysisConfig {
     }
 }
 
+/// Every combination of the discrete analysis knobs (`SmaxMode` ×
+/// `MinConvention` × `SminMode` × `ReverseCounting`), with default
+/// guards. Used by the differential test suites to sweep configuration
+/// corners.
+pub fn config_grid() -> Vec<AnalysisConfig> {
+    let mut out = Vec::new();
+    for smax_mode in [SmaxMode::RecursivePrefix, SmaxMode::TransitOnly] {
+        for min_convention in [
+            MinConvention::Visiting,
+            MinConvention::ZeroConvention,
+            MinConvention::EdgeTraversing,
+        ] {
+            for smin_mode in [SminMode::ProcessingAndLink, SminMode::LinkOnly] {
+                for reverse_counting in [ReverseCounting::PerFlow, ReverseCounting::PerCrossingNode]
+                {
+                    out.push(AnalysisConfig {
+                        smax_mode,
+                        min_convention,
+                        smin_mode,
+                        reverse_counting,
+                        ..Default::default()
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_covers_all_knob_combinations() {
+        assert_eq!(config_grid().len(), 2 * 3 * 2 * 2);
+    }
 
     #[test]
     fn default_is_literal_property_2() {
@@ -102,10 +160,23 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let c = AnalysisConfig::paper_calibrated();
+        let c = AnalysisConfig {
+            fixpoint: FixpointStrategy::GaussSeidel,
+            ..AnalysisConfig::paper_calibrated()
+        };
         let json = serde_json::to_string(&c).unwrap();
         let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.reverse_counting, c.reverse_counting);
         assert_eq!(back.max_busy_period, c.max_busy_period);
+        assert_eq!(back.fixpoint, FixpointStrategy::GaussSeidel);
+    }
+
+    #[test]
+    fn fixpoint_field_defaults_when_absent() {
+        // Configs serialised before the `fixpoint` knob existed must keep
+        // deserialising (the field carries `#[serde(default)]`).
+        let json = r#"{"smax_mode":"RecursivePrefix","min_convention":"Visiting","smin_mode":"ProcessingAndLink","reverse_counting":"PerFlow","max_busy_period":10000000,"max_smax_rounds":256}"#;
+        let back: AnalysisConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(back.fixpoint, FixpointStrategy::Jacobi);
     }
 }

@@ -76,9 +76,8 @@ pub fn nonpreemption_delta(set: &FlowSet, flow: &SporadicFlow, prefix: &Path) ->
                             // flows exist.
                             let pre = prefix.pre(h).expect("h is not the first node");
                             let link = set.network().link_delay(pre, h);
-                            candidates.push(
-                                j.cost_at(h) - flow.cost_at(pre) + link.lmax - link.lmin,
-                            );
+                            candidates
+                                .push(j.cost_at(h) - flow.cost_at(pre) + link.lmax - link.lmin);
                         }
                     }
                 }
@@ -105,8 +104,7 @@ impl DeltaProvider for EfDelta {
 /// flow-set order.
 pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
     let universe: Vec<bool> = set.flows().iter().map(|f| f.class.is_ef()).collect();
-    let ef_indices: Vec<usize> =
-        (0..set.len()).filter(|&i| universe[i]).collect();
+    let ef_indices: Vec<usize> = (0..set.len()).filter(|&i| universe[i]).collect();
     match Analyzer::with_universe_and_delta(set, cfg, universe, EfDelta) {
         Ok(an) => SetReport::new(
             ef_indices
@@ -147,8 +145,7 @@ pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
 /// exists, used to quantify the cost of non-preemption.
 pub fn ef_penalty(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<(Verdict, Verdict)> {
     let ef_only: Vec<SporadicFlow> = set.ef_flows().cloned().collect();
-    let pure = FlowSet::new(set.network().clone(), ef_only)
-        .expect("EF subset is a valid flow set");
+    let pure = FlowSet::new(set.network().clone(), ef_only).expect("EF subset is a valid flow set");
     let base = crate::analyze_all(&pure, cfg);
     let with_np = analyze_ef(set, cfg);
     base.per_flow()

@@ -61,8 +61,16 @@ impl BoundBreakdown {
     /// in tests, useful as an audit).
     pub fn total(&self) -> Duration {
         self.self_workload
-            + self.interference.iter().map(|l| l.workload).sum::<Duration>()
-            + self.per_node_extra.iter().map(|(_, c)| *c).sum::<Duration>()
+            + self
+                .interference
+                .iter()
+                .map(|l| l.workload)
+                .sum::<Duration>()
+            + self
+                .per_node_extra
+                .iter()
+                .map(|(_, c)| *c)
+                .sum::<Duration>()
             + self.links
             + self.delta
             - self.t_star

@@ -18,19 +18,22 @@
 //! Entry points: [`analyze_all`], [`analyze_flow`], [`ef::analyze_ef`],
 //! and [`explain::explain_flow`] for a Figure-2-style breakdown.
 
+mod cache;
 pub mod config;
 pub mod ef;
 pub mod explain;
 pub mod jitter;
+pub mod reference;
 pub mod report;
 pub mod sensitivity;
 pub mod smax;
 pub mod terms;
 pub mod wcrt;
 
-pub use config::{AnalysisConfig, ReverseCounting, SmaxMode};
+pub use config::{config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode};
 pub use ef::{analyze_ef, nonpreemption_delta};
 pub use jitter::jitter_bound;
-pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
+pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};
+pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
 pub use wcrt::{analyze_all, analyze_flow, Analyzer};

@@ -32,7 +32,9 @@ impl Verdict {
 
     /// Builds an unbounded verdict.
     pub fn unbounded(reason: impl Into<String>) -> Self {
-        Verdict::Unbounded { reason: reason.into() }
+        Verdict::Unbounded {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -83,7 +85,9 @@ impl SetReport {
 
     /// True when every flow has a finite bound within its deadline.
     pub fn all_schedulable(&self) -> bool {
-        self.per_flow.iter().all(|r| r.meets_deadline() == Some(true))
+        self.per_flow
+            .iter()
+            .all(|r| r.meets_deadline() == Some(true))
     }
 
     /// Number of flows with a finite bound exceeding their deadline or no

@@ -44,7 +44,10 @@ pub fn slacks(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<FlowSlack> {
 
 /// The most constrained flow (smallest slack; unbounded flows first).
 pub fn critical_flow(set: &FlowSet, cfg: &AnalysisConfig) -> FlowSlack {
-    slacks(set, cfg).into_iter().next().expect("flow sets are non-empty")
+    slacks(set, cfg)
+        .into_iter()
+        .next()
+        .expect("flow sets are non-empty")
 }
 
 /// Largest uniform cost `c` for `candidate` (its per-node costs all set
@@ -119,8 +122,7 @@ mod tests {
         assert_eq!(s.len(), 5);
         // Bounds {31,37,47,47,40} against deadlines {40,45,55,55,50}:
         // slacks {9,8,8,8,10}; most constrained first.
-        let by_flow: Vec<(u32, i64)> =
-            s.iter().map(|x| (x.flow.0, x.slack.unwrap())).collect();
+        let by_flow: Vec<(u32, i64)> = s.iter().map(|x| (x.flow.0, x.slack.unwrap())).collect();
         assert_eq!(by_flow.iter().map(|(_, s)| *s).min(), Some(8));
         assert_eq!(by_flow[0].1, 8);
         assert_eq!(by_flow.last().unwrap().1, 10);
@@ -143,23 +145,14 @@ mod tests {
     fn max_admissible_cost_binary_search() {
         let set = paper_example();
         let cfg = AnalysisConfig::default();
-        let cand = SporadicFlow::uniform(
-            99,
-            Path::from_ids([2, 3, 4]).unwrap(),
-            72,
-            1,
-            0,
-            1_000,
-        )
-        .unwrap();
+        let cand =
+            SporadicFlow::uniform(99, Path::from_ids([2, 3, 4]).unwrap(), 72, 1, 0, 1_000).unwrap();
         let c = max_admissible_cost(&set, &cfg, &cand, 64).expect("some load fits");
         assert!(c >= 1);
         // Boundary property: c fits, c+1 does not (or c == c_max).
         let fits = |cost: i64| {
             let mut flows = set.flows().to_vec();
-            flows.push(
-                SporadicFlow::uniform(99, cand.path.clone(), 72, cost, 0, 1_000).unwrap(),
-            );
+            flows.push(SporadicFlow::uniform(99, cand.path.clone(), 72, cost, 0, 1_000).unwrap());
             let s = FlowSet::new(set.network().clone(), flows).unwrap();
             analyze_all(&s, &cfg).all_schedulable()
         };
@@ -174,15 +167,8 @@ mod tests {
         let set = paper_example();
         let cfg = AnalysisConfig::default();
         // Tiny deadline: even cost 1 cannot meet it through three nodes.
-        let cand = SporadicFlow::uniform(
-            99,
-            Path::from_ids([2, 3, 4]).unwrap(),
-            72,
-            1,
-            0,
-            2,
-        )
-        .unwrap();
+        let cand =
+            SporadicFlow::uniform(99, Path::from_ids([2, 3, 4]).unwrap(), 72, 1, 0, 2).unwrap();
         assert_eq!(max_admissible_cost(&set, &cfg, &cand, 16), None);
     }
 }

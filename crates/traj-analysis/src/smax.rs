@@ -42,6 +42,14 @@ impl SmaxTable {
         Some(self.vals[flow_idx][pos])
     }
 
+    /// Raw positional read: `Smax` of the flow at `flow_idx` to the
+    /// `pos`-th node of its path. The interference cache resolves node
+    /// ids to positions once at build time and then reads through here.
+    #[inline]
+    pub(crate) fn at(&self, flow_idx: usize, pos: usize) -> Duration {
+        self.vals[flow_idx][pos]
+    }
+
     /// Updates one entry; returns whether the value changed.
     pub(crate) fn set(&mut self, flow_idx: usize, pos: usize, val: Duration) -> bool {
         if self.vals[flow_idx][pos] != val {
@@ -73,7 +81,11 @@ mod tests {
         // flow 3 (index 2) to node 10: 4 hops * (4 + 1)
         assert_eq!(t.get(&set, 2, NodeId(10)), Some(20));
         assert_eq!(t.get(&set, 2, NodeId(2)), Some(0));
-        assert_eq!(t.get(&set, 0, NodeId(9)), None, "flow 1 never visits node 9");
+        assert_eq!(
+            t.get(&set, 0, NodeId(9)),
+            None,
+            "flow 1 never visits node 9"
+        );
     }
 
     #[test]

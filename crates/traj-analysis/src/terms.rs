@@ -69,28 +69,44 @@ impl BoundFunction {
         w + self.constant - t
     }
 
+    /// Merges windows with equal `(a, period)` by summing their costs.
+    ///
+    /// Two such windows count the same packets at every `t`
+    /// (`(1 + ⌊(t+a)/T⌋)⁺ · (c₁ + c₂)`), share the same jump points, and
+    /// contribute `⌈B/T⌉ · (c₁ + c₂)` to the busy-period recurrence, so
+    /// both [`Self::busy_period`] and [`Self::maximise`] are invariant
+    /// under the merge. The original window list is kept intact (the
+    /// explanation module attributes interference per flow from it);
+    /// coalescing only compresses the iteration inside the hot paths.
+    /// First-occurrence order (and flow id) is preserved.
+    pub fn coalesced(&self) -> Vec<Window> {
+        let mut index: std::collections::HashMap<(Tick, Duration), usize> =
+            std::collections::HashMap::with_capacity(self.windows.len());
+        let mut out: Vec<Window> = Vec::with_capacity(self.windows.len());
+        for w in &self.windows {
+            match index.entry((w.a, w.period)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    out[*e.get()].cost += w.cost;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.len());
+                    out.push(*w);
+                }
+            }
+        }
+        out
+    }
+
     /// Smallest positive fixed point of
     /// `B = Σ_w ⌈B / T_w⌉ · C_w` (Lemma 3's `Bᵢ^{slow}`), or `None` when it
     /// exceeds `max_busy_period` (overload / divergence guard).
     pub fn busy_period(&self, max_busy_period: Duration) -> Option<Duration> {
-        let mut b: Duration = self.windows.iter().map(|w| w.cost).sum();
-        if b == 0 {
-            return Some(0);
-        }
-        loop {
-            let nb: Duration = self
-                .windows
-                .iter()
-                .map(|w| traj_model::ceil_div(b, w.period) * w.cost)
-                .sum();
-            if nb == b {
-                return Some(b);
-            }
-            if nb > max_busy_period {
-                return None;
-            }
-            b = nb;
-        }
+        Self::busy_period_of(&self.windows, max_busy_period)
+    }
+
+    fn busy_period_of(windows: &[Window], max_busy_period: Duration) -> Option<Duration> {
+        let pairs: Vec<(Duration, Duration)> = windows.iter().map(|w| (w.period, w.cost)).collect();
+        busy_period_of_pairs(&pairs, max_busy_period)
     }
 
     /// Maximises `R(t)` over `t ∈ [t_lo, t_lo + B)`.
@@ -101,10 +117,26 @@ impl BoundFunction {
     /// evaluated — `O(Σ_w B/T_w)` instead of `O(B)`.
     pub fn maximise(&self, max_busy_period: Duration) -> Option<MaxPoint> {
         let b = self.busy_period(max_busy_period)?;
-        let t_hi = self.t_lo + b; // exclusive
-        let mut best = MaxPoint { value: self.eval(self.t_lo), t_star: self.t_lo };
-        for w in &self.windows {
-            // jump points: t = k*T - A with t in (t_lo, t_hi)
+        Some(self.maximise_given_busy(b))
+    }
+
+    /// [`Self::maximise`] with the busy period supplied by the caller.
+    ///
+    /// The busy period depends only on the windows' `(period, cost)`
+    /// pairs — not on the alignments `a` — so callers that re-maximise
+    /// the same window structure under shifting alignments (the `Smax`
+    /// fixed point) compute it once and pass it in. Windows are coalesced
+    /// and jump-point candidates deduplicated before evaluation.
+    pub fn maximise_given_busy(&self, busy: Duration) -> MaxPoint {
+        let windows = self.coalesced();
+        let t_hi = self.t_lo + busy; // exclusive
+                                     // Between jump points `R(t)` is `const − t`, and at a window's
+                                     // jump `t = k·T − A` its workload steps up by exactly one packet
+                                     // cost, so the maximum lies at `t_lo` or at a jump. Sweep the
+                                     // jumps in order, carrying the workload sum: each event costs
+                                     // O(1) instead of a full O(windows) re-evaluation.
+        let mut events: Vec<(Tick, Duration)> = Vec::new();
+        for w in &windows {
             let mut k = traj_model::ceil_div(self.t_lo + w.a + 1, w.period);
             loop {
                 let t = k * w.period - w.a;
@@ -112,15 +144,61 @@ impl BoundFunction {
                     break;
                 }
                 if t > self.t_lo {
-                    let v = self.eval(t);
-                    if v > best.value {
-                        best = MaxPoint { value: v, t_star: t };
-                    }
+                    events.push((t, w.cost));
                 }
                 k += 1;
             }
         }
-        Some(best)
+        events.sort_unstable();
+        let mut workload: Duration = windows.iter().map(|w| w.workload(self.t_lo)).sum();
+        let mut best = MaxPoint {
+            value: workload + self.constant - self.t_lo,
+            t_star: self.t_lo,
+        };
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                workload += events[i].1;
+                i += 1;
+            }
+            let v = workload + self.constant - t;
+            if v > best.value {
+                best = MaxPoint {
+                    value: v,
+                    t_star: t,
+                };
+            }
+        }
+        best
+    }
+}
+
+/// Smallest positive fixed point of `B = Σ (period, cost) ⌈B/T⌉·C`, on
+/// bare pairs: the alignment-free form of [`BoundFunction::busy_period`],
+/// shared with the interference cache, whose build coalesces equal
+/// periods first (`⌈B/T⌉·(c₁+c₂) = ⌈B/T⌉·c₁ + ⌈B/T⌉·c₂`, so merging
+/// preserves the fixed point).
+pub(crate) fn busy_period_of_pairs(
+    pairs: &[(Duration, Duration)],
+    max_busy_period: Duration,
+) -> Option<Duration> {
+    let mut b: Duration = pairs.iter().map(|&(_, c)| c).sum();
+    if b == 0 {
+        return Some(0);
+    }
+    loop {
+        let nb: Duration = pairs
+            .iter()
+            .map(|&(t, c)| traj_model::ceil_div(b, t) * c)
+            .sum();
+        if nb == b {
+            return Some(b);
+        }
+        if nb > max_busy_period {
+            return None;
+        }
+        b = nb;
     }
 }
 
@@ -129,7 +207,12 @@ mod tests {
     use super::*;
 
     fn w(a: i64, period: i64, cost: i64) -> Window {
-        Window { flow: FlowId(9), a, period, cost }
+        Window {
+            flow: FlowId(9),
+            a,
+            period,
+            cost,
+        }
     }
 
     #[test]
@@ -156,14 +239,22 @@ mod tests {
     #[test]
     fn busy_period_divergence_guard() {
         // Utilisation 2.0: C = 2 T for a single window -> diverges.
-        let f = BoundFunction { windows: vec![w(0, 10, 20)], constant: 0, t_lo: 0 };
+        let f = BoundFunction {
+            windows: vec![w(0, 10, 20)],
+            constant: 0,
+            t_lo: 0,
+        };
         assert_eq!(f.busy_period(1_000_000), None);
     }
 
     #[test]
     fn busy_period_full_utilisation_converges_to_lcm_scale() {
         // u = 1 exactly: B = ceil(B/10)*10 stabilises at the seed.
-        let f = BoundFunction { windows: vec![w(0, 10, 10)], constant: 0, t_lo: 0 };
+        let f = BoundFunction {
+            windows: vec![w(0, 10, 10)],
+            constant: 0,
+            t_lo: 0,
+        };
         assert_eq!(f.busy_period(1_000_000), Some(10));
     }
 
@@ -199,10 +290,77 @@ mod tests {
     }
 
     #[test]
+    fn maximise_matches_exhaustive_scan_on_coalescable_windows() {
+        // Duplicate (a, period) pairs: the coalesced hot path must agree
+        // with brute force and with the uncoalesced evaluation.
+        let f = BoundFunction {
+            windows: vec![
+                w(5, 7, 1),
+                w(5, 7, 1),
+                w(-2, 11, 2),
+                w(5, 7, 1),
+                w(-2, 11, 2),
+                w(0, 36, 4),
+            ],
+            constant: 17,
+            t_lo: -3,
+        };
+        let b = f.busy_period(1 << 40).unwrap();
+        let brute = (f.t_lo..f.t_lo + b).map(|t| f.eval(t)).max().unwrap();
+        let m = f.maximise(1 << 40).unwrap();
+        assert_eq!(m.value, brute);
+        assert_eq!(f.eval(m.t_star), m.value, "coalesced eval must match eval");
+    }
+
+    #[test]
+    fn coalescing_merges_equal_alignment_and_period() {
+        let f = BoundFunction {
+            windows: vec![w(5, 7, 2), w(5, 7, 3), w(4, 7, 1), w(5, 8, 1)],
+            constant: 0,
+            t_lo: 0,
+        };
+        let c = f.coalesced();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], w(5, 7, 5), "costs summed, first occurrence kept");
+        assert_eq!(c[1], w(4, 7, 1));
+        assert_eq!(c[2], w(5, 8, 1));
+        // The merge is workload-preserving at every instant.
+        for t in -20..60 {
+            let orig: Duration = f.windows.iter().map(|x| x.workload(t)).sum();
+            let merged: Duration = c.iter().map(|x| x.workload(t)).sum();
+            assert_eq!(orig, merged, "t = {t}");
+        }
+        assert_eq!(
+            BoundFunction {
+                windows: c,
+                constant: 0,
+                t_lo: 0
+            }
+            .busy_period(1 << 40),
+            f.busy_period(1 << 40),
+        );
+    }
+
+    #[test]
+    fn maximise_given_busy_matches_maximise() {
+        let f = BoundFunction {
+            windows: vec![w(5, 7, 2), w(-2, 11, 3), w(9, 13, 2)],
+            constant: 4,
+            t_lo: -2,
+        };
+        let b = f.busy_period(1 << 40).unwrap();
+        assert_eq!(f.maximise_given_busy(b), f.maximise(1 << 40).unwrap());
+    }
+
+    #[test]
     fn maximise_with_jitter_domain() {
         // t_lo = -J < 0; the self window (a = J) contributes 1 packet at
         // t = -J.
-        let f = BoundFunction { windows: vec![w(6, 20, 5)], constant: 0, t_lo: -6 };
+        let f = BoundFunction {
+            windows: vec![w(6, 20, 5)],
+            constant: 0,
+            t_lo: -6,
+        };
         let m = f.maximise(1 << 40).unwrap();
         assert_eq!(m.t_star, -6);
         assert_eq!(m.value, 5 + 6);

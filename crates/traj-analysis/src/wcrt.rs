@@ -13,7 +13,8 @@
 use rayon::prelude::*;
 use traj_model::{CrossDirection, Duration, FlowId, FlowSet, Path, SporadicFlow};
 
-use crate::config::{AnalysisConfig, ReverseCounting, SmaxMode};
+use crate::cache::InterferenceCache;
+use crate::config::{AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode};
 use crate::jitter::jitter_bound;
 use crate::report::{FlowReport, SetReport, Verdict};
 use crate::smax::SmaxTable;
@@ -36,6 +37,13 @@ impl DeltaProvider for NoDelta {
 }
 
 /// Reusable analysis engine for one flow set and configuration.
+///
+/// Construction does all the heavy lifting once: it freezes the
+/// `Smax`-independent interference structure into an
+/// [`InterferenceCache`], iterates the `Smax` fixed point over it
+/// (Jacobi rounds run flows in parallel), and stores the converged
+/// full-path bounds; [`Self::wcrt`] and [`Self::report`] afterwards are
+/// cheap lookups.
 pub struct Analyzer<'a, D: DeltaProvider = NoDelta> {
     set: &'a FlowSet,
     cfg: &'a AnalysisConfig,
@@ -43,6 +51,12 @@ pub struct Analyzer<'a, D: DeltaProvider = NoDelta> {
     universe: Vec<bool>,
     delta: D,
     smax: SmaxTable,
+    /// Frozen bound-function skeletons, one per (flow, prefix length).
+    cache: InterferenceCache,
+    /// Rounds the `Smax` fixed point took (0 under `TransitOnly`).
+    rounds: usize,
+    /// Converged full-path bounds, one per flow.
+    full: Vec<Verdict>,
 }
 
 impl<'a> Analyzer<'a, NoDelta> {
@@ -66,16 +80,27 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         delta: D,
     ) -> Result<Self, Verdict> {
         assert_eq!(universe.len(), set.len());
+        let cache = InterferenceCache::build(set, cfg, &universe, &delta);
         let mut an = Analyzer {
             set,
             cfg,
             universe,
             delta,
             smax: SmaxTable::transit(set),
+            cache,
+            rounds: 0,
+            full: Vec::new(),
         };
         if cfg.smax_mode == SmaxMode::RecursivePrefix {
             an.fixpoint_smax()?;
         }
+        // The table is converged (or transit-only): compute every flow's
+        // full-path bound once, so report/wcrt calls are lookups.
+        let full: Vec<Verdict> = (0..set.len())
+            .into_par_iter()
+            .map(|i| an.wcrt_prefix(i, set.flows()[i].path.len()))
+            .collect();
+        an.full = full;
         Ok(an)
     }
 
@@ -89,34 +114,65 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         &self.smax
     }
 
-    /// Worst-case end-to-end response-time bound for the flow at
-    /// `flow_idx` (Property 2, or Property 3 when `δ` is the EF provider).
-    pub fn wcrt(&self, flow_idx: usize) -> Verdict {
-        let f = &self.set.flows()[flow_idx];
-        self.wcrt_prefix(flow_idx, f.path.len())
+    /// Rounds the `Smax` fixed point took to converge (0 under
+    /// [`SmaxMode::TransitOnly`]).
+    pub fn smax_rounds(&self) -> usize {
+        self.rounds
     }
 
-    /// Bound over the prefix made of the first `k` visited nodes.
+    /// The frozen interference structure (for the cache test suite).
+    #[cfg(test)]
+    pub(crate) fn cache(&self) -> &InterferenceCache {
+        &self.cache
+    }
+
+    /// Cache-assembled bound function over the prefix of length `k`
+    /// (for the cache test suite; must coincide with
+    /// [`Self::bound_function`]).
+    #[cfg(test)]
+    pub(crate) fn cached_bound_function(&self, flow_idx: usize, k: usize) -> BoundFunction {
+        self.cache
+            .prefix(flow_idx, k)
+            .bound_function(flow_idx, &self.smax)
+    }
+
+    /// Worst-case end-to-end response-time bound for the flow at
+    /// `flow_idx` (Property 2, or Property 3 when `δ` is the EF
+    /// provider). Precomputed at construction.
+    pub fn wcrt(&self, flow_idx: usize) -> Verdict {
+        self.full[flow_idx].clone()
+    }
+
+    /// Bound over the prefix made of the first `k` visited nodes,
+    /// evaluated from the frozen skeleton and the current `Smax` table.
     pub fn wcrt_prefix(&self, flow_idx: usize, k: usize) -> Verdict {
-        let f = &self.set.flows()[flow_idx];
-        let prefix = f.path.prefix_len(k).expect("prefix length in range");
-        let bf = self.bound_function(flow_idx, &prefix);
-        match bf.maximise(self.cfg.max_busy_period) {
+        match self
+            .cache
+            .prefix(flow_idx, k)
+            .maximise(flow_idx, &self.smax)
+        {
             Some(m) => Verdict::Bounded(m.value),
             None => Verdict::unbounded(format!(
                 "busy period of flow {} exceeds the {}-tick guard (overload)",
-                f.id, self.cfg.max_busy_period
+                self.set.flows()[flow_idx].id,
+                self.cfg.max_busy_period
             )),
         }
     }
 
     /// Assembles Property 1's bound function for one flow over `prefix`
     /// (public for the explanation module and tests).
+    ///
+    /// This is the *direct* assembly, recomputing every term; the `Smax`
+    /// fixed point goes through the structurally-identical cached path
+    /// instead (see [`InterferenceCache`]).
     pub fn bound_function(&self, flow_idx: usize, prefix: &Path) -> BoundFunction {
         let set = self.set;
         let fi = &set.flows()[flow_idx];
         let keep = |f: &SporadicFlow| {
-            set.index_of(f.id).map(|k| self.universe[k]).unwrap_or(false)
+            set.index_of(f.id)
+                .map(|k| self.universe[k])
+                .unwrap_or(false)
         };
 
         let mut windows = Vec::new();
@@ -129,14 +185,14 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             // "a new flow" at each re-entry (the paper's Assumption 1
             // reduction), so each segment carries its own window(s) and
             // its own C^{slow} restricted to the segment's nodes.
-            for segment in set.crossing_segments(fj, prefix) {
+            for segment in set.crossing_segments_shared(fj, prefix).iter() {
                 let cost = segment
                     .nodes
                     .iter()
                     .map(|&h| fj.cost_at(h))
                     .max()
                     .expect("segments are non-empty");
-                for (fji, fij) in self.segment_points(&segment, prefix) {
+                for (fji, fij) in segment_points(self.cfg, segment, prefix) {
                     let a = self.smax.get(set, flow_idx, fji).expect("fji on prefix")
                         - set.smin(fj, fji, self.cfg.smin_mode).expect("fji on Pj")
                         - set
@@ -144,7 +200,12 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                             .expect("fij on prefix")
                         + self.smax.get(set, j_idx, fij).expect("fij on Pj")
                         + fj.jitter;
-                    windows.push(Window { flow: fj.id, a, period: fj.period, cost });
+                    windows.push(Window {
+                        flow: fj.id,
+                        a,
+                        period: fj.period,
+                        cost,
+                    });
                 }
             }
         }
@@ -170,59 +231,37 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         for (a, b) in prefix.links() {
             constant += set.network().link_delay(a, b).lmax;
         }
-        BoundFunction { windows, constant, t_lo: -fi.jitter }
-    }
-
-    /// The `(first_{j,i}, first_{i,j})` anchor pairs for one crossing
-    /// segment: a single pair per segment under
-    /// [`ReverseCounting::PerFlow`]; one pair per shared node for
-    /// reverse-direction segments under
-    /// [`ReverseCounting::PerCrossingNode`].
-    fn segment_points(
-        &self,
-        segment: &traj_model::CrossingSegment,
-        prefix: &Path,
-    ) -> Vec<(traj_model::NodeId, traj_model::NodeId)> {
-        let reverse = segment.direction == CrossDirection::Reverse;
-        if reverse && self.cfg.reverse_counting == ReverseCounting::PerCrossingNode {
-            segment.nodes.iter().map(|&h| (h, h)).collect()
-        } else {
-            vec![(
-                segment.first_in_crosser_order(),
-                segment.entry_in_path_order(prefix),
-            )]
+        BoundFunction {
+            windows,
+            constant,
+            t_lo: -fi.jitter,
         }
     }
 
     /// Iterates the recursive-prefix `Smax` fixed point to convergence.
+    ///
+    /// Both strategies iterate the same monotone operator from the same
+    /// transit-only seed and therefore converge to the same least fixed
+    /// point (see DESIGN.md); Jacobi evaluates each round against a
+    /// frozen table, which makes the per-flow updates independent and
+    /// parallelisable.
     fn fixpoint_smax(&mut self) -> Result<(), Verdict> {
-        for _round in 0..self.cfg.max_smax_rounds {
-            let mut changed = false;
-            for fi in 0..self.set.len() {
-                if !self.universe[fi] {
-                    continue;
-                }
-                let path = self.set.flows()[fi].path.clone();
-                for pos in 1..path.len() {
-                    let r = match self.wcrt_prefix(fi, pos) {
-                        Verdict::Bounded(r) => r,
-                        u @ Verdict::Unbounded { .. } => return Err(u),
-                    };
-                    let from = path.nodes()[pos - 1];
-                    let to = path.nodes()[pos];
-                    let val = r + self.set.network().link_delay(from, to).lmax;
-                    if val > self.cfg.max_busy_period {
-                        return Err(Verdict::unbounded(format!(
-                            "Smax of flow {} at node {} exceeds the guard",
-                            self.set.flows()[fi].id,
-                            to
-                        )));
-                    }
-                    if self.smax.set(fi, pos, val) {
-                        changed = true;
-                    }
-                }
-            }
+        // Entries the previous round changed. A Jacobi update whose
+        // skeleton reads none of them would recompute exactly its
+        // current value, so it is skipped — the fixed point becomes
+        // incremental as convergence localises. Seeded all-true.
+        let mut dirty: Vec<Vec<bool>> = self
+            .set
+            .flows()
+            .iter()
+            .map(|f| vec![true; f.path.len()])
+            .collect();
+        for round in 0..self.cfg.max_smax_rounds {
+            self.rounds = round + 1;
+            let changed = match self.cfg.fixpoint {
+                FixpointStrategy::Jacobi => self.round_jacobi(&mut dirty, round == 0)?,
+                FixpointStrategy::GaussSeidel => self.round_gauss_seidel()?,
+            };
             if !changed {
                 return Ok(());
             }
@@ -233,13 +272,98 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         )))
     }
 
+    /// The `Smax` update for one (flow, position): the prefix bound
+    /// through `pre(pos)` plus the incoming link's `Lmax`, evaluated
+    /// against `self.smax` as it currently stands.
+    fn smax_update(&self, fi: usize, pos: usize) -> Result<Duration, Verdict> {
+        let r = match self.wcrt_prefix(fi, pos) {
+            Verdict::Bounded(r) => r,
+            u @ Verdict::Unbounded { .. } => return Err(u),
+        };
+        let path = &self.set.flows()[fi].path;
+        let from = path.nodes()[pos - 1];
+        let to = path.nodes()[pos];
+        let val = r + self.set.network().link_delay(from, to).lmax;
+        if val > self.cfg.max_busy_period {
+            return Err(Verdict::unbounded(format!(
+                "Smax of flow {} at node {} exceeds the guard",
+                self.set.flows()[fi].id,
+                to
+            )));
+        }
+        Ok(val)
+    }
+
+    /// One Jacobi round: every update reads the previous round's table,
+    /// so flows are processed in parallel; the new values are applied
+    /// after the whole round. Errors surface in flow-index order to stay
+    /// deterministic regardless of thread scheduling.
+    ///
+    /// `dirty` flags the entries the previous round changed; an update
+    /// whose skeleton reads no dirty entry is skipped (its recomputation
+    /// would reproduce the value it already holds). On return `dirty`
+    /// holds this round's changes. `force` computes every update
+    /// unconditionally — required on the first round, where even a
+    /// windowless (table-independent) update must replace its transit
+    /// seed once before "no reads changed" implies "value unchanged".
+    fn round_jacobi(&mut self, dirty: &mut [Vec<bool>], force: bool) -> Result<bool, Verdict> {
+        let this: &Self = self;
+        let dirty_ro: &[Vec<bool>] = dirty;
+        let updates: Vec<Result<Vec<(usize, Duration)>, Verdict>> = (0..this.set.len())
+            .into_par_iter()
+            .map(|fi| {
+                if !this.universe[fi] {
+                    return Ok(Vec::new());
+                }
+                let len = this.set.flows()[fi].path.len();
+                let mut out = Vec::with_capacity(len.saturating_sub(1));
+                for pos in 1..len {
+                    if !force && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
+                        continue;
+                    }
+                    out.push((pos, this.smax_update(fi, pos)?));
+                }
+                Ok(out)
+            })
+            .collect();
+        for row in dirty.iter_mut() {
+            row.fill(false);
+        }
+        let mut changed = false;
+        for (fi, res) in updates.into_iter().enumerate() {
+            for (pos, val) in res? {
+                if self.smax.set(fi, pos, val) {
+                    dirty[fi][pos] = true;
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// One Gauss–Seidel round: updates are applied in place, each
+    /// immediately visible to the next (the historical scheme).
+    fn round_gauss_seidel(&mut self) -> Result<bool, Verdict> {
+        let mut changed = false;
+        for fi in 0..self.set.len() {
+            if !self.universe[fi] {
+                continue;
+            }
+            for pos in 1..self.set.flows()[fi].path.len() {
+                let val = self.smax_update(fi, pos)?;
+                if self.smax.set(fi, pos, val) {
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
     /// Full report for the flow at `flow_idx`.
     pub fn report(&self, flow_idx: usize) -> FlowReport {
         let f = &self.set.flows()[flow_idx];
         let wcrt = self.wcrt(flow_idx);
-        let jitter = wcrt
-            .value()
-            .map(|r| jitter_bound(self.set, f, r));
+        let jitter = wcrt.value().map(|r| jitter_bound(self.set, f, r));
         FlowReport {
             flow: f.id,
             name: f.name.clone(),
@@ -250,6 +374,28 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     }
 }
 
+/// The `(first_{j,i}, first_{i,j})` anchor pairs for one crossing
+/// segment: a single pair per segment under
+/// [`ReverseCounting::PerFlow`]; one pair per shared node for
+/// reverse-direction segments under [`ReverseCounting::PerCrossingNode`].
+/// Shared by the direct assembly above and the skeleton build in
+/// [`crate::cache`].
+pub(crate) fn segment_points(
+    cfg: &AnalysisConfig,
+    segment: &traj_model::CrossingSegment,
+    prefix: &Path,
+) -> Vec<(traj_model::NodeId, traj_model::NodeId)> {
+    let reverse = segment.direction == CrossDirection::Reverse;
+    if reverse && cfg.reverse_counting == ReverseCounting::PerCrossingNode {
+        segment.nodes.iter().map(|&h| (h, h)).collect()
+    } else {
+        vec![(
+            segment.first_in_crosser_order(),
+            segment.entry_in_path_order(prefix),
+        )]
+    }
+}
+
 /// Analyses every flow of the set with Property 2 (plain FIFO).
 ///
 /// Flows are analysed in parallel once the shared `Smax` fixed point has
@@ -257,8 +403,10 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
 pub fn analyze_all(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
     match Analyzer::new(set, cfg) {
         Ok(an) => {
-            let reports: Vec<FlowReport> =
-                (0..set.len()).into_par_iter().map(|i| an.report(i)).collect();
+            let reports: Vec<FlowReport> = (0..set.len())
+                .into_par_iter()
+                .map(|i| an.report(i))
+                .collect();
             SetReport::new(reports)
         }
         Err(verdict) => SetReport::new(
@@ -404,6 +552,46 @@ mod tests {
         };
         let report = analyze_all(&set, &cfg);
         assert!(report.per_flow().iter().all(|r| r.wcrt.is_bounded()));
+    }
+
+    #[test]
+    fn jacobi_and_gauss_seidel_converge_to_the_same_fixed_point() {
+        // Both strategies iterate the same monotone operator from the
+        // same transit-only seed, so they reach the same least fixed
+        // point: identical Smax tables and identical bounds (Jacobi may
+        // take more rounds).
+        for base in crate::config_grid() {
+            let set = paper_example();
+            let jac = AnalysisConfig {
+                fixpoint: FixpointStrategy::Jacobi,
+                ..base.clone()
+            };
+            let gs = AnalysisConfig {
+                fixpoint: FixpointStrategy::GaussSeidel,
+                ..base.clone()
+            };
+            let an_j = Analyzer::new(&set, &jac).unwrap();
+            let an_g = Analyzer::new(&set, &gs).unwrap();
+            assert_eq!(an_j.smax().values(), an_g.smax().values(), "cfg {base:?}");
+            assert_eq!(
+                analyze_all(&set, &jac).bounds(),
+                analyze_all(&set, &gs).bounds(),
+                "cfg {base:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn smax_rounds_are_reported() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        assert!(an.smax_rounds() >= 1);
+        let transit = AnalysisConfig {
+            smax_mode: SmaxMode::TransitOnly,
+            ..Default::default()
+        };
+        assert_eq!(Analyzer::new(&set, &transit).unwrap().smax_rounds(), 0);
     }
 
     #[test]

@@ -15,7 +15,10 @@ fn bench_smax_modes(c: &mut Criterion) {
         b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
     });
     g.bench_function("transit_only", |b| {
-        let cfg = AnalysisConfig { smax_mode: SmaxMode::TransitOnly, ..Default::default() };
+        let cfg = AnalysisConfig {
+            smax_mode: SmaxMode::TransitOnly,
+            ..Default::default()
+        };
         b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
     });
     g.finish();
@@ -29,7 +32,10 @@ fn bench_reverse_counting(c: &mut Criterion) {
         ("per_crossing_node", ReverseCounting::PerCrossingNode),
     ] {
         g.bench_function(name, |b| {
-            let cfg = AnalysisConfig { reverse_counting: rc, ..Default::default() };
+            let cfg = AnalysisConfig {
+                reverse_counting: rc,
+                ..Default::default()
+            };
             b.iter(|| black_box(analyze_all(black_box(&set), &cfg)))
         });
     }

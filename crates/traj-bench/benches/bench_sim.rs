@@ -13,7 +13,10 @@ fn bench_fifo_sim(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(packets), &packets, |b, &n| {
             let sim = Simulator::new(
                 &set,
-                SimConfig { packets_per_flow: n, ..Default::default() },
+                SimConfig {
+                    packets_per_flow: n,
+                    ..Default::default()
+                },
             );
             b.iter(|| black_box(sim.run_periodic(black_box(&[0, 5, 10, 15, 20]))))
         });

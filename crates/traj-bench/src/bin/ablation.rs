@@ -16,11 +16,14 @@ use traj_sim::{adversarial_search, AdversaryParams};
 
 fn main() {
     let set = paper_example();
-    let adv = adversarial_search(&set, &AdversaryParams { trials: 300, ..Default::default() });
-    println!(
-        "adversarial lower bounds: {:?}\n",
-        adv.observed
+    let adv = adversarial_search(
+        &set,
+        &AdversaryParams {
+            trials: 300,
+            ..Default::default()
+        },
     );
+    println!("adversarial lower bounds: {:?}\n", adv.observed);
 
     let mut rows = Vec::new();
     for smax in [SmaxMode::RecursivePrefix, SmaxMode::TransitOnly] {
@@ -42,11 +45,7 @@ fn main() {
                     .iter()
                     .zip(&adv.observed)
                     .all(|(b, &o)| b.map(|b| o <= b).unwrap_or(true));
-                let mut row = vec![
-                    format!("{smax:?}"),
-                    format!("{minc:?}"),
-                    format!("{rev:?}"),
-                ];
+                let mut row = vec![format!("{smax:?}"), format!("{minc:?}"), format!("{rev:?}")];
                 row.extend(bounds_row(&rep));
                 row.push(if sound { "ok".into() } else { "UNSOUND".into() });
                 rows.push(row);

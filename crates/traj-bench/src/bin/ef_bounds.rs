@@ -44,7 +44,11 @@ fn main() {
                 delta.to_string(),
                 bound.to_string(),
                 observed.to_string(),
-                if r.meets_deadline() == Some(true) { "yes".into() } else { "NO".into() },
+                if r.meets_deadline() == Some(true) {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }

@@ -1,0 +1,181 @@
+//! E12 — Fixed-point performance: cached vs pre-cache analysis.
+//!
+//! Times `analyze_all` (interference-structure cache, Jacobi and
+//! Gauss–Seidel fixed points) against the retained pre-cache reference
+//! implementation on the scalability meshes (20 nodes, growing flow
+//! counts), checks the bounds are bit-identical, and writes the
+//! measurements to `BENCH_fixpoint.json` in the working directory.
+//!
+//! Run: `cargo run --release -p traj-bench --bin fixpoint_perf`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_analysis::reference::ReferenceAnalyzer;
+use traj_analysis::{
+    analyze_all, analyze_all_reference, AnalysisConfig, Analyzer, FixpointStrategy, SetReport,
+};
+use traj_bench::render_table;
+use traj_model::gen::{random_mesh, MeshParams};
+use traj_model::FlowSet;
+
+const NODES: u32 = 20;
+const FLOW_COUNTS: [u32; 4] = [5, 10, 20, 40];
+const SEED: u64 = 1;
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct Entry {
+    flows: u32,
+    /// Total hops (sum of path lengths) in the instance.
+    hops: usize,
+    /// `Smax` rounds to convergence.
+    rounds_jacobi: usize,
+    rounds_gauss_seidel: usize,
+    rounds_reference: usize,
+    /// Wall-clock per `analyze_all` call (best of `REPS`).
+    wall_ms_jacobi: f64,
+    wall_ms_gauss_seidel: f64,
+    wall_ms_reference: f64,
+    /// `wall_ms_reference / wall_ms_jacobi`.
+    speedup: f64,
+    /// All three engines produced identical bounds.
+    bounds_match: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    nodes: u32,
+    seed: u64,
+    reps: usize,
+    entries: Vec<Entry>,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn measure(set: &FlowSet) -> Entry {
+    let jacobi_cfg = AnalysisConfig {
+        fixpoint: FixpointStrategy::Jacobi,
+        ..Default::default()
+    };
+    let gauss_cfg = AnalysisConfig {
+        fixpoint: FixpointStrategy::GaussSeidel,
+        ..Default::default()
+    };
+
+    let (wall_ms_jacobi, jacobi): (f64, SetReport) =
+        time_best(REPS, || analyze_all(set, &jacobi_cfg));
+    let (wall_ms_gauss_seidel, gauss) = time_best(REPS, || analyze_all(set, &gauss_cfg));
+    let (wall_ms_reference, reference) =
+        time_best(REPS, || analyze_all_reference(set, &jacobi_cfg));
+
+    let rounds_jacobi = Analyzer::new(set, &jacobi_cfg)
+        .map(|an| an.smax_rounds())
+        .unwrap_or(0);
+    let rounds_gauss_seidel = Analyzer::new(set, &gauss_cfg)
+        .map(|an| an.smax_rounds())
+        .unwrap_or(0);
+    let rounds_reference = ReferenceAnalyzer::new(set, &jacobi_cfg)
+        .map(|an| an.smax_rounds())
+        .unwrap_or(0);
+
+    Entry {
+        flows: set.len() as u32,
+        hops: set.flows().iter().map(|f| f.path.len()).sum(),
+        rounds_jacobi,
+        rounds_gauss_seidel,
+        rounds_reference,
+        wall_ms_jacobi,
+        wall_ms_gauss_seidel,
+        wall_ms_reference,
+        speedup: wall_ms_reference / wall_ms_jacobi.max(1e-9),
+        bounds_match: jacobi.bounds() == reference.bounds() && gauss.bounds() == reference.bounds(),
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for &flows in &FLOW_COUNTS {
+        // Short paths and moderate load keep the fixed point convergent
+        // across all sizes (longer paths at this scale diverge, which
+        // would time the overload bail-out instead of the iteration).
+        let params = MeshParams {
+            nodes: NODES,
+            flows,
+            path_len: (2, 4),
+            max_utilisation: 0.5,
+            ..Default::default()
+        };
+        let set = random_mesh(SEED, &params);
+        entries.push(measure(&set));
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.flows.to_string(),
+                e.hops.to_string(),
+                format!("{:.2}", e.wall_ms_reference),
+                format!("{:.2}", e.wall_ms_jacobi),
+                format!("{:.2}", e.wall_ms_gauss_seidel),
+                format!("{:.1}x", e.speedup),
+                format!(
+                    "{}/{}/{}",
+                    e.rounds_reference, e.rounds_jacobi, e.rounds_gauss_seidel
+                ),
+                if e.bounds_match { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E12 - fixpoint performance ({NODES} nodes, best of {REPS})"),
+            &[
+                "flows",
+                "hops",
+                "ref ms",
+                "jacobi ms",
+                "gs ms",
+                "speedup",
+                "rounds r/j/g",
+                "match",
+            ],
+            &rows,
+        )
+    );
+
+    let out = Output {
+        experiment: "fixpoint_perf".to_string(),
+        nodes: NODES,
+        seed: SEED,
+        reps: REPS,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_fixpoint.json", &json).expect("write BENCH_fixpoint.json");
+    println!("wrote BENCH_fixpoint.json");
+
+    let worst = out
+        .entries
+        .iter()
+        .map(|e| e.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        out.entries.iter().all(|e| e.bounds_match),
+        "cached and reference bounds diverged"
+    );
+    println!("minimum speedup across sizes: {worst:.1}x");
+}

@@ -28,7 +28,11 @@ fn main() {
     let mut rows = Vec::new();
 
     let paper = improvement(&paper_example()).unwrap();
-    rows.push(vec!["paper example".into(), "-".into(), format!("{:.1}%", 100.0 * paper)]);
+    rows.push(vec![
+        "paper example".into(),
+        "-".into(),
+        format!("{:.1}%", 100.0 * paper),
+    ]);
 
     // Parking lots: deeper trunks => more holistic jitter accumulation.
     for trunk in [3u32, 5, 8, 12] {
@@ -48,7 +52,12 @@ fn main() {
         for seed in 0..20u64 {
             let set = random_mesh(
                 seed,
-                &MeshParams { flows: 8, nodes: 10, max_utilisation: max_u, ..Default::default() },
+                &MeshParams {
+                    flows: 8,
+                    nodes: 10,
+                    max_utilisation: max_u,
+                    ..Default::default()
+                },
             );
             if let Some(imp) = improvement(&set) {
                 imps.push(imp);
@@ -73,5 +82,8 @@ fn main() {
             &rows,
         )
     );
-    println!("paper's claim on its example: > 25% - ours: {:.1}%", 100.0 * paper);
+    println!(
+        "paper's claim on its example: > 25% - ours: {:.1}%",
+        100.0 * paper
+    );
 }

@@ -11,9 +11,7 @@
 use traj_analysis::{analyze_all, AnalysisConfig};
 use traj_bench::{bounds_row, render_table};
 use traj_holistic::{analyze_holistic, HolisticConfig};
-use traj_model::examples::{
-    paper_example, PAPER_TABLE2_HOLISTIC, PAPER_TABLE2_TRAJECTORY,
-};
+use traj_model::examples::{paper_example, PAPER_TABLE2_HOLISTIC, PAPER_TABLE2_TRAJECTORY};
 use traj_netcalc::analyze_netcalc;
 use traj_sim::{adversarial_search, AdversaryParams};
 
@@ -46,7 +44,13 @@ fn main() {
     let calib = analyze_all(&set, &AnalysisConfig::paper_calibrated());
     let hol = analyze_holistic(&set, &HolisticConfig::default());
     let nc = analyze_netcalc(&set);
-    let adv = adversarial_search(&set, &AdversaryParams { trials: 400, ..Default::default() });
+    let adv = adversarial_search(
+        &set,
+        &AdversaryParams {
+            trials: 400,
+            ..Default::default()
+        },
+    );
 
     let names: Vec<&str> = vec!["tau_1", "tau_2", "tau_3", "tau_4", "tau_5"];
     let mut header = vec!["method"];
@@ -61,12 +65,18 @@ fn main() {
         fmt_row("trajectory (paper-calibrated mode)", bounds_row(&calib)),
         fmt_row(
             "trajectory (paper, published)",
-            PAPER_TABLE2_TRAJECTORY.iter().map(|v| v.to_string()).collect(),
+            PAPER_TABLE2_TRAJECTORY
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
         ),
         fmt_row("holistic (ours)", bounds_row(&hol)),
         fmt_row(
             "holistic (paper, published)",
-            PAPER_TABLE2_HOLISTIC.iter().map(|v| v.to_string()).collect(),
+            PAPER_TABLE2_HOLISTIC
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
         ),
         fmt_row(
             "network calculus (per-hop)",
@@ -83,7 +93,14 @@ fn main() {
             set.flows().iter().map(|f| f.deadline.to_string()).collect(),
         ),
     ];
-    println!("{}", render_table("Table 2 - worst-case end-to-end response times", &header, &rows));
+    println!(
+        "{}",
+        render_table(
+            "Table 2 - worst-case end-to-end response times",
+            &header,
+            &rows
+        )
+    );
 
     // Verdicts, as in the paper's discussion.
     println!(

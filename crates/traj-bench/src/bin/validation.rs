@@ -14,7 +14,10 @@ use traj_sim::{validate_bounds, AdversaryParams};
 
 fn main() {
     let cfg = AnalysisConfig::default();
-    let params = AdversaryParams { trials: 300, ..Default::default() };
+    let params = AdversaryParams {
+        trials: 300,
+        ..Default::default()
+    };
 
     // Paper example, per flow.
     let set = paper_example();
@@ -28,7 +31,11 @@ fn main() {
                 r.bound.unwrap().to_string(),
                 r.observed.to_string(),
                 r.margin.unwrap().to_string(),
-                if r.sound { "ok".into() } else { "VIOLATED".into() },
+                if r.sound {
+                    "ok".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]
         })
         .collect();
@@ -49,13 +56,21 @@ fn main() {
     for seed in 0..25u64 {
         let set = random_mesh(
             seed,
-            &MeshParams { flows: 7, nodes: 9, max_utilisation: 0.6, ..Default::default() },
+            &MeshParams {
+                flows: 7,
+                nodes: 9,
+                max_utilisation: 0.6,
+                ..Default::default()
+            },
         );
         let report = analyze_all(&set, &cfg);
         let rows = validate_bounds(
             &set,
             &report.bounds(),
-            &AdversaryParams { trials: 40, ..Default::default() },
+            &AdversaryParams {
+                trials: 40,
+                ..Default::default()
+            },
         );
         for r in rows {
             total_flows += 1;

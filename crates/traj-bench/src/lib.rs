@@ -23,7 +23,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         }
         out.push('\n');
     };
-    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     for row in rows {
         line(&mut out, row);
     }
@@ -63,7 +66,10 @@ mod tests {
         let t = render_table(
             "T",
             &["flow", "R"],
-            &[vec!["tau_1".into(), "31".into()], vec!["tau_22".into(), "7".into()]],
+            &[
+                vec!["tau_1".into(), "31".into()],
+                vec!["tau_22".into(), "7".into()],
+            ],
         );
         assert!(t.contains("tau_22"));
         assert!(t.lines().count() == 4);

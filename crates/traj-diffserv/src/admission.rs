@@ -54,9 +54,11 @@ impl AdmissionController {
     /// updated.
     pub fn try_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
         let cand_id = candidate.id;
-        let mut flows: Vec<SporadicFlow> = self.current.flows().to_vec();
-        flows.push(candidate);
-        let tentative = match FlowSet::new(self.current.network().clone(), flows) {
+        // `extended_with` shares the current set's crossing-segment memo
+        // with the tentative set: only pairs involving the candidate's
+        // path are computed afresh, the standing flows' crossing
+        // structure is reused across admission attempts.
+        let tentative = match self.current.extended_with(candidate) {
             Ok(s) => s,
             Err(e @ ModelError::DuplicateFlowId { .. })
             | Err(e @ ModelError::UnknownNode { .. }) => {
@@ -81,22 +83,19 @@ impl AdmissionController {
         AdmissionDecision::Admitted { wcrt }
     }
 
-    /// Removes a flow (session teardown); `true` when it existed.
+    /// Removes a flow (session teardown); `true` when it existed. The
+    /// relation memo is carried over, so a later re-admission over the
+    /// same paths costs no segment recomputation.
     pub fn release(&mut self, id: FlowId) -> bool {
-        let flows: Vec<SporadicFlow> = self
-            .current
-            .flows()
-            .iter()
-            .filter(|f| f.id != id)
-            .cloned()
-            .collect();
-        if flows.len() == self.current.len() {
+        if self.current.index_of(id).is_none() {
             return false;
         }
-        if flows.is_empty() {
+        if self.current.len() == 1 {
             return false; // keep the last flow; FlowSet cannot be empty
         }
-        self.current = FlowSet::new(self.current.network().clone(), flows)
+        self.current = self
+            .current
+            .without_flow(id)
             .expect("removal keeps the set valid");
         true
     }
@@ -134,15 +133,9 @@ mod tests {
     fn rejects_when_existing_flow_would_miss() {
         let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
         // A heavy flow on the shared trunk pushes someone past a deadline.
-        let heavy = SporadicFlow::uniform(
-            11,
-            Path::from_ids([2, 3, 4, 7]).unwrap(),
-            36,
-            12,
-            0,
-            10_000,
-        )
-        .unwrap();
+        let heavy =
+            SporadicFlow::uniform(11, Path::from_ids([2, 3, 4, 7]).unwrap(), 36, 12, 0, 10_000)
+                .unwrap();
         match ac.try_admit(heavy) {
             AdmissionDecision::Rejected { .. } => {}
             other => panic!("expected rejection, got {other:?}"),
@@ -178,6 +171,26 @@ mod tests {
         assert!(ac.release(FlowId(10)));
         assert!(!ac.release(FlowId(10)));
         assert_eq!(ac.flows().len(), 5);
+    }
+
+    #[test]
+    fn admission_reuses_the_relation_memo() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        let warm = ac.flows().relation_cache().len();
+        assert!(warm > 0, "first admission warms the memo");
+        // Release and re-admit over the same path: the memo survives both
+        // transitions (entries are keyed by path values, which recur).
+        assert!(ac.release(FlowId(10)));
+        assert_eq!(ac.flows().relation_cache().len(), warm);
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert_eq!(ac.flows().relation_cache().len(), warm);
     }
 
     #[test]

@@ -63,18 +63,20 @@ pub fn af_delay_estimates(set: &FlowSet) -> Vec<AfDelayEstimate> {
                     let mut ok = true;
                     for &h in f.path.nodes() {
                         match residual_at(set, h, class) {
-                            Some(beta) => match delay_bound(&agg_class(set, h, class, idx, &cur), &beta) {
-                                Some(d) => {
-                                    total = total + d;
-                                    if let Some(out) = output_curve(&cur, &beta) {
-                                        cur = out;
+                            Some(beta) => {
+                                match delay_bound(&agg_class(set, h, class, idx, &cur), &beta) {
+                                    Some(d) => {
+                                        total = total + d;
+                                        if let Some(out) = output_curve(&cur, &beta) {
+                                            cur = out;
+                                        }
+                                    }
+                                    None => {
+                                        ok = false;
+                                        break;
                                     }
                                 }
-                                None => {
-                                    ok = false;
-                                    break;
-                                }
-                            },
+                            }
                             None => {
                                 ok = false;
                                 break;
@@ -105,14 +107,13 @@ fn residual_at(set: &FlowSet, node: NodeId, class: Option<u8>) -> Option<Service
             _ => false,
         }
     };
-    let mut cross = ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO };
+    let mut cross = ArrivalCurve {
+        sigma: Ratio::ZERO,
+        rho: Ratio::ZERO,
+    };
     for f in set.flows() {
         if f.path.visits(node) && higher(f) {
-            cross = cross.aggregate(&ArrivalCurve::sporadic(
-                f.cost_at(node),
-                f.period,
-                f.jitter,
-            ));
+            cross = cross.aggregate(&ArrivalCurve::sporadic(f.cost_at(node), f.period, f.jitter));
         }
     }
     ServiceCurve::constant_rate(Ratio::ONE).residual(&cross)

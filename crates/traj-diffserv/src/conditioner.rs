@@ -28,7 +28,13 @@ impl TokenBucket {
     /// given capacity, initially full.
     pub fn new(rate_num: i64, rate_den: i64, burst: i64) -> TokenBucket {
         assert!(rate_num > 0 && rate_den > 0 && burst > 0);
-        TokenBucket { rate_num, rate_den, burst, level_scaled: burst * rate_den, last: 0 }
+        TokenBucket {
+            rate_num,
+            rate_den,
+            burst,
+            level_scaled: burst * rate_den,
+            last: 0,
+        }
     }
 
     /// The bucket dimensioned for a sporadic flow: sustained rate `C/T`,
@@ -103,7 +109,10 @@ mod tests {
     fn back_to_back_burst_rejected() {
         let mut tb = TokenBucket::new(4, 36, 4);
         assert!(tb.police(0, 4));
-        assert!(!tb.police(1, 4), "second packet one tick later must overdraw");
+        assert!(
+            !tb.police(1, 4),
+            "second packet one tick later must overdraw"
+        );
         // After a full period the bucket has refilled.
         assert!(tb.police(37, 4));
     }
@@ -119,8 +128,7 @@ mod tests {
 
     #[test]
     fn for_flow_matches_curve_parameters() {
-        let f = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 36, 4, 9, 99)
-            .unwrap();
+        let f = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 36, 4, 9, 99).unwrap();
         let tb = TokenBucket::for_flow(&f);
         assert_eq!(tb.rate_num, 4);
         assert_eq!(tb.rate_den, 36);

@@ -113,7 +113,10 @@ mod tests {
             assert_eq!(PerHopBehaviour::classify(phb.dscp()), phb);
         }
         // Unknown codepoints fall back to best effort.
-        assert_eq!(PerHopBehaviour::classify(Dscp(63)), PerHopBehaviour::BestEffort);
+        assert_eq!(
+            PerHopBehaviour::classify(Dscp(63)),
+            PerHopBehaviour::BestEffort
+        );
     }
 
     #[test]

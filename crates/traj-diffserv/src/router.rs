@@ -25,7 +25,10 @@ pub struct DiffServDomain {
 impl DiffServDomain {
     /// Wraps a flow set as a DiffServ domain.
     pub fn new(flows: FlowSet) -> Self {
-        DiffServDomain { flows, analysis: AnalysisConfig::default() }
+        DiffServDomain {
+            flows,
+            analysis: AnalysisConfig::default(),
+        }
     }
 
     /// The underlying flows.
@@ -37,9 +40,10 @@ impl DiffServDomain {
     pub fn phb(&self, flow: &SporadicFlow) -> PerHopBehaviour {
         match flow.class {
             traj_model::flow::TrafficClass::Ef => PerHopBehaviour::Ef,
-            traj_model::flow::TrafficClass::Af(c) => {
-                PerHopBehaviour::Af { class: c.clamp(1, 4), drop: 1 }
-            }
+            traj_model::flow::TrafficClass::Af(c) => PerHopBehaviour::Af {
+                class: c.clamp(1, 4),
+                drop: 1,
+            },
             traj_model::flow::TrafficClass::BestEffort => PerHopBehaviour::BestEffort,
         }
     }

@@ -104,9 +104,7 @@ pub fn analyze_holistic(set: &FlowSet, cfg: &HolisticConfig) -> SetReport {
                     flow: f.id,
                     name: f.name.clone(),
                     wcrt: Verdict::Bounded(d.total),
-                    jitter: Some(
-                        (d.total - traj_analysis::jitter::min_response(set, f)).max(0),
-                    ),
+                    jitter: Some((d.total - traj_analysis::jitter::min_response(set, f)).max(0)),
                     deadline: f.deadline,
                 })
                 .collect(),
@@ -153,7 +151,10 @@ fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, S
                 let r = node_response(set, cfg, f.id, h, &jitter)
                     .ok_or_else(|| format!("node {h} busy period diverged (overload)"))?;
                 if r > cfg.max_busy_period {
-                    return Err(format!("response of flow {} on node {h} exceeds guard", f.id));
+                    return Err(format!(
+                        "response of flow {} on node {h} exceeds guard",
+                        f.id
+                    ));
                 }
                 let slot = response.get_mut(&(f.id, h)).expect("initialised");
                 if *slot != r {
@@ -164,7 +165,8 @@ fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, S
             // 2. jitter propagation along the path
             for (pre, h) in f.path.links() {
                 let link = set.network().link_delay(pre, h);
-                let j = jitter[&(f.id, pre)] + (response[&(f.id, pre)] - f.cost_at(pre))
+                let j = jitter[&(f.id, pre)]
+                    + (response[&(f.id, pre)] - f.cost_at(pre))
                     + link.spread();
                 if j > cfg.max_busy_period {
                     return Err(format!(
@@ -200,9 +202,13 @@ fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, S
                         .links()
                         .map(|(a, b)| set.network().link_delay(a, b).lmax)
                         .sum();
-                    let total =
-                        nodes.iter().map(|n| n.response).sum::<Duration>() + links;
-                    HolisticFlowDetail { flow: f.id, nodes, links, total }
+                    let total = nodes.iter().map(|n| n.response).sum::<Duration>() + links;
+                    HolisticFlowDetail {
+                        flow: f.id,
+                        nodes,
+                        links,
+                        total,
+                    }
                 })
                 .collect());
         }
@@ -237,7 +243,11 @@ fn node_response(
         ActivationDomain::NonNegative | ActivationDomain::SingleInstant => 0,
         ActivationDomain::FullBusyPeriod => -jitter[&(me.id, node)],
     };
-    let bf = BoundFunction { windows, constant: 0, t_lo };
+    let bf = BoundFunction {
+        windows,
+        constant: 0,
+        t_lo,
+    };
     if cfg.domain == ActivationDomain::SingleInstant {
         // Evaluate t = 0 only; still guard divergence via the busy period.
         bf.busy_period(cfg.max_busy_period)?;
@@ -262,7 +272,11 @@ mod tests {
         let rep = analyze_holistic(&set, &HolisticConfig::default());
         let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
         assert_eq!(bounds, vec![43, 59, 113, 113, 80]);
-        assert_eq!(rep.misses(), 5, "the paper's point: none meets its deadline");
+        assert_eq!(
+            rep.misses(),
+            5,
+            "the paper's point: none meets its deadline"
+        );
     }
 
     #[test]
@@ -274,7 +288,10 @@ mod tests {
         let set = paper_example();
         let rep = analyze_holistic(
             &set,
-            &HolisticConfig { domain: ActivationDomain::SingleInstant, ..Default::default() },
+            &HolisticConfig {
+                domain: ActivationDomain::SingleInstant,
+                ..Default::default()
+            },
         );
         let b: Vec<i64> = rep.bounds().into_iter().map(|x| x.unwrap()).collect();
         assert_eq!(b[0], 43);
@@ -291,7 +308,10 @@ mod tests {
         let mild = analyze_holistic(&set, &HolisticConfig::default());
         let harsh = analyze_holistic(
             &set,
-            &HolisticConfig { domain: ActivationDomain::FullBusyPeriod, ..Default::default() },
+            &HolisticConfig {
+                domain: ActivationDomain::FullBusyPeriod,
+                ..Default::default()
+            },
         );
         for (m, h) in mild.bounds().iter().zip(harsh.bounds()) {
             assert!(h.unwrap() >= m.unwrap());

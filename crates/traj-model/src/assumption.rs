@@ -63,7 +63,11 @@ pub fn first_reentry(owner: &SporadicFlow, crosser: &SporadicFlow) -> Option<usi
     for w in positions.windows(2) {
         let (_, o0) = w[0];
         let (c1, o1) = w[1];
-        let ok = if ascending { o1 == o0 + 1 } else { o0 == o1 + 1 };
+        let ok = if ascending {
+            o1 == o0 + 1
+        } else {
+            o0 == o1 + 1
+        };
         if !ok {
             return Some(c1);
         }
@@ -145,12 +149,7 @@ fn split_flow(
     let extra_jitter = head_hops.max(0) * link_spread_per_hop;
 
     let head = SporadicFlow::with_costs(
-        f.id.0,
-        head_path,
-        f.period,
-        head_costs,
-        f.jitter,
-        f.deadline,
+        f.id.0, head_path, f.period, head_costs, f.jitter, f.deadline,
     )?
     .named(format!("{}#head", f.name))
     .with_class(f.class);

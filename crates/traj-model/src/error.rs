@@ -21,7 +21,11 @@ pub enum ModelError {
     /// Link delay bounds with `lmin > lmax`.
     InvertedLinkDelay { lmin: i64, lmax: i64 },
     /// Per-node cost vector length does not match the path length.
-    CostLengthMismatch { flow: FlowId, costs: usize, path: usize },
+    CostLengthMismatch {
+        flow: FlowId,
+        costs: usize,
+        path: usize,
+    },
     /// Two flows share a flow identifier.
     DuplicateFlowId { id: FlowId },
     /// Assumption 1 is violated and automatic splitting was disabled.
@@ -38,7 +42,10 @@ impl fmt::Display for ModelError {
                 write!(f, "path visits node {node} twice; routes must be loop-free")
             }
             ModelError::UnknownNode { flow, node } => {
-                write!(f, "flow {flow} visits node {node} which is not in the network")
+                write!(
+                    f,
+                    "flow {flow} visits node {node} which is not in the network"
+                )
             }
             ModelError::NonPositive { what, value } => {
                 write!(f, "{what} must be positive, got {value}")

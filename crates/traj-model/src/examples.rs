@@ -61,21 +61,12 @@ pub fn paper_example_with_best_effort(be_cost: i64) -> FlowSet {
     let base = paper_example();
     let mut flows: Vec<SporadicFlow> = base.flows().to_vec();
     // One BE flow per EF path, same route, long period, large packets.
-    let mut next_id = 100;
-    for ef in base.flows() {
-        let be = SporadicFlow::uniform(
-            next_id,
-            ef.path.clone(),
-            10_000,
-            be_cost,
-            0,
-            1_000_000,
-        )
-        .expect("static example")
-        .with_class(TrafficClass::BestEffort)
-        .named(format!("be_{}", next_id));
+    for (next_id, ef) in (100..).zip(base.flows()) {
+        let be = SporadicFlow::uniform(next_id, ef.path.clone(), 10_000, be_cost, 0, 1_000_000)
+            .expect("static example")
+            .with_class(TrafficClass::BestEffort)
+            .named(format!("be_{}", next_id));
         flows.push(be);
-        next_id += 1;
     }
     FlowSet::new(base.network().clone(), flows).expect("static example")
 }

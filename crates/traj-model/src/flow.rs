@@ -13,9 +13,7 @@ use crate::path::Path;
 use crate::time::Duration;
 
 /// Identifier of a flow within a [`crate::FlowSet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FlowId(pub u32);
 
 impl std::fmt::Display for FlowId {
@@ -103,18 +101,30 @@ impl SporadicFlow {
             });
         }
         if period <= 0 {
-            return Err(ModelError::NonPositive { what: "period", value: period });
+            return Err(ModelError::NonPositive {
+                what: "period",
+                value: period,
+            });
         }
         for &c in &costs {
             if c <= 0 {
-                return Err(ModelError::NonPositive { what: "cost", value: c });
+                return Err(ModelError::NonPositive {
+                    what: "cost",
+                    value: c,
+                });
             }
         }
         if jitter < 0 {
-            return Err(ModelError::Negative { what: "jitter", value: jitter });
+            return Err(ModelError::Negative {
+                what: "jitter",
+                value: jitter,
+            });
         }
         if deadline < 0 {
-            return Err(ModelError::Negative { what: "deadline", value: deadline });
+            return Err(ModelError::Negative {
+                what: "deadline",
+                value: deadline,
+            });
         }
         Ok(SporadicFlow {
             id,
@@ -196,7 +206,11 @@ impl SporadicFlow {
     pub fn truncated(&self, k: usize) -> Option<SporadicFlow> {
         let path = self.path.prefix_len(k)?;
         let costs = self.costs[..k].to_vec();
-        Some(SporadicFlow { path, costs, ..self.clone() })
+        Some(SporadicFlow {
+            path,
+            costs,
+            ..self.clone()
+        })
     }
 }
 
@@ -237,15 +251,8 @@ mod tests {
         let f = flow();
         assert_eq!(f.max_cost(), 5);
         assert_eq!(f.slow_node(), NodeId(3));
-        let tie = SporadicFlow::uniform(
-            1,
-            Path::from_ids([5, 6, 7]).unwrap(),
-            10,
-            4,
-            0,
-            99,
-        )
-        .unwrap();
+        let tie =
+            SporadicFlow::uniform(1, Path::from_ids([5, 6, 7]).unwrap(), 10, 4, 0, 99).unwrap();
         assert_eq!(tie.slow_node(), NodeId(5));
     }
 
@@ -263,7 +270,11 @@ mod tests {
         let t = f.truncated(2).unwrap();
         assert_eq!(t.path.nodes().len(), 2);
         assert_eq!(t.cost_at(NodeId(3)), 5);
-        assert_eq!(t.cost_at(NodeId(4)), 0, "truncated flows no longer visit node 4");
+        assert_eq!(
+            t.cost_at(NodeId(4)),
+            0,
+            "truncated flows no longer visit node 4"
+        );
         assert!(f.truncated(9).is_none());
     }
 

@@ -8,6 +8,9 @@
 //! arbitrary *reference path* so the same machinery serves full paths and
 //! the prefixes used by the recursive `Smax` computation.
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
@@ -105,11 +108,72 @@ pub enum SminMode {
     LinkOnly,
 }
 
+/// Shared memo of crossing-segment decompositions.
+///
+/// The decomposition of a crossing depends *only* on the two path values
+/// (crosser path, reference path) — not on costs, periods, or on which
+/// other flows belong to the set — so entries stay valid across clones,
+/// [`FlowSet::with_flows`] rebuilds, and the admission controller's
+/// add/remove cycles, and the memo can be shared freely between them.
+///
+/// Cloning shares the underlying table; deserialisation starts empty
+/// (the memo is a pure cache and is never serialised).
+#[derive(Clone, Default)]
+pub struct RelationCache {
+    /// `crosser path -> reference path -> segments`. Nested maps let the
+    /// hot path look entries up from two `&Path` borrows without
+    /// materialising a tuple key.
+    segments: Arc<RwLock<SegmentMemo>>,
+}
+
+/// Inner table of [`RelationCache`].
+type SegmentMemo = HashMap<Path, HashMap<Path, Arc<Vec<CrossingSegment>>>>;
+
+impl RelationCache {
+    fn get(&self, crosser: &Path, reference: &Path) -> Option<Arc<Vec<CrossingSegment>>> {
+        let map = self.segments.read().unwrap_or_else(|e| e.into_inner());
+        map.get(crosser)
+            .and_then(|inner| inner.get(reference))
+            .cloned()
+    }
+
+    fn insert(&self, crosser: &Path, reference: &Path, segments: Arc<Vec<CrossingSegment>>) {
+        let mut map = self.segments.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(crosser.clone())
+            .or_default()
+            .entry(reference.clone())
+            .or_insert(segments);
+    }
+
+    /// Number of memoised (crosser, reference) pairs.
+    pub fn len(&self) -> usize {
+        let map = self.segments.read().unwrap_or_else(|e| e.into_inner());
+        map.values().map(|inner| inner.len()).sum()
+    }
+
+    /// Whether the memo holds no entry yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for RelationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
 /// A validated set of sporadic flows over a network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowSet {
     network: Network,
     flows: Vec<SporadicFlow>,
+    /// Memo for [`Self::crossing_segments`]; shared across clones and
+    /// derived sets, rebuilt lazily after deserialisation.
+    #[serde(skip)]
+    relations: RelationCache,
 }
 
 impl FlowSet {
@@ -125,11 +189,52 @@ impl FlowSet {
             }
             for &n in f.path.nodes() {
                 if !network.contains(n) {
-                    return Err(ModelError::UnknownNode { flow: f.id, node: n });
+                    return Err(ModelError::UnknownNode {
+                        flow: f.id,
+                        node: n,
+                    });
                 }
             }
         }
-        Ok(FlowSet { network, flows })
+        Ok(FlowSet {
+            network,
+            flows,
+            relations: RelationCache::default(),
+        })
+    }
+
+    /// Like [`Self::new`], but seeding the crossing-segment memo from an
+    /// existing cache. Sound because the memo is keyed by path values
+    /// only; use this to re-analyse variations of a set (added/removed
+    /// flows) without recomputing the shared crossing structure.
+    pub fn new_with_cache(
+        network: Network,
+        flows: Vec<SporadicFlow>,
+        cache: RelationCache,
+    ) -> Result<Self, ModelError> {
+        let mut set = Self::new(network, flows)?;
+        set.relations = cache;
+        Ok(set)
+    }
+
+    /// The crossing-segment memo, for sharing with derived sets.
+    pub fn relation_cache(&self) -> &RelationCache {
+        &self.relations
+    }
+
+    /// A new set over the same network with `extra` appended, sharing
+    /// this set's relation memo (admission "what-if" analysis).
+    pub fn extended_with(&self, extra: SporadicFlow) -> Result<Self, ModelError> {
+        let mut flows = self.flows.clone();
+        flows.push(extra);
+        self.with_flows(flows)
+    }
+
+    /// A new set with flow `id` removed, sharing this set's relation
+    /// memo. Errors when removing `id` would empty the set.
+    pub fn without_flow(&self, id: FlowId) -> Result<Self, ModelError> {
+        let flows: Vec<SporadicFlow> = self.flows.iter().filter(|f| f.id != id).cloned().collect();
+        self.with_flows(flows)
     }
 
     /// The underlying network.
@@ -190,7 +295,12 @@ impl FlowSet {
     /// `last_{j,path}`: last node of `path` visited by `τⱼ`, in `τⱼ`'s own
     /// visiting order.
     pub fn last_on(&self, j: &SporadicFlow, path: &Path) -> Option<NodeId> {
-        j.path.nodes().iter().rev().copied().find(|n| path.visits(*n))
+        j.path
+            .nodes()
+            .iter()
+            .rev()
+            .copied()
+            .find(|n| path.visits(*n))
     }
 
     /// The node of `path` (in *path order*) where the crossing with `τⱼ`
@@ -205,7 +315,11 @@ impl FlowSet {
     pub fn direction(&self, j: &SporadicFlow, path: &Path) -> Option<CrossDirection> {
         let fji = self.first_on(j, path)?;
         let fij = self.entry_on_path(j, path)?;
-        Some(if fji == fij { CrossDirection::Same } else { CrossDirection::Reverse })
+        Some(if fji == fij {
+            CrossDirection::Same
+        } else {
+            CrossDirection::Reverse
+        })
     }
 
     /// Whether `τⱼ` satisfies the same-direction criterion over `path`.
@@ -222,7 +336,35 @@ impl FlowSet {
     /// contiguous [`CrossingSegment`]s (empty when the paths are
     /// disjoint). A compliant (Assumption 1) crossing yields exactly one
     /// segment; leave-and-rejoin routes yield several.
+    ///
+    /// Memoised per (crosser path, reference path); see
+    /// [`Self::crossing_segments_shared`] for the allocation-free variant.
     pub fn crossing_segments(&self, j: &SporadicFlow, path: &Path) -> Vec<CrossingSegment> {
+        (*self.crossing_segments_shared(j, path)).clone()
+    }
+
+    /// Memoised crossing-segment decomposition, returned as a shared
+    /// handle so hot loops avoid re-cloning the segment vector.
+    pub fn crossing_segments_shared(
+        &self,
+        j: &SporadicFlow,
+        path: &Path,
+    ) -> Arc<Vec<CrossingSegment>> {
+        if let Some(hit) = self.relations.get(&j.path, path) {
+            return hit;
+        }
+        let computed = Arc::new(self.crossing_segments_uncached(j, path));
+        self.relations.insert(&j.path, path, Arc::clone(&computed));
+        computed
+    }
+
+    /// The direct (memo-bypassing) decomposition. Kept public as the
+    /// reference implementation for differential tests and benchmarks.
+    pub fn crossing_segments_uncached(
+        &self,
+        j: &SporadicFlow,
+        path: &Path,
+    ) -> Vec<CrossingSegment> {
         // (index in j's path, index in reference path) of shared nodes.
         let shared: Vec<(usize, usize)> = j
             .path
@@ -259,14 +401,14 @@ impl FlowSet {
         segments
     }
 
-    fn finish_segment(
-        j: &SporadicFlow,
-        items: &[(usize, usize)],
-        dir: i64,
-    ) -> CrossingSegment {
+    fn finish_segment(j: &SporadicFlow, items: &[(usize, usize)], dir: i64) -> CrossingSegment {
         CrossingSegment {
             nodes: items.iter().map(|&(ci, _)| j.path.nodes()[ci]).collect(),
-            direction: if dir < 0 { CrossDirection::Reverse } else { CrossDirection::Same },
+            direction: if dir < 0 {
+                CrossDirection::Reverse
+            } else {
+                CrossDirection::Same
+            },
         }
     }
 
@@ -279,7 +421,21 @@ impl FlowSet {
         path: &Path,
         node: NodeId,
     ) -> Option<CrossDirection> {
-        self.crossing_segments(j, path)
+        self.crossing_segments_shared(j, path)
+            .iter()
+            .find(|s| s.contains(node))
+            .map(|s| s.direction)
+    }
+
+    /// Memo-bypassing variant of [`Self::segment_direction_at`], matching
+    /// the pre-cache cost profile (reference implementation).
+    pub fn segment_direction_at_uncached(
+        &self,
+        j: &SporadicFlow,
+        path: &Path,
+        node: NodeId,
+    ) -> Option<CrossDirection> {
+        self.crossing_segments_uncached(j, path)
             .into_iter()
             .find(|s| s.contains(node))
             .map(|s| s.direction)
@@ -316,9 +472,7 @@ impl FlowSet {
         self.flows
             .iter()
             .filter(|j| {
-                keep(j)
-                    && self.segment_direction_at(j, path, node)
-                        == Some(CrossDirection::Same)
+                keep(j) && self.segment_direction_at(j, path, node) == Some(CrossDirection::Same)
             })
             .map(|j| j.cost_at(node))
             .max()
@@ -341,7 +495,6 @@ impl FlowSet {
                 s += j.cost_at_index(k);
             }
             s += self.network.link_delay(here, next).lmin;
-            let _ = here;
         }
         Some(s)
     }
@@ -365,12 +518,7 @@ impl FlowSet {
     /// `Mᵢʰ` along the reference path: minimum propagation time of a
     /// busy-period front from the path's first node up to (arrival at)
     /// `h ∈ path`.
-    pub fn m_term(
-        &self,
-        path: &Path,
-        node: NodeId,
-        convention: MinConvention,
-    ) -> Option<Duration> {
+    pub fn m_term(&self, path: &Path, node: NodeId, convention: MinConvention) -> Option<Duration> {
         self.m_term_filtered(path, node, convention, |_| true)
     }
 
@@ -416,9 +564,7 @@ impl FlowSet {
             MinConvention::ZeroConvention => self
                 .flows
                 .iter()
-                .filter(|j| {
-                    keep(j) && self.crosses(j, path) && self.same_direction(j, path)
-                })
+                .filter(|j| keep(j) && self.crosses(j, path) && self.same_direction(j, path))
                 .map(|j| j.cost_at(here))
                 .min()
                 .unwrap_or(0),
@@ -451,9 +597,11 @@ impl FlowSet {
             .fold(0.0, f64::max)
     }
 
-    /// Replaces the flow list (used by Assumption 1 splitting).
+    /// Replaces the flow list (used by Assumption 1 splitting), keeping
+    /// the relation memo: segment decompositions depend on path values
+    /// only, so they remain valid for any flow list over this network.
     pub(crate) fn with_flows(&self, flows: Vec<SporadicFlow>) -> Result<Self, ModelError> {
-        FlowSet::new(self.network.clone(), flows)
+        FlowSet::new_with_cache(self.network.clone(), flows, self.relations.clone())
     }
 }
 
@@ -539,9 +687,15 @@ mod tests {
         assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::Visiting), Some(10));
         // ZeroConvention: tau_5 is same-direction but does not visit 9/10,
         // its conventional cost 0 drives the min down: M = 2*(0+1).
-        assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::ZeroConvention), Some(2));
+        assert_eq!(
+            s.m_term(&p2, NodeId(7), MinConvention::ZeroConvention),
+            Some(2)
+        );
         // EdgeTraversing: only tau_2 traverses links 9->10 and 10->7.
-        assert_eq!(s.m_term(&p2, NodeId(7), MinConvention::EdgeTraversing), Some(10));
+        assert_eq!(
+            s.m_term(&p2, NodeId(7), MinConvention::EdgeTraversing),
+            Some(10)
+        );
         assert_eq!(s.m_term(&p2, NodeId(9), MinConvention::Visiting), Some(0));
     }
 
@@ -573,10 +727,10 @@ mod tests {
         // The soundness-regression topology: tau_b = [3,8,2] leaves
         // tau_a's path [3,2,7,6] after node 3 and re-enters at node 2.
         let net = Network::uniform(8, 1, 1).unwrap();
-        let a = SporadicFlow::uniform(1, Path::from_ids([3, 2, 7, 6]).unwrap(), 92, 6, 0, 500)
-            .unwrap();
-        let b = SporadicFlow::uniform(2, Path::from_ids([3, 8, 2]).unwrap(), 54, 8, 0, 500)
-            .unwrap();
+        let a =
+            SporadicFlow::uniform(1, Path::from_ids([3, 2, 7, 6]).unwrap(), 92, 6, 0, 500).unwrap();
+        let b =
+            SporadicFlow::uniform(2, Path::from_ids([3, 8, 2]).unwrap(), 54, 8, 0, 500).unwrap();
         let s = FlowSet::new(net, vec![a, b]).unwrap();
         let pa = s.flows()[0].path.clone();
         let segs = s.crossing_segments(&s.flows()[1], &pa);
@@ -585,8 +739,10 @@ mod tests {
         assert_eq!(segs[1].nodes, vec![NodeId(2)]);
         // Both single-node segments are degenerate same-direction.
         assert!(segs.iter().all(|x| x.direction == CrossDirection::Same));
-        assert_eq!(s.segment_direction_at(&s.flows()[1], &pa, NodeId(2)),
-                   Some(CrossDirection::Same));
+        assert_eq!(
+            s.segment_direction_at(&s.flows()[1], &pa, NodeId(2)),
+            Some(CrossDirection::Same)
+        );
         assert_eq!(s.segment_direction_at(&s.flows()[1], &pa, NodeId(7)), None);
     }
 
@@ -595,10 +751,10 @@ mod tests {
         // Crosser hops 1 -> 3 directly while the path goes 1 -> 2 -> 3:
         // adjacent in the crosser's path but not on the reference path.
         let net = Network::uniform(8, 1, 1).unwrap();
-        let a = SporadicFlow::uniform(1, Path::from_ids([1, 2, 3]).unwrap(), 50, 2, 0, 500)
-            .unwrap();
-        let b = SporadicFlow::uniform(2, Path::from_ids([1, 3, 8]).unwrap(), 50, 2, 0, 500)
-            .unwrap();
+        let a =
+            SporadicFlow::uniform(1, Path::from_ids([1, 2, 3]).unwrap(), 50, 2, 0, 500).unwrap();
+        let b =
+            SporadicFlow::uniform(2, Path::from_ids([1, 3, 8]).unwrap(), 50, 2, 0, 500).unwrap();
         let s = FlowSet::new(net, vec![a, b]).unwrap();
         let pa = s.flows()[0].path.clone();
         let segs = s.crossing_segments(&s.flows()[1], &pa);
@@ -614,7 +770,10 @@ mod tests {
         // At node 7, tau_5's degenerate crossing counts.
         assert_eq!(s.max_samedir_cost(&p2, NodeId(7)), 4);
         // Filtered variant can exclude the owner's class entirely.
-        assert_eq!(s.max_samedir_cost_filtered(&p2, NodeId(7), |f| f.id.0 > 90), 0);
+        assert_eq!(
+            s.max_samedir_cost_filtered(&p2, NodeId(7), |f| f.id.0 > 90),
+            0
+        );
     }
 
     #[test]
@@ -627,18 +786,66 @@ mod tests {
     }
 
     #[test]
+    fn memoised_segments_match_uncached() {
+        let s = set();
+        for i in s.flows() {
+            for j in s.flows() {
+                assert_eq!(
+                    s.crossing_segments(j, &i.path),
+                    s.crossing_segments_uncached(j, &i.path),
+                );
+                for &n in i.path.nodes() {
+                    assert_eq!(
+                        s.segment_direction_at(j, &i.path, n),
+                        s.segment_direction_at_uncached(j, &i.path, n),
+                    );
+                }
+            }
+        }
+        assert!(!s.relation_cache().is_empty());
+    }
+
+    #[test]
+    fn relation_cache_is_shared_with_derived_sets() {
+        let s = set();
+        // Warm the memo on the base set.
+        for i in s.flows() {
+            for j in s.flows() {
+                s.crossing_segments_shared(j, &i.path);
+            }
+        }
+        let warm = s.relation_cache().len();
+        assert!(warm > 0);
+
+        let extra = SporadicFlow::uniform(99, Path::from_ids([1, 2, 3, 4]).unwrap(), 50, 2, 0, 500)
+            .unwrap();
+        let bigger = s.extended_with(extra).unwrap();
+        assert_eq!(bigger.len(), s.len() + 1);
+        // The derived set sees the warm entries and adds its own to the
+        // same shared table.
+        assert_eq!(bigger.relation_cache().len(), warm);
+        let p1 = bigger.flow(FlowId(1)).unwrap().path.clone();
+        let f99 = bigger.flow(FlowId(99)).unwrap().clone();
+        bigger.crossing_segments_shared(&f99, &p1);
+        assert!(bigger.relation_cache().len() > warm);
+        assert_eq!(s.relation_cache().len(), bigger.relation_cache().len());
+
+        let smaller = bigger.without_flow(FlowId(99)).unwrap();
+        assert_eq!(smaller.len(), s.len());
+        assert_eq!(smaller.relation_cache().len(), s.relation_cache().len());
+        assert!(bigger.without_flow(FlowId(42)).is_ok());
+    }
+
+    #[test]
     fn validation_rejects_bad_sets() {
         let net = Network::uniform(3, 1, 1).unwrap();
-        let f = SporadicFlow::uniform(1, Path::from_ids([1, 9]).unwrap(), 10, 1, 0, 20)
-            .unwrap();
+        let f = SporadicFlow::uniform(1, Path::from_ids([1, 9]).unwrap(), 10, 1, 0, 20).unwrap();
         assert!(matches!(
             FlowSet::new(net.clone(), vec![f]).unwrap_err(),
             ModelError::UnknownNode { .. }
         ));
-        let f1 = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 10, 1, 0, 20)
-            .unwrap();
-        let f2 = SporadicFlow::uniform(1, Path::from_ids([2, 3]).unwrap(), 10, 1, 0, 20)
-            .unwrap();
+        let f1 = SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), 10, 1, 0, 20).unwrap();
+        let f2 = SporadicFlow::uniform(1, Path::from_ids([2, 3]).unwrap(), 10, 1, 0, 20).unwrap();
         assert!(matches!(
             FlowSet::new(net.clone(), vec![f1, f2]).unwrap_err(),
             ModelError::DuplicateFlowId { .. }

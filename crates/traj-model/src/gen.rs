@@ -81,7 +81,10 @@ pub fn random_mesh(seed: u64, p: &MeshParams) -> FlowSet {
         let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
         // Utilisation admission.
         let du = cost as f64 / period as f64;
-        if nodes.iter().any(|&n| util[n as usize] + du > p.max_utilisation) {
+        if nodes
+            .iter()
+            .any(|&n| util[n as usize] + du > p.max_utilisation)
+        {
             continue;
         }
         for &n in &nodes {
@@ -90,12 +93,15 @@ pub fn random_mesh(seed: u64, p: &MeshParams) -> FlowSet {
         let path = Path::from_ids(nodes).expect("distinct nodes");
         let transit: i64 = (cost + p.lmax) * len as i64;
         let deadline = transit * 5;
-        let flow = SporadicFlow::uniform(id, path, period, cost, jitter, deadline)
-            .expect("valid params");
+        let flow =
+            SporadicFlow::uniform(id, path, period, cost, jitter, deadline).expect("valid params");
         flows.push(flow);
         id += 1;
     }
-    assert!(!flows.is_empty(), "generator produced no flow; relax max_utilisation");
+    assert!(
+        !flows.is_empty(),
+        "generator produced no flow; relax max_utilisation"
+    );
     FlowSet::new(network, flows).expect("generated flows are valid")
 }
 
@@ -148,13 +154,7 @@ pub fn parking_lot(seed: u64, n_cross: u32, trunk_len: u32, period: i64, cost: i
 /// `n_rev` flows traverse them backward — every forward/backward pair
 /// crosses in *reverse* direction at every shared node, the hardest case
 /// for the `A_{i,j}` accounting (paper Figure 1, case 2).
-pub fn bidirectional_line(
-    n_fwd: u32,
-    n_rev: u32,
-    len: u32,
-    period: i64,
-    cost: i64,
-) -> FlowSet {
+pub fn bidirectional_line(n_fwd: u32, n_rev: u32, len: u32, period: i64, cost: i64) -> FlowSet {
     assert!(len >= 2);
     let network = Network::uniform(len, 1, 1).expect("valid");
     let fwd: Vec<u32> = (1..=len).collect();
@@ -238,7 +238,11 @@ mod tests {
 
     #[test]
     fn random_mesh_respects_utilisation_cap() {
-        let p = MeshParams { max_utilisation: 0.5, flows: 30, ..Default::default() };
+        let p = MeshParams {
+            max_utilisation: 0.5,
+            flows: 30,
+            ..Default::default()
+        };
         let s = random_mesh(3, &p);
         assert!(s.max_utilisation() <= 0.5 + 1e-9);
     }
@@ -247,7 +251,10 @@ mod tests {
     fn bidirectional_line_is_reverse_heavy() {
         let s = bidirectional_line(2, 2, 4, 100, 3);
         assert_eq!(s.len(), 4);
-        assert!(violations(&s).is_empty(), "reverse traversal satisfies Assumption 1");
+        assert!(
+            violations(&s).is_empty(),
+            "reverse traversal satisfies Assumption 1"
+        );
         let fwd_path = s.flows()[0].path.clone();
         let rev = &s.flows()[2];
         assert_eq!(

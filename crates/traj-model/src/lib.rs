@@ -32,7 +32,9 @@ pub mod time;
 
 pub use error::ModelError;
 pub use flow::{FlowId, SporadicFlow};
-pub use flowset::{CrossDirection, CrossingSegment, FlowSet, MinConvention, SminMode};
+pub use flowset::{
+    CrossDirection, CrossingSegment, FlowSet, MinConvention, RelationCache, SminMode,
+};
 pub use network::{LinkDelay, Network, NodeId};
 pub use path::Path;
 pub use time::{ceil_div, floor_div, plus_one_floor, Duration, Tick};

@@ -15,9 +15,7 @@ use crate::error::ModelError;
 use crate::time::Duration;
 
 /// Identifier of a store-and-forward node (router / switch output port).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -45,7 +43,10 @@ impl LinkDelay {
     /// Builds a delay bound pair, validating `0 <= lmin <= lmax`.
     pub fn new(lmin: Duration, lmax: Duration) -> Result<Self, ModelError> {
         if lmin < 0 {
-            return Err(ModelError::Negative { what: "lmin", value: lmin });
+            return Err(ModelError::Negative {
+                what: "lmin",
+                value: lmin,
+            });
         }
         if lmin > lmax {
             return Err(ModelError::InvertedLinkDelay { lmin, lmax });
@@ -91,10 +92,7 @@ impl Network {
     }
 
     /// A network over an explicit node list.
-    pub fn with_nodes(
-        nodes: Vec<NodeId>,
-        delay: LinkDelay,
-    ) -> Result<Self, ModelError> {
+    pub fn with_nodes(nodes: Vec<NodeId>, delay: LinkDelay) -> Result<Self, ModelError> {
         let mut sorted = nodes.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -107,7 +105,11 @@ impl Network {
                 }
             }
         }
-        Ok(Network { nodes, default_delay: delay, overrides: HashMap::new() })
+        Ok(Network {
+            nodes,
+            default_delay: delay,
+            overrides: HashMap::new(),
+        })
     }
 
     /// All nodes of the network.
@@ -203,8 +205,10 @@ mod tests {
 
     #[test]
     fn duplicate_nodes_rejected() {
-        let err =
-            Network::with_nodes(vec![NodeId(1), NodeId(1)], LinkDelay::fixed(1).unwrap());
-        assert_eq!(err.unwrap_err(), ModelError::DuplicateNode { node: NodeId(1) });
+        let err = Network::with_nodes(vec![NodeId(1), NodeId(1)], LinkDelay::fixed(1).unwrap());
+        assert_eq!(
+            err.unwrap_err(),
+            ModelError::DuplicateNode { node: NodeId(1) }
+        );
     }
 }

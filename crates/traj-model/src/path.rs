@@ -90,7 +90,9 @@ impl Path {
     /// The prefix of the path ending at `node` (inclusive).
     pub fn prefix_through(&self, node: NodeId) -> Option<Path> {
         let i = self.index_of(node)?;
-        Some(Path { nodes: self.nodes[..=i].to_vec() })
+        Some(Path {
+            nodes: self.nodes[..=i].to_vec(),
+        })
     }
 
     /// The prefix consisting of the first `k` nodes (`1 <= k <= len`).
@@ -98,12 +100,18 @@ impl Path {
         if k == 0 || k > self.nodes.len() {
             return None;
         }
-        Some(Path { nodes: self.nodes[..k].to_vec() })
+        Some(Path {
+            nodes: self.nodes[..k].to_vec(),
+        })
     }
 
     /// Nodes shared with another path, in **this** path's visiting order.
     pub fn shared_with(&self, other: &Path) -> Vec<NodeId> {
-        self.nodes.iter().copied().filter(|n| other.visits(*n)).collect()
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| other.visits(*n))
+            .collect()
     }
 
     /// Successive `(from, to)` links along the path.

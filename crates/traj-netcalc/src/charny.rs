@@ -106,7 +106,10 @@ mod tests {
             per_hop_latency: Ratio::int(5),
         };
         assert_eq!(charny_le_boudec_bound(&p), None);
-        let above = CharnyParams { utilisation: Ratio::new(1, 2), ..p };
+        let above = CharnyParams {
+            utilisation: Ratio::new(1, 2),
+            ..p
+        };
         assert_eq!(charny_le_boudec_bound(&above), None);
     }
 

@@ -43,16 +43,21 @@ impl ArrivalCurve {
 
     /// Aggregates two curves (`α₁ + α₂`): sums of bursts and rates.
     pub fn aggregate(&self, other: &ArrivalCurve) -> ArrivalCurve {
-        ArrivalCurve { sigma: self.sigma + other.sigma, rho: self.rho + other.rho }
+        ArrivalCurve {
+            sigma: self.sigma + other.sigma,
+            rho: self.rho + other.rho,
+        }
     }
 
     /// Sum over an iterator of curves.
     pub fn sum<'a>(curves: impl IntoIterator<Item = &'a ArrivalCurve>) -> ArrivalCurve {
-        curves
-            .into_iter()
-            .fold(ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO }, |acc, c| {
-                acc.aggregate(c)
-            })
+        curves.into_iter().fold(
+            ArrivalCurve {
+                sigma: Ratio::ZERO,
+                rho: Ratio::ZERO,
+            },
+            |acc, c| acc.aggregate(c),
+        )
     }
 }
 
@@ -68,7 +73,10 @@ pub struct ServiceCurve {
 impl ServiceCurve {
     /// A constant-rate server (latency 0).
     pub fn constant_rate(rate: Ratio) -> ServiceCurve {
-        ServiceCurve { rate, latency: Ratio::ZERO }
+        ServiceCurve {
+            rate,
+            latency: Ratio::ZERO,
+        }
     }
 
     /// The concatenation of two rate-latency servers
@@ -116,7 +124,10 @@ pub fn output_curve(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<Arrival
     if alpha.rho > beta.rate {
         return None;
     }
-    Some(ArrivalCurve { sigma: alpha.sigma + alpha.rho * beta.latency, rho: alpha.rho })
+    Some(ArrivalCurve {
+        sigma: alpha.sigma + alpha.rho * beta.latency,
+        rho: alpha.rho,
+    })
 }
 
 #[cfg(test)]
@@ -149,8 +160,14 @@ mod tests {
 
     #[test]
     fn delay_backlog_output_closed_forms() {
-        let alpha = ArrivalCurve { sigma: Ratio::int(6), rho: r(1, 4) };
-        let beta = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(2) };
+        let alpha = ArrivalCurve {
+            sigma: Ratio::int(6),
+            rho: r(1, 4),
+        };
+        let beta = ServiceCurve {
+            rate: Ratio::int(1),
+            latency: Ratio::int(2),
+        };
         assert_eq!(delay_bound(&alpha, &beta), Some(Ratio::int(8)));
         assert_eq!(backlog_bound(&alpha, &beta), Some(r(13, 2)));
         let out = output_curve(&alpha, &beta).unwrap();
@@ -160,7 +177,10 @@ mod tests {
 
     #[test]
     fn instability_detected() {
-        let alpha = ArrivalCurve { sigma: Ratio::int(1), rho: Ratio::int(2) };
+        let alpha = ArrivalCurve {
+            sigma: Ratio::int(1),
+            rho: Ratio::int(2),
+        };
         let beta = ServiceCurve::constant_rate(Ratio::int(1));
         assert_eq!(delay_bound(&alpha, &beta), None);
         assert_eq!(backlog_bound(&alpha, &beta), None);
@@ -169,8 +189,14 @@ mod tests {
 
     #[test]
     fn concatenation_is_rate_latency() {
-        let b1 = ServiceCurve { rate: Ratio::int(2), latency: Ratio::int(1) };
-        let b2 = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(3) };
+        let b1 = ServiceCurve {
+            rate: Ratio::int(2),
+            latency: Ratio::int(1),
+        };
+        let b2 = ServiceCurve {
+            rate: Ratio::int(1),
+            latency: Ratio::int(3),
+        };
         let c = b1.concatenate(&b2);
         assert_eq!(c.rate, Ratio::int(1));
         assert_eq!(c.latency, Ratio::int(4));
@@ -179,11 +205,17 @@ mod tests {
     #[test]
     fn residual_service() {
         let beta = ServiceCurve::constant_rate(Ratio::int(1));
-        let cross = ArrivalCurve { sigma: Ratio::int(8), rho: r(1, 2) };
+        let cross = ArrivalCurve {
+            sigma: Ratio::int(8),
+            rho: r(1, 2),
+        };
         let res = beta.residual(&cross).unwrap();
         assert_eq!(res.rate, r(1, 2));
         assert_eq!(res.latency, Ratio::int(16));
-        let saturating = ArrivalCurve { sigma: Ratio::int(1), rho: Ratio::int(1) };
+        let saturating = ArrivalCurve {
+            sigma: Ratio::int(1),
+            rho: Ratio::int(1),
+        };
         assert!(beta.residual(&saturating).is_none());
     }
 
@@ -191,8 +223,14 @@ mod tests {
     fn pay_bursts_only_once_beats_per_hop_sum() {
         // The PBOO phenomenon: delay through the concatenation is smaller
         // than the sum of per-hop delays.
-        let alpha = ArrivalCurve { sigma: Ratio::int(10), rho: r(1, 10) };
-        let b = ServiceCurve { rate: Ratio::int(1), latency: Ratio::int(1) };
+        let alpha = ArrivalCurve {
+            sigma: Ratio::int(10),
+            rho: r(1, 10),
+        };
+        let b = ServiceCurve {
+            rate: Ratio::int(1),
+            latency: Ratio::int(1),
+        };
         let through = delay_bound(&alpha, &b.concatenate(&b)).unwrap();
         let hop1 = delay_bound(&alpha, &b).unwrap();
         let out1 = output_curve(&alpha, &b).unwrap();

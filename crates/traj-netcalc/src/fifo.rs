@@ -87,8 +87,7 @@ pub fn analyze_netcalc(set: &FlowSet) -> Vec<NetcalcFlowResult> {
                 let mut sigma = cur_stored.sigma + cur_stored.rho * d;
                 // Link jitter widens the burst further.
                 if k + 1 < f.path.len() {
-                    let link =
-                        set.network().link_delay(h, f.path.nodes()[k + 1]);
+                    let link = set.network().link_delay(h, f.path.nodes()[k + 1]);
                     sigma = sigma + cur_stored.rho * Ratio::int(link.spread());
                 }
                 // Quantise up: sound and keeps the arithmetic small.
@@ -96,7 +95,10 @@ pub fn analyze_netcalc(set: &FlowSet) -> Vec<NetcalcFlowResult> {
                 if sigma > Ratio::int(SIGMA_GUARD) {
                     break 'rounds; // divergent feedback loop
                 }
-                cur = ArrivalCurve { sigma, rho: cur_stored.rho };
+                cur = ArrivalCurve {
+                    sigma,
+                    rho: cur_stored.rho,
+                };
             }
         }
         if !changed {
@@ -144,7 +146,10 @@ fn aggregate_at(
     curve_at: &HashMap<(FlowId, NodeId), ArrivalCurve>,
     node: NodeId,
 ) -> ArrivalCurve {
-    let mut agg = ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO };
+    let mut agg = ArrivalCurve {
+        sigma: Ratio::ZERO,
+        rho: Ratio::ZERO,
+    };
     for f in set.flows() {
         if let Some(c) = curve_at.get(&(f.id, node)) {
             agg = agg.aggregate(c);

@@ -39,12 +39,18 @@ impl Ratio {
         assert!(den != 0, "zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den);
-        Ratio { num: sign * num / g, den: sign * den / g }
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// An integer as a rational.
     pub fn int(v: i64) -> Ratio {
-        Ratio { num: v as i128, den: 1 }
+        Ratio {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (normalised).
@@ -121,7 +127,10 @@ impl Div for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

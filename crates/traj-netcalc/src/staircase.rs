@@ -155,7 +155,10 @@ mod tests {
             let exact = staircase_delay_bound(&curves, 1 << 30).unwrap();
             let affine = {
                 let agg = curves.iter().fold(
-                    ArrivalCurve { sigma: Ratio::ZERO, rho: Ratio::ZERO },
+                    ArrivalCurve {
+                        sigma: Ratio::ZERO,
+                        rho: Ratio::ZERO,
+                    },
                     |acc, s| acc.aggregate(&ArrivalCurve::sporadic(s.c, s.t, s.j)),
                 );
                 delay_bound(&agg, &ServiceCurve::constant_rate(Ratio::ONE))

@@ -28,7 +28,11 @@ pub struct AdversaryParams {
 
 impl Default for AdversaryParams {
     fn default() -> Self {
-        AdversaryParams { trials: 200, seed: 0xFEED, sim: SimConfig::default() }
+        AdversaryParams {
+            trials: 200,
+            seed: 0xFEED,
+            sim: SimConfig::default(),
+        }
     }
 }
 
@@ -56,8 +60,12 @@ pub fn guided_candidates(set: &FlowSet, victim: usize) -> Vec<Vec<Tick>> {
             continue;
         }
         let merge = set.first_on(fj, &vf.path).expect("crossing checked");
-        let v_arr = set.smin(vf, merge, SminMode::ProcessingAndLink).unwrap_or(0);
-        let j_arr = set.smin(fj, merge, SminMode::ProcessingAndLink).unwrap_or(0);
+        let v_arr = set
+            .smin(vf, merge, SminMode::ProcessingAndLink)
+            .unwrap_or(0);
+        let j_arr = set
+            .smin(fj, merge, SminMode::ProcessingAndLink)
+            .unwrap_or(0);
         base[j] = (v_arr - j_arr).rem_euclid(fj.period);
     }
     let mut out = vec![base.clone()];
@@ -95,16 +103,16 @@ pub fn adversarial_search(set: &FlowSet, p: &AdversaryParams) -> AdversaryResult
     let per_candidate: Vec<Vec<Duration>> = candidates
         .par_iter()
         .map(|offsets| {
-            let mut worst = vec![0; n];
-            for victim in 0..n {
-                let cfg = SimConfig {
-                    tie_break: TieBreak::VictimLast(victim),
-                    ..p.sim.clone()
-                };
-                let out = Simulator::new(set, cfg).run_periodic(offsets);
-                worst[victim] = worst[victim].max(out.flows[victim].max_response);
-            }
-            worst
+            (0..n)
+                .map(|victim| {
+                    let cfg = SimConfig {
+                        tie_break: TieBreak::VictimLast(victim),
+                        ..p.sim.clone()
+                    };
+                    let out = Simulator::new(set, cfg).run_periodic(offsets);
+                    out.flows[victim].max_response
+                })
+                .collect::<Vec<Duration>>()
         })
         .collect();
 
@@ -118,7 +126,10 @@ pub fn adversarial_search(set: &FlowSet, p: &AdversaryParams) -> AdversaryResult
             }
         }
     }
-    AdversaryResult { observed, witness_offsets }
+    AdversaryResult {
+        observed,
+        witness_offsets,
+    }
 }
 
 #[cfg(test)]
@@ -131,14 +142,23 @@ mod tests {
         // 3 flows, 1 node: true worst case is 3*C = 21 (simultaneous
         // release, victim last) and the all-zeros corner finds it.
         let set = line_topology(3, 1, 100, 7, 1, 1);
-        let r = adversarial_search(&set, &AdversaryParams { trials: 10, ..Default::default() });
+        let r = adversarial_search(
+            &set,
+            &AdversaryParams {
+                trials: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.observed, vec![21, 21, 21]);
     }
 
     #[test]
     fn observed_never_exceeds_trajectory_bound() {
         let set = paper_example();
-        let p = AdversaryParams { trials: 60, ..Default::default() };
+        let p = AdversaryParams {
+            trials: 60,
+            ..Default::default()
+        };
         let r = adversarial_search(&set, &p);
         let bounds = [31, 37, 47, 47, 40];
         for (i, (o, b)) in r.observed.iter().zip(bounds).enumerate() {
@@ -160,7 +180,10 @@ mod tests {
         // budget on the paper example.
         let guided = adversarial_search(
             &set,
-            &AdversaryParams { trials: 0, ..Default::default() },
+            &AdversaryParams {
+                trials: 0,
+                ..Default::default()
+            },
         );
         for (i, o) in guided.observed.iter().enumerate() {
             assert!(*o > 0, "flow {i} never measured");
@@ -170,15 +193,17 @@ mod tests {
     #[test]
     fn witnesses_reproduce_the_observation() {
         let set = paper_example();
-        let p = AdversaryParams { trials: 30, ..Default::default() };
+        let p = AdversaryParams {
+            trials: 30,
+            ..Default::default()
+        };
         let r = adversarial_search(&set, &p);
         for victim in 0..set.len() {
             let cfg = SimConfig {
                 tie_break: TieBreak::VictimLast(victim),
                 ..p.sim.clone()
             };
-            let out =
-                Simulator::new(&set, cfg).run_periodic(&r.witness_offsets[victim]);
+            let out = Simulator::new(&set, cfg).run_periodic(&r.witness_offsets[victim]);
             assert_eq!(out.flows[victim].max_response, r.observed[victim]);
         }
     }

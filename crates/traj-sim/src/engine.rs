@@ -159,9 +159,9 @@ impl<'a> Simulator<'a> {
         let mut heap: BinaryHeap<Reverse<(Tick, u64, usize)>> = BinaryHeap::new();
         let mut events: Vec<Event> = Vec::new();
         let push = |heap: &mut BinaryHeap<Reverse<(Tick, u64, usize)>>,
-                        events: &mut Vec<Event>,
-                        t: Tick,
-                        e: Event| {
+                    events: &mut Vec<Event>,
+                    t: Tick,
+                    e: Event| {
             let idx = events.len();
             events.push(e);
             // Second key: completions before arrivals at the same tick so
@@ -195,7 +195,12 @@ impl<'a> Simulator<'a> {
                     band: if f.class.is_ef() { 0 } else { 1 },
                     weight: class_weight(f),
                 };
-                push(&mut heap, &mut events, t, Event::Arrival { node: ingress, pkt });
+                push(
+                    &mut heap,
+                    &mut events,
+                    t,
+                    Event::Arrival { node: ingress, pkt },
+                );
             }
         }
 
@@ -206,11 +211,20 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|&n| (n, NodeQueue::new(self.cfg.scheduler)))
             .collect();
-        let mut in_service: HashMap<NodeId, Option<QueuedPacket>> =
-            self.set.network().nodes().iter().map(|&n| (n, None)).collect();
+        let mut in_service: HashMap<NodeId, Option<QueuedPacket>> = self
+            .set
+            .network()
+            .nodes()
+            .iter()
+            .map(|&n| (n, None))
+            .collect();
 
-        let mut stats: Vec<FlowStats> =
-            self.set.flows().iter().map(|f| FlowStats::empty(f.id)).collect();
+        let mut stats: Vec<FlowStats> = self
+            .set
+            .flows()
+            .iter()
+            .map(|f| FlowStats::empty(f.id))
+            .collect();
         let mut delivered = 0u64;
         let mut last_t = 0;
         // Work backlog per node: queued service demand plus the residual
@@ -328,13 +342,23 @@ impl<'a> Simulator<'a> {
                             });
                         }
                         *in_service.get_mut(&node).expect("node") = Some(next);
-                        push(&mut heap, &mut events, t + next.cost, Event::Completion { node });
+                        push(
+                            &mut heap,
+                            &mut events,
+                            t + next.cost,
+                            Event::Completion { node },
+                        );
                     }
                 }
             }
         }
 
-        SimOutcome { flows: stats, horizon: last_t, delivered, max_backlog }
+        SimOutcome {
+            flows: stats,
+            horizon: last_t,
+            delivered,
+            max_backlog,
+        }
     }
 
     /// Convenience: all flows strictly periodic with the given offsets.
@@ -378,7 +402,10 @@ mod tests {
         let set = line_topology(1, 4, 100, 5, 1, 2);
         let sim = Simulator::new(
             &set,
-            SimConfig { delay_policy: DelayPolicy::AlwaysMin, ..Default::default() },
+            SimConfig {
+                delay_policy: DelayPolicy::AlwaysMin,
+                ..Default::default()
+            },
         );
         let out = sim.run_periodic(&[0]);
         assert_eq!(out.flows[0].max_response, 23);
@@ -390,7 +417,10 @@ mod tests {
         let set = line_topology(3, 1, 100, 7, 1, 1);
         let sim = Simulator::new(
             &set,
-            SimConfig { tie_break: TieBreak::VictimLast(0), ..Default::default() },
+            SimConfig {
+                tie_break: TieBreak::VictimLast(0),
+                ..Default::default()
+            },
         );
         let out = sim.run_periodic(&[0, 0, 0]);
         // Victim waits for both rivals: 3 * 7.
@@ -402,7 +432,10 @@ mod tests {
         let set = paper_example();
         let sim = Simulator::new(
             &set,
-            SimConfig { tie_break: TieBreak::ReverseFlowId, ..Default::default() },
+            SimConfig {
+                tie_break: TieBreak::ReverseFlowId,
+                ..Default::default()
+            },
         );
         let out = sim.run_periodic(&[0, 0, 0, 0, 0]);
         let bounds = [31, 37, 47, 47, 40]; // default trajectory bounds
@@ -465,7 +498,9 @@ mod tests {
         let set = paper_example();
         let sim = Simulator::new(&set, SimConfig::default());
         let patterns: Vec<crate::source::ReleasePattern> = (0..5)
-            .map(|i| crate::source::ReleasePattern::Periodic { offset: i as i64 * 3 })
+            .map(|i| crate::source::ReleasePattern::Periodic {
+                offset: i as i64 * 3,
+            })
             .collect();
         let (out, trace) = sim.run_traced(&patterns);
         // Every delivered packet's trace reconstructs its response time;
@@ -498,7 +533,10 @@ mod tests {
         let set = paper_example_with_best_effort(9);
         let sim = Simulator::new(
             &set,
-            SimConfig { scheduler: SchedulerKind::DiffServ, ..Default::default() },
+            SimConfig {
+                scheduler: SchedulerKind::DiffServ,
+                ..Default::default()
+            },
         );
         let offsets: Vec<i64> = vec![0; set.len()];
         let out = sim.run_periodic(&offsets);

@@ -173,11 +173,16 @@ mod tests {
         let mut q = NodeQueue::new(SchedulerKind::DiffServ);
         // Two classes, weight 2 vs 1, three packets each, same arrivals.
         for s in 0..3 {
-            q.push(QueuedPacket { seq: s, ..pkt(1, 0, 1, 1, 2) });
-            q.push(QueuedPacket { seq: s, ..pkt(2, 0, 2, 1, 1) });
+            q.push(QueuedPacket {
+                seq: s,
+                ..pkt(1, 0, 1, 1, 2)
+            });
+            q.push(QueuedPacket {
+                seq: s,
+                ..pkt(2, 0, 2, 1, 1)
+            });
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|p| p.flow_idx))
-            .collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|p| p.flow_idx)).collect();
         // Weight-2 flow must get 2 of the first 3 services.
         let heavy_early = order[..3].iter().filter(|&&f| f == 1).count();
         assert!(heavy_early >= 2, "order was {order:?}");

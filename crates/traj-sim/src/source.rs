@@ -60,13 +60,21 @@ impl ReleasePattern {
                     })
                     .collect()
             }
-            ReleasePattern::Sporadic { offset, max_gap, seed } => {
+            ReleasePattern::Sporadic {
+                offset,
+                max_gap,
+                seed,
+            } => {
                 let mut rng = StdRng::seed_from_u64(*seed);
                 let mut t = *offset;
                 let mut out = Vec::with_capacity(n);
                 for _ in 0..n {
                     out.push(t);
-                    let gap = if *max_gap > 0 { rng.gen_range(0..=*max_gap) } else { 0 };
+                    let gap = if *max_gap > 0 {
+                        rng.gen_range(0..=*max_gap)
+                    } else {
+                        0
+                    };
                     t += flow.period + gap;
                 }
                 out
@@ -89,8 +97,7 @@ mod tests {
     use traj_model::Path;
 
     fn flow(period: i64, jitter: i64) -> SporadicFlow {
-        SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), period, 2, jitter, 99)
-            .unwrap()
+        SporadicFlow::uniform(1, Path::from_ids([1, 2]).unwrap(), period, 2, jitter, 99).unwrap()
     }
 
     #[test]
@@ -116,7 +123,12 @@ mod tests {
     #[test]
     fn sporadic_respects_min_interarrival() {
         let f = flow(10, 0);
-        let r = ReleasePattern::Sporadic { offset: 0, max_gap: 7, seed: 1 }.releases(&f, 30);
+        let r = ReleasePattern::Sporadic {
+            offset: 0,
+            max_gap: 7,
+            seed: 1,
+        }
+        .releases(&f, 30);
         for w in r.windows(2) {
             assert!(w[1] - w[0] >= 10);
             assert!(w[1] - w[0] <= 17);

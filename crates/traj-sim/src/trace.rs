@@ -58,7 +58,9 @@ impl TraceRecorder {
     /// Finalises into an immutable, time-sorted [`Trace`].
     pub fn finish(mut self) -> Trace {
         self.events.sort_by_key(|e| (e.time, e.node, e.flow, e.seq));
-        Trace { events: self.events }
+        Trace {
+            events: self.events,
+        }
     }
 }
 
@@ -124,7 +126,11 @@ impl Trace {
     pub fn trajectory(&self, flow: FlowId, seq: u64) -> Vec<HopTimeline> {
         let mut hops: Vec<HopTimeline> = Vec::new();
         let mut pending: Option<(NodeId, Tick, Option<Tick>)> = None;
-        for e in self.events.iter().filter(|e| e.flow == flow && e.seq == seq) {
+        for e in self
+            .events
+            .iter()
+            .filter(|e| e.flow == flow && e.seq == seq)
+        {
             match e.kind {
                 TraceEventKind::Enqueued => {
                     pending = Some((e.node, e.time, None));
@@ -180,7 +186,12 @@ impl Trace {
                     bp.end = end;
                     bp.packets.push((flow, seq));
                 }
-                _ => out.push(BusyPeriod { node, start, end, packets: vec![(flow, seq)] }),
+                _ => out.push(BusyPeriod {
+                    node,
+                    start,
+                    end,
+                    packets: vec![(flow, seq)],
+                }),
             }
         }
         out
@@ -213,7 +224,13 @@ mod tests {
     use super::*;
 
     fn ev(time: Tick, node: u32, flow: u32, seq: u64, kind: TraceEventKind) -> TraceEvent {
-        TraceEvent { time, node: NodeId(node), flow: FlowId(flow), seq, kind }
+        TraceEvent {
+            time,
+            node: NodeId(node),
+            flow: FlowId(flow),
+            seq,
+            kind,
+        }
     }
 
     fn sample() -> Trace {
@@ -249,7 +266,11 @@ mod tests {
     fn busy_period_reconstruction() {
         let t = sample();
         let bps = t.busy_periods(NodeId(2));
-        assert_eq!(bps.len(), 1, "contiguous services merge into one busy period");
+        assert_eq!(
+            bps.len(),
+            1,
+            "contiguous services merge into one busy period"
+        );
         assert_eq!(bps[0].start, 4);
         assert_eq!(bps[0].end, 12);
         assert_eq!(bps[0].packets, vec![(FlowId(2), 0), (FlowId(1), 0)]);
@@ -278,7 +299,10 @@ mod tests {
         let s = t.render_trajectory(FlowId(1), 0);
         assert!(s.contains("node"), "render: {s}");
         assert!(s.contains("wait"), "render: {s}");
-        assert!(s.contains(", wait   3,") || s.contains("wait   3"), "render: {s}");
+        assert!(
+            s.contains(", wait   3,") || s.contains("wait   3"),
+            "render: {s}"
+        );
         assert!(t.render_trajectory(FlowId(7), 3).contains("not observed"));
     }
 }

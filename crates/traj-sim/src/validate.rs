@@ -64,10 +64,17 @@ mod tests {
         let rows = validate_bounds(
             &set,
             &report.bounds(),
-            &AdversaryParams { trials: 40, ..Default::default() },
+            &AdversaryParams {
+                trials: 40,
+                ..Default::default()
+            },
         );
         for r in &rows {
-            assert!(r.sound, "flow {}: observed {} > bound {:?}", r.flow, r.observed, r.bound);
+            assert!(
+                r.sound,
+                "flow {}: observed {} > bound {:?}",
+                r.flow, r.observed, r.bound
+            );
             assert!(r.margin.unwrap() >= 0);
         }
     }
@@ -79,13 +86,21 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let set = random_mesh(
                 seed,
-                &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.6, ..Default::default() },
+                &MeshParams {
+                    flows: 6,
+                    nodes: 8,
+                    max_utilisation: 0.6,
+                    ..Default::default()
+                },
             );
             let report = analyze_all(&set, &AnalysisConfig::default());
             let rows = validate_bounds(
                 &set,
                 &report.bounds(),
-                &AdversaryParams { trials: 15, ..Default::default() },
+                &AdversaryParams {
+                    trials: 15,
+                    ..Default::default()
+                },
             );
             for r in rows {
                 assert!(

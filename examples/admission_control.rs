@@ -23,17 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("admitting voice sessions onto {trunk} until capacity runs out:\n");
     let mut admitted = Vec::new();
     for id in 10..40u32 {
-        let session = SporadicFlow::uniform(id, trunk.clone(), 40, 2, 1, 50)?
-            .named(format!("voice_{id}"));
+        let session =
+            SporadicFlow::uniform(id, trunk.clone(), 40, 2, 1, 50)?.named(format!("voice_{id}"));
         match controller.try_admit(session) {
             AdmissionDecision::Admitted { wcrt } => {
                 println!("voice_{id}: ADMITTED   (guaranteed wcrt <= {wcrt})");
                 admitted.push(id);
             }
             AdmissionDecision::Rejected { victim, wcrt } => {
-                println!(
-                    "voice_{id}: REJECTED   (flow {victim} would reach {wcrt:?} > deadline)"
-                );
+                println!("voice_{id}: REJECTED   (flow {victim} would reach {wcrt:?} > deadline)");
                 break;
             }
             AdmissionDecision::Invalid(msg) => {
@@ -42,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("\ncapacity: {} concurrent sessions with hard guarantees", admitted.len());
+    println!(
+        "\ncapacity: {} concurrent sessions with hard guarantees",
+        admitted.len()
+    );
 
     // A session ends; the freed budget admits a newcomer.
     let freed = admitted[0];

@@ -8,7 +8,7 @@
 //! Run: `cargo run --release --example diffserv_router`
 
 use fifo_trajectory::analysis::nonpreemption_delta;
-use fifo_trajectory::diffserv::{Dscp, DiffServDomain, PerHopBehaviour, TokenBucket};
+use fifo_trajectory::diffserv::{DiffServDomain, Dscp, PerHopBehaviour, TokenBucket};
 use fifo_trajectory::model::flow::TrafficClass;
 use fifo_trajectory::model::{FlowSet, Network, Path, SporadicFlow};
 
@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             delta,
             r.wcrt.value().unwrap(),
             r.deadline,
-            if r.meets_deadline() == Some(true) { "OK" } else { "MISS" }
+            if r.meets_deadline() == Some(true) {
+                "OK"
+            } else {
+                "MISS"
+            }
         );
     }
 

@@ -49,9 +49,7 @@ fn main() {
             let smin = set.smin(f, h, SminMode::ProcessingAndLink).unwrap();
             let smax = an.smax().get(&set, idx, h).unwrap();
             let m = set.m_term(&f.path, h, MinConvention::Visiting).unwrap();
-            println!(
-                "    node {h}: Smin = {smin:>2}, Smax = {smax:>2} (fixed point), M = {m:>2}"
-            );
+            println!("    node {h}: Smin = {smin:>2}, Smax = {smax:>2} (fixed point), M = {m:>2}");
         }
     }
 

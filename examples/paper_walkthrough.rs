@@ -37,15 +37,21 @@ fn main() {
     }
 
     println!("=== Holistic decomposition (the baseline's pessimism) ===\n");
-    let details = analyze_holistic_detailed(&set, &HolisticConfig::default())
-        .expect("example converges");
+    let details =
+        analyze_holistic_detailed(&set, &HolisticConfig::default()).expect("example converges");
     for d in &details {
         let per: Vec<String> = d
             .nodes
             .iter()
             .map(|n| format!("{}@{}(J={})", n.response, n.node, n.jitter_in))
             .collect();
-        println!("tau_{}: {} + links {} = {}", d.flow, per.join(" + "), d.links, d.total);
+        println!(
+            "tau_{}: {} + links {} = {}",
+            d.flow,
+            per.join(" + "),
+            d.links,
+            d.total
+        );
     }
 
     println!("\n=== Table 2 ===\n");
@@ -63,7 +69,13 @@ fn main() {
     }
 
     println!("\n=== Adversarial simulation cross-check ===\n");
-    let adv = adversarial_search(&set, &AdversaryParams { trials: 200, ..Default::default() });
+    let adv = adversarial_search(
+        &set,
+        &AdversaryParams {
+            trials: 200,
+            ..Default::default()
+        },
+    );
     for (i, r) in traj.per_flow().iter().enumerate() {
         let bound = r.wcrt.value().unwrap();
         println!(

@@ -14,12 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // at most every `period` ticks; each packet needs `cost` ticks of
     // transmission per node; `deadline` is end-to-end.
     let flows = vec![
-        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4])?, 100, 5, 0, 80)?
-            .named("video"),
-        SporadicFlow::uniform(2, Path::from_ids([5, 2, 3, 6])?, 50, 3, 2, 70)?
-            .named("voice"),
-        SporadicFlow::uniform(3, Path::from_ids([5, 2, 3, 4])?, 200, 8, 0, 120)?
-            .named("bulk"),
+        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4])?, 100, 5, 0, 80)?.named("video"),
+        SporadicFlow::uniform(2, Path::from_ids([5, 2, 3, 6])?, 50, 3, 2, 70)?.named("voice"),
+        SporadicFlow::uniform(3, Path::from_ids([5, 2, 3, 4])?, 200, 8, 0, 120)?.named("bulk"),
     ];
     let set = FlowSet::new(network, flows)?;
 
@@ -32,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.wcrt.value().unwrap(),
             r.jitter.unwrap(),
             r.deadline,
-            if r.meets_deadline() == Some(true) { "OK" } else { "MISS" },
+            if r.meets_deadline() == Some(true) {
+                "OK"
+            } else {
+                "MISS"
+            },
         );
     }
     println!(

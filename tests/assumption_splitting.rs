@@ -10,10 +10,8 @@ fn offending_set() -> FlowSet {
     // re-enters tau_1's path at node 3.
     let network = Network::uniform(9, 1, 2).unwrap();
     let flows = vec![
-        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4]).unwrap(), 50, 4, 0, 200)
-            .unwrap(),
-        SporadicFlow::uniform(2, Path::from_ids([1, 8, 9, 3, 4]).unwrap(), 60, 3, 0, 300)
-            .unwrap(),
+        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4]).unwrap(), 50, 4, 0, 200).unwrap(),
+        SporadicFlow::uniform(2, Path::from_ids([1, 8, 9, 3, 4]).unwrap(), 60, 3, 0, 300).unwrap(),
     ];
     FlowSet::new(network, flows).unwrap()
 }
@@ -43,7 +41,11 @@ fn analysis_after_splitting_is_well_defined() {
     // Path coverage is preserved: the union of the offender's segments
     // visits the original node sequence.
     let mut covered = Vec::new();
-    for f in fixed.flows().iter().filter(|f| f.id.0 == 2 || f.id.0 >= 2000) {
+    for f in fixed
+        .flows()
+        .iter()
+        .filter(|f| f.id.0 == 2 || f.id.0 >= 2000)
+    {
         covered.extend(f.path.nodes().iter().map(|n| n.0));
     }
     assert_eq!(covered.len(), 5, "all five original hops survive the split");
@@ -69,12 +71,9 @@ fn multiple_offenders_converge() {
     // Two flows that each leave and re-join a shared trunk.
     let network = Network::uniform(12, 1, 1).unwrap();
     let flows = vec![
-        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4, 5]).unwrap(), 80, 2, 0, 400)
-            .unwrap(),
-        SporadicFlow::uniform(2, Path::from_ids([1, 10, 3, 4]).unwrap(), 80, 2, 0, 400)
-            .unwrap(),
-        SporadicFlow::uniform(3, Path::from_ids([2, 11, 4, 5]).unwrap(), 80, 2, 0, 400)
-            .unwrap(),
+        SporadicFlow::uniform(1, Path::from_ids([1, 2, 3, 4, 5]).unwrap(), 80, 2, 0, 400).unwrap(),
+        SporadicFlow::uniform(2, Path::from_ids([1, 10, 3, 4]).unwrap(), 80, 2, 0, 400).unwrap(),
+        SporadicFlow::uniform(3, Path::from_ids([2, 11, 4, 5]).unwrap(), 80, 2, 0, 400).unwrap(),
     ];
     let set = FlowSet::new(network, flows).unwrap();
     let (fixed, splits) = enforce_assumption1(&set).unwrap();

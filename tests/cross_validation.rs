@@ -18,7 +18,11 @@ fn check_set(set: &FlowSet, label: &str, expect_trajectory_dominates: bool) {
     let traj = analyze_all(set, &cfg);
     let hol = analyze_holistic(set, &HolisticConfig::default());
 
-    for (f, (t, h)) in set.flows().iter().zip(traj.bounds().iter().zip(hol.bounds())) {
+    for (f, (t, h)) in set
+        .flows()
+        .iter()
+        .zip(traj.bounds().iter().zip(hol.bounds()))
+    {
         // Floor: nothing beats uncontended transit.
         let floor: i64 = f.total_cost()
             + f.path
@@ -34,7 +38,11 @@ fn check_set(set: &FlowSet, label: &str, expect_trajectory_dominates: bool) {
         // the check is opt-in per workload family.
         if expect_trajectory_dominates {
             if let (Some(t), Some(h)) = (t, h) {
-                assert!(h >= *t, "{label}: holistic {h} < trajectory {t} for flow {}", f.id);
+                assert!(
+                    h >= *t,
+                    "{label}: holistic {h} < trajectory {t} for flow {}",
+                    f.id
+                );
             }
         }
     }
@@ -43,10 +51,17 @@ fn check_set(set: &FlowSet, label: &str, expect_trajectory_dominates: bool) {
     let rows = validate_bounds(
         set,
         &traj.bounds(),
-        &AdversaryParams { trials: 25, ..Default::default() },
+        &AdversaryParams {
+            trials: 25,
+            ..Default::default()
+        },
     );
     for r in rows {
-        assert!(r.sound, "{label}: flow {} observed {} > bound {:?}", r.flow, r.observed, r.bound);
+        assert!(
+            r.sound,
+            "{label}: flow {} observed {} > bound {:?}",
+            r.flow, r.observed, r.bound
+        );
     }
 }
 
@@ -55,7 +70,12 @@ fn random_meshes() {
     for seed in 0..8u64 {
         let set = random_mesh(
             seed,
-            &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.55, ..Default::default() },
+            &MeshParams {
+                flows: 6,
+                nodes: 8,
+                max_utilisation: 0.55,
+                ..Default::default()
+            },
         );
         check_set(&set, &format!("mesh seed {seed}"), false);
     }
@@ -106,17 +126,29 @@ fn leave_and_rejoin_routes_are_bounded_soundly() {
     // seed 7 produced observed 57 > bound 53).
     let set = random_mesh(
         7,
-        &MeshParams { flows: 6, nodes: 8, max_utilisation: 0.55, ..Default::default() },
+        &MeshParams {
+            flows: 6,
+            nodes: 8,
+            max_utilisation: 0.55,
+            ..Default::default()
+        },
     );
     let cfg = AnalysisConfig::default();
     let traj = analyze_all(&set, &cfg);
     let rows = validate_bounds(
         &set,
         &traj.bounds(),
-        &AdversaryParams { trials: 60, ..Default::default() },
+        &AdversaryParams {
+            trials: 60,
+            ..Default::default()
+        },
     );
     for r in &rows {
-        assert!(r.sound, "flow {}: observed {} > bound {:?}", r.flow, r.observed, r.bound);
+        assert!(
+            r.sound,
+            "flow {}: observed {} > bound {:?}",
+            r.flow, r.observed, r.bound
+        );
     }
     // The specific victim (flow id 4) must now be covered with margin.
     let idx3 = rows.iter().position(|r| r.flow.0 == 4).unwrap();
@@ -130,7 +162,12 @@ fn netcalc_agrees_on_divergence_direction() {
     for seed in 0..5u64 {
         let set = random_mesh(
             seed,
-            &MeshParams { flows: 5, nodes: 7, max_utilisation: 0.5, ..Default::default() },
+            &MeshParams {
+                flows: 5,
+                nodes: 7,
+                max_utilisation: 0.5,
+                ..Default::default()
+            },
         );
         let nc = analyze_netcalc(&set);
         let traj = analyze_all(&set, &AnalysisConfig::default());
@@ -151,11 +188,9 @@ fn observed_backlog_within_staircase_bound() {
     use fifo_trajectory::sim::{SimConfig, Simulator};
     for (n, c, t) in [(3u32, 7i64, 100i64), (5, 4, 60), (2, 9, 40)] {
         let set = line_topology(n, 1, t, c, 1, 1);
-        let curves: Vec<Staircase> =
-            set.flows().iter().map(Staircase::of_flow).collect();
+        let curves: Vec<Staircase> = set.flows().iter().map(Staircase::of_flow).collect();
         let bound = staircase_delay_bound(&curves, 1 << 30).unwrap();
-        let out = Simulator::new(&set, SimConfig::default())
-            .run_periodic(&vec![0; n as usize]);
+        let out = Simulator::new(&set, SimConfig::default()).run_periodic(&vec![0; n as usize]);
         let observed = out.max_backlog.get(&1).copied().unwrap_or(0);
         assert!(
             observed <= bound,

@@ -64,8 +64,9 @@ fn diffserv_simulation_respects_property3_under_many_scenarios() {
                     ..Default::default()
                 },
             );
-            let offsets: Vec<i64> =
-                (0..set.len()).map(|i| (i as i64 * offset_scale) % 36).collect();
+            let offsets: Vec<i64> = (0..set.len())
+                .map(|i| (i as i64 * offset_scale) % 36)
+                .collect();
             let out = sim.run_periodic(&offsets);
             for (s, b) in out.flows.iter().take(5).zip(&bounds) {
                 assert!(
@@ -99,7 +100,10 @@ fn ef_flows_unscathed_by_heavy_best_effort_load() {
     }
     let set = FlowSet::new(network, flows).unwrap();
     let rep = analyze_ef(&set, &AnalysisConfig::default());
-    let bound = rep.per_flow()[0].wcrt.value().expect("EF must stay bounded");
+    let bound = rep.per_flow()[0]
+        .wcrt
+        .value()
+        .expect("EF must stay bounded");
 
     let sim = Simulator::new(
         &set,
@@ -134,11 +138,20 @@ fn admission_control_guarantees_hold_in_simulation() {
     }
     let set = ac.flows().clone();
     let rep = analyze_ef(&set, &AnalysisConfig::default());
-    assert!(rep.all_schedulable(), "controller state must stay guaranteed");
+    assert!(
+        rep.all_schedulable(),
+        "controller state must stay guaranteed"
+    );
 
     let dom = DiffServDomain::new(set.clone());
     let out = dom.simulator(16).run_periodic(&vec![0; set.len()]);
     for (r, s) in rep.per_flow().iter().zip(&out.flows) {
-        assert!(s.max_response <= r.deadline, "{}: {} > {}", r.name, s.max_response, r.deadline);
+        assert!(
+            s.max_response <= r.deadline,
+            "{}: {} > {}",
+            r.name,
+            s.max_response,
+            r.deadline
+        );
     }
 }

@@ -1,0 +1,101 @@
+//! Differential equivalence suite for the interference-structure cache.
+//!
+//! The cached analyzer (`analyze_all`, under both fixed-point
+//! strategies) must produce bounds bit-identical to the retained naive
+//! reference (`analyze_all_reference`, the pre-cache implementation that
+//! reassembles every bound function from scratch) — on the paper
+//! example and on random meshes, in every `SmaxMode` × `MinConvention`
+//! × `SminMode` × `ReverseCounting` configuration corner.
+
+use fifo_trajectory::analysis::{
+    analyze_all, analyze_all_reference, config_grid, AnalysisConfig, FixpointStrategy,
+};
+use fifo_trajectory::model::examples::paper_example;
+use fifo_trajectory::model::gen::{random_mesh, MeshParams};
+use proptest::prelude::*;
+
+/// Bounds of all three engines on one set under one base configuration.
+fn assert_all_engines_agree(
+    set: &fifo_trajectory::model::FlowSet,
+    base: &AnalysisConfig,
+) -> Result<(), TestCaseError> {
+    let reference = analyze_all_reference(set, base);
+    let jacobi = analyze_all(
+        set,
+        &AnalysisConfig {
+            fixpoint: FixpointStrategy::Jacobi,
+            ..base.clone()
+        },
+    );
+    let gauss = analyze_all(
+        set,
+        &AnalysisConfig {
+            fixpoint: FixpointStrategy::GaussSeidel,
+            ..base.clone()
+        },
+    );
+    prop_assert_eq!(&reference.bounds(), &jacobi.bounds(), "jacobi vs reference");
+    prop_assert_eq!(
+        &reference.bounds(),
+        &gauss.bounds(),
+        "gauss-seidel vs reference"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cached_bounds_match_reference_on_random_meshes(seed in 0u64..1_000_000) {
+        let p = MeshParams {
+            nodes: 8,
+            flows: 6,
+            max_utilisation: 0.7,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p);
+        for base in config_grid() {
+            assert_all_engines_agree(&set, &base)?;
+        }
+    }
+
+    #[test]
+    fn cached_bounds_match_reference_on_loaded_meshes(seed in 0u64..1_000_000) {
+        // Higher utilisation exercises longer busy periods, more fixed
+        // point rounds, and the occasional overload verdict; bounded
+        // verdicts must still agree everywhere (default config corner).
+        let p = MeshParams {
+            nodes: 6,
+            flows: 8,
+            max_utilisation: 0.95,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p);
+        assert_all_engines_agree(&set, &AnalysisConfig::default())?;
+    }
+}
+
+#[test]
+fn cached_bounds_match_reference_on_paper_example_everywhere() {
+    let set = paper_example();
+    for base in config_grid() {
+        assert_all_engines_agree(&set, &base).unwrap();
+    }
+}
+
+#[test]
+fn cached_bounds_match_reference_on_a_midsize_mesh() {
+    // One deterministic mid-size instance (beyond proptest's small
+    // meshes) through every configuration corner.
+    let p = MeshParams {
+        nodes: 12,
+        flows: 16,
+        max_utilisation: 0.7,
+        ..Default::default()
+    };
+    let set = random_mesh(42, &p);
+    for base in config_grid() {
+        assert_all_engines_agree(&set, &base).unwrap();
+    }
+}

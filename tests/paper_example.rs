@@ -25,7 +25,10 @@ fn table2_trajectory_row() {
     // the published row).
     let set = paper_example();
     let rep = analyze_all(&set, &AnalysisConfig::default());
-    assert_eq!(rep.bounds(), vec![Some(31), Some(37), Some(47), Some(47), Some(40)]);
+    assert_eq!(
+        rep.bounds(),
+        vec![Some(31), Some(37), Some(47), Some(47), Some(40)]
+    );
 
     // Ours are never looser than the published row, and tau_1 matches it.
     for (ours, published) in rep.bounds().iter().zip(PAPER_TABLE2_TRAJECTORY) {
@@ -46,7 +49,10 @@ fn table2_verdict_pattern() {
     // Our holistic row is within the same order as the published one.
     for (ours, published) in hol.bounds().iter().zip(PAPER_TABLE2_HOLISTIC) {
         let ours = ours.unwrap();
-        assert!(ours >= published - 20 && ours <= published * 2, "{ours} vs {published}");
+        assert!(
+            ours >= published - 20 && ours <= published * 2,
+            "{ours} vs {published}"
+        );
     }
 }
 

@@ -39,7 +39,10 @@ fn report_roundtrip_preserves_verdicts() {
 
 #[test]
 fn config_roundtrip() {
-    for cfg in [AnalysisConfig::default(), AnalysisConfig::paper_calibrated()] {
+    for cfg in [
+        AnalysisConfig::default(),
+        AnalysisConfig::paper_calibrated(),
+    ] {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.reverse_counting, cfg.reverse_counting);
@@ -53,8 +56,7 @@ fn analysis_of_deserialised_set_matches_original() {
     // The serialised artifact is analysis-equivalent, not merely
     // structurally equal.
     let set = paper_example();
-    let back: FlowSet =
-        serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
+    let back: FlowSet = serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
     let cfg = AnalysisConfig::default();
     assert_eq!(
         analyze_all(&set, &cfg).bounds(),

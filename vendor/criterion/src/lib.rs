@@ -1,0 +1,253 @@
+//! Offline shim for `criterion`.
+//!
+//! Same macro/builder surface as criterion 0.5 for the patterns the
+//! workspace uses, backed by a simple wall-clock timing loop: calibrate
+//! the iteration count to a target measurement window, then report the
+//! mean ns/iter on stdout. Under `cargo test` (cargo passes `--test` to
+//! `harness = false` bench targets) each benchmark runs a single
+//! iteration as a smoke test.
+
+// Vendored shim: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    smoke_test: bool,
+    measurement: Duration,
+    /// Mean ns/iter of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times the closure, storing the mean ns/iter.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.smoke_test {
+            black_box(f());
+            self.last_ns = 0.0;
+            return;
+        }
+        // Calibrate: grow the batch until it takes a visible slice of the
+        // measurement window.
+        let mut batch: u64 = 1;
+        let floor = self.measurement / 50;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let spent = t.elapsed();
+            if spent >= floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure.
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.last_ns = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs a benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke_test: false,
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads CLI flags the way cargo invokes bench targets: `--test`
+    /// switches to single-iteration smoke mode; everything else is
+    /// ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.smoke_test = true;
+        }
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label.clone();
+        self.run_one(&label, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            smoke_test: self.smoke_test,
+            measurement: self.measurement,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        if self.smoke_test {
+            println!("bench {label}: ok (smoke test)");
+        } else {
+            println!("bench {label}: {:.1} ns/iter", b.last_ns);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner (shim of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the groups (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            smoke_test: true,
+            measurement: Duration::from_millis(1),
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let mut c = Criterion {
+            smoke_test: true,
+            measurement: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("inner", 3), &7u32, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the workspace uses: the `proptest!` macro with
+//! `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, integer-range strategies and `collection::vec`.
+//! Cases are drawn from a deterministic SplitMix64 stream seeded from the
+//! test name; there is no shrinking. Default case count is 64 (see
+//! `vendor/README.md`).
+
+// Vendored shim: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one test case, used by the assertion macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; draw another.
+    Reject,
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic case source + helpers used by the generated test bodies.
+pub mod test_runner {
+    /// SplitMix64 stream feeding the strategies.
+    #[derive(Debug, Clone)]
+    pub struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        /// Builds a stream from a seed.
+        pub fn new(seed: u64) -> Self {
+            Gen { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as its deterministic seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Value-producing strategies.
+pub mod strategy {
+    use super::test_runner::Gen;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The produced type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, gen: &mut Gen) -> Self::Value;
+    }
+
+    macro_rules! int_strategy_impls {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, gen: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = ((gen.next_u64() as u128) << 64 | gen.next_u64() as u128) % span;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, gen: &mut Gen) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    if span == 0 {
+                        return gen.next_u64() as $t;
+                    }
+                    let draw = ((gen.next_u64() as u128) << 64 | gen.next_u64() as u128) % span;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+
+    int_strategy_impls!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Gen;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a `Vec` strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (gen.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Declares property tests (shim of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __gen =
+                $crate::test_runner::Gen::new($crate::test_runner::seed_of(stringify!($name)));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(50).max(100);
+            while __passed < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "too many rejected cases in {} ({} rejects for {} passes)",
+                    stringify!($name),
+                    __attempts - __passed,
+                    __passed,
+                );
+                $(let $arg = ($strat).sample(&mut __gen);)*
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "property {} failed: {}\ninputs: {}",
+                            stringify!($name),
+                            __msg,
+                            [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*]
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a boolean property (shim of `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality (shim of `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($left),
+                    " == ",
+                    stringify!($right),
+                    " (left: {:?}, right: {:?})"
+                ),
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality (shim of `proptest::prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: ",
+                    stringify!($left),
+                    " != ",
+                    stringify!($right),
+                    " (both: {:?})"
+                ),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(a in -100i64..100, b in 1u32..=5) {
+            prop_assert!((-100..100).contains(&a));
+            prop_assert!((1..=5).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes_hold(v in collection::vec(0u32..10, 2..8)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 10).count(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn config_cases_applies(x in 0i128..1000) {
+            prop_assert!(x >= 0);
+            prop_assert_ne!(x, -1);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) derive macros for the shimmed `serde`
+//! traits. Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields, newtype structs, tuple structs, unit
+//!   structs;
+//! * enums with unit, tuple and struct variants;
+//! * the field attributes `#[serde(default)]` and `#[serde(skip)]`.
+//!
+//! Generic type parameters are intentionally unsupported (none of the
+//! workspace's serialized types are generic).
+
+// Vendored shim: exempt from the workspace lint gate.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shimmed `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the shimmed `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Consumes leading attributes, returning whether any `#[serde(...)]`
+/// attribute among them contains `default` / `skip`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
+    let mut default = false;
+    let mut skip = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    for t in args.stream() {
+                                        if let TokenTree::Ident(a) = t {
+                                            match a.to_string().as_str() {
+                                                "default" => default = true,
+                                                "skip" => skip = true,
+                                                _ => {}
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (i, default, skip)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Consumes tokens of a type (or expression) until a top-level comma,
+/// tracking angle-bracket depth so commas inside generics don't split.
+fn skip_until_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, default, skip) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field {name}, got {other:?}"),
+        }
+        i = skip_until_comma(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_until_comma(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _, _) = skip_attrs(&toks, i);
+        i = ni;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                if n == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        i = skip_until_comma(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    if n == 1 {
+                        Shape::Newtype
+                    } else {
+                        Shape::Tuple(n)
+                    }
+                }
+                _ => Shape::Unit,
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_to_value(fields, "self.", ""),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_to_value(fields, "", "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Value::Map` construction for named fields. `prefix` is `self.` for
+/// structs and empty for enum-variant binders; binders are references so
+/// `deref` adds nothing either way (`to_value` takes `&self`).
+fn named_to_value(fields: &[Field], prefix: &str, _deref: &str) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "__m.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&{prefix}{fname})));\n"
+        ));
+    }
+    format!(
+        "{{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Map(__m) }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Newtype => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __items = __v.as_seq().ok_or_else(|| \
+                           ::serde::DeError::new(\"expected sequence for tuple struct {name}\"))?;\n\
+                           if __items.len() != {n} {{ return Err(::serde::DeError::new(\
+                           \"wrong tuple arity for {name}\")); }}\n\
+                           Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => named_from_value(&format!("{name}"), fields, name),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Also accept the {"Variant": null} encoding.
+                        data_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Newtype => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __items = __inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected sequence for variant {vn}\"))?;\n\
+                             if __items.len() != {n} {{ return Err(::serde::DeError::new(\
+                             \"wrong arity for variant {vn}\")); }}\n\
+                             Ok({name}::{vn}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = named_from_value(
+                            &format!("{name}::{vn}"),
+                            fields,
+                            &format!("{name}::{vn}"),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __v = __inner; {ctor} }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::DeError::new(format!(\
+                                     \"unknown variant {{__other}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => Err(::serde::DeError::new(format!(\
+                                         \"unknown variant {{__other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::DeError::new(format!(\
+                                 \"expected variant of {name}, got {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Constructor expression for named fields read out of `__v` (a map).
+fn named_from_value(ctor: &str, fields: &[Field], ty_label: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+            continue;
+        }
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("return Err(::serde::DeError::new(\"missing field {fname} of {ty_label}\"))")
+        };
+        inits.push_str(&format!(
+            "{fname}: match ::serde::value::field(__entries, \"{fname}\") {{\n\
+                 Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 None => {missing},\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "{{ let __entries = __v.as_map().ok_or_else(|| \
+           ::serde::DeError::new(\"expected map for {ty_label}\"))?;\n\
+           Ok({ctor} {{ {inits} }}) }}"
+    )
+}
