@@ -38,7 +38,7 @@ use traj_model::{CrossDirection, Duration, FlowSet, MinConvention, NodeId, Spora
 
 use crate::config::{AnalysisConfig, ReverseCounting};
 use crate::smax::SmaxTable;
-use crate::terms::{BoundFunction, MaxPoint, Window};
+use crate::terms::{BoundFunction, MaxPoint, Overflowed, Window};
 use crate::wcrt::DeltaProvider;
 
 /// One interference window of Property 1 with its `Smax` reads left
@@ -77,9 +77,10 @@ pub(crate) struct PrefixSkeleton {
     /// `−Jᵢ`.
     t_lo: Tick,
     /// Lemma 3's busy period `Bᵢ^{slow}`: alignment-independent, so
-    /// computed once at build time. `None` means it exceeded the
-    /// configured guard — every evaluation reports overload.
-    busy: Option<Duration>,
+    /// computed once at build time. `Ok(None)` means it exceeded the
+    /// configured guard — every evaluation reports overload; `Err` means
+    /// the recurrence overflowed i64 — every evaluation reports overflow.
+    pub(crate) busy: Result<Option<Duration>, Overflowed>,
 }
 
 impl PrefixSkeleton {
@@ -107,13 +108,20 @@ impl PrefixSkeleton {
     }
 
     /// Maximises the materialised bound under the given `Smax` table,
-    /// reusing the precomputed busy period; `None` on overload.
-    pub(crate) fn maximise(&self, flow_idx: usize, smax: &SmaxTable) -> Option<MaxPoint> {
-        let busy = self.busy?;
-        Some(
-            self.bound_function(flow_idx, smax)
-                .maximise_given_busy(busy),
-        )
+    /// reusing the precomputed busy period; `Ok(None)` on overload,
+    /// `Err` when the busy period or the maximisation overflowed.
+    pub(crate) fn maximise(
+        &self,
+        flow_idx: usize,
+        smax: &SmaxTable,
+    ) -> Result<Option<MaxPoint>, Overflowed> {
+        match self.busy? {
+            Some(busy) => self
+                .bound_function(flow_idx, smax)
+                .maximise_given_busy(busy)
+                .map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Whether any `Smax` entry this skeleton reads is flagged in
@@ -239,7 +247,7 @@ impl InterferenceCache {
                 fj.path
                     .nodes()
                     .iter()
-                    .map(|&h| set.smin(fj, h, cfg.smin_mode).expect("h on own path"))
+                    .map(|&h| set.smin(fj, h, cfg.smin_mode).unwrap_or(0))
                     .collect()
             })
             .collect();
@@ -261,6 +269,52 @@ impl InterferenceCache {
     /// The skeleton of `flow_idx`'s prefix of length `k`.
     pub(crate) fn prefix(&self, flow_idx: usize, k: usize) -> &PrefixSkeleton {
         &self.prefixes[flow_idx][k - 1]
+    }
+
+    /// Rebuilds only the rows flagged in `stale`, cloning the rest from
+    /// `healthy`. Sound when, for every non-stale flow, neither its path
+    /// nor the paths and universe membership of any flow crossing it
+    /// changed between the two sets — exactly the closure invariant the
+    /// survivability engine's dirty propagation establishes: a clean
+    /// flow's skeleton is a pure function of quantities that fault
+    /// application left untouched, so the healthy row is bit-identical
+    /// to what a fresh build would produce (asserted by the fault
+    /// differential suite).
+    pub(crate) fn rebuild_for<D: DeltaProvider>(
+        healthy: &InterferenceCache,
+        set: &FlowSet,
+        cfg: &AnalysisConfig,
+        universe: &[bool],
+        delta: &D,
+        stale: &[bool],
+    ) -> Self {
+        let smin: Vec<Vec<Duration>> = set
+            .flows()
+            .iter()
+            .map(|fj| {
+                fj.path
+                    .nodes()
+                    .iter()
+                    .map(|&h| set.smin(fj, h, cfg.smin_mode).unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+        let smin = &smin;
+        let prefixes: Vec<Vec<PrefixSkeleton>> = (0..set.len())
+            .into_par_iter()
+            .map(|flow_idx| {
+                if !stale[flow_idx] {
+                    return healthy.prefixes[flow_idx].clone();
+                }
+                let fi = &set.flows()[flow_idx];
+                let full = Self::resolve_crossers(set, fi, universe);
+                let hoist = Self::hoist(set, cfg, fi, &full);
+                (1..=fi.path.len())
+                    .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
+                    .collect()
+            })
+            .collect();
+        InterferenceCache { prefixes }
     }
 
     /// Resolves every universe flow crossing `fi`'s full path into a
@@ -293,8 +347,10 @@ impl InterferenceCache {
                 for s in segments.iter() {
                     let (mut lo, mut hi) = (usize::MAX, 0);
                     for &n in &s.nodes {
-                        let pi = fi.path.index_of(n).expect("segment node on path");
-                        let jpos = fj.path.index_of(n).expect("segment node on Pj");
+                        let (Some(pi), Some(jpos)) = (fi.path.index_of(n), fj.path.index_of(n))
+                        else {
+                            continue; // segment nodes lie on both paths
+                        };
                         cost_by_idx[pi] = fj.costs()[jpos];
                         suc_by_idx[pi] = fj.path.nodes().get(jpos + 1).copied();
                         jpos_by_idx[pi] = Some(jpos);
@@ -432,7 +488,8 @@ impl InterferenceCache {
         hoist: &Hoisted,
     ) -> PrefixSkeleton {
         let fi = &set.flows()[flow_idx];
-        let prefix = fi.path.prefix_len(k).expect("prefix length in range");
+        // `k` ranges over 1..=len by construction; the fallback is inert.
+        let prefix = fi.path.prefix_len(k).unwrap_or_else(|| fi.path.clone());
 
         // `M` as a cumulative array over the prefix hops. Under
         // `ZeroConvention` the front minimum ranges over flows crossing
@@ -499,9 +556,9 @@ impl InterferenceCache {
                         cost,
                         pos_i: fji_idx,
                         j_idx: fc.j_idx,
-                        pos_j: fc.jpos_by_idx[fij_idx].expect("fij shared"),
+                        pos_j: fc.jpos_by_idx[fij_idx].unwrap_or(0),
                         base: fj.jitter
-                            - smin[fc.j_idx][fc.jpos_by_idx[fji_idx].expect("fji shared")]
+                            - smin[fc.j_idx][fc.jpos_by_idx[fji_idx].unwrap_or(0)]
                             - m_cum[fij_idx],
                     });
                 };

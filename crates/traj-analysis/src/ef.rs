@@ -73,8 +73,9 @@ pub fn nonpreemption_delta(set: &FlowSet, flow: &SporadicFlow, prefix: &Path) ->
                         }
                         CrossDirection::Same => {
                             // Case 3: co-traveller; 1_α = 1 since non-EF
-                            // flows exist.
-                            let pre = prefix.pre(h).expect("h is not the first node");
+                            // flows exist. `h` ranges over nodes[1..], so
+                            // a predecessor always exists.
+                            let Some(pre) = prefix.pre(h) else { continue };
                             let link = set.network().link_delay(pre, h);
                             candidates
                                 .push(j.cost_at(h) - flow.cost_at(pre) + link.lmax - link.lmin);
@@ -142,10 +143,14 @@ pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
 }
 
 /// Convenience: the plain-FIFO bounds of the EF flows when no other class
-/// exists, used to quantify the cost of non-preemption.
+/// exists, used to quantify the cost of non-preemption. Empty when the
+/// set has no EF flows (the EF-only subset is not a valid flow set).
 pub fn ef_penalty(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<(Verdict, Verdict)> {
     let ef_only: Vec<SporadicFlow> = set.ef_flows().cloned().collect();
-    let pure = FlowSet::new(set.network().clone(), ef_only).expect("EF subset is a valid flow set");
+    let pure = match FlowSet::new(set.network().clone(), ef_only) {
+        Ok(p) => p,
+        Err(_) => return Vec::new(),
+    };
     let base = crate::analyze_all(&pure, cfg);
     let with_np = analyze_ef(set, cfg);
     base.per_flow()
@@ -171,8 +176,8 @@ mod tests {
 
     #[test]
     fn delta_grows_with_blocker_size() {
-        let small = paper_example_with_best_effort(2);
-        let large = paper_example_with_best_effort(40);
+        let small = paper_example_with_best_effort(2).unwrap();
+        let large = paper_example_with_best_effort(40).unwrap();
         for (fs, fl) in small.ef_flows().zip(large.ef_flows()) {
             let ds = nonpreemption_delta(&small, fs, &fs.path);
             let dl = nonpreemption_delta(&large, fl, &fl.path);
@@ -187,7 +192,7 @@ mod tests {
         // P3/P4/P5 first cross P1 at node 3: case 1 there, (C_be - 1)+.
         // Nodes 4 and 5 only see co-travelling blockers: case 3,
         // (C_be - C_1 + Lmax - Lmin)+ = 5.
-        let set = paper_example_with_best_effort(9);
+        let set = paper_example_with_best_effort(9).unwrap();
         let f1 = set.flow(FlowId(1)).unwrap();
         let d = nonpreemption_delta(&set, f1, &f1.path);
         assert_eq!(d, (9 - 1) + (9 - 1) + (9 - 4) + (9 - 4));
@@ -198,7 +203,7 @@ mod tests {
         // C_be = 3 < C_i = 4 and Lmax = Lmin: case 3 clamps to 0; what
         // remains is the ingress blocking (node 1) and the fresh entry of
         // the P3/P4/P5 twins at node 3 (case 1).
-        let set = paper_example_with_best_effort(3);
+        let set = paper_example_with_best_effort(3).unwrap();
         let f1 = set.flow(FlowId(1)).unwrap();
         assert_eq!(nonpreemption_delta(&set, f1, &f1.path), (3 - 1) + (3 - 1));
     }
@@ -214,7 +219,7 @@ mod tests {
 
     #[test]
     fn property3_bounds_exceed_property2_with_cross_traffic() {
-        let set = paper_example_with_best_effort(9);
+        let set = paper_example_with_best_effort(9).unwrap();
         let cfg = AnalysisConfig::default();
         let p3 = analyze_ef(&set, &cfg);
         assert_eq!(p3.per_flow().len(), 5);
@@ -226,7 +231,7 @@ mod tests {
 
     #[test]
     fn ef_penalty_pairs_up() {
-        let set = paper_example_with_best_effort(9);
+        let set = paper_example_with_best_effort(9).unwrap();
         let pairs = ef_penalty(&set, &AnalysisConfig::default());
         assert_eq!(pairs.len(), 5);
         for (base, np) in pairs {

@@ -92,16 +92,18 @@ pub fn explain_flow(
     let bf = an.bound_function(idx, &f.path);
     let max = bf
         .maximise(cfg.max_busy_period)
+        .map_err(Verdict::from)?
         .ok_or_else(|| Verdict::unbounded("busy period diverged"))?;
     let busy_period = bf
         .busy_period(cfg.max_busy_period)
-        .expect("maximise succeeded");
+        .map_err(Verdict::from)?
+        .unwrap_or(0);
 
     let mut interference = Vec::new();
     let mut self_packets = 0;
     let mut self_workload = 0;
     for w in &bf.windows {
-        let packets = w.packets(max.t_star);
+        let packets = w.packets(max.t_star).map_err(Verdict::from)?;
         if w.flow == f.id {
             self_packets += packets;
             self_workload += packets * w.cost;

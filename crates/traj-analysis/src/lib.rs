@@ -27,6 +27,7 @@ pub mod reference;
 pub mod report;
 pub mod sensitivity;
 pub mod smax;
+pub mod survivability;
 pub mod terms;
 pub mod wcrt;
 
@@ -36,4 +37,5 @@ pub use jitter::jitter_bound;
 pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};
 pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
+pub use survivability::{analyze_degraded, dirty_closure, reanalyze, FaultReanalysis};
 pub use wcrt::{analyze_all, analyze_flow, Analyzer};

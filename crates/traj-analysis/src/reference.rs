@@ -64,14 +64,16 @@ impl<'a> ReferenceAnalyzer<'a> {
 
     fn wcrt_prefix(&self, flow_idx: usize, k: usize) -> Verdict {
         let f = &self.set.flows()[flow_idx];
-        let prefix = f.path.prefix_len(k).expect("prefix length in range");
+        // `k` ranges over 1..=len by construction; the fallback is inert.
+        let prefix = f.path.prefix_len(k).unwrap_or_else(|| f.path.clone());
         let bf = self.bound_function(flow_idx, &prefix);
         match bf.maximise(self.cfg.max_busy_period) {
-            Some(m) => Verdict::Bounded(m.value),
-            None => Verdict::unbounded(format!(
+            Ok(Some(m)) => Verdict::Bounded(m.value),
+            Ok(None) => Verdict::unbounded(format!(
                 "busy period of flow {} exceeds the {}-tick guard (overload)",
                 f.id, self.cfg.max_busy_period
             )),
+            Err(o) => Verdict::from(o),
         }
     }
 
@@ -92,12 +94,12 @@ impl<'a> ReferenceAnalyzer<'a> {
                     .iter()
                     .map(|&h| fj.cost_at(h))
                     .max()
-                    .expect("segments are non-empty");
+                    .unwrap_or(0);
                 for (fji, fij) in segment_points(self.cfg, &segment, prefix) {
-                    let a = self.smax.get(set, flow_idx, fji).expect("fji on prefix")
-                        - set.smin(fj, fji, self.cfg.smin_mode).expect("fji on Pj")
-                        - self.m_term_uncached(prefix, fij).expect("fij on prefix")
-                        + self.smax.get(set, j_idx, fij).expect("fij on Pj")
+                    let a = self.smax.get(set, flow_idx, fji).unwrap_or(0)
+                        - set.smin(fj, fji, self.cfg.smin_mode).unwrap_or(0)
+                        - self.m_term_uncached(prefix, fij).unwrap_or(0)
+                        + self.smax.get(set, j_idx, fij).unwrap_or(0)
                         + fj.jitter;
                     windows.push(Window {
                         flow: fj.id,
@@ -108,7 +110,7 @@ impl<'a> ReferenceAnalyzer<'a> {
                 }
             }
         }
-        let trunc = fi.truncated(prefix.len()).expect("prefix of own path");
+        let trunc = fi.truncated(prefix.len()).unwrap_or_else(|| fi.clone());
         windows.push(Window {
             flow: fi.id,
             a: fi.jitter,
@@ -190,6 +192,7 @@ impl<'a> ReferenceAnalyzer<'a> {
 
     /// The historical sequential in-place (Gauss–Seidel) fixed point.
     fn fixpoint_smax(&mut self) -> Result<(), Verdict> {
+        let mut last_changed: Option<(usize, usize)> = None;
         for round in 0..self.cfg.max_smax_rounds {
             self.rounds = round + 1;
             let mut changed = false;
@@ -198,7 +201,7 @@ impl<'a> ReferenceAnalyzer<'a> {
                 for pos in 1..path.len() {
                     let r = match self.wcrt_prefix(fi, pos) {
                         Verdict::Bounded(r) => r,
-                        u @ Verdict::Unbounded { .. } => return Err(u),
+                        u => return Err(u),
                     };
                     let from = path.nodes()[pos - 1];
                     let to = path.nodes()[pos];
@@ -212,6 +215,7 @@ impl<'a> ReferenceAnalyzer<'a> {
                     }
                     if self.smax.set(fi, pos, val) {
                         changed = true;
+                        last_changed = Some((fi, pos));
                     }
                 }
             }
@@ -219,10 +223,14 @@ impl<'a> ReferenceAnalyzer<'a> {
                 return Ok(());
             }
         }
-        Err(Verdict::unbounded(format!(
-            "Smax fixed point did not converge within {} rounds",
-            self.cfg.max_smax_rounds
-        )))
+        let (fi, pos) = last_changed.unwrap_or((0, 0));
+        Err(Verdict::Diverged {
+            rounds: self.rounds,
+            worst_cell: (
+                self.set.flows()[fi].id,
+                self.set.flows()[fi].path.nodes()[pos],
+            ),
+        })
     }
 }
 

@@ -1,18 +1,34 @@
 //! Analysis results: per-flow verdicts and whole-set reports.
 
 use serde::{Deserialize, Serialize};
-use traj_model::{Duration, FlowId};
+use traj_model::{Duration, FlowId, NodeId};
 
 /// Outcome of a bound computation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
     /// A finite worst-case bound (ticks).
     Bounded(Duration),
-    /// The analysis diverged (overloaded node, non-convergent `Smax`
-    /// fixed point, or busy period beyond the configured guard).
+    /// The analysis diverged (overloaded node or busy period beyond the
+    /// configured guard).
     Unbounded {
         /// Human-readable cause.
         reason: String,
+    },
+    /// The `Smax` fixed point did not converge within the configured
+    /// round limit. Structured (unlike [`Verdict::Unbounded`]) so
+    /// callers — the admission controller, sensitivity analysis — can
+    /// react programmatically instead of string-matching.
+    Diverged {
+        /// Rounds executed before giving up.
+        rounds: usize,
+        /// The `(flow, node)` cell still changing in the last round.
+        worst_cell: (FlowId, NodeId),
+    },
+    /// An i64 time computation overflowed; the bound is unknown rather
+    /// than wrapped.
+    Overflow {
+        /// Which quantity overflowed.
+        what: String,
     },
 }
 
@@ -21,7 +37,7 @@ impl Verdict {
     pub fn value(&self) -> Option<Duration> {
         match self {
             Verdict::Bounded(v) => Some(*v),
-            Verdict::Unbounded { .. } => None,
+            _ => None,
         }
     }
 
@@ -35,6 +51,11 @@ impl Verdict {
         Verdict::Unbounded {
             reason: reason.into(),
         }
+    }
+
+    /// Builds an overflow verdict.
+    pub fn overflow(what: impl Into<String>) -> Self {
+        Verdict::Overflow { what: what.into() }
     }
 }
 

@@ -43,11 +43,10 @@ pub fn slacks(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<FlowSlack> {
 }
 
 /// The most constrained flow (smallest slack; unbounded flows first).
-pub fn critical_flow(set: &FlowSet, cfg: &AnalysisConfig) -> FlowSlack {
-    slacks(set, cfg)
-        .into_iter()
-        .next()
-        .expect("flow sets are non-empty")
+/// `None` only for an empty report, which a valid [`FlowSet`] never
+/// produces.
+pub fn critical_flow(set: &FlowSet, cfg: &AnalysisConfig) -> Option<FlowSlack> {
+    slacks(set, cfg).into_iter().next()
 }
 
 /// Largest uniform cost `c` for `candidate` (its per-node costs all set
@@ -61,17 +60,17 @@ pub fn max_admissible_cost(
     c_max: Duration,
 ) -> Option<Duration> {
     let fits = |c: Duration| -> bool {
-        let mut trial = candidate.clone();
-        trial = SporadicFlow::uniform(
-            trial.id.0,
-            trial.path.clone(),
-            trial.period,
+        let trial = match SporadicFlow::uniform(
+            candidate.id.0,
+            candidate.path.clone(),
+            candidate.period,
             c,
-            trial.jitter,
-            trial.deadline,
-        )
-        .expect("candidate parameters are valid")
-        .with_class(trial.class);
+            candidate.jitter,
+            candidate.deadline,
+        ) {
+            Ok(t) => t.with_class(candidate.class),
+            Err(_) => return false,
+        };
         let mut flows = set.flows().to_vec();
         flows.push(trial);
         match FlowSet::new(set.network().clone(), flows) {
@@ -131,7 +130,7 @@ mod tests {
     #[test]
     fn critical_flow_is_minimal_slack() {
         let set = paper_example();
-        let c = critical_flow(&set, &AnalysisConfig::default());
+        let c = critical_flow(&set, &AnalysisConfig::default()).unwrap();
         assert_eq!(c.slack, Some(8));
     }
 

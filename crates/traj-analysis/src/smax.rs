@@ -28,7 +28,7 @@ impl SmaxTable {
                 f.path
                     .nodes()
                     .iter()
-                    .map(|&h| set.transit_smax(f, h).expect("h on own path"))
+                    .map(|&h| set.transit_smax(f, h).unwrap_or(0))
                     .collect()
             })
             .collect();
@@ -58,6 +58,13 @@ impl SmaxTable {
         } else {
             false
         }
+    }
+
+    /// Replaces a whole per-flow row (the survivability warm seed mixes
+    /// healthy fixed-point rows with transit rows; row length must match
+    /// the flow's path length).
+    pub(crate) fn set_row(&mut self, flow_idx: usize, vals: Vec<Duration>) {
+        self.vals[flow_idx] = vals;
     }
 
     /// Raw per-flow values (aligned with path order), for reporting.

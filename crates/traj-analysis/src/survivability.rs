@@ -1,0 +1,266 @@
+//! Degraded-topology re-analysis: recompute Property 2 bounds after a
+//! [`FaultScenario`] without redoing the work the fault did not touch.
+//!
+//! # Incremental strategy
+//!
+//! A fault changes three things about the flow set: dropped flows leave
+//! the FIFO universe, rerouted flows change paths, and everything else
+//! stays put. [`dirty_closure`] computes the transitive closure of
+//! "directly perturbed" (fate ≠ untouched) over the *union* of the
+//! healthy and degraded crossing graphs. Outside that closure a flow and
+//! all its crossers are untouched, so
+//!
+//! * its interference skeleton (crossing segments, `M` terms,
+//!   same-direction maxima, busy period) is bit-identical to the healthy
+//!   one — [`reanalyze`] clones those cache rows instead of rebuilding
+//!   them — and
+//! * its healthy `Smax` fixed-point row already satisfies the degraded
+//!   equations exactly (clean flows only read clean cells), so it is
+//!   reused as-is.
+//!
+//! Flows inside the closure are re-seeded at their transit floor — below
+//! the least fixed point — and re-solved; the dirty/clean split makes
+//! the equation system block-diagonal, so Kleene iteration converges to
+//! the same least fixed point a cold start reaches and the resulting
+//! bounds are **bit-identical** to [`analyze_degraded`] (asserted by the
+//! fault differential suite in `tests/equivalence.rs`).
+
+use rayon::prelude::*;
+use traj_model::{DegradedSet, FlowFate, FlowSet};
+
+use crate::config::AnalysisConfig;
+use crate::report::{FlowReport, SetReport, Verdict};
+use crate::smax::SmaxTable;
+use crate::wcrt::{Analyzer, NoDelta};
+
+/// Outcome of an incremental fault re-analysis.
+#[derive(Debug, Clone)]
+pub struct FaultReanalysis {
+    /// Per-flow verdicts on the degraded set (index-aligned with the
+    /// healthy set; dropped flows report why they were dropped).
+    pub report: SetReport,
+    /// The dirty closure: flows whose skeleton and `Smax` row were
+    /// recomputed. Everything else was reused from the healthy solution.
+    pub stale: Vec<bool>,
+    /// Rounds the warm-started fixed point took.
+    pub rounds: usize,
+}
+
+impl FaultReanalysis {
+    /// Number of flows whose healthy solution was reused untouched.
+    pub fn reused(&self) -> usize {
+        self.stale.iter().filter(|s| !**s).count()
+    }
+}
+
+/// Transitive closure of fault perturbation over the crossing graph.
+///
+/// Seeds with every flow whose fate is not [`FlowFate::Untouched`] and
+/// spreads along "shares a node" edges of **both** the healthy paths
+/// (a dropped or rerouted flow used to interfere there) and the degraded
+/// paths (a rerouted flow interferes there now). `stale[i]` means flow
+/// `i`'s interference structure or fixed-point row may differ from the
+/// healthy solution.
+pub fn dirty_closure(healthy: &FlowSet, degraded: &DegradedSet) -> Vec<bool> {
+    let n = healthy.len();
+    let mut stale: Vec<bool> = degraded
+        .fates
+        .iter()
+        .map(|f| !matches!(f, FlowFate::Untouched))
+        .collect();
+    let crosses = |i: usize, j: usize| -> bool {
+        let (hi, hj) = (&healthy.flows()[i], &healthy.flows()[j]);
+        let (di, dj) = (&degraded.set.flows()[i], &degraded.set.flows()[j]);
+        healthy.crosses(hj, &hi.path) || degraded.set.crosses(dj, &di.path)
+    };
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| stale[i]).collect();
+    while let Some(j) = frontier.pop() {
+        for (i, s) in stale.iter_mut().enumerate() {
+            if !*s && crosses(i, j) {
+                *s = true;
+                frontier.push(i);
+            }
+        }
+    }
+    stale
+}
+
+/// Canonical from-scratch analysis of a degraded set: all surviving
+/// flows form the FIFO universe, dropped flows are masked out and
+/// reported as dropped. This is the reference the incremental path must
+/// reproduce bit-for-bit.
+pub fn analyze_degraded(degraded: &DegradedSet, cfg: &AnalysisConfig) -> SetReport {
+    let universe = degraded.universe();
+    let res = Analyzer::with_universe_and_delta(&degraded.set, cfg, universe, NoDelta);
+    assemble(degraded, res)
+}
+
+/// Incremental re-analysis of a degraded set, warm-started from the
+/// healthy solution.
+///
+/// `healthy` must be the converged analyzer of the pre-fault set the
+/// scenario was applied to (same flows, same order, same `cfg`);
+/// the result is then bit-identical to [`analyze_degraded`] on the same
+/// inputs, at a fraction of the cost when the fault is localised.
+pub fn reanalyze(
+    healthy: &Analyzer<'_, NoDelta>,
+    degraded: &DegradedSet,
+    cfg: &AnalysisConfig,
+) -> FaultReanalysis {
+    let stale = dirty_closure(healthy.set(), degraded);
+    let universe = degraded.universe();
+
+    // Skeletons: rebuild stale rows against the degraded set, clone the
+    // rest from the healthy cache (their structure is untouched).
+    let cache = crate::cache::InterferenceCache::rebuild_for(
+        healthy.cache(),
+        &degraded.set,
+        cfg,
+        &universe,
+        &NoDelta,
+        &stale,
+    );
+
+    // Warm seed: transit floor for stale rows (sound restart point),
+    // healthy fixed-point rows elsewhere (already exact).
+    let mut seed = SmaxTable::transit(&degraded.set);
+    for (i, is_stale) in stale.iter().enumerate() {
+        if !is_stale {
+            seed.set_row(i, healthy.smax().values()[i].clone());
+        }
+    }
+
+    let res = Analyzer::with_parts(&degraded.set, cfg, universe, NoDelta, cache, seed, &stale);
+    let rounds = res.as_ref().map(|an| an.smax_rounds()).unwrap_or(0);
+    FaultReanalysis {
+        report: assemble(degraded, res),
+        stale,
+        rounds,
+    }
+}
+
+/// Builds the per-flow report, overriding dropped flows' verdicts with
+/// their drop reason (a bound over a path the flow no longer has would
+/// be meaningless). Shared by the from-scratch and incremental paths so
+/// their outputs stay comparable verbatim.
+fn assemble(degraded: &DegradedSet, res: Result<Analyzer<'_, NoDelta>, Verdict>) -> SetReport {
+    let set = &degraded.set;
+    let drop_verdict = |i: usize| -> Option<Verdict> {
+        match &degraded.fates[i] {
+            FlowFate::Dropped { reason } => Some(Verdict::Unbounded {
+                reason: format!("dropped by fault scenario: {reason}"),
+            }),
+            _ => None,
+        }
+    };
+    match res {
+        Ok(an) => {
+            let reports: Vec<FlowReport> = (0..set.len())
+                .into_par_iter()
+                .map(|i| {
+                    let base = an.report(i);
+                    match drop_verdict(i) {
+                        Some(v) => FlowReport {
+                            wcrt: v,
+                            jitter: None,
+                            ..base
+                        },
+                        None => base,
+                    }
+                })
+                .collect();
+            SetReport::new(reports)
+        }
+        Err(v) => SetReport::new(
+            set.flows()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: drop_verdict(i).unwrap_or_else(|| v.clone()),
+                    jitter: None,
+                    deadline: f.deadline,
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+    use traj_model::{FaultScenario, NodeId};
+
+    fn healthy_and_degraded(scenario: FaultScenario) -> (FlowSet, DegradedSet) {
+        let set = paper_example();
+        let degraded = scenario.apply(&set).unwrap();
+        (set, degraded)
+    }
+
+    #[test]
+    fn no_fault_reuses_everything_and_matches_healthy() {
+        let (set, degraded) = healthy_and_degraded(FaultScenario::new(Vec::new()));
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        let healthy_bounds: Vec<_> = (0..set.len()).map(|i| an.wcrt(i)).collect();
+        let re = reanalyze(&an, &degraded, &cfg);
+        assert_eq!(re.reused(), set.len());
+        assert!(
+            re.rounds <= 1,
+            "nothing stale: at most one convergence-check round, got {}",
+            re.rounds
+        );
+        let got: Vec<_> = re
+            .report
+            .per_flow()
+            .iter()
+            .map(|r| r.wcrt.clone())
+            .collect();
+        assert_eq!(got, healthy_bounds);
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_on_node_failure() {
+        // Node 9 kills flow 2 ([9,10,7,6]) entirely; the rest reroute or
+        // stay. Incremental and from-scratch must agree bit-for-bit.
+        let (set, degraded) = healthy_and_degraded(FaultScenario::node_down(NodeId(9)));
+        for cfg in crate::config_grid() {
+            let an = Analyzer::new(&set, &cfg).unwrap();
+            let re = reanalyze(&an, &degraded, &cfg);
+            let scratch = analyze_degraded(&degraded, &cfg);
+            for (a, b) in re.report.per_flow().iter().zip(scratch.per_flow()) {
+                assert_eq!(a.wcrt, b.wcrt, "cfg {cfg:?}");
+                assert_eq!(a.jitter, b.jitter, "cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_flows_report_their_drop_reason() {
+        let (set, degraded) = healthy_and_degraded(FaultScenario::node_down(NodeId(9)));
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        let re = reanalyze(&an, &degraded, &cfg);
+        let r = re.report.for_flow(traj_model::FlowId(2)).unwrap();
+        assert!(!r.wcrt.is_bounded());
+        match &r.wcrt {
+            Verdict::Unbounded { reason } => {
+                assert!(reason.contains("dropped by fault scenario"), "{reason}")
+            }
+            other => unreachable!("expected a drop verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_contains_all_perturbed_flows() {
+        let (set, degraded) = healthy_and_degraded(FaultScenario::node_down(NodeId(9)));
+        let stale = dirty_closure(&set, &degraded);
+        for (i, fate) in degraded.fates.iter().enumerate() {
+            if !matches!(fate, FlowFate::Untouched) {
+                assert!(stale[i], "perturbed flow {i} must be stale");
+            }
+        }
+    }
+}

@@ -8,7 +8,25 @@
 //! node) that can delay the packet under study.
 
 use serde::{Deserialize, Serialize};
-use traj_model::{plus_one_floor, Duration, FlowId, Tick};
+use traj_model::{checked_ceil_div, checked_plus_one_floor, Duration, FlowId, Tick};
+
+/// An i64 overflow inside term arithmetic; carries the overflowed
+/// quantity's name. Mapped to [`crate::Verdict::Overflow`] at the
+/// analysis boundary instead of silently wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overflowed(pub &'static str);
+
+impl std::fmt::Display for Overflowed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i64 overflow while computing {}", self.0)
+    }
+}
+
+impl From<Overflowed> for crate::report::Verdict {
+    fn from(o: Overflowed) -> Self {
+        crate::report::Verdict::overflow(o.0)
+    }
+}
 
 /// One interference term of `W_{i,t}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,16 +44,20 @@ pub struct Window {
 
 impl Window {
     /// Packets contributed at activation instant `t`:
-    /// `(1 + ⌊(t + A)/T⌋)⁺`.
+    /// `(1 + ⌊(t + A)/T⌋)⁺`. Checked: alignments near `i64::MAX` surface
+    /// an [`Overflowed`] instead of wrapping.
     #[inline]
-    pub fn packets(&self, t: Tick) -> i64 {
-        plus_one_floor(t + self.a, self.period)
+    pub fn packets(&self, t: Tick) -> Result<i64, Overflowed> {
+        let shifted = t.checked_add(self.a).ok_or(Overflowed("t + A"))?;
+        checked_plus_one_floor(shifted, self.period).ok_or(Overflowed("packet count"))
     }
 
     /// Workload contributed at activation instant `t`.
     #[inline]
-    pub fn workload(&self, t: Tick) -> Duration {
-        self.packets(t) * self.cost
+    pub fn workload(&self, t: Tick) -> Result<Duration, Overflowed> {
+        self.packets(t)?
+            .checked_mul(self.cost)
+            .ok_or(Overflowed("window workload"))
     }
 }
 
@@ -63,10 +85,17 @@ pub struct MaxPoint {
 }
 
 impl BoundFunction {
-    /// Evaluates `R(t)`.
-    pub fn eval(&self, t: Tick) -> Duration {
-        let w: Duration = self.windows.iter().map(|w| w.workload(t)).sum();
-        w + self.constant - t
+    /// Evaluates `R(t)`; checked against i64 overflow.
+    pub fn eval(&self, t: Tick) -> Result<Duration, Overflowed> {
+        let mut w: Duration = 0;
+        for win in &self.windows {
+            w = w
+                .checked_add(win.workload(t)?)
+                .ok_or(Overflowed("interference workload sum"))?;
+        }
+        w.checked_add(self.constant)
+            .and_then(|v| v.checked_sub(t))
+            .ok_or(Overflowed("bound value"))
     }
 
     /// Merges windows with equal `(a, period)` by summing their costs.
@@ -98,13 +127,16 @@ impl BoundFunction {
     }
 
     /// Smallest positive fixed point of
-    /// `B = Σ_w ⌈B / T_w⌉ · C_w` (Lemma 3's `Bᵢ^{slow}`), or `None` when it
-    /// exceeds `max_busy_period` (overload / divergence guard).
-    pub fn busy_period(&self, max_busy_period: Duration) -> Option<Duration> {
+    /// `B = Σ_w ⌈B / T_w⌉ · C_w` (Lemma 3's `Bᵢ^{slow}`), or `Ok(None)`
+    /// when it exceeds `max_busy_period` (overload / divergence guard).
+    pub fn busy_period(&self, max_busy_period: Duration) -> Result<Option<Duration>, Overflowed> {
         Self::busy_period_of(&self.windows, max_busy_period)
     }
 
-    fn busy_period_of(windows: &[Window], max_busy_period: Duration) -> Option<Duration> {
+    fn busy_period_of(
+        windows: &[Window],
+        max_busy_period: Duration,
+    ) -> Result<Option<Duration>, Overflowed> {
         let pairs: Vec<(Duration, Duration)> = windows.iter().map(|w| (w.period, w.cost)).collect();
         busy_period_of_pairs(&pairs, max_busy_period)
     }
@@ -115,9 +147,11 @@ impl BoundFunction {
     /// (where some `t + A_w` crosses a multiple of `T_w`), so the maximum
     /// is attained at `t_lo` or at a jump point; only those candidates are
     /// evaluated — `O(Σ_w B/T_w)` instead of `O(B)`.
-    pub fn maximise(&self, max_busy_period: Duration) -> Option<MaxPoint> {
-        let b = self.busy_period(max_busy_period)?;
-        Some(self.maximise_given_busy(b))
+    pub fn maximise(&self, max_busy_period: Duration) -> Result<Option<MaxPoint>, Overflowed> {
+        match self.busy_period(max_busy_period)? {
+            Some(b) => self.maximise_given_busy(b).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// [`Self::maximise`] with the busy period supplied by the caller.
@@ -127,19 +161,30 @@ impl BoundFunction {
     /// the same window structure under shifting alignments (the `Smax`
     /// fixed point) compute it once and pass it in. Windows are coalesced
     /// and jump-point candidates deduplicated before evaluation.
-    pub fn maximise_given_busy(&self, busy: Duration) -> MaxPoint {
+    pub fn maximise_given_busy(&self, busy: Duration) -> Result<MaxPoint, Overflowed> {
         let windows = self.coalesced();
-        let t_hi = self.t_lo + busy; // exclusive
-                                     // Between jump points `R(t)` is `const − t`, and at a window's
-                                     // jump `t = k·T − A` its workload steps up by exactly one packet
-                                     // cost, so the maximum lies at `t_lo` or at a jump. Sweep the
-                                     // jumps in order, carrying the workload sum: each event costs
-                                     // O(1) instead of a full O(windows) re-evaluation.
+        let t_hi = self
+            .t_lo
+            .checked_add(busy)
+            .ok_or(Overflowed("maximisation horizon"))?; // exclusive
+                                                         // Between jump points `R(t)` is `const − t`, and at a window's
+                                                         // jump `t = k·T − A` its workload steps up by exactly one packet
+                                                         // cost, so the maximum lies at `t_lo` or at a jump. Sweep the
+                                                         // jumps in order, carrying the workload sum: each event costs
+                                                         // O(1) instead of a full O(windows) re-evaluation.
         let mut events: Vec<(Tick, Duration)> = Vec::new();
         for w in &windows {
-            let mut k = traj_model::ceil_div(self.t_lo + w.a + 1, w.period);
+            let first = self
+                .t_lo
+                .checked_add(w.a)
+                .and_then(|v| v.checked_add(1))
+                .ok_or(Overflowed("jump-point seed"))?;
+            let mut k = checked_ceil_div(first, w.period).ok_or(Overflowed("jump-point index"))?;
             loop {
-                let t = k * w.period - w.a;
+                let t = k
+                    .checked_mul(w.period)
+                    .and_then(|v| v.checked_sub(w.a))
+                    .ok_or(Overflowed("jump point"))?;
                 if t >= t_hi {
                     break;
                 }
@@ -150,19 +195,33 @@ impl BoundFunction {
             }
         }
         events.sort_unstable();
-        let mut workload: Duration = windows.iter().map(|w| w.workload(self.t_lo)).sum();
+        let mut workload: Duration = 0;
+        for w in &windows {
+            workload = workload
+                .checked_add(w.workload(self.t_lo)?)
+                .ok_or(Overflowed("interference workload sum"))?;
+        }
+        let seed_value = workload
+            .checked_add(self.constant)
+            .and_then(|v| v.checked_sub(self.t_lo))
+            .ok_or(Overflowed("bound value"))?;
         let mut best = MaxPoint {
-            value: workload + self.constant - self.t_lo,
+            value: seed_value,
             t_star: self.t_lo,
         };
         let mut i = 0;
         while i < events.len() {
             let t = events[i].0;
             while i < events.len() && events[i].0 == t {
-                workload += events[i].1;
+                workload = workload
+                    .checked_add(events[i].1)
+                    .ok_or(Overflowed("interference workload sum"))?;
                 i += 1;
             }
-            let v = workload + self.constant - t;
+            let v = workload
+                .checked_add(self.constant)
+                .and_then(|x| x.checked_sub(t))
+                .ok_or(Overflowed("bound value"))?;
             if v > best.value {
                 best = MaxPoint {
                     value: v,
@@ -170,7 +229,7 @@ impl BoundFunction {
                 };
             }
         }
-        best
+        Ok(best)
     }
 }
 
@@ -182,21 +241,31 @@ impl BoundFunction {
 pub(crate) fn busy_period_of_pairs(
     pairs: &[(Duration, Duration)],
     max_busy_period: Duration,
-) -> Option<Duration> {
-    let mut b: Duration = pairs.iter().map(|&(_, c)| c).sum();
+) -> Result<Option<Duration>, Overflowed> {
+    let mut b: Duration = 0;
+    for &(_, c) in pairs {
+        b = b
+            .checked_add(c)
+            .ok_or(Overflowed("busy-period workload sum"))?;
+    }
     if b == 0 {
-        return Some(0);
+        return Ok(Some(0));
     }
     loop {
-        let nb: Duration = pairs
-            .iter()
-            .map(|&(t, c)| traj_model::ceil_div(b, t) * c)
-            .sum();
+        let mut nb: Duration = 0;
+        for &(t, c) in pairs {
+            let term = checked_ceil_div(b, t)
+                .and_then(|k| k.checked_mul(c))
+                .ok_or(Overflowed("busy-period term"))?;
+            nb = nb
+                .checked_add(term)
+                .ok_or(Overflowed("busy-period workload sum"))?;
+        }
         if nb == b {
-            return Some(b);
+            return Ok(Some(b));
         }
         if nb > max_busy_period {
-            return None;
+            return Ok(None);
         }
         b = nb;
     }
@@ -218,11 +287,24 @@ mod tests {
     #[test]
     fn window_packet_counts() {
         let win = w(0, 36, 4);
-        assert_eq!(win.packets(0), 1);
-        assert_eq!(win.packets(35), 1);
-        assert_eq!(win.packets(36), 2);
-        assert_eq!(win.packets(-1), 0);
-        assert_eq!(win.workload(36), 8);
+        assert_eq!(win.packets(0).unwrap(), 1);
+        assert_eq!(win.packets(35).unwrap(), 1);
+        assert_eq!(win.packets(36).unwrap(), 2);
+        assert_eq!(win.packets(-1).unwrap(), 0);
+        assert_eq!(win.workload(36).unwrap(), 8);
+    }
+
+    #[test]
+    fn near_max_parameters_overflow_instead_of_wrapping() {
+        let win = w(i64::MAX - 1, 36, 4);
+        assert_eq!(win.packets(2), Err(Overflowed("t + A")));
+        let huge = w(0, i64::MAX / 2, i64::MAX / 2);
+        let f = BoundFunction {
+            windows: vec![huge, huge, huge],
+            constant: 0,
+            t_lo: 0,
+        };
+        assert!(f.busy_period(i64::MAX).is_err());
     }
 
     #[test]
@@ -233,7 +315,7 @@ mod tests {
             constant: 0,
             t_lo: 0,
         };
-        assert_eq!(f.busy_period(1_000_000), Some(16));
+        assert_eq!(f.busy_period(1_000_000).unwrap(), Some(16));
     }
 
     #[test]
@@ -244,7 +326,7 @@ mod tests {
             constant: 0,
             t_lo: 0,
         };
-        assert_eq!(f.busy_period(1_000_000), None);
+        assert_eq!(f.busy_period(1_000_000).unwrap(), None);
     }
 
     #[test]
@@ -255,7 +337,7 @@ mod tests {
             constant: 0,
             t_lo: 0,
         };
-        assert_eq!(f.busy_period(1_000_000), Some(10));
+        assert_eq!(f.busy_period(1_000_000).unwrap(), Some(10));
     }
 
     #[test]
@@ -268,8 +350,8 @@ mod tests {
             t_lo: 0,
         };
         // B: 36 = ceil(B/36)*6 + ceil(B/36)*30 -> B = 36
-        assert_eq!(f.busy_period(1 << 40), Some(36));
-        let m = f.maximise(1 << 40).unwrap();
+        assert_eq!(f.busy_period(1 << 40).unwrap(), Some(36));
+        let m = f.maximise(1 << 40).unwrap().unwrap();
         // candidates: t=0 -> 36; t=4 -> 12+30-4 = 38
         assert_eq!(m.t_star, 4);
         assert_eq!(m.value, 38);
@@ -283,9 +365,12 @@ mod tests {
             constant: 17,
             t_lo: -3,
         };
-        let b = f.busy_period(1 << 40).unwrap();
-        let brute = (f.t_lo..f.t_lo + b).map(|t| f.eval(t)).max().unwrap();
-        let m = f.maximise(1 << 40).unwrap();
+        let b = f.busy_period(1 << 40).unwrap().unwrap();
+        let brute = (f.t_lo..f.t_lo + b)
+            .map(|t| f.eval(t).unwrap())
+            .max()
+            .unwrap();
+        let m = f.maximise(1 << 40).unwrap().unwrap();
         assert_eq!(m.value, brute);
     }
 
@@ -305,11 +390,18 @@ mod tests {
             constant: 17,
             t_lo: -3,
         };
-        let b = f.busy_period(1 << 40).unwrap();
-        let brute = (f.t_lo..f.t_lo + b).map(|t| f.eval(t)).max().unwrap();
-        let m = f.maximise(1 << 40).unwrap();
+        let b = f.busy_period(1 << 40).unwrap().unwrap();
+        let brute = (f.t_lo..f.t_lo + b)
+            .map(|t| f.eval(t).unwrap())
+            .max()
+            .unwrap();
+        let m = f.maximise(1 << 40).unwrap().unwrap();
         assert_eq!(m.value, brute);
-        assert_eq!(f.eval(m.t_star), m.value, "coalesced eval must match eval");
+        assert_eq!(
+            f.eval(m.t_star).unwrap(),
+            m.value,
+            "coalesced eval must match eval"
+        );
     }
 
     #[test]
@@ -326,8 +418,8 @@ mod tests {
         assert_eq!(c[2], w(5, 8, 1));
         // The merge is workload-preserving at every instant.
         for t in -20..60 {
-            let orig: Duration = f.windows.iter().map(|x| x.workload(t)).sum();
-            let merged: Duration = c.iter().map(|x| x.workload(t)).sum();
+            let orig: Duration = f.windows.iter().map(|x| x.workload(t).unwrap()).sum();
+            let merged: Duration = c.iter().map(|x| x.workload(t).unwrap()).sum();
             assert_eq!(orig, merged, "t = {t}");
         }
         assert_eq!(
@@ -336,8 +428,9 @@ mod tests {
                 constant: 0,
                 t_lo: 0
             }
-            .busy_period(1 << 40),
-            f.busy_period(1 << 40),
+            .busy_period(1 << 40)
+            .unwrap(),
+            f.busy_period(1 << 40).unwrap(),
         );
     }
 
@@ -348,8 +441,11 @@ mod tests {
             constant: 4,
             t_lo: -2,
         };
-        let b = f.busy_period(1 << 40).unwrap();
-        assert_eq!(f.maximise_given_busy(b), f.maximise(1 << 40).unwrap());
+        let b = f.busy_period(1 << 40).unwrap().unwrap();
+        assert_eq!(
+            f.maximise_given_busy(b).unwrap(),
+            f.maximise(1 << 40).unwrap().unwrap()
+        );
     }
 
     #[test]
@@ -361,7 +457,7 @@ mod tests {
             constant: 0,
             t_lo: -6,
         };
-        let m = f.maximise(1 << 40).unwrap();
+        let m = f.maximise(1 << 40).unwrap().unwrap();
         assert_eq!(m.t_star, -6);
         assert_eq!(m.value, 5 + 6);
     }

@@ -79,20 +79,55 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         universe: Vec<bool>,
         delta: D,
     ) -> Result<Self, Verdict> {
-        assert_eq!(universe.len(), set.len());
+        if universe.len() != set.len() {
+            return Err(Verdict::unbounded(
+                "universe mask length does not match the flow set",
+            ));
+        }
         let cache = InterferenceCache::build(set, cfg, &universe, &delta);
+        let seed_rows = vec![true; set.len()];
+        Self::with_parts(
+            set,
+            cfg,
+            universe,
+            delta,
+            cache,
+            SmaxTable::transit(set),
+            &seed_rows,
+        )
+    }
+
+    /// Core constructor behind both the cold path and the survivability
+    /// warm start: runs the fixed point from an arbitrary seed table,
+    /// forcing recomputation only of the flows flagged in `seed_rows`.
+    ///
+    /// Sound warm starts must seed every flagged flow at (or below) its
+    /// least-fixed-point value — e.g. at its transit floor — and every
+    /// unflagged flow at a value the degraded equations already satisfy
+    /// (its healthy fixed-point row, under the survivability closure
+    /// invariant); Kleene iteration then converges to the same least
+    /// fixed point a cold start reaches.
+    pub(crate) fn with_parts(
+        set: &'a FlowSet,
+        cfg: &'a AnalysisConfig,
+        universe: Vec<bool>,
+        delta: D,
+        cache: InterferenceCache,
+        seed: SmaxTable,
+        seed_rows: &[bool],
+    ) -> Result<Self, Verdict> {
         let mut an = Analyzer {
             set,
             cfg,
             universe,
             delta,
-            smax: SmaxTable::transit(set),
+            smax: seed,
             cache,
             rounds: 0,
             full: Vec::new(),
         };
         if cfg.smax_mode == SmaxMode::RecursivePrefix {
-            an.fixpoint_smax()?;
+            an.fixpoint_smax(seed_rows)?;
         }
         // The table is converged (or transit-only): compute every flow's
         // full-path bound once, so report/wcrt calls are lookups.
@@ -120,8 +155,8 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         self.rounds
     }
 
-    /// The frozen interference structure (for the cache test suite).
-    #[cfg(test)]
+    /// The frozen interference structure (reused row-wise by the
+    /// survivability warm start and inspected by the cache test suite).
     pub(crate) fn cache(&self) -> &InterferenceCache {
         &self.cache
     }
@@ -151,12 +186,13 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             .prefix(flow_idx, k)
             .maximise(flow_idx, &self.smax)
         {
-            Some(m) => Verdict::Bounded(m.value),
-            None => Verdict::unbounded(format!(
+            Ok(Some(m)) => Verdict::Bounded(m.value),
+            Ok(None) => Verdict::unbounded(format!(
                 "busy period of flow {} exceeds the {}-tick guard (overload)",
                 self.set.flows()[flow_idx].id,
                 self.cfg.max_busy_period
             )),
+            Err(o) => Verdict::from(o),
         }
     }
 
@@ -191,14 +227,14 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                     .iter()
                     .map(|&h| fj.cost_at(h))
                     .max()
-                    .expect("segments are non-empty");
+                    .unwrap_or(0);
                 for (fji, fij) in segment_points(self.cfg, segment, prefix) {
-                    let a = self.smax.get(set, flow_idx, fji).expect("fji on prefix")
-                        - set.smin(fj, fji, self.cfg.smin_mode).expect("fji on Pj")
+                    let a = self.smax.get(set, flow_idx, fji).unwrap_or(0)
+                        - set.smin(fj, fji, self.cfg.smin_mode).unwrap_or(0)
                         - set
                             .m_term_filtered(prefix, fij, self.cfg.min_convention, keep)
-                            .expect("fij on prefix")
-                        + self.smax.get(set, j_idx, fij).expect("fij on Pj")
+                            .unwrap_or(0)
+                        + self.smax.get(set, j_idx, fij).unwrap_or(0)
                         + fj.jitter;
                     windows.push(Window {
                         flow: fj.id,
@@ -210,7 +246,7 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             }
         }
         // Self term: (1 + ⌊(t + Jᵢ)/Tᵢ⌋) · Cᵢ^{slowᵢ}.
-        let trunc = fi.truncated(prefix.len()).expect("prefix of own path");
+        let trunc = fi.truncated(prefix.len()).unwrap_or_else(|| fi.clone());
         windows.push(Window {
             flow: fi.id,
             a: fi.jitter,
@@ -245,31 +281,40 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     /// point (see DESIGN.md); Jacobi evaluates each round against a
     /// frozen table, which makes the per-flow updates independent and
     /// parallelisable.
-    fn fixpoint_smax(&mut self) -> Result<(), Verdict> {
+    fn fixpoint_smax(&mut self, seed_rows: &[bool]) -> Result<(), Verdict> {
         // Entries the previous round changed. A Jacobi update whose
         // skeleton reads none of them would recompute exactly its
         // current value, so it is skipped — the fixed point becomes
-        // incremental as convergence localises. Seeded all-true.
+        // incremental as convergence localises. Seeded with the rows the
+        // caller marked stale (all of them on a cold start).
         let mut dirty: Vec<Vec<bool>> = self
             .set
             .flows()
             .iter()
-            .map(|f| vec![true; f.path.len()])
+            .enumerate()
+            .map(|(i, f)| vec![seed_rows[i]; f.path.len()])
             .collect();
+        let mut last_changed: Option<(usize, usize)> = None;
         for round in 0..self.cfg.max_smax_rounds {
             self.rounds = round + 1;
+            let force = if round == 0 { Some(seed_rows) } else { None };
             let changed = match self.cfg.fixpoint {
-                FixpointStrategy::Jacobi => self.round_jacobi(&mut dirty, round == 0)?,
-                FixpointStrategy::GaussSeidel => self.round_gauss_seidel()?,
+                FixpointStrategy::Jacobi => self.round_jacobi(&mut dirty, force)?,
+                FixpointStrategy::GaussSeidel => self.round_gauss_seidel(force)?,
             };
-            if !changed {
-                return Ok(());
+            match changed {
+                None => return Ok(()),
+                Some(cell) => last_changed = Some(cell),
             }
         }
-        Err(Verdict::unbounded(format!(
-            "Smax fixed point did not converge within {} rounds",
-            self.cfg.max_smax_rounds
-        )))
+        let (fi, pos) = last_changed.unwrap_or((0, 0));
+        Err(Verdict::Diverged {
+            rounds: self.rounds,
+            worst_cell: (
+                self.set.flows()[fi].id,
+                self.set.flows()[fi].path.nodes()[pos],
+            ),
+        })
     }
 
     /// The `Smax` update for one (flow, position): the prefix bound
@@ -278,7 +323,7 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     fn smax_update(&self, fi: usize, pos: usize) -> Result<Duration, Verdict> {
         let r = match self.wcrt_prefix(fi, pos) {
             Verdict::Bounded(r) => r,
-            u @ Verdict::Unbounded { .. } => return Err(u),
+            u => return Err(u),
         };
         let path = &self.set.flows()[fi].path;
         let from = path.nodes()[pos - 1];
@@ -302,11 +347,17 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     /// `dirty` flags the entries the previous round changed; an update
     /// whose skeleton reads no dirty entry is skipped (its recomputation
     /// would reproduce the value it already holds). On return `dirty`
-    /// holds this round's changes. `force` computes every update
-    /// unconditionally — required on the first round, where even a
-    /// windowless (table-independent) update must replace its transit
-    /// seed once before "no reads changed" implies "value unchanged".
-    fn round_jacobi(&mut self, dirty: &mut [Vec<bool>], force: bool) -> Result<bool, Verdict> {
+    /// holds this round's changes. `force` flags flows whose every
+    /// update is computed unconditionally — all flows on a cold start's
+    /// first round, where even a windowless (table-independent) update
+    /// must replace its transit seed once before "no reads changed"
+    /// implies "value unchanged"; only the stale flows on a warm start.
+    /// Returns the last cell this round changed, `None` on convergence.
+    fn round_jacobi(
+        &mut self,
+        dirty: &mut [Vec<bool>],
+        force: Option<&[bool]>,
+    ) -> Result<Option<(usize, usize)>, Verdict> {
         let this: &Self = self;
         let dirty_ro: &[Vec<bool>] = dirty;
         let updates: Vec<Result<Vec<(usize, Duration)>, Verdict>> = (0..this.set.len())
@@ -315,10 +366,11 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                 if !this.universe[fi] {
                     return Ok(Vec::new());
                 }
+                let forced = force.map(|rows| rows[fi]).unwrap_or(false);
                 let len = this.set.flows()[fi].path.len();
                 let mut out = Vec::with_capacity(len.saturating_sub(1));
                 for pos in 1..len {
-                    if !force && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
+                    if !forced && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
                         continue;
                     }
                     out.push((pos, this.smax_update(fi, pos)?));
@@ -329,12 +381,12 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         for row in dirty.iter_mut() {
             row.fill(false);
         }
-        let mut changed = false;
+        let mut changed = None;
         for (fi, res) in updates.into_iter().enumerate() {
             for (pos, val) in res? {
                 if self.smax.set(fi, pos, val) {
                     dirty[fi][pos] = true;
-                    changed = true;
+                    changed = Some((fi, pos));
                 }
             }
         }
@@ -342,9 +394,16 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     }
 
     /// One Gauss–Seidel round: updates are applied in place, each
-    /// immediately visible to the next (the historical scheme).
-    fn round_gauss_seidel(&mut self) -> Result<bool, Verdict> {
-        let mut changed = false;
+    /// immediately visible to the next (the historical scheme). Unlike
+    /// Jacobi it recomputes every in-universe cell regardless of `force`
+    /// — a warm seed still converges (each update stays below the least
+    /// fixed point), it just is not incremental. Returns the last cell
+    /// changed, `None` on convergence.
+    fn round_gauss_seidel(
+        &mut self,
+        _force: Option<&[bool]>,
+    ) -> Result<Option<(usize, usize)>, Verdict> {
+        let mut changed = None;
         for fi in 0..self.set.len() {
             if !self.universe[fi] {
                 continue;
@@ -352,7 +411,7 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             for pos in 1..self.set.flows()[fi].path.len() {
                 let val = self.smax_update(fi, pos)?;
                 if self.smax.set(fi, pos, val) {
-                    changed = true;
+                    changed = Some((fi, pos));
                 }
             }
         }
@@ -480,7 +539,7 @@ mod tests {
     #[test]
     fn single_flow_has_transit_bound() {
         // One flow alone: R = Σ C + (q-1) Lmax + J.
-        let set = line_topology(1, 4, 100, 5, 1, 2);
+        let set = line_topology(1, 4, 100, 5, 1, 2).unwrap();
         let report = analyze_all(&set, &AnalysisConfig::default());
         assert_eq!(report.bounds(), vec![Some(4 * 5 + 3 * 2)]);
     }
@@ -489,7 +548,7 @@ mod tests {
     fn single_node_flows_reduce_to_busy_period_analysis() {
         // n flows sharing one node: FIFO worst case for the packet under
         // study is all other flows' packets ahead of it plus its own.
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let report = analyze_all(&set, &AnalysisConfig::default());
         for b in report.bounds() {
             assert_eq!(b, Some(21));
@@ -499,7 +558,7 @@ mod tests {
     #[test]
     fn overload_is_reported_not_looped() {
         // Utilisation 3 * 50/100 = 1.5 on every node.
-        let set = line_topology(3, 3, 100, 50, 1, 1);
+        let set = line_topology(3, 3, 100, 50, 1, 1).unwrap();
         let report = analyze_all(&set, &AnalysisConfig::default());
         assert_eq!(report.misses(), 3);
         for r in report.per_flow() {
@@ -533,8 +592,8 @@ mod tests {
     #[test]
     fn monotone_in_interference_cost() {
         // Adding a crossing flow can only increase the bound of tau_1.
-        let base = line_topology(2, 3, 100, 4, 1, 1);
-        let more = line_topology(3, 3, 100, 4, 1, 1);
+        let base = line_topology(2, 3, 100, 4, 1, 1).unwrap();
+        let more = line_topology(3, 3, 100, 4, 1, 1).unwrap();
         let cfg = AnalysisConfig::default();
         let b0 = analyze_all(&base, &cfg).bounds()[0].unwrap();
         let b1 = analyze_all(&more, &cfg).bounds()[0].unwrap();

@@ -45,7 +45,7 @@ fn bench_reverse_counting(c: &mut Criterion) {
 fn bench_ef(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/ef");
     let pure = paper_example();
-    let mixed = paper_example_with_best_effort(9);
+    let mixed = paper_example_with_best_effort(9).unwrap();
     g.bench_function("property2_pure", |b| {
         let cfg = AnalysisConfig::default();
         b.iter(|| black_box(analyze_all(black_box(&pure), &cfg)))

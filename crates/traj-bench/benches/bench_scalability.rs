@@ -19,7 +19,8 @@ fn bench_flow_count(c: &mut Criterion) {
                 max_utilisation: 0.7,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         g.bench_with_input(BenchmarkId::new("trajectory", n), &set, |b, s| {
             let cfg = AnalysisConfig::default();
             b.iter(|| black_box(analyze_all(s, &cfg)))
@@ -35,7 +36,7 @@ fn bench_flow_count(c: &mut Criterion) {
 fn bench_path_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("scalability/hops");
     for hops in [2u32, 4, 8, 16] {
-        let set = line_topology(8, hops, 200, 3, 1, 2);
+        let set = line_topology(8, hops, 200, 3, 1, 2).unwrap();
         g.bench_with_input(BenchmarkId::new("trajectory", hops), &set, |b, s| {
             let cfg = AnalysisConfig::default();
             b.iter(|| black_box(analyze_all(s, &cfg)))

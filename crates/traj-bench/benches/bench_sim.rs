@@ -25,7 +25,7 @@ fn bench_fifo_sim(c: &mut Criterion) {
 }
 
 fn bench_diffserv_sim(c: &mut Criterion) {
-    let set = paper_example_with_best_effort(9);
+    let set = paper_example_with_best_effort(9).unwrap();
     let offsets: Vec<i64> = vec![0; set.len()];
     c.bench_function("sim/diffserv_128pkt", |b| {
         let sim = Simulator::new(

@@ -26,7 +26,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for be_cost in [1i64, 2, 4, 8, 16, 32, 64] {
-        let set = paper_example_with_best_effort(be_cost);
+        let set = paper_example_with_best_effort(be_cost).unwrap();
         let rep = analyze_ef(&set, &cfg);
         let dom = DiffServDomain::new(set.clone());
         let sim = dom.simulator(24);

@@ -1,0 +1,221 @@
+//! E13 — Fault re-analysis: incremental warm-start vs cold re-analysis.
+//!
+//! On a 64-node / 40-flow instance of eight *independent interference
+//! clusters* (the realistic shape for incrementality: most flows never
+//! cross most others, so a fault's dirty closure is a small island),
+//! injects single-link failures, re-derives the degraded bounds twice —
+//! cold (`analyze_degraded`) and warm (`reanalyze`, reusing the healthy
+//! interference cache and `Smax` fixed point outside the dirty closure)
+//! — checks the two agree bit-for-bit, and writes the measurements to
+//! `BENCH_fault.json`.
+//!
+//! Run: `cargo run --release -p traj-bench --bin fault_reanalysis`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_analysis::{analyze_degraded, dirty_closure, reanalyze, AnalysisConfig, Analyzer};
+use traj_bench::render_table;
+use traj_model::{FaultScenario, FlowSet, Network, Path, SporadicFlow};
+
+const CLUSTERS: u32 = 8;
+const NODES_PER_CLUSTER: u32 = 8;
+const NODES: u32 = CLUSTERS * NODES_PER_CLUSTER;
+const FLOWS: u32 = CLUSTERS * 5;
+const SEED: u64 = 1;
+const REPS: usize = 5;
+const TRIALS: usize = 8;
+
+/// Eight disjoint clusters of five crossing flows each. Within a
+/// cluster, the trunk `b+1 → b+2 → b+3 → b+4` carries most flows and the
+/// side path via `b+7` provides the surviving detour when a trunk link
+/// dies — so faults produce both reroutes and drops, all contained in
+/// one cluster.
+fn clustered_instance() -> FlowSet {
+    let network = Network::uniform(NODES, 1, 1).expect("valid uniform network");
+    let mut flows = Vec::new();
+    let mut id = 0u32;
+    for k in 0..CLUSTERS {
+        let b = k * NODES_PER_CLUSTER;
+        let paths = [
+            vec![b + 1, b + 2, b + 3, b + 4],
+            vec![b + 5, b + 2, b + 3, b + 6],
+            vec![b + 7, b + 3, b + 4],
+            vec![b + 2, b + 3, b + 4, b + 8],
+            vec![b + 2, b + 7, b + 3],
+        ];
+        for nodes in paths {
+            id += 1;
+            flows.push(
+                SporadicFlow::uniform(
+                    id,
+                    Path::from_ids(nodes).expect("valid cluster path"),
+                    200,
+                    3,
+                    0,
+                    i64::MAX / 4,
+                )
+                .expect("valid cluster flow"),
+            );
+        }
+    }
+    FlowSet::new(network, flows).expect("valid clustered instance")
+}
+
+#[derive(Serialize)]
+struct Entry {
+    scenario: String,
+    /// Flows inside the dirty closure (recomputed).
+    stale: usize,
+    /// Flows whose healthy solution was reused untouched.
+    reused: usize,
+    dropped: usize,
+    rerouted: usize,
+    wall_ms_cold: f64,
+    wall_ms_warm: f64,
+    /// `wall_ms_cold / wall_ms_warm`.
+    speedup: f64,
+    /// Warm and cold verdicts agreed bit-for-bit.
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    nodes: u32,
+    flows: u32,
+    seed: u64,
+    reps: usize,
+    entries: Vec<Entry>,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, Option<R>) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last)
+}
+
+fn main() {
+    let set = clustered_instance();
+    let cfg = AnalysisConfig::default();
+    let Ok(healthy) = Analyzer::new(&set, &cfg) else {
+        eprintln!("healthy instance did not converge");
+        return;
+    };
+
+    // Candidate faults: every used link, ranked by dirty-closure size so
+    // the benchmark spans localised to wide-blast faults.
+    let mut candidates: Vec<(FaultScenario, usize)> = Vec::new();
+    for f in set.flows() {
+        for (a, b) in f.path.links() {
+            let sc = FaultScenario::link_down(a, b);
+            let Ok(degraded) = sc.apply(&set) else {
+                continue;
+            };
+            let stale = dirty_closure(&set, &degraded)
+                .iter()
+                .filter(|s| **s)
+                .count();
+            if stale == 0
+                || candidates
+                    .iter()
+                    .any(|(c, _)| format!("{c:?}") == format!("{sc:?}"))
+            {
+                continue;
+            }
+            candidates.push((sc, stale));
+        }
+    }
+    candidates.sort_by_key(|(_, stale)| *stale);
+    // Smallest closures first (where incrementality pays most), plus the
+    // widest blast radius as a stress point.
+    let mut picks: Vec<FaultScenario> = candidates
+        .iter()
+        .take(TRIALS - 1)
+        .map(|(sc, _)| sc.clone())
+        .collect();
+    if let Some((worst, _)) = candidates.last() {
+        picks.push(worst.clone());
+    }
+
+    let mut entries = Vec::new();
+    for sc in &picks {
+        let Ok(degraded) = sc.apply(&set) else {
+            continue;
+        };
+        let (wall_ms_cold, cold) = time_best(REPS, || analyze_degraded(&degraded, &cfg));
+        let (wall_ms_warm, warm) = time_best(REPS, || reanalyze(&healthy, &degraded, &cfg));
+        let (Some(cold), Some(warm)) = (cold, warm) else {
+            continue;
+        };
+        let identical = cold
+            .per_flow()
+            .iter()
+            .zip(warm.report.per_flow())
+            .all(|(a, b)| a.wcrt == b.wcrt && a.jitter == b.jitter);
+        entries.push(Entry {
+            scenario: format!("{sc:?}"),
+            stale: warm.stale.iter().filter(|s| **s).count(),
+            reused: warm.reused(),
+            dropped: degraded.dropped().len(),
+            rerouted: degraded.rerouted().len(),
+            wall_ms_cold,
+            wall_ms_warm,
+            speedup: wall_ms_cold / wall_ms_warm.max(1e-9),
+            identical,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.scenario.clone(),
+                format!("{}/{}", e.stale, e.stale + e.reused),
+                e.dropped.to_string(),
+                e.rerouted.to_string(),
+                format!("{:.2}", e.wall_ms_cold),
+                format!("{:.2}", e.wall_ms_warm),
+                format!("{:.1}x", e.speedup),
+                if e.identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E13 - fault re-analysis ({NODES} nodes, {FLOWS} flows, best of {REPS})"),
+            &["fault", "stale", "dropped", "rerouted", "cold ms", "warm ms", "speedup", "match",],
+            &rows,
+        )
+    );
+
+    let out = Output {
+        experiment: "fault_reanalysis".to_string(),
+        nodes: NODES,
+        flows: FLOWS,
+        seed: SEED,
+        reps: REPS,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("wrote BENCH_fault.json");
+
+    assert!(
+        out.entries.iter().all(|e| e.identical),
+        "incremental and cold verdicts diverged"
+    );
+    let best = out.entries.iter().map(|e| e.speedup).fold(0.0, f64::max);
+    assert!(
+        best >= 2.0,
+        "incremental re-analysis must reach 2x on localised faults, best {best:.1}x"
+    );
+    println!("best speedup across faults: {best:.1}x");
+}

@@ -117,7 +117,9 @@ fn main() {
             max_utilisation: 0.5,
             ..Default::default()
         };
-        let set = random_mesh(SEED, &params);
+        let Ok(set) = random_mesh(SEED, &params) else {
+            continue;
+        };
         entries.push(measure(&set));
     }
 

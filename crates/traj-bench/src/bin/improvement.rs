@@ -36,7 +36,7 @@ fn main() {
 
     // Parking lots: deeper trunks => more holistic jitter accumulation.
     for trunk in [3u32, 5, 8, 12] {
-        let set = parking_lot(7, 6, trunk, 120, 4);
+        let set = parking_lot(7, 6, trunk, 120, 4).unwrap();
         if let Some(imp) = improvement(&set) {
             rows.push(vec![
                 format!("parking lot, trunk {trunk}"),
@@ -58,7 +58,8 @@ fn main() {
                     max_utilisation: max_u,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             if let Some(imp) = improvement(&set) {
                 imps.push(imp);
             }

@@ -21,7 +21,9 @@ const COST: i64 = 4;
 fn main() {
     let mut rows = Vec::new();
     for n_flows in [1u32, 3, 6, 9, 12, 15, 20, 30, 40, 50, 58] {
-        let set = line_topology(n_flows, HOPS, PERIOD, COST, 1, 1);
+        let Ok(set) = line_topology(n_flows, HOPS, PERIOD, COST, 1, 1) else {
+            continue;
+        };
         let u = set.max_utilisation();
 
         let traj = analyze_all(&set, &AnalysisConfig::default());

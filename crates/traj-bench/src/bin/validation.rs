@@ -54,7 +54,7 @@ fn main() {
     let mut margin_sum = 0i64;
     let mut bounded = 0usize;
     for seed in 0..25u64 {
-        let set = random_mesh(
+        let Ok(set) = random_mesh(
             seed,
             &MeshParams {
                 flows: 7,
@@ -62,7 +62,10 @@ fn main() {
                 max_utilisation: 0.6,
                 ..Default::default()
             },
-        );
+        ) else {
+            eprintln!("seed {seed}: generator produced no valid set, skipping");
+            continue;
+        };
         let report = analyze_all(&set, &cfg);
         let rows = validate_bounds(
             &set,

@@ -6,10 +6,23 @@
 //! that: a candidate EF flow is admitted iff, after adding it, **every**
 //! EF flow (existing and new) still meets its deadline under the
 //! Property 3 bound.
+//!
+//! # Graceful degradation
+//!
+//! [`AdmissionController::on_fault`] re-evaluates the admitted flows on
+//! the degraded topology: flows whose route died are dropped, rerouted
+//! flows keep their guarantee only if the re-analysis still bounds them
+//! under their deadline, and when the degraded set is unschedulable the
+//! controller *evicts* flows — ordered by [`EvictionPolicy`] — until the
+//! survivors are guaranteed again. Every displaced flow lands in a retry
+//! queue with exponential backoff; [`AdmissionController::tick`] drains
+//! the queue, re-running full admission control for each entry once the
+//! fault is (assumed) repaired.
 
 use serde::{Deserialize, Serialize};
 use traj_analysis::{analyze_ef, AnalysisConfig};
-use traj_model::{FlowId, FlowSet, ModelError, SporadicFlow};
+use traj_model::flow::TrafficClass;
+use traj_model::{FaultScenario, FlowFate, FlowId, FlowSet, ModelError, SporadicFlow};
 
 /// Why a flow was rejected, or the bounds it was admitted with.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,17 +45,97 @@ pub enum AdmissionDecision {
     Invalid(String),
 }
 
+/// Which admitted flow to sacrifice first when a fault leaves the
+/// degraded set unschedulable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the lowest scheduling class first (best effort, then AF in
+    /// ascending class order, EF last); ties broken latest-admitted-first.
+    #[default]
+    LowestPriorityFirst,
+    /// Evict in reverse admission order regardless of class: the flows
+    /// admitted most recently lose their guarantee first.
+    LatestAdmittedFirst,
+}
+
+/// A displaced flow waiting to be re-admitted.
+#[derive(Debug, Clone)]
+pub struct RetryEntry {
+    /// The flow, exactly as it was admitted.
+    pub flow: SporadicFlow,
+    /// Earliest tick at which the next admission attempt may run.
+    pub next_attempt: u64,
+    /// Current backoff interval; doubles after every failed attempt.
+    pub backoff: u64,
+    /// Failed re-admission attempts so far.
+    pub attempts: u32,
+    /// Why the flow was displaced.
+    pub reason: String,
+}
+
+/// What [`AdmissionController::on_fault`] did to the admitted set.
+#[derive(Debug, Clone, Default)]
+pub struct FaultResponse {
+    /// Flows whose route died with the fault (queued for retry).
+    pub dropped: Vec<(FlowId, String)>,
+    /// Flows rerouted around the fault that kept their guarantee.
+    pub rerouted: Vec<FlowId>,
+    /// Flows evicted to make the degraded set schedulable again
+    /// (queued for retry).
+    pub evicted: Vec<FlowId>,
+}
+
+/// First backoff interval (in ticks) after a failed re-admission.
+const RETRY_BACKOFF_BASE: u64 = 8;
+/// Backoff saturates here so repaired capacity is eventually noticed.
+const RETRY_BACKOFF_CAP: u64 = 1 << 16;
+
 /// Stateful admission controller for a DiffServ domain.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     current: FlowSet,
     cfg: AnalysisConfig,
+    policy: EvictionPolicy,
+    retry: Vec<RetryEntry>,
+    /// Admission sequence numbers; flows present at construction get the
+    /// lowest ones in set order.
+    order: Vec<(FlowId, u64)>,
+    next_seq: u64,
 }
 
 impl AdmissionController {
     /// Starts from an existing (already guaranteed) flow set.
     pub fn new(current: FlowSet, cfg: AnalysisConfig) -> Self {
-        AdmissionController { current, cfg }
+        Self::with_policy(current, cfg, EvictionPolicy::default())
+    }
+
+    /// Starts from an existing flow set with an explicit eviction policy.
+    pub fn with_policy(current: FlowSet, cfg: AnalysisConfig, policy: EvictionPolicy) -> Self {
+        let order: Vec<(FlowId, u64)> = current
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.id, i as u64))
+            .collect();
+        let next_seq = order.len() as u64;
+        AdmissionController {
+            current,
+            cfg,
+            policy,
+            retry: Vec::new(),
+            order,
+            next_seq,
+        }
+    }
+
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Flows displaced by a fault and still waiting for re-admission.
+    pub fn retry_queue(&self) -> &[RetryEntry] {
+        &self.retry
     }
 
     /// The current flow set.
@@ -75,11 +168,15 @@ impl AdmissionController {
                 };
             }
         }
-        let wcrt = report
-            .for_flow(cand_id)
-            .and_then(|r| r.wcrt.value())
-            .expect("candidate is EF or analysis covered it");
+        let Some(wcrt) = report.for_flow(cand_id).and_then(|r| r.wcrt.value()) else {
+            return AdmissionDecision::Invalid(format!(
+                "flow {cand_id} is not in the EF class; deterministic admission \
+                 covers EF flows only"
+            ));
+        };
         self.current = tentative;
+        self.order.push((cand_id, self.next_seq));
+        self.next_seq += 1;
         AdmissionDecision::Admitted { wcrt }
     }
 
@@ -93,11 +190,153 @@ impl AdmissionController {
         if self.current.len() == 1 {
             return false; // keep the last flow; FlowSet cannot be empty
         }
-        self.current = self
-            .current
-            .without_flow(id)
-            .expect("removal keeps the set valid");
-        true
+        match self.current.without_flow(id) {
+            Ok(rest) => {
+                self.current = rest;
+                self.order.retain(|(f, _)| *f != id);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-evaluates the admitted flows on the topology degraded by
+    /// `scenario`, evicting flows (per the configured [`EvictionPolicy`])
+    /// until every surviving EF flow meets its deadline again. Displaced
+    /// flows — both route casualties and evictees — join the retry queue
+    /// with exponential backoff starting at `now`.
+    ///
+    /// On error (e.g. the fault kills every admitted flow) the controller
+    /// state is unchanged.
+    pub fn on_fault(
+        &mut self,
+        scenario: &FaultScenario,
+        now: u64,
+    ) -> Result<FaultResponse, ModelError> {
+        let degraded = scenario.apply(&self.current)?;
+        let mut response = FaultResponse::default();
+        let mut set = degraded.surviving_set()?;
+
+        for (idx, fate) in degraded.fates.iter().enumerate() {
+            let flow = &degraded.set.flows()[idx];
+            match fate {
+                FlowFate::Untouched => {}
+                FlowFate::Rerouted { .. } => response.rerouted.push(flow.id),
+                FlowFate::Dropped { reason } => {
+                    response.dropped.push((flow.id, reason.to_string()));
+                    // Queue the *healthy* flow (original path): retry
+                    // models repair-and-readmission.
+                    if let Some(orig) = self.current.flows().iter().find(|f| f.id == flow.id) {
+                        self.enqueue_retry(orig.clone(), now, format!("route lost: {reason}"));
+                    }
+                }
+            }
+        }
+
+        // Evict until the degraded set is schedulable (or nothing is left
+        // to sacrifice: FlowSet cannot be empty).
+        loop {
+            let report = analyze_ef(&set, &self.cfg);
+            if report
+                .per_flow()
+                .iter()
+                .all(|r| r.meets_deadline() == Some(true))
+            {
+                break;
+            }
+            if set.len() == 1 {
+                break;
+            }
+            let Some(victim) = self.pick_victim(&set) else {
+                break;
+            };
+            let Ok(rest) = set.without_flow(victim) else {
+                break;
+            };
+            set = rest;
+            response.evicted.push(victim);
+            if let Some(orig) = self.current.flows().iter().find(|f| f.id == victim) {
+                self.enqueue_retry(
+                    orig.clone(),
+                    now,
+                    "evicted: unschedulable after fault".to_string(),
+                );
+            }
+        }
+
+        let keep: std::collections::HashSet<FlowId> = set.flows().iter().map(|f| f.id).collect();
+        self.order.retain(|(f, _)| keep.contains(f));
+        self.current = set;
+        Ok(response)
+    }
+
+    /// Drains due retry-queue entries: each gets one full admission
+    /// attempt. Success removes the entry; failure doubles its backoff.
+    /// Returns the decisions taken this tick, in queue order.
+    pub fn tick(&mut self, now: u64) -> Vec<(FlowId, AdmissionDecision)> {
+        let mut decisions = Vec::new();
+        let due: Vec<usize> = (0..self.retry.len())
+            .filter(|&i| self.retry[i].next_attempt <= now)
+            .collect();
+        let mut readmitted: Vec<usize> = Vec::new();
+        for i in due {
+            let flow = self.retry[i].flow.clone();
+            let id = flow.id;
+            let decision = self.try_admit(flow);
+            match decision {
+                AdmissionDecision::Admitted { .. } => readmitted.push(i),
+                _ => {
+                    let e = &mut self.retry[i];
+                    e.attempts += 1;
+                    e.backoff = (e.backoff * 2).min(RETRY_BACKOFF_CAP);
+                    e.next_attempt = now + e.backoff;
+                }
+            }
+            decisions.push((id, decision));
+        }
+        for i in readmitted.into_iter().rev() {
+            self.retry.remove(i);
+        }
+        decisions
+    }
+
+    fn enqueue_retry(&mut self, flow: SporadicFlow, now: u64, reason: String) {
+        if self.retry.iter().any(|e| e.flow.id == flow.id) {
+            return;
+        }
+        self.retry.push(RetryEntry {
+            flow,
+            next_attempt: now + RETRY_BACKOFF_BASE,
+            backoff: RETRY_BACKOFF_BASE,
+            attempts: 0,
+            reason,
+        });
+    }
+
+    /// Picks the next eviction victim among `set`'s flows per the policy.
+    fn pick_victim(&self, set: &FlowSet) -> Option<FlowId> {
+        let seq = |id: FlowId| -> u64 {
+            self.order
+                .iter()
+                .find(|(f, _)| *f == id)
+                .map(|(_, s)| *s)
+                .unwrap_or(0)
+        };
+        let class_rank = |c: &TrafficClass| -> u8 {
+            match c {
+                TrafficClass::BestEffort => 0,
+                TrafficClass::Af(k) => *k,
+                TrafficClass::Ef => u8::MAX,
+            }
+        };
+        set.flows()
+            .iter()
+            .max_by_key(|f| match self.policy {
+                // Lowest class first; ties latest-admitted-first.
+                EvictionPolicy::LowestPriorityFirst => (u8::MAX - class_rank(&f.class), seq(f.id)),
+                EvictionPolicy::LatestAdmittedFirst => (0, seq(f.id)),
+            })
+            .map(|f| f.id)
     }
 }
 
@@ -191,6 +430,131 @@ mod tests {
             AdmissionDecision::Admitted { .. }
         ));
         assert_eq!(ac.flows().relation_cache().len(), warm);
+    }
+
+    #[test]
+    fn fault_drops_route_casualties_and_queues_them() {
+        use traj_model::NodeId;
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        // Node 9 is the source of flow 2: it cannot be rerouted.
+        let resp = ac
+            .on_fault(&FaultScenario::node_down(NodeId(9)), 0)
+            .unwrap();
+        assert!(resp.dropped.iter().any(|(id, _)| *id == FlowId(2)));
+        assert!(ac.flows().index_of(FlowId(2)).is_none());
+        assert!(ac.retry_queue().iter().any(|e| e.flow.id == FlowId(2)));
+    }
+
+    #[test]
+    fn unschedulable_degradation_evicts_until_guaranteed() {
+        // Load the trunk close to capacity, then kill a link so the
+        // reroutes concentrate load and someone misses: eviction must
+        // restore the guarantee for everyone left.
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut id = 100;
+        while let AdmissionDecision::Admitted { .. } = ac.try_admit(candidate(id, 72, 60)) {
+            id += 1;
+        }
+        let before = ac.flows().len();
+        let resp = ac
+            .on_fault(
+                &FaultScenario::link_down(traj_model::NodeId(3), traj_model::NodeId(4)),
+                0,
+            )
+            .unwrap();
+        let report = analyze_ef(ac.flows(), &AnalysisConfig::default());
+        assert!(
+            report
+                .per_flow()
+                .iter()
+                .all(|r| r.meets_deadline() == Some(true))
+                || ac.flows().len() == 1,
+            "survivors must be guaranteed"
+        );
+        assert_eq!(
+            ac.flows().len() + resp.evicted.len() + resp.dropped.len(),
+            before,
+            "every displaced flow is accounted for"
+        );
+    }
+
+    #[test]
+    fn eviction_policies_pick_different_victims() {
+        use traj_model::flow::TrafficClass;
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        // A BE flow admitted *before* an EF flow: LowestPriorityFirst
+        // must pick the BE flow, LatestAdmittedFirst the EF flow.
+        let be = SporadicFlow::uniform(50, Path::from_ids([2, 3, 4]).unwrap(), 360, 4, 0, 10_000)
+            .unwrap()
+            .with_class(TrafficClass::BestEffort);
+        let ef = candidate(51, 360, 200);
+        let mut extended = set.clone();
+        for f in [be, ef] {
+            extended = extended.extended_with(f).unwrap();
+        }
+        let low = AdmissionController::with_policy(
+            extended.clone(),
+            cfg.clone(),
+            EvictionPolicy::LowestPriorityFirst,
+        );
+        let late = AdmissionController::with_policy(
+            extended.clone(),
+            cfg.clone(),
+            EvictionPolicy::LatestAdmittedFirst,
+        );
+        assert_eq!(low.pick_victim(&extended), Some(FlowId(50)));
+        assert_eq!(late.pick_victim(&extended), Some(FlowId(51)));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_until_capacity_returns() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        // Fill to rejection so a retried flow cannot come back.
+        let mut id = 100;
+        while let AdmissionDecision::Admitted { .. } = ac.try_admit(candidate(id, 72, 60)) {
+            id += 1;
+        }
+        // Displace one admitted flow by hand through a fault on its path:
+        // use the eviction path via an impossible candidate instead —
+        // simpler: drop flow 2's source.
+        let resp = ac
+            .on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        assert!(!resp.dropped.is_empty());
+        let n_queued = ac.retry_queue().len();
+        assert!(n_queued > 0);
+        let first_attempt = ac.retry_queue()[0].next_attempt;
+        // Nothing due before the backoff expires.
+        assert!(ac.tick(first_attempt - 1).is_empty());
+        let decisions = ac.tick(first_attempt);
+        assert_eq!(decisions.len(), 1);
+        if !matches!(decisions[0].1, AdmissionDecision::Admitted { .. }) {
+            let e = &ac.retry_queue()[0];
+            assert_eq!(e.attempts, 1);
+            assert_eq!(e.backoff, 2 * super::RETRY_BACKOFF_BASE);
+            assert_eq!(e.next_attempt, first_attempt + e.backoff);
+        }
+    }
+
+    #[test]
+    fn readmission_after_release_clears_the_queue() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let resp = ac
+            .on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        assert!(resp.dropped.iter().any(|(id, _)| *id == FlowId(2)));
+        // The topology is "repaired" (the controller re-checks against
+        // the full network); the queued flow comes back on the next due
+        // tick.
+        let due = ac.retry_queue()[0].next_attempt;
+        let decisions = ac.tick(due);
+        assert!(matches!(
+            decisions[0],
+            (FlowId(2), AdmissionDecision::Admitted { .. })
+        ));
+        assert!(ac.retry_queue().is_empty());
+        assert!(ac.flows().index_of(FlowId(2)).is_some());
     }
 
     #[test]

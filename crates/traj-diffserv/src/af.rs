@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn paper_example_best_effort_estimates_exist() {
-        let set = paper_example_with_best_effort(4);
+        let set = paper_example_with_best_effort(4).unwrap();
         let est = af_delay_estimates(&set);
         assert_eq!(est.len(), 1); // only best effort
         for (_, d) in &est[0].per_flow {

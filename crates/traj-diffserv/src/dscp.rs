@@ -75,9 +75,9 @@ impl PerHopBehaviour {
     pub fn dscp(&self) -> Dscp {
         match self {
             PerHopBehaviour::Ef => Dscp::EF,
-            PerHopBehaviour::Af { class, drop } => {
-                Dscp::af(*class, *drop).expect("valid AF selector")
-            }
+            // Out-of-range AF selectors degrade to the default PHB, the
+            // same fallback RFC 2475 §4 prescribes for unknown codepoints.
+            PerHopBehaviour::Af { class, drop } => Dscp::af(*class, *drop).unwrap_or(Dscp::DEFAULT),
             PerHopBehaviour::BestEffort => Dscp::DEFAULT,
         }
     }

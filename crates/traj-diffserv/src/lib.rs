@@ -22,7 +22,9 @@ pub mod conditioner;
 pub mod dscp;
 pub mod router;
 
-pub use admission::{AdmissionController, AdmissionDecision};
+pub use admission::{
+    AdmissionController, AdmissionDecision, EvictionPolicy, FaultResponse, RetryEntry,
+};
 pub use af::{af_delay_estimates, AfDelayEstimate};
 pub use conditioner::TokenBucket;
 pub use dscp::{Dscp, PerHopBehaviour};

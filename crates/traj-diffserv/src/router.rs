@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn ef_bounds_match_property3() {
-        let dom = DiffServDomain::new(paper_example_with_best_effort(9));
+        let dom = DiffServDomain::new(paper_example_with_best_effort(9).unwrap());
         let rep = dom.ef_bounds();
         assert_eq!(rep.per_flow().len(), 5);
         for r in rep.per_flow() {
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn simulated_ef_responses_respect_property3() {
-        let dom = DiffServDomain::new(paper_example_with_best_effort(9));
+        let dom = DiffServDomain::new(paper_example_with_best_effort(9).unwrap());
         let bounds = dom.ef_bounds();
         let sim = dom.simulator(16);
         let offsets: Vec<i64> = vec![0; dom.flows().len()];
@@ -119,14 +119,14 @@ mod tests {
     #[test]
     fn utilisation_counts_only_ef() {
         let pure = DiffServDomain::new(paper_example());
-        let mixed = DiffServDomain::new(paper_example_with_best_effort(9));
+        let mixed = DiffServDomain::new(paper_example_with_best_effort(9).unwrap());
         assert!((pure.ef_utilisation() - mixed.ef_utilisation()).abs() < 1e-12);
         assert!(pure.ef_utilisation() > 0.0);
     }
 
     #[test]
     fn phb_classification_follows_flow_class() {
-        let dom = DiffServDomain::new(paper_example_with_best_effort(5));
+        let dom = DiffServDomain::new(paper_example_with_best_effort(5).unwrap());
         let ef = dom.flows().ef_flows().next().unwrap();
         let be = dom.flows().non_ef_flows().next().unwrap();
         assert_eq!(dom.phb(ef), PerHopBehaviour::Ef);

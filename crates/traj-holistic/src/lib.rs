@@ -148,15 +148,14 @@ fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, S
         for f in set.flows() {
             // 1. per-node responses under current jitters
             for &h in f.path.nodes() {
-                let r = node_response(set, cfg, f.id, h, &jitter)
-                    .ok_or_else(|| format!("node {h} busy period diverged (overload)"))?;
+                let r = node_response(set, cfg, f.id, h, &jitter)?;
                 if r > cfg.max_busy_period {
                     return Err(format!(
                         "response of flow {} on node {h} exceeds guard",
                         f.id
                     ));
                 }
-                let slot = response.get_mut(&(f.id, h)).expect("initialised");
+                let slot = response.entry((f.id, h)).or_default();
                 if *slot != r {
                     *slot = r;
                     changed = true;
@@ -174,7 +173,7 @@ fn run(set: &FlowSet, cfg: &HolisticConfig) -> Result<Vec<HolisticFlowDetail>, S
                         f.id
                     ));
                 }
-                let slot = jitter.get_mut(&(f.id, h)).expect("initialised");
+                let slot = jitter.entry((f.id, h)).or_default();
                 if *slot != j {
                     *slot = j;
                     changed = true;
@@ -226,8 +225,10 @@ fn node_response(
     flow: FlowId,
     node: NodeId,
     jitter: &HashMap<(FlowId, NodeId), Duration>,
-) -> Option<Duration> {
-    let me = set.flow(flow).expect("flow exists");
+) -> Result<Duration, String> {
+    let me = set
+        .flow(flow)
+        .ok_or_else(|| format!("flow {flow} is not in the set"))?;
     let windows: Vec<Window> = set
         .flows()
         .iter()
@@ -248,12 +249,19 @@ fn node_response(
         constant: 0,
         t_lo,
     };
+    let overflow = |o: traj_analysis::terms::Overflowed| format!("arithmetic overflow: {o}");
+    let diverged = || format!("node {node} busy period diverged (overload)");
     if cfg.domain == ActivationDomain::SingleInstant {
         // Evaluate t = 0 only; still guard divergence via the busy period.
-        bf.busy_period(cfg.max_busy_period)?;
-        return Some(bf.eval(0));
+        bf.busy_period(cfg.max_busy_period)
+            .map_err(overflow)?
+            .ok_or_else(diverged)?;
+        return bf.eval(0).map_err(overflow);
     }
-    bf.maximise(cfg.max_busy_period).map(|m| m.value)
+    bf.maximise(cfg.max_busy_period)
+        .map_err(overflow)?
+        .map(|m| m.value)
+        .ok_or_else(diverged)
 }
 
 #[cfg(test)]
@@ -346,7 +354,7 @@ mod tests {
     fn single_node_case_agrees_with_trajectory() {
         // With one shared node there is no jitter propagation and both
         // methods compute the same busy-period bound.
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let t = analyze_all(&set, &AnalysisConfig::default());
         let h = analyze_holistic(&set, &HolisticConfig::default());
         assert_eq!(t.bounds(), h.bounds());
@@ -367,7 +375,7 @@ mod tests {
 
     #[test]
     fn overload_reported() {
-        let set = line_topology(3, 2, 100, 50, 1, 1);
+        let set = line_topology(3, 2, 100, 50, 1, 1).unwrap();
         let rep = analyze_holistic(&set, &HolisticConfig::default());
         assert!(rep.per_flow().iter().all(|r| !r.wcrt.is_bounded()));
     }

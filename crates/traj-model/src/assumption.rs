@@ -137,8 +137,14 @@ fn split_flow(
     link_spread_per_hop: i64,
     seq: usize,
 ) -> Result<(SporadicFlow, SporadicFlow), ModelError> {
-    assert!(cut > 0 && cut < f.path.len(), "cut must be interior");
-    let head_path = f.path.prefix_len(cut).expect("cut in range");
+    let head_path = f.path.prefix_len(cut).ok_or(ModelError::Internal {
+        what: "assumption-1 split cut must be interior to the path",
+    })?;
+    if cut >= f.path.len() {
+        return Err(ModelError::Internal {
+            what: "assumption-1 split cut must leave a non-empty tail",
+        });
+    }
     let tail_nodes = f.path.nodes()[cut..].to_vec();
     let tail_path = crate::path::Path::new(tail_nodes)?;
     let head_costs = f.costs()[..cut].to_vec();

@@ -32,6 +32,14 @@ pub enum ModelError {
     Assumption1Violated { flow: FlowId, against: FlowId },
     /// The flow set is empty.
     EmptyFlowSet,
+    /// A fault scenario left no live flow to analyse.
+    AllFlowsDropped,
+    /// An internal structural invariant did not hold; carries a short
+    /// description of the violated expectation. Surfacing this instead of
+    /// panicking keeps the analysis pipeline total.
+    Internal { what: &'static str },
+    /// An i64 time computation overflowed.
+    ArithmeticOverflow { what: &'static str },
 }
 
 impl fmt::Display for ModelError {
@@ -67,6 +75,15 @@ impl fmt::Display for ModelError {
                  (Assumption 1); enable splitting or reroute"
             ),
             ModelError::EmptyFlowSet => write!(f, "flow set must contain at least one flow"),
+            ModelError::AllFlowsDropped => {
+                write!(f, "fault scenario disconnects every flow in the set")
+            }
+            ModelError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
+            ModelError::ArithmeticOverflow { what } => {
+                write!(f, "i64 overflow while computing {what}")
+            }
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Deterministic example flow sets, starting with the paper's §5 example.
 
+use crate::error::ModelError;
 use crate::flow::{SporadicFlow, TrafficClass};
 use crate::flowset::FlowSet;
 use crate::network::Network;
@@ -15,7 +16,16 @@ use crate::path::Path;
 ///   `P1 = [1,3,4,5]`, `P2 = [9,10,7,6]`, `P3 = P4 = [2,3,4,7,10,11]`,
 ///   `P5 = [2,3,4,7,8]`.
 pub fn paper_example() -> FlowSet {
-    let network = Network::uniform(11, 1, 1).expect("static example");
+    // The parameters are compile-time constants satisfying every model
+    // invariant, so the fallible constructors cannot fail here.
+    match build_paper_example() {
+        Ok(set) => set,
+        Err(e) => unreachable!("static example invalid: {e}"),
+    }
+}
+
+fn build_paper_example() -> Result<FlowSet, ModelError> {
+    let network = Network::uniform(11, 1, 1)?;
     let spec: &[(u32, &[u32], i64)] = &[
         (1, &[1, 3, 4, 5], 40),
         (2, &[9, 10, 7, 6], 45),
@@ -23,21 +33,18 @@ pub fn paper_example() -> FlowSet {
         (4, &[2, 3, 4, 7, 10, 11], 55),
         (5, &[2, 3, 4, 7, 8], 50),
     ];
-    let flows = spec
-        .iter()
-        .map(|&(id, path, d)| {
-            SporadicFlow::uniform(
-                id,
-                Path::from_ids(path.iter().copied()).expect("static example"),
-                36,
-                4,
-                0,
-                d,
-            )
-            .expect("static example")
-        })
-        .collect();
-    FlowSet::new(network, flows).expect("static example")
+    let mut flows = Vec::with_capacity(spec.len());
+    for &(id, path, d) in spec {
+        flows.push(SporadicFlow::uniform(
+            id,
+            Path::from_ids(path.iter().copied())?,
+            36,
+            4,
+            0,
+            d,
+        )?);
+    }
+    FlowSet::new(network, flows)
 }
 
 /// The paper's end-to-end response times of Table 2 for reference
@@ -56,19 +63,19 @@ pub const PAPER_TABLE1_DEADLINES: [i64; 5] = [40, 45, 55, 55, 50];
 /// [`paper_example`] plus best-effort cross traffic with large packets on
 /// every node, exercising the non-preemption term of Lemma 4.
 ///
-/// `be_cost` is the transmission time of the largest non-EF packet.
-pub fn paper_example_with_best_effort(be_cost: i64) -> FlowSet {
+/// `be_cost` is the transmission time of the largest non-EF packet; it
+/// must be positive.
+pub fn paper_example_with_best_effort(be_cost: i64) -> Result<FlowSet, ModelError> {
     let base = paper_example();
     let mut flows: Vec<SporadicFlow> = base.flows().to_vec();
     // One BE flow per EF path, same route, long period, large packets.
     for (next_id, ef) in (100..).zip(base.flows()) {
-        let be = SporadicFlow::uniform(next_id, ef.path.clone(), 10_000, be_cost, 0, 1_000_000)
-            .expect("static example")
+        let be = SporadicFlow::uniform(next_id, ef.path.clone(), 10_000, be_cost, 0, 1_000_000)?
             .with_class(TrafficClass::BestEffort)
             .named(format!("be_{}", next_id));
         flows.push(be);
     }
-    FlowSet::new(base.network().clone(), flows).expect("static example")
+    FlowSet::new(base.network().clone(), flows)
 }
 
 /// A simple line topology: `n_flows` flows all traversing the same chain
@@ -81,16 +88,21 @@ pub fn line_topology(
     cost: i64,
     lmin: i64,
     lmax: i64,
-) -> FlowSet {
-    let network = Network::uniform(hops, lmin, lmax).expect("line topology");
-    let path = Path::from_ids(1..=hops).expect("line topology");
-    let flows = (1..=n_flows)
-        .map(|id| {
-            SporadicFlow::uniform(id, path.clone(), period, cost, 0, i64::MAX / 4)
-                .expect("line topology")
-        })
-        .collect();
-    FlowSet::new(network, flows).expect("line topology")
+) -> Result<FlowSet, ModelError> {
+    let network = Network::uniform(hops, lmin, lmax)?;
+    let path = Path::from_ids(1..=hops)?;
+    let mut flows = Vec::with_capacity(n_flows as usize);
+    for id in 1..=n_flows {
+        flows.push(SporadicFlow::uniform(
+            id,
+            path.clone(),
+            period,
+            cost,
+            0,
+            i64::MAX / 4,
+        )?);
+    }
+    FlowSet::new(network, flows)
 }
 
 #[cfg(test)]
@@ -115,7 +127,7 @@ mod tests {
 
     #[test]
     fn best_effort_variant_partitions_classes() {
-        let s = paper_example_with_best_effort(9);
+        let s = paper_example_with_best_effort(9).unwrap();
         assert_eq!(s.ef_flows().count(), 5);
         assert_eq!(s.non_ef_flows().count(), 5);
         for be in s.non_ef_flows() {
@@ -125,7 +137,7 @@ mod tests {
 
     #[test]
     fn line_topology_utilisation() {
-        let s = line_topology(6, 4, 60, 5, 1, 2);
+        let s = line_topology(6, 4, 60, 5, 1, 2).unwrap();
         assert_eq!(s.len(), 6);
         assert!((s.max_utilisation() - 0.5).abs() < 1e-12);
     }

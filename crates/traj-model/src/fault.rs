@@ -1,0 +1,610 @@
+//! Fault scenarios: link/node failures with deterministic rerouting.
+//!
+//! The paper analyses a fixed, healthy topology; a production admission
+//! system must also answer "which flows still meet their deadlines if
+//! link `h → h'` fails?". This module supplies the model half of that
+//! survivability story: a [`FaultScenario`] applied to a [`FlowSet`]
+//! yields a [`DegradedSet`] — an **index-stable** copy of the set in
+//! which every flow is classified ([`FlowFate`]) as untouched, rerouted
+//! over the shortest surviving route, or dropped (disconnected), plus
+//! the structured diff the incremental re-analysis consumes.
+//!
+//! ## Routable topology
+//!
+//! [`Network`](crate::Network) stores delay bounds, not adjacency; the
+//! links that exist are exactly those traversed by some healthy flow
+//! path (source routing over provisioned links). Rerouting therefore
+//! searches the union of directed links of all healthy paths, minus the
+//! failed elements.
+//!
+//! ## Determinism
+//!
+//! Rerouting is breadth-first by hop count with neighbours explored in
+//! ascending [`NodeId`] order, so the replacement route is unique and
+//! reproducible: the lexicographically-first shortest path.
+//!
+//! ## Index stability
+//!
+//! The degraded set keeps **all** flows of the healthy set, in the same
+//! order and with the same ids; dropped flows keep their healthy path
+//! and are excluded from analysis through the alive mask
+//! ([`DegradedSet::universe`]). This is what lets the incremental
+//! re-analysis reuse the healthy interference structure cell-for-cell.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::assumption::first_reentry;
+use crate::error::ModelError;
+use crate::flow::SporadicFlow;
+use crate::flowset::FlowSet;
+use crate::network::NodeId;
+use crate::path::Path;
+
+/// One failed network element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The directed link `from → to` stops forwarding.
+    LinkDown {
+        /// Upstream endpoint.
+        from: NodeId,
+        /// Downstream endpoint.
+        to: NodeId,
+    },
+    /// A node stops processing; all its incident links fail with it.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+    },
+}
+
+/// A set of simultaneous failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// The failed elements (order-insensitive).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultScenario {
+    /// A scenario from an explicit fault list.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultScenario { faults }
+    }
+
+    /// Single-link-failure scenario.
+    pub fn link_down(from: NodeId, to: NodeId) -> Self {
+        FaultScenario {
+            faults: vec![Fault::LinkDown { from, to }],
+        }
+    }
+
+    /// Single-node-failure scenario.
+    pub fn node_down(node: NodeId) -> Self {
+        FaultScenario {
+            faults: vec![Fault::NodeDown { node }],
+        }
+    }
+
+    /// Whether `node` is failed by this scenario.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::NodeDown { node: n } if *n == node))
+    }
+
+    /// Whether the directed link `from → to` is failed (directly or via
+    /// either endpoint).
+    pub fn link_is_down(&self, from: NodeId, to: NodeId) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::LinkDown { from: a, to: b } => *a == from && *b == to,
+            Fault::NodeDown { node } => *node == from || *node == to,
+        })
+    }
+
+    /// Applies the scenario to a healthy flow set.
+    pub fn apply(&self, healthy: &FlowSet) -> Result<DegradedSet, ModelError> {
+        let topo = Topology::from_flow_paths(healthy);
+        let mut flows: Vec<SporadicFlow> = healthy.flows().to_vec();
+        let mut fates: Vec<FlowFate> = Vec::with_capacity(flows.len());
+
+        for f in healthy.flows() {
+            let affected = self.node_is_down(f.path.first())
+                || self.node_is_down(f.path.last())
+                || f.path.nodes().iter().any(|&n| self.node_is_down(n))
+                || f.path.links().any(|(a, b)| self.link_is_down(a, b));
+            if !affected {
+                fates.push(FlowFate::Untouched);
+                continue;
+            }
+            if self.node_is_down(f.path.first()) {
+                fates.push(FlowFate::Dropped {
+                    reason: DropReason::SourceFailed,
+                });
+                continue;
+            }
+            if self.node_is_down(f.path.last()) {
+                fates.push(FlowFate::Dropped {
+                    reason: DropReason::SinkFailed,
+                });
+                continue;
+            }
+            match topo.shortest_surviving_path(f.path.first(), f.path.last(), self) {
+                Some(nodes) if nodes == f.path.nodes() => fates.push(FlowFate::Untouched),
+                Some(nodes) => {
+                    let new_path = Path::new(nodes)?;
+                    fates.push(FlowFate::Rerouted { new_path });
+                }
+                None => fates.push(FlowFate::Dropped {
+                    reason: DropReason::NoRoute,
+                }),
+            }
+        }
+
+        // Materialise rerouted flows: keep the healthy per-node cost on
+        // nodes the flow already visited, charge the flow's largest cost
+        // on newly visited nodes (conservative).
+        for (f, fate) in flows.iter_mut().zip(&fates) {
+            if let FlowFate::Rerouted { new_path } = fate {
+                let costs: Vec<i64> = new_path
+                    .nodes()
+                    .iter()
+                    .map(|&n| {
+                        if f.path.visits(n) {
+                            f.cost_at(n)
+                        } else {
+                            f.max_cost()
+                        }
+                    })
+                    .collect();
+                let rerouted = SporadicFlow::with_costs(
+                    f.id.0,
+                    new_path.clone(),
+                    f.period,
+                    costs,
+                    f.jitter,
+                    f.deadline,
+                )?
+                .named(f.name.clone())
+                .with_class(f.class);
+                *f = rerouted;
+            }
+        }
+
+        // Rerouted paths can violate Assumption 1 against other live
+        // flows (leave-and-rejoin). The analysis is only defined under
+        // the assumption, so offending *rerouted* flows are dropped;
+        // pairs of untouched flows were compliant in the healthy set and
+        // are skipped (their compliance is the caller's invariant).
+        loop {
+            let mut dropped_someone = false;
+            'scan: for oi in 0..flows.len() {
+                if !fates[oi].is_alive() {
+                    continue;
+                }
+                for ci in 0..flows.len() {
+                    if oi == ci || !fates[ci].is_alive() {
+                        continue;
+                    }
+                    if matches!(fates[oi], FlowFate::Untouched)
+                        && matches!(fates[ci], FlowFate::Untouched)
+                    {
+                        continue;
+                    }
+                    if first_reentry(&flows[oi], &flows[ci]).is_some() {
+                        let victim = if matches!(fates[ci], FlowFate::Rerouted { .. }) {
+                            ci
+                        } else {
+                            oi
+                        };
+                        flows[victim] = healthy.flows()[victim].clone();
+                        fates[victim] = FlowFate::Dropped {
+                            reason: DropReason::ReentrantReroute,
+                        };
+                        dropped_someone = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !dropped_someone {
+                break;
+            }
+        }
+
+        let set = healthy.with_flows(flows)?;
+        Ok(DegradedSet {
+            set,
+            fates,
+            scenario: self.clone(),
+        })
+    }
+}
+
+/// Why a flow was dropped by a fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The flow's ingress node failed.
+    SourceFailed,
+    /// The flow's egress node failed.
+    SinkFailed,
+    /// No surviving route connects source to sink.
+    NoRoute,
+    /// Every surviving route violates Assumption 1 against a live flow.
+    ReentrantReroute,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DropReason::SourceFailed => "source node failed",
+            DropReason::SinkFailed => "sink node failed",
+            DropReason::NoRoute => "no surviving route",
+            DropReason::ReentrantReroute => "reroute violates Assumption 1",
+        })
+    }
+}
+
+/// What happened to one flow under a fault scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowFate {
+    /// The flow's path avoids every failed element.
+    Untouched,
+    /// The flow was moved to the shortest surviving route.
+    Rerouted {
+        /// The replacement route.
+        new_path: Path,
+    },
+    /// The flow cannot be carried any more.
+    Dropped {
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+}
+
+impl FlowFate {
+    /// Whether the flow still runs after the fault.
+    pub fn is_alive(&self) -> bool {
+        !matches!(self, FlowFate::Dropped { .. })
+    }
+}
+
+/// The degraded flow set plus the structured per-flow diff.
+#[derive(Debug, Clone)]
+pub struct DegradedSet {
+    /// Index-stable degraded set: same flows, same order, same ids as
+    /// the healthy set; rerouted flows carry their new path, dropped
+    /// flows keep the healthy path and must be masked out of analysis
+    /// via [`Self::universe`].
+    pub set: FlowSet,
+    /// Fate of each flow, aligned with `set.flows()`.
+    pub fates: Vec<FlowFate>,
+    /// The scenario that produced this set.
+    pub scenario: FaultScenario,
+}
+
+impl DegradedSet {
+    /// Alive mask aligned with the flow order (`true` = still running).
+    pub fn universe(&self) -> Vec<bool> {
+        self.fates.iter().map(|f| f.is_alive()).collect()
+    }
+
+    /// Whether the flow at `idx` survived.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.fates.get(idx).map(|f| f.is_alive()).unwrap_or(false)
+    }
+
+    /// Indices of flows whose path changed.
+    pub fn rerouted(&self) -> Vec<usize> {
+        self.fates
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, FlowFate::Rerouted { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of dropped flows.
+    pub fn dropped(&self) -> Vec<usize> {
+        self.fates
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_alive())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of untouched flows.
+    pub fn untouched_count(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| matches!(f, FlowFate::Untouched))
+            .count()
+    }
+
+    /// A standalone flow set of only the surviving flows (for
+    /// simulation); errors when the scenario dropped every flow. Note
+    /// the indices differ from the degraded set — map by [`FlowId`]
+    /// (`crate::FlowId`).
+    pub fn surviving_set(&self) -> Result<FlowSet, ModelError> {
+        let alive: Vec<SporadicFlow> = self
+            .set
+            .flows()
+            .iter()
+            .zip(&self.fates)
+            .filter(|(_, fate)| fate.is_alive())
+            .map(|(f, _)| f.clone())
+            .collect();
+        if alive.is_empty() {
+            return Err(ModelError::AllFlowsDropped);
+        }
+        FlowSet::new_with_cache(
+            self.set.network().clone(),
+            alive,
+            self.set.relation_cache().clone(),
+        )
+    }
+}
+
+/// Directed adjacency over the provisioned links.
+struct Topology {
+    /// Sorted successor lists keyed by node (sorted keys, sorted values:
+    /// determinism of the BFS below).
+    succ: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl Topology {
+    fn from_flow_paths(set: &FlowSet) -> Self {
+        let mut succ: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for f in set.flows() {
+            for (a, b) in f.path.links() {
+                succ.entry(a).or_default().insert(b);
+            }
+        }
+        Topology { succ }
+    }
+
+    /// Breadth-first shortest path by hop count from `src` to `dst`
+    /// avoiding failed elements; neighbours are explored in ascending
+    /// `NodeId` order, so the result is the deterministic
+    /// lexicographically-first shortest route. `None` when disconnected.
+    fn shortest_surviving_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        scenario: &FaultScenario,
+    ) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        parent.insert(src, src);
+        while let Some(u) = queue.pop_front() {
+            if let Some(nexts) = self.succ.get(&u) {
+                for &v in nexts {
+                    if parent.contains_key(&v)
+                        || scenario.node_is_down(v)
+                        || scenario.link_is_down(u, v)
+                    {
+                        continue;
+                    }
+                    parent.insert(v, u);
+                    if v == dst {
+                        let mut rev = vec![v];
+                        let mut cur = v;
+                        while cur != src {
+                            cur = parent[&cur];
+                            rev.push(cur);
+                        }
+                        rev.reverse();
+                        return Some(rev);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_example;
+    use crate::flow::FlowId;
+
+    #[test]
+    fn empty_scenario_touches_nothing() {
+        let set = paper_example();
+        let d = FaultScenario::default().apply(&set).unwrap();
+        assert_eq!(d.untouched_count(), set.len());
+        assert!(d.rerouted().is_empty());
+        assert!(d.dropped().is_empty());
+        assert_eq!(d.universe(), vec![true; set.len()]);
+        for (a, b) in set.flows().iter().zip(d.set.flows()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn source_and_sink_failures_drop_the_flow() {
+        let set = paper_example();
+        // Node 1 is tau_1's source and on no other path.
+        let d = FaultScenario::node_down(NodeId(1)).apply(&set).unwrap();
+        assert_eq!(
+            d.fates[0],
+            FlowFate::Dropped {
+                reason: DropReason::SourceFailed
+            }
+        );
+        assert_eq!(d.untouched_count(), 4);
+        // Node 5 is tau_1's sink.
+        let d = FaultScenario::node_down(NodeId(5)).apply(&set).unwrap();
+        assert_eq!(
+            d.fates[0],
+            FlowFate::Dropped {
+                reason: DropReason::SinkFailed
+            }
+        );
+    }
+
+    #[test]
+    fn link_failure_reroutes_over_surviving_links() {
+        let set = paper_example();
+        // P3 = P4 = [2,3,4,7,10,11]; killing 4→7 severs them unless the
+        // union topology offers a detour. Links available include
+        // 3→4 (P1, P3..), 4→5 (P1), 9→10, 10→7, 7→6 (P2), 7→8 (P5),
+        // 10→11 (P3/P4), 7→10 (P3/P4). From 4 without 4→7, the only
+        // successor is 5, a dead end: tau_3/tau_4 are dropped.
+        let d = FaultScenario::link_down(NodeId(4), NodeId(7))
+            .apply(&set)
+            .unwrap();
+        assert_eq!(
+            d.fates[2],
+            FlowFate::Dropped {
+                reason: DropReason::NoRoute
+            }
+        );
+        assert_eq!(d.fates[3], d.fates[2]);
+        assert_eq!(d.fates[4], d.fates[2], "tau_5 also crosses 4→7");
+        assert!(matches!(d.fates[0], FlowFate::Untouched));
+        assert!(matches!(d.fates[1], FlowFate::Untouched));
+        // Index stability: same ids in the same order.
+        for (a, b) in set.flows().iter().zip(d.set.flows()) {
+            assert_eq!(a.id, b.id);
+        }
+        let survivors = d.surviving_set().unwrap();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors.flows()[0].id, FlowId(1));
+    }
+
+    #[test]
+    fn reroute_finds_the_detour() {
+        // A diamond: flows provision 1→2→4 and 1→3→4 (plus a carrier on
+        // each). Killing 2 reroutes the 1→2→4 flow onto 1→3→4.
+        let network = crate::network::Network::uniform(4, 1, 1).unwrap();
+        let f = |id, ids: &[u32]| {
+            SporadicFlow::uniform(
+                id,
+                Path::from_ids(ids.iter().copied()).unwrap(),
+                100,
+                2,
+                0,
+                1000,
+            )
+            .unwrap()
+        };
+        let set = FlowSet::new(network, vec![f(1, &[1, 2, 4]), f(2, &[1, 3, 4])]).unwrap();
+        let d = FaultScenario::node_down(NodeId(2)).apply(&set).unwrap();
+        match &d.fates[0] {
+            FlowFate::Rerouted { new_path } => {
+                assert_eq!(
+                    new_path.nodes(),
+                    &[NodeId(1), NodeId(3), NodeId(4)],
+                    "shortest surviving route"
+                );
+            }
+            other => panic!("expected reroute, got {other:?}"),
+        }
+        assert!(matches!(d.fates[1], FlowFate::Untouched));
+        // The rerouted flow keeps its id, period, and deadline.
+        assert_eq!(d.set.flows()[0].id, FlowId(1));
+        assert_eq!(d.set.flows()[0].period, 100);
+    }
+
+    #[test]
+    fn rerouting_is_deterministic_and_hop_minimal() {
+        // Two equal-length detours 1→2→5 and 1→3→5 after killing 1→4→5;
+        // ascending NodeId exploration must pick node 2.
+        let network = crate::network::Network::uniform(5, 1, 1).unwrap();
+        let f = |id, ids: &[u32]| {
+            SporadicFlow::uniform(
+                id,
+                Path::from_ids(ids.iter().copied()).unwrap(),
+                100,
+                2,
+                0,
+                1000,
+            )
+            .unwrap()
+        };
+        // Detour links are provisioned by single-link carrier flows so
+        // no healthy pair shares more than one node (Assumption 1).
+        let set = FlowSet::new(
+            network,
+            vec![
+                f(1, &[1, 4, 5]),
+                f(2, &[1, 2]),
+                f(3, &[2, 5]),
+                f(4, &[1, 3]),
+                f(5, &[3, 5]),
+                f(6, &[4, 5]),
+            ],
+        )
+        .unwrap();
+        let d = FaultScenario::node_down(NodeId(4)).apply(&set).unwrap();
+        match &d.fates[0] {
+            FlowFate::Rerouted { new_path } => {
+                assert_eq!(new_path.nodes(), &[NodeId(1), NodeId(2), NodeId(5)]);
+            }
+            other => panic!("expected reroute, got {other:?}"),
+        }
+        // The flow that only used 4→5 loses its source.
+        assert_eq!(
+            d.fates[5],
+            FlowFate::Dropped {
+                reason: DropReason::SourceFailed
+            }
+        );
+    }
+
+    #[test]
+    fn rerouted_costs_are_conservative() {
+        let network = crate::network::Network::uniform(4, 1, 1).unwrap();
+        let heavy = SporadicFlow::with_costs(
+            1,
+            Path::from_ids([1, 2, 4]).unwrap(),
+            100,
+            vec![2, 9, 3],
+            0,
+            1000,
+        )
+        .unwrap();
+        let carrier =
+            SporadicFlow::uniform(2, Path::from_ids([1, 3, 4]).unwrap(), 100, 1, 0, 1000).unwrap();
+        let set = FlowSet::new(network, vec![heavy, carrier]).unwrap();
+        let d = FaultScenario::node_down(NodeId(2)).apply(&set).unwrap();
+        let r = &d.set.flows()[0];
+        // Kept nodes keep their healthy cost; the new node 3 is charged
+        // the flow's largest cost (9).
+        assert_eq!(r.cost_at(NodeId(1)), 2);
+        assert_eq!(r.cost_at(NodeId(3)), 9);
+        assert_eq!(r.cost_at(NodeId(4)), 3);
+    }
+
+    #[test]
+    fn all_flows_dropped_is_reported_by_surviving_set() {
+        let set = crate::examples::line_topology(2, 3, 100, 4, 1, 1).unwrap();
+        let d = FaultScenario::node_down(NodeId(1)).apply(&set).unwrap();
+        assert!(d.dropped().len() == 2);
+        assert_eq!(d.surviving_set().unwrap_err(), ModelError::AllFlowsDropped);
+    }
+
+    #[test]
+    fn multi_fault_scenarios_compose() {
+        let set = paper_example();
+        let d = FaultScenario::new(vec![
+            Fault::NodeDown { node: NodeId(1) },
+            Fault::LinkDown {
+                from: NodeId(9),
+                to: NodeId(10),
+            },
+        ])
+        .apply(&set)
+        .unwrap();
+        assert!(!d.is_alive(0), "tau_1 lost its source");
+        assert!(!d.is_alive(1), "tau_2 lost 9→10 with no detour from 9");
+        assert!(d.is_alive(2) && d.is_alive(3) && d.is_alive(4));
+    }
+}

@@ -169,19 +169,16 @@ impl SporadicFlow {
         &self.costs
     }
 
-    /// `Cᵢ^{slowᵢ}`: the largest per-node cost along the path.
+    /// `Cᵢ^{slowᵢ}`: the largest per-node cost along the path. Paths are
+    /// non-empty by construction, so the fallback of `0` is unreachable.
     pub fn max_cost(&self) -> Duration {
-        *self.costs.iter().max().expect("paths are non-empty")
+        self.costs.iter().copied().max().unwrap_or(0)
     }
 
     /// `slowᵢ`: the slowest node visited (first of the maxima).
     pub fn slow_node(&self) -> NodeId {
         let max = self.max_cost();
-        let idx = self
-            .costs
-            .iter()
-            .position(|&c| c == max)
-            .expect("max exists");
+        let idx = self.costs.iter().position(|&c| c == max).unwrap_or(0);
         self.path.nodes()[idx]
     }
 

@@ -59,11 +59,16 @@ impl CrossingSegment {
     /// The segment's entry node in the reference path's order
     /// (`first_{i,j}` of the virtual flow).
     pub fn entry_in_path_order(&self, path: &Path) -> NodeId {
+        // Segment nodes lie on the path by construction; nodes off the
+        // path (impossible) simply lose the min, and the first node is a
+        // correct answer for the degenerate single-node segment.
         self.nodes
             .iter()
             .copied()
-            .min_by_key(|n| path.index_of(*n).expect("segment nodes lie on the path"))
-            .expect("segments are non-empty")
+            .filter_map(|n| path.index_of(n).map(|i| (i, n)))
+            .min_by_key(|&(i, _)| i)
+            .map(|(_, n)| n)
+            .unwrap_or(self.nodes[0])
     }
 
     /// Whether the segment contains `node`.

@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::ModelError;
 use crate::flow::SporadicFlow;
 use crate::flowset::FlowSet;
 use crate::network::Network;
@@ -56,9 +57,9 @@ impl Default for MeshParams {
 /// random loop-free node sequence (any sequence is a route under source
 /// routing). Deadlines are set generously (`5 * transit upper bound`) so
 /// generated sets exercise the analysis rather than trivially failing.
-pub fn random_mesh(seed: u64, p: &MeshParams) -> FlowSet {
+pub fn random_mesh(seed: u64, p: &MeshParams) -> Result<FlowSet, ModelError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let network = Network::uniform(p.nodes, p.lmin, p.lmax).expect("valid params");
+    let network = Network::uniform(p.nodes, p.lmin, p.lmax)?;
     let mut flows = Vec::with_capacity(p.flows as usize);
     let mut util = vec![0.0f64; p.nodes as usize + 1];
     let mut id = 1u32;
@@ -90,44 +91,50 @@ pub fn random_mesh(seed: u64, p: &MeshParams) -> FlowSet {
         for &n in &nodes {
             util[n as usize] += du;
         }
-        let path = Path::from_ids(nodes).expect("distinct nodes");
+        let path = Path::from_ids(nodes)?;
         let transit: i64 = (cost + p.lmax) * len as i64;
         let deadline = transit * 5;
-        let flow =
-            SporadicFlow::uniform(id, path, period, cost, jitter, deadline).expect("valid params");
+        let flow = SporadicFlow::uniform(id, path, period, cost, jitter, deadline)?;
         flows.push(flow);
         id += 1;
     }
-    assert!(
-        !flows.is_empty(),
-        "generator produced no flow; relax max_utilisation"
-    );
-    FlowSet::new(network, flows).expect("generated flows are valid")
+    // An over-tight utilisation cap can reject every candidate flow.
+    FlowSet::new(network, flows)
 }
 
 /// A "parking lot" topology: `n_cross` flows each join a shared trunk of
 /// `trunk_len` nodes at a random position and stay until the sink — the
 /// classic worst case for holistic pessimism (jitter accumulates along the
 /// trunk). All crossings are same-direction by construction.
-pub fn parking_lot(seed: u64, n_cross: u32, trunk_len: u32, period: i64, cost: i64) -> FlowSet {
-    assert!(trunk_len >= 2);
+pub fn parking_lot(
+    seed: u64,
+    n_cross: u32,
+    trunk_len: u32,
+    period: i64,
+    cost: i64,
+) -> Result<FlowSet, ModelError> {
+    if trunk_len < 2 {
+        return Err(ModelError::NonPositive {
+            what: "trunk length - 1",
+            value: trunk_len as i64 - 1,
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     // Nodes 1..=trunk_len form the trunk; nodes trunk_len+1.. are sources.
     let total_nodes = trunk_len + n_cross;
-    let network = Network::uniform(total_nodes, 1, 1).expect("valid");
+    let network = Network::uniform(total_nodes, 1, 1)?;
     let mut flows = Vec::new();
     // The observed flow traverses the full trunk.
     let trunk: Vec<u32> = (1..=trunk_len).collect();
     flows.push(
         SporadicFlow::uniform(
             1,
-            Path::from_ids(trunk.iter().copied()).unwrap(),
+            Path::from_ids(trunk.iter().copied())?,
             period,
             cost,
             0,
             i64::MAX / 4,
-        )
-        .unwrap()
+        )?
         .named("observed"),
     );
     for k in 0..n_cross {
@@ -135,28 +142,36 @@ pub fn parking_lot(seed: u64, n_cross: u32, trunk_len: u32, period: i64, cost: i
         let src = trunk_len + 1 + k;
         let mut nodes = vec![src];
         nodes.extend(join..=trunk_len);
-        flows.push(
-            SporadicFlow::uniform(
-                2 + k,
-                Path::from_ids(nodes).unwrap(),
-                period,
-                cost,
-                0,
-                i64::MAX / 4,
-            )
-            .unwrap(),
-        );
+        flows.push(SporadicFlow::uniform(
+            2 + k,
+            Path::from_ids(nodes)?,
+            period,
+            cost,
+            0,
+            i64::MAX / 4,
+        )?);
     }
-    FlowSet::new(network, flows).expect("generated flows are valid")
+    FlowSet::new(network, flows)
 }
 
 /// A bidirectional line: `n_fwd` flows traverse nodes `1..=len` forward,
 /// `n_rev` flows traverse them backward — every forward/backward pair
 /// crosses in *reverse* direction at every shared node, the hardest case
 /// for the `A_{i,j}` accounting (paper Figure 1, case 2).
-pub fn bidirectional_line(n_fwd: u32, n_rev: u32, len: u32, period: i64, cost: i64) -> FlowSet {
-    assert!(len >= 2);
-    let network = Network::uniform(len, 1, 1).expect("valid");
+pub fn bidirectional_line(
+    n_fwd: u32,
+    n_rev: u32,
+    len: u32,
+    period: i64,
+    cost: i64,
+) -> Result<FlowSet, ModelError> {
+    if len < 2 {
+        return Err(ModelError::NonPositive {
+            what: "line length - 1",
+            value: len as i64 - 1,
+        });
+    }
+    let network = Network::uniform(len, 1, 1)?;
     let fwd: Vec<u32> = (1..=len).collect();
     let rev: Vec<u32> = (1..=len).rev().collect();
     let mut flows = Vec::new();
@@ -164,13 +179,12 @@ pub fn bidirectional_line(n_fwd: u32, n_rev: u32, len: u32, period: i64, cost: i
         flows.push(
             SporadicFlow::uniform(
                 1 + k,
-                Path::from_ids(fwd.iter().copied()).unwrap(),
+                Path::from_ids(fwd.iter().copied())?,
                 period,
                 cost,
                 0,
                 i64::MAX / 4,
-            )
-            .unwrap()
+            )?
             .named(format!("fwd_{k}")),
         );
     }
@@ -178,43 +192,42 @@ pub fn bidirectional_line(n_fwd: u32, n_rev: u32, len: u32, period: i64, cost: i
         flows.push(
             SporadicFlow::uniform(
                 100 + k,
-                Path::from_ids(rev.iter().copied()).unwrap(),
+                Path::from_ids(rev.iter().copied())?,
                 period,
                 cost,
                 0,
                 i64::MAX / 4,
-            )
-            .unwrap()
+            )?
             .named(format!("rev_{k}")),
         );
     }
-    FlowSet::new(network, flows).expect("generated flows are valid")
+    FlowSet::new(network, flows)
 }
 
 /// A star: `n_arms` flows, each entering through its own edge node,
 /// crossing the shared hub, and leaving through its own egress node.
 /// Every pairwise crossing is the degenerate single-node case.
-pub fn star(n_arms: u32, period: i64, cost: i64) -> FlowSet {
-    assert!(n_arms >= 1);
+pub fn star(n_arms: u32, period: i64, cost: i64) -> Result<FlowSet, ModelError> {
+    if n_arms < 1 {
+        return Err(ModelError::EmptyFlowSet);
+    }
     let hub = 1u32;
     let total = 1 + 2 * n_arms;
-    let network = Network::uniform(total, 1, 1).expect("valid");
-    let flows = (0..n_arms)
-        .map(|k| {
-            let ingress = 2 + 2 * k;
-            let egress = 3 + 2 * k;
-            SporadicFlow::uniform(
-                1 + k,
-                Path::from_ids([ingress, hub, egress]).unwrap(),
-                period,
-                cost,
-                0,
-                i64::MAX / 4,
-            )
-            .unwrap()
-        })
-        .collect();
-    FlowSet::new(network, flows).expect("generated flows are valid")
+    let network = Network::uniform(total, 1, 1)?;
+    let mut flows = Vec::with_capacity(n_arms as usize);
+    for k in 0..n_arms {
+        let ingress = 2 + 2 * k;
+        let egress = 3 + 2 * k;
+        flows.push(SporadicFlow::uniform(
+            1 + k,
+            Path::from_ids([ingress, hub, egress])?,
+            period,
+            cost,
+            0,
+            i64::MAX / 4,
+        )?);
+    }
+    FlowSet::new(network, flows)
 }
 
 #[cfg(test)]
@@ -225,13 +238,13 @@ mod tests {
     #[test]
     fn random_mesh_is_deterministic_per_seed() {
         let p = MeshParams::default();
-        let a = random_mesh(7, &p);
-        let b = random_mesh(7, &p);
+        let a = random_mesh(7, &p).unwrap();
+        let b = random_mesh(7, &p).unwrap();
         assert_eq!(a.len(), b.len());
         for (fa, fb) in a.flows().iter().zip(b.flows()) {
             assert_eq!(fa, fb);
         }
-        let c = random_mesh(8, &p);
+        let c = random_mesh(8, &p).unwrap();
         // Different seed almost surely differs.
         assert!(a.flows() != c.flows() || a.len() != c.len());
     }
@@ -243,13 +256,13 @@ mod tests {
             flows: 30,
             ..Default::default()
         };
-        let s = random_mesh(3, &p);
+        let s = random_mesh(3, &p).unwrap();
         assert!(s.max_utilisation() <= 0.5 + 1e-9);
     }
 
     #[test]
     fn bidirectional_line_is_reverse_heavy() {
-        let s = bidirectional_line(2, 2, 4, 100, 3);
+        let s = bidirectional_line(2, 2, 4, 100, 3).unwrap();
         assert_eq!(s.len(), 4);
         assert!(
             violations(&s).is_empty(),
@@ -265,7 +278,7 @@ mod tests {
 
     #[test]
     fn star_crossings_are_degenerate_same_direction() {
-        let s = star(4, 100, 3);
+        let s = star(4, 100, 3).unwrap();
         assert_eq!(s.len(), 4);
         let p0 = s.flows()[0].path.clone();
         for f in &s.flows()[1..] {
@@ -276,7 +289,7 @@ mod tests {
 
     #[test]
     fn parking_lot_is_assumption1_compliant() {
-        let s = parking_lot(11, 6, 5, 100, 3);
+        let s = parking_lot(11, 6, 5, 100, 3).unwrap();
         assert_eq!(s.len(), 7);
         assert!(violations(&s).is_empty());
         // Every crossing flow is same-direction w.r.t. the observed trunk.

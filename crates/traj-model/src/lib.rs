@@ -23,6 +23,7 @@
 pub mod assumption;
 pub mod error;
 pub mod examples;
+pub mod fault;
 pub mod flow;
 pub mod flowset;
 pub mod gen;
@@ -31,10 +32,13 @@ pub mod path;
 pub mod time;
 
 pub use error::ModelError;
+pub use fault::{DegradedSet, DropReason, Fault, FaultScenario, FlowFate};
 pub use flow::{FlowId, SporadicFlow};
 pub use flowset::{
     CrossDirection, CrossingSegment, FlowSet, MinConvention, RelationCache, SminMode,
 };
 pub use network::{LinkDelay, Network, NodeId};
 pub use path::Path;
-pub use time::{ceil_div, floor_div, plus_one_floor, Duration, Tick};
+pub use time::{
+    ceil_div, checked_ceil_div, checked_plus_one_floor, floor_div, plus_one_floor, Duration, Tick,
+};

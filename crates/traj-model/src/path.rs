@@ -58,7 +58,7 @@ impl Path {
 
     /// `lastᵢ`: egress node.
     pub fn last(&self) -> NodeId {
-        *self.nodes.last().expect("paths are non-empty")
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// Position of `node` on the path, if visited.

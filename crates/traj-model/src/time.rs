@@ -71,6 +71,26 @@ pub fn plus_one_floor(a: i64, b: i64) -> i64 {
     (1 + floor_div(a, b)).max(0)
 }
 
+/// Checked variant of [`plus_one_floor`]: `None` when `1 + ⌊a/b⌋`
+/// overflows (only possible for `a` close to `i64::MAX` with `b = 1`).
+#[inline]
+pub fn checked_plus_one_floor(a: i64, b: i64) -> Option<i64> {
+    floor_div(a, b).checked_add(1).map(|v| v.max(0))
+}
+
+/// Checked variant of [`ceil_div`]: `None` when the rounding adjustment
+/// overflows.
+#[inline]
+pub fn checked_ceil_div(a: i64, b: i64) -> Option<i64> {
+    debug_assert!(b > 0, "ceil_div requires a positive divisor");
+    let q = a / b;
+    if a % b != 0 && (a > 0) == (b > 0) {
+        q.checked_add(1)
+    } else {
+        Some(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

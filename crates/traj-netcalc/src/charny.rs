@@ -133,7 +133,7 @@ mod tests {
     fn trajectory_beats_charny_below_the_threshold() {
         // A lightly-loaded shared line where the Charny bound exists:
         // H = 3, ν = 2·4/100 = 2/25 < 1/2.
-        let set = line_topology(2, 3, 100, 4, 1, 1);
+        let set = line_topology(2, 3, 100, 4, 1, 1).unwrap();
         let p = CharnyParams::from_flow_set(&set);
         assert!(p.utilisation < p.threshold().unwrap());
         let charny = charny_le_boudec_bound(&p).unwrap();
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn single_hop_degenerates_gracefully() {
-        let set = line_topology(2, 1, 10, 3, 1, 1);
+        let set = line_topology(2, 1, 10, 3, 1, 1).unwrap();
         let p = CharnyParams::from_flow_set(&set);
         assert_eq!(p.hops, 1);
         assert!(charny_le_boudec_bound(&p).is_some());

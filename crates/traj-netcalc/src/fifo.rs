@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn single_flow_line_pays_bursts_per_hop() {
-        let set = line_topology(1, 3, 100, 5, 1, 1);
+        let set = line_topology(1, 3, 100, 5, 1, 1).unwrap();
         let res = analyze_netcalc(&set);
         // Per-hop accumulation: burst 5 at node 1 (delay 5), then the
         // output burst inflates by rho*d and is quantised up: 6 at node 2,
@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn overload_yields_none() {
-        let set = line_topology(3, 2, 10, 5, 1, 1); // utilisation 1.5
+        let set = line_topology(3, 2, 10, 5, 1, 1).unwrap(); // utilisation 1.5
         let res = analyze_netcalc(&set);
         for r in res {
             assert_eq!(r.total, None);
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn burstiness_accumulates_along_the_path() {
         // With two flows sharing a line, per-node delays grow downstream.
-        let set = line_topology(2, 4, 50, 5, 1, 1);
+        let set = line_topology(2, 4, 50, 5, 1, 1).unwrap();
         let res = analyze_netcalc(&set);
         let d: Vec<Ratio> = res[0].per_node.iter().map(|(_, d)| *d).collect();
         assert!(d.last().unwrap() > d.first().unwrap());
@@ -209,7 +209,7 @@ mod tests {
     fn netcalc_is_more_pessimistic_than_trajectory_on_shared_lines() {
         // Multi-hop shared line: paying bursts at every hop must cost at
         // least as much as the trajectory bound.
-        let set = line_topology(4, 5, 100, 4, 1, 1);
+        let set = line_topology(4, 5, 100, 4, 1, 1).unwrap();
         let nc = analyze_netcalc(&set);
         let tr = traj_analysis::analyze_all(&set, &traj_analysis::AnalysisConfig::default());
         for (n, t) in nc.iter().zip(tr.bounds()) {

@@ -68,16 +68,58 @@ impl Ratio {
         self.den == 1
     }
 
-    /// `⌈self⌉` as an integer.
+    /// `⌈self⌉` as an integer, saturating at the `i64` range.
     pub fn ceil(&self) -> i64 {
         let q = self.num.div_euclid(self.den);
         let r = self.num.rem_euclid(self.den);
-        (if r == 0 { q } else { q + 1 }) as i64
+        saturate_i64(if r == 0 { q } else { q + 1 })
     }
 
-    /// `⌊self⌋` as an integer.
+    /// `⌊self⌋` as an integer, saturating at the `i64` range.
     pub fn floor(&self) -> i64 {
-        self.num.div_euclid(self.den) as i64
+        saturate_i64(self.num.div_euclid(self.den))
+    }
+
+    /// Builds `num / den` without panicking: `None` on a zero
+    /// denominator.
+    pub fn checked_new(num: i128, den: i128) -> Option<Ratio> {
+        if den == 0 {
+            None
+        } else {
+            Some(Ratio::new(num, den))
+        }
+    }
+
+    /// `self + o`, `None` on `i128` overflow.
+    pub fn checked_add(self, o: Ratio) -> Option<Ratio> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Some(Ratio::new(num, self.den.checked_mul(o.den)?))
+    }
+
+    /// `self - o`, `None` on `i128` overflow.
+    pub fn checked_sub(self, o: Ratio) -> Option<Ratio> {
+        self.checked_add(-o)
+    }
+
+    /// `self * o`, `None` on `i128` overflow. Cross-reduces first so
+    /// intermediate products stay as small as the result allows.
+    pub fn checked_mul(self, o: Ratio) -> Option<Ratio> {
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        let num = (self.num / g1).checked_mul(o.num / g2)?;
+        let den = (self.den / g2).checked_mul(o.den / g1)?;
+        Some(Ratio::new(num, den))
+    }
+
+    /// `self / o`, `None` on division by zero or `i128` overflow.
+    pub fn checked_div(self, o: Ratio) -> Option<Ratio> {
+        if o.num == 0 {
+            return None;
+        }
+        self.checked_mul(Ratio::new(o.den, o.num))
     }
 
     /// Approximate value for reporting.
@@ -95,24 +137,31 @@ impl Ratio {
     }
 }
 
+fn saturate_i64(v: i128) -> i64 {
+    i64::try_from(v).unwrap_or(if v < 0 { i64::MIN } else { i64::MAX })
+}
+
 impl Add for Ratio {
     type Output = Ratio;
     fn add(self, o: Ratio) -> Ratio {
-        Ratio::new(self.num * o.den + o.num * self.den, self.den * o.den)
+        self.checked_add(o)
+            .unwrap_or_else(|| unreachable!("rational overflow: {self} + {o} exceeds i128"))
     }
 }
 
 impl Sub for Ratio {
     type Output = Ratio;
     fn sub(self, o: Ratio) -> Ratio {
-        Ratio::new(self.num * o.den - o.num * self.den, self.den * o.den)
+        self.checked_sub(o)
+            .unwrap_or_else(|| unreachable!("rational overflow: {self} - {o} exceeds i128"))
     }
 }
 
 impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, o: Ratio) -> Ratio {
-        Ratio::new(self.num * o.num, self.den * o.den)
+        self.checked_mul(o)
+            .unwrap_or_else(|| unreachable!("rational overflow: {self} * {o} exceeds i128"))
     }
 }
 
@@ -120,7 +169,8 @@ impl Div for Ratio {
     type Output = Ratio;
     fn div(self, o: Ratio) -> Ratio {
         assert!(o.num != 0, "division by zero");
-        Ratio::new(self.num * o.den, self.den * o.num)
+        self.checked_div(o)
+            .unwrap_or_else(|| unreachable!("rational overflow: {self} / {o} exceeds i128"))
     }
 }
 
@@ -142,7 +192,15 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, o: &Ratio) -> Ordering {
-        (self.num * o.den).cmp(&(o.num * self.den))
+        // Cross products overflow only at astronomical magnitudes; fall
+        // back to the f64 approximation there instead of aborting.
+        match (self.num.checked_mul(o.den), o.num.checked_mul(self.den)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => self
+                .to_f64()
+                .partial_cmp(&o.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
     }
 }
 
@@ -192,6 +250,33 @@ mod tests {
     fn clamp() {
         assert_eq!(Ratio::new(-1, 2).clamp_nonneg(), Ratio::ZERO);
         assert_eq!(Ratio::new(1, 2).clamp_nonneg(), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn checked_ops_catch_i128_overflow() {
+        let huge = Ratio::new(i128::MAX, 1);
+        assert_eq!(huge.checked_mul(Ratio::int(2)), None);
+        assert_eq!(huge.checked_add(huge), None);
+        assert_eq!(Ratio::ONE.checked_div(Ratio::ZERO), None);
+        assert_eq!(Ratio::checked_new(1, 0), None);
+        // Cross-reduction keeps representable products exact.
+        let a = Ratio::new(i128::MAX, 3);
+        assert_eq!(a.checked_mul(Ratio::new(3, i128::MAX)), Some(Ratio::ONE));
+    }
+
+    #[test]
+    fn near_i64_max_values_saturate_not_wrap() {
+        let m = Ratio::int(i64::MAX);
+        // i64::MAX^2 fits in i128: exact arithmetic survives…
+        let sq = m * m;
+        assert_eq!(sq.num(), (i64::MAX as i128) * (i64::MAX as i128));
+        // …and the integer conversions saturate instead of wrapping.
+        assert_eq!(sq.ceil(), i64::MAX);
+        assert_eq!(sq.floor(), i64::MAX);
+        assert_eq!((-sq).floor(), i64::MIN);
+        assert_eq!(m.ceil(), i64::MAX);
+        // Comparison stays total even where cross products overflow.
+        assert!(Ratio::new(i128::MAX, 2) > Ratio::new(2, i128::MAX));
     }
 
     #[test]

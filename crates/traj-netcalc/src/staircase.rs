@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn node_delay_agrees_with_trajectory_on_single_node() {
         use traj_model::examples::line_topology;
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let refs: Vec<&traj_model::SporadicFlow> = set.flows().iter().collect();
         let d = staircase_node_delay(&refs, traj_model::NodeId(1), 1 << 30).unwrap();
         // Trajectory bound on one node is 21 (= delay through the busy

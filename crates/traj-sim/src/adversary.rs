@@ -141,7 +141,7 @@ mod tests {
     fn adversary_finds_the_single_node_worst_case() {
         // 3 flows, 1 node: true worst case is 3*C = 21 (simultaneous
         // release, victim last) and the all-zeros corner finds it.
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let r = adversarial_search(
             &set,
             &AdversaryParams {

@@ -386,7 +386,7 @@ mod tests {
 
     #[test]
     fn lone_flow_sees_pure_transit() {
-        let set = line_topology(1, 4, 100, 5, 1, 2);
+        let set = line_topology(1, 4, 100, 5, 1, 2).unwrap();
         let sim = Simulator::new(&set, SimConfig::default());
         let out = sim.run_periodic(&[0]);
         let s = &out.flows[0];
@@ -399,7 +399,7 @@ mod tests {
 
     #[test]
     fn min_delay_policy_gives_floor() {
-        let set = line_topology(1, 4, 100, 5, 1, 2);
+        let set = line_topology(1, 4, 100, 5, 1, 2).unwrap();
         let sim = Simulator::new(
             &set,
             SimConfig {
@@ -414,7 +414,7 @@ mod tests {
     #[test]
     fn contention_delays_the_victim() {
         // Three flows share one node; simultaneous release, victim last.
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let sim = Simulator::new(
             &set,
             SimConfig {
@@ -464,7 +464,7 @@ mod tests {
 
     #[test]
     fn random_link_delays_stay_between_bounds() {
-        let set = line_topology(1, 6, 50, 2, 1, 4);
+        let set = line_topology(1, 6, 50, 2, 1, 4).unwrap();
         let sim = Simulator::new(
             &set,
             SimConfig {
@@ -483,12 +483,12 @@ mod tests {
     fn backlog_tracks_queued_work() {
         // 3 flows, C = 7, synchronous release on one node: peak backlog
         // is all three packets' work.
-        let set = line_topology(3, 1, 100, 7, 1, 1);
+        let set = line_topology(3, 1, 100, 7, 1, 1).unwrap();
         let sim = Simulator::new(&set, SimConfig::default());
         let out = sim.run_periodic(&[0, 0, 0]);
         assert_eq!(out.max_backlog.get(&1).copied(), Some(21));
         // A lone flow never accumulates more than one packet.
-        let solo = line_topology(1, 2, 100, 5, 1, 1);
+        let solo = line_topology(1, 2, 100, 5, 1, 1).unwrap();
         let out = Simulator::new(&solo, SimConfig::default()).run_periodic(&[0]);
         assert_eq!(out.max_backlog.get(&1).copied(), Some(5));
     }
@@ -530,7 +530,7 @@ mod tests {
     #[test]
     fn diffserv_ef_unaffected_by_be_backlog_except_blocking() {
         use traj_model::examples::paper_example_with_best_effort;
-        let set = paper_example_with_best_effort(9);
+        let set = paper_example_with_best_effort(9).unwrap();
         let sim = Simulator::new(
             &set,
             SimConfig {

@@ -1,0 +1,210 @@
+//! Fault-injection adversary: kill links or nodes, re-derive the
+//! degraded analytical bounds, and verify that everything the simulator
+//! can observe from the survivors stays under them.
+//!
+//! A trial has two regimes. Before the fault the healthy bounds govern;
+//! after it, packets in flight through the failed element are lost and
+//! the network settles into the degraded steady state, where the
+//! *recomputed* bounds of [`analyze_degraded`] govern the survivors
+//! (rerouted flows included). The adversarial offset search runs against
+//! each regime independently — the post-fault regime is where a stale
+//! healthy bound would silently under-promise, which is exactly the
+//! soundness hole this module exists to catch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traj_analysis::{analyze_degraded, AnalysisConfig};
+use traj_model::{Duration, FaultScenario, FlowId, FlowSet, NodeId};
+
+use crate::adversary::AdversaryParams;
+use crate::validate::{validate_bounds, ValidationRow};
+
+/// Outcome of one fault-injection trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultTrialOutcome {
+    /// The injected scenario.
+    pub scenario: FaultScenario,
+    /// Flows the fault disconnected (no surviving route).
+    pub dropped: Vec<FlowId>,
+    /// Flows rerouted around the fault.
+    pub rerouted: Vec<FlowId>,
+    /// Per-survivor validation against the *degraded* bounds.
+    pub rows: Vec<ValidationRow>,
+    /// Whether every survivor honoured its recomputed bound.
+    pub sound: bool,
+}
+
+/// Runs one fault trial: applies `scenario` to `set`, recomputes the
+/// degraded bounds, and turns the adversary loose on the surviving
+/// (possibly rerouted) flows. Returns `None` when the scenario cannot be
+/// simulated — e.g. it disconnects every flow.
+pub fn fault_trial(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    scenario: &FaultScenario,
+    params: &AdversaryParams,
+) -> Option<FaultTrialOutcome> {
+    let degraded = scenario.apply(set).ok()?;
+    let survivors = degraded.surviving_set().ok()?;
+    let report = analyze_degraded(&degraded, cfg);
+    let bounds: Vec<Option<Duration>> = survivors
+        .flows()
+        .iter()
+        .map(|f| report.for_flow(f.id).and_then(|r| r.wcrt.value()))
+        .collect();
+    let rows = validate_bounds(&survivors, &bounds, params);
+    let sound = rows.iter().all(|r| r.sound);
+    let dropped = degraded
+        .dropped()
+        .into_iter()
+        .map(|i| degraded.set.flows()[i].id)
+        .collect();
+    let rerouted = degraded
+        .rerouted()
+        .into_iter()
+        .map(|i| degraded.set.flows()[i].id)
+        .collect();
+    Some(FaultTrialOutcome {
+        scenario: scenario.clone(),
+        dropped,
+        rerouted,
+        rows,
+        sound,
+    })
+}
+
+/// Runs a batch of fault trials; scenarios that disconnect everything
+/// are skipped.
+pub fn fault_adversary(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    scenarios: &[FaultScenario],
+    params: &AdversaryParams,
+) -> Vec<FaultTrialOutcome> {
+    scenarios
+        .iter()
+        .filter_map(|sc| fault_trial(set, cfg, sc, params))
+        .collect()
+}
+
+/// Every directed link actually traversed by some flow, deduplicated in
+/// first-use order — the interesting targets for link-failure trials.
+pub fn used_links(set: &FlowSet) -> Vec<(NodeId, NodeId)> {
+    let mut seen = Vec::new();
+    for f in set.flows() {
+        for link in f.path.links() {
+            if !seen.contains(&link) {
+                seen.push(link);
+            }
+        }
+    }
+    seen
+}
+
+/// Samples `count` single-link failure scenarios among the links flows
+/// actually use. Deterministic in `seed`.
+pub fn random_link_scenarios(set: &FlowSet, count: usize, seed: u64) -> Vec<FaultScenario> {
+    let links = used_links(set);
+    if links.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let (from, to) = links[rng.gen_range(0..links.len())];
+            FaultScenario::link_down(from, to)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+
+    fn quick_params() -> AdversaryParams {
+        AdversaryParams {
+            trials: 25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn survivors_stay_under_recomputed_bounds_for_every_link() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        for (from, to) in used_links(&set) {
+            let sc = FaultScenario::link_down(from, to);
+            let Some(out) = fault_trial(&set, &cfg, &sc, &quick_params()) else {
+                continue;
+            };
+            assert!(
+                out.sound,
+                "link {from}->{to}: a survivor exceeded its degraded bound: {:?}",
+                out.rows
+            );
+        }
+    }
+
+    #[test]
+    fn node_failure_drops_disconnected_flows_and_validates_the_rest() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let out = fault_trial(
+            &set,
+            &cfg,
+            &FaultScenario::node_down(NodeId(9)),
+            &quick_params(),
+        )
+        .unwrap();
+        assert!(out.dropped.contains(&FlowId(2)));
+        assert!(out.sound);
+        assert!(out.rows.iter().all(|r| r.flow != FlowId(2)));
+    }
+
+    #[test]
+    fn degraded_bounds_differ_from_healthy_where_reroutes_add_load() {
+        // The fault-adversary contract is only meaningful if the degraded
+        // bounds actually move; otherwise we would be re-validating the
+        // healthy analysis.
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let healthy = traj_analysis::analyze_all(&set, &cfg);
+        let mut moved = false;
+        for (from, to) in used_links(&set) {
+            let sc = FaultScenario::link_down(from, to);
+            let Ok(degraded) = sc.apply(&set) else {
+                continue;
+            };
+            let report = analyze_degraded(&degraded, &cfg);
+            for (h, d) in healthy.per_flow().iter().zip(report.per_flow()) {
+                if h.wcrt != d.wcrt {
+                    moved = true;
+                }
+            }
+        }
+        assert!(moved, "no link failure perturbed any bound");
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic_in_the_seed() {
+        let set = paper_example();
+        let a = random_link_scenarios(&set, 6, 7);
+        let b = random_link_scenarios(&set, 6, 7);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn batch_runner_covers_all_trials() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let scenarios = random_link_scenarios(&set, 4, 11);
+        let outs = fault_adversary(&set, &cfg, &scenarios, &quick_params());
+        assert!(!outs.is_empty());
+        assert!(outs.iter().all(|o| o.sound));
+    }
+}

@@ -16,11 +16,14 @@
 //!   jitter, sporadic gaps);
 //! * [`adversary`] — randomised offset search for near-worst-case
 //!   scenarios;
+//! * [`fault_adversary`] — link/node-failure trials validating the
+//!   survivors against the recomputed degraded bounds;
 //! * [`validate`] — the harness comparing observed worst cases against
 //!   analytical bounds.
 
 pub mod adversary;
 pub mod engine;
+pub mod fault_adversary;
 pub mod scheduler;
 pub mod source;
 pub mod stats;
@@ -29,6 +32,9 @@ pub mod validate;
 
 pub use adversary::{adversarial_search, AdversaryParams};
 pub use engine::{DelayPolicy, SimConfig, Simulator, TieBreak};
+pub use fault_adversary::{
+    fault_adversary, fault_trial, random_link_scenarios, used_links, FaultTrialOutcome,
+};
 pub use scheduler::SchedulerKind;
 pub use source::ReleasePattern;
 pub use stats::{FlowStats, SimOutcome};

@@ -92,7 +92,8 @@ mod tests {
                     max_utilisation: 0.6,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             let report = analyze_all(&set, &AnalysisConfig::default());
             let rows = validate_bounds(
                 &set,

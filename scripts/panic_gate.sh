@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: no panicking calls in non-test library code of the gated crates.
+#
+# For every Rust source file under the gated crates, strip the trailing
+# test module (everything from the first file-scope `#[cfg(test)]` line,
+# by repo convention the last item of a file) and grep the remainder for
+# `.unwrap()`, `.expect(` and `panic!`. Any hit fails the gate.
+set -u
+fail=0
+for crate in traj-model traj-analysis traj-diffserv traj-holistic; do
+    for f in $(find "crates/$crate/src" -name '*.rs' | sort); do
+        cut=$(grep -n '^#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1)
+        if [ -n "$cut" ]; then
+            body=$(head -n $((cut - 1)) "$f")
+        else
+            body=$(cat "$f")
+        fi
+        hits=$(printf '%s\n' "$body" | grep -nE '\.unwrap\(\)|\.expect\(|panic!')
+        if [ -n "$hits" ]; then
+            printf '%s\n' "$hits" | sed "s|^|$f:|"
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    echo "panic gate: panicking calls found in non-test library code" >&2
+    exit 1
+fi
+echo "panic gate: clean"

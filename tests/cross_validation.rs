@@ -76,7 +76,8 @@ fn random_meshes() {
                 max_utilisation: 0.55,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         check_set(&set, &format!("mesh seed {seed}"), false);
     }
 }
@@ -85,7 +86,7 @@ fn random_meshes() {
 fn parking_lots() {
     for seed in [3u64, 9] {
         for trunk in [3u32, 6] {
-            let set = parking_lot(seed, 4, trunk, 150, 4);
+            let set = parking_lot(seed, 4, trunk, 150, 4).unwrap();
             check_set(&set, &format!("parking lot {seed}/{trunk}"), true);
         }
     }
@@ -94,7 +95,7 @@ fn parking_lots() {
 #[test]
 fn shared_lines_across_utilisations() {
     for n in [2u32, 5, 10] {
-        let set = line_topology(n, 4, 120, 4, 1, 2);
+        let set = line_topology(n, 4, 120, 4, 1, 2).unwrap();
         check_set(&set, &format!("line with {n} flows"), true);
     }
 }
@@ -106,7 +107,7 @@ fn bidirectional_lines_reverse_crossing_soundness() {
     // bidirectional lines of several depths.
     use fifo_trajectory::model::gen::bidirectional_line;
     for len in [2u32, 3, 5] {
-        let set = bidirectional_line(2, 2, len, 90, 4);
+        let set = bidirectional_line(2, 2, len, 90, 4).unwrap();
         check_set(&set, &format!("bidi line len {len}"), false);
     }
 }
@@ -114,7 +115,7 @@ fn bidirectional_lines_reverse_crossing_soundness() {
 #[test]
 fn star_single_node_crossings() {
     use fifo_trajectory::model::gen::star;
-    let set = star(5, 80, 4);
+    let set = star(5, 80, 4).unwrap();
     check_set(&set, "star 5 arms", true);
 }
 
@@ -132,7 +133,8 @@ fn leave_and_rejoin_routes_are_bounded_soundly() {
             max_utilisation: 0.55,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let cfg = AnalysisConfig::default();
     let traj = analyze_all(&set, &cfg);
     let rows = validate_bounds(
@@ -168,7 +170,8 @@ fn netcalc_agrees_on_divergence_direction() {
                 max_utilisation: 0.5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let nc = analyze_netcalc(&set);
         let traj = analyze_all(&set, &AnalysisConfig::default());
         for (n, t) in nc.iter().zip(traj.bounds()) {
@@ -187,7 +190,7 @@ fn observed_backlog_within_staircase_bound() {
     use fifo_trajectory::netcalc::{staircase_delay_bound, Staircase};
     use fifo_trajectory::sim::{SimConfig, Simulator};
     for (n, c, t) in [(3u32, 7i64, 100i64), (5, 4, 60), (2, 9, 40)] {
-        let set = line_topology(n, 1, t, c, 1, 1);
+        let set = line_topology(n, 1, t, c, 1, 1).unwrap();
         let curves: Vec<Staircase> = set.flows().iter().map(Staircase::of_flow).collect();
         let bound = staircase_delay_bound(&curves, 1 << 30).unwrap();
         let out = Simulator::new(&set, SimConfig::default()).run_periodic(&vec![0; n as usize]);
@@ -212,7 +215,8 @@ fn jittered_release_patterns_respect_bounds() {
             max_utilisation: 0.5,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let traj = analyze_all(&set, &AnalysisConfig::default());
     let sim = Simulator::new(&set, SimConfig::default());
     for seed in 0..10u64 {

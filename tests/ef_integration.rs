@@ -13,7 +13,7 @@ fn property3_bounds_are_monotone_in_blocker_size() {
     let cfg = AnalysisConfig::default();
     let mut prev: Option<Vec<i64>> = None;
     for be in [1i64, 4, 9, 20, 50] {
-        let set = paper_example_with_best_effort(be);
+        let set = paper_example_with_best_effort(be).unwrap();
         let rep = analyze_ef(&set, &cfg);
         let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
         if let Some(prev) = &prev {
@@ -29,7 +29,7 @@ fn property3_bounds_are_monotone_in_blocker_size() {
 fn delta_only_counts_non_ef_flows() {
     // Same topology, cross traffic declared EF instead of BE: delta
     // vanishes and the interference moves into the FIFO terms.
-    let mixed = paper_example_with_best_effort(9);
+    let mixed = paper_example_with_best_effort(9).unwrap();
     let all_ef = {
         let flows = mixed
             .flows()
@@ -50,7 +50,7 @@ fn delta_only_counts_non_ef_flows() {
 
 #[test]
 fn diffserv_simulation_respects_property3_under_many_scenarios() {
-    let set = paper_example_with_best_effort(9);
+    let set = paper_example_with_best_effort(9).unwrap();
     let rep = analyze_ef(&set, &AnalysisConfig::default());
     let bounds: Vec<i64> = rep.bounds().into_iter().map(|b| b.unwrap()).collect();
     for victim in 0..5usize {

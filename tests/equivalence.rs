@@ -1,4 +1,5 @@
-//! Differential equivalence suite for the interference-structure cache.
+//! Differential equivalence suite for the interference-structure cache
+//! and the incremental fault re-analysis.
 //!
 //! The cached analyzer (`analyze_all`, under both fixed-point
 //! strategies) must produce bounds bit-identical to the retained naive
@@ -6,12 +7,19 @@
 //! reassembles every bound function from scratch) — on the paper
 //! example and on random meshes, in every `SmaxMode` × `MinConvention`
 //! × `SminMode` × `ReverseCounting` configuration corner.
+//!
+//! The same contract covers survivability: `reanalyze` (warm-started
+//! from the healthy fixed point, dirty-closure-pruned) must agree
+//! bit-for-bit with `analyze_degraded` (cold) for arbitrary link/node
+//! failures, in every configuration corner.
 
 use fifo_trajectory::analysis::{
-    analyze_all, analyze_all_reference, config_grid, AnalysisConfig, FixpointStrategy,
+    analyze_all, analyze_all_reference, analyze_degraded, config_grid, reanalyze, AnalysisConfig,
+    Analyzer, FixpointStrategy, Verdict,
 };
 use fifo_trajectory::model::examples::paper_example;
 use fifo_trajectory::model::gen::{random_mesh, MeshParams};
+use fifo_trajectory::model::FaultScenario;
 use proptest::prelude::*;
 
 /// Bounds of all three engines on one set under one base configuration.
@@ -54,9 +62,52 @@ proptest! {
             max_utilisation: 0.7,
             ..Default::default()
         };
-        let set = random_mesh(seed, &p);
+        let set = random_mesh(seed, &p).unwrap();
         for base in config_grid() {
             assert_all_engines_agree(&set, &base)?;
+        }
+    }
+
+    #[test]
+    fn incremental_fault_reanalysis_matches_cold_start(
+        seed in 0u64..1_000_000,
+        fault_pick in 0usize..64,
+    ) {
+        let kill_node = fault_pick % 2 == 0;
+        let p = MeshParams {
+            nodes: 8,
+            flows: 6,
+            max_utilisation: 0.7,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p).unwrap();
+        let scenario = if kill_node {
+            let nodes = set.network().nodes().to_vec();
+            FaultScenario::node_down(nodes[fault_pick % nodes.len()])
+        } else {
+            let links: Vec<_> = set
+                .flows()
+                .iter()
+                .flat_map(|f| f.path.links())
+                .collect();
+            let (a, b) = links[fault_pick % links.len()];
+            FaultScenario::link_down(a, b)
+        };
+        let Ok(degraded) = scenario.apply(&set) else {
+            // The fault killed everything: nothing to compare.
+            return Ok(());
+        };
+        for cfg in config_grid() {
+            let Ok(healthy) = Analyzer::new(&set, &cfg) else {
+                // No healthy fixed point to warm-start from.
+                continue;
+            };
+            let re = reanalyze(&healthy, &degraded, &cfg);
+            let scratch = analyze_degraded(&degraded, &cfg);
+            for (a, b) in re.report.per_flow().iter().zip(scratch.per_flow()) {
+                prop_assert_eq!(&a.wcrt, &b.wcrt, "wcrt diverged, cfg {:?}", cfg);
+                prop_assert_eq!(&a.jitter, &b.jitter, "jitter diverged, cfg {:?}", cfg);
+            }
         }
     }
 
@@ -71,7 +122,7 @@ proptest! {
             max_utilisation: 0.95,
             ..Default::default()
         };
-        let set = random_mesh(seed, &p);
+        let set = random_mesh(seed, &p).unwrap();
         assert_all_engines_agree(&set, &AnalysisConfig::default())?;
     }
 }
@@ -85,6 +136,40 @@ fn cached_bounds_match_reference_on_paper_example_everywhere() {
 }
 
 #[test]
+fn near_i64_max_parameters_yield_overflow_verdicts_not_wraparound() {
+    // Three flows on one node, each with cost ~ i64::MAX/4 and combined
+    // utilisation 1.5: the busy-period iteration grows until `k * C`
+    // leaves i64. Pre-hardening this wrapped silently (debug: abort;
+    // release: negative bounds); now it must surface as a typed verdict.
+    use fifo_trajectory::model::examples::line_topology;
+    let cost = i64::MAX / 4;
+    let set = line_topology(3, 1, 2 * cost, cost, 1, 1).unwrap();
+    let cfg = AnalysisConfig {
+        max_busy_period: i64::MAX,
+        ..Default::default()
+    };
+    let report = analyze_all(&set, &cfg);
+    for r in report.per_flow() {
+        assert!(
+            matches!(r.wcrt, Verdict::Overflow { .. } | Verdict::Unbounded { .. }),
+            "expected a typed failure verdict, got {:?}",
+            r.wcrt
+        );
+        assert!(
+            r.wcrt.value().is_none(),
+            "no numeric bound may escape an overflowing instance"
+        );
+    }
+    assert!(
+        report
+            .per_flow()
+            .iter()
+            .any(|r| matches!(r.wcrt, Verdict::Overflow { .. })),
+        "at least one flow must report the overflow itself"
+    );
+}
+
+#[test]
 fn cached_bounds_match_reference_on_a_midsize_mesh() {
     // One deterministic mid-size instance (beyond proptest's small
     // meshes) through every configuration corner.
@@ -94,7 +179,7 @@ fn cached_bounds_match_reference_on_a_midsize_mesh() {
         max_utilisation: 0.7,
         ..Default::default()
     };
-    let set = random_mesh(42, &p);
+    let set = random_mesh(42, &p).unwrap();
     for base in config_grid() {
         assert_all_engines_agree(&set, &base).unwrap();
     }

@@ -102,7 +102,7 @@ proptest! {
         let set = random_mesh(seed, &MeshParams {
             flows: 4, nodes: 5, max_utilisation: 0.6,
             path_len: (1, 4), ..Default::default()
-        });
+        }).unwrap();
         let rep = analyze_all(&set, &AnalysisConfig::default());
         let sim = Simulator::new(&set, SimConfig {
             packets_per_flow: 8,
@@ -187,8 +187,8 @@ proptest! {
     fn ef_delta_monotone_in_blocker(c1 in 2i64..20, extra in 1i64..20) {
         use fifo_trajectory::analysis::nonpreemption_delta;
         use fifo_trajectory::model::examples::paper_example_with_best_effort;
-        let small = paper_example_with_best_effort(c1);
-        let large = paper_example_with_best_effort(c1 + extra);
+        let small = paper_example_with_best_effort(c1).unwrap();
+        let large = paper_example_with_best_effort(c1 + extra).unwrap();
         for (fs, fl) in small.ef_flows().zip(large.ef_flows()) {
             let ds = nonpreemption_delta(&small, fs, &fs.path);
             let dl = nonpreemption_delta(&large, fl, &fl.path);

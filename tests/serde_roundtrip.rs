@@ -20,7 +20,7 @@ fn flow_set_roundtrip() {
 
 #[test]
 fn flow_set_with_classes_roundtrip() {
-    let set = paper_example_with_best_effort(9);
+    let set = paper_example_with_best_effort(9).unwrap();
     let json = serde_json::to_string(&set).unwrap();
     let back: FlowSet = serde_json::from_str(&json).unwrap();
     assert_eq!(back.ef_flows().count(), 5);
