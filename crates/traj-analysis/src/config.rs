@@ -34,23 +34,64 @@ pub enum ReverseCounting {
     PerCrossingNode,
 }
 
+/// Below this flow count [`FixpointStrategy::Auto`] picks the sequential
+/// Gauss–Seidel sweep: E12 (`BENCH_fixpoint.json`) measured Jacobi *3.6×
+/// slower* than even the pre-cache reference at 5 flows (`speedup:
+/// 0.28`) — the parallel round's fork/join and double-buffering overhead
+/// dwarfs the work when the table is small. At and above the threshold
+/// the parallel Jacobi round wins on scaling (and its dirty-cell
+/// skipping is what makes the survivability warm start incremental).
+pub const AUTO_JACOBI_MIN_FLOWS: usize = 16;
+
 /// Iteration scheme of the global `Smax` fixed point.
 ///
-/// Both schemes iterate the same monotone operator from the same
+/// All schemes iterate the same monotone operator from the same
 /// transit-only seed, so they converge to the same *least* fixed point
 /// and yield bit-identical bounds; they differ only in evaluation order
 /// (see DESIGN.md, "Jacobi vs Gauss–Seidel").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FixpointStrategy {
+    /// Size-based selection (default): Gauss–Seidel below
+    /// [`AUTO_JACOBI_MIN_FLOWS`] flows, Jacobi at or above it. The
+    /// strategy actually chosen is recorded in the run's
+    /// [`crate::telemetry::FixpointTelemetry`].
+    #[default]
+    Auto,
     /// Each round reads the previous round's full table and writes a new
     /// one; the per-flow updates of a round are independent and run in
-    /// parallel (default).
-    #[default]
+    /// parallel.
     Jacobi,
     /// Updates are applied in place as they are computed, each one
     /// immediately visible to the next (the historical sequential
     /// scheme; usually fewer rounds, but inherently serial).
     GaussSeidel,
+}
+
+impl FixpointStrategy {
+    /// The concrete scheme to run for a set of `n_flows` flows: `Auto`
+    /// resolves by size, the explicit variants are returned unchanged.
+    /// Never returns `Auto`.
+    pub fn resolve(self, n_flows: usize) -> FixpointStrategy {
+        match self {
+            FixpointStrategy::Auto => {
+                if n_flows < AUTO_JACOBI_MIN_FLOWS {
+                    FixpointStrategy::GaussSeidel
+                } else {
+                    FixpointStrategy::Jacobi
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Stable lower-case label for telemetry and benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FixpointStrategy::Auto => "auto",
+            FixpointStrategy::Jacobi => "jacobi",
+            FixpointStrategy::GaussSeidel => "gauss_seidel",
+        }
+    }
 }
 
 /// Full analysis configuration.
@@ -72,8 +113,9 @@ pub struct AnalysisConfig {
     /// (each round is monotone; non-convergence indicates an unschedulable
     /// or overloaded set).
     pub max_smax_rounds: usize,
-    /// Iteration scheme of the `Smax` fixed point; both converge to the
-    /// same least fixed point. Defaults to the parallel Jacobi sweep.
+    /// Iteration scheme of the `Smax` fixed point; all resolve to the
+    /// same least fixed point. Defaults to [`FixpointStrategy::Auto`],
+    /// which picks by flow count.
     #[serde(default)]
     pub fixpoint: FixpointStrategy,
 }
@@ -177,6 +219,19 @@ mod tests {
         // deserialising (the field carries `#[serde(default)]`).
         let json = r#"{"smax_mode":"RecursivePrefix","min_convention":"Visiting","smin_mode":"ProcessingAndLink","reverse_counting":"PerFlow","max_busy_period":10000000,"max_smax_rounds":256}"#;
         let back: AnalysisConfig = serde_json::from_str(json).unwrap();
-        assert_eq!(back.fixpoint, FixpointStrategy::Jacobi);
+        assert_eq!(back.fixpoint, FixpointStrategy::Auto);
+    }
+
+    #[test]
+    fn auto_resolves_by_size_and_explicit_choices_stick() {
+        use FixpointStrategy::*;
+        assert_eq!(Auto.resolve(AUTO_JACOBI_MIN_FLOWS - 1), GaussSeidel);
+        assert_eq!(Auto.resolve(AUTO_JACOBI_MIN_FLOWS), Jacobi);
+        assert_eq!(Auto.resolve(0), GaussSeidel);
+        for n in [0, 1, AUTO_JACOBI_MIN_FLOWS, 1000] {
+            assert_eq!(Jacobi.resolve(n), Jacobi);
+            assert_eq!(GaussSeidel.resolve(n), GaussSeidel);
+            assert_ne!(Auto.resolve(n), Auto, "resolve must never return Auto");
+        }
     }
 }

@@ -123,7 +123,8 @@ pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
                     }
                 })
                 .collect(),
-        ),
+        )
+        .with_telemetry(an.telemetry().clone()),
         Err(verdict) => SetReport::new(
             ef_indices
                 .into_iter()

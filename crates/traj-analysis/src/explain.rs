@@ -88,6 +88,18 @@ pub fn explain_flow(
         .index_of(id)
         .ok_or_else(|| Verdict::unbounded(format!("unknown flow {id}")))?;
     let an = Analyzer::new(set, cfg)?;
+    breakdown_from(&an, set, cfg, idx)
+}
+
+/// Builds the breakdown against an already-converged analyzer (shared by
+/// [`explain_flow`] and [`provenance_flow`], which needs the analyzer
+/// afterwards for the `Smax` rows).
+fn breakdown_from(
+    an: &Analyzer<'_>,
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    idx: usize,
+) -> Result<BoundBreakdown, Verdict> {
     let f = &set.flows()[idx];
     let bf = an.bound_function(idx, &f.path);
     let max = bf
@@ -148,6 +160,208 @@ pub fn explain_flow(
     })
 }
 
+/// Classification of one additive part of a bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TermKind {
+    /// The flow's own packets ahead of the studied one.
+    SelfWorkload,
+    /// One interfering flow's window workload at `t*`.
+    Interference,
+    /// One node's same-direction extra packet (`h ≠ slowᵢ`).
+    NodeExtra,
+    /// The path's total link budget `Σ Lmax`.
+    Links,
+    /// The non-preemption delay `δᵢ`.
+    Delta,
+    /// The `-t*` activation offset of Lemma 3 (the only term that can be
+    /// negative, when `t* > 0`).
+    ActivationOffset,
+}
+
+/// One atomic, signed contribution to a flow's bound. The terms of a
+/// [`BoundProvenance`] sum *exactly* to the reported bound — asserted by
+/// the differential suite in `tests/explain_differential.rs`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceTerm {
+    /// What kind of part this is.
+    pub kind: TermKind,
+    /// The flow behind it ([`TermKind::SelfWorkload`] and
+    /// [`TermKind::Interference`] terms).
+    pub flow: Option<FlowId>,
+    /// The node behind it ([`TermKind::NodeExtra`] terms).
+    pub node: Option<NodeId>,
+    /// Signed contribution in ticks.
+    pub amount: Duration,
+}
+
+/// The `Smax` row of one flow: its converged maximum source-to-node
+/// traversal time at every node of its path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmaxRow {
+    /// Whose row.
+    pub flow: FlowId,
+    /// `(node, Smax)` pairs in path order.
+    pub per_node: Vec<(NodeId, Duration)>,
+}
+
+/// Machine-readable provenance of one flow's Property 2 bound: a flat
+/// term list summing exactly to the bound, the dominant term, and — when
+/// interference dominates — the dominant interferer's `Smax` row (the
+/// fixed-point state that sized its window alignment).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundProvenance {
+    /// The analysed flow.
+    pub flow: FlowId,
+    /// The bound being decomposed.
+    pub bound: Duration,
+    /// The maximising activation instant.
+    pub t_star: Tick,
+    /// Every additive part; `Σ amount == bound`.
+    pub terms: Vec<ProvenanceTerm>,
+    /// Index into [`Self::terms`] of the largest positive contribution
+    /// (first wins ties; `None` only if no term is positive).
+    pub dominant: Option<usize>,
+    /// The dominant interferer's converged `Smax` row, when the dominant
+    /// term is [`TermKind::Interference`].
+    pub dominant_smax: Option<SmaxRow>,
+}
+
+impl BoundProvenance {
+    /// Re-sums the terms; equals [`Self::bound`] by construction.
+    pub fn total(&self) -> Duration {
+        self.terms.iter().map(|t| t.amount).sum()
+    }
+
+    /// The dominant term itself.
+    pub fn dominant_term(&self) -> Option<&ProvenanceTerm> {
+        self.dominant.and_then(|i| self.terms.get(i))
+    }
+
+    /// The dominant term's fraction of the bound (`None` for unbounded
+    /// shares: no dominant term or a non-positive bound).
+    pub fn dominant_share(&self) -> Option<f64> {
+        let t = self.dominant_term()?;
+        (self.bound > 0).then(|| t.amount as f64 / self.bound as f64)
+    }
+}
+
+/// Builds the machine-readable provenance of one flow's Property 2
+/// bound. Returns `Err` with the divergence verdict on overloaded sets.
+pub fn provenance_flow(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    id: FlowId,
+) -> Result<BoundProvenance, Verdict> {
+    let idx = set
+        .index_of(id)
+        .ok_or_else(|| Verdict::unbounded(format!("unknown flow {id}")))?;
+    let an = Analyzer::new(set, cfg)?;
+    provenance_from(&an, set, cfg, idx)
+}
+
+/// Provenance against an already-converged analyzer (one fixed point for
+/// the whole set in [`provenance_all`]).
+fn provenance_from(
+    an: &Analyzer<'_>,
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    idx: usize,
+) -> Result<BoundProvenance, Verdict> {
+    let b = breakdown_from(an, set, cfg, idx)?;
+
+    let mut terms = Vec::with_capacity(3 + b.interference.len() + b.per_node_extra.len());
+    terms.push(ProvenanceTerm {
+        kind: TermKind::SelfWorkload,
+        flow: Some(b.flow),
+        node: None,
+        amount: b.self_workload,
+    });
+    for l in &b.interference {
+        terms.push(ProvenanceTerm {
+            kind: TermKind::Interference,
+            flow: Some(l.flow),
+            node: None,
+            amount: l.workload,
+        });
+    }
+    for &(h, c) in &b.per_node_extra {
+        terms.push(ProvenanceTerm {
+            kind: TermKind::NodeExtra,
+            flow: None,
+            node: Some(h),
+            amount: c,
+        });
+    }
+    terms.push(ProvenanceTerm {
+        kind: TermKind::Links,
+        flow: None,
+        node: None,
+        amount: b.links,
+    });
+    terms.push(ProvenanceTerm {
+        kind: TermKind::Delta,
+        flow: None,
+        node: None,
+        amount: b.delta,
+    });
+    terms.push(ProvenanceTerm {
+        kind: TermKind::ActivationOffset,
+        flow: None,
+        node: None,
+        amount: -b.t_star,
+    });
+
+    let mut dominant: Option<usize> = None;
+    for (i, t) in terms.iter().enumerate() {
+        if t.amount > 0 && dominant.map(|d| t.amount > terms[d].amount).unwrap_or(true) {
+            dominant = Some(i);
+        }
+    }
+    let dominant_smax = dominant.and_then(|d| {
+        let t = &terms[d];
+        if t.kind != TermKind::Interference {
+            return None;
+        }
+        let j = set.index_of(t.flow?)?;
+        let fj = &set.flows()[j];
+        Some(SmaxRow {
+            flow: fj.id,
+            per_node: fj
+                .path
+                .nodes()
+                .iter()
+                .copied()
+                .zip(an.smax().values()[j].iter().copied())
+                .collect(),
+        })
+    });
+
+    Ok(BoundProvenance {
+        flow: b.flow,
+        bound: b.bound,
+        t_star: b.t_star,
+        terms,
+        dominant,
+        dominant_smax,
+    })
+}
+
+/// Provenance for every flow of the set, in flow-set order; the `Smax`
+/// fixed point runs once and is shared by all decompositions. On a
+/// set-wide failure (divergence, overflow) every entry carries the same
+/// verdict.
+pub fn provenance_all(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+) -> Vec<Result<BoundProvenance, Verdict>> {
+    match Analyzer::new(set, cfg) {
+        Ok(an) => (0..set.len())
+            .map(|i| provenance_from(&an, set, cfg, i))
+            .collect(),
+        Err(v) => set.flows().iter().map(|_| Err(v.clone())).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +401,64 @@ mod tests {
     fn unknown_flow_is_an_error() {
         let set = paper_example();
         assert!(explain_flow(&set, &AnalysisConfig::default(), FlowId(77)).is_err());
+        assert!(provenance_flow(&set, &AnalysisConfig::default(), FlowId(77)).is_err());
+    }
+
+    #[test]
+    fn provenance_terms_sum_to_the_analyzer_bound() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let report = crate::analyze_all(&set, &cfg);
+        for (f, bound) in set.flows().iter().zip(report.bounds()) {
+            let p = provenance_flow(&set, &cfg, f.id).unwrap();
+            assert_eq!(p.total(), p.bound, "flow {}", f.id);
+            assert_eq!(Some(p.bound), bound, "flow {}", f.id);
+        }
+    }
+
+    #[test]
+    fn provenance_dominant_and_smax_row_are_consistent() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        for p in provenance_all(&set, &cfg) {
+            let p = p.unwrap();
+            let d = p
+                .dominant_term()
+                .expect("positive bound has a dominant term");
+            assert!(d.amount > 0);
+            // No term is strictly larger than the dominant one.
+            assert!(p.terms.iter().all(|t| t.amount <= d.amount));
+            match d.kind {
+                TermKind::Interference => {
+                    let row = p.dominant_smax.as_ref().expect("interference dominant");
+                    assert_eq!(Some(row.flow), d.flow);
+                    let j = set.index_of(row.flow).unwrap();
+                    assert_eq!(row.per_node.len(), set.flows()[j].path.len());
+                }
+                _ => assert!(p.dominant_smax.is_none()),
+            }
+            let share = p.dominant_share().unwrap();
+            assert!(share > 0.0 && share <= 1.0, "share {share}");
+        }
+    }
+
+    #[test]
+    fn provenance_roundtrips_through_serde() {
+        let set = paper_example();
+        let p = provenance_flow(&set, &AnalysisConfig::default(), FlowId(1)).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: BoundProvenance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn provenance_all_shares_one_fixed_point_and_covers_every_flow() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let all = provenance_all(&set, &cfg);
+        assert_eq!(all.len(), set.len());
+        for (f, p) in set.flows().iter().zip(&all) {
+            assert_eq!(p.as_ref().unwrap().flow, f.id);
+        }
     }
 }

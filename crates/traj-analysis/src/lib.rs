@@ -28,14 +28,17 @@ pub mod report;
 pub mod sensitivity;
 pub mod smax;
 pub mod survivability;
+pub mod telemetry;
 pub mod terms;
 pub mod wcrt;
 
 pub use config::{config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode};
 pub use ef::{analyze_ef, nonpreemption_delta};
+pub use explain::{explain_flow, provenance_all, provenance_flow, BoundBreakdown, BoundProvenance};
 pub use jitter::jitter_bound;
 pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};
 pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
 pub use survivability::{analyze_degraded, dirty_closure, reanalyze, FaultReanalysis};
+pub use telemetry::{FixpointTelemetry, RoundTelemetry};
 pub use wcrt::{analyze_all, analyze_flow, Analyzer};

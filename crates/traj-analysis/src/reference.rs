@@ -43,7 +43,7 @@ impl<'a> ReferenceAnalyzer<'a> {
         let mut an = ReferenceAnalyzer {
             set,
             cfg,
-            smax: SmaxTable::transit(set),
+            smax: SmaxTable::transit(set)?,
             rounds: 0,
         };
         if cfg.smax_mode == SmaxMode::RecursivePrefix {

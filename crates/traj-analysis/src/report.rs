@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use traj_model::{Duration, FlowId, NodeId};
 
+use crate::telemetry::FixpointTelemetry;
+
 /// Outcome of a bound computation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
@@ -86,12 +88,31 @@ impl FlowReport {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SetReport {
     per_flow: Vec<FlowReport>,
+    /// Convergence record of the `Smax` fixed point behind the bounds
+    /// (absent on error paths where no analyzer was built, and in
+    /// reports serialised before the field existed).
+    #[serde(default)]
+    telemetry: Option<FixpointTelemetry>,
 }
 
 impl SetReport {
     /// Assembles a report.
     pub fn new(per_flow: Vec<FlowReport>) -> Self {
-        SetReport { per_flow }
+        SetReport {
+            per_flow,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches the fixed point's convergence record (builder style).
+    pub fn with_telemetry(mut self, t: FixpointTelemetry) -> Self {
+        self.telemetry = Some(t);
+        self
+    }
+
+    /// The fixed point's convergence record, when one was collected.
+    pub fn telemetry(&self) -> Option<&FixpointTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Per-flow results in flow-set order.

@@ -11,6 +11,8 @@
 use serde::{Deserialize, Serialize};
 use traj_model::{Duration, FlowSet, NodeId};
 
+use crate::report::Verdict;
+
 /// `Smax` values per flow, aligned with each flow's path node order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SmaxTable {
@@ -20,19 +22,31 @@ pub struct SmaxTable {
 impl SmaxTable {
     /// Transit-only seed: `Smaxᵢʰ = Σ_{h' < h} (Cᵢ^{h'} + Lmax)`,
     /// and 0 at each ingress.
-    pub fn transit(set: &FlowSet) -> Self {
-        let vals = set
-            .flows()
-            .iter()
-            .map(|f| {
-                f.path
-                    .nodes()
-                    .iter()
-                    .map(|&h| set.transit_smax(f, h).unwrap_or(0))
-                    .collect()
-            })
-            .collect();
-        SmaxTable { vals }
+    ///
+    /// Every node iterated here lies on its flow's path, so the only way
+    /// `transit_smax` can fail is i64 overflow of the running sum. That
+    /// failure must not be papered over with a 0 seed: 0 is an
+    /// *optimistic* under-approximation of `Smax`, and an optimistic
+    /// seed can make an unschedulable set look schedulable. It surfaces
+    /// as a typed [`Verdict::Overflow`] instead.
+    pub fn transit(set: &FlowSet) -> Result<Self, Verdict> {
+        let mut vals = Vec::with_capacity(set.len());
+        for f in set.flows() {
+            let mut row = Vec::with_capacity(f.path.len());
+            for &h in f.path.nodes() {
+                match set.transit_smax(f, h) {
+                    Some(v) => row.push(v),
+                    None => {
+                        return Err(Verdict::overflow(format!(
+                            "transit Smax seed of flow {} at node {h}",
+                            f.id
+                        )))
+                    }
+                }
+            }
+            vals.push(row);
+        }
+        Ok(SmaxTable { vals })
     }
 
     /// `Smax` of the flow at `flow_idx` to `node`; `None` when the flow
@@ -78,13 +92,13 @@ mod tests {
     use super::*;
     use crate::config::AnalysisConfig;
     use crate::wcrt::Analyzer;
-    use traj_model::examples::paper_example;
+    use traj_model::examples::{line_topology, paper_example};
     use traj_model::NodeId;
 
     #[test]
     fn transit_seed_matches_model() {
         let set = paper_example();
-        let t = SmaxTable::transit(&set);
+        let t = SmaxTable::transit(&set).unwrap();
         // flow 3 (index 2) to node 10: 4 hops * (4 + 1)
         assert_eq!(t.get(&set, 2, NodeId(10)), Some(20));
         assert_eq!(t.get(&set, 2, NodeId(2)), Some(0));
@@ -102,13 +116,35 @@ mod tests {
         let set = paper_example();
         let cfg = AnalysisConfig::default();
         let an = Analyzer::new(&set, &cfg).unwrap();
-        let seed = SmaxTable::transit(&set);
+        let seed = SmaxTable::transit(&set).unwrap();
         for (fi, f) in set.flows().iter().enumerate() {
             for &h in f.path.nodes() {
                 let fixed = an.smax().get(&set, fi, h).unwrap();
                 let transit = seed.get(&set, fi, h).unwrap();
                 assert!(fixed >= transit, "flow {} node {h}", f.id);
             }
+        }
+    }
+
+    #[test]
+    fn transit_seed_overflow_is_a_typed_verdict_not_a_zero_seed() {
+        // Two upstream hops of cost ~ i64::MAX/2: the transit sum at the
+        // third node leaves i64. Pre-fix this was swallowed by
+        // `unwrap_or(0)` — an *optimistic* seed that can declare an
+        // unschedulable set schedulable; now it must surface as a typed
+        // overflow, both from the seed itself and from `Analyzer::new`.
+        let set = line_topology(1, 3, i64::MAX / 2, i64::MAX / 2, 1, 1).unwrap();
+        match SmaxTable::transit(&set) {
+            Err(crate::Verdict::Overflow { what }) => {
+                assert!(what.contains("transit Smax seed"), "{what}")
+            }
+            other => panic!("expected an overflow verdict, got {other:?}"),
+        }
+        let cfg = AnalysisConfig::default();
+        match Analyzer::new(&set, &cfg) {
+            Err(crate::Verdict::Overflow { .. }) => {}
+            Ok(_) => panic!("analyzer must not produce bounds from an overflowing seed"),
+            Err(other) => panic!("expected an overflow verdict, got {other:?}"),
         }
     }
 

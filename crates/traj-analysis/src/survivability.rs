@@ -110,6 +110,27 @@ pub fn reanalyze(
     let stale = dirty_closure(healthy.set(), degraded);
     let universe = degraded.universe();
 
+    // Warm seed: transit floor for stale rows (sound restart point),
+    // healthy fixed-point rows elsewhere (already exact). Computed
+    // before the skeleton rebuild: the transit sums are overflow-checked
+    // and a seed the degraded set cannot even represent aborts with the
+    // typed verdict instead of analysing from a bogus floor.
+    let mut seed = match SmaxTable::transit(&degraded.set) {
+        Ok(seed) => seed,
+        Err(v) => {
+            return FaultReanalysis {
+                report: assemble(degraded, Err(v)),
+                stale,
+                rounds: 0,
+            }
+        }
+    };
+    for (i, is_stale) in stale.iter().enumerate() {
+        if !is_stale {
+            seed.set_row(i, healthy.smax().values()[i].clone());
+        }
+    }
+
     // Skeletons: rebuild stale rows against the degraded set, clone the
     // rest from the healthy cache (their structure is untouched).
     let cache = crate::cache::InterferenceCache::rebuild_for(
@@ -120,15 +141,6 @@ pub fn reanalyze(
         &NoDelta,
         &stale,
     );
-
-    // Warm seed: transit floor for stale rows (sound restart point),
-    // healthy fixed-point rows elsewhere (already exact).
-    let mut seed = SmaxTable::transit(&degraded.set);
-    for (i, is_stale) in stale.iter().enumerate() {
-        if !is_stale {
-            seed.set_row(i, healthy.smax().values()[i].clone());
-        }
-    }
 
     let res = Analyzer::with_parts(&degraded.set, cfg, universe, NoDelta, cache, seed, &stale);
     let rounds = res.as_ref().map(|an| an.smax_rounds()).unwrap_or(0);
@@ -169,7 +181,7 @@ fn assemble(degraded: &DegradedSet, res: Result<Analyzer<'_, NoDelta>, Verdict>)
                     }
                 })
                 .collect();
-            SetReport::new(reports)
+            SetReport::new(reports).with_telemetry(an.telemetry().clone())
         }
         Err(v) => SetReport::new(
             set.flows()

@@ -1,0 +1,118 @@
+//! Convergence telemetry of the `Smax` fixed point.
+//!
+//! The [`crate::Analyzer`] records, for every run, which iteration
+//! strategy was requested and which one actually ran (the two differ
+//! under [`crate::FixpointStrategy::Auto`]), plus one
+//! [`RoundTelemetry`] entry per round: how many cells were recomputed
+//! versus skipped by the dirty-read analysis, how many changed, and the
+//! largest per-cell delta. The aggregate travels on the
+//! [`crate::SetReport`] so batch pipelines can diagnose convergence
+//! behaviour offline; when a [`traj_obs`] sink is installed the same
+//! numbers are also emitted live as `fixpoint.round` /
+//! `fixpoint.converged` events.
+//!
+//! Collection is unconditional: the per-round numbers fall out of work
+//! the fixed point does anyway (the counters are increments on existing
+//! branches), so the no-sink overhead is a few adds per round — measured
+//! by the `metrics_export` benchmark (E14).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FixpointStrategy;
+
+/// One round of the fixed point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTelemetry {
+    /// 1-based round number.
+    pub round: usize,
+    /// Cells whose update was actually evaluated this round.
+    pub recomputed: usize,
+    /// Cells skipped because their skeleton read no entry the previous
+    /// round changed (Jacobi only; Gauss–Seidel recomputes everything).
+    pub skipped: usize,
+    /// Cells whose value changed this round.
+    pub changed: usize,
+    /// Largest single-cell increase this round, in ticks (0 on the
+    /// convergence-check round). The fixed point is monotone from a
+    /// below-fixed-point seed, so deltas are non-negative.
+    pub max_delta: i64,
+}
+
+/// Whole-run convergence record, surfaced on [`crate::SetReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixpointTelemetry {
+    /// Strategy named in the [`crate::AnalysisConfig`].
+    pub requested: FixpointStrategy,
+    /// Strategy that actually ran (never
+    /// [`FixpointStrategy::Auto`]).
+    pub chosen: FixpointStrategy,
+    /// Whether `chosen` came out of the `Auto` size heuristic.
+    pub auto_selected: bool,
+    /// Flows in the analysed set.
+    pub flows: usize,
+    /// `Smax` cells subject to iteration: in-universe flows' non-ingress
+    /// path positions.
+    pub cells: usize,
+    /// Rounds executed (0 under
+    /// [`crate::SmaxMode::TransitOnly`], which skips the fixed
+    /// point).
+    pub rounds: usize,
+    /// Whether the run converged (a non-converged run surfaces as a
+    /// [`crate::Verdict::Diverged`] and this record rides along on the
+    /// error path's report only when assembled by the caller).
+    pub converged: bool,
+    /// Per-round detail, oldest first.
+    #[serde(default)]
+    pub per_round: Vec<RoundTelemetry>,
+}
+
+impl FixpointTelemetry {
+    /// Total cells recomputed across all rounds.
+    pub fn total_recomputed(&self) -> usize {
+        self.per_round.iter().map(|r| r.recomputed).sum()
+    }
+
+    /// Total cells skipped across all rounds.
+    pub fn total_skipped(&self) -> usize {
+        self.per_round.iter().map(|r| r.skipped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip_preserves_rounds() {
+        let t = FixpointTelemetry {
+            requested: FixpointStrategy::Auto,
+            chosen: FixpointStrategy::GaussSeidel,
+            auto_selected: true,
+            flows: 5,
+            cells: 17,
+            rounds: 2,
+            converged: true,
+            per_round: vec![
+                RoundTelemetry {
+                    round: 1,
+                    recomputed: 17,
+                    skipped: 0,
+                    changed: 12,
+                    max_delta: 9,
+                },
+                RoundTelemetry {
+                    round: 2,
+                    recomputed: 17,
+                    skipped: 0,
+                    changed: 0,
+                    max_delta: 0,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: FixpointTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.total_recomputed(), 34);
+        assert_eq!(back.total_skipped(), 0);
+    }
+}

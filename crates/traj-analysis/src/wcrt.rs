@@ -18,7 +18,9 @@ use crate::config::{AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode}
 use crate::jitter::jitter_bound;
 use crate::report::{FlowReport, SetReport, Verdict};
 use crate::smax::SmaxTable;
+use crate::telemetry::{FixpointTelemetry, RoundTelemetry};
 use crate::terms::{BoundFunction, Window};
+use traj_obs::{Event, ScopedTimer};
 
 /// Supplies the non-preemption term `δᵢ` added to `W` (Lemma 4). The plain
 /// FIFO analysis uses [`NoDelta`].
@@ -34,6 +36,17 @@ impl DeltaProvider for NoDelta {
     fn delta(&self, _set: &FlowSet, _flow_idx: usize, _prefix: &Path) -> Duration {
         0
     }
+}
+
+/// What one fixed-point round did: the last cell changed (`None` on
+/// convergence) plus the counts feeding [`RoundTelemetry`].
+#[derive(Default)]
+struct RoundOutcome {
+    changed: Option<(usize, usize)>,
+    recomputed: usize,
+    skipped: usize,
+    n_changed: usize,
+    max_delta: Duration,
 }
 
 /// Reusable analysis engine for one flow set and configuration.
@@ -55,6 +68,10 @@ pub struct Analyzer<'a, D: DeltaProvider = NoDelta> {
     cache: InterferenceCache,
     /// Rounds the `Smax` fixed point took (0 under `TransitOnly`).
     rounds: usize,
+    /// Convergence record of the fixed point (strategy chosen, per-round
+    /// recompute/skip/change counts); attached to [`SetReport`]s built
+    /// from this analyzer.
+    telemetry: FixpointTelemetry,
     /// Converged full-path bounds, one per flow.
     full: Vec<Verdict>,
 }
@@ -84,17 +101,17 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                 "universe mask length does not match the flow set",
             ));
         }
-        let cache = InterferenceCache::build(set, cfg, &universe, &delta);
+        // Seed first: the transit sums are overflow-checked, so a set
+        // whose time values cannot even be represented fails here with a
+        // typed verdict before any heavier (unchecked) cache arithmetic
+        // runs.
+        let seed = SmaxTable::transit(set)?;
+        let cache = {
+            let _span = ScopedTimer::new("analysis.cache_build").field("flows", set.len());
+            InterferenceCache::build(set, cfg, &universe, &delta)
+        };
         let seed_rows = vec![true; set.len()];
-        Self::with_parts(
-            set,
-            cfg,
-            universe,
-            delta,
-            cache,
-            SmaxTable::transit(set),
-            &seed_rows,
-        )
+        Self::with_parts(set, cfg, universe, delta, cache, seed, &seed_rows)
     }
 
     /// Core constructor behind both the cold path and the survivability
@@ -116,6 +133,15 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         seed: SmaxTable,
         seed_rows: &[bool],
     ) -> Result<Self, Verdict> {
+        let requested = cfg.fixpoint;
+        let chosen = requested.resolve(set.len());
+        let cells = set
+            .flows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| universe[*i])
+            .map(|(_, f)| f.path.len().saturating_sub(1))
+            .sum();
         let mut an = Analyzer {
             set,
             cfg,
@@ -124,13 +150,26 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             smax: seed,
             cache,
             rounds: 0,
+            telemetry: FixpointTelemetry {
+                requested,
+                chosen,
+                auto_selected: requested == FixpointStrategy::Auto,
+                flows: set.len(),
+                cells,
+                rounds: 0,
+                // TransitOnly skips the fixed point: trivially converged.
+                converged: cfg.smax_mode != SmaxMode::RecursivePrefix,
+                per_round: Vec::new(),
+            },
             full: Vec::new(),
         };
         if cfg.smax_mode == SmaxMode::RecursivePrefix {
+            let _span = ScopedTimer::new("analysis.fixpoint").field("flows", set.len());
             an.fixpoint_smax(seed_rows)?;
         }
         // The table is converged (or transit-only): compute every flow's
         // full-path bound once, so report/wcrt calls are lookups.
+        let _span = ScopedTimer::new("analysis.full_bounds").field("flows", set.len());
         let full: Vec<Verdict> = (0..set.len())
             .into_par_iter()
             .map(|i| an.wcrt_prefix(i, set.flows()[i].path.len()))
@@ -153,6 +192,12 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     /// [`SmaxMode::TransitOnly`]).
     pub fn smax_rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Convergence record of this run's fixed point: strategy requested
+    /// vs chosen, per-round recompute/skip/change counts and deltas.
+    pub fn telemetry(&self) -> &FixpointTelemetry {
+        &self.telemetry
     }
 
     /// The frozen interference structure (reused row-wise by the
@@ -294,16 +339,54 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             .enumerate()
             .map(|(i, f)| vec![seed_rows[i]; f.path.len()])
             .collect();
+        // Resolved once for the run: `Auto` picks by flow count; the
+        // resolution never yields `Auto` back, so the non-Jacobi branch
+        // below is Gauss–Seidel.
+        let chosen = self.telemetry.chosen;
         let mut last_changed: Option<(usize, usize)> = None;
         for round in 0..self.cfg.max_smax_rounds {
             self.rounds = round + 1;
             let force = if round == 0 { Some(seed_rows) } else { None };
-            let changed = match self.cfg.fixpoint {
-                FixpointStrategy::Jacobi => self.round_jacobi(&mut dirty, force)?,
-                FixpointStrategy::GaussSeidel => self.round_gauss_seidel(force)?,
+            let outcome = if chosen == FixpointStrategy::Jacobi {
+                self.round_jacobi(&mut dirty, force)?
+            } else {
+                self.round_gauss_seidel(force)?
             };
-            match changed {
-                None => return Ok(()),
+            self.telemetry.rounds = self.rounds;
+            let rt = RoundTelemetry {
+                round: self.rounds,
+                recomputed: outcome.recomputed,
+                skipped: outcome.skipped,
+                changed: outcome.n_changed,
+                max_delta: outcome.max_delta,
+            };
+            if traj_obs::enabled() {
+                traj_obs::emit(
+                    Event::new("fixpoint.round")
+                        .field("round", rt.round)
+                        .field("recomputed", rt.recomputed)
+                        .field("skipped", rt.skipped)
+                        .field("changed", rt.changed)
+                        .field("max_delta", rt.max_delta),
+                );
+            }
+            self.telemetry.per_round.push(rt);
+            match outcome.changed {
+                None => {
+                    self.telemetry.converged = true;
+                    if traj_obs::enabled() {
+                        traj_obs::emit(
+                            Event::new("fixpoint.converged")
+                                .field("rounds", self.rounds)
+                                .field("strategy", chosen.name())
+                                .field("auto_selected", self.telemetry.auto_selected)
+                                .field("cells", self.telemetry.cells)
+                                .field("recomputed_total", self.telemetry.total_recomputed())
+                                .field("skipped_total", self.telemetry.total_skipped()),
+                        );
+                    }
+                    return Ok(());
+                }
                 Some(cell) => last_changed = Some(cell),
             }
         }
@@ -352,70 +435,80 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     /// first round, where even a windowless (table-independent) update
     /// must replace its transit seed once before "no reads changed"
     /// implies "value unchanged"; only the stale flows on a warm start.
-    /// Returns the last cell this round changed, `None` on convergence.
     fn round_jacobi(
         &mut self,
         dirty: &mut [Vec<bool>],
         force: Option<&[bool]>,
-    ) -> Result<Option<(usize, usize)>, Verdict> {
+    ) -> Result<RoundOutcome, Verdict> {
+        // Per-flow result of the parallel map: recomputed `(pos, value)`
+        // pairs plus the count of skipped cells.
+        type FlowUpdates = Result<(Vec<(usize, Duration)>, usize), Verdict>;
         let this: &Self = self;
         let dirty_ro: &[Vec<bool>] = dirty;
-        let updates: Vec<Result<Vec<(usize, Duration)>, Verdict>> = (0..this.set.len())
+        let updates: Vec<FlowUpdates> = (0..this.set.len())
             .into_par_iter()
             .map(|fi| {
                 if !this.universe[fi] {
-                    return Ok(Vec::new());
+                    return Ok((Vec::new(), 0));
                 }
                 let forced = force.map(|rows| rows[fi]).unwrap_or(false);
                 let len = this.set.flows()[fi].path.len();
                 let mut out = Vec::with_capacity(len.saturating_sub(1));
+                let mut skipped = 0;
                 for pos in 1..len {
                     if !forced && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
+                        skipped += 1;
                         continue;
                     }
                     out.push((pos, this.smax_update(fi, pos)?));
                 }
-                Ok(out)
+                Ok((out, skipped))
             })
             .collect();
         for row in dirty.iter_mut() {
             row.fill(false);
         }
-        let mut changed = None;
+        let mut outcome = RoundOutcome::default();
         for (fi, res) in updates.into_iter().enumerate() {
-            for (pos, val) in res? {
+            let (ups, skipped) = res?;
+            outcome.skipped += skipped;
+            outcome.recomputed += ups.len();
+            for (pos, val) in ups {
+                let old = self.smax.at(fi, pos);
                 if self.smax.set(fi, pos, val) {
                     dirty[fi][pos] = true;
-                    changed = Some((fi, pos));
+                    outcome.changed = Some((fi, pos));
+                    outcome.n_changed += 1;
+                    outcome.max_delta = outcome.max_delta.max(val.saturating_sub(old));
                 }
             }
         }
-        Ok(changed)
+        Ok(outcome)
     }
 
     /// One Gauss–Seidel round: updates are applied in place, each
     /// immediately visible to the next (the historical scheme). Unlike
     /// Jacobi it recomputes every in-universe cell regardless of `force`
     /// — a warm seed still converges (each update stays below the least
-    /// fixed point), it just is not incremental. Returns the last cell
-    /// changed, `None` on convergence.
-    fn round_gauss_seidel(
-        &mut self,
-        _force: Option<&[bool]>,
-    ) -> Result<Option<(usize, usize)>, Verdict> {
-        let mut changed = None;
+    /// fixed point), it just is not incremental.
+    fn round_gauss_seidel(&mut self, _force: Option<&[bool]>) -> Result<RoundOutcome, Verdict> {
+        let mut outcome = RoundOutcome::default();
         for fi in 0..self.set.len() {
             if !self.universe[fi] {
                 continue;
             }
             for pos in 1..self.set.flows()[fi].path.len() {
                 let val = self.smax_update(fi, pos)?;
+                outcome.recomputed += 1;
+                let old = self.smax.at(fi, pos);
                 if self.smax.set(fi, pos, val) {
-                    changed = Some((fi, pos));
+                    outcome.changed = Some((fi, pos));
+                    outcome.n_changed += 1;
+                    outcome.max_delta = outcome.max_delta.max(val.saturating_sub(old));
                 }
             }
         }
-        Ok(changed)
+        Ok(outcome)
     }
 
     /// Full report for the flow at `flow_idx`.
@@ -466,7 +559,7 @@ pub fn analyze_all(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
                 .into_par_iter()
                 .map(|i| an.report(i))
                 .collect();
-            SetReport::new(reports)
+            SetReport::new(reports).with_telemetry(an.telemetry().clone())
         }
         Err(verdict) => SetReport::new(
             set.flows()
@@ -651,6 +744,84 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(Analyzer::new(&set, &transit).unwrap().smax_rounds(), 0);
+    }
+
+    #[test]
+    fn auto_strategy_picks_by_size_and_records_the_choice() {
+        // The 5-flow paper example sits below AUTO_JACOBI_MIN_FLOWS: the
+        // default (Auto) config must run Gauss–Seidel and say so.
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        let t = an.telemetry();
+        assert_eq!(t.requested, FixpointStrategy::Auto);
+        assert_eq!(t.chosen, FixpointStrategy::GaussSeidel);
+        assert!(t.auto_selected);
+        assert!(t.converged);
+        assert_eq!(t.flows, 5);
+        assert_eq!(t.rounds, an.smax_rounds());
+        assert_eq!(t.per_round.len(), t.rounds);
+        // Every flow's non-ingress positions are iterated.
+        let cells: usize = set.flows().iter().map(|f| f.path.len() - 1).sum();
+        assert_eq!(t.cells, cells);
+        // The convergence-check round changes nothing.
+        let last = t.per_round.last().unwrap();
+        assert_eq!(last.changed, 0);
+        assert_eq!(last.max_delta, 0);
+        // Explicit strategies are honoured verbatim.
+        let jac = AnalysisConfig {
+            fixpoint: FixpointStrategy::Jacobi,
+            ..cfg.clone()
+        };
+        let tj = Analyzer::new(&set, &jac).unwrap().telemetry().clone();
+        assert_eq!(tj.requested, FixpointStrategy::Jacobi);
+        assert_eq!(tj.chosen, FixpointStrategy::Jacobi);
+        assert!(!tj.auto_selected);
+        // Jacobi's dirty-read analysis skips settled cells in later
+        // rounds; Gauss–Seidel recomputes everything every round.
+        assert!(tj.total_skipped() > 0, "{tj:?}");
+        assert_eq!(t.total_skipped(), 0);
+        assert_eq!(t.total_recomputed(), t.rounds * t.cells);
+    }
+
+    #[test]
+    fn telemetry_rides_on_the_set_report_and_roundtrips() {
+        let set = paper_example();
+        let report = analyze_all(&set, &AnalysisConfig::default());
+        let t = report.telemetry().expect("analyze_all attaches telemetry");
+        assert!(t.converged);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.telemetry(), Some(t));
+        assert_eq!(back.bounds(), report.bounds());
+    }
+
+    #[test]
+    fn fixpoint_emits_round_and_convergence_events_when_sink_installed() {
+        let _g = traj_obs::test_guard();
+        let ring = std::sync::Arc::new(traj_obs::RingSink::new(256));
+        traj_obs::set_sink(ring.clone());
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        traj_obs::disable();
+        let events = ring.drain();
+        let rounds = events.iter().filter(|e| e.name == "fixpoint.round").count();
+        assert_eq!(rounds, an.smax_rounds());
+        let conv: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "fixpoint.converged")
+            .collect();
+        assert_eq!(conv.len(), 1);
+        assert_eq!(
+            conv[0].get("strategy"),
+            Some(&traj_obs::Value::Str("gauss_seidel".into()))
+        );
+        assert!(
+            events.iter().any(|e| e.name == "span"
+                && e.get("name") == Some(&traj_obs::Value::Str("analysis.fixpoint".into()))),
+            "fixpoint span missing"
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Differential suite for the explain/provenance layer: on random
+//! flowsets, under **both** `Smax` modes and **all three** min
+//! conventions, the machine-readable [`BoundProvenance`] terms must sum
+//! *exactly* to the bound `analyze_all` reports for the same flow, and
+//! the human-oriented [`BoundBreakdown`] audit total must agree. Any
+//! drift between the analyzer and its explanation layer — a term added
+//! to one and forgotten in the other, a sign error in the activation
+//! offset — fails the equality, not a tolerance.
+
+use proptest::prelude::*;
+use traj_analysis::{
+    analyze_all, explain_flow, provenance_all, AnalysisConfig, BoundBreakdown, BoundProvenance,
+    SmaxMode,
+};
+use traj_model::gen::{random_mesh, MeshParams};
+use traj_model::{FlowSet, MinConvention};
+
+/// Small meshes keep 64 cases x 6 configurations fast while still
+/// producing multi-hop interference (the regime where the provenance
+/// terms are non-trivial).
+fn mesh(seed: u64, flows: u32) -> Option<FlowSet> {
+    let params = MeshParams {
+        nodes: 12,
+        flows,
+        path_len: (2, 4),
+        max_utilisation: 0.5,
+        ..Default::default()
+    };
+    random_mesh(seed, &params).ok()
+}
+
+/// Every discrete configuration the suite sweeps.
+fn configs() -> Vec<AnalysisConfig> {
+    let mut out = Vec::new();
+    for smax_mode in [SmaxMode::RecursivePrefix, SmaxMode::TransitOnly] {
+        for min_convention in [
+            MinConvention::Visiting,
+            MinConvention::ZeroConvention,
+            MinConvention::EdgeTraversing,
+        ] {
+            out.push(AnalysisConfig {
+                smax_mode,
+                min_convention,
+                ..Default::default()
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn provenance_terms_sum_exactly_to_the_analyzer_bound(
+        seed in 0u64..1_000_000,
+        flows in 3u32..12,
+    ) {
+        let Some(set) = mesh(seed, flows) else {
+            return Err(TestCaseError::reject());
+        };
+        for cfg in configs() {
+            let report = analyze_all(&set, &cfg);
+            let provs = provenance_all(&set, &cfg);
+            prop_assert_eq!(provs.len(), report.per_flow().len());
+            for (r, p) in report.per_flow().iter().zip(&provs) {
+                match (r.wcrt.value(), p) {
+                    (Some(bound), Ok(p)) => {
+                        prop_assert_eq!(
+                            p.bound, bound,
+                            "provenance bound drifted from the analyzer ({:?})", cfg
+                        );
+                        let total: i64 = p.terms.iter().map(|t| t.amount).sum();
+                        prop_assert_eq!(
+                            total, bound,
+                            "provenance terms do not sum to the bound ({:?})", cfg
+                        );
+                        prop_assert_eq!(p.total(), bound);
+                        check_breakdown(&set, &cfg, p, bound)?;
+                    }
+                    // Divergence must be reported consistently by both.
+                    (None, Err(_)) => {}
+                    (bound, prov) => prop_assert!(
+                        false,
+                        "analyzer and provenance disagree on boundedness: \
+                         bound {bound:?} vs provenance {prov:?} ({cfg:?})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The human-oriented breakdown must agree with the provenance and the
+/// analyzer: same bound, and its audit re-sum reproduces it.
+fn check_breakdown(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    p: &BoundProvenance,
+    bound: i64,
+) -> Result<(), TestCaseError> {
+    let bd: BoundBreakdown = explain_flow(set, cfg, p.flow)
+        .map_err(|v| TestCaseError::fail(format!("explain_flow diverged after analyze: {v:?}")))?;
+    prop_assert_eq!(bd.bound, bound);
+    prop_assert_eq!(bd.total(), bound);
+    Ok(())
+}

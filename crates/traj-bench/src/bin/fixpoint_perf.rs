@@ -36,10 +36,15 @@ struct Entry {
     /// Wall-clock per `analyze_all` call (best of `REPS`).
     wall_ms_jacobi: f64,
     wall_ms_gauss_seidel: f64,
+    wall_ms_auto: f64,
     wall_ms_reference: f64,
     /// `wall_ms_reference / wall_ms_jacobi`.
     speedup: f64,
-    /// All three engines produced identical bounds.
+    /// `wall_ms_reference / wall_ms_auto`.
+    speedup_auto: f64,
+    /// Strategy the default `Auto` config resolved to (from telemetry).
+    chosen_auto: String,
+    /// All engines produced identical bounds.
     bounds_match: bool,
 }
 
@@ -74,11 +79,19 @@ fn measure(set: &FlowSet) -> Entry {
         ..Default::default()
     };
 
+    let auto_cfg = AnalysisConfig::default();
+
     let (wall_ms_jacobi, jacobi): (f64, SetReport) =
         time_best(REPS, || analyze_all(set, &jacobi_cfg));
     let (wall_ms_gauss_seidel, gauss) = time_best(REPS, || analyze_all(set, &gauss_cfg));
+    let (wall_ms_auto, auto) = time_best(REPS, || analyze_all(set, &auto_cfg));
     let (wall_ms_reference, reference) =
         time_best(REPS, || analyze_all_reference(set, &jacobi_cfg));
+
+    let chosen_auto = auto
+        .telemetry()
+        .map(|t| t.chosen.name().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
 
     let rounds_jacobi = Analyzer::new(set, &jacobi_cfg)
         .map(|an| an.smax_rounds())
@@ -98,9 +111,14 @@ fn measure(set: &FlowSet) -> Entry {
         rounds_reference,
         wall_ms_jacobi,
         wall_ms_gauss_seidel,
+        wall_ms_auto,
         wall_ms_reference,
         speedup: wall_ms_reference / wall_ms_jacobi.max(1e-9),
-        bounds_match: jacobi.bounds() == reference.bounds() && gauss.bounds() == reference.bounds(),
+        speedup_auto: wall_ms_reference / wall_ms_auto.max(1e-9),
+        chosen_auto,
+        bounds_match: jacobi.bounds() == reference.bounds()
+            && gauss.bounds() == reference.bounds()
+            && auto.bounds() == reference.bounds(),
     }
 }
 
@@ -132,7 +150,9 @@ fn main() {
                 format!("{:.2}", e.wall_ms_reference),
                 format!("{:.2}", e.wall_ms_jacobi),
                 format!("{:.2}", e.wall_ms_gauss_seidel),
-                format!("{:.1}x", e.speedup),
+                format!("{:.2}", e.wall_ms_auto),
+                e.chosen_auto.clone(),
+                format!("{:.1}x", e.speedup_auto),
                 format!(
                     "{}/{}/{}",
                     e.rounds_reference, e.rounds_jacobi, e.rounds_gauss_seidel
@@ -151,6 +171,8 @@ fn main() {
                 "ref ms",
                 "jacobi ms",
                 "gs ms",
+                "auto ms",
+                "auto chose",
                 "speedup",
                 "rounds r/j/g",
                 "match",
@@ -179,5 +201,32 @@ fn main() {
         out.entries.iter().all(|e| e.bounds_match),
         "cached and reference bounds diverged"
     );
-    println!("minimum speedup across sizes: {worst:.1}x");
+
+    // Regression guard for the Auto strategy (the pre-fix default ran
+    // Jacobi everywhere and was up to 3.6x *slower* than the reference
+    // at 5 flows). The selection itself is deterministic; the timing
+    // check carries generous slack (1.5x + 2ms absolute) so a noisy CI
+    // box cannot flake it while a reintroduced
+    // wrong-strategy-at-small-size regression (3x+) still trips it.
+    use traj_analysis::config::AUTO_JACOBI_MIN_FLOWS;
+    for e in &out.entries {
+        let expected = if (e.flows as usize) < AUTO_JACOBI_MIN_FLOWS {
+            "gauss_seidel"
+        } else {
+            "jacobi"
+        };
+        assert_eq!(
+            e.chosen_auto, expected,
+            "Auto mis-selected at {} flows",
+            e.flows
+        );
+        let best = e.wall_ms_jacobi.min(e.wall_ms_gauss_seidel);
+        assert!(
+            e.wall_ms_auto <= best * 1.5 + 2.0,
+            "Auto ({:.2}ms) far off the best explicit strategy ({best:.2}ms) at {} flows",
+            e.wall_ms_auto,
+            e.flows
+        );
+    }
+    println!("minimum speedup across sizes: {worst:.1}x (auto selection verified)");
 }

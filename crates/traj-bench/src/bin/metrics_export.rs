@@ -1,0 +1,320 @@
+//! E14 — Observability overhead and telemetry export.
+//!
+//! Runs the E12 analysis workload three ways — observability disabled
+//! (baseline), a [`NoopSink`] installed (pure emission-site cost), and a
+//! [`JsonlSink`] capturing every event — and measures the instrumentation
+//! overhead, asserting the no-op cost stays under 5% (plus a small
+//! absolute slack so sub-millisecond runs cannot flake CI). Alongside the
+//! timings it exercises the full telemetry surface: fixed-point
+//! convergence telemetry, per-term bound provenance, and admission
+//! metrics from a fault/retry workload — each round-tripped through serde
+//! and embedded in `BENCH_obs.json`.
+//!
+//! Run: `cargo run --release -p traj-bench --bin metrics_export`
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_analysis::{
+    analyze_all, provenance_flow, AnalysisConfig, BoundProvenance, FixpointTelemetry,
+};
+use traj_bench::render_table;
+use traj_diffserv::{AdmissionController, AdmissionDecision, AdmissionMetrics, RetryPolicy};
+use traj_model::examples::paper_example;
+use traj_model::gen::{random_mesh, MeshParams};
+use traj_model::{FaultScenario, FlowSet, NodeId, Path, SporadicFlow};
+use traj_obs::{JsonlSink, NoopSink};
+
+const NODES: u32 = 20;
+/// One workload below the Auto threshold (Gauss–Seidel) and one above
+/// (Jacobi), so both emission paths are covered.
+const FLOW_COUNTS: [u32; 2] = [10, 20];
+const SEED: u64 = 1;
+const REPS: usize = 7;
+/// CI gate: no-op instrumentation overhead must stay below this.
+const OVERHEAD_LIMIT_PCT: f64 = 5.0;
+/// Absolute slack (ms) so timer noise on millisecond-scale runs cannot
+/// flake the relative gate.
+const ABS_SLACK_MS: f64 = 0.5;
+
+/// `Write` target shared with the installed [`JsonlSink`] so the captured
+/// lines stay reachable after the sink is wrapped in an `Arc`.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take_lines(&self) -> Vec<String> {
+        let mut buf = self.0.lock().expect("buffer lock");
+        let text = String::from_utf8(std::mem::take(&mut *buf)).expect("JSONL is UTF-8");
+        text.lines().map(str::to_string).collect()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[derive(Serialize)]
+struct OverheadEntry {
+    flows: u32,
+    /// Strategy the default `Auto` config resolved to.
+    chosen: String,
+    /// Wall-clock per `analyze_all` call (best of `REPS`), observability
+    /// disabled.
+    baseline_ms: f64,
+    /// Same workload with a `NoopSink` installed (emission sites active,
+    /// events discarded).
+    noop_ms: f64,
+    /// Same workload streaming every event as JSONL.
+    jsonl_ms: f64,
+    /// `(noop - baseline) / baseline`, in percent (negative = noise).
+    overhead_noop_pct: f64,
+    overhead_jsonl_pct: f64,
+    /// Events one run emits through the JSONL sink.
+    events_per_run: usize,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    nodes: u32,
+    seed: u64,
+    reps: usize,
+    overhead_limit_pct: f64,
+    entries: Vec<OverheadEntry>,
+    /// Convergence telemetry of the largest workload (serde round-trip
+    /// checked before embedding).
+    telemetry_sample: FixpointTelemetry,
+    /// Bound provenance of one flow of the largest workload (round-trip
+    /// checked).
+    provenance_sample: BoundProvenance,
+    /// Counters from the admission fault/retry workload.
+    admission_metrics: AdmissionMetrics,
+    /// Events the admission workload streamed as JSONL.
+    admission_events: usize,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// Every captured line must be a standalone JSON object with an `event`
+/// name — the contract the schema in DESIGN.md documents.
+fn check_jsonl(lines: &[String]) {
+    for line in lines {
+        let v: serde::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("malformed JSONL line {line}: {e:?}"));
+        let name = v
+            .as_map()
+            .and_then(|entries| serde::value::field(entries, "event"))
+            .and_then(|n| n.as_str());
+        assert!(
+            name.is_some_and(|n| !n.is_empty()),
+            "JSONL line lacks a string `event` field: {line}"
+        );
+    }
+}
+
+fn measure(set: &FlowSet) -> OverheadEntry {
+    let cfg = AnalysisConfig::default();
+
+    traj_obs::disable();
+    let (baseline_ms, report) = time_best(REPS, || analyze_all(set, &cfg));
+    let chosen = report
+        .telemetry()
+        .map(|t| t.chosen.name().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+
+    traj_obs::set_sink(Arc::new(NoopSink));
+    let (noop_ms, _) = time_best(REPS, || analyze_all(set, &cfg));
+
+    let buf = SharedBuf::default();
+    traj_obs::set_sink(Arc::new(JsonlSink::new(buf.clone())));
+    let (jsonl_ms, _) = time_best(REPS, || analyze_all(set, &cfg));
+    traj_obs::disable();
+
+    let lines = buf.take_lines();
+    check_jsonl(&lines);
+    assert!(
+        lines.len() % REPS == 0 && !lines.is_empty(),
+        "deterministic workload must emit the same events every rep"
+    );
+
+    OverheadEntry {
+        flows: set.len() as u32,
+        chosen,
+        baseline_ms,
+        noop_ms,
+        jsonl_ms,
+        overhead_noop_pct: (noop_ms - baseline_ms) / baseline_ms.max(1e-9) * 100.0,
+        overhead_jsonl_pct: (jsonl_ms - baseline_ms) / baseline_ms.max(1e-9) * 100.0,
+        events_per_run: lines.len() / REPS,
+    }
+}
+
+/// Admission / survivability workload: fill the paper example to
+/// rejection, kill a source node, retry past saturation — exercising
+/// every counter in [`AdmissionMetrics`] while streaming events.
+fn admission_workload() -> (AdmissionMetrics, usize) {
+    let buf = SharedBuf::default();
+    traj_obs::set_sink(Arc::new(JsonlSink::new(buf.clone())));
+
+    let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default())
+        .with_retry_policy(RetryPolicy { base: 8, cap: 32 });
+    let mut id = 100;
+    while let AdmissionDecision::Admitted { .. } = ac.try_admit(
+        SporadicFlow::uniform(id, Path::from_ids([2, 3, 4]).expect("path"), 72, 4, 0, 60)
+            .expect("candidate"),
+    ) {
+        id += 1;
+    }
+    // Node 9 is flow 2's source: the fault drops it into the retry queue.
+    ac.on_fault(&FaultScenario::node_down(NodeId(9)), 0)
+        .expect("fault response");
+    for _ in 0..4 {
+        let Some(e) = ac.retry_queue().first() else {
+            break;
+        };
+        let due = e.next_attempt;
+        ac.tick(due);
+    }
+    traj_obs::disable();
+
+    let lines = buf.take_lines();
+    check_jsonl(&lines);
+    assert!(!lines.is_empty(), "admission workload must emit events");
+    (*ac.metrics(), lines.len())
+}
+
+fn roundtrip<T: Serialize + serde::Deserialize + PartialEq + std::fmt::Debug>(
+    what: &str,
+    value: &T,
+) {
+    let json = serde_json::to_string(value).expect("serialisable");
+    let back: T = serde_json::from_str(&json).expect("deserialisable");
+    assert_eq!(&back, value, "{what} serde round-trip changed the value");
+}
+
+fn main() {
+    traj_obs::reset_metrics();
+
+    let mut entries = Vec::new();
+    let mut largest: Option<FlowSet> = None;
+    for &flows in &FLOW_COUNTS {
+        let params = MeshParams {
+            nodes: NODES,
+            flows,
+            path_len: (2, 4),
+            max_utilisation: 0.5,
+            ..Default::default()
+        };
+        let Ok(set) = random_mesh(SEED, &params) else {
+            continue;
+        };
+        entries.push(measure(&set));
+        largest = Some(set);
+    }
+    let largest = largest.expect("at least one workload built");
+
+    let cfg = AnalysisConfig::default();
+    let telemetry_sample = analyze_all(&largest, &cfg)
+        .telemetry()
+        .expect("convergent workload carries telemetry")
+        .clone();
+    roundtrip("FixpointTelemetry", &telemetry_sample);
+
+    let first = largest.flows()[0].id;
+    let provenance_sample = provenance_flow(&largest, &cfg, first).expect("convergent workload");
+    roundtrip("BoundProvenance", &provenance_sample);
+    assert_eq!(
+        provenance_sample.total(),
+        provenance_sample.bound,
+        "provenance terms must sum to the bound"
+    );
+
+    let (admission_metrics, admission_events) = admission_workload();
+    roundtrip("AdmissionMetrics", &admission_metrics);
+    assert!(admission_metrics.admitted > 0 && admission_metrics.rejected > 0);
+    assert!(admission_metrics.dropped > 0 && admission_metrics.retry_attempts > 0);
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.flows.to_string(),
+                e.chosen.clone(),
+                format!("{:.2}", e.baseline_ms),
+                format!("{:.2}", e.noop_ms),
+                format!("{:.2}", e.jsonl_ms),
+                format!("{:+.1}%", e.overhead_noop_pct),
+                format!("{:+.1}%", e.overhead_jsonl_pct),
+                e.events_per_run.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E14 - observability overhead ({NODES} nodes, best of {REPS})"),
+            &[
+                "flows",
+                "strategy",
+                "off ms",
+                "noop ms",
+                "jsonl ms",
+                "noop ovh",
+                "jsonl ovh",
+                "events",
+            ],
+            &rows,
+        )
+    );
+
+    let out = Output {
+        experiment: "metrics_export".to_string(),
+        nodes: NODES,
+        seed: SEED,
+        reps: REPS,
+        overhead_limit_pct: OVERHEAD_LIMIT_PCT,
+        entries,
+        telemetry_sample,
+        provenance_sample,
+        admission_metrics,
+        admission_events,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+
+    // The CI gate: best-of timing is robust to noise spikes, the absolute
+    // slack covers timer granularity on the smallest workload.
+    for e in &out.entries {
+        assert!(
+            e.noop_ms <= e.baseline_ms * (1.0 + OVERHEAD_LIMIT_PCT / 100.0) + ABS_SLACK_MS,
+            "no-op sink overhead {:.1}% (baseline {:.2}ms, noop {:.2}ms) at {} flows \
+             exceeds the {OVERHEAD_LIMIT_PCT}% budget",
+            e.overhead_noop_pct,
+            e.baseline_ms,
+            e.noop_ms,
+            e.flows
+        );
+    }
+    println!("no-op overhead within {OVERHEAD_LIMIT_PCT}% on every workload");
+}

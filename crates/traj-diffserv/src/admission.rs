@@ -65,7 +65,8 @@ pub struct RetryEntry {
     pub flow: SporadicFlow,
     /// Earliest tick at which the next admission attempt may run.
     pub next_attempt: u64,
-    /// Current backoff interval; doubles after every failed attempt.
+    /// Current backoff interval; doubles after every failed attempt,
+    /// saturating at the configured [`RetryPolicy`] cap.
     pub backoff: u64,
     /// Failed re-admission attempts so far.
     pub attempts: u32,
@@ -85,10 +86,69 @@ pub struct FaultResponse {
     pub evicted: Vec<FlowId>,
 }
 
-/// First backoff interval (in ticks) after a failed re-admission.
-const RETRY_BACKOFF_BASE: u64 = 8;
-/// Backoff saturates here so repaired capacity is eventually noticed.
-const RETRY_BACKOFF_CAP: u64 = 1 << 16;
+/// Retry-queue backoff schedule: exponential doubling from `base`,
+/// saturating at `cap`.
+///
+/// The cap used to be a hard-wired constant; making it configurable lets
+/// deployments trade re-admission latency (small cap: repaired capacity
+/// is noticed quickly) against analysis load (large cap: fewer futile
+/// re-analyses while the fault persists). A cap below `base` is treated
+/// as `base` — the first backoff interval is the floor of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First backoff interval (ticks) after a displacement or a failed
+    /// re-admission attempt.
+    pub base: u64,
+    /// Backoff saturation point (ticks).
+    pub cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: 8,
+            cap: 1 << 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The effective saturation point (`cap`, floored at `base`).
+    pub fn effective_cap(&self) -> u64 {
+        self.cap.max(self.base)
+    }
+
+    /// The interval following `current`: doubled (saturating in u64,
+    /// so a huge cap cannot wrap the arithmetic), clamped to the cap.
+    pub fn next_backoff(&self, current: u64) -> u64 {
+        current.saturating_mul(2).min(self.effective_cap())
+    }
+}
+
+/// Monotone counters of everything the controller decided, plus the
+/// retry-queue high-water mark. Cheap to keep (a few integer adds per
+/// operation), exposed for dashboards and asserted on by the CI
+/// observability job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionMetrics {
+    /// Successful admissions, including re-admissions from the retry
+    /// queue.
+    pub admitted: u64,
+    /// Rejections (some flow would miss its deadline).
+    pub rejected: u64,
+    /// Malformed candidates.
+    pub invalid: u64,
+    /// Flows whose route a fault killed.
+    pub dropped: u64,
+    /// Flows evicted to restore schedulability after a fault.
+    pub evicted: u64,
+    /// Retry-queue entries that made it back in.
+    pub readmitted: u64,
+    /// Re-admission attempts run by [`AdmissionController::tick`].
+    pub retry_attempts: u64,
+    /// Largest retry-queue depth ever observed.
+    pub retry_depth_peak: u64,
+}
 
 /// Stateful admission controller for a DiffServ domain.
 #[derive(Debug, Clone)]
@@ -96,7 +156,9 @@ pub struct AdmissionController {
     current: FlowSet,
     cfg: AnalysisConfig,
     policy: EvictionPolicy,
+    retry_policy: RetryPolicy,
     retry: Vec<RetryEntry>,
+    metrics: AdmissionMetrics,
     /// Admission sequence numbers; flows present at construction get the
     /// lowest ones in set order.
     order: Vec<(FlowId, u64)>,
@@ -122,15 +184,33 @@ impl AdmissionController {
             current,
             cfg,
             policy,
+            retry_policy: RetryPolicy::default(),
             retry: Vec::new(),
+            metrics: AdmissionMetrics::default(),
             order,
             next_seq,
         }
     }
 
+    /// Replaces the retry backoff schedule (builder style).
+    pub fn with_retry_policy(mut self, retry_policy: RetryPolicy) -> Self {
+        self.retry_policy = retry_policy;
+        self
+    }
+
     /// The active eviction policy.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// The active retry backoff schedule.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Decision counters accumulated since construction.
+    pub fn metrics(&self) -> &AdmissionMetrics {
+        &self.metrics
     }
 
     /// Flows displaced by a fault and still waiting for re-admission.
@@ -146,6 +226,29 @@ impl AdmissionController {
     /// Tries to admit `candidate`; on success the controller's state is
     /// updated.
     pub fn try_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
+        let decision = self.admit_inner(candidate);
+        match &decision {
+            AdmissionDecision::Admitted { .. } => self.metrics.admitted += 1,
+            AdmissionDecision::Rejected { .. } => self.metrics.rejected += 1,
+            AdmissionDecision::Invalid(_) => self.metrics.invalid += 1,
+        }
+        if traj_obs::enabled() {
+            let outcome = match &decision {
+                AdmissionDecision::Admitted { .. } => "admitted",
+                AdmissionDecision::Rejected { .. } => "rejected",
+                AdmissionDecision::Invalid(_) => "invalid",
+            };
+            traj_obs::counter_add("admission.decisions", 1);
+            traj_obs::emit(
+                traj_obs::Event::new("admission.decision")
+                    .field("outcome", outcome)
+                    .field("flows", self.current.len()),
+            );
+        }
+        decision
+    }
+
+    fn admit_inner(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
         let cand_id = candidate.id;
         // `extended_with` shares the current set's crossing-segment memo
         // with the tentative set: only pairs involving the candidate's
@@ -267,13 +370,27 @@ impl AdmissionController {
         let keep: std::collections::HashSet<FlowId> = set.flows().iter().map(|f| f.id).collect();
         self.order.retain(|(f, _)| keep.contains(f));
         self.current = set;
+        self.metrics.dropped += response.dropped.len() as u64;
+        self.metrics.evicted += response.evicted.len() as u64;
+        if traj_obs::enabled() {
+            traj_obs::emit(
+                traj_obs::Event::new("admission.fault")
+                    .field("dropped", response.dropped.len())
+                    .field("evicted", response.evicted.len())
+                    .field("rerouted", response.rerouted.len())
+                    .field("retry_depth", self.retry.len()),
+            );
+            traj_obs::gauge_set("admission.retry_depth", self.retry.len() as i64);
+        }
         Ok(response)
     }
 
     /// Drains due retry-queue entries: each gets one full admission
-    /// attempt. Success removes the entry; failure doubles its backoff.
-    /// Returns the decisions taken this tick, in queue order.
+    /// attempt. Success removes the entry; failure doubles its backoff
+    /// (saturating at the configured [`RetryPolicy`] cap). Returns the
+    /// decisions taken this tick, in queue order.
     pub fn tick(&mut self, now: u64) -> Vec<(FlowId, AdmissionDecision)> {
+        let _span = traj_obs::ScopedTimer::new("admission.tick").field("now", now);
         let mut decisions = Vec::new();
         let due: Vec<usize> = (0..self.retry.len())
             .filter(|&i| self.retry[i].next_attempt <= now)
@@ -282,20 +399,31 @@ impl AdmissionController {
         for i in due {
             let flow = self.retry[i].flow.clone();
             let id = flow.id;
+            self.metrics.retry_attempts += 1;
             let decision = self.try_admit(flow);
             match decision {
                 AdmissionDecision::Admitted { .. } => readmitted.push(i),
                 _ => {
+                    let backoff = self.retry_policy.next_backoff(self.retry[i].backoff);
                     let e = &mut self.retry[i];
                     e.attempts += 1;
-                    e.backoff = (e.backoff * 2).min(RETRY_BACKOFF_CAP);
-                    e.next_attempt = now + e.backoff;
+                    e.backoff = backoff;
+                    e.next_attempt = now.saturating_add(backoff);
                 }
             }
             decisions.push((id, decision));
         }
+        self.metrics.readmitted += readmitted.len() as u64;
         for i in readmitted.into_iter().rev() {
             self.retry.remove(i);
+        }
+        if traj_obs::enabled() && !decisions.is_empty() {
+            traj_obs::emit(
+                traj_obs::Event::new("admission.tick")
+                    .field("attempted", decisions.len())
+                    .field("retry_depth", self.retry.len()),
+            );
+            traj_obs::gauge_set("admission.retry_depth", self.retry.len() as i64);
         }
         decisions
     }
@@ -304,13 +432,15 @@ impl AdmissionController {
         if self.retry.iter().any(|e| e.flow.id == flow.id) {
             return;
         }
+        let base = self.retry_policy.base;
         self.retry.push(RetryEntry {
             flow,
-            next_attempt: now + RETRY_BACKOFF_BASE,
-            backoff: RETRY_BACKOFF_BASE,
+            next_attempt: now.saturating_add(base),
+            backoff: base,
             attempts: 0,
             reason,
         });
+        self.metrics.retry_depth_peak = self.metrics.retry_depth_peak.max(self.retry.len() as u64);
     }
 
     /// Picks the next eviction victim among `set`'s flows per the policy.
@@ -532,9 +662,108 @@ mod tests {
         if !matches!(decisions[0].1, AdmissionDecision::Admitted { .. }) {
             let e = &ac.retry_queue()[0];
             assert_eq!(e.attempts, 1);
-            assert_eq!(e.backoff, 2 * super::RETRY_BACKOFF_BASE);
+            assert_eq!(e.backoff, 2 * RetryPolicy::default().base);
             assert_eq!(e.next_attempt, first_attempt + e.backoff);
         }
+    }
+
+    #[test]
+    fn retry_backoff_saturates_at_the_configured_cap() {
+        // Fill to rejection so the displaced flow keeps failing
+        // re-admission, then watch its backoff double into the cap.
+        let cap = 20;
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default())
+            .with_retry_policy(RetryPolicy { base: 8, cap });
+        let mut id = 100;
+        while let AdmissionDecision::Admitted { .. } = ac.try_admit(candidate(id, 72, 60)) {
+            id += 1;
+        }
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        let queued: Vec<FlowId> = ac.retry_queue().iter().map(|e| e.flow.id).collect();
+        assert!(!queued.is_empty());
+        let mut saturated = false;
+        for _ in 0..6 {
+            let Some(e) = ac.retry_queue().iter().find(|e| e.flow.id == queued[0]) else {
+                break; // readmitted — nothing left to saturate
+            };
+            let due = e.next_attempt;
+            ac.tick(due);
+            if let Some(e) = ac.retry_queue().iter().find(|e| e.flow.id == queued[0]) {
+                assert!(e.backoff <= cap, "backoff {} exceeds cap {cap}", e.backoff);
+                saturated |= e.backoff == cap;
+            }
+        }
+        if ac.retry_queue().iter().any(|e| e.flow.id == queued[0]) {
+            assert!(saturated, "six failed attempts must reach the 20-tick cap");
+        }
+    }
+
+    #[test]
+    fn retry_policy_cap_below_base_clamps_to_base() {
+        let p = RetryPolicy { base: 10, cap: 1 };
+        assert_eq!(p.effective_cap(), 10);
+        assert_eq!(p.next_backoff(10), 10);
+        // Saturating doubling: no u64 wrap even at extreme values.
+        let huge = RetryPolicy {
+            base: 1,
+            cap: u64::MAX,
+        };
+        assert_eq!(huge.next_backoff(u64::MAX / 2 + 1), u64::MAX);
+    }
+
+    #[test]
+    fn metrics_count_decisions_and_displacements() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Invalid(_)
+        ));
+        assert!(matches!(
+            ac.try_admit(candidate(12, 360, 5)),
+            AdmissionDecision::Rejected { .. }
+        ));
+        let m = ac.metrics();
+        assert_eq!((m.admitted, m.rejected, m.invalid), (1, 1, 1));
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        let m = ac.metrics();
+        assert!(m.dropped >= 1);
+        assert!(m.retry_depth_peak >= 1);
+        let due = ac.retry_queue()[0].next_attempt;
+        ac.tick(due);
+        let m = ac.metrics();
+        assert!(m.retry_attempts >= 1);
+        assert_eq!(
+            m.readmitted, 1,
+            "the repaired topology takes flow 2 back on the first due tick"
+        );
+    }
+
+    #[test]
+    fn admission_emits_events_when_sink_installed() {
+        let _g = traj_obs::test_guard();
+        let ring = std::sync::Arc::new(traj_obs::RingSink::new(64));
+        traj_obs::set_sink(ring.clone());
+        traj_obs::reset_metrics();
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        ac.try_admit(candidate(10, 360, 200));
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        let due = ac.retry_queue()[0].next_attempt;
+        ac.tick(due);
+        traj_obs::disable();
+        let events = ring.drain();
+        assert!(events.iter().any(|e| e.name == "admission.decision"));
+        assert!(events.iter().any(|e| e.name == "admission.fault"));
+        assert!(events.iter().any(|e| e.name == "admission.tick"));
+        assert!(events.iter().any(|e| e.name == "span"
+            && e.get("name") == Some(&traj_obs::Value::Str("admission.tick".into()))));
+        traj_obs::reset_metrics();
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod dscp;
 pub mod router;
 
 pub use admission::{
-    AdmissionController, AdmissionDecision, EvictionPolicy, FaultResponse, RetryEntry,
+    AdmissionController, AdmissionDecision, AdmissionMetrics, EvictionPolicy, FaultResponse,
+    RetryEntry, RetryPolicy,
 };
 pub use af::{af_delay_estimates, AfDelayEstimate};
 pub use conditioner::TokenBucket;

@@ -509,13 +509,21 @@ impl FlowSet {
     /// networks (it ignores queueing); the analysis crate computes the
     /// sound recursive variant. Exposed for seeding and for the
     /// `TransitOnly` ablation mode.
+    ///
+    /// `None` when the flow does not visit `node` **or** the sum
+    /// overflows i64 — a wrapped (or zero-substituted) seed would be an
+    /// *optimistic* under-approximation, capable of declaring an
+    /// unschedulable set schedulable, so callers must treat `None` on a
+    /// visited node as an overflow verdict, never as 0.
     pub fn transit_smax(&self, j: &SporadicFlow, node: NodeId) -> Option<Duration> {
         let idx = j.path.index_of(node)?;
-        let mut s = 0;
+        let mut s: Duration = 0;
         for k in 0..idx {
             let here = j.path.nodes()[k];
             let next = j.path.nodes()[k + 1];
-            s += j.cost_at_index(k) + self.network.link_delay(here, next).lmax;
+            s = s
+                .checked_add(j.cost_at_index(k))?
+                .checked_add(self.network.link_delay(here, next).lmax)?;
         }
         Some(s)
     }
@@ -672,6 +680,18 @@ mod tests {
         assert_eq!(s.smin(f3, NodeId(7), SminMode::LinkOnly), Some(3));
         assert_eq!(s.smin(f3, NodeId(2), SminMode::ProcessingAndLink), Some(0));
         assert_eq!(s.smin(f3, NodeId(1), SminMode::ProcessingAndLink), None);
+    }
+
+    #[test]
+    fn transit_smax_overflow_reports_none_instead_of_wrapping() {
+        use crate::examples::line_topology;
+        // Two upstream hops of ~ i64::MAX/2 each: the running sum leaves
+        // i64 at the third node and must surface as None (the analysis
+        // maps it to a typed overflow verdict), never as a wrapped value.
+        let s = line_topology(1, 3, i64::MAX / 2, i64::MAX / 2, 1, 1).unwrap();
+        let f = &s.flows()[0];
+        assert_eq!(s.transit_smax(f, NodeId(1)), Some(0));
+        assert_eq!(s.transit_smax(f, NodeId(3)), None);
     }
 
     #[test]

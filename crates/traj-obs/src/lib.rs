@@ -1,0 +1,515 @@
+//! Zero-dependency observability layer for the trajectory pipeline.
+//!
+//! The analysis engine, the admission controller and the simulator emit
+//! structured [`Event`]s — named records with typed fields — through a
+//! process-global, pluggable [`Sink`]. The default state is *disabled*:
+//! every emission site first reads one relaxed [`AtomicBool`], so
+//! instrumentation costs a single predictable branch when nobody is
+//! listening (measured by the `metrics_export` benchmark, E14).
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`NoopSink`] — swallows events (useful to measure the cost of the
+//!   emission sites themselves);
+//! * [`RingSink`] — fixed-capacity in-memory ring buffer, oldest events
+//!   evicted first; the default for tests and interactive inspection;
+//! * [`JsonlSink`] — serialises each event as one JSON object per line
+//!   into any `Write` target (the encoder is hand-rolled here so the
+//!   crate stays dependency-free).
+//!
+//! Besides events, the crate keeps a global registry of named
+//! **counters** (monotone, `add`) and **gauges** (last-write-wins,
+//! `set`), snapshotted by [`metrics_snapshot`]. [`ScopedTimer`] measures
+//! a lexical scope and emits a `span` event with the elapsed
+//! microseconds on drop.
+//!
+//! # Concurrency and test isolation
+//!
+//! The sink and the metric registry are process-global. Library code
+//! must therefore treat them as *best-effort* telemetry, never as a
+//! correctness channel; tests that assert on captured events serialise
+//! themselves with [`test_guard`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One typed field value of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer (durations in ticks, deltas).
+    I64(i64),
+    /// Unsigned integer (counts, sizes).
+    U64(u64),
+    /// Floating point (ratios, milliseconds).
+    F64(f64),
+    /// Short string (strategy names, labels).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `fixpoint.round` or `admission.tick`.
+    pub name: &'static str,
+    /// Field list in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Builds an event with no fields.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The value of the first field with the given key, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Serialises the event as one compact JSON object:
+    /// `{"event":"name","k":v,...}`. Field order is preserved; a field
+    /// whose key repeats is emitted repeatedly (JSON permits it, readers
+    /// keep the last).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.fields.len() * 16);
+        out.push_str("{\"event\":");
+        json_string(&mut out, self.name);
+        for (k, v) in &self.fields {
+            out.push(',');
+            json_string(&mut out, k);
+            out.push(':');
+            match v {
+                Value::I64(x) => out.push_str(&x.to_string()),
+                Value::U64(x) => out.push_str(&x.to_string()),
+                Value::F64(x) => {
+                    if x.is_finite() {
+                        out.push_str(&format!("{x}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Value::Str(s) => json_string(&mut out, s),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Receives emitted events. Implementations must be cheap and must not
+/// panic: they run inside analysis hot paths.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Swallows everything (measures pure emission-site cost).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Fixed-capacity in-memory ring buffer; the oldest events are evicted
+/// once full.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<std::collections::VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (`cap` 0 is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        lock_ignore_poison(&self.buf).iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        lock_ignore_poison(&self.buf).drain(..).collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        lock_ignore_poison(&self.buf).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut buf = lock_ignore_poison(&self.buf);
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes one JSON object per line into any `Write` target.
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the sink and returns the writer (flushing it first).
+    pub fn into_inner(self) -> W {
+        self.out
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut out = lock_ignore_poison(&self.out);
+        // Telemetry is best-effort: a failed write must never take the
+        // analysis down, so the io::Result is deliberately dropped.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = lock_ignore_poison(&self.out).flush();
+    }
+}
+
+/// A mutex poisoned by a panicking holder still guards plain data; the
+/// telemetry layer prefers serving slightly torn metrics over
+/// propagating the panic.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Fast-path gate: emission sites read this before doing any work.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed sink (None while disabled).
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+/// Counter registry (monotone adds).
+static COUNTERS: Mutex<Option<BTreeMap<&'static str, u64>>> = Mutex::new(None);
+/// Gauge registry (last write wins).
+static GAUGES: Mutex<Option<BTreeMap<&'static str, i64>>> = Mutex::new(None);
+
+/// Whether a sink is installed. One relaxed atomic load; emission sites
+/// call this first so a disabled pipeline pays a single branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a sink and enables emission. Replaces any previous sink.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *lock_ignore_poison(&SINK) = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Uninstalls the sink and disables emission; the metric registries are
+/// left intact (use [`reset_metrics`] to clear them).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+    *lock_ignore_poison(&SINK) = None;
+}
+
+/// Emits one event to the installed sink; no-op while disabled.
+#[inline]
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(sink) = lock_ignore_poison(&SINK).as_ref() {
+        sink.record(&event);
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(sink) = lock_ignore_poison(&SINK).as_ref() {
+        sink.flush();
+    }
+}
+
+/// Adds to a named counter; no-op while disabled.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock_ignore_poison(&COUNTERS);
+    *reg.get_or_insert_with(BTreeMap::new)
+        .entry(name)
+        .or_insert(0) += n;
+}
+
+/// Sets a named gauge; no-op while disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, v: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock_ignore_poison(&GAUGES);
+    reg.get_or_insert_with(BTreeMap::new).insert(name, v);
+}
+
+/// Snapshot of every counter and gauge: `(name, value)` pairs, counters
+/// first, sorted by name within each kind. Gauges are widened to i64 in
+/// place; counters are reported as i64 saturating at `i64::MAX`.
+pub fn metrics_snapshot() -> Vec<(String, i64)> {
+    let mut out = Vec::new();
+    if let Some(reg) = lock_ignore_poison(&COUNTERS).as_ref() {
+        for (k, v) in reg {
+            out.push((k.to_string(), i64::try_from(*v).unwrap_or(i64::MAX)));
+        }
+    }
+    if let Some(reg) = lock_ignore_poison(&GAUGES).as_ref() {
+        for (k, v) in reg {
+            out.push((k.to_string(), *v));
+        }
+    }
+    out
+}
+
+/// Clears every counter and gauge.
+pub fn reset_metrics() {
+    *lock_ignore_poison(&COUNTERS) = None;
+    *lock_ignore_poison(&GAUGES) = None;
+}
+
+/// Measures a lexical scope; on drop emits a `span` event
+/// `{event:"span", name, elapsed_us, ...fields}`. Inert (no clock read)
+/// while emission is disabled at construction time.
+pub struct ScopedTimer {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl ScopedTimer {
+    /// Starts a timer for `name`; reads the clock only when a sink is
+    /// installed.
+    pub fn new(name: &'static str) -> Self {
+        ScopedTimer {
+            name,
+            start: enabled().then(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches one field to the span event (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let mut ev = Event::new("span")
+            .field("name", self.name)
+            .field("elapsed_us", start.elapsed().as_micros() as u64);
+        ev.fields.append(&mut self.fields);
+        emit(ev);
+    }
+}
+
+/// Serialises tests that install a global sink: hold the returned guard
+/// for the test's whole body. (The sink and registries are process-wide;
+/// parallel test threads would otherwise observe each other's events.)
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pipeline_swallows_everything() {
+        let _g = test_guard();
+        disable();
+        reset_metrics();
+        emit(Event::new("x").field("k", 1i64));
+        counter_add("c", 3);
+        gauge_set("g", 7);
+        assert!(!enabled());
+        assert!(metrics_snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_sink_captures_and_evicts() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSink::new(2));
+        set_sink(ring.clone());
+        emit(Event::new("a"));
+        emit(Event::new("b"));
+        emit(Event::new("c"));
+        let names: Vec<_> = ring.snapshot().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"], "oldest evicted at capacity");
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+        disable();
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = test_guard();
+        set_sink(Arc::new(NoopSink));
+        reset_metrics();
+        counter_add("pkts", 2);
+        counter_add("pkts", 3);
+        gauge_set("depth", 9);
+        gauge_set("depth", 4);
+        let snap = metrics_snapshot();
+        assert!(snap.contains(&("pkts".to_string(), 5)));
+        assert!(snap.contains(&("depth".to_string(), 4)));
+        reset_metrics();
+        disable();
+    }
+
+    #[test]
+    fn scoped_timer_emits_span_with_fields() {
+        let _g = test_guard();
+        let ring = Arc::new(RingSink::new(8));
+        set_sink(ring.clone());
+        {
+            let _t = ScopedTimer::new("work").field("items", 5usize);
+        }
+        let evs = ring.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "span");
+        assert_eq!(evs[0].get("name"), Some(&Value::Str("work".into())));
+        assert_eq!(evs[0].get("items"), Some(&Value::U64(5)));
+        assert!(matches!(evs[0].get("elapsed_us"), Some(Value::U64(_))));
+        disable();
+    }
+
+    #[test]
+    fn scoped_timer_is_inert_when_disabled() {
+        let _g = test_guard();
+        disable();
+        let t = ScopedTimer::new("idle").field("k", 1i64);
+        assert!(t.start.is_none());
+        assert!(t.fields.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let _g = test_guard();
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.record(&Event::new("a").field("n", 1i64).field("s", "x\"y"));
+        sink.record(&Event::new("b").field("ok", true).field("r", 0.5f64));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"a","n":1,"s":"x\"y"}"#);
+        assert_eq!(lines[1], r#"{"event":"b","ok":true,"r":0.5}"#);
+    }
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        let e = Event::new("e").field("s", "tab\there\nnl\u{1}");
+        let j = e.to_json();
+        assert!(j.contains("tab\\there\\nnl\\u0001"), "{j}");
+    }
+
+    #[test]
+    fn event_get_finds_first_field() {
+        let e = Event::new("e").field("k", 1i64).field("k", 2i64);
+        assert_eq!(e.get("k"), Some(&Value::I64(1)));
+        assert_eq!(e.get("missing"), None);
+    }
+}

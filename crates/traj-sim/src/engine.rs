@@ -149,6 +149,10 @@ impl<'a> Simulator<'a> {
         mut trace: Option<&mut TraceRecorder>,
     ) -> SimOutcome {
         assert_eq!(patterns.len(), self.set.len(), "one pattern per flow");
+        let _span = traj_obs::ScopedTimer::new("sim.run")
+            .field("flows", self.set.len())
+            .field("packets_per_flow", self.cfg.packets_per_flow);
+        let mut processed_events: u64 = 0;
         let n_flows = self.set.len();
         let mut rng = match self.cfg.delay_policy {
             DelayPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
@@ -249,6 +253,7 @@ impl<'a> Simulator<'a> {
                     break;
                 }
                 let Reverse((_, _, idx)) = heap.pop().expect("peeked");
+                processed_events += 1;
                 match events[idx] {
                     Event::Arrival { node, pkt } => {
                         if let Some(rec) = trace.as_deref_mut() {
@@ -353,6 +358,16 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        if traj_obs::enabled() {
+            traj_obs::counter_add("sim.events", processed_events);
+            traj_obs::counter_add("sim.delivered", delivered);
+            traj_obs::emit(
+                traj_obs::Event::new("sim.complete")
+                    .field("events", processed_events)
+                    .field("delivered", delivered)
+                    .field("horizon", last_t),
+            );
+        }
         SimOutcome {
             flows: stats,
             horizon: last_t,
@@ -525,6 +540,33 @@ mod tests {
         let bps = trace.busy_periods(traj_model::NodeId(3));
         assert!(!bps.is_empty());
         assert!(bps.iter().any(|bp| bp.packets.len() > 1));
+    }
+
+    #[test]
+    fn sim_emits_span_and_completion_when_sink_installed() {
+        let _g = traj_obs::test_guard();
+        let ring = std::sync::Arc::new(traj_obs::RingSink::new(16));
+        traj_obs::set_sink(ring.clone());
+        traj_obs::reset_metrics();
+        let set = line_topology(1, 2, 100, 5, 1, 1).unwrap();
+        let out = Simulator::new(&set, SimConfig::default()).run_periodic(&[0]);
+        traj_obs::disable();
+        let events = ring.drain();
+        let done = events
+            .iter()
+            .find(|e| e.name == "sim.complete")
+            .expect("completion event");
+        assert_eq!(
+            done.get("delivered"),
+            Some(&traj_obs::Value::U64(out.delivered))
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.name == "span"
+                && e.get("name") == Some(&traj_obs::Value::Str("sim.run".into()))));
+        let snap = traj_obs::metrics_snapshot();
+        assert!(snap.iter().any(|(k, v)| k == "sim.delivered" && *v > 0));
+        traj_obs::reset_metrics();
     }
 
     #[test]

@@ -82,3 +82,17 @@ impl Value {
 pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
     entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
+
+// Identity impls so untyped JSON can flow through `serde_json::from_str`
+// / `to_string` (mirrors upstream `serde_json::Value`).
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::DeError> {
+        Ok(v.clone())
+    }
+}
