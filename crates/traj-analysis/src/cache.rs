@@ -33,6 +33,8 @@
 //! asserted term-by-term by `skeletons_match_direct_assembly` below and
 //! end-to-end by the differential suite in `tests/equivalence.rs`.
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
 use traj_model::{CrossDirection, Duration, FlowSet, MinConvention, NodeId, SporadicFlow, Tick};
 
@@ -40,6 +42,12 @@ use crate::config::{AnalysisConfig, ReverseCounting};
 use crate::smax::SmaxTable;
 use crate::terms::{BoundFunction, MaxPoint, Overflowed, Window};
 use crate::wcrt::DeltaProvider;
+
+/// Below this many freshly-built rows a delta construction runs
+/// serially — reused rows are refcount bumps, and the rayon dispatch
+/// costs more than building a warm start's handful of stale rows
+/// inline.
+const SERIAL_REBUILD_MAX_ROWS: usize = 32;
 
 /// One interference window of Property 1 with its `Smax` reads left
 /// symbolic: the alignment is `smax[owner][pos_i] + smax[j_idx][pos_j] +
@@ -134,6 +142,30 @@ impl PrefixSkeleton {
             .iter()
             .any(|w| changed[flow_idx][w.pos_i] || changed[w.j_idx][w.pos_j])
     }
+
+    /// Whether any window of this skeleton reads the `Smax` row of a
+    /// flagged flow. Unlike [`Self::depends_on_changed`] the owner's own
+    /// reads are not consulted — the caller asks "can a change in the
+    /// flagged set reach this row", and the owner's row is by premise
+    /// not in the set.
+    pub(crate) fn reads_flagged_row(&self, flagged: &[bool]) -> bool {
+        self.windows.iter().any(|w| flagged[w.j_idx])
+    }
+
+    /// A copy with every window's crosser index shifted across the
+    /// removal of set index `removed` (see
+    /// [`InterferenceCache::shrink_for`]). Only valid for skeletons that
+    /// hold no window on the removed flow itself — guaranteed for clean
+    /// rows, whose owner the removed flow did not cross.
+    fn remapped_over_removal(&self, removed: usize) -> PrefixSkeleton {
+        let mut out = self.clone();
+        for w in &mut out.windows {
+            if w.j_idx > removed {
+                w.j_idx -= 1;
+            }
+        }
+        out
+    }
 }
 
 /// One full-path crossing segment by its span of *owner-path indices*.
@@ -225,9 +257,19 @@ struct Hoisted {
 /// All prefix skeletons of a flow set under one configuration and
 /// universe: `skeletons[flow][k-1]` covers the prefix of the first `k`
 /// nodes of that flow's path, `k ∈ 1..=path.len()`.
-#[derive(Debug)]
+///
+/// Rows are `Arc`-shared so the delta constructors (`rebuild_for`,
+/// `extend_for`) reuse a clean flow's row by bumping a refcount instead
+/// of deep-cloning its skeleton vectors — the warm-start admission path
+/// touches O(closure) rows, not O(flows). Rows are never mutated after
+/// construction, so sharing is safe.
+#[derive(Debug, Clone)]
 pub(crate) struct InterferenceCache {
-    prefixes: Vec<Vec<PrefixSkeleton>>,
+    prefixes: Vec<Arc<Vec<PrefixSkeleton>>>,
+    /// `Smin` per (flow, path position) — a pure function of the flow's
+    /// own path and the network, kept so the delta constructors can
+    /// reuse a clean flow's row instead of recomputing the whole table.
+    smin: Vec<Arc<Vec<Duration>>>,
 }
 
 impl InterferenceCache {
@@ -238,32 +280,29 @@ impl InterferenceCache {
         universe: &[bool],
         delta: &D,
     ) -> Self {
-        // `Smin` per (flow, path position), shared by every window's
-        // alignment base instead of an O(hops) recomputation per window.
-        let smin: Vec<Vec<Duration>> = set
-            .flows()
-            .iter()
-            .map(|fj| {
-                fj.path
-                    .nodes()
-                    .iter()
-                    .map(|&h| set.smin(fj, h, cfg.smin_mode).unwrap_or(0))
-                    .collect()
-            })
-            .collect();
-        let smin = &smin;
-        let prefixes: Vec<Vec<PrefixSkeleton>> = (0..set.len())
+        let smin = Self::smin_table(set, cfg);
+        let prefixes: Vec<Arc<Vec<PrefixSkeleton>>> = (0..set.len())
             .into_par_iter()
-            .map(|flow_idx| {
-                let fi = &set.flows()[flow_idx];
-                let full = Self::resolve_crossers(set, fi, universe);
-                let hoist = Self::hoist(set, cfg, fi, &full);
-                (1..=fi.path.len())
-                    .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
-                    .collect()
-            })
+            .map(|flow_idx| Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx)))
             .collect();
-        InterferenceCache { prefixes }
+        InterferenceCache { prefixes, smin }
+    }
+
+    /// Every prefix skeleton of one flow, built fresh.
+    fn build_row<D: DeltaProvider>(
+        set: &FlowSet,
+        cfg: &AnalysisConfig,
+        universe: &[bool],
+        delta: &D,
+        smin: &[Arc<Vec<Duration>>],
+        flow_idx: usize,
+    ) -> Vec<PrefixSkeleton> {
+        let fi = &set.flows()[flow_idx];
+        let full = Self::resolve_crossers(set, fi, universe);
+        let hoist = Self::hoist(set, cfg, fi, &full);
+        (1..=fi.path.len())
+            .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
+            .collect()
     }
 
     /// The skeleton of `flow_idx`'s prefix of length `k`.
@@ -288,33 +327,148 @@ impl InterferenceCache {
         delta: &D,
         stale: &[bool],
     ) -> Self {
-        let smin: Vec<Vec<Duration>> = set
-            .flows()
+        let smin = Self::smin_rows(set, cfg, stale, |i| Some(&healthy.smin[i]));
+        let build = |flow_idx: usize| {
+            if !stale[flow_idx] {
+                return Arc::clone(&healthy.prefixes[flow_idx]);
+            }
+            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+        };
+        let prefixes = Self::rows_for(set.len(), stale, build);
+        InterferenceCache { prefixes, smin }
+    }
+
+    /// Delta extension for admission: `set` is `standing`'s set plus
+    /// appended flows (the candidate last), `stale` flags — over the
+    /// *extended* index space — the rows to build fresh; every other row
+    /// is cloned from `standing` at the same index.
+    ///
+    /// Appending keeps every standing flow's set index, so the cloned
+    /// skeletons' `j_idx` references stay valid verbatim. Soundness of
+    /// the cloning is the usual closure invariant: a clean flow's
+    /// skeleton depends only on its own path, the paths/parameters of
+    /// flows crossing it, and their universe membership — none of which
+    /// an appended non-crossing candidate changes. Indices at or beyond
+    /// the standing cache's length are built fresh regardless of their
+    /// flag (there is nothing to clone).
+    pub(crate) fn extend_for<D: DeltaProvider>(
+        standing: &InterferenceCache,
+        set: &FlowSet,
+        cfg: &AnalysisConfig,
+        universe: &[bool],
+        delta: &D,
+        stale: &[bool],
+    ) -> Self {
+        let n_standing = standing.prefixes.len();
+        let smin = Self::smin_rows(set, cfg, stale, |i| standing.smin.get(i));
+        let build = |flow_idx: usize| {
+            if flow_idx < n_standing && !stale[flow_idx] {
+                return Arc::clone(&standing.prefixes[flow_idx]);
+            }
+            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+        };
+        let prefixes = Self::rows_for(set.len(), stale, build);
+        InterferenceCache { prefixes, smin }
+    }
+
+    /// Delta shrink for teardown: `set` is `standing`'s set with the
+    /// flow at standing index `removed` taken out (indices above it
+    /// shifted down by one), `stale` flags — over the *shrunk* index
+    /// space — the rows to build fresh.
+    ///
+    /// Clean rows are cloned with their window `j_idx` references
+    /// remapped across the removal gap. A clean flow cannot hold a
+    /// window on the removed flow itself (a window means the removed
+    /// flow crossed it, which makes it stale by construction of the
+    /// removal closure), so the remap is a pure index shift.
+    pub(crate) fn shrink_for<D: DeltaProvider>(
+        standing: &InterferenceCache,
+        set: &FlowSet,
+        cfg: &AnalysisConfig,
+        universe: &[bool],
+        delta: &D,
+        stale: &[bool],
+        removed: usize,
+    ) -> Self {
+        let old_idx = |i: usize| if i < removed { i } else { i + 1 };
+        let smin = Self::smin_rows(set, cfg, stale, |i| Some(&standing.smin[old_idx(i)]));
+        let build = |flow_idx: usize| {
+            if !stale[flow_idx] {
+                return Arc::new(
+                    standing.prefixes[old_idx(flow_idx)]
+                        .iter()
+                        .map(|sk| sk.remapped_over_removal(removed))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+        };
+        let prefixes = Self::rows_for(set.len(), stale, build);
+        InterferenceCache { prefixes, smin }
+    }
+
+    /// `Smin` per (flow, path position), shared by every window's
+    /// alignment base instead of an O(hops) recomputation per window.
+    fn smin_table(set: &FlowSet, cfg: &AnalysisConfig) -> Vec<Arc<Vec<Duration>>> {
+        set.flows()
             .iter()
-            .map(|fj| {
-                fj.path
-                    .nodes()
-                    .iter()
-                    .map(|&h| set.smin(fj, h, cfg.smin_mode).unwrap_or(0))
-                    .collect()
+            .map(|fj| Arc::new(Self::smin_row(set, cfg, fj)))
+            .collect()
+    }
+
+    fn smin_row(set: &FlowSet, cfg: &AnalysisConfig, fj: &SporadicFlow) -> Vec<Duration> {
+        fj.path
+            .nodes()
+            .iter()
+            .map(|&h| set.smin(fj, h, cfg.smin_mode).unwrap_or(0))
+            .collect()
+    }
+
+    /// The `Smin` table for a delta construction: clean flows reuse the
+    /// prior row handed back by `prior` (their paths and the network are
+    /// unchanged — the closure invariant again), stale or new flows
+    /// recompute. `prior` returning `None` (an appended flow has no
+    /// prior row) also recomputes.
+    fn smin_rows<'p>(
+        set: &FlowSet,
+        cfg: &AnalysisConfig,
+        stale: &[bool],
+        prior: impl Fn(usize) -> Option<&'p Arc<Vec<Duration>>>,
+    ) -> Vec<Arc<Vec<Duration>>> {
+        set.flows()
+            .iter()
+            .enumerate()
+            .map(|(i, fj)| match prior(i) {
+                Some(row) if !stale.get(i).copied().unwrap_or(true) => Arc::clone(row),
+                _ => Arc::new(Self::smin_row(set, cfg, fj)),
             })
-            .collect();
-        let smin = &smin;
-        let prefixes: Vec<Vec<PrefixSkeleton>> = (0..set.len())
-            .into_par_iter()
-            .map(|flow_idx| {
-                if !stale[flow_idx] {
-                    return healthy.prefixes[flow_idx].clone();
-                }
-                let fi = &set.flows()[flow_idx];
-                let full = Self::resolve_crossers(set, fi, universe);
-                let hoist = Self::hoist(set, cfg, fi, &full);
-                (1..=fi.path.len())
-                    .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
-                    .collect()
-            })
-            .collect();
-        InterferenceCache { prefixes }
+            .collect()
+    }
+
+    /// Maps `build` over all row indices — in parallel when enough rows
+    /// are flagged stale to pay for the dispatch, serially otherwise
+    /// (the warm-start path rebuilds a handful of rows; the rest are
+    /// refcount bumps that need no thread pool).
+    fn rows_for(
+        n: usize,
+        stale: &[bool],
+        build: impl Fn(usize) -> Arc<Vec<PrefixSkeleton>> + Sync,
+    ) -> Vec<Arc<Vec<PrefixSkeleton>>> {
+        let fresh = stale.iter().filter(|&&s| s).count() + n.saturating_sub(stale.len());
+        if fresh <= SERIAL_REBUILD_MAX_ROWS {
+            (0..n).map(build).collect()
+        } else {
+            (0..n).into_par_iter().map(build).collect()
+        }
+    }
+
+    /// Whether any skeleton of `flow_idx` (any prefix) reads the `Smax`
+    /// row of a flagged flow — the dependency test behind the fixed
+    /// point's active-row worklist.
+    pub(crate) fn row_reads_flagged(&self, flow_idx: usize, flagged: &[bool]) -> bool {
+        self.prefixes[flow_idx]
+            .iter()
+            .any(|sk| sk.reads_flagged_row(flagged))
     }
 
     /// Resolves every universe flow crossing `fi`'s full path into a
@@ -484,7 +638,7 @@ impl InterferenceCache {
         flow_idx: usize,
         k: usize,
         full: &[FullCrosser<'_>],
-        smin: &[Vec<Duration>],
+        smin: &[Arc<Vec<Duration>>],
         hoist: &Hoisted,
     ) -> PrefixSkeleton {
         let fi = &set.flows()[flow_idx];

@@ -43,6 +43,18 @@ pub enum ReverseCounting {
 /// skipping is what makes the survivability warm start incremental).
 pub const AUTO_JACOBI_MIN_FLOWS: usize = 16;
 
+/// Below this flow count [`FixpointStrategy::Auto`] routes
+/// [`crate::analyze_all`] to the retained pre-cache reference engine:
+/// E12 (`BENCH_fixpoint.json`) measured the reference ~2.3–3.5× faster
+/// than both cached strategies at 5 flows (0.022 ms vs 0.050/0.075 ms) —
+/// building the interference skeletons costs more than they save when
+/// the whole fixed point is a handful of cells — while at 10 flows the
+/// reference is already ~2.5× *slower* (0.232 ms vs 0.093 ms). The
+/// threshold sits between those two measured points. Engines that
+/// require the interference cache (warm starts, the EF universe) run
+/// the [`FixpointStrategy::cached_equivalent`] instead.
+pub const AUTO_REFERENCE_MAX_FLOWS: usize = 8;
+
 /// Iteration scheme of the global `Smax` fixed point.
 ///
 /// All schemes iterate the same monotone operator from the same
@@ -51,9 +63,10 @@ pub const AUTO_JACOBI_MIN_FLOWS: usize = 16;
 /// (see DESIGN.md, "Jacobi vs Gauss–Seidel").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FixpointStrategy {
-    /// Size-based selection (default): Gauss–Seidel below
-    /// [`AUTO_JACOBI_MIN_FLOWS`] flows, Jacobi at or above it. The
-    /// strategy actually chosen is recorded in the run's
+    /// Size-based selection (default): the pre-cache reference engine
+    /// below [`AUTO_REFERENCE_MAX_FLOWS`] flows, Gauss–Seidel below
+    /// [`AUTO_JACOBI_MIN_FLOWS`], Jacobi at or above it. The strategy
+    /// actually chosen is recorded in the run's
     /// [`crate::telemetry::FixpointTelemetry`].
     #[default]
     Auto,
@@ -65,6 +78,13 @@ pub enum FixpointStrategy {
     /// immediately visible to the next (the historical sequential
     /// scheme; usually fewer rounds, but inherently serial).
     GaussSeidel,
+    /// The retained pre-cache engine ([`crate::analyze_all_reference`]):
+    /// no interference skeletons, every round reassembled from scratch.
+    /// Fastest on very small sets, where skeleton construction costs
+    /// more than it saves. Only [`crate::analyze_all`] can honour it
+    /// verbatim (plain FIFO universe, `δ = 0`); cache-based engines run
+    /// [`Self::cached_equivalent`] instead.
+    Reference,
 }
 
 impl FixpointStrategy {
@@ -74,7 +94,9 @@ impl FixpointStrategy {
     pub fn resolve(self, n_flows: usize) -> FixpointStrategy {
         match self {
             FixpointStrategy::Auto => {
-                if n_flows < AUTO_JACOBI_MIN_FLOWS {
+                if n_flows < AUTO_REFERENCE_MAX_FLOWS {
+                    FixpointStrategy::Reference
+                } else if n_flows < AUTO_JACOBI_MIN_FLOWS {
                     FixpointStrategy::GaussSeidel
                 } else {
                     FixpointStrategy::Jacobi
@@ -84,12 +106,27 @@ impl FixpointStrategy {
         }
     }
 
+    /// The nearest strategy an engine that *requires* the interference
+    /// cache can run: [`FixpointStrategy::Reference`] maps to
+    /// Gauss–Seidel (the same sequential in-place sweep the reference
+    /// engine iterates, minus the from-scratch reassembly), everything
+    /// else is unchanged. Warm starts, restricted universes, and `δ`
+    /// providers go through here so telemetry records the scheme that
+    /// actually ran.
+    pub fn cached_equivalent(self) -> FixpointStrategy {
+        match self {
+            FixpointStrategy::Reference => FixpointStrategy::GaussSeidel,
+            other => other,
+        }
+    }
+
     /// Stable lower-case label for telemetry and benchmark output.
     pub fn name(self) -> &'static str {
         match self {
             FixpointStrategy::Auto => "auto",
             FixpointStrategy::Jacobi => "jacobi",
             FixpointStrategy::GaussSeidel => "gauss_seidel",
+            FixpointStrategy::Reference => "reference",
         }
     }
 }
@@ -225,13 +262,32 @@ mod tests {
     #[test]
     fn auto_resolves_by_size_and_explicit_choices_stick() {
         use FixpointStrategy::*;
+        assert_eq!(Auto.resolve(AUTO_REFERENCE_MAX_FLOWS - 1), Reference);
+        assert_eq!(Auto.resolve(AUTO_REFERENCE_MAX_FLOWS), GaussSeidel);
         assert_eq!(Auto.resolve(AUTO_JACOBI_MIN_FLOWS - 1), GaussSeidel);
         assert_eq!(Auto.resolve(AUTO_JACOBI_MIN_FLOWS), Jacobi);
-        assert_eq!(Auto.resolve(0), GaussSeidel);
-        for n in [0, 1, AUTO_JACOBI_MIN_FLOWS, 1000] {
+        assert_eq!(Auto.resolve(0), Reference);
+        for n in [0, 1, AUTO_REFERENCE_MAX_FLOWS, AUTO_JACOBI_MIN_FLOWS, 1000] {
             assert_eq!(Jacobi.resolve(n), Jacobi);
             assert_eq!(GaussSeidel.resolve(n), GaussSeidel);
+            assert_eq!(Reference.resolve(n), Reference);
             assert_ne!(Auto.resolve(n), Auto, "resolve must never return Auto");
+        }
+    }
+
+    #[test]
+    fn cached_equivalent_never_yields_reference() {
+        use FixpointStrategy::*;
+        assert_eq!(Reference.cached_equivalent(), GaussSeidel);
+        assert_eq!(Jacobi.cached_equivalent(), Jacobi);
+        assert_eq!(GaussSeidel.cached_equivalent(), GaussSeidel);
+        assert_eq!(Auto.cached_equivalent(), Auto);
+        for n in [0, 1, AUTO_REFERENCE_MAX_FLOWS, 1000] {
+            assert_ne!(
+                Auto.resolve(n).cached_equivalent(),
+                Reference,
+                "cache-based engines must never claim to run the reference"
+            );
         }
     }
 }

@@ -105,42 +105,63 @@ impl DeltaProvider for EfDelta {
 /// flow-set order.
 pub fn analyze_ef(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
     let universe: Vec<bool> = set.flows().iter().map(|f| f.class.is_ef()).collect();
-    let ef_indices: Vec<usize> = (0..set.len()).filter(|&i| universe[i]).collect();
     match Analyzer::with_universe_and_delta(set, cfg, universe, EfDelta) {
-        Ok(an) => SetReport::new(
-            ef_indices
-                .into_iter()
-                .map(|i| {
-                    let f = &set.flows()[i];
-                    let wcrt = an.wcrt(i);
-                    let jitter = wcrt.value().map(|r| jitter_bound(set, f, r));
-                    FlowReport {
-                        flow: f.id,
-                        name: f.name.clone(),
-                        wcrt,
-                        jitter,
-                        deadline: f.deadline,
-                    }
-                })
-                .collect(),
-        )
-        .with_telemetry(an.telemetry().clone()),
-        Err(verdict) => SetReport::new(
-            ef_indices
-                .into_iter()
-                .map(|i| {
-                    let f = &set.flows()[i];
-                    FlowReport {
-                        flow: f.id,
-                        name: f.name.clone(),
-                        wcrt: verdict.clone(),
-                        jitter: None,
-                        deadline: f.deadline,
-                    }
-                })
-                .collect(),
-        ),
+        Ok(an) => ef_report(set, &an),
+        Err(verdict) => ef_error_report(set, &verdict),
     }
+}
+
+/// Indices of the EF flows, in flow-set order — the rows an EF report
+/// covers. Shared by the cold and incremental paths so their outputs
+/// stay index-aligned verbatim.
+pub(crate) fn ef_indices(set: &FlowSet) -> Vec<usize> {
+    (0..set.len())
+        .filter(|&i| set.flows()[i].class.is_ef())
+        .collect()
+}
+
+/// Property 3's per-EF-flow report off a converged analyzer. Used by
+/// both [`analyze_ef`] and the warm-start path in [`crate::incremental`]
+/// so the two assemble bit-identical reports.
+pub(crate) fn ef_report<D: DeltaProvider>(set: &FlowSet, an: &Analyzer<'_, D>) -> SetReport {
+    SetReport::new(
+        ef_indices(set)
+            .into_iter()
+            .map(|i| {
+                let f = &set.flows()[i];
+                let wcrt = an.wcrt(i);
+                let jitter = wcrt.value().map(|r| jitter_bound(set, f, r));
+                FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt,
+                    jitter,
+                    deadline: f.deadline,
+                }
+            })
+            .collect(),
+    )
+    .with_telemetry(an.telemetry().clone())
+}
+
+/// The analysis-failed shape of an EF report: the typed verdict
+/// replicated onto every EF flow, no jitter, no telemetry.
+pub(crate) fn ef_error_report(set: &FlowSet, verdict: &Verdict) -> SetReport {
+    SetReport::new(
+        ef_indices(set)
+            .into_iter()
+            .map(|i| {
+                let f = &set.flows()[i];
+                FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: verdict.clone(),
+                    jitter: None,
+                    deadline: f.deadline,
+                }
+            })
+            .collect(),
+    )
 }
 
 /// Convenience: the plain-FIFO bounds of the EF flows when no other class

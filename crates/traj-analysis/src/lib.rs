@@ -22,6 +22,7 @@ mod cache;
 pub mod config;
 pub mod ef;
 pub mod explain;
+pub mod incremental;
 pub mod jitter;
 pub mod reference;
 pub mod report;
@@ -35,6 +36,7 @@ pub mod wcrt;
 pub use config::{config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode};
 pub use ef::{analyze_ef, nonpreemption_delta};
 pub use explain::{explain_flow, provenance_all, provenance_flow, BoundBreakdown, BoundProvenance};
+pub use incremental::{addition_dirty_closure, analyze_ef_incremental, ConvergedState, EfWhatIf};
 pub use jitter::jitter_bound;
 pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};

@@ -269,6 +269,64 @@ pub fn analyze_all_reference(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
     }
 }
 
+/// [`analyze_all_reference`] with [`crate::FixpointTelemetry`] attached:
+/// the engine [`crate::analyze_all`] routes small sets to when
+/// [`crate::FixpointStrategy::Auto`] resolves to
+/// [`crate::FixpointStrategy::Reference`]. The reference sweep has no
+/// per-round instrumentation (it predates the telemetry layer), so
+/// `per_round` is empty; the aggregate numbers are honest.
+pub(crate) fn analyze_all_reference_tracked(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
+    use crate::config::FixpointStrategy;
+    use crate::telemetry::FixpointTelemetry;
+    match ReferenceAnalyzer::new(set, cfg) {
+        Ok(an) => {
+            let telemetry = FixpointTelemetry {
+                requested: cfg.fixpoint,
+                chosen: FixpointStrategy::Reference,
+                auto_selected: cfg.fixpoint == FixpointStrategy::Auto,
+                flows: set.len(),
+                cells: set
+                    .flows()
+                    .iter()
+                    .map(|f| f.path.len().saturating_sub(1))
+                    .sum(),
+                rounds: an.smax_rounds(),
+                converged: true,
+                per_round: Vec::new(),
+            };
+            SetReport::new(
+                (0..set.len())
+                    .map(|i| {
+                        let f = &set.flows()[i];
+                        let wcrt = an.wcrt(i);
+                        let jitter = wcrt.value().map(|r| jitter_bound(set, f, r));
+                        FlowReport {
+                            flow: f.id,
+                            name: f.name.clone(),
+                            wcrt,
+                            jitter,
+                            deadline: f.deadline,
+                        }
+                    })
+                    .collect(),
+            )
+            .with_telemetry(telemetry)
+        }
+        Err(verdict) => SetReport::new(
+            set.flows()
+                .iter()
+                .map(|f| FlowReport {
+                    flow: f.id,
+                    name: f.name.clone(),
+                    wcrt: verdict.clone(),
+                    jitter: None,
+                    deadline: f.deadline,
+                })
+                .collect(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -142,7 +142,16 @@ pub fn reanalyze(
         &stale,
     );
 
-    let res = Analyzer::with_parts(&degraded.set, cfg, universe, NoDelta, cache, seed, &stale);
+    let res = Analyzer::with_parts(
+        &degraded.set,
+        cfg,
+        universe,
+        NoDelta,
+        cache,
+        seed,
+        &stale,
+        None,
+    );
     let rounds = res.as_ref().map(|an| an.smax_rounds()).unwrap_or(0);
     FaultReanalysis {
         report: assemble(degraded, res),

@@ -38,6 +38,22 @@ impl DeltaProvider for NoDelta {
     }
 }
 
+/// Owned remains of a converged [`Analyzer`], decoupled from the
+/// borrowed set/configuration (see [`Analyzer::into_state_parts`]).
+pub(crate) struct AnalyzerParts {
+    pub(crate) universe: Vec<bool>,
+    pub(crate) smax: SmaxTable,
+    pub(crate) cache: InterferenceCache,
+    pub(crate) rounds: usize,
+    pub(crate) telemetry: FixpointTelemetry,
+    pub(crate) full: Vec<Verdict>,
+}
+
+/// Below this many active rows a Jacobi round runs serially — the
+/// per-round rayon dispatch costs more than recomputing a warm start's
+/// small dirty island inline.
+const SERIAL_ROUND_MAX_ROWS: usize = 32;
+
 /// What one fixed-point round did: the last cell changed (`None` on
 /// convergence) plus the counts feeding [`RoundTelemetry`].
 #[derive(Default)]
@@ -111,19 +127,27 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             InterferenceCache::build(set, cfg, &universe, &delta)
         };
         let seed_rows = vec![true; set.len()];
-        Self::with_parts(set, cfg, universe, delta, cache, seed, &seed_rows)
+        Self::with_parts(set, cfg, universe, delta, cache, seed, &seed_rows, None)
     }
 
-    /// Core constructor behind both the cold path and the survivability
-    /// warm start: runs the fixed point from an arbitrary seed table,
-    /// forcing recomputation only of the flows flagged in `seed_rows`.
+    /// Core constructor behind the cold path, the survivability warm
+    /// start, and the admission warm start: runs the fixed point from an
+    /// arbitrary seed table, forcing recomputation only of the flows
+    /// flagged in `seed_rows`.
     ///
     /// Sound warm starts must seed every flagged flow at (or below) its
     /// least-fixed-point value — e.g. at its transit floor — and every
-    /// unflagged flow at a value the degraded equations already satisfy
-    /// (its healthy fixed-point row, under the survivability closure
-    /// invariant); Kleene iteration then converges to the same least
-    /// fixed point a cold start reaches.
+    /// unflagged flow at a value the new equations already satisfy
+    /// (its prior fixed-point row, under the dirty-closure invariant);
+    /// Kleene iteration then converges to the same least fixed point a
+    /// cold start reaches.
+    ///
+    /// `full_prev`, when given, supplies already-converged full-path
+    /// verdicts to reuse instead of re-maximising: entry `i` may be
+    /// `Some` only for flows whose skeleton and every `Smax` cell it
+    /// reads are unchanged from the run that produced the verdict (the
+    /// same clean-flow invariant as the row reuse above).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_parts(
         set: &'a FlowSet,
         cfg: &'a AnalysisConfig,
@@ -132,9 +156,12 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         cache: InterferenceCache,
         seed: SmaxTable,
         seed_rows: &[bool],
+        full_prev: Option<Vec<Option<Verdict>>>,
     ) -> Result<Self, Verdict> {
         let requested = cfg.fixpoint;
-        let chosen = requested.resolve(set.len());
+        // `Reference` (explicit or Auto-selected) has no cache-based
+        // incarnation; run its sequential equivalent and record that.
+        let chosen = requested.resolve(set.len()).cached_equivalent();
         let cells = set
             .flows()
             .iter()
@@ -168,14 +195,34 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             an.fixpoint_smax(seed_rows)?;
         }
         // The table is converged (or transit-only): compute every flow's
-        // full-path bound once, so report/wcrt calls are lookups.
+        // full-path bound once, so report/wcrt calls are lookups. Flows
+        // with a reusable prior verdict skip the maximisation.
         let _span = ScopedTimer::new("analysis.full_bounds").field("flows", set.len());
         let full: Vec<Verdict> = (0..set.len())
             .into_par_iter()
-            .map(|i| an.wcrt_prefix(i, set.flows()[i].path.len()))
+            .map(
+                |i| match full_prev.as_ref().and_then(|prev| prev[i].clone()) {
+                    Some(v) => v,
+                    None => an.wcrt_prefix(i, set.flows()[i].path.len()),
+                },
+            )
             .collect();
         an.full = full;
         Ok(an)
+    }
+
+    /// Decomposes a converged analyzer into its owned parts (for
+    /// [`crate::incremental::ConvergedState`], which outlives the
+    /// borrowed set and configuration).
+    pub(crate) fn into_state_parts(self) -> AnalyzerParts {
+        AnalyzerParts {
+            universe: self.universe,
+            smax: self.smax,
+            cache: self.cache,
+            rounds: self.rounds,
+            telemetry: self.telemetry,
+            full: self.full,
+        }
     }
 
     /// The flow set under analysis.
@@ -343,12 +390,22 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         // resolution never yields `Auto` back, so the non-Jacobi branch
         // below is Gauss–Seidel.
         let chosen = self.telemetry.chosen;
+        // Rows the iteration can ever touch: the seeded rows plus, by
+        // dependency closure over the skeleton windows, every row that
+        // (transitively) reads one of them. On a cold start that is all
+        // rows; on a warm start it degenerates to the caller's stale
+        // closure, so each round dispatches over O(closure) rows instead
+        // of O(flows). Sound because a row outside the set reads only
+        // rows outside the set, whose values the seed left at the
+        // standing fixed point — recomputing it would reproduce the
+        // value it already holds.
+        let active = self.active_rows(seed_rows);
         let mut last_changed: Option<(usize, usize)> = None;
         for round in 0..self.cfg.max_smax_rounds {
             self.rounds = round + 1;
             let force = if round == 0 { Some(seed_rows) } else { None };
             let outcome = if chosen == FixpointStrategy::Jacobi {
-                self.round_jacobi(&mut dirty, force)?
+                self.round_jacobi(&mut dirty, force, &active)?
             } else {
                 self.round_gauss_seidel(force)?
             };
@@ -400,6 +457,30 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         })
     }
 
+    /// The in-universe rows the Jacobi iteration has to visit: the
+    /// seeded rows plus every row that transitively reads one of them
+    /// through a skeleton window. Computed once per run by saturating
+    /// over the window dependency graph (a row's reads are frozen in its
+    /// skeletons, so the reachable set cannot grow mid-iteration).
+    fn active_rows(&self, seed_rows: &[bool]) -> Vec<usize> {
+        let n = self.set.len();
+        let mut active = seed_rows.to_vec();
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for i in 0..n {
+                if active[i] || !self.universe[i] {
+                    continue;
+                }
+                if self.cache.row_reads_flagged(i, &active) {
+                    active[i] = true;
+                    grew = true;
+                }
+            }
+        }
+        (0..n).filter(|&i| active[i] && self.universe[i]).collect()
+    }
+
     /// The `Smax` update for one (flow, position): the prefix bound
     /// through `pre(pos)` plus the incoming link's `Lmax`, evaluated
     /// against `self.smax` as it currently stands.
@@ -439,37 +520,39 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         &mut self,
         dirty: &mut [Vec<bool>],
         force: Option<&[bool]>,
+        active: &[usize],
     ) -> Result<RoundOutcome, Verdict> {
-        // Per-flow result of the parallel map: recomputed `(pos, value)`
-        // pairs plus the count of skipped cells.
+        // Per-flow result of the map: recomputed `(pos, value)` pairs
+        // plus the count of skipped cells.
         type FlowUpdates = Result<(Vec<(usize, Duration)>, usize), Verdict>;
         let this: &Self = self;
         let dirty_ro: &[Vec<bool>] = dirty;
-        let updates: Vec<FlowUpdates> = (0..this.set.len())
-            .into_par_iter()
-            .map(|fi| {
-                if !this.universe[fi] {
-                    return Ok((Vec::new(), 0));
+        let per_flow = |fi: usize| -> FlowUpdates {
+            let forced = force.map(|rows| rows[fi]).unwrap_or(false);
+            let len = this.set.flows()[fi].path.len();
+            let mut out = Vec::with_capacity(len.saturating_sub(1));
+            let mut skipped = 0;
+            for pos in 1..len {
+                if !forced && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
+                    skipped += 1;
+                    continue;
                 }
-                let forced = force.map(|rows| rows[fi]).unwrap_or(false);
-                let len = this.set.flows()[fi].path.len();
-                let mut out = Vec::with_capacity(len.saturating_sub(1));
-                let mut skipped = 0;
-                for pos in 1..len {
-                    if !forced && !this.cache.prefix(fi, pos).depends_on_changed(fi, dirty_ro) {
-                        skipped += 1;
-                        continue;
-                    }
-                    out.push((pos, this.smax_update(fi, pos)?));
-                }
-                Ok((out, skipped))
-            })
-            .collect();
+                out.push((pos, this.smax_update(fi, pos)?));
+            }
+            Ok((out, skipped))
+        };
+        // A small worklist (a warm start's dirty island) is not worth a
+        // thread-pool dispatch per round.
+        let updates: Vec<FlowUpdates> = if active.len() <= SERIAL_ROUND_MAX_ROWS {
+            active.iter().map(|&fi| per_flow(fi)).collect()
+        } else {
+            active.par_iter().map(|&fi| per_flow(fi)).collect()
+        };
         for row in dirty.iter_mut() {
             row.fill(false);
         }
         let mut outcome = RoundOutcome::default();
-        for (fi, res) in updates.into_iter().enumerate() {
+        for (&fi, res) in active.iter().zip(updates) {
             let (ups, skipped) = res?;
             outcome.skipped += skipped;
             outcome.recomputed += ups.len();
@@ -551,8 +634,16 @@ pub(crate) fn segment_points(
 /// Analyses every flow of the set with Property 2 (plain FIFO).
 ///
 /// Flows are analysed in parallel once the shared `Smax` fixed point has
-/// converged.
+/// converged. Very small sets (below
+/// [`crate::config::AUTO_REFERENCE_MAX_FLOWS`] under
+/// [`FixpointStrategy::Auto`], or an explicit
+/// [`FixpointStrategy::Reference`]) run the retained pre-cache engine —
+/// measurably faster there, bit-identical everywhere (the differential
+/// suite's contract).
 pub fn analyze_all(set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
+    if cfg.fixpoint.resolve(set.len()) == FixpointStrategy::Reference {
+        return crate::reference::analyze_all_reference_tracked(set, cfg);
+    }
     match Analyzer::new(set, cfg) {
         Ok(an) => {
             let reports: Vec<FlowReport> = (0..set.len())

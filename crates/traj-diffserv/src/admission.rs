@@ -7,6 +7,27 @@
 //! EF flow (existing and new) still meets its deadline under the
 //! Property 3 bound.
 //!
+//! # Warm-start evaluation
+//!
+//! The controller holds the standing set's converged analysis
+//! ([`ConvergedState`]) across `try_admit`/`release` calls. A what-if is
+//! then evaluated by [`traj_analysis::analyze_ef_incremental`]: only the
+//! candidate's transitive dirty closure over the crossing graph is
+//! re-solved, everything else — interference skeletons, `Smax`
+//! fixed-point rows, full-path verdicts — is reused, and the resulting
+//! bounds are bit-identical to the cold analysis (DESIGN.md §10). The
+//! state is dropped on structural invalidation (a fault) and rebuilt
+//! lazily; every decision still taken by a cold `analyze_ef` run is
+//! counted in [`AdmissionMetrics::cold_fallbacks`].
+//!
+//! [`AdmissionController::try_admit_batch`] evaluates K independent
+//! what-ifs against the standing state in parallel (rayon), then commits
+//! winners sequentially: because Property 3 bounds are monotone in the
+//! flow set, a candidate rejected against the standing set alone is
+//! rejected against any superset, so provisional rejections are final;
+//! provisional winners after the first commit are re-evaluated against
+//! the evolving state.
+//!
 //! # Graceful degradation
 //!
 //! [`AdmissionController::on_fault`] re-evaluates the admitted flows on
@@ -19,8 +40,9 @@
 //! the queue, re-running full admission control for each entry once the
 //! fault is (assumed) repaired.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use traj_analysis::{analyze_ef, AnalysisConfig};
+use traj_analysis::{analyze_ef, AnalysisConfig, ConvergedState, EfWhatIf, SetReport};
 use traj_model::flow::TrafficClass;
 use traj_model::{FaultScenario, FlowFate, FlowId, FlowSet, ModelError, SporadicFlow};
 
@@ -43,6 +65,39 @@ pub enum AdmissionDecision {
     },
     /// Rejected: the candidate is malformed for this network.
     Invalid(String),
+}
+
+/// Outcome of [`AdmissionController::release`].
+///
+/// The seed API returned `bool`, which conflated "no such flow" with
+/// the structural last-flow case: a [`FlowSet`] cannot be empty, so the
+/// final admitted flow is *retained* rather than released, and callers
+/// that treated `false` as "already gone" leaked guaranteed capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReleaseOutcome {
+    /// The flow existed and was removed.
+    Released,
+    /// No admitted flow has this id.
+    NotFound,
+    /// The flow exists but is the last one standing; it stays admitted
+    /// because the flow set cannot be empty.
+    LastFlowRetained,
+}
+
+impl ReleaseOutcome {
+    /// `true` iff the flow was actually removed.
+    pub fn released(&self) -> bool {
+        matches!(self, ReleaseOutcome::Released)
+    }
+}
+
+/// How a decision was evaluated, for metrics and the decision event.
+#[derive(Debug, Clone, Copy)]
+struct AdmitMeta {
+    /// Served by the warm-start path (standing converged state).
+    warm: bool,
+    /// Size of the dirty closure the warm path re-solved.
+    closure: Option<usize>,
 }
 
 /// Which admitted flow to sacrifice first when a fault leaves the
@@ -84,6 +139,11 @@ pub struct FaultResponse {
     /// Flows evicted to make the degraded set schedulable again
     /// (queued for retry).
     pub evicted: Vec<FlowId>,
+    /// Eviction stopped at the last standing flow while it (or the set)
+    /// was still unschedulable: the flow is retained — a [`FlowSet`]
+    /// cannot be empty — but its guarantee is void until re-admission
+    /// succeeds. Mirrors [`ReleaseOutcome::LastFlowRetained`].
+    pub last_flow_retained: bool,
 }
 
 /// Retry-queue backoff schedule: exponential doubling from `base`,
@@ -148,6 +208,19 @@ pub struct AdmissionMetrics {
     pub retry_attempts: u64,
     /// Largest retry-queue depth ever observed.
     pub retry_depth_peak: u64,
+    /// Decisions served by the incremental warm-start path.
+    #[serde(default)]
+    pub warm_hits: u64,
+    /// Decisions that fell back to a cold `analyze_ef` run (no standing
+    /// converged state, or its rebuild failed).
+    #[serde(default)]
+    pub cold_fallbacks: u64,
+    /// Batched what-if evaluations run.
+    #[serde(default)]
+    pub batches: u64,
+    /// Largest batch ever evaluated.
+    #[serde(default)]
+    pub batch_peak: u64,
 }
 
 /// Stateful admission controller for a DiffServ domain.
@@ -155,6 +228,10 @@ pub struct AdmissionMetrics {
 pub struct AdmissionController {
     current: FlowSet,
     cfg: AnalysisConfig,
+    /// The standing set's converged analysis, extended/shrunk in place
+    /// by admissions and releases. `None` after structural invalidation
+    /// (a fault) or a failed build; rebuilt lazily on the next what-if.
+    state: Option<ConvergedState>,
     policy: EvictionPolicy,
     retry_policy: RetryPolicy,
     retry: Vec<RetryEntry>,
@@ -183,6 +260,7 @@ impl AdmissionController {
         AdmissionController {
             current,
             cfg,
+            state: None,
             policy,
             retry_policy: RetryPolicy::default(),
             retry: Vec::new(),
@@ -226,29 +304,221 @@ impl AdmissionController {
     /// Tries to admit `candidate`; on success the controller's state is
     /// updated.
     pub fn try_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
-        let decision = self.admit_inner(candidate);
-        match &decision {
-            AdmissionDecision::Admitted { .. } => self.metrics.admitted += 1,
-            AdmissionDecision::Rejected { .. } => self.metrics.rejected += 1,
-            AdmissionDecision::Invalid(_) => self.metrics.invalid += 1,
-        }
-        if traj_obs::enabled() {
-            let outcome = match &decision {
-                AdmissionDecision::Admitted { .. } => "admitted",
-                AdmissionDecision::Rejected { .. } => "rejected",
-                AdmissionDecision::Invalid(_) => "invalid",
-            };
-            traj_obs::counter_add("admission.decisions", 1);
-            traj_obs::emit(
-                traj_obs::Event::new("admission.decision")
-                    .field("outcome", outcome)
-                    .field("flows", self.current.len()),
-            );
-        }
+        let (decision, meta) = self.admit_inner(candidate);
+        self.record_decision(&decision, meta);
         decision
     }
 
-    fn admit_inner(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
+    /// Evaluates `candidates` as independent what-ifs against the
+    /// standing converged state **in parallel**, then commits winners
+    /// sequentially. Returns one decision per candidate, input order.
+    ///
+    /// Bounds are monotone in the flow set, so a candidate that misses
+    /// against the standing set alone misses against any superset:
+    /// provisional rejections (and structural invalids) are final.
+    /// Provisional winners after the first commit are re-evaluated
+    /// against the evolving state — only the first winner's parallel
+    /// result is committed as-is.
+    ///
+    /// The rejected/admitted/invalid *outcome* of every candidate is
+    /// identical to sequential [`Self::try_admit`] calls in the same
+    /// order; the diagnostic `victim`/`wcrt` of a provisional rejection
+    /// is reported against the standing set at fan-out time, which may
+    /// differ from what a sequential evaluation (standing set plus
+    /// already-committed winners) would have named.
+    pub fn try_admit_batch(
+        &mut self,
+        candidates: Vec<SporadicFlow>,
+    ) -> Vec<(FlowId, AdmissionDecision)> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if candidates.len() == 1 {
+            return candidates
+                .into_iter()
+                .map(|c| (c.id, self.try_admit(c)))
+                .collect();
+        }
+        self.metrics.batches += 1;
+        self.metrics.batch_peak = self.metrics.batch_peak.max(candidates.len() as u64);
+        if traj_obs::enabled() {
+            traj_obs::counter_add("admission.batch_size", candidates.len() as u64);
+            traj_obs::emit(
+                traj_obs::Event::new("admission.batch")
+                    .field("candidates", candidates.len())
+                    .field("flows", self.current.len()),
+            );
+        }
+        if self.ensure_state().is_none() {
+            // No warm state to fan out against: sequential cold path.
+            return candidates
+                .into_iter()
+                .map(|c| (c.id, self.try_admit(c)))
+                .collect();
+        }
+        let Some(standing) = self.state.take() else {
+            // ensure_state just filled it; unreachable, kept total.
+            return candidates
+                .into_iter()
+                .map(|c| (c.id, self.try_admit(c)))
+                .collect();
+        };
+        let whatifs: Vec<Result<EfWhatIf, ModelError>> = candidates
+            .par_iter()
+            .map(|c| standing.extend(c.clone()))
+            .collect();
+        // Put the standing state back before the sequential commits;
+        // the first committed winner replaces it.
+        self.state = Some(standing);
+
+        let mut committed = false;
+        let mut out = Vec::with_capacity(candidates.len());
+        for (cand, res) in candidates.into_iter().zip(whatifs) {
+            let id = cand.id;
+            let decision = if !committed {
+                // Nothing changed since the parallel evaluation: the
+                // provisional result is exact. Commit on admission.
+                let (d, meta) = self.finish_warm(&cand, res);
+                committed = matches!(d, AdmissionDecision::Admitted { .. });
+                self.record_decision(&d, meta);
+                d
+            } else {
+                match &res {
+                    // Structural invalidity against the standing set is
+                    // final (duplicate ids vs committed winners surface
+                    // through the re-evaluation branch below).
+                    Err(e) => {
+                        let d = AdmissionDecision::Invalid(e.to_string());
+                        self.record_decision(
+                            &d,
+                            AdmitMeta {
+                                warm: true,
+                                closure: None,
+                            },
+                        );
+                        d
+                    }
+                    // Provisional miss: final by monotonicity.
+                    Ok(w) if Self::first_miss(&w.report).is_some() => {
+                        let (victim, wcrt) = Self::first_miss(&w.report).unwrap_or((id, None));
+                        let d = AdmissionDecision::Rejected { victim, wcrt };
+                        self.record_decision(
+                            &d,
+                            AdmitMeta {
+                                warm: true,
+                                closure: Some(w.recomputed()),
+                            },
+                        );
+                        d
+                    }
+                    // Provisional winner: the standing set grew since
+                    // the parallel evaluation — re-run against it.
+                    Ok(_) => self.try_admit(cand),
+                }
+            };
+            out.push((id, decision));
+        }
+        out
+    }
+
+    /// Lazily (re)builds the standing converged state. `None` when the
+    /// cold build itself fails (the standing set cannot be bounded).
+    fn ensure_state(&mut self) -> Option<&ConvergedState> {
+        if self.state.is_none() {
+            self.state = ConvergedState::build_ef(&self.current, &self.cfg).ok();
+        }
+        self.state.as_ref()
+    }
+
+    fn admit_inner(&mut self, candidate: SporadicFlow) -> (AdmissionDecision, AdmitMeta) {
+        // Warm path: extend the standing converged state; only the
+        // candidate's dirty closure is re-solved and the bounds are
+        // bit-identical to the cold analysis below.
+        let res = self.ensure_state().map(|st| st.extend(candidate.clone()));
+        match res {
+            Some(res) => self.finish_warm(&candidate, res),
+            None => (
+                self.cold_admit(candidate),
+                AdmitMeta {
+                    warm: false,
+                    closure: None,
+                },
+            ),
+        }
+    }
+
+    /// The first flow of `report` that would miss its deadline (or has
+    /// no bound), if any.
+    fn first_miss(report: &SetReport) -> Option<(FlowId, Option<i64>)> {
+        report
+            .per_flow()
+            .iter()
+            .find(|r| r.meets_deadline() != Some(true))
+            .map(|r| (r.flow, r.wcrt.value()))
+    }
+
+    /// Turns a warm what-if result into a decision, committing the
+    /// extended state on admission.
+    fn finish_warm(
+        &mut self,
+        candidate: &SporadicFlow,
+        res: Result<EfWhatIf, ModelError>,
+    ) -> (AdmissionDecision, AdmitMeta) {
+        let cand_id = candidate.id;
+        let whatif = match res {
+            Ok(w) => w,
+            Err(e) => {
+                return (
+                    AdmissionDecision::Invalid(e.to_string()),
+                    AdmitMeta {
+                        warm: true,
+                        closure: None,
+                    },
+                )
+            }
+        };
+        let meta = AdmitMeta {
+            warm: true,
+            closure: Some(whatif.recomputed()),
+        };
+        if let Some((victim, wcrt)) = Self::first_miss(&whatif.report) {
+            return (AdmissionDecision::Rejected { victim, wcrt }, meta);
+        }
+        let Some(wcrt) = whatif.report.for_flow(cand_id).and_then(|r| r.wcrt.value()) else {
+            return (
+                AdmissionDecision::Invalid(format!(
+                    "flow {cand_id} is not in the EF class; deterministic admission \
+                     covers EF flows only"
+                )),
+                meta,
+            );
+        };
+        match whatif.into_state() {
+            Some(st) => {
+                self.current = st.set().clone();
+                self.state = Some(st);
+                self.order.push((cand_id, self.next_seq));
+                self.next_seq += 1;
+                (AdmissionDecision::Admitted { wcrt }, meta)
+            }
+            // Unreachable in practice (an all-bounded report implies a
+            // converged state); degrade to the cold path, never panic.
+            None => {
+                self.state = None;
+                (
+                    self.cold_admit(candidate.clone()),
+                    AdmitMeta {
+                        warm: false,
+                        closure: None,
+                    },
+                )
+            }
+        }
+    }
+
+    /// The seed's from-scratch admission check, kept as the fallback
+    /// when no standing converged state exists.
+    fn cold_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
         let cand_id = candidate.id;
         // `extended_with` shares the current set's crossing-segment memo
         // with the tentative set: only pairs involving the candidate's
@@ -256,20 +526,11 @@ impl AdmissionController {
         // structure is reused across admission attempts.
         let tentative = match self.current.extended_with(candidate) {
             Ok(s) => s,
-            Err(e @ ModelError::DuplicateFlowId { .. })
-            | Err(e @ ModelError::UnknownNode { .. }) => {
-                return AdmissionDecision::Invalid(e.to_string())
-            }
             Err(e) => return AdmissionDecision::Invalid(e.to_string()),
         };
         let report = analyze_ef(&tentative, &self.cfg);
-        for r in report.per_flow() {
-            if r.meets_deadline() != Some(true) {
-                return AdmissionDecision::Rejected {
-                    victim: r.flow,
-                    wcrt: r.wcrt.value(),
-                };
-            }
+        if let Some((victim, wcrt)) = Self::first_miss(&report) {
+            return AdmissionDecision::Rejected { victim, wcrt };
         }
         let Some(wcrt) = report.for_flow(cand_id).and_then(|r| r.wcrt.value()) else {
             return AdmissionDecision::Invalid(format!(
@@ -283,23 +544,64 @@ impl AdmissionController {
         AdmissionDecision::Admitted { wcrt }
     }
 
-    /// Removes a flow (session teardown); `true` when it existed. The
-    /// relation memo is carried over, so a later re-admission over the
-    /// same paths costs no segment recomputation.
-    pub fn release(&mut self, id: FlowId) -> bool {
+    /// Counts a decision in the metrics and emits the decision event.
+    fn record_decision(&mut self, decision: &AdmissionDecision, meta: AdmitMeta) {
+        match decision {
+            AdmissionDecision::Admitted { .. } => self.metrics.admitted += 1,
+            AdmissionDecision::Rejected { .. } => self.metrics.rejected += 1,
+            AdmissionDecision::Invalid(_) => self.metrics.invalid += 1,
+        }
+        if meta.warm {
+            self.metrics.warm_hits += 1;
+        } else {
+            self.metrics.cold_fallbacks += 1;
+        }
+        if traj_obs::enabled() {
+            let outcome = match decision {
+                AdmissionDecision::Admitted { .. } => "admitted",
+                AdmissionDecision::Rejected { .. } => "rejected",
+                AdmissionDecision::Invalid(_) => "invalid",
+            };
+            traj_obs::counter_add("admission.decisions", 1);
+            if meta.warm {
+                traj_obs::counter_add("admission.warm_hits", 1);
+            } else {
+                traj_obs::counter_add("admission.cold_fallbacks", 1);
+            }
+            let mut ev = traj_obs::Event::new("admission.decision")
+                .field("outcome", outcome)
+                .field("flows", self.current.len())
+                .field("warm", meta.warm);
+            if let Some(closure) = meta.closure {
+                ev = ev.field("closure", closure);
+            }
+            traj_obs::emit(ev);
+        }
+    }
+
+    /// Removes a flow (session teardown). The relation memo is carried
+    /// over, so a later re-admission over the same paths costs no
+    /// segment recomputation, and the standing converged state is
+    /// shrunk in place (only the flows that crossed the departing one
+    /// are re-solved) so the next admission stays warm.
+    pub fn release(&mut self, id: FlowId) -> ReleaseOutcome {
         if self.current.index_of(id).is_none() {
-            return false;
+            return ReleaseOutcome::NotFound;
         }
         if self.current.len() == 1 {
-            return false; // keep the last flow; FlowSet cannot be empty
+            // FlowSet cannot be empty: the final flow stays admitted.
+            return ReleaseOutcome::LastFlowRetained;
         }
         match self.current.without_flow(id) {
             Ok(rest) => {
+                // Warm maintenance; a failed shrink degrades to a lazy
+                // cold rebuild on the next what-if.
+                self.state = self.state.take().and_then(|s| s.remove(id));
                 self.current = rest;
                 self.order.retain(|(f, _)| *f != id);
-                true
+                ReleaseOutcome::Released
             }
-            Err(_) => false,
+            Err(_) => ReleaseOutcome::NotFound,
         }
     }
 
@@ -348,6 +650,7 @@ impl AdmissionController {
                 break;
             }
             if set.len() == 1 {
+                response.last_flow_retained = true;
                 break;
             }
             let Some(victim) = self.pick_victim(&set) else {
@@ -370,6 +673,10 @@ impl AdmissionController {
         let keep: std::collections::HashSet<FlowId> = set.flows().iter().map(|f| f.id).collect();
         self.order.retain(|(f, _)| keep.contains(f));
         self.current = set;
+        // Structural invalidation: paths and the universe changed in
+        // ways the append/remove deltas do not model; the next what-if
+        // rebuilds the converged state cold.
+        self.state = None;
         self.metrics.dropped += response.dropped.len() as u64;
         self.metrics.evicted += response.evicted.len() as u64;
         if traj_obs::enabled() {
@@ -391,16 +698,16 @@ impl AdmissionController {
     /// decisions taken this tick, in queue order.
     pub fn tick(&mut self, now: u64) -> Vec<(FlowId, AdmissionDecision)> {
         let _span = traj_obs::ScopedTimer::new("admission.tick").field("now", now);
-        let mut decisions = Vec::new();
         let due: Vec<usize> = (0..self.retry.len())
             .filter(|&i| self.retry[i].next_attempt <= now)
             .collect();
+        let flows: Vec<SporadicFlow> = due.iter().map(|&i| self.retry[i].flow.clone()).collect();
+        self.metrics.retry_attempts += flows.len() as u64;
+        // Batched drain: the due entries' what-ifs run in parallel
+        // against the standing state; winners commit in queue order.
+        let decisions = self.try_admit_batch(flows);
         let mut readmitted: Vec<usize> = Vec::new();
-        for i in due {
-            let flow = self.retry[i].flow.clone();
-            let id = flow.id;
-            self.metrics.retry_attempts += 1;
-            let decision = self.try_admit(flow);
+        for (&i, (_, decision)) in due.iter().zip(decisions.iter()) {
             match decision {
                 AdmissionDecision::Admitted { .. } => readmitted.push(i),
                 _ => {
@@ -411,7 +718,6 @@ impl AdmissionController {
                     e.next_attempt = now.saturating_add(backoff);
                 }
             }
-            decisions.push((id, decision));
         }
         self.metrics.readmitted += readmitted.len() as u64;
         for i in readmitted.into_iter().rev() {
@@ -537,9 +843,21 @@ mod tests {
             ac.try_admit(candidate(10, 360, 200)),
             AdmissionDecision::Admitted { .. }
         ));
-        assert!(ac.release(FlowId(10)));
-        assert!(!ac.release(FlowId(10)));
+        assert_eq!(ac.release(FlowId(10)), ReleaseOutcome::Released);
+        assert_eq!(ac.release(FlowId(10)), ReleaseOutcome::NotFound);
         assert_eq!(ac.flows().len(), 5);
+    }
+
+    #[test]
+    fn last_flow_is_retained_not_silently_dropped() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        for id in [1u32, 2, 3, 4] {
+            assert_eq!(ac.release(FlowId(id)), ReleaseOutcome::Released);
+        }
+        let last = ac.flows().flows()[0].id;
+        assert_eq!(ac.release(last), ReleaseOutcome::LastFlowRetained);
+        assert_eq!(ac.flows().len(), 1, "the final flow stays admitted");
+        assert!(!ac.release(last).released());
     }
 
     #[test]
@@ -553,7 +871,7 @@ mod tests {
         assert!(warm > 0, "first admission warms the memo");
         // Release and re-admit over the same path: the memo survives both
         // transitions (entries are keyed by path values, which recur).
-        assert!(ac.release(FlowId(10)));
+        assert!(ac.release(FlowId(10)).released());
         assert_eq!(ac.flows().relation_cache().len(), warm);
         assert!(matches!(
             ac.try_admit(candidate(10, 360, 200)),
@@ -801,5 +1119,148 @@ mod tests {
         }
         assert!(admitted >= 1, "at least one light flow fits");
         assert!(admitted < 100, "capacity is finite");
+    }
+
+    #[test]
+    fn warm_admissions_decide_exactly_like_a_cold_controller() {
+        // Two controllers, same operation sequence; `warm` keeps its
+        // converged state hot, `cold` has it knocked out before every
+        // decision. Decisions and final sets must agree exactly.
+        let mut warm = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut cold = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let script: Vec<(u32, i64, i64)> = vec![
+            (10, 360, 200),
+            (11, 72, 60),
+            (12, 360, 5),
+            (13, 36, 10_000),
+            (14, 144, 150),
+        ];
+        for (id, period, deadline) in script {
+            cold.state = None;
+            let dw = warm.try_admit(candidate(id, period, deadline));
+            let dc = cold.try_admit(candidate(id, period, deadline));
+            assert_eq!(dw, dc, "flow {id}");
+        }
+        assert!(warm.release(FlowId(10)).released());
+        cold.state = None;
+        assert!(cold.release(FlowId(10)).released());
+        let dw = warm.try_admit(candidate(20, 144, 150));
+        cold.state = None;
+        let dc = cold.try_admit(candidate(20, 144, 150));
+        assert_eq!(dw, dc);
+        assert_eq!(
+            warm.flows()
+                .flows()
+                .iter()
+                .map(|f| f.id)
+                .collect::<Vec<_>>(),
+            cold.flows()
+                .flows()
+                .iter()
+                .map(|f| f.id)
+                .collect::<Vec<_>>(),
+        );
+        assert!(warm.metrics().warm_hits >= 5, "warm path actually ran");
+    }
+
+    #[test]
+    fn batch_matches_sequential_admission_order() {
+        // A batch must produce exactly the decisions sequential
+        // try_admit calls produce in the same order.
+        let cands: Vec<SporadicFlow> = vec![
+            candidate(10, 360, 200),
+            candidate(11, 360, 5),   // misses its own deadline
+            candidate(10, 360, 200), // duplicate of the first winner
+            candidate(12, 144, 150),
+        ];
+        let mut batch = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut seq = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let got = batch.try_admit_batch(cands.clone());
+        let want: Vec<(FlowId, AdmissionDecision)> = cands
+            .into_iter()
+            .map(|c| (c.id, seq.try_admit(c)))
+            .collect();
+        // Outcomes match sequential evaluation exactly; a provisional
+        // rejection's diagnostic victim is allowed to differ (it is
+        // named against the standing set at fan-out time).
+        for ((gid, g), (wid, w)) in got.iter().zip(&want) {
+            assert_eq!(gid, wid);
+            match (g, w) {
+                (AdmissionDecision::Rejected { .. }, AdmissionDecision::Rejected { .. }) => {}
+                _ => assert_eq!(g, w),
+            }
+        }
+        assert_eq!(batch.metrics().batches, 1);
+        assert_eq!(batch.metrics().batch_peak, 4);
+        assert_eq!(
+            batch
+                .flows()
+                .flows()
+                .iter()
+                .map(|f| f.id)
+                .collect::<Vec<_>>(),
+            seq.flows().flows().iter().map(|f| f.id).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_take_the_direct_path() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(ac.try_admit_batch(Vec::new()).is_empty());
+        let got = ac.try_admit_batch(vec![candidate(10, 360, 200)]);
+        assert!(matches!(got[0].1, AdmissionDecision::Admitted { .. }));
+        assert_eq!(ac.metrics().batches, 0, "singletons are not batches");
+    }
+
+    #[test]
+    fn fault_invalidates_the_warm_state_and_counts_a_cold_fallback() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert!(ac.state.is_some(), "admission leaves a standing state");
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        assert!(ac.state.is_none(), "a fault is structural invalidation");
+        // The next admission rebuilds the state lazily and serves warm.
+        let before = ac.metrics().warm_hits;
+        assert!(matches!(
+            ac.try_admit(candidate(30, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert_eq!(ac.metrics().warm_hits, before + 1);
+        assert!(ac.state.is_some());
+    }
+
+    #[test]
+    fn decision_events_carry_warm_flag_and_closure_size() {
+        let _g = traj_obs::test_guard();
+        let ring = std::sync::Arc::new(traj_obs::RingSink::new(64));
+        traj_obs::set_sink(ring.clone());
+        traj_obs::reset_metrics();
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        ac.try_admit(candidate(10, 360, 200));
+        ac.try_admit_batch(vec![candidate(11, 144, 150), candidate(12, 360, 5)]);
+        let metrics = traj_obs::metrics_snapshot();
+        traj_obs::disable();
+        let events = ring.drain();
+        let decision = events
+            .iter()
+            .find(|e| e.name == "admission.decision")
+            .expect("decision event");
+        assert_eq!(decision.get("warm"), Some(&traj_obs::Value::Bool(true)));
+        assert!(decision.get("closure").is_some());
+        assert!(events.iter().any(|e| e.name == "admission.batch"));
+        let counter = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(counter("admission.warm_hits") >= 1);
+        assert_eq!(counter("admission.batch_size"), 2);
+        traj_obs::reset_metrics();
     }
 }

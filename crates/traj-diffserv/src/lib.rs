@@ -24,7 +24,7 @@ pub mod router;
 
 pub use admission::{
     AdmissionController, AdmissionDecision, AdmissionMetrics, EvictionPolicy, FaultResponse,
-    RetryEntry, RetryPolicy,
+    ReleaseOutcome, RetryEntry, RetryPolicy,
 };
 pub use af::{af_delay_estimates, AfDelayEstimate};
 pub use conditioner::TokenBucket;

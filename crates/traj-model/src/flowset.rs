@@ -230,16 +230,43 @@ impl FlowSet {
     /// A new set over the same network with `extra` appended, sharing
     /// this set's relation memo (admission "what-if" analysis).
     pub fn extended_with(&self, extra: SporadicFlow) -> Result<Self, ModelError> {
+        // The standing flows and network were validated when `self` was
+        // built, so only the appended flow needs checking — the full
+        // `FlowSet::new` sweep is O(flows · hops · nodes) and would
+        // dominate a warm-start admission decision.
+        if self.index_of(extra.id).is_some() {
+            return Err(ModelError::DuplicateFlowId { id: extra.id });
+        }
+        for &n in extra.path.nodes() {
+            if !self.network.contains(n) {
+                return Err(ModelError::UnknownNode {
+                    flow: extra.id,
+                    node: n,
+                });
+            }
+        }
         let mut flows = self.flows.clone();
         flows.push(extra);
-        self.with_flows(flows)
+        Ok(FlowSet {
+            network: self.network.clone(),
+            flows,
+            relations: self.relations.clone(),
+        })
     }
 
     /// A new set with flow `id` removed, sharing this set's relation
     /// memo. Errors when removing `id` would empty the set.
     pub fn without_flow(&self, id: FlowId) -> Result<Self, ModelError> {
         let flows: Vec<SporadicFlow> = self.flows.iter().filter(|f| f.id != id).cloned().collect();
-        self.with_flows(flows)
+        if flows.is_empty() {
+            return Err(ModelError::EmptyFlowSet);
+        }
+        // A subset of a validated set needs no re-validation.
+        Ok(FlowSet {
+            network: self.network.clone(),
+            flows,
+            relations: self.relations.clone(),
+        })
     }
 
     /// The underlying network.

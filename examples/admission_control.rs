@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A session ends; the freed budget admits a newcomer.
     let freed = admitted[0];
-    assert!(controller.release(fifo_trajectory::model::FlowId(freed)));
+    assert!(controller
+        .release(fifo_trajectory::model::FlowId(freed))
+        .released());
     println!("\nvoice_{freed} hangs up;");
     let late = SporadicFlow::uniform(99, trunk.clone(), 40, 2, 1, 50)?.named("voice_99");
     match controller.try_admit(late) {
