@@ -55,35 +55,35 @@ const SERIAL_REBUILD_MAX_ROWS: usize = 32;
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct WindowSkeleton {
     /// Flow contributing the packets (for reporting in [`Window`]).
-    flow: traj_model::FlowId,
+    pub(crate) flow: traj_model::FlowId,
     /// Period `Tⱼ`.
-    period: Duration,
+    pub(crate) period: Duration,
     /// Cost per counted packet, `C_j` maximised over the segment.
-    cost: Duration,
+    pub(crate) cost: Duration,
     /// Index of the anchor `f_{j,i}` in the *owner's* path (the owner's
     /// `Smax` read).
-    pos_i: usize,
+    pub(crate) pos_i: usize,
     /// Index of the interfering flow in the set.
-    j_idx: usize,
+    pub(crate) j_idx: usize,
     /// Index of the anchor `f_{i,j}` in the *crosser's* path (the
     /// crosser's `Smax` read).
-    pos_j: usize,
+    pub(crate) pos_j: usize,
     /// `− Sminⱼ(f_{j,i}) − M(prefix, f_{i,j}) + Jⱼ`: the `Smax`-free part
     /// of the alignment.
-    base: Duration,
+    pub(crate) base: Duration,
 }
 
 /// The frozen bound-function structure for one flow over one prefix.
 #[derive(Debug, Clone)]
 pub(crate) struct PrefixSkeleton {
     /// Interference windows with symbolic alignments.
-    windows: Vec<WindowSkeleton>,
+    pub(crate) windows: Vec<WindowSkeleton>,
     /// The self term `(1 + ⌊(t + Jᵢ)/Tᵢ⌋) · Cᵢ^{slow}` — fully constant.
-    self_window: Window,
+    pub(crate) self_window: Window,
     /// `δᵢ + Σ_{h≠slow} max C + Σ Lmax`.
-    constant: Duration,
+    pub(crate) constant: Duration,
     /// `−Jᵢ`.
-    t_lo: Tick,
+    pub(crate) t_lo: Tick,
     /// Lemma 3's busy period `Bᵢ^{slow}`: alignment-independent, so
     /// computed once at build time. `Ok(None)` means it exceeded the
     /// configured guard — every evaluation reports overload; `Err` means
@@ -281,24 +281,37 @@ impl InterferenceCache {
         delta: &D,
     ) -> Self {
         let smin = Self::smin_table(set, cfg);
+        let node_index = set.node_flow_index();
         let prefixes: Vec<Arc<Vec<PrefixSkeleton>>> = (0..set.len())
             .into_par_iter()
-            .map(|flow_idx| Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx)))
+            .map(|flow_idx| {
+                Arc::new(Self::build_row(
+                    set,
+                    cfg,
+                    universe,
+                    delta,
+                    &smin,
+                    &node_index,
+                    flow_idx,
+                ))
+            })
             .collect();
         InterferenceCache { prefixes, smin }
     }
 
     /// Every prefix skeleton of one flow, built fresh.
+    #[allow(clippy::too_many_arguments)]
     fn build_row<D: DeltaProvider>(
         set: &FlowSet,
         cfg: &AnalysisConfig,
         universe: &[bool],
         delta: &D,
         smin: &[Arc<Vec<Duration>>],
+        node_index: &std::collections::HashMap<NodeId, Vec<usize>>,
         flow_idx: usize,
     ) -> Vec<PrefixSkeleton> {
         let fi = &set.flows()[flow_idx];
-        let full = Self::resolve_crossers(set, fi, universe);
+        let full = Self::resolve_crossers(set, fi, universe, node_index);
         let hoist = Self::hoist(set, cfg, fi, &full);
         (1..=fi.path.len())
             .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
@@ -328,11 +341,20 @@ impl InterferenceCache {
         stale: &[bool],
     ) -> Self {
         let smin = Self::smin_rows(set, cfg, stale, |i| Some(&healthy.smin[i]));
+        let node_index = set.node_flow_index();
         let build = |flow_idx: usize| {
             if !stale[flow_idx] {
                 return Arc::clone(&healthy.prefixes[flow_idx]);
             }
-            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+            Arc::new(Self::build_row(
+                set,
+                cfg,
+                universe,
+                delta,
+                &smin,
+                &node_index,
+                flow_idx,
+            ))
         };
         let prefixes = Self::rows_for(set.len(), stale, build);
         InterferenceCache { prefixes, smin }
@@ -361,11 +383,20 @@ impl InterferenceCache {
     ) -> Self {
         let n_standing = standing.prefixes.len();
         let smin = Self::smin_rows(set, cfg, stale, |i| standing.smin.get(i));
+        let node_index = set.node_flow_index();
         let build = |flow_idx: usize| {
             if flow_idx < n_standing && !stale[flow_idx] {
                 return Arc::clone(&standing.prefixes[flow_idx]);
             }
-            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+            Arc::new(Self::build_row(
+                set,
+                cfg,
+                universe,
+                delta,
+                &smin,
+                &node_index,
+                flow_idx,
+            ))
         };
         let prefixes = Self::rows_for(set.len(), stale, build);
         InterferenceCache { prefixes, smin }
@@ -392,6 +423,7 @@ impl InterferenceCache {
     ) -> Self {
         let old_idx = |i: usize| if i < removed { i } else { i + 1 };
         let smin = Self::smin_rows(set, cfg, stale, |i| Some(&standing.smin[old_idx(i)]));
+        let node_index = set.node_flow_index();
         let build = |flow_idx: usize| {
             if !stale[flow_idx] {
                 return Arc::new(
@@ -401,7 +433,15 @@ impl InterferenceCache {
                         .collect::<Vec<_>>(),
                 );
             }
-            Arc::new(Self::build_row(set, cfg, universe, delta, &smin, flow_idx))
+            Arc::new(Self::build_row(
+                set,
+                cfg,
+                universe,
+                delta,
+                &smin,
+                &node_index,
+                flow_idx,
+            ))
         };
         let prefixes = Self::rows_for(set.len(), stale, build);
         InterferenceCache { prefixes, smin }
@@ -475,15 +515,32 @@ impl InterferenceCache {
     /// [`FullCrosser`] — one memo lookup and one positional pass per
     /// flow pair. The owner is included: it participates in the `M`
     /// minima and the same-direction maxima.
+    ///
+    /// Candidates come from the inverted node index instead of a scan of
+    /// the whole set: only flows sharing a node with `fi`'s path can
+    /// cross it, and the index yields exactly those. The candidate list
+    /// is sorted ascending, so the crosser order (and hence the window
+    /// order of every skeleton) is identical to the full scan's.
     fn resolve_crossers<'s>(
         set: &'s FlowSet,
         fi: &SporadicFlow,
         universe: &[bool],
+        node_index: &std::collections::HashMap<NodeId, Vec<usize>>,
     ) -> Vec<FullCrosser<'s>> {
         let path_len = fi.path.len();
-        set.flows()
+        let mut candidates: Vec<usize> = fi
+            .path
+            .nodes()
             .iter()
-            .enumerate()
+            .filter_map(|n| node_index.get(n))
+            .flatten()
+            .copied()
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .map(|j_idx| (j_idx, &set.flows()[j_idx]))
             .filter(|(j_idx, _)| universe[*j_idx])
             .filter_map(|(j_idx, fj)| {
                 let segments = set.crossing_segments_shared(fj, &fi.path);

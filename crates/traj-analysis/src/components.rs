@@ -1,0 +1,634 @@
+//! Component-sharded `Smax` fixed point over a struct-of-arrays arena.
+//!
+//! # Why sharding is exact
+//!
+//! Crossing is the only coupling between rows of the fixed point: every
+//! window of a flow's skeleton reads `Smax` of the flow itself (`pos_i`)
+//! and of one flow crossing its path (`j_idx`/`pos_j`) — nothing else.
+//! Over the connected components of the crossing graph the equation
+//! system is therefore block-diagonal, and running the monolithic
+//! iteration is *exactly* running each component's iteration side by
+//! side: a monolithic round restricted to a component's rows reads only
+//! that component's cells, so a per-component round with the same
+//! schedule (Jacobi's frozen-table apply-after-round, Gauss–Seidel's
+//! in-place ascending sweep) produces the same values in the same round.
+//! Each component converges to its block of the unique least fixed point
+//! independently — converged components stop doing any work while others
+//! keep iterating, which the monolithic loop cannot do (its convergence
+//! test is global).
+//!
+//! [`partition`] unions over the *full-prefix* (`k = len`) skeletons:
+//! prefix windows arise by clipping full-path crossing segments, so the
+//! full prefix's crosser set contains every shorter prefix's — the edge
+//! set is a superset of all dependencies any cell can read.
+//!
+//! # The arena
+//!
+//! The monolithic hot loop pays three heap allocations per cell
+//! evaluation (the materialised window vector, the coalescing map, the
+//! event buffer) and reads values through one `Vec` per flow.
+//! [`ComponentArena`] flattens a component into contiguous arrays —
+//! values, windows with *precomputed flat read indices*, per-cell
+//! metadata — and [`solve`] reuses three scratch buffers across every
+//! evaluation, so a round is a linear walk with zero allocation.
+//! Arithmetic, window order, coalescing semantics (first-occurrence
+//! merge by `(a, period)`), and the checked-overflow error labels are
+//! replicated from [`crate::terms`] verbatim; the differential suite
+//! asserts bit-identity against [`crate::ShardMode::Monolithic`].
+//!
+//! # Error determinism
+//!
+//! The monolithic loop surfaces the first error in (round, flow index,
+//! position) order. Shards run independently to completion or error;
+//! [`solve_sharded`] then replays that order: the minimum (round, flow
+//! index) error wins, and a divergence reports the highest-indexed cell
+//! still changing in the final round — exactly the cell the monolithic
+//! `last_changed` would hold.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use traj_model::{Duration, FlowId, FlowSet, NodeId, Tick};
+
+use crate::cache::InterferenceCache;
+use crate::config::{AnalysisConfig, FixpointStrategy};
+use crate::report::Verdict;
+use crate::smax::SmaxTable;
+use crate::telemetry::{RoundTelemetry, ShardTelemetry};
+use crate::terms::{sweep_merged, Overflowed, Window};
+
+/// Connected components of the crossing graph restricted to `universe`,
+/// as ascending member lists ordered by first member — a deterministic
+/// partition of the in-universe flow indices.
+pub(crate) fn partition(
+    set: &FlowSet,
+    universe: &[bool],
+    cache: &InterferenceCache,
+) -> Vec<Vec<usize>> {
+    let n = set.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (i, _) in universe.iter().enumerate().filter(|(_, in_u)| **in_u) {
+        // The full prefix's windows cover every crosser any prefix of
+        // this row can read (clipping only drops segments).
+        let len = set.flows()[i].path.len();
+        for w in &cache.prefix(i, len).windows {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, w.j_idx));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    let mut comp_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, _) in universe.iter().enumerate().filter(|(_, in_u)| **in_u) {
+        let r = find(&mut parent, i);
+        let ci = *comp_of_root.entry(r).or_insert_with(|| {
+            out.push(Vec::new());
+            out.len() - 1
+        });
+        out[ci].push(i);
+    }
+    out
+}
+
+/// One interference window, flattened: the symbolic `Smax` reads of
+/// [`crate::cache::WindowSkeleton`] resolved to flat value indices at
+/// arena build time, so an evaluation is two array loads and two adds.
+struct ArenaWindow {
+    base: Duration,
+    period: Duration,
+    cost: Duration,
+    /// Flat index of the owner's `Smax` cell (`pos_i`).
+    read_i: usize,
+    /// Flat index of the crosser's `Smax` cell (`pos_j`).
+    read_j: usize,
+}
+
+/// Frozen per-cell structure: everything [`crate::cache::PrefixSkeleton`]
+/// holds, plus the incoming link's `Lmax` and the node id for the guard
+/// verdict, so an update never touches the flow set.
+struct ArenaCell {
+    win_lo: usize,
+    win_hi: usize,
+    busy: Result<Option<Duration>, Overflowed>,
+    constant: Duration,
+    t_lo: Tick,
+    self_window: Window,
+    link_lmax: Duration,
+    to_node: NodeId,
+}
+
+/// One component's rows in struct-of-arrays layout. `vals` mirrors the
+/// component's slice of the [`SmaxTable`]; cell `(l, pos)` lives at
+/// `vals[row_off[l] + pos]` and its update metadata at
+/// `cells[cell_off[l] + pos - 1]` (positions `1..len`).
+struct ComponentArena {
+    members: Vec<usize>,
+    flow_ids: Vec<FlowId>,
+    row_off: Vec<usize>,
+    path_len: Vec<usize>,
+    seeded: Vec<bool>,
+    vals: Vec<Duration>,
+    windows: Vec<ArenaWindow>,
+    cells: Vec<ArenaCell>,
+    cell_off: Vec<usize>,
+}
+
+impl ComponentArena {
+    fn build(
+        set: &FlowSet,
+        cache: &InterferenceCache,
+        smax: &SmaxTable,
+        seed_rows: &[bool],
+        members: &[usize],
+    ) -> ComponentArena {
+        let rows = members.len();
+        let mut local: HashMap<usize, usize> = HashMap::with_capacity(rows);
+        for (l, &g) in members.iter().enumerate() {
+            local.insert(g, l);
+        }
+        let mut row_off = Vec::with_capacity(rows + 1);
+        let mut path_len = Vec::with_capacity(rows);
+        let mut cell_off = Vec::with_capacity(rows);
+        let mut flow_ids = Vec::with_capacity(rows);
+        row_off.push(0);
+        let mut vals = Vec::new();
+        let mut cells_total = 0;
+        for &g in members {
+            let f = &set.flows()[g];
+            flow_ids.push(f.id);
+            path_len.push(f.path.len());
+            cell_off.push(cells_total);
+            cells_total += f.path.len() - 1;
+            vals.extend_from_slice(smax.row(g));
+            row_off.push(vals.len());
+        }
+        let mut windows = Vec::new();
+        let mut cells = Vec::with_capacity(cells_total);
+        for (l, &g) in members.iter().enumerate() {
+            let nodes = set.flows()[g].path.nodes();
+            for pos in 1..path_len[l] {
+                let sk = cache.prefix(g, pos);
+                let win_lo = windows.len();
+                for w in &sk.windows {
+                    // Every `j_idx` a skeleton reads was unioned into
+                    // this component by `partition` (full-prefix
+                    // superset), so the lookup always resolves.
+                    let lj = local[&w.j_idx];
+                    windows.push(ArenaWindow {
+                        base: w.base,
+                        period: w.period,
+                        cost: w.cost,
+                        read_i: row_off[l] + w.pos_i,
+                        read_j: row_off[lj] + w.pos_j,
+                    });
+                }
+                cells.push(ArenaCell {
+                    win_lo,
+                    win_hi: windows.len(),
+                    busy: sk.busy,
+                    constant: sk.constant,
+                    t_lo: sk.t_lo,
+                    self_window: sk.self_window,
+                    link_lmax: set.network().link_delay(nodes[pos - 1], nodes[pos]).lmax,
+                    to_node: nodes[pos],
+                });
+            }
+        }
+        ComponentArena {
+            seeded: members.iter().map(|&g| seed_rows[g]).collect(),
+            members: members.to_vec(),
+            flow_ids,
+            row_off,
+            path_len,
+            vals,
+            windows,
+            cells,
+            cell_off,
+        }
+    }
+}
+
+/// Reusable per-shard evaluation scratch: cleared, never reallocated.
+#[derive(Default)]
+struct Scratch {
+    /// Coalesced windows of the cell under evaluation.
+    merged: Vec<Window>,
+    /// First-occurrence index by `(a, period)`, mirroring
+    /// [`crate::terms::BoundFunction::coalesced`].
+    index: HashMap<(Tick, Duration), usize>,
+    /// Jump-point events of the sweep.
+    events: Vec<(Tick, Duration)>,
+}
+
+/// One cell update: materialise alignments from the flat values,
+/// coalesce, sweep, add the link `Lmax`, check the guard. Arithmetic
+/// and error order replicate `wcrt_prefix` + `smax_update` exactly.
+fn eval_cell(
+    arena: &ComponentArena,
+    cell: &ArenaCell,
+    l: usize,
+    cfg: &AnalysisConfig,
+    scratch: &mut Scratch,
+) -> Result<Duration, Verdict> {
+    let busy = match cell.busy {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            return Err(Verdict::unbounded(format!(
+                "busy period of flow {} exceeds the {}-tick guard (overload)",
+                arena.flow_ids[l], cfg.max_busy_period
+            )))
+        }
+        Err(o) => return Err(Verdict::from(o)),
+    };
+    scratch.merged.clear();
+    scratch.index.clear();
+    let push = |merged: &mut Vec<Window>,
+                index: &mut HashMap<(Tick, Duration), usize>,
+                a: Tick,
+                period: Duration,
+                cost: Duration| {
+        match index.entry((a, period)) {
+            std::collections::hash_map::Entry::Occupied(e) => merged[*e.get()].cost += cost,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(merged.len());
+                merged.push(Window {
+                    // The flow id is reporting-only; the sweep ignores it.
+                    flow: arena.flow_ids[l],
+                    a,
+                    period,
+                    cost,
+                });
+            }
+        }
+    };
+    for w in &arena.windows[cell.win_lo..cell.win_hi] {
+        let a = arena.vals[w.read_i] + arena.vals[w.read_j] + w.base;
+        push(&mut scratch.merged, &mut scratch.index, a, w.period, w.cost);
+    }
+    let sw = cell.self_window;
+    push(
+        &mut scratch.merged,
+        &mut scratch.index,
+        sw.a,
+        sw.period,
+        sw.cost,
+    );
+    let m = sweep_merged(
+        &scratch.merged,
+        cell.constant,
+        cell.t_lo,
+        busy,
+        &mut scratch.events,
+    )
+    .map_err(Verdict::from)?;
+    let val = m.value + cell.link_lmax;
+    if val > cfg.max_busy_period {
+        return Err(Verdict::unbounded(format!(
+            "Smax of flow {} at node {} exceeds the guard",
+            arena.flow_ids[l], cell.to_node
+        )));
+    }
+    Ok(val)
+}
+
+/// How one shard's solve ended.
+enum ShardEnd {
+    Converged,
+    /// Still changing at the final round; `last` is the last (global
+    /// flow index, position) changed in that round's apply order.
+    Diverged {
+        last: (usize, usize),
+    },
+    /// First error this shard hit, with the round it surfaced in and the
+    /// global flow index of the erroring row.
+    Failed {
+        round: usize,
+        flow_idx: usize,
+        verdict: Verdict,
+    },
+}
+
+struct SolveOut {
+    arena: ComponentArena,
+    rounds: usize,
+    per_round: Vec<RoundTelemetry>,
+    micros: u64,
+    end: ShardEnd,
+}
+
+/// Iterates one component to its least fixed point with the chosen
+/// strategy, mirroring the monolithic round schedule per component.
+fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrategy) -> SolveOut {
+    let start = Instant::now();
+    let rows = arena.members.len();
+    let jacobi = chosen == FixpointStrategy::Jacobi;
+    let mut dirty = vec![false; arena.vals.len()];
+    for l in 0..rows {
+        if arena.seeded[l] {
+            dirty[arena.row_off[l]..arena.row_off[l + 1]].fill(true);
+        }
+    }
+    let mut scratch = Scratch::default();
+    let mut updates: Vec<(usize, usize, Duration)> = Vec::new();
+    let mut per_round = Vec::new();
+    let mut rounds = 0;
+    let mut last_changed: Option<(usize, usize)> = None;
+    for round in 0..cfg.max_smax_rounds {
+        rounds = round + 1;
+        let mut rt = RoundTelemetry {
+            round: rounds,
+            recomputed: 0,
+            skipped: 0,
+            changed: 0,
+            max_delta: 0,
+        };
+        let mut round_changed: Option<(usize, usize)> = None;
+        let mut err: Option<(usize, Verdict)> = None;
+        if jacobi {
+            // Frozen-table round: evaluate row-major against the
+            // pre-round values, apply afterwards — the per-component
+            // projection of the parallel monolithic round, errors
+            // surfacing in the same (flow, position) order.
+            updates.clear();
+            'jrows: for l in 0..rows {
+                let forced = round == 0 && arena.seeded[l];
+                for pos in 1..arena.path_len[l] {
+                    let cell = &arena.cells[arena.cell_off[l] + pos - 1];
+                    if !forced
+                        && !arena.windows[cell.win_lo..cell.win_hi]
+                            .iter()
+                            .any(|w| dirty[w.read_i] || dirty[w.read_j])
+                    {
+                        rt.skipped += 1;
+                        continue;
+                    }
+                    match eval_cell(&arena, cell, l, cfg, &mut scratch) {
+                        Ok(v) => {
+                            updates.push((l, pos, v));
+                            rt.recomputed += 1;
+                        }
+                        Err(v) => {
+                            err = Some((l, v));
+                            break 'jrows;
+                        }
+                    }
+                }
+            }
+            if err.is_none() {
+                dirty.fill(false);
+                for &(l, pos, val) in &updates {
+                    let idx = arena.row_off[l] + pos;
+                    let old = arena.vals[idx];
+                    if old != val {
+                        arena.vals[idx] = val;
+                        dirty[idx] = true;
+                        round_changed = Some((l, pos));
+                        rt.changed += 1;
+                        rt.max_delta = rt.max_delta.max(val.saturating_sub(old));
+                    }
+                }
+            }
+        } else {
+            // Gauss–Seidel: in-place ascending sweep over every row,
+            // each update immediately visible to the next.
+            'grows: for l in 0..rows {
+                for pos in 1..arena.path_len[l] {
+                    let cell = &arena.cells[arena.cell_off[l] + pos - 1];
+                    match eval_cell(&arena, cell, l, cfg, &mut scratch) {
+                        Ok(val) => {
+                            rt.recomputed += 1;
+                            let idx = arena.row_off[l] + pos;
+                            let old = arena.vals[idx];
+                            if old != val {
+                                arena.vals[idx] = val;
+                                round_changed = Some((l, pos));
+                                rt.changed += 1;
+                                rt.max_delta = rt.max_delta.max(val.saturating_sub(old));
+                            }
+                        }
+                        Err(v) => {
+                            err = Some((l, v));
+                            break 'grows;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((l, verdict)) = err {
+            return SolveOut {
+                end: ShardEnd::Failed {
+                    round: rounds,
+                    flow_idx: arena.members[l],
+                    verdict,
+                },
+                arena,
+                rounds,
+                per_round,
+                micros: start.elapsed().as_micros() as u64,
+            };
+        }
+        per_round.push(rt);
+        match round_changed {
+            None => {
+                return SolveOut {
+                    end: ShardEnd::Converged,
+                    arena,
+                    rounds,
+                    per_round,
+                    micros: start.elapsed().as_micros() as u64,
+                };
+            }
+            Some((l, pos)) => last_changed = Some((arena.members[l], pos)),
+        }
+    }
+    let last = last_changed.unwrap_or((0, 0));
+    SolveOut {
+        end: ShardEnd::Diverged { last },
+        arena,
+        rounds,
+        per_round,
+        micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// Result of a successful sharded solve, for the caller's telemetry.
+pub(crate) struct ShardedRun {
+    /// Maximum rounds over the shards (what the monolithic loop would
+    /// have reported as its round count).
+    pub(crate) rounds: usize,
+    /// Monolithic-shaped per-round record: shard rounds merged
+    /// index-wise (counts summed, deltas maxed).
+    pub(crate) per_round: Vec<RoundTelemetry>,
+    /// One record per component actually solved.
+    pub(crate) shards: Vec<ShardTelemetry>,
+}
+
+/// Solves every component holding a seeded row (components without one
+/// already sit at their block of the standing fixed point — recomputing
+/// them would reproduce every value), in parallel, then writes the
+/// converged values back into `smax`.
+pub(crate) fn solve_sharded(
+    set: &FlowSet,
+    cfg: &AnalysisConfig,
+    cache: &InterferenceCache,
+    smax: &mut SmaxTable,
+    seed_rows: &[bool],
+    chosen: FixpointStrategy,
+    components: &[Vec<usize>],
+) -> Result<ShardedRun, Verdict> {
+    let work: Vec<&Vec<usize>> = components
+        .iter()
+        .filter(|m| m.iter().any(|&g| seed_rows[g]))
+        .collect();
+    let snapshot: &SmaxTable = smax;
+    let outs: Vec<SolveOut> = work
+        .par_iter()
+        .map(|members| {
+            solve(
+                ComponentArena::build(set, cache, snapshot, seed_rows, members),
+                cfg,
+                chosen,
+            )
+        })
+        .collect();
+
+    // Errors first, in the monolithic (round, flow index) surfacing
+    // order; they pre-empt any other shard's later error or divergence.
+    let mut first_err: Option<(usize, usize, Verdict)> = None;
+    for o in &outs {
+        if let ShardEnd::Failed {
+            round,
+            flow_idx,
+            verdict,
+        } = &o.end
+        {
+            let better = match &first_err {
+                None => true,
+                Some((r, f, _)) => (*round, *flow_idx) < (*r, *f),
+            };
+            if better {
+                first_err = Some((*round, *flow_idx, verdict.clone()));
+            }
+        }
+    }
+    if let Some((_, _, v)) = first_err {
+        return Err(v);
+    }
+    // Divergence: the monolithic `last_changed` is the highest-indexed
+    // cell applied in the final round, i.e. the maximum over the
+    // still-changing shards.
+    let mut worst: Option<(usize, usize)> = None;
+    for o in &outs {
+        if let ShardEnd::Diverged { last } = o.end {
+            worst = Some(match worst {
+                None => last,
+                Some(w) => w.max(last),
+            });
+        }
+    }
+    if let Some((fi, pos)) = worst {
+        return Err(Verdict::Diverged {
+            rounds: cfg.max_smax_rounds,
+            worst_cell: (set.flows()[fi].id, set.flows()[fi].path.nodes()[pos]),
+        });
+    }
+
+    let mut run = ShardedRun {
+        rounds: 0,
+        per_round: Vec::new(),
+        shards: Vec::with_capacity(outs.len()),
+    };
+    for o in outs {
+        run.rounds = run.rounds.max(o.rounds);
+        for rt in &o.per_round {
+            let i = rt.round - 1;
+            if run.per_round.len() <= i {
+                run.per_round.push(RoundTelemetry {
+                    round: i + 1,
+                    recomputed: 0,
+                    skipped: 0,
+                    changed: 0,
+                    max_delta: 0,
+                });
+            }
+            let m = &mut run.per_round[i];
+            m.recomputed += rt.recomputed;
+            m.skipped += rt.skipped;
+            m.changed += rt.changed;
+            m.max_delta = m.max_delta.max(rt.max_delta);
+        }
+        run.shards.push(ShardTelemetry {
+            flows: o.arena.members.len(),
+            cells: o.arena.cells.len(),
+            rounds: o.rounds,
+            solve_micros: o.micros,
+        });
+        for (l, &g) in o.arena.members.iter().enumerate() {
+            smax.set_row(g, &o.arena.vals[o.arena.row_off[l]..o.arena.row_off[l + 1]]);
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::wcrt::NoDelta;
+    use traj_model::examples::{line_topology, paper_example};
+
+    fn parts_of(set: &FlowSet) -> Vec<Vec<usize>> {
+        let cfg = AnalysisConfig::default();
+        let universe = vec![true; set.len()];
+        let cache = InterferenceCache::build(set, &cfg, &universe, &NoDelta);
+        partition(set, &universe, &cache)
+    }
+
+    #[test]
+    fn paper_example_is_one_component() {
+        let set = paper_example();
+        let comps = parts_of(&set);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], (0..set.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_line_flows_form_one_component() {
+        // line_topology flows overlap pairwise along the line: one
+        // component even though the first and last flows never meet.
+        let set = line_topology(6, 4, 120, 3, 1, 2).unwrap();
+        assert_eq!(parts_of(&set).len(), 1);
+    }
+
+    #[test]
+    fn masked_universe_rows_stay_out_of_every_component() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let mut universe = vec![true; set.len()];
+        universe[0] = false;
+        let cache = InterferenceCache::build(&set, &cfg, &universe, &NoDelta);
+        let comps = partition(&set, &universe, &cache);
+        assert!(comps.iter().all(|m| !m.contains(&0)));
+        assert_eq!(comps.iter().map(Vec::len).sum::<usize>(), set.len() - 1);
+    }
+
+    #[test]
+    fn components_are_ordered_with_ascending_members() {
+        let set = paper_example();
+        let comps = parts_of(&set);
+        let firsts: Vec<usize> = comps.iter().map(|m| m[0]).collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+        for m in &comps {
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

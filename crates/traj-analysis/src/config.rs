@@ -131,6 +131,33 @@ impl FixpointStrategy {
     }
 }
 
+/// Whether the `Smax` fixed point decomposes the crossing graph into
+/// connected components and solves each one independently.
+///
+/// Crossing is the only coupling between rows of the fixed point: a
+/// window of flow `i`'s skeleton reads `Smax` of `i` itself and of a
+/// flow crossing `i`'s path, never anything further away. Rows in
+/// different connected components of the crossing graph therefore never
+/// read each other, the equation system is block-diagonal, and each
+/// block's Kleene iteration is an exact projection of the monolithic
+/// one — the per-component solutions are bit-identical to the global
+/// solve (asserted by the sharded differential suite in
+/// `tests/equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShardMode {
+    /// Decompose (default): each component is solved independently over
+    /// a struct-of-arrays arena — components run in parallel, converged
+    /// components stop doing *any* work, and warm starts skip components
+    /// containing no re-seeded row entirely. Sets whose crossing graph
+    /// is a single component fall back to the monolithic loop verbatim.
+    #[default]
+    Components,
+    /// Always run the monolithic loop over the whole universe (the
+    /// pre-sharding engine; kept as the differential baseline and for
+    /// the `scale_perf` benchmark's speedup denominator).
+    Monolithic,
+}
+
 /// Full analysis configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalysisConfig {
@@ -155,6 +182,10 @@ pub struct AnalysisConfig {
     /// which picks by flow count.
     #[serde(default)]
     pub fixpoint: FixpointStrategy,
+    /// Component decomposition of the fixed point (see [`ShardMode`]);
+    /// orthogonal to `fixpoint` — the chosen strategy runs per component.
+    #[serde(default)]
+    pub shard_mode: ShardMode,
 }
 
 impl Default for AnalysisConfig {
@@ -167,6 +198,7 @@ impl Default for AnalysisConfig {
             max_busy_period: 10_000_000,
             max_smax_rounds: 256,
             fixpoint: FixpointStrategy::default(),
+            shard_mode: ShardMode::default(),
         }
     }
 }
@@ -257,6 +289,19 @@ mod tests {
         let json = r#"{"smax_mode":"RecursivePrefix","min_convention":"Visiting","smin_mode":"ProcessingAndLink","reverse_counting":"PerFlow","max_busy_period":10000000,"max_smax_rounds":256}"#;
         let back: AnalysisConfig = serde_json::from_str(json).unwrap();
         assert_eq!(back.fixpoint, FixpointStrategy::Auto);
+        assert_eq!(back.shard_mode, ShardMode::Components);
+    }
+
+    #[test]
+    fn shard_mode_roundtrips_and_defaults_to_components() {
+        assert_eq!(AnalysisConfig::default().shard_mode, ShardMode::Components);
+        let c = AnalysisConfig {
+            shard_mode: ShardMode::Monolithic,
+            ..AnalysisConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard_mode, ShardMode::Monolithic);
     }
 
     #[test]

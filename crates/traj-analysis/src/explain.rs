@@ -331,7 +331,7 @@ fn provenance_from(
                 .nodes()
                 .iter()
                 .copied()
-                .zip(an.smax().values()[j].iter().copied())
+                .zip(an.smax().row(j).iter().copied())
                 .collect(),
         })
     });

@@ -226,7 +226,7 @@ impl ConvergedState {
             }
         };
         for i in 0..n {
-            seed.set_row(i, self.smax.values()[i].clone());
+            seed.set_row(i, self.smax.row(i));
         }
 
         let cache = InterferenceCache::extend_for(
@@ -316,7 +316,7 @@ impl ConvergedState {
         let mut seed = SmaxTable::transit(&shrunk).ok()?;
         for (i, is_stale) in stale.iter().enumerate() {
             if !is_stale {
-                seed.set_row(i, self.smax.values()[old_idx(i)].clone());
+                seed.set_row(i, self.smax.row(old_idx(i)));
             }
         }
 
@@ -363,11 +363,16 @@ impl ConvergedState {
 /// structure.
 fn direct_extension_crossers(extended: &FlowSet, appended_from: usize) -> Vec<bool> {
     let flows = extended.flows();
+    // "Crosses" is "shares a node", so the inverted node index yields the
+    // directly-crossed standing flows without a pairwise path scan.
+    let node_index = extended.node_flow_index();
     let mut flagged: Vec<bool> = (0..flows.len()).map(|i| i >= appended_from).collect();
-    for j in appended_from..flows.len() {
-        for (i, f) in flows.iter().enumerate().take(appended_from) {
-            if !flagged[i] && extended.crosses(&flows[j], &f.path) {
-                flagged[i] = true;
+    for f in flows.iter().skip(appended_from) {
+        for n in f.path.nodes() {
+            if let Some(members) = node_index.get(n) {
+                for &i in members {
+                    flagged[i] = true;
+                }
             }
         }
     }
@@ -390,12 +395,20 @@ pub fn addition_dirty_closure(extended: &FlowSet, appended_from: usize) -> Vec<b
 /// engine's fault closure to arbitrary seeds.
 fn crossing_closure(set: &FlowSet, stale: &mut [bool]) {
     let flows = set.flows();
+    // BFS over the inverted node index: "crosses" is symmetric ("shares
+    // a node"), so expanding each frontier flow to its nodes' visitors
+    // reaches exactly the flows a pairwise path scan would.
+    let node_index = set.node_flow_index();
     let mut frontier: Vec<usize> = (0..flows.len()).filter(|&i| stale[i]).collect();
     while let Some(j) = frontier.pop() {
-        for (i, s) in stale.iter_mut().enumerate() {
-            if !*s && set.crosses(&flows[j], &flows[i].path) {
-                *s = true;
-                frontier.push(i);
+        for n in flows[j].path.nodes() {
+            if let Some(members) = node_index.get(n) {
+                for &i in members {
+                    if !stale[i] {
+                        stale[i] = true;
+                        frontier.push(i);
+                    }
+                }
             }
         }
     }

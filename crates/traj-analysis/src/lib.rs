@@ -19,6 +19,7 @@
 //! and [`explain::explain_flow`] for a Figure-2-style breakdown.
 
 mod cache;
+mod components;
 pub mod config;
 pub mod ef;
 pub mod explain;
@@ -33,7 +34,9 @@ pub mod telemetry;
 pub mod terms;
 pub mod wcrt;
 
-pub use config::{config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, SmaxMode};
+pub use config::{
+    config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, ShardMode, SmaxMode,
+};
 pub use ef::{analyze_ef, nonpreemption_delta};
 pub use explain::{explain_flow, provenance_all, provenance_flow, BoundBreakdown, BoundProvenance};
 pub use incremental::{addition_dirty_closure, analyze_ef_incremental, ConvergedState, EfWhatIf};
@@ -42,5 +45,5 @@ pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};
 pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
 pub use survivability::{analyze_degraded, dirty_closure, reanalyze, FaultReanalysis};
-pub use telemetry::{FixpointTelemetry, RoundTelemetry};
+pub use telemetry::{FixpointTelemetry, RoundTelemetry, ShardTelemetry};
 pub use wcrt::{analyze_all, analyze_flow, Analyzer};

@@ -293,6 +293,9 @@ pub(crate) fn analyze_all_reference_tracked(set: &FlowSet, cfg: &AnalysisConfig)
                 rounds: an.smax_rounds(),
                 converged: true,
                 per_round: Vec::new(),
+                components: 0,
+                largest_component: 0,
+                shards: Vec::new(),
             };
             SetReport::new(
                 (0..set.len())

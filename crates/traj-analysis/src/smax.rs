@@ -7,16 +7,25 @@
 //! recursive fixed point over path prefixes
 //! (`Smaxᵢʰ = R(prefix through preᵢ(h)) + Lmax`), seeded with transit-only
 //! values.
+//!
+//! The table is laid out struct-of-arrays: one flat `Duration` buffer with
+//! per-flow row offsets. The fixed-point hot loop reads and writes cells
+//! millions of times on large sets; a flat buffer keeps those accesses on
+//! contiguous cache lines instead of chasing one heap allocation per flow.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use traj_model::{Duration, FlowSet, NodeId};
 
 use crate::report::Verdict;
 
 /// `Smax` values per flow, aligned with each flow's path node order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Rows are stored back-to-back in `vals`; row `i` spans
+/// `vals[off[i]..off[i + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmaxTable {
-    vals: Vec<Vec<Duration>>,
+    vals: Vec<Duration>,
+    off: Vec<usize>,
 }
 
 impl SmaxTable {
@@ -30,12 +39,14 @@ impl SmaxTable {
     /// seed can make an unschedulable set look schedulable. It surfaces
     /// as a typed [`Verdict::Overflow`] instead.
     pub fn transit(set: &FlowSet) -> Result<Self, Verdict> {
-        let mut vals = Vec::with_capacity(set.len());
+        let cells: usize = set.flows().iter().map(|f| f.path.len()).sum();
+        let mut vals = Vec::with_capacity(cells);
+        let mut off = Vec::with_capacity(set.len() + 1);
+        off.push(0);
         for f in set.flows() {
-            let mut row = Vec::with_capacity(f.path.len());
             for &h in f.path.nodes() {
                 match set.transit_smax(f, h) {
-                    Some(v) => row.push(v),
+                    Some(v) => vals.push(v),
                     None => {
                         return Err(Verdict::overflow(format!(
                             "transit Smax seed of flow {} at node {h}",
@@ -44,16 +55,16 @@ impl SmaxTable {
                     }
                 }
             }
-            vals.push(row);
+            off.push(vals.len());
         }
-        Ok(SmaxTable { vals })
+        Ok(SmaxTable { vals, off })
     }
 
     /// `Smax` of the flow at `flow_idx` to `node`; `None` when the flow
     /// does not visit the node.
     pub fn get(&self, set: &FlowSet, flow_idx: usize, node: NodeId) -> Option<Duration> {
         let pos = set.flows()[flow_idx].path.index_of(node)?;
-        Some(self.vals[flow_idx][pos])
+        Some(self.at(flow_idx, pos))
     }
 
     /// Raw positional read: `Smax` of the flow at `flow_idx` to the
@@ -61,13 +72,14 @@ impl SmaxTable {
     /// ids to positions once at build time and then reads through here.
     #[inline]
     pub(crate) fn at(&self, flow_idx: usize, pos: usize) -> Duration {
-        self.vals[flow_idx][pos]
+        self.vals[self.off[flow_idx] + pos]
     }
 
     /// Updates one entry; returns whether the value changed.
     pub(crate) fn set(&mut self, flow_idx: usize, pos: usize, val: Duration) -> bool {
-        if self.vals[flow_idx][pos] != val {
-            self.vals[flow_idx][pos] = val;
+        let cell = &mut self.vals[self.off[flow_idx] + pos];
+        if *cell != val {
+            *cell = val;
             true
         } else {
             false
@@ -77,13 +89,57 @@ impl SmaxTable {
     /// Replaces a whole per-flow row (the survivability warm seed mixes
     /// healthy fixed-point rows with transit rows; row length must match
     /// the flow's path length).
-    pub(crate) fn set_row(&mut self, flow_idx: usize, vals: Vec<Duration>) {
-        self.vals[flow_idx] = vals;
+    pub(crate) fn set_row(&mut self, flow_idx: usize, vals: &[Duration]) {
+        let (lo, hi) = (self.off[flow_idx], self.off[flow_idx + 1]);
+        debug_assert_eq!(vals.len(), hi - lo, "row length mismatch");
+        self.vals[lo..hi].copy_from_slice(vals);
     }
 
-    /// Raw per-flow values (aligned with path order), for reporting.
-    pub fn values(&self) -> &[Vec<Duration>] {
-        &self.vals
+    /// One per-flow row (aligned with path order).
+    #[inline]
+    pub fn row(&self, flow_idx: usize) -> &[Duration] {
+        &self.vals[self.off[flow_idx]..self.off[flow_idx + 1]]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// Per-flow values (aligned with path order), for reporting.
+    pub fn values(&self) -> Vec<Vec<Duration>> {
+        (0..self.rows()).map(|i| self.row(i).to_vec()).collect()
+    }
+}
+
+// The wire format stays the nested-rows shape the previous
+// `Vec<Vec<Duration>>` derive produced, so serialized telemetry and
+// reports are unchanged by the struct-of-arrays layout.
+impl Serialize for SmaxTable {
+    fn to_value(&self) -> Value {
+        let rows: Vec<Value> = (0..self.rows())
+            .map(|i| Value::Seq(self.row(i).iter().map(Serialize::to_value).collect()))
+            .collect();
+        Value::Map(vec![("vals".to_string(), Value::Seq(rows))])
+    }
+}
+
+impl Deserialize for SmaxTable {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::new(format!("expected map, got {}", v.kind())))?;
+        let rows_v = serde::value::field(entries, "vals")
+            .ok_or_else(|| DeError::new("missing field `vals`"))?;
+        let rows: Vec<Vec<Duration>> = Deserialize::from_value(rows_v)?;
+        let mut vals = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        off.push(0);
+        for row in rows {
+            vals.extend(row);
+            off.push(vals.len());
+        }
+        Ok(SmaxTable { vals, off })
     }
 }
 
@@ -107,6 +163,18 @@ mod tests {
             None,
             "flow 1 never visits node 9"
         );
+    }
+
+    #[test]
+    fn rows_align_with_paths_and_roundtrip_through_serde() {
+        let set = paper_example();
+        let t = SmaxTable::transit(&set).unwrap();
+        assert_eq!(t.rows(), set.len());
+        for (i, f) in set.flows().iter().enumerate() {
+            assert_eq!(t.row(i).len(), f.path.len());
+        }
+        let back = SmaxTable::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

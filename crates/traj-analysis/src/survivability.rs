@@ -68,18 +68,28 @@ pub fn dirty_closure(healthy: &FlowSet, degraded: &DegradedSet) -> Vec<bool> {
         .iter()
         .map(|f| !matches!(f, FlowFate::Untouched))
         .collect();
-    let crosses = |i: usize, j: usize| -> bool {
-        let (hi, hj) = (&healthy.flows()[i], &healthy.flows()[j]);
-        let (di, dj) = (&degraded.set.flows()[i], &degraded.set.flows()[j]);
-        healthy.crosses(hj, &hi.path) || degraded.set.crosses(dj, &di.path)
-    };
+    // BFS over the union of the healthy and degraded node indices:
+    // "crosses in either set" is symmetric ("shares a node in either
+    // set"), so expanding a frontier flow to its nodes' visitors — under
+    // both indices — reaches exactly the flows the pairwise scan would.
+    let healthy_index = healthy.node_flow_index();
+    let degraded_index = degraded.set.node_flow_index();
     let mut frontier: Vec<usize> = (0..n).filter(|&i| stale[i]).collect();
     while let Some(j) = frontier.pop() {
-        for (i, s) in stale.iter_mut().enumerate() {
-            if !*s && crosses(i, j) {
-                *s = true;
-                frontier.push(i);
-            }
+        let visit =
+            |members: Option<&Vec<usize>>, stale: &mut Vec<bool>, frontier: &mut Vec<usize>| {
+                for &i in members.into_iter().flatten() {
+                    if !stale[i] {
+                        stale[i] = true;
+                        frontier.push(i);
+                    }
+                }
+            };
+        for nd in healthy.flows()[j].path.nodes() {
+            visit(healthy_index.get(nd), &mut stale, &mut frontier);
+        }
+        for nd in degraded.set.flows()[j].path.nodes() {
+            visit(degraded_index.get(nd), &mut stale, &mut frontier);
         }
     }
     stale
@@ -127,7 +137,7 @@ pub fn reanalyze(
     };
     for (i, is_stale) in stale.iter().enumerate() {
         if !is_stale {
-            seed.set_row(i, healthy.smax().values()[i].clone());
+            seed.set_row(i, healthy.smax().row(i));
         }
     }
 

@@ -64,6 +64,36 @@ pub struct FixpointTelemetry {
     /// Per-round detail, oldest first.
     #[serde(default)]
     pub per_round: Vec<RoundTelemetry>,
+    /// Connected components of the crossing graph over the analysis
+    /// universe (0 when the decomposition was not computed — under
+    /// [`crate::ShardMode::Monolithic`], `TransitOnly`, or the reference
+    /// engine).
+    #[serde(default)]
+    pub components: usize,
+    /// Flow count of the largest component (0 when not decomposed).
+    #[serde(default)]
+    pub largest_component: usize,
+    /// Per-shard solve record, one entry per component the sharded
+    /// solver actually ran (empty when the monolithic loop ran — a
+    /// single-component graph delegates to it — or when a warm start
+    /// skipped every component). Ordered by first member flow index.
+    #[serde(default)]
+    pub shards: Vec<ShardTelemetry>,
+}
+
+/// One component's solve inside the sharded fixed point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Flows in the component.
+    pub flows: usize,
+    /// `Smax` cells the component iterates (non-ingress positions).
+    pub cells: usize,
+    /// Rounds this component took to converge (components terminate
+    /// independently; the run's `rounds` is the maximum over shards).
+    pub rounds: usize,
+    /// Wall-clock of this component's solve, in microseconds (integral
+    /// so the record stays `Eq`-comparable).
+    pub solve_micros: u64,
 }
 
 impl FixpointTelemetry {
@@ -108,6 +138,14 @@ mod tests {
                     max_delta: 0,
                 },
             ],
+            components: 2,
+            largest_component: 3,
+            shards: vec![ShardTelemetry {
+                flows: 3,
+                cells: 11,
+                rounds: 2,
+                solve_micros: 40,
+            }],
         };
         let json = serde_json::to_string(&t).unwrap();
         let back: FixpointTelemetry = serde_json::from_str(&json).unwrap();

@@ -163,74 +163,88 @@ impl BoundFunction {
     /// and jump-point candidates deduplicated before evaluation.
     pub fn maximise_given_busy(&self, busy: Duration) -> Result<MaxPoint, Overflowed> {
         let windows = self.coalesced();
-        let t_hi = self
-            .t_lo
-            .checked_add(busy)
-            .ok_or(Overflowed("maximisation horizon"))?; // exclusive
-                                                         // Between jump points `R(t)` is `const − t`, and at a window's
-                                                         // jump `t = k·T − A` its workload steps up by exactly one packet
-                                                         // cost, so the maximum lies at `t_lo` or at a jump. Sweep the
-                                                         // jumps in order, carrying the workload sum: each event costs
-                                                         // O(1) instead of a full O(windows) re-evaluation.
         let mut events: Vec<(Tick, Duration)> = Vec::new();
-        for w in &windows {
-            let first = self
-                .t_lo
-                .checked_add(w.a)
-                .and_then(|v| v.checked_add(1))
-                .ok_or(Overflowed("jump-point seed"))?;
-            let mut k = checked_ceil_div(first, w.period).ok_or(Overflowed("jump-point index"))?;
-            loop {
-                let t = k
-                    .checked_mul(w.period)
-                    .and_then(|v| v.checked_sub(w.a))
-                    .ok_or(Overflowed("jump point"))?;
-                if t >= t_hi {
-                    break;
-                }
-                if t > self.t_lo {
-                    events.push((t, w.cost));
-                }
-                k += 1;
-            }
-        }
-        events.sort_unstable();
-        let mut workload: Duration = 0;
-        for w in &windows {
-            workload = workload
-                .checked_add(w.workload(self.t_lo)?)
-                .ok_or(Overflowed("interference workload sum"))?;
-        }
-        let seed_value = workload
-            .checked_add(self.constant)
-            .and_then(|v| v.checked_sub(self.t_lo))
-            .ok_or(Overflowed("bound value"))?;
-        let mut best = MaxPoint {
-            value: seed_value,
-            t_star: self.t_lo,
-        };
-        let mut i = 0;
-        while i < events.len() {
-            let t = events[i].0;
-            while i < events.len() && events[i].0 == t {
-                workload = workload
-                    .checked_add(events[i].1)
-                    .ok_or(Overflowed("interference workload sum"))?;
-                i += 1;
-            }
-            let v = workload
-                .checked_add(self.constant)
-                .and_then(|x| x.checked_sub(t))
-                .ok_or(Overflowed("bound value"))?;
-            if v > best.value {
-                best = MaxPoint {
-                    value: v,
-                    t_star: t,
-                };
-            }
-        }
-        Ok(best)
+        sweep_merged(&windows, self.constant, self.t_lo, busy, &mut events)
     }
+}
+
+/// The event-sweep core of [`BoundFunction::maximise_given_busy`], over
+/// already-coalesced windows and a caller-owned scratch buffer.
+///
+/// Between jump points `R(t)` is `const − t`, and at a window's jump
+/// `t = k·T − A` its workload steps up by exactly one packet cost, so the
+/// maximum lies at `t_lo` or at a jump. Sweep the jumps in order,
+/// carrying the workload sum: each event costs O(1) instead of a full
+/// O(windows) re-evaluation. Shared with the component-sharded arena
+/// solver, which reuses `events` across millions of cell evaluations
+/// instead of allocating per cell.
+pub(crate) fn sweep_merged(
+    windows: &[Window],
+    constant: Duration,
+    t_lo: Tick,
+    busy: Duration,
+    events: &mut Vec<(Tick, Duration)>,
+) -> Result<MaxPoint, Overflowed> {
+    let t_hi = t_lo
+        .checked_add(busy)
+        .ok_or(Overflowed("maximisation horizon"))?; // exclusive
+    events.clear();
+    for w in windows {
+        let first = t_lo
+            .checked_add(w.a)
+            .and_then(|v| v.checked_add(1))
+            .ok_or(Overflowed("jump-point seed"))?;
+        let mut k = checked_ceil_div(first, w.period).ok_or(Overflowed("jump-point index"))?;
+        loop {
+            let t = k
+                .checked_mul(w.period)
+                .and_then(|v| v.checked_sub(w.a))
+                .ok_or(Overflowed("jump point"))?;
+            if t >= t_hi {
+                break;
+            }
+            if t > t_lo {
+                events.push((t, w.cost));
+            }
+            k += 1;
+        }
+    }
+    events.sort_unstable();
+    let mut workload: Duration = 0;
+    for w in windows {
+        workload = workload
+            .checked_add(w.workload(t_lo)?)
+            .ok_or(Overflowed("interference workload sum"))?;
+    }
+    let seed_value = workload
+        .checked_add(constant)
+        .and_then(|v| v.checked_sub(t_lo))
+        .ok_or(Overflowed("bound value"))?;
+    let mut best = MaxPoint {
+        value: seed_value,
+        t_star: t_lo,
+    };
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            workload = workload
+                .checked_add(events[i].1)
+                .ok_or(Overflowed("interference workload sum"))?;
+            i += 1;
+        }
+        let v = workload
+            .checked_add(constant)
+            .and_then(|x| x.checked_sub(t))
+            .ok_or(Overflowed("bound value"))?;
+        if v > best.value {
+            best = MaxPoint {
+                value: v,
+                t_star: t,
+            };
+        }
+    }
+    Ok(best)
 }
 
 /// Smallest positive fixed point of `B = Σ (period, cost) ⌈B/T⌉·C`, on

@@ -187,6 +187,9 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                 // TransitOnly skips the fixed point: trivially converged.
                 converged: cfg.smax_mode != SmaxMode::RecursivePrefix,
                 per_round: Vec::new(),
+                components: 0,
+                largest_component: 0,
+                shards: Vec::new(),
             },
             full: Vec::new(),
         };
@@ -374,6 +377,32 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
     /// frozen table, which makes the per-flow updates independent and
     /// parallelisable.
     fn fixpoint_smax(&mut self, seed_rows: &[bool]) -> Result<(), Verdict> {
+        // Resolved once for the run: `Auto` picks by flow count; the
+        // resolution never yields `Auto` back, so the non-Jacobi branch
+        // below is Gauss–Seidel.
+        let chosen = self.telemetry.chosen;
+        // Component decomposition: with two or more crossing-graph
+        // components the equation system is block-diagonal and the
+        // sharded arena solver runs each block independently (bit-
+        // identical values, see `components`). A single component
+        // delegates to the monolithic loop below — same work, none of
+        // the arena build cost.
+        if self.cfg.shard_mode == crate::config::ShardMode::Components {
+            let comps = crate::components::partition(self.set, &self.universe, &self.cache);
+            self.telemetry.components = comps.len();
+            self.telemetry.largest_component = comps.iter().map(Vec::len).max().unwrap_or(0);
+            if traj_obs::enabled() {
+                traj_obs::emit(
+                    Event::new("fixpoint.components")
+                        .field("components", comps.len())
+                        .field("largest", self.telemetry.largest_component)
+                        .field("flows", self.set.len()),
+                );
+            }
+            if comps.len() >= 2 {
+                return self.fixpoint_smax_sharded(seed_rows, chosen, &comps);
+            }
+        }
         // Entries the previous round changed. A Jacobi update whose
         // skeleton reads none of them would recompute exactly its
         // current value, so it is skipped — the fixed point becomes
@@ -386,10 +415,6 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             .enumerate()
             .map(|(i, f)| vec![seed_rows[i]; f.path.len()])
             .collect();
-        // Resolved once for the run: `Auto` picks by flow count; the
-        // resolution never yields `Auto` back, so the non-Jacobi branch
-        // below is Gauss–Seidel.
-        let chosen = self.telemetry.chosen;
         // Rows the iteration can ever touch: the seeded rows plus, by
         // dependency closure over the skeleton windows, every row that
         // (transitively) reads one of them. On a cold start that is all
@@ -455,6 +480,56 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                 self.set.flows()[fi].path.nodes()[pos],
             ),
         })
+    }
+
+    /// The component-sharded fixed point: every seeded component is
+    /// solved independently over its arena (see [`crate::components`]),
+    /// then the merged round record is surfaced in the monolithic shape
+    /// so downstream telemetry consumers see one coherent run.
+    fn fixpoint_smax_sharded(
+        &mut self,
+        seed_rows: &[bool],
+        chosen: FixpointStrategy,
+        comps: &[Vec<usize>],
+    ) -> Result<(), Verdict> {
+        let run = crate::components::solve_sharded(
+            self.set,
+            self.cfg,
+            &self.cache,
+            &mut self.smax,
+            seed_rows,
+            chosen,
+            comps,
+        )?;
+        self.rounds = run.rounds;
+        self.telemetry.rounds = run.rounds;
+        self.telemetry.converged = true;
+        if traj_obs::enabled() {
+            for rt in &run.per_round {
+                traj_obs::emit(
+                    Event::new("fixpoint.round")
+                        .field("round", rt.round)
+                        .field("recomputed", rt.recomputed)
+                        .field("skipped", rt.skipped)
+                        .field("changed", rt.changed)
+                        .field("max_delta", rt.max_delta),
+                );
+            }
+        }
+        self.telemetry.per_round = run.per_round;
+        self.telemetry.shards = run.shards;
+        if traj_obs::enabled() {
+            traj_obs::emit(
+                Event::new("fixpoint.converged")
+                    .field("rounds", self.rounds)
+                    .field("strategy", chosen.name())
+                    .field("auto_selected", self.telemetry.auto_selected)
+                    .field("cells", self.telemetry.cells)
+                    .field("recomputed_total", self.telemetry.total_recomputed())
+                    .field("skipped_total", self.telemetry.total_skipped()),
+            );
+        }
+        Ok(())
     }
 
     /// The in-universe rows the Jacobi iteration has to visit: the

@@ -1,0 +1,345 @@
+//! E16 — scale: component-sharded fixed point vs the monolithic loop and
+//! the unsharded reference engine on 500–5000-flow topologies.
+//!
+//! Pod-local fat-tree instances ([`fat_tree`], `locality = 1.0`)
+//! decompose into one crossing component per occupied pod; the sharded
+//! engine solves each component's `Smax` fixed point independently in a
+//! struct-of-arrays arena and stops each shard at its own convergence.
+//! Every instance is analysed three ways:
+//!
+//! * **sharded** — `analyze_all` under the default
+//!   [`ShardMode::Components`];
+//! * **monolithic** — the same cached engine with sharding disabled
+//!   ([`ShardMode::Monolithic`]); its per-flow verdicts are the
+//!   **bit-identity** oracle for every entry;
+//! * **reference** — [`analyze_all_reference`], the retained unsharded
+//!   pre-cache engine that re-solves every `Smax` row against the full
+//!   flow set. This is the speedup baseline the scale gate measures
+//!   against; it is only affordable up to 1000 flows, so larger entries
+//!   carry `null` there.
+//!
+//! A [`backbone_mesh`] instance (one dense component — the sharded
+//! engine delegates back to the monolithic loop) rides along as an
+//! identity control, and a warm-admission leg at 1000 standing flows
+//! times [`ConvergedState::extend`] against a cold `analyze_ef` of the
+//! extended set: with component sharding, only the candidate's pod is
+//! re-solved.
+//!
+//! Measurements and gate inputs go to `BENCH_scale.json`:
+//! * `identical: true` on every entry (hard assert),
+//! * `speedup_vs_reference ≥ 3` wherever the reference ran (500+ flows),
+//! * sharded cold analysis of 5000 flows within 10 s,
+//! * `speedup_warm ≥ 5` at 1000 standing flows.
+//!
+//! Run: `cargo run --release -p traj-bench --bin scale_perf`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_analysis::{
+    analyze_all, analyze_all_reference, analyze_ef, AnalysisConfig, ConvergedState, ShardMode,
+};
+use traj_bench::render_table;
+use traj_model::gen::{backbone_mesh, fat_tree, BackboneParams, FatTreeParams};
+use traj_model::{FlowSet, SporadicFlow};
+
+const FLOW_COUNTS: [u32; 4] = [500, 1000, 2000, 5000];
+/// Pods scale with the flow count so per-pod (per-component) size stays
+/// modest — the regime the shard solver is built for.
+const FLOWS_PER_POD: u32 = 25;
+/// Largest instance the quadratic reference engine is timed on.
+const REFERENCE_MAX_FLOWS: u32 = 1000;
+/// Standing-set size of the warm-admission leg.
+const WARM_FLOWS: u32 = 1000;
+
+fn fat_tree_instance(flows: u32) -> FlowSet {
+    let p = FatTreeParams {
+        pods: (flows / FLOWS_PER_POD).max(2),
+        flows,
+        locality: 1.0,
+        ..Default::default()
+    };
+    fat_tree(0xF1F0 + u64::from(flows), &p).expect("valid fat-tree instance")
+}
+
+#[derive(Serialize)]
+struct Entry {
+    topology: String,
+    flows: usize,
+    /// Crossing-graph components the partition found.
+    components: usize,
+    largest_component: usize,
+    cold_ms_sharded: f64,
+    cold_ms_monolithic: f64,
+    /// Unsharded reference engine; `None` above [`REFERENCE_MAX_FLOWS`].
+    cold_ms_reference: Option<f64>,
+    /// Monolithic cached cold wall over sharded cold wall.
+    speedup_vs_monolithic: f64,
+    /// Reference cold wall over sharded cold wall — the scale gate.
+    speedup_vs_reference: Option<f64>,
+    /// Sharded, monolithic (and reference, where run) per-flow verdicts
+    /// agreed bit-for-bit.
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct WarmEntry {
+    flows: usize,
+    warm_ms: f64,
+    cold_ms: f64,
+    /// Cold extended analysis over the warm what-if, same decision.
+    speedup_warm: f64,
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    reps: usize,
+    entries: Vec<Entry>,
+    warm: WarmEntry,
+}
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn measure(topology: &str, set: &FlowSet, reps: usize, with_reference: bool) -> Entry {
+    let sharded_cfg = AnalysisConfig::default();
+    let mono_cfg = AnalysisConfig {
+        shard_mode: ShardMode::Monolithic,
+        ..AnalysisConfig::default()
+    };
+    let (ms_sharded, sharded) = time_best(reps, || analyze_all(set, &sharded_cfg));
+    let (ms_mono, mono) = time_best(reps, || analyze_all(set, &mono_cfg));
+    let agrees = |b: &traj_analysis::SetReport| {
+        sharded.per_flow().len() == b.per_flow().len()
+            && sharded
+                .per_flow()
+                .iter()
+                .zip(b.per_flow())
+                .all(|(a, b)| a.wcrt == b.wcrt && a.jitter == b.jitter)
+    };
+    let mut identical = agrees(&mono);
+    let ms_reference = if with_reference {
+        let (ms_ref, reference) = time_best(1, || analyze_all_reference(set, &sharded_cfg));
+        identical &= sharded.bounds() == reference.bounds();
+        Some(ms_ref)
+    } else {
+        None
+    };
+    let t = sharded
+        .telemetry()
+        .expect("cached engine records telemetry");
+    Entry {
+        topology: topology.to_string(),
+        flows: set.len(),
+        components: t.components,
+        largest_component: t.largest_component,
+        cold_ms_sharded: ms_sharded,
+        cold_ms_monolithic: ms_mono,
+        cold_ms_reference: ms_reference,
+        speedup_vs_monolithic: ms_mono / ms_sharded.max(1e-9),
+        speedup_vs_reference: ms_reference.map(|r| r / ms_sharded.max(1e-9)),
+        identical,
+    }
+}
+
+fn warm_admission() -> WarmEntry {
+    let cfg = AnalysisConfig::default();
+    let set = fat_tree_instance(WARM_FLOWS);
+    let standing = ConvergedState::build_ef(&set, &cfg).expect("standing set converges");
+    // One pod-local candidate: clone the first flow's route under a fresh
+    // id. Its dirty closure is its own pod; every other component's rows
+    // are reused as-is by the warm path.
+    let proto = &set.flows()[0];
+    let cand = SporadicFlow::uniform(
+        90_000,
+        proto.path.clone(),
+        2 * proto.period,
+        proto.costs()[0],
+        0,
+        i64::MAX / 4,
+    )
+    .expect("valid candidate");
+    let extended = set
+        .extended_with(cand.clone())
+        .expect("candidate extends the standing set");
+    let (cold_ms, cold) = time_best(3, || analyze_ef(&extended, &cfg));
+    let (warm_ms, warm) = time_best(3, || {
+        standing
+            .extend(cand.clone())
+            .expect("candidate extends the standing state")
+    });
+    let identical = cold.per_flow().len() == warm.report.per_flow().len()
+        && cold
+            .per_flow()
+            .iter()
+            .zip(warm.report.per_flow())
+            .all(|(a, b)| a.wcrt == b.wcrt && a.jitter == b.jitter);
+    WarmEntry {
+        flows: set.len(),
+        warm_ms,
+        cold_ms,
+        speedup_warm: cold_ms / warm_ms.max(1e-9),
+        identical,
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for &flows in &FLOW_COUNTS {
+        let set = fat_tree_instance(flows);
+        let reps = if flows >= 2000 { 1 } else { 3 };
+        entries.push(measure(
+            "fat-tree",
+            &set,
+            reps,
+            flows <= REFERENCE_MAX_FLOWS,
+        ));
+    }
+    // Identity control: dense backbone, typically one giant component —
+    // the sharded engine must fall back to the monolithic loop unchanged.
+    let bb = backbone_mesh(
+        17,
+        &BackboneParams {
+            flows: 192,
+            core: 24,
+            chords: 8,
+            // Denser instances overload the shared ring (busy-period
+            // guard verdicts); this stays schedulable yet one-component.
+            max_utilisation: 0.6,
+            ..Default::default()
+        },
+    )
+    .expect("valid backbone instance");
+    entries.push(measure("backbone", &bb, 3, false));
+
+    let warm = warm_admission();
+
+    let fmt_opt = |v: Option<f64>, suffix: &str| {
+        v.map(|x| format!("{x:.1}{suffix}"))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.topology.clone(),
+                e.flows.to_string(),
+                e.components.to_string(),
+                e.largest_component.to_string(),
+                format!("{:.1}", e.cold_ms_sharded),
+                format!("{:.1}", e.cold_ms_monolithic),
+                fmt_opt(e.cold_ms_reference, ""),
+                fmt_opt(e.speedup_vs_reference, "x"),
+                if e.identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E16 - sharded vs monolithic vs unsharded-reference cold analysis",
+            &[
+                "topology",
+                "flows",
+                "comps",
+                "largest",
+                "sharded ms",
+                "mono ms",
+                "ref ms",
+                "vs ref",
+                "match",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "warm admission at {} standing flows: {:.2} ms warm vs {:.1} ms cold ({:.1}x, match: {})",
+        warm.flows,
+        warm.warm_ms,
+        warm.cold_ms,
+        warm.speedup_warm,
+        if warm.identical { "yes" } else { "NO" },
+    );
+
+    let out = Output {
+        experiment: "scale_perf".to_string(),
+        reps: 3,
+        entries,
+        warm,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json");
+
+    assert!(
+        out.entries.iter().all(|e| e.identical) && out.warm.identical,
+        "sharded, monolithic and reference verdicts diverged"
+    );
+    for e in &out.entries {
+        if e.topology == "fat-tree" {
+            assert!(
+                e.components >= 2,
+                "fat-tree instance at {} flows did not decompose",
+                e.flows
+            );
+        }
+        if let Some(speedup) = e.speedup_vs_reference {
+            assert!(
+                speedup >= 3.0,
+                "sharded cold analysis must reach 3x over the unsharded engine at {} flows, got {:.1}x",
+                e.flows,
+                speedup
+            );
+        }
+    }
+    assert!(
+        out.entries
+            .iter()
+            .any(|e| e.flows >= 500 && e.speedup_vs_reference.is_some()),
+        "the 3x gate must cover at least one 500+-flow entry"
+    );
+    let biggest = out
+        .entries
+        .iter()
+        .filter(|e| e.topology == "fat-tree")
+        .max_by_key(|e| e.flows)
+        .expect("fat-tree entries exist");
+    assert!(
+        biggest.flows >= 5000,
+        "scale sweep must reach 5000 flows, stopped at {}",
+        biggest.flows
+    );
+    assert!(
+        biggest.cold_ms_sharded <= 10_000.0,
+        "cold sharded analysis of {} flows must finish within 10 s, took {:.1} ms",
+        biggest.flows,
+        biggest.cold_ms_sharded
+    );
+    assert!(
+        out.warm.speedup_warm >= 5.0,
+        "warm admission at {} standing flows must keep 5x over cold, got {:.1}x",
+        out.warm.flows,
+        out.warm.speedup_warm
+    );
+    println!(
+        "gates passed: {} flows cold in {:.1} ms, best speedup vs reference {:.1}x, warm {:.1}x",
+        biggest.flows,
+        biggest.cold_ms_sharded,
+        out.entries
+            .iter()
+            .filter_map(|e| e.speedup_vs_reference)
+            .fold(0.0, f64::max),
+        out.warm.speedup_warm
+    );
+}

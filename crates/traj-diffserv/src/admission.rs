@@ -21,7 +21,8 @@
 //! counted in [`AdmissionMetrics::cold_fallbacks`].
 //!
 //! [`AdmissionController::try_admit_batch`] evaluates K independent
-//! what-ifs against the standing state in parallel (rayon), then commits
+//! what-ifs against the standing state in parallel (rayon; serially
+//! below [`SERIAL_BATCH_MAX_CANDIDATES`]), then commits
 //! winners sequentially: because Property 3 bounds are monotone in the
 //! flow set, a candidate rejected against the standing set alone is
 //! rejected against any superset, so provisional rejections are final;
@@ -45,6 +46,15 @@ use serde::{Deserialize, Serialize};
 use traj_analysis::{analyze_ef, AnalysisConfig, ConvergedState, EfWhatIf, SetReport};
 use traj_model::flow::TrafficClass;
 use traj_model::{FaultScenario, FlowFate, FlowId, FlowSet, ModelError, SporadicFlow};
+
+/// Batches at or below this size evaluate their what-ifs serially.
+///
+/// Fanning two or three closure-pruned what-ifs across rayon costs more
+/// in task dispatch than the evaluations themselves: `BENCH_admission.json`
+/// measured `speedup_batch` 0.96 (a regression) at 10 standing flows with
+/// batches of 2. The threshold keeps small batches on the caller's
+/// thread; the decision sequence is identical either way.
+const SERIAL_BATCH_MAX_CANDIDATES: usize = 4;
 
 /// Why a flow was rejected, or the bounds it was admitted with.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -310,8 +320,10 @@ impl AdmissionController {
     }
 
     /// Evaluates `candidates` as independent what-ifs against the
-    /// standing converged state **in parallel**, then commits winners
-    /// sequentially. Returns one decision per candidate, input order.
+    /// standing converged state **in parallel** (serially at or below
+    /// [`SERIAL_BATCH_MAX_CANDIDATES`], where dispatch would dominate),
+    /// then commits winners sequentially. Returns one decision per
+    /// candidate, input order.
     ///
     /// Bounds are monotone in the flow set, so a candidate that misses
     /// against the standing set alone misses against any superset:
@@ -363,10 +375,19 @@ impl AdmissionController {
                 .map(|c| (c.id, self.try_admit(c)))
                 .collect();
         };
-        let whatifs: Vec<Result<EfWhatIf, ModelError>> = candidates
-            .par_iter()
-            .map(|c| standing.extend(c.clone()))
-            .collect();
+        let whatifs: Vec<Result<EfWhatIf, ModelError>> =
+            if candidates.len() <= SERIAL_BATCH_MAX_CANDIDATES {
+                // Too few what-ifs to amortise the fork-join dispatch.
+                candidates
+                    .iter()
+                    .map(|c| standing.extend(c.clone()))
+                    .collect()
+            } else {
+                candidates
+                    .par_iter()
+                    .map(|c| standing.extend(c.clone()))
+                    .collect()
+            };
         // Put the standing state back before the sequential commits;
         // the first committed winner replaces it.
         self.state = Some(standing);

@@ -309,6 +309,23 @@ impl FlowSet {
         self.flows.iter().filter(|f| !f.class.is_ef())
     }
 
+    /// Inverted index `node -> flows visiting it` (indices into
+    /// [`Self::flows`], ascending). One linear pass over all paths; lets
+    /// crossing queries visit only candidates sharing a node instead of
+    /// scanning the whole set (classes are deliberately *not* filtered —
+    /// callers prune, exactly like the `crosses` scans this replaces).
+    pub fn node_flow_index(&self) -> HashMap<NodeId, Vec<usize>> {
+        let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            for &n in f.path.nodes() {
+                index.entry(n).or_default().push(i);
+            }
+        }
+        // Each flow's path is loop-free, so every per-node list is already
+        // strictly ascending and duplicate-free.
+        index
+    }
+
     // ------------------------------------------------------------------
     // Path relations (paper §2.2, Figure 1)
     // ------------------------------------------------------------------

@@ -102,6 +102,275 @@ pub fn random_mesh(seed: u64, p: &MeshParams) -> Result<FlowSet, ModelError> {
     FlowSet::new(network, flows)
 }
 
+/// Parameters of the fat-tree generator.
+///
+/// The crossing density is governed by `locality`: at `1.0` every flow
+/// stays inside its pod, so the crossing graph decomposes into (at most)
+/// `pods` disjoint components; at `0.0` every flow transits the shared
+/// core layer and the set tends towards one giant component.
+#[derive(Debug, Clone)]
+pub struct FatTreeParams {
+    /// Number of pods.
+    pub pods: u32,
+    /// Edge switches per pod (flow ingress/egress points).
+    pub edge_per_pod: u32,
+    /// Aggregation switches per pod.
+    pub agg_per_pod: u32,
+    /// Core switches shared by all pods.
+    pub core: u32,
+    /// Number of flows to generate.
+    pub flows: u32,
+    /// Probability that a flow stays inside its pod (`0.0..=1.0`).
+    pub locality: f64,
+    /// Period range (inclusive).
+    pub period: (i64, i64),
+    /// Per-node cost range (inclusive).
+    pub cost: (i64, i64),
+    /// Release jitter range (inclusive).
+    pub jitter: (i64, i64),
+    /// Link delay bounds.
+    pub lmin: i64,
+    /// Link delay bounds.
+    pub lmax: i64,
+    /// Per-node utilisation cap; candidates breaching it are rejected.
+    pub max_utilisation: f64,
+}
+
+impl Default for FatTreeParams {
+    fn default() -> Self {
+        FatTreeParams {
+            pods: 4,
+            edge_per_pod: 4,
+            agg_per_pod: 2,
+            core: 2,
+            flows: 64,
+            locality: 0.9,
+            period: (200, 800),
+            cost: (1, 4),
+            jitter: (0, 4),
+            lmin: 1,
+            lmax: 2,
+            max_utilisation: 0.85,
+        }
+    }
+}
+
+/// Generates a flow set over a three-layer fat-tree (edge → aggregation
+/// → core). Intra-pod flows route `edge → agg → edge` inside one pod;
+/// inter-pod flows route `edge → agg → core → agg → edge` across two.
+/// Node ids: cores are `1..=core`, then each pod holds its aggregation
+/// switches followed by its edge switches.
+pub fn fat_tree(seed: u64, p: &FatTreeParams) -> Result<FlowSet, ModelError> {
+    if p.pods < 1 || p.edge_per_pod < 2 || p.agg_per_pod < 1 || p.core < 1 {
+        return Err(ModelError::EmptyFlowSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_pod = p.agg_per_pod + p.edge_per_pod;
+    let total_nodes = p.core + p.pods * per_pod;
+    let network = Network::uniform(total_nodes, p.lmin, p.lmax)?;
+    let agg = |pod: u32, a: u32| p.core + pod * per_pod + a + 1;
+    let edge = |pod: u32, e: u32| p.core + pod * per_pod + p.agg_per_pod + e + 1;
+    let mut flows = Vec::with_capacity(p.flows as usize);
+    let mut util = vec![0.0f64; total_nodes as usize + 1];
+    let mut id = 1u32;
+    let mut attempts = 0;
+    while flows.len() < p.flows as usize && attempts < p.flows as usize * 50 {
+        attempts += 1;
+        let src_pod = rng.gen_range(0..p.pods);
+        let local = p.pods == 1 || rng.gen_range(0.0..1.0) < p.locality.clamp(0.0, 1.0);
+        let nodes: Vec<u32> = if local {
+            let src = rng.gen_range(0..p.edge_per_pod);
+            let mut dst = rng.gen_range(0..p.edge_per_pod - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let a = rng.gen_range(0..p.agg_per_pod);
+            vec![edge(src_pod, src), agg(src_pod, a), edge(src_pod, dst)]
+        } else {
+            let mut dst_pod = rng.gen_range(0..p.pods - 1);
+            if dst_pod >= src_pod {
+                dst_pod += 1;
+            }
+            vec![
+                edge(src_pod, rng.gen_range(0..p.edge_per_pod)),
+                agg(src_pod, rng.gen_range(0..p.agg_per_pod)),
+                rng.gen_range(1..=p.core),
+                agg(dst_pod, rng.gen_range(0..p.agg_per_pod)),
+                edge(dst_pod, rng.gen_range(0..p.edge_per_pod)),
+            ]
+        };
+        let period = rng.gen_range(p.period.0..=p.period.1);
+        let cost = rng.gen_range(p.cost.0..=p.cost.1);
+        let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
+        let du = cost as f64 / period as f64;
+        if nodes
+            .iter()
+            .any(|&n| util[n as usize] + du > p.max_utilisation)
+        {
+            continue;
+        }
+        for &n in &nodes {
+            util[n as usize] += du;
+        }
+        let len = nodes.len() as i64;
+        let path = Path::from_ids(nodes)?;
+        let transit: i64 = (cost + p.lmax) * len;
+        let deadline = transit * 5;
+        flows.push(SporadicFlow::uniform(
+            id, path, period, cost, jitter, deadline,
+        )?);
+        id += 1;
+    }
+    FlowSet::new(network, flows)
+}
+
+/// Parameters of the backbone / ISP mesh generator.
+///
+/// The crossing density is governed by `chords`: more chords shorten the
+/// core routes (fewer shared nodes per flow pair), fewer chords force
+/// long ring detours that overlap heavily.
+#[derive(Debug, Clone)]
+pub struct BackboneParams {
+    /// Core (backbone) routers, arranged in a ring.
+    pub core: u32,
+    /// Extra random chords across the core ring.
+    pub chords: u32,
+    /// Access routers attached to each core router.
+    pub access_per_core: u32,
+    /// Number of flows to generate.
+    pub flows: u32,
+    /// Period range (inclusive).
+    pub period: (i64, i64),
+    /// Per-node cost range (inclusive).
+    pub cost: (i64, i64),
+    /// Release jitter range (inclusive).
+    pub jitter: (i64, i64),
+    /// Link delay bounds.
+    pub lmin: i64,
+    /// Link delay bounds.
+    pub lmax: i64,
+    /// Per-node utilisation cap; candidates breaching it are rejected.
+    pub max_utilisation: f64,
+}
+
+impl Default for BackboneParams {
+    fn default() -> Self {
+        BackboneParams {
+            core: 12,
+            chords: 4,
+            access_per_core: 3,
+            flows: 48,
+            period: (200, 800),
+            cost: (1, 4),
+            jitter: (0, 4),
+            lmin: 1,
+            lmax: 2,
+            max_utilisation: 0.85,
+        }
+    }
+}
+
+/// Generates a flow set over a backbone mesh: a ring of core routers
+/// with random chords, plus `access_per_core` stub routers per core
+/// node. Each flow runs access → (BFS shortest core route) → access.
+/// Core node ids are `1..=core`; access `j` of core `c` is
+/// `core + (c-1)*access_per_core + j`.
+pub fn backbone_mesh(seed: u64, p: &BackboneParams) -> Result<FlowSet, ModelError> {
+    if p.core < 3 || p.access_per_core < 1 {
+        return Err(ModelError::EmptyFlowSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_nodes = p.core + p.core * p.access_per_core;
+    let network = Network::uniform(total_nodes, p.lmin, p.lmax)?;
+    // Core adjacency: the ring, then random chords (deterministic given
+    // the seed; neighbour lists kept sorted so BFS routes are stable).
+    let n = p.core as usize;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for c in 1..=n {
+        let next = c % n + 1;
+        adj[c].push(next);
+        adj[next].push(c);
+    }
+    for _ in 0..p.chords {
+        let a = rng.gen_range(1..=n);
+        let mut b = rng.gen_range(1..=n);
+        if b == a {
+            b = a % n + 1;
+        }
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+    }
+    // BFS shortest route between two core nodes (first-found, hence
+    // deterministic under the sorted adjacency).
+    let route = |from: usize, to: usize| -> Vec<u32> {
+        let mut prev = vec![usize::MAX; n + 1];
+        let mut queue = std::collections::VecDeque::from([from]);
+        prev[from] = from;
+        while let Some(c) = queue.pop_front() {
+            if c == to {
+                break;
+            }
+            for &nb in &adj[c] {
+                if prev[nb] == usize::MAX {
+                    prev[nb] = c;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        let mut nodes = vec![to as u32];
+        let mut c = to;
+        while c != from {
+            c = prev[c];
+            nodes.push(c as u32);
+        }
+        nodes.reverse();
+        nodes
+    };
+    let access = |c: u32, j: u32| p.core + (c - 1) * p.access_per_core + j + 1;
+    let mut flows = Vec::with_capacity(p.flows as usize);
+    let mut util = vec![0.0f64; total_nodes as usize + 1];
+    let mut id = 1u32;
+    let mut attempts = 0;
+    while flows.len() < p.flows as usize && attempts < p.flows as usize * 50 {
+        attempts += 1;
+        let src_core = rng.gen_range(1..=p.core);
+        let mut dst_core = rng.gen_range(1..=p.core);
+        if dst_core == src_core {
+            dst_core = src_core % p.core + 1;
+        }
+        let mut nodes = vec![access(src_core, rng.gen_range(0..p.access_per_core))];
+        nodes.extend(route(src_core as usize, dst_core as usize));
+        nodes.push(access(dst_core, rng.gen_range(0..p.access_per_core)));
+        let period = rng.gen_range(p.period.0..=p.period.1);
+        let cost = rng.gen_range(p.cost.0..=p.cost.1);
+        let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
+        let du = cost as f64 / period as f64;
+        if nodes
+            .iter()
+            .any(|&n| util[n as usize] + du > p.max_utilisation)
+        {
+            continue;
+        }
+        for &n in &nodes {
+            util[n as usize] += du;
+        }
+        let len = nodes.len() as i64;
+        let path = Path::from_ids(nodes)?;
+        let transit: i64 = (cost + p.lmax) * len;
+        let deadline = transit * 5;
+        flows.push(SporadicFlow::uniform(
+            id, path, period, cost, jitter, deadline,
+        )?);
+        id += 1;
+    }
+    FlowSet::new(network, flows)
+}
+
 /// A "parking lot" topology: `n_cross` flows each join a shared trunk of
 /// `trunk_len` nodes at a random position and stay until the sink — the
 /// classic worst case for holistic pessimism (jitter accumulates along the
@@ -284,6 +553,85 @@ mod tests {
         for f in &s.flows()[1..] {
             assert_eq!(s.shared_nodes(f, &p0), vec![crate::network::NodeId(1)]);
             assert!(s.same_direction(f, &p0));
+        }
+    }
+
+    #[test]
+    fn fat_tree_is_deterministic_and_pod_local_at_locality_one() {
+        let p = FatTreeParams {
+            locality: 1.0,
+            flows: 40,
+            ..Default::default()
+        };
+        let a = fat_tree(5, &p).unwrap();
+        let b = fat_tree(5, &p).unwrap();
+        assert_eq!(a.flows(), b.flows());
+        // At locality 1.0 no flow touches the shared core layer, so flows
+        // from different pods are node-disjoint: the crossing graph splits
+        // into per-pod components.
+        let per_pod = p.agg_per_pod + p.edge_per_pod;
+        let pod_of = |f: &crate::flow::SporadicFlow| {
+            let n = f.path.first().0;
+            assert!(n > p.core, "no core nodes at locality 1.0");
+            (n - p.core - 1) / per_pod
+        };
+        for f in a.flows() {
+            let pod = pod_of(f);
+            for &node in f.path.nodes() {
+                assert!(node.0 > p.core);
+                assert_eq!((node.0 - p.core - 1) / per_pod, pod);
+            }
+        }
+        assert!(a.len() >= 2 * p.pods as usize, "pods are populated");
+    }
+
+    #[test]
+    fn fat_tree_inter_pod_flows_transit_the_core() {
+        let p = FatTreeParams {
+            locality: 0.0,
+            flows: 20,
+            ..Default::default()
+        };
+        let s = fat_tree(9, &p).unwrap();
+        for f in s.flows() {
+            assert_eq!(f.path.len(), 5);
+            assert!(f.path.nodes()[2].0 <= p.core, "middle hop is a core node");
+        }
+    }
+
+    #[test]
+    fn backbone_mesh_is_deterministic_and_core_routed() {
+        let p = BackboneParams::default();
+        let a = backbone_mesh(3, &p).unwrap();
+        let b = backbone_mesh(3, &p).unwrap();
+        assert_eq!(a.flows(), b.flows());
+        for f in a.flows() {
+            assert!(f.path.len() >= 3, "access, core route, access");
+            assert!(f.path.first().0 > p.core, "starts at an access router");
+            assert!(f.path.last().0 > p.core, "ends at an access router");
+            for &n in &f.path.nodes()[1..f.path.len() - 1] {
+                assert!(n.0 <= p.core, "interior hops stay in the core");
+            }
+        }
+    }
+
+    #[test]
+    fn node_flow_index_inverts_paths() {
+        let s = backbone_mesh(1, &BackboneParams::default()).unwrap();
+        let index = s.node_flow_index();
+        for (i, f) in s.flows().iter().enumerate() {
+            for &n in f.path.nodes() {
+                assert!(index[&n].contains(&i));
+            }
+        }
+        for (n, members) in &index {
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(&sorted, members, "ascending, duplicate-free");
+            for &i in members {
+                assert!(s.flows()[i].path.visits(*n));
+            }
         }
     }
 

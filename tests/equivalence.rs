@@ -14,11 +14,13 @@
 //! failures, in every configuration corner.
 
 use fifo_trajectory::analysis::{
-    analyze_all, analyze_all_reference, analyze_degraded, config_grid, reanalyze, AnalysisConfig,
-    Analyzer, FixpointStrategy, Verdict,
+    analyze_all, analyze_all_reference, analyze_degraded, analyze_ef, config_grid, reanalyze,
+    AnalysisConfig, Analyzer, FixpointStrategy, ShardMode, Verdict,
 };
 use fifo_trajectory::model::examples::paper_example;
-use fifo_trajectory::model::gen::{random_mesh, MeshParams};
+use fifo_trajectory::model::gen::{
+    backbone_mesh, fat_tree, random_mesh, BackboneParams, FatTreeParams, MeshParams,
+};
 use fifo_trajectory::model::FaultScenario;
 use proptest::prelude::*;
 
@@ -167,6 +169,192 @@ fn near_i64_max_parameters_yield_overflow_verdicts_not_wraparound() {
             .any(|r| matches!(r.wcrt, Verdict::Overflow { .. })),
         "at least one flow must report the overflow itself"
     );
+}
+
+/// Component-sharded fixed point vs the monolithic loop on the same set:
+/// identical `Smax` tables and per-flow verdicts, under both strategies.
+fn assert_sharded_matches_monolithic(
+    set: &fifo_trajectory::model::FlowSet,
+    base: &AnalysisConfig,
+) -> Result<(), TestCaseError> {
+    for strategy in [FixpointStrategy::Jacobi, FixpointStrategy::GaussSeidel] {
+        let sharded_cfg = AnalysisConfig {
+            fixpoint: strategy,
+            shard_mode: ShardMode::Components,
+            ..base.clone()
+        };
+        let mono_cfg = AnalysisConfig {
+            fixpoint: strategy,
+            shard_mode: ShardMode::Monolithic,
+            ..base.clone()
+        };
+        let sharded = Analyzer::new(set, &sharded_cfg);
+        let mono = Analyzer::new(set, &mono_cfg);
+        match (sharded, mono) {
+            (Ok(s), Ok(m)) => {
+                prop_assert_eq!(
+                    s.smax().values(),
+                    m.smax().values(),
+                    "Smax tables diverged, strategy {:?}",
+                    strategy
+                );
+                for i in 0..set.len() {
+                    prop_assert_eq!(
+                        s.wcrt(i),
+                        m.wcrt(i),
+                        "wcrt diverged for flow {}, strategy {:?}",
+                        i,
+                        strategy
+                    );
+                }
+            }
+            (Err(sv), Err(mv)) => {
+                prop_assert_eq!(sv, mv, "failure verdicts diverged, strategy {:?}", strategy);
+            }
+            (s, m) => {
+                return Err(TestCaseError::fail(format!(
+                    "engines disagree on success: sharded {:?}, monolithic {:?} ({strategy:?})",
+                    s.map(|_| ()),
+                    m.map(|_| ())
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_matches_monolithic_on_random_meshes(seed in 0u64..1_000_000) {
+        let p = MeshParams {
+            nodes: 10,
+            flows: 12,
+            max_utilisation: 0.8,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p).unwrap();
+        for base in config_grid() {
+            assert_sharded_matches_monolithic(&set, &base)?;
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_on_fat_trees(
+        seed in 0u64..1_000_000,
+        locality_pick in 0usize..3,
+    ) {
+        // locality 1.0 keeps traffic pod-local (many components), 0.0
+        // spreads it across the core (one giant component): both sides of
+        // the delegation threshold are exercised.
+        let p = FatTreeParams {
+            pods: 3,
+            flows: 24,
+            locality: [1.0, 0.5, 0.0][locality_pick],
+            ..Default::default()
+        };
+        let set = fat_tree(seed, &p).unwrap();
+        let base = AnalysisConfig::default();
+        assert_sharded_matches_monolithic(&set, &base)?;
+        // The EF pipeline (non-preemption delta, class-restricted
+        // universe) must shard identically too.
+        let ef_sharded = analyze_ef(&set, &base);
+        let ef_mono = analyze_ef(
+            &set,
+            &AnalysisConfig {
+                shard_mode: ShardMode::Monolithic,
+                ..base
+            },
+        );
+        for (a, b) in ef_sharded.per_flow().iter().zip(ef_mono.per_flow()) {
+            prop_assert_eq!(&a.wcrt, &b.wcrt, "EF wcrt diverged");
+            prop_assert_eq!(&a.jitter, &b.jitter, "EF jitter diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_after_faults(
+        seed in 0u64..1_000_000,
+        fault_pick in 0usize..32,
+    ) {
+        let p = FatTreeParams {
+            pods: 3,
+            flows: 18,
+            locality: 0.8,
+            ..Default::default()
+        };
+        let set = fat_tree(seed, &p).unwrap();
+        let nodes = set.network().nodes().to_vec();
+        let scenario = FaultScenario::node_down(nodes[fault_pick % nodes.len()]);
+        let Ok(degraded) = scenario.apply(&set) else {
+            return Ok(());
+        };
+        let sharded_cfg = AnalysisConfig::default();
+        let mono_cfg = AnalysisConfig {
+            shard_mode: ShardMode::Monolithic,
+            ..AnalysisConfig::default()
+        };
+        // Cold degraded analysis: sharded vs monolithic.
+        let cold_sharded = analyze_degraded(&degraded, &sharded_cfg);
+        let cold_mono = analyze_degraded(&degraded, &mono_cfg);
+        for (a, b) in cold_sharded.per_flow().iter().zip(cold_mono.per_flow()) {
+            prop_assert_eq!(&a.wcrt, &b.wcrt, "degraded wcrt diverged");
+            prop_assert_eq!(&a.jitter, &b.jitter, "degraded jitter diverged");
+        }
+        // Warm sharded re-analysis vs cold monolithic: the seeded-
+        // component skip must not change a single bound.
+        if let Ok(healthy) = Analyzer::new(&set, &sharded_cfg) {
+            let re = reanalyze(&healthy, &degraded, &sharded_cfg);
+            for (a, b) in re.report.per_flow().iter().zip(cold_mono.per_flow()) {
+                prop_assert_eq!(&a.wcrt, &b.wcrt, "warm sharded wcrt diverged");
+                prop_assert_eq!(&a.jitter, &b.jitter, "warm sharded jitter diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn fat_tree_pods_shard_and_report_component_telemetry() {
+    // Fully pod-local traffic on a 4-pod fat tree decomposes into one
+    // component per occupied pod; the sharded solver must report them.
+    let p = FatTreeParams {
+        pods: 4,
+        flows: 32,
+        locality: 1.0,
+        ..Default::default()
+    };
+    let set = fat_tree(7, &p).unwrap();
+    let report = analyze_all(&set, &AnalysisConfig::default());
+    let t = report.telemetry().expect("cached engine records telemetry");
+    assert!(
+        t.components >= 2,
+        "pod-local fat tree must decompose, got {} component(s)",
+        t.components
+    );
+    assert!(
+        !t.shards.is_empty(),
+        "sharded solve must record per-shard telemetry"
+    );
+    assert_eq!(
+        t.shards.iter().map(|s| s.flows).sum::<usize>(),
+        set.len(),
+        "every flow belongs to exactly one solved shard"
+    );
+    assert!(t.largest_component >= 1 && t.largest_component <= set.len());
+
+    // Backbone meshes are denser; whatever the component structure,
+    // sharded and monolithic bounds agree.
+    let bb = backbone_mesh(11, &BackboneParams::default()).unwrap();
+    let sharded = analyze_all(&bb, &AnalysisConfig::default());
+    let mono = analyze_all(
+        &bb,
+        &AnalysisConfig {
+            shard_mode: ShardMode::Monolithic,
+            ..AnalysisConfig::default()
+        },
+    );
+    assert_eq!(sharded.bounds(), mono.bounds());
 }
 
 #[test]
