@@ -115,6 +115,30 @@ impl EfWhatIf {
     }
 }
 
+/// Outcome of a warm-vs-cold bit-identity audit
+/// ([`ConvergedState::verify_bit_identity`]).
+///
+/// The incremental engine's contract is that a warm-maintained state is
+/// *bit-identical* to a cold [`crate::analyze_ef`] of the same set —
+/// not approximately equal, the same integers. This audit recomputes
+/// the cold reference and diffs every per-flow verdict; the soak engine
+/// runs it as a periodic spot check over hours of churn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitIdentityAudit {
+    /// Flows compared.
+    pub flows: usize,
+    /// Flows whose warm `wcrt` or jitter differs from the cold
+    /// reference (empty = the audit passed).
+    pub mismatches: Vec<FlowId>,
+}
+
+impl BitIdentityAudit {
+    /// Whether every flow's warm verdict matched the cold reference.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
 impl ConvergedState {
     /// Cold build: runs the full EF analysis ([`crate::analyze_ef`]
     /// semantics) and captures the converged solution. `Err` carries
@@ -174,6 +198,30 @@ impl ConvergedState {
     /// Telemetry of the standing fixed point.
     pub fn telemetry(&self) -> &FixpointTelemetry {
         &self.telemetry
+    }
+
+    /// Audit the warm state against a fresh cold analysis.
+    ///
+    /// Recomputes [`crate::analyze_ef`] for the standing set from
+    /// scratch and compares every flow's `wcrt` verdict and jitter
+    /// bound with the standing warm report. The incremental engine
+    /// guarantees bit-identity, so any mismatch is a bug; the soak
+    /// harness runs this as a periodic spot check and treats a
+    /// non-empty mismatch list as a hard failure.
+    pub fn verify_bit_identity(&self) -> BitIdentityAudit {
+        let cold = crate::analyze_ef(&self.set, &self.cfg);
+        let mismatches = self
+            .report
+            .per_flow()
+            .iter()
+            .zip(cold.per_flow())
+            .filter(|(warm, cold)| warm.wcrt != cold.wcrt || warm.jitter != cold.jitter)
+            .map(|(warm, _)| warm.flow)
+            .collect();
+        BitIdentityAudit {
+            flows: self.set.len(),
+            mismatches,
+        }
     }
 
     /// Warm what-if: analyse the standing set extended with `candidate`
@@ -521,6 +569,25 @@ mod tests {
         let cfg = AnalysisConfig::default();
         let standing = ConvergedState::build_ef(&set, &cfg).unwrap();
         assert!(standing.extend(candidate(1, vec![1, 3])).is_err());
+    }
+
+    #[test]
+    fn bit_identity_audit_passes_after_churn() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let mut state = ConvergedState::build_ef(&set, &cfg).unwrap();
+        assert!(state.verify_bit_identity().passed());
+        // Extend, then remove a different flow: the audit must still
+        // match a cold analysis of the churned set.
+        state = state
+            .extend(candidate(100, vec![5, 4, 3]))
+            .unwrap()
+            .into_state()
+            .unwrap();
+        state = state.remove(FlowId(2)).unwrap();
+        let audit = state.verify_bit_identity();
+        assert_eq!(audit.flows, state.set().len());
+        assert!(audit.passed(), "mismatches: {:?}", audit.mismatches);
     }
 
     #[test]

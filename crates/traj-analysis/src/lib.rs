@@ -39,7 +39,9 @@ pub use config::{
 };
 pub use ef::{analyze_ef, nonpreemption_delta};
 pub use explain::{explain_flow, provenance_all, provenance_flow, BoundBreakdown, BoundProvenance};
-pub use incremental::{addition_dirty_closure, analyze_ef_incremental, ConvergedState, EfWhatIf};
+pub use incremental::{
+    addition_dirty_closure, analyze_ef_incremental, BitIdentityAudit, ConvergedState, EfWhatIf,
+};
 pub use jitter::jitter_bound;
 pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};

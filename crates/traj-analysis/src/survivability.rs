@@ -51,6 +51,32 @@ impl FaultReanalysis {
     pub fn reused(&self) -> usize {
         self.stale.iter().filter(|s| !**s).count()
     }
+
+    /// Audit this warm re-analysis against a cold
+    /// [`analyze_degraded`] of the same degraded set.
+    ///
+    /// [`reanalyze`] guarantees bit-identity to the cold path, so any
+    /// per-flow `wcrt`/jitter mismatch is a bug. The soak harness runs
+    /// this after every fault storm it injects.
+    pub fn verify_bit_identity(
+        &self,
+        degraded: &DegradedSet,
+        cfg: &AnalysisConfig,
+    ) -> crate::incremental::BitIdentityAudit {
+        let cold = analyze_degraded(degraded, cfg);
+        let mismatches = self
+            .report
+            .per_flow()
+            .iter()
+            .zip(cold.per_flow())
+            .filter(|(warm, cold)| warm.wcrt != cold.wcrt || warm.jitter != cold.jitter)
+            .map(|(warm, _)| warm.flow)
+            .collect();
+        crate::incremental::BitIdentityAudit {
+            flows: self.report.per_flow().len(),
+            mismatches,
+        }
+    }
 }
 
 /// Transitive closure of fault perturbation over the crossing graph.
@@ -282,6 +308,17 @@ mod tests {
             }
             other => unreachable!("expected a drop verdict, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bit_identity_audit_passes_after_node_failure() {
+        let (set, degraded) = healthy_and_degraded(FaultScenario::node_down(NodeId(9)));
+        let cfg = AnalysisConfig::default();
+        let an = Analyzer::new(&set, &cfg).unwrap();
+        let re = reanalyze(&an, &degraded, &cfg);
+        let audit = re.verify_bit_identity(&degraded, &cfg);
+        assert_eq!(audit.flows, set.len());
+        assert!(audit.passed(), "mismatches: {:?}", audit.mismatches);
     }
 
     #[test]

@@ -131,13 +131,7 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, Option<R>) {
 }
 
 fn p99(samples: &[f64]) -> f64 {
-    let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    if s.is_empty() {
-        return 0.0;
-    }
-    let idx = (((s.len() - 1) as f64) * 0.99).ceil() as usize;
-    s[idx.min(s.len() - 1)]
+    traj_bench::percentile(samples, 0.99)
 }
 
 fn main() {

@@ -55,6 +55,19 @@ pub fn bound_sum(report: &SetReport) -> Option<i64> {
     report.bounds().into_iter().sum()
 }
 
+/// The `q`-quantile of `samples` (`q` in `[0, 1]`, nearest-rank on the
+/// sorted copy); `0.0` on an empty slice. Shared by the bench binaries
+/// so their reported percentiles use one definition.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = (((s.len() - 1) as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    s[idx.min(s.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +86,17 @@ mod tests {
         );
         assert!(t.contains("tau_22"));
         assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        // Nearest-rank rounds up: ceil(99 * 0.99) = 99 -> the max.
+        assert_eq!(percentile(&samples, 0.99), 100.0);
+        assert_eq!(percentile(&samples, 0.5), 51.0);
     }
 
     #[test]

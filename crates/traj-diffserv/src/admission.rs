@@ -311,6 +311,81 @@ impl AdmissionController {
         &self.current
     }
 
+    /// The standing converged analysis of the admitted set, building it
+    /// cold first if a fault invalidated it (or nothing warmed it yet).
+    /// `None` when the standing set itself cannot be bounded.
+    ///
+    /// This is the audit surface: the soak harness calls
+    /// [`traj_analysis::ConvergedState::verify_bit_identity`] on the
+    /// result to spot-check the warm state against a cold re-analysis.
+    pub fn converged_state(&mut self) -> Option<&ConvergedState> {
+        self.ensure_state()
+    }
+
+    /// Checks the controller's internal bookkeeping invariants and
+    /// returns a human-readable description of every violation (empty =
+    /// healthy). Run by the soak harness after every fault storm.
+    ///
+    /// Invariants: retry entries are unique per flow and disjoint from
+    /// the admitted set; every backoff lies within the configured
+    /// policy's `[base, effective_cap]` band; the admission-order
+    /// bookkeeping covers exactly the admitted flows; a standing
+    /// converged state, if present, describes exactly the admitted set.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let policy = self.retry_policy;
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.retry {
+            if !seen.insert(e.flow.id) {
+                violations.push(format!("retry queue holds flow {} twice", e.flow.id));
+            }
+            if self.current.index_of(e.flow.id).is_some() {
+                violations.push(format!(
+                    "flow {} is both admitted and queued for retry",
+                    e.flow.id
+                ));
+            }
+            if e.backoff < policy.base || e.backoff > policy.effective_cap() {
+                violations.push(format!(
+                    "flow {} backoff {} outside [{}, {}]",
+                    e.flow.id,
+                    e.backoff,
+                    policy.base,
+                    policy.effective_cap()
+                ));
+            }
+        }
+        let order_ids: std::collections::HashSet<FlowId> =
+            self.order.iter().map(|(f, _)| *f).collect();
+        if order_ids.len() != self.order.len() {
+            violations.push("admission order holds duplicate flow ids".to_string());
+        }
+        if self.order.len() != self.current.len() {
+            violations.push(format!(
+                "admission order tracks {} flows but {} are admitted",
+                self.order.len(),
+                self.current.len()
+            ));
+        }
+        for f in self.current.flows() {
+            if !order_ids.contains(&f.id) {
+                violations.push(format!(
+                    "admitted flow {} missing from admission order",
+                    f.id
+                ));
+            }
+        }
+        if let Some(st) = &self.state {
+            let state_ids: Vec<FlowId> = st.set().flows().iter().map(|f| f.id).collect();
+            let current_ids: Vec<FlowId> = self.current.flows().iter().map(|f| f.id).collect();
+            if state_ids != current_ids {
+                violations
+                    .push("standing converged state diverged from the admitted set".to_string());
+            }
+        }
+        violations
+    }
+
     /// Tries to admit `candidate`; on success the controller's state is
     /// updated.
     pub fn try_admit(&mut self, candidate: SporadicFlow) -> AdmissionDecision {
@@ -520,6 +595,14 @@ impl AdmissionController {
                 self.state = Some(st);
                 self.order.push((cand_id, self.next_seq));
                 self.next_seq += 1;
+                // A successful admission settles any pending retry for
+                // this flow: without the purge, a flow re-admitted
+                // outside `tick` (operator action, detour restoration)
+                // leaves a zombie entry whose backoff keeps doubling on
+                // duplicate-id failures — and a later fault's dedup
+                // then inherits that inflated backoff instead of
+                // restarting at base.
+                self.retry.retain(|e| e.flow.id != cand_id);
                 (AdmissionDecision::Admitted { wcrt }, meta)
             }
             // Unreachable in practice (an all-bounded report implies a
@@ -562,6 +645,9 @@ impl AdmissionController {
         self.current = tentative;
         self.order.push((cand_id, self.next_seq));
         self.next_seq += 1;
+        // Mirror the warm commit: a successful admission settles any
+        // pending retry for this flow (see `finish_warm`).
+        self.retry.retain(|e| e.flow.id != cand_id);
         AdmissionDecision::Admitted { wcrt }
     }
 
@@ -718,31 +804,49 @@ impl AdmissionController {
     /// (saturating at the configured [`RetryPolicy`] cap). Returns the
     /// decisions taken this tick, in queue order.
     pub fn tick(&mut self, now: u64) -> Vec<(FlowId, AdmissionDecision)> {
+        self.tick_gated(now, |_| true)
+    }
+
+    /// [`Self::tick`] with an admissibility gate: only due entries whose
+    /// flow passes `admissible` are attempted. Gated-out entries are
+    /// left untouched — no attempt is counted and their backoff does not
+    /// grow, because the flow never got a chance to fail. The soak
+    /// driver gates on "the flow's path is clear of every active fault"
+    /// so a flow displaced by an unrepaired fault does not burn backoff
+    /// doublings on attempts that are known to be futile.
+    ///
+    /// Entries are tracked by flow id, not queue index: a successful
+    /// re-admission purges its own entry inside the commit (see
+    /// `finish_warm`), shifting the queue under this loop.
+    pub fn tick_gated(
+        &mut self,
+        now: u64,
+        admissible: impl Fn(&SporadicFlow) -> bool,
+    ) -> Vec<(FlowId, AdmissionDecision)> {
         let _span = traj_obs::ScopedTimer::new("admission.tick").field("now", now);
-        let due: Vec<usize> = (0..self.retry.len())
-            .filter(|&i| self.retry[i].next_attempt <= now)
+        let flows: Vec<SporadicFlow> = self
+            .retry
+            .iter()
+            .filter(|e| e.next_attempt <= now && admissible(&e.flow))
+            .map(|e| e.flow.clone())
             .collect();
-        let flows: Vec<SporadicFlow> = due.iter().map(|&i| self.retry[i].flow.clone()).collect();
         self.metrics.retry_attempts += flows.len() as u64;
         // Batched drain: the due entries' what-ifs run in parallel
         // against the standing state; winners commit in queue order.
         let decisions = self.try_admit_batch(flows);
-        let mut readmitted: Vec<usize> = Vec::new();
-        for (&i, (_, decision)) in due.iter().zip(decisions.iter()) {
+        let policy = self.retry_policy;
+        for (id, decision) in &decisions {
             match decision {
-                AdmissionDecision::Admitted { .. } => readmitted.push(i),
+                // The commit already purged this flow's entry.
+                AdmissionDecision::Admitted { .. } => self.metrics.readmitted += 1,
                 _ => {
-                    let backoff = self.retry_policy.next_backoff(self.retry[i].backoff);
-                    let e = &mut self.retry[i];
-                    e.attempts += 1;
-                    e.backoff = backoff;
-                    e.next_attempt = now.saturating_add(backoff);
+                    if let Some(e) = self.retry.iter_mut().find(|e| e.flow.id == *id) {
+                        e.attempts += 1;
+                        e.backoff = policy.next_backoff(e.backoff);
+                        e.next_attempt = now.saturating_add(e.backoff);
+                    }
                 }
             }
-        }
-        self.metrics.readmitted += readmitted.len() as u64;
-        for i in readmitted.into_iter().rev() {
-            self.retry.remove(i);
         }
         if traj_obs::enabled() && !decisions.is_empty() {
             traj_obs::emit(
@@ -1252,6 +1356,85 @@ mod tests {
         ));
         assert_eq!(ac.metrics().warm_hits, before + 1);
         assert!(ac.state.is_some());
+    }
+
+    #[test]
+    fn backoff_resets_on_successful_readmission_not_on_fault() {
+        // Regression: a flow re-admitted outside `tick` (operator
+        // action, detour restoration) used to leave a zombie retry
+        // entry; later due attempts failed as duplicate ids, doubling
+        // the backoff, and the *next* fault's dedup inherited that
+        // inflated schedule. A successful admission must settle the
+        // retry entry so a fresh displacement restarts at base.
+        let base = RetryPolicy::default().base;
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let orig = paper_example()
+            .flows()
+            .iter()
+            .find(|f| f.id == FlowId(2))
+            .cloned()
+            .unwrap();
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        assert!(ac.retry_queue().iter().any(|e| e.flow.id == FlowId(2)));
+        // The route is repaired out of band and the flow re-admitted
+        // directly, not via the retry queue.
+        assert!(matches!(
+            ac.try_admit(orig),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert!(
+            ac.retry_queue().iter().all(|e| e.flow.id != FlowId(2)),
+            "successful admission must purge the retry entry"
+        );
+        // A later tick has nothing to attempt for flow 2 (no zombie
+        // duplicate-id failures inflating the backoff).
+        assert!(ac.tick(1_000_000).is_empty());
+        // A second displacement starts a *fresh* schedule at base.
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 100)
+            .unwrap();
+        let e = ac
+            .retry_queue()
+            .iter()
+            .find(|e| e.flow.id == FlowId(2))
+            .unwrap();
+        assert_eq!(e.backoff, base);
+        assert_eq!(e.attempts, 0);
+        assert_eq!(e.next_attempt, 100 + base);
+        assert!(ac.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn gated_tick_leaves_blocked_entries_untouched() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        let due = ac.retry_queue()[0].next_attempt;
+        let attempts_before = ac.metrics().retry_attempts;
+        // Gate every flow out (the fault is "still active"): no attempt
+        // runs, no backoff grows.
+        assert!(ac.tick_gated(due, |_| false).is_empty());
+        let e = &ac.retry_queue()[0];
+        assert_eq!(e.attempts, 0);
+        assert_eq!(e.backoff, RetryPolicy::default().base);
+        assert_eq!(ac.metrics().retry_attempts, attempts_before);
+        // Lift the gate: the flow comes back and its entry is purged.
+        let decisions = ac.tick_gated(due, |_| true);
+        assert!(matches!(
+            decisions[0],
+            (FlowId(2), AdmissionDecision::Admitted { .. })
+        ));
+        assert!(ac.retry_queue().is_empty());
+        assert!(ac.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn converged_state_accessor_builds_lazily_and_audits_clean() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(ac.state.is_none());
+        let audit = ac.converged_state().map(|st| st.verify_bit_identity());
+        assert!(audit.map(|a| a.passed()).unwrap_or(false));
+        assert!(ac.state.is_some(), "the accessor leaves the state warm");
     }
 
     #[test]

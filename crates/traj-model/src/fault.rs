@@ -33,6 +33,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::assumption::first_reentry;
@@ -84,6 +86,83 @@ impl FaultScenario {
         FaultScenario {
             faults: vec![Fault::NodeDown { node }],
         }
+    }
+
+    /// A correlated fault storm with spatial locality: faults cluster
+    /// within `radius` hops (BFS over the undirected provisioned links)
+    /// of a seeded epicenter node.
+    ///
+    /// `link_faults` directed links inside the blast zone go down, plus
+    /// `node_faults` zone nodes (the epicenter's neighbourhood, never
+    /// more than the zone offers). Deterministic per seed: the zone is
+    /// explored in ascending `NodeId` order and victims are drawn from
+    /// sorted candidate lists. An empty scenario results when the set
+    /// provisions no links.
+    pub fn correlated_storm(
+        set: &FlowSet,
+        seed: u64,
+        link_faults: u32,
+        node_faults: u32,
+        radius: u32,
+    ) -> FaultScenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Undirected adjacency over the provisioned links, plus the
+        // sorted directed-link universe.
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut links: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for f in set.flows() {
+            for (a, b) in f.path.links() {
+                links.insert((a, b));
+                adj.entry(a).or_default().insert(b);
+                adj.entry(b).or_default().insert(a);
+            }
+        }
+        let nodes: Vec<NodeId> = adj.keys().copied().collect();
+        if nodes.is_empty() {
+            return FaultScenario::default();
+        }
+        let epicenter = nodes[rng.gen_range(0..nodes.len())];
+
+        // Blast zone: BFS to `radius` hops from the epicenter.
+        let mut zone: BTreeSet<NodeId> = BTreeSet::new();
+        let mut frontier = VecDeque::from([(epicenter, 0u32)]);
+        zone.insert(epicenter);
+        while let Some((u, d)) = frontier.pop_front() {
+            if d >= radius {
+                continue;
+            }
+            for &v in adj.get(&u).into_iter().flatten() {
+                if zone.insert(v) {
+                    frontier.push_back((v, d + 1));
+                }
+            }
+        }
+
+        let mut faults = Vec::new();
+        let mut zone_links: Vec<(NodeId, NodeId)> = links
+            .iter()
+            .copied()
+            .filter(|(a, b)| zone.contains(a) && zone.contains(b))
+            .collect();
+        for _ in 0..link_faults {
+            if zone_links.is_empty() {
+                break;
+            }
+            let (from, to) = zone_links.remove(rng.gen_range(0..zone_links.len()));
+            faults.push(Fault::LinkDown { from, to });
+        }
+        // Node victims avoid the epicenter itself so a radius-1 storm
+        // does not trivially sever its whole neighbourhood.
+        let mut zone_nodes: Vec<NodeId> =
+            zone.iter().copied().filter(|n| *n != epicenter).collect();
+        for _ in 0..node_faults {
+            if zone_nodes.is_empty() {
+                break;
+            }
+            let node = zone_nodes.remove(rng.gen_range(0..zone_nodes.len()));
+            faults.push(Fault::NodeDown { node });
+        }
+        FaultScenario { faults }
     }
 
     /// Whether `node` is failed by this scenario.
@@ -265,6 +344,54 @@ impl FlowFate {
     /// Whether the flow still runs after the fault.
     pub fn is_alive(&self) -> bool {
         !matches!(self, FlowFate::Dropped { .. })
+    }
+}
+
+/// A staged repair plan for a fault scenario: the faults are split into
+/// `stages.len()` groups repaired one group at a time (stage `k` at
+/// `onset + (k + 1) * stage_gap` in the caller's clock), modelling field
+/// repair crews that bring elements back incrementally rather than all
+/// at once.
+///
+/// The schedule is a pure partition: every fault of the source scenario
+/// appears in exactly one stage, in scenario order (round-robin across
+/// stages so early stages repair a representative mix).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairSchedule {
+    /// Fault groups in repair order; stage `k` is repaired `k + 1`
+    /// gaps after the storm's onset.
+    pub stages: Vec<FaultScenario>,
+}
+
+impl RepairSchedule {
+    /// Splits `scenario` into (at most) `stages` repair groups,
+    /// round-robin in fault order. With `stages == 0` or an empty
+    /// scenario the schedule is a single stage repairing everything.
+    pub fn staged(scenario: &FaultScenario, stages: u32) -> RepairSchedule {
+        let n_stages = (stages.max(1) as usize).min(scenario.faults.len().max(1));
+        let mut groups: Vec<FaultScenario> = vec![FaultScenario::default(); n_stages];
+        for (i, f) in scenario.faults.iter().enumerate() {
+            groups[i % n_stages].faults.push(*f);
+        }
+        RepairSchedule { stages: groups }
+    }
+
+    /// Total faults across all stages.
+    pub fn total_faults(&self) -> usize {
+        self.stages.iter().map(|s| s.faults.len()).sum()
+    }
+
+    /// The faults still outstanding *after* stage `k` completed
+    /// (`k = stages.len() - 1` leaves nothing outstanding).
+    pub fn outstanding_after(&self, k: usize) -> FaultScenario {
+        FaultScenario {
+            faults: self
+                .stages
+                .iter()
+                .skip(k + 1)
+                .flat_map(|s| s.faults.iter().copied())
+                .collect(),
+        }
     }
 }
 
@@ -589,6 +716,120 @@ mod tests {
         let d = FaultScenario::node_down(NodeId(1)).apply(&set).unwrap();
         assert!(d.dropped().len() == 2);
         assert_eq!(d.surviving_set().unwrap_err(), ModelError::AllFlowsDropped);
+    }
+
+    #[test]
+    fn correlated_storm_is_deterministic_and_local() {
+        let set = crate::gen::fat_tree(3, &crate::gen::FatTreeParams::default()).unwrap();
+        let a = FaultScenario::correlated_storm(&set, 11, 3, 1, 2);
+        let b = FaultScenario::correlated_storm(&set, 11, 3, 1, 2);
+        assert_eq!(a, b, "same seed, same storm");
+        assert!(!a.faults.is_empty());
+        assert!(a.faults.len() <= 4);
+        let c = FaultScenario::correlated_storm(&set, 12, 3, 1, 2);
+        assert_ne!(a, c, "different seed, different storm (w.h.p.)");
+        // Locality: every faulted element sits within 2 * radius hops of
+        // every other (all are within `radius` of one epicenter).
+        let mut zone_nodes: Vec<NodeId> = Vec::new();
+        for f in &a.faults {
+            match f {
+                Fault::LinkDown { from, to } => {
+                    zone_nodes.push(*from);
+                    zone_nodes.push(*to);
+                }
+                Fault::NodeDown { node } => zone_nodes.push(*node),
+            }
+        }
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for fl in set.flows() {
+            for (x, y) in fl.path.links() {
+                adj.entry(x).or_default().insert(y);
+                adj.entry(y).or_default().insert(x);
+            }
+        }
+        let dist = |src: NodeId, dst: NodeId| -> Option<u32> {
+            let mut seen = BTreeMap::from([(src, 0u32)]);
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                let d = seen[&u];
+                if u == dst {
+                    return Some(d);
+                }
+                for &v in adj.get(&u).into_iter().flatten() {
+                    seen.entry(v).or_insert_with(|| {
+                        q.push_back(v);
+                        d + 1
+                    });
+                }
+            }
+            None
+        };
+        for a_node in &zone_nodes {
+            for b_node in &zone_nodes {
+                let d = dist(*a_node, *b_node).expect("zone is connected");
+                assert!(d <= 4, "{a_node:?} and {b_node:?} are {d} hops apart");
+            }
+        }
+    }
+
+    #[test]
+    fn storm_on_linkless_set_is_empty() {
+        // Single-node paths provision no links at all.
+        let network = crate::network::Network::uniform(2, 1, 1).unwrap();
+        let f = SporadicFlow::uniform(1, Path::from_ids([1]).unwrap(), 100, 2, 0, 1000).unwrap();
+        let set = FlowSet::new(network, vec![f]).unwrap();
+        let s = FaultScenario::correlated_storm(&set, 1, 3, 1, 2);
+        assert!(s.faults.is_empty());
+    }
+
+    #[test]
+    fn repair_schedule_partitions_the_scenario() {
+        let scenario = FaultScenario::new(vec![
+            Fault::NodeDown { node: NodeId(1) },
+            Fault::NodeDown { node: NodeId(2) },
+            Fault::NodeDown { node: NodeId(3) },
+            Fault::LinkDown {
+                from: NodeId(4),
+                to: NodeId(5),
+            },
+            Fault::LinkDown {
+                from: NodeId(5),
+                to: NodeId(6),
+            },
+        ]);
+        let sched = RepairSchedule::staged(&scenario, 3);
+        assert_eq!(sched.stages.len(), 3);
+        assert_eq!(sched.total_faults(), scenario.faults.len());
+        // Every fault appears exactly once across the stages.
+        let mut seen: Vec<Fault> = sched
+            .stages
+            .iter()
+            .flat_map(|s| s.faults.iter().copied())
+            .collect();
+        seen.sort_by_key(|f| format!("{f:?}"));
+        let mut want = scenario.faults.clone();
+        want.sort_by_key(|f| format!("{f:?}"));
+        assert_eq!(seen, want);
+        // Outstanding shrinks monotonically to empty.
+        assert_eq!(sched.outstanding_after(0).faults.len(), 3);
+        assert_eq!(sched.outstanding_after(1).faults.len(), 1);
+        assert!(sched.outstanding_after(2).faults.is_empty());
+    }
+
+    #[test]
+    fn repair_schedule_degenerate_cases() {
+        // More stages than faults: one fault per stage.
+        let scenario = FaultScenario::node_down(NodeId(1));
+        let sched = RepairSchedule::staged(&scenario, 5);
+        assert_eq!(sched.stages.len(), 1);
+        assert_eq!(sched.total_faults(), 1);
+        // Zero stages clamp to one.
+        let sched = RepairSchedule::staged(&scenario, 0);
+        assert_eq!(sched.stages.len(), 1);
+        // Empty scenario: one empty stage.
+        let sched = RepairSchedule::staged(&FaultScenario::default(), 3);
+        assert_eq!(sched.stages.len(), 1);
+        assert_eq!(sched.total_faults(), 0);
     }
 
     #[test]

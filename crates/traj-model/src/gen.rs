@@ -168,37 +168,13 @@ pub fn fat_tree(seed: u64, p: &FatTreeParams) -> Result<FlowSet, ModelError> {
     let per_pod = p.agg_per_pod + p.edge_per_pod;
     let total_nodes = p.core + p.pods * per_pod;
     let network = Network::uniform(total_nodes, p.lmin, p.lmax)?;
-    let agg = |pod: u32, a: u32| p.core + pod * per_pod + a + 1;
-    let edge = |pod: u32, e: u32| p.core + pod * per_pod + p.agg_per_pod + e + 1;
     let mut flows = Vec::with_capacity(p.flows as usize);
     let mut util = vec![0.0f64; total_nodes as usize + 1];
     let mut id = 1u32;
     let mut attempts = 0;
     while flows.len() < p.flows as usize && attempts < p.flows as usize * 50 {
         attempts += 1;
-        let src_pod = rng.gen_range(0..p.pods);
-        let local = p.pods == 1 || rng.gen_range(0.0..1.0) < p.locality.clamp(0.0, 1.0);
-        let nodes: Vec<u32> = if local {
-            let src = rng.gen_range(0..p.edge_per_pod);
-            let mut dst = rng.gen_range(0..p.edge_per_pod - 1);
-            if dst >= src {
-                dst += 1;
-            }
-            let a = rng.gen_range(0..p.agg_per_pod);
-            vec![edge(src_pod, src), agg(src_pod, a), edge(src_pod, dst)]
-        } else {
-            let mut dst_pod = rng.gen_range(0..p.pods - 1);
-            if dst_pod >= src_pod {
-                dst_pod += 1;
-            }
-            vec![
-                edge(src_pod, rng.gen_range(0..p.edge_per_pod)),
-                agg(src_pod, rng.gen_range(0..p.agg_per_pod)),
-                rng.gen_range(1..=p.core),
-                agg(dst_pod, rng.gen_range(0..p.agg_per_pod)),
-                edge(dst_pod, rng.gen_range(0..p.edge_per_pod)),
-            ]
-        };
+        let nodes = fat_tree_path(&mut rng, p);
         let period = rng.gen_range(p.period.0..=p.period.1);
         let cost = rng.gen_range(p.cost.0..=p.cost.1);
         let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
@@ -222,6 +198,44 @@ pub fn fat_tree(seed: u64, p: &FatTreeParams) -> Result<FlowSet, ModelError> {
         id += 1;
     }
     FlowSet::new(network, flows)
+}
+
+/// Samples one fat-tree route under `p`'s layout: intra-pod
+/// (`edge → agg → edge`) with probability `locality`, inter-pod
+/// (`edge → agg → core → agg → edge`) otherwise.
+///
+/// This is the exact path sampler [`fat_tree`] uses (same node-id
+/// arithmetic, same `rng` draw order), exposed so churn drivers can
+/// generate *additional* candidate flows over the same topology — e.g.
+/// the soak engine's arrival process — without re-running the whole
+/// generator.
+pub fn fat_tree_path(rng: &mut StdRng, p: &FatTreeParams) -> Vec<u32> {
+    let per_pod = p.agg_per_pod + p.edge_per_pod;
+    let agg = |pod: u32, a: u32| p.core + pod * per_pod + a + 1;
+    let edge = |pod: u32, e: u32| p.core + pod * per_pod + p.agg_per_pod + e + 1;
+    let src_pod = rng.gen_range(0..p.pods);
+    let local = p.pods == 1 || rng.gen_range(0.0..1.0) < p.locality.clamp(0.0, 1.0);
+    if local {
+        let src = rng.gen_range(0..p.edge_per_pod);
+        let mut dst = rng.gen_range(0..p.edge_per_pod - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let a = rng.gen_range(0..p.agg_per_pod);
+        vec![edge(src_pod, src), agg(src_pod, a), edge(src_pod, dst)]
+    } else {
+        let mut dst_pod = rng.gen_range(0..p.pods - 1);
+        if dst_pod >= src_pod {
+            dst_pod += 1;
+        }
+        vec![
+            edge(src_pod, rng.gen_range(0..p.edge_per_pod)),
+            agg(src_pod, rng.gen_range(0..p.agg_per_pod)),
+            rng.gen_range(1..=p.core),
+            agg(dst_pod, rng.gen_range(0..p.agg_per_pod)),
+            edge(dst_pod, rng.gen_range(0..p.edge_per_pod)),
+        ]
+    }
 }
 
 /// Parameters of the backbone / ISP mesh generator.
@@ -282,70 +296,14 @@ pub fn backbone_mesh(seed: u64, p: &BackboneParams) -> Result<FlowSet, ModelErro
     let mut rng = StdRng::seed_from_u64(seed);
     let total_nodes = p.core + p.core * p.access_per_core;
     let network = Network::uniform(total_nodes, p.lmin, p.lmax)?;
-    // Core adjacency: the ring, then random chords (deterministic given
-    // the seed; neighbour lists kept sorted so BFS routes are stable).
-    let n = p.core as usize;
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-    for c in 1..=n {
-        let next = c % n + 1;
-        adj[c].push(next);
-        adj[next].push(c);
-    }
-    for _ in 0..p.chords {
-        let a = rng.gen_range(1..=n);
-        let mut b = rng.gen_range(1..=n);
-        if b == a {
-            b = a % n + 1;
-        }
-        if !adj[a].contains(&b) {
-            adj[a].push(b);
-            adj[b].push(a);
-        }
-    }
-    for l in adj.iter_mut() {
-        l.sort_unstable();
-    }
-    // BFS shortest route between two core nodes (first-found, hence
-    // deterministic under the sorted adjacency).
-    let route = |from: usize, to: usize| -> Vec<u32> {
-        let mut prev = vec![usize::MAX; n + 1];
-        let mut queue = std::collections::VecDeque::from([from]);
-        prev[from] = from;
-        while let Some(c) = queue.pop_front() {
-            if c == to {
-                break;
-            }
-            for &nb in &adj[c] {
-                if prev[nb] == usize::MAX {
-                    prev[nb] = c;
-                    queue.push_back(nb);
-                }
-            }
-        }
-        let mut nodes = vec![to as u32];
-        let mut c = to;
-        while c != from {
-            c = prev[c];
-            nodes.push(c as u32);
-        }
-        nodes.reverse();
-        nodes
-    };
-    let access = |c: u32, j: u32| p.core + (c - 1) * p.access_per_core + j + 1;
+    let adj = backbone_core_adjacency(&mut rng, p);
     let mut flows = Vec::with_capacity(p.flows as usize);
     let mut util = vec![0.0f64; total_nodes as usize + 1];
     let mut id = 1u32;
     let mut attempts = 0;
     while flows.len() < p.flows as usize && attempts < p.flows as usize * 50 {
         attempts += 1;
-        let src_core = rng.gen_range(1..=p.core);
-        let mut dst_core = rng.gen_range(1..=p.core);
-        if dst_core == src_core {
-            dst_core = src_core % p.core + 1;
-        }
-        let mut nodes = vec![access(src_core, rng.gen_range(0..p.access_per_core))];
-        nodes.extend(route(src_core as usize, dst_core as usize));
-        nodes.push(access(dst_core, rng.gen_range(0..p.access_per_core)));
+        let nodes = backbone_path(&mut rng, p, &adj);
         let period = rng.gen_range(p.period.0..=p.period.1);
         let cost = rng.gen_range(p.cost.0..=p.cost.1);
         let jitter = rng.gen_range(p.jitter.0..=p.jitter.1);
@@ -369,6 +327,82 @@ pub fn backbone_mesh(seed: u64, p: &BackboneParams) -> Result<FlowSet, ModelErro
         id += 1;
     }
     FlowSet::new(network, flows)
+}
+
+/// The core adjacency of a backbone layout: the ring plus `p.chords`
+/// random chords (deterministic given the rng state; neighbour lists
+/// sorted so BFS routes are stable). Index 0 is unused — core nodes are
+/// `1..=p.core`.
+///
+/// This is the exact adjacency [`backbone_mesh`] builds (same `rng` draw
+/// order), exposed so churn drivers can sample additional candidate
+/// routes over the same layout with [`backbone_path`].
+pub fn backbone_core_adjacency(rng: &mut StdRng, p: &BackboneParams) -> Vec<Vec<usize>> {
+    let n = p.core as usize;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for c in 1..=n {
+        let next = c % n + 1;
+        adj[c].push(next);
+        adj[next].push(c);
+    }
+    for _ in 0..p.chords {
+        let a = rng.gen_range(1..=n);
+        let mut b = rng.gen_range(1..=n);
+        if b == a {
+            b = a % n + 1;
+        }
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+    }
+    adj
+}
+
+/// BFS shortest route between two core nodes (first-found, hence
+/// deterministic under the sorted adjacency).
+fn backbone_route(adj: &[Vec<usize>], from: usize, to: usize) -> Vec<u32> {
+    let mut prev = vec![usize::MAX; adj.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    prev[from] = from;
+    while let Some(c) = queue.pop_front() {
+        if c == to {
+            break;
+        }
+        for &nb in &adj[c] {
+            if prev[nb] == usize::MAX {
+                prev[nb] = c;
+                queue.push_back(nb);
+            }
+        }
+    }
+    let mut nodes = vec![to as u32];
+    let mut c = to;
+    while c != from {
+        c = prev[c];
+        nodes.push(c as u32);
+    }
+    nodes.reverse();
+    nodes
+}
+
+/// Samples one backbone route under `p`'s layout and the adjacency from
+/// [`backbone_core_adjacency`]: access → BFS core route → access. The
+/// exact sampler [`backbone_mesh`] uses (same `rng` draw order).
+pub fn backbone_path(rng: &mut StdRng, p: &BackboneParams, adj: &[Vec<usize>]) -> Vec<u32> {
+    let access = |c: u32, j: u32| p.core + (c - 1) * p.access_per_core + j + 1;
+    let src_core = rng.gen_range(1..=p.core);
+    let mut dst_core = rng.gen_range(1..=p.core);
+    if dst_core == src_core {
+        dst_core = src_core % p.core + 1;
+    }
+    let mut nodes = vec![access(src_core, rng.gen_range(0..p.access_per_core))];
+    nodes.extend(backbone_route(adj, src_core as usize, dst_core as usize));
+    nodes.push(access(dst_core, rng.gen_range(0..p.access_per_core)));
+    nodes
 }
 
 /// A "parking lot" topology: `n_cross` flows each join a shared trunk of
@@ -611,6 +645,56 @@ mod tests {
             assert!(f.path.last().0 > p.core, "ends at an access router");
             for &n in &f.path.nodes()[1..f.path.len() - 1] {
                 assert!(n.0 <= p.core, "interior hops stay in the core");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_path_sampler_matches_layout() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = FatTreeParams::default();
+        let per_pod = p.agg_per_pod + p.edge_per_pod;
+        let total = p.core + p.pods * per_pod;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let nodes = fat_tree_path(&mut rng, &p);
+            assert!(nodes.len() == 3 || nodes.len() == 5);
+            for &n in &nodes {
+                assert!(n >= 1 && n <= total, "node {n} outside layout");
+            }
+            // Endpoints are edge switches (never core, never agg).
+            for &n in [nodes[0], nodes[nodes.len() - 1]].iter() {
+                assert!(n > p.core);
+                assert!(
+                    (n - p.core - 1) % per_pod >= p.agg_per_pod,
+                    "{n} not an edge switch"
+                );
+            }
+            if nodes.len() == 5 {
+                assert!(nodes[2] <= p.core, "inter-pod middle hop is a core node");
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_path_sampler_matches_layout() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = BackboneParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let adj = backbone_core_adjacency(&mut rng, &p);
+        for _ in 0..200 {
+            let nodes = backbone_path(&mut rng, &p, &adj);
+            assert!(nodes.len() >= 3);
+            assert!(nodes[0] > p.core, "starts at an access router");
+            assert!(nodes[nodes.len() - 1] > p.core, "ends at an access router");
+            for &n in &nodes[1..nodes.len() - 1] {
+                assert!(n <= p.core, "interior hops stay in the core");
+            }
+            // Consecutive core hops are adjacent in the layout.
+            for w in nodes[1..nodes.len() - 1].windows(2) {
+                assert!(adj[w[0] as usize].contains(&(w[1] as usize)));
             }
         }
     }

@@ -32,7 +32,7 @@ pub mod path;
 pub mod time;
 
 pub use error::ModelError;
-pub use fault::{DegradedSet, DropReason, Fault, FaultScenario, FlowFate};
+pub use fault::{DegradedSet, DropReason, Fault, FaultScenario, FlowFate, RepairSchedule};
 pub use flow::{FlowId, SporadicFlow};
 pub use flowset::{
     CrossDirection, CrossingSegment, FlowSet, MinConvention, RelationCache, SminMode,

@@ -72,12 +72,17 @@ pub fn analyze_netcalc(set: &FlowSet) -> Vec<NetcalcFlowResult> {
         for f in set.flows() {
             let mut cur = ArrivalCurve::sporadic(f.max_cost(), f.period, f.jitter);
             for (k, &h) in f.path.nodes().iter().enumerate() {
-                let slot = curve_at.get_mut(&(f.id, h)).expect("seeded");
+                // Every (flow, node) pair on a path is seeded in pass 1;
+                // a missing slot cannot happen, but degrade to the seed
+                // curve rather than panicking (panic-gated crate).
+                let Some(slot) = curve_at.get_mut(&(f.id, h)) else {
+                    continue;
+                };
                 if slot.sigma < cur.sigma {
                     *slot = cur;
                     changed = true;
                 }
-                let cur_stored = *curve_at.get(&(f.id, h)).expect("seeded");
+                let cur_stored = *slot;
                 // Aggregate at h with everyone's current curves.
                 let agg = aggregate_at(set, &curve_at, h);
                 let Some(d) = delay_bound(&agg, &unit) else {

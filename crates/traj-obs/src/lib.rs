@@ -403,6 +403,83 @@ impl Drop for ScopedTimer {
     }
 }
 
+/// Fixed-bucket latency histogram for long-running loops.
+///
+/// Buckets are powers of two: bucket `k` counts samples in
+/// `[2^k, 2^(k+1))` (bucket 0 additionally holds 0). Recording is O(1)
+/// with no allocation after construction, so a soak loop can feed every
+/// decision latency into one of these for hours without the unbounded
+/// memory of keeping raw samples. Percentiles come back as the upper
+/// edge of the selected bucket — conservative (never under-reports) and
+/// within 2× of the true value, which is plenty for regression gating.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[k]` counts samples in `[2^k, 2^(k+1))`; 64 buckets cover
+    /// the whole u64 range.
+    buckets: [u64; 64],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let k = (64 - sample.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[k.min(63)] += 1;
+        self.count += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bucket edge containing the `q`-quantile (`q` in `[0, 1]`,
+    /// clamped), 0 on an empty histogram. `percentile(1.0)` returns the
+    /// exact max.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q.max(0.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (k, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket k, capped by the observed max.
+                let edge = if k >= 63 { u64::MAX } else { (2u64 << k) - 1 };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// Serialises tests that install a global sink: hold the returned guard
 /// for the test's whole body. (The sink and registries are process-wide;
 /// parallel test threads would otherwise observe each other's events.)
@@ -511,5 +588,34 @@ mod tests {
         let e = Event::new("e").field("k", 1i64).field("k", 2i64);
         assert_eq!(e.get("k"), Some(&Value::I64(1)));
         assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.percentile(1.0), 1000, "p100 is the exact max");
+        let p50 = h.percentile(0.5);
+        // Bucketed: upper edge of the bucket holding sample #500, so at
+        // least the true value and within 2x of it.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(h.percentile(0.0) >= 1);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.25), 1, "zero lands in the first bucket");
+        assert_eq!(h.percentile(1.0), u64::MAX);
     }
 }

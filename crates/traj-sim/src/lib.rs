@@ -19,7 +19,9 @@
 //! * [`fault_adversary`] — link/node-failure trials validating the
 //!   survivors against the recomputed degraded bounds;
 //! * [`validate`] — the harness comparing observed worst cases against
-//!   analytical bounds.
+//!   analytical bounds;
+//! * [`window`] — cheap whole-set simulation windows checking bound
+//!   domination inside long-running soak loops.
 
 pub mod adversary;
 pub mod engine;
@@ -29,6 +31,7 @@ pub mod source;
 pub mod stats;
 pub mod trace;
 pub mod validate;
+pub mod window;
 
 pub use adversary::{adversarial_search, AdversaryParams};
 pub use engine::{DelayPolicy, SimConfig, Simulator, TieBreak};
@@ -40,3 +43,4 @@ pub use source::ReleasePattern;
 pub use stats::{FlowStats, SimOutcome};
 pub use trace::{BusyPeriod, HopTimeline, Trace, TraceRecorder};
 pub use validate::{validate_bounds, ValidationRow};
+pub use window::{window_validate, WindowParams};

@@ -1,0 +1,155 @@
+//! Cheap windowed bound-domination checks for long-running soak loops.
+//!
+//! [`crate::validate_bounds`] runs the full adversarial offset search —
+//! one simulation per (trial, victim) pair, quadratic in the flow count.
+//! That is the right tool for a one-shot validation campaign but far too
+//! expensive to run every few simulated seconds inside a churn/fault
+//! soak. [`window_validate`] trades adversarial sharpness for cost: a
+//! handful of whole-set simulation *windows* with varied release
+//! patterns and tie-breaks, one simulation each. The soundness contract
+//! (`observed ≤ bound` for every legal scenario) must hold for these
+//! windows exactly as for the adversarial ones, so any violation is a
+//! real bug — the windows are merely less likely to approach the bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traj_model::{Duration, FlowSet};
+
+use crate::engine::{SimConfig, Simulator, TieBreak};
+use crate::source::ReleasePattern;
+use crate::validate::ValidationRow;
+
+/// Parameters of one windowed validation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowParams {
+    /// Simulation windows to run (each is one whole-set simulation).
+    pub windows: usize,
+    /// Seed stream for offsets, jitters and sporadic gaps.
+    pub seed: u64,
+    /// Simulation parameters shared by every window (packets per flow,
+    /// scheduler, delay policy, horizon). The tie-break is overridden
+    /// per window.
+    pub sim: SimConfig,
+}
+
+impl Default for WindowParams {
+    fn default() -> Self {
+        WindowParams {
+            windows: 3,
+            seed: 0,
+            sim: SimConfig {
+                packets_per_flow: 8,
+                ..SimConfig::default()
+            },
+        }
+    }
+}
+
+/// Release patterns for window `w`: synchronous periodic first (the
+/// classical critical-instant candidate), then jittered and sporadic
+/// mixes with per-flow random offsets.
+fn window_patterns(set: &FlowSet, w: usize, rng: &mut StdRng) -> Vec<ReleasePattern> {
+    set.flows()
+        .iter()
+        .map(|f| match w % 3 {
+            0 => ReleasePattern::Periodic { offset: 0 },
+            1 => ReleasePattern::JitteredPeriodic {
+                offset: rng.gen_range(0..f.period.max(1)),
+                seed: rng.next_u64(),
+            },
+            _ => ReleasePattern::Sporadic {
+                offset: rng.gen_range(0..f.period.max(1)),
+                max_gap: f.period / 2,
+                seed: rng.next_u64(),
+            },
+        })
+        .collect()
+}
+
+/// Runs `params.windows` whole-set simulations and checks every flow's
+/// observed worst response against its analytical bound (flow-set
+/// order, `None` = the analysis declared the flow unbounded, which
+/// validates vacuously). Returns one row per flow with the worst
+/// observation across all windows.
+pub fn window_validate(
+    set: &FlowSet,
+    bounds: &[Option<Duration>],
+    params: &WindowParams,
+) -> Vec<ValidationRow> {
+    assert_eq!(bounds.len(), set.len(), "one bound per flow");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut worst: Vec<Duration> = vec![0; set.len()];
+    for w in 0..params.windows.max(1) {
+        let patterns = window_patterns(set, w, &mut rng);
+        let mut cfg = params.sim.clone();
+        cfg.tie_break = match w % 2 {
+            0 => TieBreak::ByFlowId,
+            _ => TieBreak::Seeded(rng.next_u64()),
+        };
+        let outcome = Simulator::new(set, cfg).run(&patterns);
+        for (acc, stats) in worst.iter_mut().zip(&outcome.flows) {
+            if stats.delivered > 0 {
+                *acc = (*acc).max(stats.max_response);
+            }
+        }
+    }
+    set.flows()
+        .iter()
+        .zip(bounds)
+        .zip(&worst)
+        .map(|((f, bound), &observed)| ValidationRow {
+            flow: f.id,
+            bound: *bound,
+            observed,
+            margin: bound.map(|b| b - observed),
+            sound: bound.map(|b| observed <= b).unwrap_or(true),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_analysis::{analyze_ef, AnalysisConfig};
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn paper_example_windows_respect_the_bounds() {
+        let set = paper_example();
+        let report = analyze_ef(&set, &AnalysisConfig::default());
+        let rows = window_validate(
+            &set,
+            &report.bounds(),
+            &WindowParams {
+                windows: 6,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows.len(), set.len());
+        for r in &rows {
+            assert!(
+                r.sound,
+                "flow {}: observed {} > bound {:?}",
+                r.flow, r.observed, r.bound
+            );
+            assert!(r.observed > 0, "flow {} delivered nothing", r.flow);
+        }
+    }
+
+    #[test]
+    fn windows_are_deterministic_per_seed() {
+        let set = paper_example();
+        let report = analyze_ef(&set, &AnalysisConfig::default());
+        let p = WindowParams {
+            windows: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = window_validate(&set, &report.bounds(), &p);
+        let b = window_validate(&set, &report.bounds(), &p);
+        let obs = |rows: &[ValidationRow]| rows.iter().map(|r| r.observed).collect::<Vec<_>>();
+        assert_eq!(obs(&a), obs(&b));
+    }
+}

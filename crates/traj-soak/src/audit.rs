@@ -1,0 +1,203 @@
+//! The continuous audit passes the driver interleaves with churn.
+//!
+//! Three independent families, each checking a different contract of
+//! the warm incremental machinery while it is being churned:
+//!
+//! * **bit identity** — the standing
+//!   [`traj_analysis::ConvergedState`] must equal a cold `analyze_ef`
+//!   of the same set, integer for integer, plus the controller's
+//!   bookkeeping invariants
+//!   ([`AdmissionController::check_invariants`]);
+//! * **fault reanalysis** — per storm, the warm survivability path
+//!   ([`traj_analysis::reanalyze`]) must equal a cold
+//!   `analyze_degraded` of the same degraded set;
+//! * **bound domination** — observed simulated tail latency must stay
+//!   at or below the analytic bound for every surviving flow
+//!   ([`traj_sim::window_validate`]).
+//!
+//! Every failure increments a counter in
+//! [`crate::report::AuditCounters`] and (capped) pushes a readable
+//! message; the report's gates tolerate zero.
+
+use traj_analysis::{analyze_ef, reanalyze, AnalysisConfig, Analyzer};
+use traj_diffserv::AdmissionController;
+use traj_model::{FaultScenario, FlowSet};
+use traj_sim::{window_validate, SimConfig, WindowParams};
+
+use crate::report::AuditCounters;
+use crate::scenario::AuditSpec;
+
+/// Keep only the first few failure messages — enough to debug, bounded
+/// so a systematically failing run cannot balloon the report.
+const MAX_MESSAGES: usize = 16;
+
+fn push_message(messages: &mut Vec<String>, msg: String) {
+    if messages.len() < MAX_MESSAGES {
+        messages.push(msg);
+    }
+}
+
+/// Warm-vs-cold spot check of the controller's standing state, plus the
+/// bookkeeping invariant sweep. `now` only labels the messages.
+pub fn bit_identity(
+    controller: &mut AdmissionController,
+    now: u64,
+    counters: &mut AuditCounters,
+    messages: &mut Vec<String>,
+) {
+    let _t = traj_obs::ScopedTimer::new("soak.audit.bit_identity").field("now", now);
+    counters.bit_identity_checks += 1;
+    if let Some(state) = controller.converged_state() {
+        let audit = state.verify_bit_identity();
+        if !audit.passed() {
+            counters.bit_identity_failures += 1;
+            push_message(
+                messages,
+                format!(
+                    "t={now}: warm state diverged from cold analysis for flows {:?}",
+                    audit.mismatches
+                ),
+            );
+        }
+    }
+    invariants(controller, now, counters, messages);
+}
+
+/// The controller bookkeeping sweep on its own (run after every storm).
+pub fn invariants(
+    controller: &AdmissionController,
+    now: u64,
+    counters: &mut AuditCounters,
+    messages: &mut Vec<String>,
+) {
+    counters.invariant_checks += 1;
+    let violations = controller.check_invariants();
+    if !violations.is_empty() {
+        counters.invariant_failures += 1;
+        for v in violations {
+            push_message(messages, format!("t={now}: invariant: {v}"));
+        }
+    }
+}
+
+/// Per-storm audit of the warm survivability path: re-analyse the
+/// pre-storm set under the storm warm (seeded from a converged healthy
+/// analyzer) and cold, and compare. `healthy` is the admitted set
+/// *before* the controller reacted to the storm.
+pub fn storm_reanalysis(
+    healthy: &FlowSet,
+    storm: &FaultScenario,
+    cfg: &AnalysisConfig,
+    now: u64,
+    counters: &mut AuditCounters,
+    messages: &mut Vec<String>,
+) {
+    let _t = traj_obs::ScopedTimer::new("soak.audit.reanalysis").field("now", now);
+    let Ok(degraded) = storm.apply(healthy) else {
+        return; // the storm was skipped by the driver too
+    };
+    let Ok(analyzer) = Analyzer::new(healthy, cfg) else {
+        return; // healthy set diverges: nothing to compare warm against
+    };
+    counters.reanalysis_checks += 1;
+    let warm = reanalyze(&analyzer, &degraded, cfg);
+    let audit = warm.verify_bit_identity(&degraded, cfg);
+    if !audit.passed() {
+        counters.reanalysis_failures += 1;
+        push_message(
+            messages,
+            format!(
+                "t={now}: warm fault reanalysis diverged for flows {:?}",
+                audit.mismatches
+            ),
+        );
+    }
+}
+
+/// Windowed bound-domination sweep: simulate the standing set for a few
+/// windows and require every observation at or below its analytic
+/// bound. Uses the warm state's report when available (itself audited
+/// by [`bit_identity`]), falling back to a cold analysis.
+pub fn bound_domination(
+    controller: &mut AdmissionController,
+    spec: &AuditSpec,
+    seed: u64,
+    now: u64,
+    counters: &mut AuditCounters,
+    messages: &mut Vec<String>,
+) {
+    let _t = traj_obs::ScopedTimer::new("soak.audit.window").field("now", now);
+    let (set, bounds) = match controller.converged_state() {
+        Some(state) => (state.set().clone(), state.report().bounds()),
+        None => {
+            let set = controller.flows().clone();
+            let bounds = analyze_ef(&set, &AnalysisConfig::default()).bounds();
+            (set, bounds)
+        }
+    };
+    counters.window_checks += 1;
+    let params = WindowParams {
+        windows: spec.windows.max(1),
+        seed: seed ^ now,
+        sim: SimConfig {
+            packets_per_flow: spec.window_packets.max(1),
+            ..SimConfig::default()
+        },
+    };
+    let rows = window_validate(&set, &bounds, &params);
+    counters.window_flows_checked += rows.len() as u64;
+    for row in rows.iter().filter(|r| !r.sound) {
+        counters.bound_violations += 1;
+        push_message(
+            messages,
+            format!(
+                "t={now}: flow {} observed {} above its bound {:?}",
+                row.flow, row.observed, row.bound
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn clean_controller_audits_clean() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut counters = AuditCounters::default();
+        let mut messages = Vec::new();
+        bit_identity(&mut ac, 0, &mut counters, &mut messages);
+        assert_eq!(counters.bit_identity_checks, 1);
+        assert_eq!(counters.bit_identity_failures, 0);
+        assert_eq!(counters.invariant_failures, 0);
+        let spec = crate::scenario::SoakScenario::smoke(1).audits;
+        bound_domination(&mut ac, &spec, 42, 0, &mut counters, &mut messages);
+        assert_eq!(counters.window_checks, 1);
+        assert_eq!(counters.bound_violations, 0, "{messages:?}");
+        assert!(counters.window_flows_checked >= 5);
+        assert!(messages.is_empty());
+    }
+
+    #[test]
+    fn storm_reanalysis_matches_cold_on_the_paper_example() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let storm = FaultScenario::node_down(traj_model::NodeId(9));
+        let mut counters = AuditCounters::default();
+        let mut messages = Vec::new();
+        storm_reanalysis(&set, &storm, &cfg, 7, &mut counters, &mut messages);
+        assert_eq!(counters.reanalysis_checks, 1);
+        assert_eq!(counters.reanalysis_failures, 0, "{messages:?}");
+    }
+
+    #[test]
+    fn message_list_is_capped() {
+        let mut messages = Vec::new();
+        for i in 0..100 {
+            push_message(&mut messages, format!("m{i}"));
+        }
+        assert_eq!(messages.len(), MAX_MESSAGES);
+    }
+}

@@ -1,0 +1,183 @@
+//! Soak campaign runner.
+//!
+//! ```text
+//! soak [--smoke | --full | --scenario FILE] [--seed N] [--out FILE] [--print-scenario]
+//! ```
+//!
+//! Runs the selected scenario (default `--smoke`), prints a phase
+//! summary, writes the full [`SoakReport`] as JSON (default
+//! `BENCH_soak.json`) and exits non-zero when any gate is violated —
+//! including a single audit failure.
+
+use std::process::ExitCode;
+
+use traj_soak::{run_scenario, SoakReport, SoakScenario};
+
+struct Args {
+    scenario: SoakScenario,
+    out: String,
+    print_scenario: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut seed: Option<u64> = None;
+    let mut out = "BENCH_soak.json".to_string();
+    let mut preset = "smoke".to_string();
+    let mut scenario_file: Option<String> = None;
+    let mut print_scenario = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => preset = "smoke".to_string(),
+            "--full" => preset = "full".to_string(),
+            "--scenario" => {
+                scenario_file = Some(it.next().ok_or("--scenario needs a file path")?);
+            }
+            "--seed" => {
+                let raw = it.next().ok_or("--seed needs a value")?;
+                seed = Some(raw.parse::<u64>().map_err(|e| format!("bad seed: {e}"))?);
+            }
+            "--out" => out = it.next().ok_or("--out needs a file path")?,
+            "--print-scenario" => print_scenario = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: soak [--smoke | --full | --scenario FILE] [--seed N] \
+                     [--out FILE] [--print-scenario]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let scenario = match scenario_file {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut s = SoakScenario::from_json(&text)?;
+            if let Some(seed) = seed {
+                s.seed = seed;
+            }
+            s
+        }
+        None if preset == "full" => SoakScenario::full_hour(seed.unwrap_or(2006)),
+        None => SoakScenario::smoke(seed.unwrap_or(2006)),
+    };
+    Ok(Args {
+        scenario,
+        out,
+        print_scenario,
+    })
+}
+
+fn summary_table(report: &SoakReport) -> String {
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "sim time".to_string(),
+            format!("{:.0} s", report.sim_seconds),
+            format!("wall {:.1} s", report.wall_seconds),
+        ],
+        vec![
+            "churn".to_string(),
+            format!("{} events", report.churn.events()),
+            format!(
+                "{} admitted / {} rejected / {} blocked",
+                report.churn.admitted, report.churn.rejected, report.churn.blocked_by_fault
+            ),
+        ],
+        vec![
+            "storms".to_string(),
+            format!("{} injected", report.storms.storms),
+            format!(
+                "{} faults, {} dropped, {} evicted, {} rerouted",
+                report.storms.faults_injected,
+                report.storms.dropped,
+                report.storms.evicted,
+                report.storms.rerouted
+            ),
+        ],
+        vec![
+            "recovery".to_string(),
+            format!("{} stages", report.storms.repair_stages),
+            format!(
+                "{} detours restored, {} kept",
+                report.storms.detours_restored, report.storms.detour_fallbacks
+            ),
+        ],
+        vec![
+            "audits".to_string(),
+            format!(
+                "{} bit-identity, {} reanalysis, {} window",
+                report.audits.bit_identity_checks,
+                report.audits.reanalysis_checks,
+                report.audits.window_checks
+            ),
+            format!("{} failures", report.audit_failures()),
+        ],
+        vec![
+            "admit latency".to_string(),
+            format!(
+                "p50 {} us / p99 {} us",
+                report.admit_latency.p50_us, report.admit_latency.p99_us
+            ),
+            format!("max {} us", report.admit_latency.max_us),
+        ],
+        vec![
+            "flows".to_string(),
+            format!("{} final", report.flows_final),
+            format!("{} peak", report.flows_peak),
+        ],
+    ];
+    traj_bench::render_table(
+        &format!(
+            "soak: {} (seed {})",
+            report.scenario.name, report.scenario.seed
+        ),
+        &["phase", "volume", "detail"],
+        &rows,
+    )
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.print_scenario {
+        println!("{}", args.scenario.to_json());
+        return Ok(());
+    }
+
+    let report = run_scenario(&args.scenario)?;
+    println!("{}", summary_table(&report));
+
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("report serialisation failed: {e:?}"))?;
+    std::fs::write(&args.out, json).map_err(|e| format!("cannot write {}: {e}", args.out))?;
+    println!("report written to {}", args.out);
+
+    for msg in &report.failure_messages {
+        eprintln!("audit failure: {msg}");
+    }
+    let violations = report.gate_violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("gate violation: {v}");
+        }
+        return Err(format!("{} gate violation(s)", violations.len()));
+    }
+    println!(
+        "all gates passed: {} churn events, {} storms, 0 audit failures",
+        report.churn.events(),
+        report.storms.storms
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("soak: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Churn + fault-storm soak engine for the trajectory-analysis stack.
+//!
+//! This crate drives the warm incremental admission machinery
+//! ([`traj_diffserv::AdmissionController`]) through hours of simulated
+//! time — flow arrival/departure churn, correlated fault storms with
+//! spatial locality, staged repair with flows re-routed back — while
+//! continuously auditing the warm state against cold re-analysis,
+//! bit for bit, and the analytic bounds against simulation.
+//!
+//! * [`scenario`] — the seedable scenario DSL ([`SoakScenario`]);
+//! * [`driver`] — the deterministic event loop ([`run_scenario`]);
+//! * [`audit`] — the three continuous audit families;
+//! * [`report`] — the regression-gated [`SoakReport`]
+//!   (`BENCH_soak.json`).
+//!
+//! The `soak` binary wraps [`run_scenario`] with a small CLI; see
+//! `EXPERIMENTS.md` E17 and `DESIGN.md` §12.
+
+pub mod audit;
+pub mod driver;
+pub mod report;
+pub mod scenario;
+
+pub use driver::run_scenario;
+pub use report::{AuditCounters, ChurnCounters, LatencySummary, SoakReport, StormCounters};
+pub use scenario::{
+    AuditSpec, ChurnSpec, FlowTemplate, GateSpec, RecoverySpec, SoakScenario, StormSpec,
+    TopologySpec,
+};

@@ -1,0 +1,245 @@
+//! The regression-gated soak report (`BENCH_soak.json`).
+//!
+//! Everything a run did — churn decisions, storms and their staged
+//! recovery, every audit verdict, decision-latency percentiles and wall
+//! throughput — serialised as one JSON document. The binary asserts
+//! [`SoakReport::gate_violations`] is empty; CI re-checks the same
+//! fields from the artifact so a regression cannot hide behind a stale
+//! binary.
+
+use serde::{Deserialize, Serialize};
+use traj_diffserv::AdmissionMetrics;
+
+use crate::scenario::SoakScenario;
+
+/// Arrival/departure churn outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnCounters {
+    /// Arrival events executed (admitted, rejected, invalid or blocked).
+    pub arrivals: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals rejected (some flow would miss its deadline).
+    pub rejected: u64,
+    /// Arrivals structurally invalid.
+    pub invalid: u64,
+    /// Arrivals skipped because the sampled route crossed an active
+    /// fault (no admission attempt runs through a dead element).
+    pub blocked_by_fault: u64,
+    /// Departure events executed.
+    pub departures: u64,
+    /// Departures refused because the flow was the last one standing.
+    pub departures_retained: u64,
+}
+
+impl ChurnCounters {
+    /// Total churn events executed (the gate quantity).
+    pub fn events(&self) -> u64 {
+        self.arrivals + self.departures
+    }
+}
+
+/// Fault-storm and staged-recovery outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormCounters {
+    /// Storms injected (the gate quantity).
+    pub storms: u32,
+    /// Storms skipped (empty blast zone or the fault would have killed
+    /// every flow — the controller state is untouched).
+    pub storms_skipped: u32,
+    /// Individual faults injected across all storms.
+    pub faults_injected: u64,
+    /// Flows whose route died.
+    pub dropped: u64,
+    /// Flows evicted to restore schedulability.
+    pub evicted: u64,
+    /// Flows rerouted around faults (detoured).
+    pub rerouted: u64,
+    /// Storms that ended with the last flow retained unguaranteed.
+    pub last_flow_retained: u64,
+    /// Repair stages executed.
+    pub repair_stages: u64,
+    /// Detoured flows moved back to their original route after repair.
+    pub detours_restored: u64,
+    /// Restorations where the original route no longer fit and the
+    /// detour was re-admitted instead (guaranteed by monotonicity).
+    pub detour_fallbacks: u64,
+    /// Fallback re-admissions that failed — impossible by monotonicity,
+    /// counted as an audit failure.
+    pub detour_fallback_failures: u64,
+}
+
+/// Continuous-audit verdicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditCounters {
+    /// Warm-vs-cold bit-identity spot checks run.
+    pub bit_identity_checks: u64,
+    /// Spot checks with at least one per-flow mismatch.
+    pub bit_identity_failures: u64,
+    /// Controller-invariant sweeps run.
+    pub invariant_checks: u64,
+    /// Sweeps that reported at least one violation.
+    pub invariant_failures: u64,
+    /// Per-storm warm fault-reanalysis audits run.
+    pub reanalysis_checks: u64,
+    /// Reanalysis audits with a warm/cold mismatch.
+    pub reanalysis_failures: u64,
+    /// Windowed bound-domination sweeps run.
+    pub window_checks: u64,
+    /// Flow observations compared across all windows.
+    pub window_flows_checked: u64,
+    /// Observations exceeding their analytic bound (soundness bugs).
+    pub bound_violations: u64,
+}
+
+/// Decision-latency summary from the run's histogram (microseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub samples: u64,
+    /// Median (bucketed upper edge).
+    pub p50_us: u64,
+    /// 99th percentile (bucketed upper edge).
+    pub p99_us: u64,
+    /// Exact maximum.
+    pub max_us: u64,
+}
+
+/// One soak run, fully accounted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// The scenario that produced this run (verbatim, for replay).
+    pub scenario: SoakScenario,
+    /// Simulated time covered (1000 ticks = 1 second).
+    pub sim_seconds: f64,
+    /// Churn outcomes.
+    pub churn: ChurnCounters,
+    /// Storm and recovery outcomes.
+    pub storms: StormCounters,
+    /// Audit verdicts.
+    pub audits: AuditCounters,
+    /// Admission decision latency over churn arrivals.
+    pub admit_latency: LatencySummary,
+    /// Admitted flows when the run ended.
+    pub flows_final: usize,
+    /// Largest admitted set ever observed.
+    pub flows_peak: usize,
+    /// Wall-clock duration of the run (seconds).
+    pub wall_seconds: f64,
+    /// Executed events (churn + storms + repairs + audits + retry
+    /// ticks) per wall-clock second.
+    pub events_per_sec_wall: f64,
+    /// The controller's own monotone counters.
+    pub admission: AdmissionMetrics,
+    /// traj-obs counter/gauge snapshot (empty when no sink installed).
+    pub obs_metrics: Vec<(String, i64)>,
+    /// First few human-readable audit failure messages, for debugging.
+    pub failure_messages: Vec<String>,
+}
+
+impl SoakReport {
+    /// Total audit failures of every family (the zero-tolerance gate).
+    pub fn audit_failures(&self) -> u64 {
+        self.audits.bit_identity_failures
+            + self.audits.invariant_failures
+            + self.audits.reanalysis_failures
+            + self.audits.bound_violations
+            + self.storms.detour_fallback_failures
+    }
+
+    /// Gate check: empty means the run passed. Gates come from the
+    /// scenario itself so smoke and full runs each enforce their own
+    /// floors, plus the universal zero-audit-failure requirement.
+    pub fn gate_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let churn = self.churn.events();
+        if churn < self.scenario.gates.min_churn_events {
+            v.push(format!(
+                "churn events {churn} below the gate {}",
+                self.scenario.gates.min_churn_events
+            ));
+        }
+        if self.storms.storms < self.scenario.gates.min_storms {
+            v.push(format!(
+                "storms {} below the gate {}",
+                self.storms.storms, self.scenario.gates.min_storms
+            ));
+        }
+        let failures = self.audit_failures();
+        if failures > 0 {
+            v.push(format!("{failures} audit failures (zero tolerated)"));
+        }
+        if self.audits.bit_identity_checks == 0
+            || self.audits.window_checks == 0
+            || self.audits.invariant_checks == 0
+        {
+            v.push("an audit family never ran".to_string());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SoakScenario;
+
+    fn empty_report() -> SoakReport {
+        SoakReport {
+            scenario: SoakScenario::smoke(1),
+            sim_seconds: 0.0,
+            churn: ChurnCounters::default(),
+            storms: StormCounters::default(),
+            audits: AuditCounters::default(),
+            admit_latency: LatencySummary::default(),
+            flows_final: 0,
+            flows_peak: 0,
+            wall_seconds: 0.0,
+            events_per_sec_wall: 0.0,
+            admission: AdmissionMetrics::default(),
+            obs_metrics: Vec::new(),
+            failure_messages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gates_catch_missing_work_and_failures() {
+        let r = empty_report();
+        let v = r.gate_violations();
+        assert!(v.iter().any(|m| m.contains("churn")));
+        assert!(v.iter().any(|m| m.contains("storms")));
+        assert!(v.iter().any(|m| m.contains("never ran")));
+
+        let mut ok = empty_report();
+        ok.churn.arrivals = 3_000;
+        ok.churn.departures = 500;
+        ok.storms.storms = 3;
+        ok.audits.bit_identity_checks = 4;
+        ok.audits.invariant_checks = 4;
+        ok.audits.window_checks = 2;
+        assert!(
+            ok.gate_violations().is_empty(),
+            "{:?}",
+            ok.gate_violations()
+        );
+
+        ok.audits.bound_violations = 1;
+        assert_eq!(ok.audit_failures(), 1);
+        assert!(ok
+            .gate_violations()
+            .iter()
+            .any(|m| m.contains("audit failures")));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut r = empty_report();
+        r.churn.admitted = 7;
+        r.audits.bit_identity_checks = 2;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SoakReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.churn, r.churn);
+        assert_eq!(back.audits, r.audits);
+        assert_eq!(back.scenario, r.scenario);
+    }
+}

@@ -1,0 +1,354 @@
+//! The seedable scenario DSL.
+//!
+//! A [`SoakScenario`] is a plain serde struct: everything the soak
+//! engine does — topology, initial load, churn rate, storm schedule,
+//! staged recovery, audit cadence and the pass/fail gates — is spelled
+//! out here, so a run is reproducible from `(scenario JSON, seed)`
+//! alone. Two presets cover the common cases: [`SoakScenario::smoke`]
+//! (a CI-sized run of a couple of simulated minutes) and
+//! [`SoakScenario::full_hour`] (one simulated hour, ≥100k churn events,
+//! ≥20 storms — the BENCH_soak.json campaign).
+//!
+//! The clock is the analysis tick: by convention 1000 ticks = 1
+//! simulated second, so `duration_ticks = 3_600_000` is one hour.
+
+use serde::{Deserialize, Serialize};
+use traj_model::gen::{BackboneParams, FatTreeParams};
+
+/// Which generator builds the topology and samples candidate routes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Three-layer fat-tree (edge → aggregation → core), see
+    /// [`traj_model::gen::fat_tree`].
+    FatTree {
+        /// Number of pods.
+        pods: u32,
+        /// Edge switches per pod.
+        edge_per_pod: u32,
+        /// Aggregation switches per pod.
+        agg_per_pod: u32,
+        /// Shared core switches.
+        core: u32,
+        /// Probability that a flow stays inside its pod.
+        locality: f64,
+    },
+    /// Backbone ring with chords and access stubs, see
+    /// [`traj_model::gen::backbone_mesh`].
+    Backbone {
+        /// Core routers on the ring.
+        core: u32,
+        /// Extra random chords.
+        chords: u32,
+        /// Access routers per core node.
+        access_per_core: u32,
+    },
+}
+
+/// Parameter ranges for generated flows (initial set and churn
+/// arrivals alike).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowTemplate {
+    /// Period range (inclusive).
+    pub period: (i64, i64),
+    /// Per-node cost range (inclusive).
+    pub cost: (i64, i64),
+    /// Release jitter range (inclusive).
+    pub jitter: (i64, i64),
+    /// Deadline = `deadline_factor × (cost + lmax) × path_len`, the
+    /// same shape the topology generators use.
+    pub deadline_factor: i64,
+}
+
+impl Default for FlowTemplate {
+    fn default() -> Self {
+        FlowTemplate {
+            period: (200, 800),
+            cost: (1, 4),
+            jitter: (0, 4),
+            deadline_factor: 5,
+        }
+    }
+}
+
+/// Arrival/departure churn process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Churn events per 1000 ticks (i.e. per simulated second),
+    /// uniformly spread.
+    pub events_per_kilotick: u32,
+    /// Fraction of churn events that are arrivals (the rest are
+    /// departures of a random admitted flow).
+    pub arrival_fraction: f64,
+}
+
+/// Staged repair of one storm's faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySpec {
+    /// Repair stages per storm (the storm's faults are partitioned
+    /// round-robin across them, [`traj_model::RepairSchedule`]).
+    pub stages: u32,
+    /// Ticks between consecutive repair stages of one storm.
+    pub stage_gap_ticks: u64,
+}
+
+/// Correlated fault-storm schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormSpec {
+    /// Storms over the whole run, evenly spaced.
+    pub count: u32,
+    /// Directed links taken down per storm (within the blast radius).
+    pub link_faults: u32,
+    /// Nodes taken down per storm (within the blast radius).
+    pub node_faults: u32,
+    /// Blast radius in hops around the storm's epicenter.
+    pub radius: u32,
+    /// How the storm's faults are repaired.
+    pub recovery: RecoverySpec,
+}
+
+/// Continuous audit cadence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSpec {
+    /// Ticks between warm-vs-cold bit-identity spot checks of the
+    /// standing converged state (plus controller invariants).
+    pub bit_identity_every_ticks: u64,
+    /// Ticks between windowed bound-domination checks
+    /// ([`traj_sim::window_validate`]).
+    pub window_every_ticks: u64,
+    /// Simulation windows per domination check.
+    pub windows: usize,
+    /// Packets per flow in each window.
+    pub window_packets: usize,
+    /// Ticks between retry-queue drain attempts.
+    pub retry_every_ticks: u64,
+}
+
+/// Regression gates asserted by the soak binary (and re-checked by CI
+/// from the emitted JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateSpec {
+    /// Minimum churn events the run must have executed.
+    pub min_churn_events: u64,
+    /// Minimum storms the run must have injected.
+    pub min_storms: u32,
+}
+
+/// One complete soak scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakScenario {
+    /// Display name (lands in the report).
+    pub name: String,
+    /// Master seed; every random stream of the run derives from it.
+    pub seed: u64,
+    /// Run length in ticks (1000 ticks = 1 simulated second).
+    pub duration_ticks: u64,
+    /// Topology generator and layout.
+    pub topology: TopologySpec,
+    /// Flows the generator admits before the clock starts.
+    pub initial_flows: u32,
+    /// Parameter ranges for all generated flows.
+    pub template: FlowTemplate,
+    /// Churn process.
+    pub churn: ChurnSpec,
+    /// Storm schedule.
+    pub storms: StormSpec,
+    /// Audit cadence.
+    pub audits: AuditSpec,
+    /// Pass/fail gates.
+    pub gates: GateSpec,
+}
+
+impl SoakScenario {
+    /// CI-sized preset: two simulated minutes, three storms, a few
+    /// thousand churn events — finishes in well under a minute of wall
+    /// clock while exercising every phase (churn, storms, staged
+    /// recovery, all three audit families).
+    pub fn smoke(seed: u64) -> SoakScenario {
+        SoakScenario {
+            name: "smoke".to_string(),
+            seed,
+            duration_ticks: 120_000,
+            topology: TopologySpec::FatTree {
+                pods: 4,
+                edge_per_pod: 4,
+                agg_per_pod: 2,
+                core: 2,
+                locality: 0.7,
+            },
+            initial_flows: 48,
+            template: FlowTemplate::default(),
+            churn: ChurnSpec {
+                events_per_kilotick: 25,
+                arrival_fraction: 0.55,
+            },
+            storms: StormSpec {
+                count: 3,
+                link_faults: 2,
+                node_faults: 1,
+                radius: 2,
+                recovery: RecoverySpec {
+                    stages: 2,
+                    stage_gap_ticks: 1_000,
+                },
+            },
+            audits: AuditSpec {
+                bit_identity_every_ticks: 15_000,
+                window_every_ticks: 30_000,
+                windows: 2,
+                window_packets: 4,
+                retry_every_ticks: 500,
+            },
+            gates: GateSpec {
+                min_churn_events: 2_000,
+                min_storms: 3,
+            },
+        }
+    }
+
+    /// The full campaign: one simulated hour, 30 churn events per
+    /// simulated second (≥100k total), 24 storms with two-stage
+    /// recovery — the scenario behind the committed `BENCH_soak.json`.
+    pub fn full_hour(seed: u64) -> SoakScenario {
+        SoakScenario {
+            name: "full-hour".to_string(),
+            seed,
+            duration_ticks: 3_600_000,
+            topology: TopologySpec::FatTree {
+                pods: 4,
+                edge_per_pod: 4,
+                agg_per_pod: 2,
+                core: 2,
+                locality: 0.7,
+            },
+            initial_flows: 48,
+            template: FlowTemplate::default(),
+            churn: ChurnSpec {
+                events_per_kilotick: 30,
+                arrival_fraction: 0.55,
+            },
+            storms: StormSpec {
+                count: 24,
+                link_faults: 2,
+                node_faults: 1,
+                radius: 2,
+                recovery: RecoverySpec {
+                    stages: 2,
+                    stage_gap_ticks: 2_000,
+                },
+            },
+            audits: AuditSpec {
+                bit_identity_every_ticks: 100_000,
+                window_every_ticks: 300_000,
+                windows: 2,
+                window_packets: 4,
+                retry_every_ticks: 500,
+            },
+            gates: GateSpec {
+                min_churn_events: 100_000,
+                min_storms: 20,
+            },
+        }
+    }
+
+    /// Parses a scenario from its JSON form.
+    pub fn from_json(text: &str) -> Result<SoakScenario, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid scenario: {e:?}"))
+    }
+
+    /// The scenario's JSON form (pretty-printed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Fat-tree generator parameters for this scenario, when the
+    /// topology is a fat-tree.
+    pub fn fat_tree_params(&self) -> Option<FatTreeParams> {
+        let TopologySpec::FatTree {
+            pods,
+            edge_per_pod,
+            agg_per_pod,
+            core,
+            locality,
+        } = self.topology
+        else {
+            return None;
+        };
+        Some(FatTreeParams {
+            pods,
+            edge_per_pod,
+            agg_per_pod,
+            core,
+            flows: self.initial_flows,
+            locality,
+            period: self.template.period,
+            cost: self.template.cost,
+            jitter: self.template.jitter,
+            ..FatTreeParams::default()
+        })
+    }
+
+    /// Backbone generator parameters for this scenario, when the
+    /// topology is a backbone mesh.
+    pub fn backbone_params(&self) -> Option<BackboneParams> {
+        let TopologySpec::Backbone {
+            core,
+            chords,
+            access_per_core,
+        } = self.topology
+        else {
+            return None;
+        };
+        Some(BackboneParams {
+            core,
+            chords,
+            access_per_core,
+            flows: self.initial_flows,
+            period: self.template.period,
+            cost: self.template.cost,
+            jitter: self.template.jitter,
+            ..BackboneParams::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_meet_their_own_gates_arithmetically() {
+        let s = SoakScenario::full_hour(1);
+        let churn = s.duration_ticks / 1000 * s.churn.events_per_kilotick as u64;
+        assert!(churn >= s.gates.min_churn_events, "{churn}");
+        assert!(s.storms.count >= s.gates.min_storms);
+        let smoke = SoakScenario::smoke(1);
+        let churn = smoke.duration_ticks / 1000 * smoke.churn.events_per_kilotick as u64;
+        assert!(churn >= smoke.gates.min_churn_events);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = SoakScenario::smoke(42);
+        let back = SoakScenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        let f = SoakScenario::full_hour(7);
+        assert_eq!(SoakScenario::from_json(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn params_match_the_declared_topology() {
+        let s = SoakScenario::smoke(1);
+        assert!(s.fat_tree_params().is_some());
+        assert!(s.backbone_params().is_none());
+        let mut b = s.clone();
+        b.topology = TopologySpec::Backbone {
+            core: 8,
+            chords: 3,
+            access_per_core: 2,
+        };
+        assert!(b.fat_tree_params().is_none());
+        let p = b.backbone_params().unwrap();
+        assert_eq!(p.core, 8);
+        assert_eq!(p.flows, b.initial_flows);
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`sim`] — a discrete-event simulator used to validate the analytical
 //!   bounds empirically;
 //! * [`diffserv`] — DiffServ classes, traffic conditioning and EF
-//!   admission control.
+//!   admission control;
+//! * [`soak`] — churn + fault-storm soak engine with continuous
+//!   bit-identity auditing.
 //!
 //! ## Quickstart
 //!
@@ -39,3 +41,4 @@ pub use traj_holistic as holistic;
 pub use traj_model as model;
 pub use traj_netcalc as netcalc;
 pub use traj_sim as sim;
+pub use traj_soak as soak;

@@ -1,0 +1,132 @@
+//! Release-after-fault ordering suite.
+//!
+//! A fault storm evicts and drops flows *outside* the normal release
+//! path, so the controller's bookkeeping must survive every ordering of
+//! `on_fault` / `release` / `try_admit`:
+//!
+//! * releasing a flow the fault already removed is a clean
+//!   [`ReleaseOutcome::NotFound`] — not a panic, not a corrupted order
+//!   list;
+//! * after any fault-then-release interleaving, the warm standing state
+//!   must still be bit-identical to a cold `analyze_ef` of the admitted
+//!   set, and the next admission decision must equal the one a
+//!   cold-built controller makes on the same set.
+
+use fifo_trajectory::analysis::AnalysisConfig;
+use fifo_trajectory::diffserv::{AdmissionController, ReleaseOutcome};
+use fifo_trajectory::model::gen::{random_mesh, MeshParams};
+use fifo_trajectory::model::{FaultScenario, FlowId, NodeId, Path, SporadicFlow};
+use proptest::prelude::*;
+
+/// A short candidate over two adjacent mesh nodes, like the admission
+/// suite uses.
+fn candidate(id: u32, first_node: u32) -> SporadicFlow {
+    SporadicFlow::uniform(
+        id,
+        Path::from_ids([first_node, first_node + 1]).expect("adjacent mesh nodes"),
+        400,
+        2,
+        0,
+        i64::MAX / 4,
+    )
+    .expect("valid candidate")
+}
+
+/// The warm state must agree with a cold re-analysis, integer for
+/// integer, and the bookkeeping invariants must hold.
+fn assert_warm_equals_cold(ac: &mut AdmissionController) -> Result<(), TestCaseError> {
+    let violations = ac.check_invariants();
+    prop_assert!(violations.is_empty(), "invariants violated: {violations:?}");
+    if let Some(state) = ac.converged_state() {
+        let audit = state.verify_bit_identity();
+        prop_assert!(
+            audit.passed(),
+            "warm state diverged from cold for flows {:?}",
+            audit.mismatches
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Fault, then release one of the fault's own casualties (already
+    // gone), then release a survivor, then admit — warm must track
+    // cold through the whole interleaving.
+    #[test]
+    fn fault_then_release_interleavings_match_cold(
+        seed in 0u64..1_000_000,
+        dead_node in 1u32..8,
+        start in 1u32..6,
+    ) {
+        let p = MeshParams {
+            nodes: 8,
+            flows: 6,
+            max_utilisation: 0.65,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p).unwrap();
+        let cfg = AnalysisConfig::default();
+        let mut ac = AdmissionController::new(set, cfg.clone());
+
+        let storm = FaultScenario::node_down(NodeId(dead_node));
+        let Ok(resp) = ac.on_fault(&storm, 0) else {
+            // The fault would have killed every flow: state unchanged,
+            // which the audit must confirm.
+            return assert_warm_equals_cold(&mut ac);
+        };
+        assert_warm_equals_cold(&mut ac)?;
+
+        // Casualties are no longer admitted: releasing one is NotFound
+        // and must not disturb the state.
+        for id in resp
+            .dropped
+            .iter()
+            .map(|(id, _)| *id)
+            .chain(resp.evicted.iter().copied())
+        {
+            prop_assert_eq!(ac.release(id), ReleaseOutcome::NotFound);
+        }
+        assert_warm_equals_cold(&mut ac)?;
+
+        // Release one survivor (unless it is the last flow standing).
+        let survivor = ac.flows().flows()[0].id;
+        let outcome = ac.release(survivor);
+        if ac.flows().len() > 1 {
+            prop_assert_eq!(outcome, ReleaseOutcome::Released);
+        }
+        assert_warm_equals_cold(&mut ac)?;
+
+        // The next admission decision must equal a cold controller's on
+        // the same admitted set.
+        let mut cold = AdmissionController::new(ac.flows().clone(), cfg);
+        let cand = candidate(900, start);
+        prop_assert_eq!(ac.try_admit(cand.clone()), cold.try_admit(cand));
+        prop_assert_eq!(ac.flows().flows(), cold.flows().flows());
+        assert_warm_equals_cold(&mut ac)?;
+    }
+
+    // Releasing ids that were never admitted — before or after a fault
+    // — is always `NotFound` and leaves the controller usable.
+    #[test]
+    fn release_of_unknown_id_is_inert(
+        seed in 0u64..1_000_000,
+        bogus in 10_000u32..20_000,
+        dead_node in 1u32..8,
+    ) {
+        let p = MeshParams {
+            nodes: 8,
+            flows: 5,
+            max_utilisation: 0.6,
+            ..Default::default()
+        };
+        let set = random_mesh(seed, &p).unwrap();
+        let mut ac = AdmissionController::new(set, AnalysisConfig::default());
+
+        prop_assert_eq!(ac.release(FlowId(bogus)), ReleaseOutcome::NotFound);
+        let _ = ac.on_fault(&FaultScenario::node_down(NodeId(dead_node)), 0);
+        prop_assert_eq!(ac.release(FlowId(bogus)), ReleaseOutcome::NotFound);
+        assert_warm_equals_cold(&mut ac)?;
+    }
+}
