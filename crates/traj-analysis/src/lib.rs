@@ -29,6 +29,7 @@ pub mod reference;
 pub mod report;
 pub mod sensitivity;
 pub mod smax;
+pub mod snapshot;
 pub mod survivability;
 pub mod telemetry;
 pub mod terms;
@@ -46,6 +47,7 @@ pub use jitter::jitter_bound;
 pub use reference::analyze_all_reference;
 pub use report::{FlowReport, SetReport, Verdict};
 pub use sensitivity::{critical_flow, deadline_margin, max_admissible_cost, slacks};
+pub use snapshot::{ConvergedSnapshot, SnapshotError};
 pub use survivability::{analyze_degraded, dirty_closure, reanalyze, FaultReanalysis};
 pub use telemetry::{FixpointTelemetry, RoundTelemetry, ShardTelemetry};
 pub use wcrt::{analyze_all, analyze_flow, Analyzer};

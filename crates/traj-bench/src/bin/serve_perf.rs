@@ -1,0 +1,448 @@
+//! E18 — serve_perf: sustained load against a live traj-serve daemon.
+//!
+//! Boots the real daemon (engine + TCP acceptor, `TCP_NODELAY`, the
+//! exact stack `traj-serve --listen` runs) on an ephemeral loopback
+//! port and drives it through four phases per standing-set size:
+//!
+//! 1. **identity** — concurrent what-if clients race against the live
+//!    daemon while the same candidates are evaluated sequentially
+//!    in-process; every wire decision must equal the library answer
+//!    integer for integer (the single-writer/many-reader split is
+//!    correct, not just fast);
+//! 2. **churned load** — worker connections stream what-if decisions
+//!    while a churn connection commits admit/release cycles
+//!    underneath them (the writer path and the published-view swap
+//!    under fire; correctness-gated, latency reported unguarded —
+//!    on a loaded box this measures CPU queueing, not the daemon);
+//! 3. **quiesced load** — the same what-if stream with the writer
+//!    idle: the latency-gated measurement;
+//! 4. **baseline** — the same warm decision path in-process
+//!    ([`evaluate_whatif`] on the standing [`ConvergedState`]) at the
+//!    same thread count. The quiesced wire p99 must stay within
+//!    `MAX_P99_RATIO`× of this.
+//!
+//! Latency-phase concurrency is `min(8, available_parallelism)`: wire
+//! latency compared against an in-process baseline is only meaningful
+//! when both are CPU-bound the same way, not when workers queue for
+//! one core.
+//!
+//! Gates (asserted, and recorded in `BENCH_serve.json` for CI): zero
+//! protocol errors, zero identity mismatches, quiesced p99 ratio
+//! within bound, 100k+ total wire decisions in the full preset.
+//!
+//! Run: `cargo run --release -p traj-bench --bin serve_perf [-- --smoke]`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::value::field;
+use serde::{Serialize, Value};
+use traj_analysis::{AnalysisConfig, ConvergedState};
+use traj_bench::{percentile, render_table};
+use traj_diffserv::{evaluate_whatif, AdmissionController};
+use traj_model::{FlowId, FlowSet, Network, Path, SporadicFlow};
+use traj_serve::engine::{Engine, EngineConfig};
+use traj_serve::protocol::decision_from_value;
+use traj_serve::server::TcpServer;
+
+/// Standing-set sizes (matching E15's 10- and 40-flow latency figures).
+const FLOW_COUNTS: [u32; 2] = [10, 40];
+/// Identity-phase connections (correctness wants many racers).
+const IDENTITY_WORKERS: usize = 8;
+/// Quiesced wire p99 must stay within this factor of the in-process
+/// warm p99 at the same concurrency.
+const MAX_P99_RATIO: f64 = 2.0;
+
+const NODES_PER_CLUSTER: u32 = 10;
+const FLOWS_PER_CLUSTER: u32 = 5;
+
+/// The E15 clustered shape: disjoint five-flow interference islands, so
+/// a what-if's dirty closure stays one cluster wide at any standing
+/// size — the workload warm serving exists for.
+fn clustered_instance(flows: u32) -> FlowSet {
+    let clusters = flows / FLOWS_PER_CLUSTER;
+    let network =
+        Network::uniform(clusters * NODES_PER_CLUSTER, 1, 1).expect("valid uniform network");
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for k in 0..clusters {
+        let b = k * NODES_PER_CLUSTER;
+        for s in 1..=FLOWS_PER_CLUSTER {
+            id += 1;
+            out.push(
+                SporadicFlow::uniform(
+                    id,
+                    Path::from_ids(b + s..=b + s + 4).expect("valid cluster path"),
+                    200,
+                    3,
+                    0,
+                    i64::MAX / 4,
+                )
+                .expect("valid cluster flow"),
+            );
+        }
+    }
+    FlowSet::new(network, out).expect("valid clustered instance")
+}
+
+/// What-if candidate `i`: a short flow at the head of cluster
+/// `i % clusters`, unique id, never committed.
+fn candidate(flows: u32, i: u64) -> SporadicFlow {
+    let clusters = (flows / FLOWS_PER_CLUSTER) as u64;
+    let b = ((i % clusters) as u32) * NODES_PER_CLUSTER;
+    SporadicFlow::uniform(
+        100_000 + (i as u32 % 50_000),
+        Path::from_ids([b + 1, b + 2]).expect("valid candidate path"),
+        400,
+        2,
+        0,
+        i64::MAX / 4,
+    )
+    .expect("valid candidate")
+}
+
+/// One line-protocol connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_nodelay(true).expect("set TCP_NODELAY");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn call(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send");
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("recv");
+        out.trim_end().to_string()
+    }
+}
+
+/// Extracts the `result` payload of an ok response.
+fn result_of(line: &str) -> Value {
+    let v: Value = serde_json::from_str(line).expect("response parses");
+    let entries = v.as_map().expect("response is an object");
+    assert!(
+        matches!(field(entries, "ok"), Some(Value::Bool(true))),
+        "request failed: {line}"
+    );
+    field(entries, "result")
+        .cloned()
+        .expect("ok without result")
+}
+
+fn whatif_line(flow: &SporadicFlow) -> String {
+    format!(
+        "{{\"op\":\"whatif\",\"flow\":{}}}",
+        serde_json::to_string(flow).expect("flow serialises")
+    )
+}
+
+/// Streams `per_worker` what-ifs from each of `workers` connections,
+/// returning every client-observed latency in milliseconds.
+fn whatif_storm(
+    addr: std::net::SocketAddr,
+    flows: u32,
+    workers: usize,
+    per_worker: u64,
+) -> Vec<f64> {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers as u64 {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut lat = Vec::with_capacity(per_worker as usize);
+                for i in 0..per_worker {
+                    let line = whatif_line(&candidate(flows, w * per_worker + i));
+                    let t = Instant::now();
+                    let resp = client.call(&line);
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    debug_assert!(resp.contains("\"ok\""), "{resp}");
+                }
+                lat
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
+    })
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v
+}
+
+#[derive(Serialize)]
+struct Entry {
+    flows: u32,
+    decisions: u64,
+    identity_checked: u64,
+    identity_ok: bool,
+    /// Quiesced wire latency (the gated measurement).
+    wire_p50_ms: f64,
+    wire_p99_ms: f64,
+    /// Wire latency with admit/release churn committing underneath
+    /// (reported, not gated: includes CPU queueing on small boxes).
+    churned_p99_ms: f64,
+    inproc_p99_ms: f64,
+    p99_ratio: f64,
+    decisions_per_sec: f64,
+    churn_cycles: u64,
+    protocol_errors: i128,
+    overloaded: i128,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    smoke: bool,
+    latency_workers: usize,
+    max_p99_ratio: f64,
+    total_decisions: u64,
+    entries: Vec<Entry>,
+}
+
+fn run_entry(flows: u32, workers: usize, per_worker: u64, churn_target: u64) -> Entry {
+    let set = clustered_instance(flows);
+    let cfg = AnalysisConfig::default();
+    let standing = ConvergedState::build_ef(&set, &cfg).expect("standing set converges");
+
+    let ac = AdmissionController::new(set, cfg.clone());
+    let engine = Arc::new(Engine::start(Some(ac), EngineConfig::default()));
+    let server = TcpServer::bind(engine.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // Phase 1: identity — concurrent wire answers vs sequential
+    // library answers on the quiesced standing set.
+    let identity_checked: u64 = 64 * IDENTITY_WORKERS as u64;
+    let mismatches: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..IDENTITY_WORKERS as u64 {
+            let standing = &standing;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut bad = 0u64;
+                for i in (w * 64)..((w + 1) * 64) {
+                    let cand = candidate(flows, i);
+                    let expected = evaluate_whatif(standing, cand.clone());
+                    let got = decision_from_value(&result_of(&client.call(&whatif_line(&cand))))
+                        .expect("decision parses");
+                    if got != expected {
+                        eprintln!("identity mismatch for candidate {i}: {got:?} != {expected:?}");
+                        bad += 1;
+                    }
+                }
+                bad
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+
+    // Phase 2: churned load — what-if workers with admit/release
+    // cycles committing underneath them.
+    let stop = AtomicBool::new(false);
+    let churn_cycles = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let churned: Vec<f64> = std::thread::scope(|scope| {
+        let churn = scope.spawn(|| {
+            let mut client = Client::connect(addr);
+            while !stop.load(Ordering::Relaxed) {
+                let cycle = churn_cycles.load(Ordering::Relaxed);
+                if cycle >= churn_target {
+                    break;
+                }
+                let mut f = candidate(flows, cycle);
+                f.id = FlowId(200_000 + (cycle as u32 % 10_000));
+                let admit = client.call(&format!(
+                    "{{\"op\":\"admit\",\"flow\":{}}}",
+                    serde_json::to_string(&f).expect("flow serialises")
+                ));
+                if admit.contains("\"decision\":\"admitted\"") {
+                    client.call(&format!("{{\"op\":\"release\",\"flow_id\":{}}}", f.id.0));
+                }
+                churn_cycles.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let lat = whatif_storm(addr, flows, workers, per_worker);
+        stop.store(true, Ordering::Relaxed);
+        churn.join().expect("churn");
+        lat
+    });
+
+    // Phase 3: quiesced load — the latency-gated measurement.
+    let quiesced = sorted(whatif_storm(addr, flows, workers, per_worker));
+    let wall = t0.elapsed().as_secs_f64();
+    let decisions = 2 * per_worker * workers as u64;
+
+    // Phase 4: the in-process baseline, same thread count.
+    let inproc: Vec<f64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers as u64 {
+            let standing = &standing;
+            handles.push(scope.spawn(move || {
+                (0..per_worker.min(2_000))
+                    .map(|i| {
+                        let cand = candidate(flows, w * per_worker + i);
+                        let t = Instant::now();
+                        let _ = evaluate_whatif(standing, cand);
+                        t.elapsed().as_secs_f64() * 1e3
+                    })
+                    .collect::<Vec<f64>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let inproc = sorted(inproc);
+
+    // Daemon-side health counters, then shut the daemon down.
+    let mut client = Client::connect(addr);
+    let metrics = result_of(&client.call("{\"op\":\"metrics\"}"));
+    let entries = metrics.as_map().expect("metrics object");
+    let protocol_errors = field(entries, "protocol_errors")
+        .and_then(Value::as_int)
+        .unwrap_or(-1);
+    let overloaded = field(entries, "overloaded")
+        .and_then(Value::as_int)
+        .unwrap_or(-1);
+    client.call("{\"op\":\"shutdown\"}");
+    server.wait();
+
+    let wire_p99 = percentile(&quiesced, 0.99);
+    let inproc_p99 = percentile(&inproc, 0.99);
+    Entry {
+        flows,
+        decisions,
+        identity_checked,
+        identity_ok: mismatches == 0,
+        wire_p50_ms: percentile(&quiesced, 0.50),
+        wire_p99_ms: wire_p99,
+        churned_p99_ms: percentile(&sorted(churned), 0.99),
+        inproc_p99_ms: inproc_p99,
+        p99_ratio: wire_p99 / inproc_p99.max(1e-9),
+        decisions_per_sec: decisions as f64 / wall.max(1e-9),
+        churn_cycles: churn_cycles.load(Ordering::Relaxed),
+        protocol_errors,
+        overloaded,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    // Full preset: 2 sizes x 2 load phases x workers x per_worker,
+    // sized so the total clears 100k wire decisions at any worker
+    // count.
+    let per_worker: u64 = if smoke {
+        400
+    } else {
+        25_000 / workers as u64 + 1
+    };
+    let churn_target: u64 = if smoke { 50 } else { 500 };
+
+    let entries: Vec<Entry> = FLOW_COUNTS
+        .iter()
+        .map(|&flows| run_entry(flows, workers, per_worker, churn_target))
+        .collect();
+    let total: u64 = entries.iter().map(|e| e.decisions).sum();
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.flows.to_string(),
+                e.decisions.to_string(),
+                format!("{:.3}", e.wire_p50_ms),
+                format!("{:.3}", e.wire_p99_ms),
+                format!("{:.3}", e.churned_p99_ms),
+                format!("{:.3}", e.inproc_p99_ms),
+                format!("{:.2}x", e.p99_ratio),
+                format!("{:.0}", e.decisions_per_sec),
+                e.churn_cycles.to_string(),
+                if e.identity_ok { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "E18 - daemon serving under sustained load ({workers} workers{})",
+                if smoke { ", smoke" } else { "" }
+            ),
+            &[
+                "flows",
+                "decisions",
+                "wire p50",
+                "wire p99",
+                "churned p99",
+                "inproc p99",
+                "ratio",
+                "dec/s",
+                "churn",
+                "identity",
+            ],
+            &rows,
+        )
+    );
+
+    let out = Output {
+        experiment: "serve_perf".to_string(),
+        smoke,
+        latency_workers: workers,
+        max_p99_ratio: MAX_P99_RATIO,
+        total_decisions: total,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({total} wire decisions)");
+
+    for e in &out.entries {
+        assert!(
+            e.identity_ok,
+            "daemon what-ifs diverged from the in-process library at {} flows",
+            e.flows
+        );
+        assert_eq!(
+            e.protocol_errors, 0,
+            "daemon reported protocol errors at {} flows",
+            e.flows
+        );
+        assert!(
+            e.p99_ratio <= MAX_P99_RATIO,
+            "quiesced wire p99 {:.3}ms exceeds {MAX_P99_RATIO}x the in-process p99 {:.3}ms at {} flows",
+            e.wire_p99_ms,
+            e.inproc_p99_ms,
+            e.flows
+        );
+        assert!(
+            e.churn_cycles >= 1,
+            "churn never committed at {} flows",
+            e.flows
+        );
+    }
+    if !smoke {
+        assert!(
+            total >= 100_000,
+            "full preset must drive 100k+ wire decisions, got {total}"
+        );
+    }
+    println!("all serve gates passed");
+}

@@ -29,7 +29,7 @@ fn main() {
         let traj = analyze_all(&set, &AnalysisConfig::default());
         let hol = analyze_holistic(&set, &HolisticConfig::default());
         let nc = analyze_netcalc(&set);
-        let charny = charny_le_boudec_bound(&CharnyParams::from_flow_set(&set));
+        let charny = CharnyParams::from_flow_set(&set).and_then(|p| charny_le_boudec_bound(&p));
 
         let s = |b: Option<i64>| b.map(|v| v.to_string()).unwrap_or("-".into());
         rows.push(vec![

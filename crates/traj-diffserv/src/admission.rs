@@ -124,7 +124,7 @@ pub enum EvictionPolicy {
 }
 
 /// A displaced flow waiting to be re-admitted.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetryEntry {
     /// The flow, exactly as it was admitted.
     pub flow: SporadicFlow,
@@ -233,6 +233,69 @@ pub struct AdmissionMetrics {
     pub batch_peak: u64,
 }
 
+/// Serializable image of an [`AdmissionController`]: the admitted set,
+/// configuration, retry queue, metrics and bookkeeping — everything
+/// *except* the standing converged analysis, which
+/// [`AdmissionController::restore`] rebuilds cold on first use (the
+/// warm ≡ cold bit-identity contract makes the rebuild equivalent to
+/// having serialized it).
+///
+/// Taken by [`AdmissionController::snapshot`]; a daemon persists it
+/// across restarts so displaced flows keep their backoff schedule and
+/// metrics stay monotone over the process boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// The admitted flow set (network + flows).
+    pub flows: FlowSet,
+    /// Analysis configuration in force.
+    pub cfg: AnalysisConfig,
+    /// Eviction policy in force.
+    pub policy: EvictionPolicy,
+    /// Retry backoff schedule in force.
+    pub retry_policy: RetryPolicy,
+    /// Pending retry queue, verbatim (backoffs and due times included).
+    pub retry: Vec<RetryEntry>,
+    /// Decision counters at snapshot time.
+    pub metrics: AdmissionMetrics,
+    /// Admission-order bookkeeping (flow id, sequence number).
+    pub order: Vec<(FlowId, u64)>,
+    /// Next admission sequence number.
+    pub next_seq: u64,
+    /// Monotone clock high-water mark (see [`AdmissionController::clock`]).
+    pub last_tick: u64,
+}
+
+/// Why [`AdmissionController::restore`] rejected a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot's flow set does not validate as a model (duplicate
+    /// ids, broken paths, …) — the file is corrupt or hand-edited.
+    InvalidFlowSet(String),
+    /// The snapshot's bookkeeping violates the controller invariants
+    /// (see [`AdmissionController::check_invariants`]); each violation
+    /// is listed.
+    Inconsistent(Vec<String>),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::InvalidFlowSet(e) => {
+                write!(f, "snapshot flow set does not validate: {e}")
+            }
+            RestoreError::Inconsistent(v) => {
+                write!(
+                    f,
+                    "snapshot violates controller invariants: {}",
+                    v.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Stateful admission controller for a DiffServ domain.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
@@ -250,6 +313,14 @@ pub struct AdmissionController {
     /// lowest ones in set order.
     order: Vec<(FlowId, u64)>,
     next_seq: u64,
+    /// High-water mark of every caller-supplied clock value (`tick`,
+    /// `tick_gated`, `on_fault`). The controller's retry schedule runs
+    /// on this *monotone* clock: a caller clock that steps backwards —
+    /// an NTP correction on a daemon feeding wall-derived ticks — is
+    /// clamped to the mark instead of rescheduling entries into the
+    /// past (premature fire) or leaving entries scheduled far beyond
+    /// the real clock (stranding).
+    last_tick: u64,
 }
 
 impl AdmissionController {
@@ -277,6 +348,7 @@ impl AdmissionController {
             metrics: AdmissionMetrics::default(),
             order,
             next_seq,
+            last_tick: 0,
         }
     }
 
@@ -304,6 +376,51 @@ impl AdmissionController {
     /// Flows displaced by a fault and still waiting for re-admission.
     pub fn retry_queue(&self) -> &[RetryEntry] {
         &self.retry
+    }
+
+    /// The controller's monotone clock: the largest `now` any
+    /// [`Self::tick`], [`Self::tick_gated`] or [`Self::on_fault`] call
+    /// has supplied so far.
+    ///
+    /// # Clock contract
+    ///
+    /// The controller never reads a wall clock; callers drive time by
+    /// passing `now`. The retry schedule, however, is interpreted on
+    /// the *monotone envelope* of those values: a `now` below a
+    /// previously seen one is treated as the previous high-water mark.
+    /// Without the clamp a backwards step has two failure modes, both
+    /// observed under a daemon feeding wall-derived ticks across an NTP
+    /// correction:
+    ///
+    /// * **premature fire** — a failed re-admission at a bogus small
+    ///   `now` reschedules `next_attempt = now + backoff`, so the entry
+    ///   fires long before its backoff really elapsed;
+    /// * **stranding** — entries scheduled off a bogus *large* `now`
+    ///   stay dormant for the difference even after the clock recovers,
+    ///   because nothing re-anchors them.
+    ///
+    /// Clamping keeps `next_attempt` within
+    /// `clock() + effective_cap` at all times (checked by
+    /// [`Self::check_invariants`]), so no entry can be deferred further
+    /// than one full backoff cap past the clock, and no entry fires
+    /// before its scheduled distance on the monotone clock.
+    pub fn clock(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Advances the monotone clock to `now` (or keeps the mark if `now`
+    /// runs backwards) and returns the effective time.
+    fn advance_clock(&mut self, now: u64) -> u64 {
+        if now < self.last_tick && traj_obs::enabled() {
+            traj_obs::counter_add("admission.clock_regressions", 1);
+            traj_obs::emit(
+                traj_obs::Event::new("admission.clock_regression")
+                    .field("now", now)
+                    .field("clock", self.last_tick),
+            );
+        }
+        self.last_tick = self.last_tick.max(now);
+        self.last_tick
     }
 
     /// The current flow set.
@@ -354,6 +471,19 @@ impl AdmissionController {
                     policy.effective_cap()
                 ));
             }
+            // Monotone-clock consequence: every entry is anchored at an
+            // effective time ≤ clock(), so its next attempt can sit at
+            // most one full backoff cap past the clock. A violation
+            // means some path bypassed `advance_clock`.
+            if e.next_attempt > self.last_tick.saturating_add(policy.effective_cap()) {
+                violations.push(format!(
+                    "flow {} next_attempt {} beyond clock {} + cap {}",
+                    e.flow.id,
+                    e.next_attempt,
+                    self.last_tick,
+                    policy.effective_cap()
+                ));
+            }
         }
         let order_ids: std::collections::HashSet<FlowId> =
             self.order.iter().map(|(f, _)| *f).collect();
@@ -384,6 +514,62 @@ impl AdmissionController {
             }
         }
         violations
+    }
+
+    /// Captures a serializable image of the controller (admitted set,
+    /// retry queue, metrics, clock). The standing converged analysis is
+    /// deliberately not part of it — [`Self::restore`] rebuilds it cold,
+    /// which the bit-identity contract guarantees is equivalent.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            flows: self.current.clone(),
+            cfg: self.cfg.clone(),
+            policy: self.policy,
+            retry_policy: self.retry_policy,
+            retry: self.retry.clone(),
+            metrics: self.metrics,
+            order: self.order.clone(),
+            next_seq: self.next_seq,
+            last_tick: self.last_tick,
+        }
+    }
+
+    /// Reconstructs a controller from a [`ControllerSnapshot`],
+    /// re-validating everything a deserializer cannot: the flow set is
+    /// rebuilt through [`FlowSet::new`] (so a corrupt snapshot cannot
+    /// smuggle duplicate ids or broken paths past the model layer) and
+    /// the bookkeeping must pass [`Self::check_invariants`]. The
+    /// converged analysis state is rebuilt lazily on the first what-if.
+    pub fn restore(snap: ControllerSnapshot) -> Result<AdmissionController, RestoreError> {
+        let flows = FlowSet::new(snap.flows.network().clone(), snap.flows.flows().to_vec())
+            .map_err(|e| RestoreError::InvalidFlowSet(format!("{e:?}")))?;
+        let ac = AdmissionController {
+            current: flows,
+            cfg: snap.cfg,
+            state: None,
+            policy: snap.policy,
+            retry_policy: snap.retry_policy,
+            retry: snap.retry,
+            metrics: snap.metrics,
+            order: snap.order,
+            next_seq: snap.next_seq,
+            last_tick: snap.last_tick,
+        };
+        let violations = ac.check_invariants();
+        if !violations.is_empty() {
+            return Err(RestoreError::Inconsistent(violations));
+        }
+        // Sequence numbers must stay ahead of every recorded admission,
+        // or the next admission would reuse an order slot.
+        if let Some(max_seq) = ac.order.iter().map(|&(_, s)| s).max() {
+            if ac.next_seq <= max_seq {
+                return Err(RestoreError::Inconsistent(vec![format!(
+                    "next_seq {} not beyond the largest recorded sequence {}",
+                    ac.next_seq, max_seq
+                )]));
+            }
+        }
+        Ok(ac)
     }
 
     /// Tries to admit `candidate`; on success the controller's state is
@@ -553,6 +739,25 @@ impl AdmissionController {
             .map(|r| (r.flow, r.wcrt.value()))
     }
 
+    /// The decision implied by a what-if report: the first deadline
+    /// miss rejects, a candidate without a verdict is not EF, anything
+    /// else is admitted with the candidate's Property 3 bound. Shared
+    /// by the warm commit path, the cold fallback and the read-only
+    /// [`evaluate_whatif`], so all three decide identically by
+    /// construction.
+    fn decision_for(report: &SetReport, cand_id: FlowId) -> AdmissionDecision {
+        if let Some((victim, wcrt)) = Self::first_miss(report) {
+            return AdmissionDecision::Rejected { victim, wcrt };
+        }
+        match report.for_flow(cand_id).and_then(|r| r.wcrt.value()) {
+            Some(wcrt) => AdmissionDecision::Admitted { wcrt },
+            None => AdmissionDecision::Invalid(format!(
+                "flow {cand_id} is not in the EF class; deterministic admission \
+                 covers EF flows only"
+            )),
+        }
+    }
+
     /// Turns a warm what-if result into a decision, committing the
     /// extended state on admission.
     fn finish_warm(
@@ -577,17 +782,9 @@ impl AdmissionController {
             warm: true,
             closure: Some(whatif.recomputed()),
         };
-        if let Some((victim, wcrt)) = Self::first_miss(&whatif.report) {
-            return (AdmissionDecision::Rejected { victim, wcrt }, meta);
-        }
-        let Some(wcrt) = whatif.report.for_flow(cand_id).and_then(|r| r.wcrt.value()) else {
-            return (
-                AdmissionDecision::Invalid(format!(
-                    "flow {cand_id} is not in the EF class; deterministic admission \
-                     covers EF flows only"
-                )),
-                meta,
-            );
+        let decision = Self::decision_for(&whatif.report, cand_id);
+        let AdmissionDecision::Admitted { wcrt } = decision else {
+            return (decision, meta);
         };
         match whatif.into_state() {
             Some(st) => {
@@ -633,14 +830,9 @@ impl AdmissionController {
             Err(e) => return AdmissionDecision::Invalid(e.to_string()),
         };
         let report = analyze_ef(&tentative, &self.cfg);
-        if let Some((victim, wcrt)) = Self::first_miss(&report) {
-            return AdmissionDecision::Rejected { victim, wcrt };
-        }
-        let Some(wcrt) = report.for_flow(cand_id).and_then(|r| r.wcrt.value()) else {
-            return AdmissionDecision::Invalid(format!(
-                "flow {cand_id} is not in the EF class; deterministic admission \
-                 covers EF flows only"
-            ));
+        let decision = Self::decision_for(&report, cand_id);
+        let AdmissionDecision::Admitted { wcrt } = decision else {
+            return decision;
         };
         self.current = tentative;
         self.order.push((cand_id, self.next_seq));
@@ -725,6 +917,10 @@ impl AdmissionController {
         scenario: &FaultScenario,
         now: u64,
     ) -> Result<FaultResponse, ModelError> {
+        // Same monotone-clock clamp as `tick_gated`: retry entries are
+        // anchored at the effective time, never at a backwards wall
+        // reading (see `clock()`).
+        let now = self.advance_clock(now);
         let degraded = scenario.apply(&self.current)?;
         let mut response = FaultResponse::default();
         let mut set = degraded.surviving_set()?;
@@ -803,6 +999,11 @@ impl AdmissionController {
     /// attempt. Success removes the entry; failure doubles its backoff
     /// (saturating at the configured [`RetryPolicy`] cap). Returns the
     /// decisions taken this tick, in queue order.
+    ///
+    /// `now` is interpreted on the controller's monotone clock (see
+    /// [`Self::clock`]): a value below an earlier tick is clamped, so a
+    /// caller feeding wall-derived times through a clock step cannot
+    /// fire or strand backoff entries.
     pub fn tick(&mut self, now: u64) -> Vec<(FlowId, AdmissionDecision)> {
         self.tick_gated(now, |_| true)
     }
@@ -823,6 +1024,10 @@ impl AdmissionController {
         now: u64,
         admissible: impl Fn(&SporadicFlow) -> bool,
     ) -> Vec<(FlowId, AdmissionDecision)> {
+        // See `clock()` for the monotonicity contract: a backwards
+        // caller clock is clamped to the high-water mark so backoff
+        // entries neither fire early nor strand.
+        let now = self.advance_clock(now);
         let _span = traj_obs::ScopedTimer::new("admission.tick").field("now", now);
         let flows: Vec<SporadicFlow> = self
             .retry
@@ -898,6 +1103,22 @@ impl AdmissionController {
                 EvictionPolicy::LatestAdmittedFirst => (0, seq(f.id)),
             })
             .map(|f| f.id)
+    }
+}
+
+/// Read-only what-if: the decision an [`AdmissionController`] holding
+/// `state` would take for `candidate`, computed without committing
+/// anything. Evaluation runs entirely against `&ConvergedState`, so
+/// many what-ifs can run concurrently on the same snapshot — this is
+/// the serving primitive behind the admission daemon's `whatif`
+/// endpoint, and it decides through the exact code path `try_admit`
+/// uses ([`AdmissionController::decision_for`]), so a concurrent
+/// read is bit-identical to the sequential library answer.
+pub fn evaluate_whatif(state: &ConvergedState, candidate: SporadicFlow) -> AdmissionDecision {
+    let cand_id = candidate.id;
+    match state.extend(candidate) {
+        Err(e) => AdmissionDecision::Invalid(e.to_string()),
+        Ok(whatif) => AdmissionController::decision_for(&whatif.report, cand_id),
     }
 }
 
@@ -1388,8 +1609,11 @@ mod tests {
             "successful admission must purge the retry entry"
         );
         // A later tick has nothing to attempt for flow 2 (no zombie
-        // duplicate-id failures inflating the backoff).
-        assert!(ac.tick(1_000_000).is_empty());
+        // duplicate-id failures inflating the backoff). Probed at 50 —
+        // past the purged entry's original due time — rather than a
+        // huge value, so the monotone clock clamp (see `clock()`) does
+        // not pin the second fault's schedule below.
+        assert!(ac.tick(50).is_empty());
         // A second displacement starts a *fresh* schedule at base.
         ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 100)
             .unwrap();
@@ -1466,5 +1690,110 @@ mod tests {
         assert!(counter("admission.warm_hits") >= 1);
         assert_eq!(counter("admission.batch_size"), 2);
         traj_obs::reset_metrics();
+    }
+
+    #[test]
+    fn clock_is_a_monotone_envelope() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert_eq!(ac.clock(), 0);
+        assert!(ac.tick(100).is_empty());
+        assert_eq!(ac.clock(), 100);
+        // A backwards tick (an NTP step on a daemon feeding wall-derived
+        // times) is clamped to the high-water mark…
+        assert!(ac.tick(40).is_empty());
+        assert_eq!(ac.clock(), 100);
+        // …and a fault at a bogus small `now` anchors its retry entries
+        // on the envelope, not the bogus clock: no premature fire.
+        let base = RetryPolicy::default().base;
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 50)
+            .unwrap();
+        let e = ac
+            .retry_queue()
+            .iter()
+            .find(|e| e.flow.id == FlowId(2))
+            .unwrap();
+        assert_eq!(e.next_attempt, 100 + base);
+        assert!(ac.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn clock_regressions_are_counted() {
+        let _g = traj_obs::test_guard();
+        let ring = std::sync::Arc::new(traj_obs::RingSink::new(16));
+        traj_obs::set_sink(ring.clone());
+        traj_obs::reset_metrics();
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        ac.tick(100);
+        ac.tick(40);
+        let metrics = traj_obs::metrics_snapshot();
+        traj_obs::disable();
+        let events = ring.drain();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "admission.clock_regression"));
+        let regressions = metrics
+            .iter()
+            .find(|(k, _)| k == "admission.clock_regressions")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(regressions, 1);
+        traj_obs::reset_metrics();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_preserves_everything() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        assert!(matches!(
+            ac.try_admit(candidate(10, 360, 200)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 100)
+            .unwrap();
+        assert!(ac.tick(105).is_empty()); // advance the clock mid-backoff
+        let snap = ac.snapshot();
+        let mut restored = AdmissionController::restore(snap).unwrap();
+        assert_eq!(restored.clock(), ac.clock());
+        assert_eq!(restored.metrics(), ac.metrics());
+        assert_eq!(restored.retry_queue(), ac.retry_queue());
+        assert_eq!(restored.policy(), ac.policy());
+        assert_eq!(restored.retry_policy(), ac.retry_policy());
+        let ids =
+            |a: &AdmissionController| a.flows().flows().iter().map(|f| f.id).collect::<Vec<_>>();
+        assert_eq!(ids(&restored), ids(&ac));
+        assert!(restored.check_invariants().is_empty());
+        // The restored controller behaves identically from here on:
+        // drain both retry queues at the entry's due time.
+        let due = ac.retry_queue()[0].next_attempt;
+        assert_eq!(ac.tick(due), restored.tick(due));
+        assert_eq!(restored.metrics(), ac.metrics());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        ac.on_fault(&FaultScenario::node_down(traj_model::NodeId(9)), 0)
+            .unwrap();
+        // A duplicated retry entry.
+        let mut snap = ac.snapshot();
+        let dup = snap.retry[0].clone();
+        snap.retry.push(dup);
+        assert!(matches!(
+            AdmissionController::restore(snap),
+            Err(RestoreError::Inconsistent(_))
+        ));
+        // A sequence counter behind a recorded admission.
+        let mut snap = ac.snapshot();
+        snap.next_seq = 0;
+        assert!(matches!(
+            AdmissionController::restore(snap),
+            Err(RestoreError::Inconsistent(_))
+        ));
+        // An entry stranded beyond the monotone-clock bound.
+        let mut snap = ac.snapshot();
+        snap.retry[0].next_attempt = u64::MAX;
+        assert!(matches!(
+            AdmissionController::restore(snap),
+            Err(RestoreError::Inconsistent(_))
+        ));
     }
 }

@@ -23,8 +23,8 @@ pub mod dscp;
 pub mod router;
 
 pub use admission::{
-    AdmissionController, AdmissionDecision, AdmissionMetrics, EvictionPolicy, FaultResponse,
-    ReleaseOutcome, RetryEntry, RetryPolicy,
+    evaluate_whatif, AdmissionController, AdmissionDecision, AdmissionMetrics, ControllerSnapshot,
+    EvictionPolicy, FaultResponse, ReleaseOutcome, RestoreError, RetryEntry, RetryPolicy,
 };
 pub use af::{af_delay_estimates, AfDelayEstimate};
 pub use conditioner::TokenBucket;

@@ -11,7 +11,7 @@
 //! the trajectory approach.
 
 use serde::{Deserialize, Serialize};
-use traj_model::FlowSet;
+use traj_model::{FlowSet, Network, SporadicFlow};
 
 use crate::rational::Ratio;
 
@@ -29,18 +29,33 @@ pub struct CharnyParams {
 
 impl CharnyParams {
     /// Extracts the parameters from a flow set (unit-rate servers).
-    pub fn from_flow_set(set: &FlowSet) -> CharnyParams {
-        let hops = set
-            .flows()
-            .iter()
-            .map(|f| f.path.len() as i64)
-            .max()
-            .unwrap_or(1);
+    ///
+    /// `None` when the aggregate is empty (see [`Self::from_flows`]); a
+    /// [`FlowSet`] is non-empty by construction, so this returns `Some`
+    /// for any set built through the model API — the `Option` keeps the
+    /// signature honest for callers that filtered the set first.
+    pub fn from_flow_set(set: &FlowSet) -> Option<CharnyParams> {
+        Self::from_flows(set.network(), set.flows())
+    }
+
+    /// Extracts the parameters from an explicit aggregate — typically a
+    /// class-filtered subset (the EF flows of a mixed set).
+    ///
+    /// Returns `None` when `flows` is empty: an empty aggregate has no
+    /// hop count and no packet size, and the previous behaviour —
+    /// falling through `unwrap_or(0)`/`unwrap_or(1)` into a fabricated
+    /// `hops = 1`, `e = lmax` — produced a plausible-looking *finite*
+    /// bound for traffic that does not exist. A long-running admission
+    /// daemon reaches this state routinely (every EF flow released or
+    /// evicted), so the vacuous case must be typed, not invented.
+    pub fn from_flows(network: &Network, flows: &[SporadicFlow]) -> Option<CharnyParams> {
+        let hops = flows.iter().map(|f| f.path.len() as i64).max()?;
+        let max_packet = flows.iter().map(|f| f.max_cost()).max()?;
         // ν = max over nodes of Σ C/T, as an exact rational.
         let mut util = Ratio::ZERO;
-        for &n in set.network().nodes() {
+        for &n in network.nodes() {
             let mut u = Ratio::ZERO;
-            for f in set.flows() {
+            for f in flows {
                 let c = f.cost_at(n);
                 if c > 0 {
                     u = u + Ratio::new(c as i128, f.period as i128);
@@ -48,12 +63,11 @@ impl CharnyParams {
             }
             util = util.max(u);
         }
-        let max_packet = set.flows().iter().map(|f| f.max_cost()).max().unwrap_or(0);
-        CharnyParams {
+        Some(CharnyParams {
             hops,
             utilisation: util,
-            per_hop_latency: Ratio::int(max_packet + set.network().lmax()),
-        }
+            per_hop_latency: Ratio::int(max_packet + network.lmax()),
+        })
     }
 
     /// The utilisation threshold `1/(H−1)` below which the bound exists.
@@ -116,7 +130,7 @@ mod tests {
     #[test]
     fn paper_example_parameters() {
         let set = paper_example();
-        let p = CharnyParams::from_flow_set(&set);
+        let p = CharnyParams::from_flow_set(&set).unwrap();
         assert_eq!(p.hops, 6);
         // busiest node (3) carries 4 flows of 4/36 each.
         assert_eq!(p.utilisation, Ratio::new(4, 9));
@@ -134,7 +148,7 @@ mod tests {
         // A lightly-loaded shared line where the Charny bound exists:
         // H = 3, ν = 2·4/100 = 2/25 < 1/2.
         let set = line_topology(2, 3, 100, 4, 1, 1).unwrap();
-        let p = CharnyParams::from_flow_set(&set);
+        let p = CharnyParams::from_flow_set(&set).unwrap();
         assert!(p.utilisation < p.threshold().unwrap());
         let charny = charny_le_boudec_bound(&p).unwrap();
         let tr = traj_analysis::analyze_all(&set, &traj_analysis::AnalysisConfig::default());
@@ -146,8 +160,46 @@ mod tests {
     #[test]
     fn single_hop_degenerates_gracefully() {
         let set = line_topology(2, 1, 10, 3, 1, 1).unwrap();
-        let p = CharnyParams::from_flow_set(&set);
+        let p = CharnyParams::from_flow_set(&set).unwrap();
         assert_eq!(p.hops, 1);
         assert!(charny_le_boudec_bound(&p).is_some());
+    }
+
+    #[test]
+    fn empty_aggregate_is_vacuous_not_a_fabricated_bound() {
+        // Regression: the seed code fell through `unwrap_or(0)` /
+        // `unwrap_or(1)` on an empty aggregate, manufacturing
+        // `hops = 1`, `ν = 0`, `e = lmax` — and `charny_le_boudec_bound`
+        // then happily returned the *finite* bound `lmax` for traffic
+        // that does not exist. The aggregate must be typed as vacuous.
+        let set = paper_example();
+        assert_eq!(CharnyParams::from_flows(set.network(), &[]), None);
+
+        // A class-filtered aggregate with no EF members is the way a
+        // serving path actually reaches this: every flow below is
+        // best-effort, so the EF screening aggregate is empty.
+        let be_only: Vec<_> = set
+            .flows()
+            .iter()
+            .map(|f| {
+                f.clone()
+                    .with_class(traj_model::flow::TrafficClass::BestEffort)
+            })
+            .collect();
+        let ef_only: Vec<_> = be_only
+            .iter()
+            .filter(|f| f.class.is_ef())
+            .cloned()
+            .collect();
+        assert_eq!(CharnyParams::from_flows(set.network(), &ef_only), None);
+
+        // Sanity: the old fabricated answer would have been `lmax = 1`
+        // for the paper network — a finite bound out of thin air.
+        let fabricated = CharnyParams {
+            hops: 1,
+            utilisation: Ratio::ZERO,
+            per_hop_latency: Ratio::int(set.network().lmax()),
+        };
+        assert!(charny_le_boudec_bound(&fabricated).is_some());
     }
 }

@@ -1,0 +1,151 @@
+//! The admission daemon binary.
+//!
+//! ```text
+//! traj-serve --listen 127.0.0.1:7171 --snapshot state.json --autosave 64
+//! traj-serve --stdio                 # serve the line protocol on stdin/stdout
+//! ```
+//!
+//! With `--snapshot`, an existing snapshot file is restored on start
+//! (verified: controller invariants plus converged-verdict cross-check)
+//! and written back on `save`, autosave and `shutdown`. Without a
+//! restored snapshot the daemon starts empty and waits for an `init`
+//! request.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use traj_analysis::AnalysisConfig;
+use traj_serve::engine::{Engine, EngineConfig};
+use traj_serve::persist;
+use traj_serve::server::{serve_connection, TcpServer};
+
+struct Args {
+    listen: Option<String>,
+    stdio: bool,
+    snapshot: Option<std::path::PathBuf>,
+    autosave: u64,
+    queue_depth: usize,
+}
+
+const USAGE: &str = "usage: traj-serve [--listen ADDR | --stdio] [--snapshot PATH] \
+[--autosave N] [--queue-depth N]\n\
+  --listen ADDR    serve the line protocol on a TCP address (e.g. 127.0.0.1:7171)\n\
+  --stdio          serve the line protocol on stdin/stdout\n\
+  --snapshot PATH  restore from PATH if it exists; save there on save/shutdown\n\
+  --autosave N     additionally save after every N commits (default 0 = off)\n\
+  --queue-depth N  bounded write queue depth before `overloaded` (default 64)";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        listen: None,
+        stdio: false,
+        snapshot: None,
+        autosave: 0,
+        queue_depth: 64,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--stdio" => args.stdio = true,
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?.into()),
+            "--autosave" => {
+                args.autosave = value("--autosave")?
+                    .parse()
+                    .map_err(|e| format!("--autosave: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if args.stdio == args.listen.is_some() {
+        return Err(format!(
+            "exactly one of --listen or --stdio is required\n{USAGE}"
+        ));
+    }
+    if args.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let initial = match args.snapshot.as_ref() {
+        Some(path) if path.exists() => match persist::load(path).and_then(|s| s.restore()) {
+            Ok(ac) => {
+                eprintln!(
+                    "traj-serve: restored {} flows (clock {}) from {}",
+                    ac.flows().len(),
+                    ac.clock(),
+                    path.display()
+                );
+                Some(ac)
+            }
+            Err(e) => {
+                // A snapshot that fails verification must never be
+                // silently ignored: the operator decides.
+                eprintln!("traj-serve: refusing to start: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
+
+    let engine = Arc::new(Engine::start(
+        initial,
+        EngineConfig {
+            queue_depth: args.queue_depth,
+            snapshot_path: args.snapshot.clone(),
+            autosave_every: args.autosave,
+            analysis: AnalysisConfig::default(),
+        },
+    ));
+
+    if args.stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let result = serve_connection(&engine, stdin.lock(), stdout.lock());
+        // EOF on stdin ends the session; persist if configured.
+        engine.dispatch_line("{\"op\":\"shutdown\"}");
+        engine.join();
+        return match result {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("traj-serve: stdio transport failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+    match TcpServer::bind(engine, listen) {
+        Ok(server) => {
+            println!("traj-serve: listening on {}", server.addr());
+            server.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("traj-serve: cannot bind {listen}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `traj-serve`: the admission daemon.
+//!
+//! Serves warm Property-3 admission decisions over a newline-delimited
+//! JSON line protocol (TCP or stdio), wrapping
+//! [`traj_diffserv::AdmissionController`] in a long-running process:
+//!
+//! * [`protocol`] — the wire format: requests, responses, typed errors;
+//! * [`engine`] — single-writer/many-reader core: mutations serialise
+//!   through a bounded queue into one writer thread, what-ifs and
+//!   reports read an immutable published snapshot concurrently;
+//! * [`server`] — the transports: a generic `BufRead`/`Write` loop and
+//!   a thread-per-connection TCP acceptor;
+//! * [`persist`] — atomic snapshot save/load with verified restore
+//!   (controller invariants + converged-verdict cross-check), so a
+//!   restarted daemon provably hands out the same guarantees.
+
+pub mod engine;
+pub mod persist;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, ENDPOINTS};
+pub use persist::{load, save_atomic, DaemonSnapshot, PersistError, SNAPSHOT_VERSION};
+pub use protocol::{
+    decision_from_value, decision_to_value, parse_request, Envelope, ErrorKind, Request, Response,
+    WireError, PROTOCOL_VERSION,
+};
+pub use server::{serve_connection, TcpServer};

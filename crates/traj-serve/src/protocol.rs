@@ -1,0 +1,408 @@
+//! The newline-delimited JSON line protocol.
+//!
+//! One request per line, one response per line, strictly in order per
+//! connection. Requests are JSON objects with an optional numeric `id`
+//! (echoed back verbatim so clients can pipeline) and an `op` selector:
+//!
+//! ```text
+//! → {"id":1,"op":"ping"}
+//! ← {"id":1,"ok":true,"result":{"pong":true,"version":1}}
+//! → {"id":2,"op":"admit","flow":{...}}
+//! ← {"id":2,"ok":true,"result":{"decision":"admitted","wcrt":57}}
+//! → {"id":3,"op":"whatif","flow":{...}}
+//! ← {"id":3,"ok":false,"error":{"kind":"overloaded","message":"..."}}
+//! ```
+//!
+//! Flow, network and fault-scenario payloads use the model crate's
+//! serde representation verbatim — the daemon and its clients share the
+//! same vendored data model, so the wire format is the serialization of
+//! the source of truth rather than a hand-maintained mirror. Decisions
+//! and outcomes are mapped to a flat, stable wire shape (see
+//! [`decision_to_value`]) so clients do not depend on Rust enum
+//! encoding details.
+//!
+//! Error kinds are closed: `protocol` (unparseable request — the
+//! connection stays open), `overloaded` (the bounded write queue is
+//! full, retry later; the typed backpressure signal), `unavailable`
+//! (no flow set installed yet, or the standing analysis is unbounded)
+//! and `engine` (the operation ran and failed: invalid snapshot,
+//! rejected fault, I/O).
+
+use serde::value::field;
+use serde::Value;
+use traj_diffserv::AdmissionDecision;
+use traj_model::{FaultScenario, FlowId, Network, SporadicFlow};
+
+/// Wire protocol version, reported by `ping`.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness + version probe.
+    Ping,
+    /// Installs a fresh flow set (replacing any current one). The
+    /// operator bootstrap: a daemon started without a snapshot has no
+    /// state, and a [`traj_model::FlowSet`] cannot be empty, so the
+    /// first admitted set arrives whole.
+    Init {
+        /// The topology.
+        network: Network,
+        /// The initial (already guaranteed) flows.
+        flows: Vec<SporadicFlow>,
+    },
+    /// Admit a flow (commits on success).
+    Admit {
+        /// The candidate.
+        flow: SporadicFlow,
+    },
+    /// Evaluate a flow without committing — served read-only from the
+    /// published converged snapshot, concurrently with other reads.
+    WhatIf {
+        /// The candidate.
+        flow: SporadicFlow,
+    },
+    /// Release an admitted flow.
+    Release {
+        /// The flow to release.
+        flow_id: FlowId,
+    },
+    /// Per-flow verdicts of the standing set plus the Charny–Le Boudec
+    /// EF screening bound.
+    Report,
+    /// Serve + admission metrics.
+    Metrics,
+    /// Drive the retry clock (see `AdmissionController::clock`).
+    Tick {
+        /// Caller clock (monotone envelope applies).
+        now: u64,
+    },
+    /// Apply a fault scenario to the admitted set.
+    Fault {
+        /// The scenario.
+        scenario: FaultScenario,
+        /// Caller clock for the displaced flows' retry schedule.
+        now: u64,
+    },
+    /// Persist a snapshot to the configured path.
+    Save,
+    /// Save (when configured) and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// The endpoint name used in metrics and latency histograms.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Init { .. } => "init",
+            Request::Admit { .. } => "admit",
+            Request::WhatIf { .. } => "whatif",
+            Request::Release { .. } => "release",
+            Request::Report => "report",
+            Request::Metrics => "metrics",
+            Request::Tick { .. } => "tick",
+            Request::Fault { .. } => "fault",
+            Request::Save => "save",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request with its client-chosen correlation id.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Echoed back in the response, when the client sent one.
+    pub id: Option<i128>,
+    /// The operation.
+    pub req: Request,
+}
+
+/// Closed set of error kinds a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line did not parse; the connection stays open.
+    Protocol,
+    /// The bounded write queue is full — the typed backpressure
+    /// rejection. The request was NOT executed; retry later.
+    Overloaded,
+    /// No flow set is installed (or the standing analysis is
+    /// unbounded): reads cannot be served yet.
+    Unavailable,
+    /// The operation ran and failed (invalid snapshot, rejected fault,
+    /// I/O error, daemon stopping).
+    Engine,
+}
+
+impl ErrorKind {
+    /// The wire tag.
+    pub fn wire(&self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Engine => "engine",
+        }
+    }
+}
+
+/// A typed failure, rendered into the response's `error` object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// A response line: `{"id":N,"ok":true,"result":...}` or
+/// `{"id":N,"ok":false,"error":{"kind":...,"message":...}}`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's correlation id, echoed.
+    pub id: Option<i128>,
+    /// Result payload or typed error.
+    pub body: Result<Value, WireError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: Option<i128>, result: Value) -> Self {
+        Response {
+            id,
+            body: Ok(result),
+        }
+    }
+
+    /// A failure response.
+    pub fn err(id: Option<i128>, kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            body: Err(WireError::new(kind, message)),
+        }
+    }
+
+    /// Renders the single-line JSON wire form (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(3);
+        if let Some(id) = self.id {
+            entries.push(("id".into(), Value::Int(id)));
+        }
+        match &self.body {
+            Ok(result) => {
+                entries.push(("ok".into(), Value::Bool(true)));
+                entries.push(("result".into(), result.clone()));
+            }
+            Err(e) => {
+                entries.push(("ok".into(), Value::Bool(false)));
+                entries.push((
+                    "error".into(),
+                    obj(vec![
+                        ("kind", Value::Str(e.kind.wire().into())),
+                        ("message", Value::Str(e.message.clone())),
+                    ]),
+                ));
+            }
+        }
+        // A `Value` always renders (the writer is infallible); fall
+        // back to a hand-built error line if the shim ever changes.
+        serde_json::to_string(&Value::Map(entries))
+            .unwrap_or_else(|_| "{\"ok\":false,\"error\":{\"kind\":\"engine\",\"message\":\"response serialization failed\"}}".into())
+    }
+}
+
+/// Builds a JSON object from `(&str, Value)` pairs.
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn want<T: serde::Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, String> {
+    let v = field(entries, name).ok_or_else(|| format!("missing field `{name}`"))?;
+    T::from_value(v).map_err(|e| format!("field `{name}`: {}", e.message()))
+}
+
+/// Parses one request line. `Err` carries the protocol-error message
+/// (and the id when one could be extracted, so the error response still
+/// correlates).
+pub fn parse_request(line: &str) -> Result<Envelope, (Option<i128>, String)> {
+    let v: Value = serde_json::from_str(line).map_err(|e| (None, e.to_string()))?;
+    let entries = v
+        .as_map()
+        .ok_or((None, "request must be a JSON object".to_string()))?;
+    let id = field(entries, "id").and_then(Value::as_int);
+    let op = field(entries, "op")
+        .and_then(Value::as_str)
+        .ok_or((id, "missing string field `op`".to_string()))?;
+    let req = match op {
+        "ping" => Request::Ping,
+        "init" => Request::Init {
+            network: want(entries, "network").map_err(|e| (id, e))?,
+            flows: want(entries, "flows").map_err(|e| (id, e))?,
+        },
+        "admit" => Request::Admit {
+            flow: want(entries, "flow").map_err(|e| (id, e))?,
+        },
+        "whatif" => Request::WhatIf {
+            flow: want(entries, "flow").map_err(|e| (id, e))?,
+        },
+        "release" => Request::Release {
+            flow_id: FlowId(want::<u32>(entries, "flow_id").map_err(|e| (id, e))?),
+        },
+        "report" => Request::Report,
+        "metrics" => Request::Metrics,
+        "tick" => Request::Tick {
+            now: want(entries, "now").map_err(|e| (id, e))?,
+        },
+        "fault" => Request::Fault {
+            scenario: want(entries, "scenario").map_err(|e| (id, e))?,
+            now: want(entries, "now").map_err(|e| (id, e))?,
+        },
+        "save" => Request::Save,
+        "shutdown" => Request::Shutdown,
+        other => return Err((id, format!("unknown op `{other}`"))),
+    };
+    Ok(Envelope { id, req })
+}
+
+/// Maps a decision to its flat wire shape:
+/// `{"decision":"admitted","wcrt":N}`,
+/// `{"decision":"rejected","victim":id,"wcrt":N|null}` or
+/// `{"decision":"invalid","message":"..."}`.
+pub fn decision_to_value(d: &AdmissionDecision) -> Value {
+    match d {
+        AdmissionDecision::Admitted { wcrt } => obj(vec![
+            ("decision", Value::Str("admitted".into())),
+            ("wcrt", Value::Int(*wcrt as i128)),
+        ]),
+        AdmissionDecision::Rejected { victim, wcrt } => obj(vec![
+            ("decision", Value::Str("rejected".into())),
+            ("victim", Value::Int(victim.0 as i128)),
+            (
+                "wcrt",
+                wcrt.map(|w| Value::Int(w as i128)).unwrap_or(Value::Null),
+            ),
+        ]),
+        AdmissionDecision::Invalid(msg) => obj(vec![
+            ("decision", Value::Str("invalid".into())),
+            ("message", Value::Str(msg.clone())),
+        ]),
+    }
+}
+
+/// Parses the wire shape back into a decision (the sustained-load
+/// client uses this to compare daemon answers against the in-process
+/// library, integer for integer).
+pub fn decision_from_value(v: &Value) -> Result<AdmissionDecision, String> {
+    let entries = v.as_map().ok_or("decision must be an object")?;
+    let tag = field(entries, "decision")
+        .and_then(Value::as_str)
+        .ok_or("missing `decision` tag")?;
+    match tag {
+        "admitted" => {
+            let wcrt = field(entries, "wcrt")
+                .and_then(Value::as_int)
+                .ok_or("admitted decision without wcrt")?;
+            Ok(AdmissionDecision::Admitted { wcrt: wcrt as i64 })
+        }
+        "rejected" => {
+            let victim = field(entries, "victim")
+                .and_then(Value::as_int)
+                .ok_or("rejected decision without victim")?;
+            let wcrt = match field(entries, "wcrt") {
+                Some(Value::Null) | None => None,
+                Some(other) => other.as_int().map(|w| w as i64),
+            };
+            Ok(AdmissionDecision::Rejected {
+                victim: FlowId(victim as u32),
+                wcrt,
+            })
+        }
+        "invalid" => {
+            let msg = field(entries, "message")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
+            Ok(AdmissionDecision::Invalid(msg.to_string()))
+        }
+        other => Err(format!("unknown decision tag `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn request_lines_parse_and_correlate() {
+        let env = parse_request("{\"id\":7,\"op\":\"ping\"}").unwrap();
+        assert_eq!(env.id, Some(7));
+        assert!(matches!(env.req, Request::Ping));
+
+        let env = parse_request("{\"op\":\"tick\",\"now\":42}").unwrap();
+        assert_eq!(env.id, None);
+        assert!(matches!(env.req, Request::Tick { now: 42 }));
+
+        // Model payloads round-trip through their serde representation.
+        let set = paper_example();
+        let flow = serde_json::to_string(&set.flows()[0]).unwrap();
+        let env = parse_request(&format!("{{\"id\":1,\"op\":\"admit\",\"flow\":{flow}}}")).unwrap();
+        match env.req {
+            Request::Admit { flow } => assert_eq!(flow.id, set.flows()[0].id),
+            other => panic!("expected admit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_errors_keep_the_id_when_extractable() {
+        let (id, msg) = parse_request("{\"id\":3,\"op\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(id, Some(3));
+        assert!(msg.contains("frobnicate"));
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, None);
+        let (id, msg) = parse_request("{\"id\":9,\"op\":\"admit\"}").unwrap_err();
+        assert_eq!(id, Some(9));
+        assert!(msg.contains("flow"));
+    }
+
+    #[test]
+    fn responses_render_single_lines() {
+        let ok = Response::ok(Some(5), obj(vec![("pong", Value::Bool(true))]));
+        let line = ok.to_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"id\":5"));
+        assert!(line.contains("\"ok\":true"));
+        let err = Response::err(None, ErrorKind::Overloaded, "queue full");
+        let line = err.to_line();
+        assert!(line.contains("\"kind\":\"overloaded\""));
+        assert!(line.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn decisions_round_trip_the_wire_shape() {
+        for d in [
+            AdmissionDecision::Admitted { wcrt: 57 },
+            AdmissionDecision::Rejected {
+                victim: FlowId(3),
+                wcrt: Some(201),
+            },
+            AdmissionDecision::Rejected {
+                victim: FlowId(4),
+                wcrt: None,
+            },
+            AdmissionDecision::Invalid("duplicate id".into()),
+        ] {
+            let v = decision_to_value(&d);
+            assert_eq!(decision_from_value(&v).unwrap(), d);
+        }
+    }
+}

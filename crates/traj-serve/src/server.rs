@@ -1,0 +1,158 @@
+//! Connection handling: one request line in, one response line out.
+//!
+//! [`serve_connection`] is generic over `BufRead`/`Write` so the same
+//! loop serves a TCP socket, the stdio mode (`traj-serve --stdio`), and
+//! in-memory test transports. [`TcpServer`] wraps it in a
+//! thread-per-connection accept loop with `TCP_NODELAY` (the protocol
+//! is one small line per decision; Nagle would serialise the daemon's
+//! p99 behind 40 ms ACK delays).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::engine::Engine;
+
+/// Serves one connection until EOF, a fatal write error, or daemon
+/// shutdown. Returns the number of requests served.
+pub fn serve_connection<R: BufRead, W: Write>(
+    engine: &Engine,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<u64> {
+    let mut served = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = engine.dispatch_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        served += 1;
+        if engine.is_stopping() {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+/// A listening daemon: accept loop + thread per connection.
+pub struct TcpServer {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — [`Self::addr`]
+    /// reports the bound one) and starts accepting.
+    pub fn bind(engine: Arc<Engine>, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let eng = engine.clone();
+        let accept = std::thread::spawn(move || accept_loop(listener, eng));
+        Ok(TcpServer {
+            engine,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon has shut down (a client sent `shutdown`)
+    /// and the accept loop has exited.
+    pub fn wait(mut self) {
+        self.engine.join();
+        // The acceptor blocks in `accept`; poke it so it observes the
+        // stop flag and exits.
+        if let Ok(poke) = TcpStream::connect(self.addr) {
+            drop(poke);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if engine.is_stopping() {
+            break;
+        }
+        let _ = stream.set_nodelay(true);
+        let eng = engine.clone();
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => BufReader::new(r),
+                Err(_) => return,
+            };
+            let _ = serve_connection(&eng, reader, stream);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::BufRead;
+    use traj_analysis::AnalysisConfig;
+    use traj_diffserv::AdmissionController;
+    use traj_model::examples::paper_example;
+
+    fn start_tcp() -> (Arc<Engine>, TcpServer) {
+        let ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let engine = Arc::new(Engine::start(Some(ac), EngineConfig::default()));
+        let server = TcpServer::bind(engine.clone(), "127.0.0.1:0").unwrap();
+        (engine, server)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        out.trim_end().to_string()
+    }
+
+    #[test]
+    fn stdio_style_transport_serves_lines() {
+        let ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let engine = Engine::start(Some(ac), EngineConfig::default());
+        let input = "{\"id\":1,\"op\":\"ping\"}\n\n{\"id\":2,\"op\":\"report\"}\n";
+        let mut out: Vec<u8> = Vec::new();
+        let served = serve_connection(&engine, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(served, 2, "blank lines are skipped");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"pong\":true"));
+        assert!(lines[1].contains("\"all_schedulable\":true"));
+        engine.dispatch_line("{\"op\":\"shutdown\"}");
+        engine.join();
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let (_engine, server) = start_tcp();
+        let addr = server.addr();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        assert!(roundtrip(&mut a, "{\"id\":1,\"op\":\"ping\"}").contains("\"pong\":true"));
+        assert!(roundtrip(&mut b, "{\"id\":1,\"op\":\"metrics\"}").contains("\"ok\":true"));
+        let bye = roundtrip(&mut a, "{\"id\":2,\"op\":\"shutdown\"}");
+        assert!(bye.contains("\"stopping\":true"), "{bye}");
+        server.wait();
+    }
+}

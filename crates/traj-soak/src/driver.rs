@@ -28,7 +28,7 @@
 //!   gated retry drain.
 //! * **audits** — see [`crate::audit`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -181,8 +181,12 @@ pub fn run_scenario(scenario: &SoakScenario) -> Result<SoakReport, String> {
     let mut cand_rng = StdRng::seed_from_u64(scenario.seed.wrapping_add(1));
     let mut active_faults: Vec<Fault> = Vec::new();
     let mut repair_plans: HashMap<u32, RepairSchedule> = HashMap::new();
-    // Rerouted flows and the original they should return to.
-    let mut detours: HashMap<FlowId, SporadicFlow> = HashMap::new();
+    // Rerouted flows and the original they should return to. Ordered:
+    // restoration walks this map, and each release + re-admit below
+    // mutates the controller, so the walk order is observable — a
+    // hash map's per-instance random order here made two same-seed
+    // runs admit different flows (caught by the determinism test).
+    let mut detours: BTreeMap<FlowId, SporadicFlow> = BTreeMap::new();
 
     let events = schedule(scenario);
     let total_events = events.len() as u64;

@@ -7,7 +7,7 @@
 # `.unwrap()`, `.expect(` and `panic!`. Any hit fails the gate.
 set -u
 fail=0
-for crate in traj-model traj-analysis traj-diffserv traj-holistic traj-obs traj-netcalc traj-soak; do
+for crate in traj-model traj-analysis traj-diffserv traj-holistic traj-obs traj-netcalc traj-soak traj-serve; do
     for f in $(find "crates/$crate/src" -name '*.rs' | sort); do
         cut=$(grep -n '^#\[cfg(test)\]' "$f" | head -1 | cut -d: -f1)
         if [ -n "$cut" ]; then

@@ -19,7 +19,10 @@
 //! * [`diffserv`] — DiffServ classes, traffic conditioning and EF
 //!   admission control;
 //! * [`soak`] — churn + fault-storm soak engine with continuous
-//!   bit-identity auditing.
+//!   bit-identity auditing;
+//! * [`serve`] — the admission daemon: warm Property-3 decisions over a
+//!   newline-delimited JSON line protocol, with verified snapshot
+//!   restore across restarts.
 //!
 //! ## Quickstart
 //!
@@ -40,5 +43,6 @@ pub use traj_diffserv as diffserv;
 pub use traj_holistic as holistic;
 pub use traj_model as model;
 pub use traj_netcalc as netcalc;
+pub use traj_serve as serve;
 pub use traj_sim as sim;
 pub use traj_soak as soak;
