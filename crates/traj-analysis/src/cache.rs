@@ -188,6 +188,42 @@ struct SegMeta {
     direction: CrossDirection,
 }
 
+/// Per-owner-path-node view of one crosser (see [`FullCrosser`]): the
+/// former six parallel `by_idx` vectors fused into one record so a
+/// crosser resolution is a single allocation — the per-pair allocation
+/// count dominated dense-set cache builds.
+#[derive(Clone, Copy)]
+struct NodeView {
+    /// Crosser's cost at this owner-path node (0 where it does not
+    /// visit — the value `cost_at` reports there, which
+    /// `ZeroConvention` needs).
+    cost: Duration,
+    /// Crosser's own successor of this shared node
+    /// (`EdgeTraversing`'s criterion).
+    suc: Option<NodeId>,
+    /// Position of this shared node in the *crosser's* path (its `Smin`
+    /// and `Smax` reads).
+    jpos: Option<usize>,
+    /// Direction of the full-path segment covering this node, if any.
+    dir: Option<CrossDirection>,
+    /// `lo` of the covering segment (valid where `dir` is `Some`).
+    lo: usize,
+    /// Max crosser cost over `[lo..=idx]` of the covering segment — the
+    /// clipped piece's `C^{slow}` by one lookup.
+    cum_cost: Duration,
+}
+
+impl NodeView {
+    const EMPTY: NodeView = NodeView {
+        cost: 0,
+        suc: None,
+        jpos: None,
+        dir: None,
+        lo: 0,
+        cum_cost: 0,
+    };
+}
+
 /// One universe flow crossing a flow's *full* path, resolved once per
 /// flow pair into per-path-index arrays so the per-prefix clipping in
 /// [`InterferenceCache::build_prefix`] never allocates or rescans a
@@ -201,23 +237,8 @@ struct FullCrosser<'s> {
     /// Owner-path indices of all shared nodes in the *crosser's*
     /// visiting order (`ZeroConvention`'s whole-path direction test).
     pis_crosser_order: Vec<usize>,
-    /// Crosser's cost at each owner-path node (0 where it does not visit
-    /// — the value `cost_at` reports there, which `ZeroConvention`
-    /// needs).
-    cost_by_idx: Vec<Duration>,
-    /// Crosser's own successor of each shared node
-    /// (`EdgeTraversing`'s criterion).
-    suc_by_idx: Vec<Option<NodeId>>,
-    /// Position of each shared node in the *crosser's* path (its `Smin`
-    /// and `Smax` reads).
-    jpos_by_idx: Vec<Option<usize>>,
-    /// Direction of the full-path segment covering each node, if any.
-    dir_full: Vec<Option<CrossDirection>>,
-    /// `lo` of the covering segment (valid where `dir_full` is `Some`).
-    lo_by_idx: Vec<usize>,
-    /// `cum_cost[idx]` = max crosser cost over `[lo..=idx]` of the
-    /// covering segment — the clipped piece's `C^{slow}` by one lookup.
-    cum_cost: Vec<Duration>,
+    /// One [`NodeView`] per owner-path index.
+    by_idx: Vec<NodeView>,
 }
 
 /// Per-owner-flow quantities that are the same for every prefix length.
@@ -313,14 +334,41 @@ impl InterferenceCache {
         let fi = &set.flows()[flow_idx];
         let full = Self::resolve_crossers(set, fi, universe, node_index);
         let hoist = Self::hoist(set, cfg, fi, &full);
+        // Each prefix's converged busy period seeds the next one's
+        // Lemma-3 iteration (see `busy_period_of_pairs_seeded` for the
+        // monotonicity argument); overloaded or overflowed prefixes
+        // reset the chain.
+        let mut prev_busy: Option<Duration> = None;
         (1..=fi.path.len())
-            .map(|k| Self::build_prefix(set, cfg, delta, flow_idx, k, &full, smin, &hoist))
+            .map(|k| {
+                let sk = Self::build_prefix(
+                    set, cfg, delta, flow_idx, k, &full, smin, &hoist, prev_busy,
+                );
+                prev_busy = match sk.busy {
+                    Ok(Some(b)) => Some(b),
+                    _ => None,
+                };
+                sk
+            })
             .collect()
     }
 
     /// The skeleton of `flow_idx`'s prefix of length `k`.
     pub(crate) fn prefix(&self, flow_idx: usize, k: usize) -> &PrefixSkeleton {
         &self.prefixes[flow_idx][k - 1]
+    }
+
+    /// Estimated per-round evaluation cost of the row: total skeleton
+    /// windows across its iterated prefixes (positions `1..len`), plus
+    /// one per cell for the self term and sweep overhead. The sharded
+    /// solver schedules components largest-estimate-first so a dominant
+    /// component no longer serialises the tail behind it.
+    pub(crate) fn row_cost_estimate(&self, flow_idx: usize) -> usize {
+        let row = &self.prefixes[flow_idx];
+        row[..row.len() - 1]
+            .iter()
+            .map(|sk| sk.windows.len() + 1)
+            .sum()
     }
 
     /// Rebuilds only the rows flagged in `stale`, cloning the rest from
@@ -549,12 +597,7 @@ impl InterferenceCache {
                 }
                 let mut segs = Vec::with_capacity(segments.len());
                 let mut pis_crosser_order = Vec::new();
-                let mut cost_by_idx = vec![0; path_len];
-                let mut suc_by_idx = vec![None; path_len];
-                let mut jpos_by_idx = vec![None; path_len];
-                let mut dir_full = vec![None; path_len];
-                let mut lo_by_idx = vec![0usize; path_len];
-                let mut cum_cost = vec![0; path_len];
+                let mut by_idx = vec![NodeView::EMPTY; path_len];
                 for s in segments.iter() {
                     let (mut lo, mut hi) = (usize::MAX, 0);
                     for &n in &s.nodes {
@@ -562,19 +605,19 @@ impl InterferenceCache {
                         else {
                             continue; // segment nodes lie on both paths
                         };
-                        cost_by_idx[pi] = fj.costs()[jpos];
-                        suc_by_idx[pi] = fj.path.nodes().get(jpos + 1).copied();
-                        jpos_by_idx[pi] = Some(jpos);
-                        dir_full[pi] = Some(s.direction);
+                        by_idx[pi].cost = fj.costs()[jpos];
+                        by_idx[pi].suc = fj.path.nodes().get(jpos + 1).copied();
+                        by_idx[pi].jpos = Some(jpos);
+                        by_idx[pi].dir = Some(s.direction);
                         pis_crosser_order.push(pi);
                         lo = lo.min(pi);
                         hi = hi.max(pi);
                     }
                     let mut cum = 0;
-                    for pi in lo..=hi {
-                        cum = cum.max(cost_by_idx[pi]);
-                        cum_cost[pi] = cum;
-                        lo_by_idx[pi] = lo;
+                    for view in &mut by_idx[lo..=hi] {
+                        cum = cum.max(view.cost);
+                        view.cum_cost = cum;
+                        view.lo = lo;
                     }
                     segs.push(SegMeta {
                         lo,
@@ -587,12 +630,7 @@ impl InterferenceCache {
                     flow: fj,
                     segs,
                     pis_crosser_order,
-                    cost_by_idx,
-                    suc_by_idx,
-                    jpos_by_idx,
-                    dir_full,
-                    lo_by_idx,
-                    cum_cost,
+                    by_idx,
                 })
             })
             .collect()
@@ -629,10 +667,10 @@ impl InterferenceCache {
                 let min_cost = full
                     .iter()
                     .filter(|fc| {
-                        fc.dir_full[idx] == Some(CrossDirection::Same)
-                            && (!edge || fc.suc_by_idx[idx] == Some(next))
+                        fc.by_idx[idx].dir == Some(CrossDirection::Same)
+                            && (!edge || fc.by_idx[idx].suc == Some(next))
                     })
-                    .map(|fc| fc.cost_by_idx[idx])
+                    .map(|fc| fc.by_idx[idx].cost)
                     .min()
                     .unwrap_or(0);
                 acc += min_cost + hop_lmin[idx];
@@ -644,8 +682,8 @@ impl InterferenceCache {
         for (idx, nm) in node_max_full.iter_mut().enumerate() {
             *nm = full
                 .iter()
-                .filter(|fc| fc.dir_full[idx] == Some(CrossDirection::Same))
-                .map(|fc| fc.cost_by_idx[idx])
+                .filter(|fc| fc.by_idx[idx].dir == Some(CrossDirection::Same))
+                .map(|fc| fc.by_idx[idx].cost)
                 .max()
                 .unwrap_or(0);
         }
@@ -697,6 +735,7 @@ impl InterferenceCache {
         full: &[FullCrosser<'_>],
         smin: &[Arc<Vec<Duration>>],
         hoist: &Hoisted,
+        busy_seed: Option<Duration>,
     ) -> PrefixSkeleton {
         let fi = &set.flows()[flow_idx];
         // `k` ranges over 1..=len by construction; the fallback is inert.
@@ -728,7 +767,7 @@ impl InterferenceCache {
             let mut v = vec![0; k];
             let mut acc = 0;
             for idx in 0..k - 1 {
-                let min_cost = ws.iter().map(|fc| fc.cost_by_idx[idx]).min().unwrap_or(0);
+                let min_cost = ws.iter().map(|fc| fc.by_idx[idx].cost).min().unwrap_or(0);
                 acc += min_cost + hoist.hop_lmin[idx];
                 v[idx + 1] = acc;
             }
@@ -759,7 +798,7 @@ impl InterferenceCache {
                 } else {
                     sm.direction
                 };
-                let cost = fc.cum_cost[piece_hi];
+                let cost = fc.by_idx[piece_hi].cum_cost;
                 let mut push = |fji_idx: usize, fij_idx: usize| {
                     windows.push(WindowSkeleton {
                         flow: fj.id,
@@ -767,9 +806,9 @@ impl InterferenceCache {
                         cost,
                         pos_i: fji_idx,
                         j_idx: fc.j_idx,
-                        pos_j: fc.jpos_by_idx[fij_idx].unwrap_or(0),
+                        pos_j: fc.by_idx[fij_idx].jpos.unwrap_or(0),
                         base: fj.jitter
-                            - smin[fc.j_idx][fc.jpos_by_idx[fji_idx].unwrap_or(0)]
+                            - smin[fc.j_idx][fc.by_idx[fji_idx].jpos.unwrap_or(0)]
                             - m_cum[fij_idx],
                     });
                 };
@@ -812,10 +851,10 @@ impl InterferenceCache {
         if slow_idx != last {
             let mut last_max = 0;
             for fc in full {
-                if let Some(d) = fc.dir_full[last] {
-                    let single = fc.lo_by_idx[last] == last;
+                if let Some(d) = fc.by_idx[last].dir {
+                    let single = fc.by_idx[last].lo == last;
                     if single || d == CrossDirection::Same {
-                        last_max = last_max.max(fc.cost_by_idx[last]);
+                        last_max = last_max.max(fc.by_idx[last].cost);
                     }
                 }
             }
@@ -835,7 +874,8 @@ impl InterferenceCache {
                 None => pairs.push((t, c)),
             }
         }
-        let busy = crate::terms::busy_period_of_pairs(&pairs, cfg.max_busy_period);
+        let busy =
+            crate::terms::busy_period_of_pairs_seeded(&pairs, cfg.max_busy_period, busy_seed);
 
         PrefixSkeleton {
             windows,

@@ -29,12 +29,27 @@
 //! event buffer) and reads values through one `Vec` per flow.
 //! [`ComponentArena`] flattens a component into contiguous arrays —
 //! values, windows with *precomputed flat read indices*, per-cell
-//! metadata — and [`solve`] reuses three scratch buffers across every
-//! evaluation, so a round is a linear walk with zero allocation.
-//! Arithmetic, window order, coalescing semantics (first-occurrence
-//! merge by `(a, period)`), and the checked-overflow error labels are
-//! replicated from [`crate::terms`] verbatim; the differential suite
-//! asserts bit-identity against [`crate::ShardMode::Monolithic`].
+//! metadata — plus a CSR **reverse adjacency** (value index → cells
+//! reading it) built once at arena time. [`solve`] carries a dirty-cell
+//! worklist across Jacobi rounds: applying a changed value pushes
+//! exactly its dependent cells for the next round, so a steady-state
+//! round costs O(dirty work), not O(cells) scan + O(windows) dirty
+//! probes. Evaluation scratch lives in a per-worker thread-local pool
+//! reused across cells, rounds, and shards, so a round allocates
+//! nothing. Arithmetic, window order, coalescing semantics
+//! (first-occurrence merge by `(a, period)`), and the checked-overflow
+//! error labels are replicated from [`crate::terms`] verbatim; the
+//! differential suite asserts bit-identity against
+//! [`crate::ShardMode::Monolithic`].
+//!
+//! Rounds themselves can fan out across the rayon pool
+//! ([`crate::IntraParallel`]): a Jacobi round's evaluations all read the
+//! frozen previous table, so the parallel round writes results into a
+//! buffer indexed by worklist position and applies them in ascending
+//! arena order — the exact serial sequence, bit-identical by
+//! construction. [`solve_sharded`] additionally schedules components
+//! largest-estimated-cost first so a dominant component no longer
+//! serialises the tail of the shard queue behind it.
 //!
 //! # Error determinism
 //!
@@ -43,8 +58,12 @@
 //! [`solve_sharded`] then replays that order: the minimum (round, flow
 //! index) error wins, and a divergence reports the highest-indexed cell
 //! still changing in the final round — exactly the cell the monolithic
-//! `last_changed` would hold.
+//! `last_changed` would hold. Inside a shard the worklist is sorted
+//! ascending before each round, so errors surface in the same
+//! (flow, position) order as the monolithic scan, whether the round ran
+//! serially or fanned out.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -52,11 +71,11 @@ use rayon::prelude::*;
 use traj_model::{Duration, FlowId, FlowSet, NodeId, Tick};
 
 use crate::cache::InterferenceCache;
-use crate::config::{AnalysisConfig, FixpointStrategy};
+use crate::config::{AnalysisConfig, FixpointStrategy, IntraParallel, INTRA_PARALLEL_MIN_CELLS};
 use crate::report::Verdict;
 use crate::smax::SmaxTable;
 use crate::telemetry::{RoundTelemetry, ShardTelemetry};
-use crate::terms::{sweep_merged, Overflowed, Window};
+use crate::terms::{sweep_merged, Overflowed, SweepScratch, Window};
 
 /// Connected components of the crossing graph restricted to `universe`,
 /// as ascending member lists ordered by first member — a deterministic
@@ -140,21 +159,34 @@ struct ComponentArena {
     windows: Vec<ArenaWindow>,
     cells: Vec<ArenaCell>,
     cell_off: Vec<usize>,
+    /// Local row owning each cell (cells are laid out row-major).
+    row_of_cell: Vec<u32>,
+    /// Flat value index each cell writes: `row_off[row] + pos`.
+    write_idx: Vec<u32>,
+    /// CSR reverse adjacency: `rev[rev_off[v]..rev_off[v+1]]` lists the
+    /// cells holding a window that reads value `v`, deduplicated and
+    /// ascending — the worklist propagation edge set.
+    rev_off: Vec<u32>,
+    rev: Vec<u32>,
 }
 
 impl ComponentArena {
+    /// `local_of` maps global flow index → local row for *this*
+    /// component's members; built once per sharded run (components are
+    /// disjoint, so one flat vector serves every arena). `need_rev`
+    /// gates the CSR reverse-adjacency construction: only the Jacobi
+    /// worklist consults it, and on small components its build cost
+    /// rivals the solve itself, so Gauss–Seidel arenas skip it.
     fn build(
         set: &FlowSet,
         cache: &InterferenceCache,
         smax: &SmaxTable,
         seed_rows: &[bool],
         members: &[usize],
+        local_of: &[u32],
+        need_rev: bool,
     ) -> ComponentArena {
         let rows = members.len();
-        let mut local: HashMap<usize, usize> = HashMap::with_capacity(rows);
-        for (l, &g) in members.iter().enumerate() {
-            local.insert(g, l);
-        }
         let mut row_off = Vec::with_capacity(rows + 1);
         let mut path_len = Vec::with_capacity(rows);
         let mut cell_off = Vec::with_capacity(rows);
@@ -173,6 +205,8 @@ impl ComponentArena {
         }
         let mut windows = Vec::new();
         let mut cells = Vec::with_capacity(cells_total);
+        let mut row_of_cell = Vec::with_capacity(cells_total);
+        let mut write_idx = Vec::with_capacity(cells_total);
         for (l, &g) in members.iter().enumerate() {
             let nodes = set.flows()[g].path.nodes();
             for pos in 1..path_len[l] {
@@ -181,8 +215,8 @@ impl ComponentArena {
                 for w in &sk.windows {
                     // Every `j_idx` a skeleton reads was unioned into
                     // this component by `partition` (full-prefix
-                    // superset), so the lookup always resolves.
-                    let lj = local[&w.j_idx];
+                    // superset), so the local index always resolves.
+                    let lj = local_of[w.j_idx] as usize;
                     windows.push(ArenaWindow {
                         base: w.base,
                         period: w.period,
@@ -201,8 +235,53 @@ impl ComponentArena {
                     link_lmax: set.network().link_delay(nodes[pos - 1], nodes[pos]).lmax,
                     to_node: nodes[pos],
                 });
+                row_of_cell.push(l as u32);
+                write_idx.push((row_off[l] + pos) as u32);
             }
         }
+        // Reverse adjacency, deduplicated per cell with an epoch stamp
+        // (a cell typically reads the same value through many windows).
+        let nvals = vals.len();
+        let (rev_off, rev) = if need_rev {
+            let mut deg = vec![0u32; nvals];
+            let mut stamp = vec![u32::MAX; nvals];
+            for (c, cell) in cells.iter().enumerate() {
+                for w in &windows[cell.win_lo..cell.win_hi] {
+                    for v in [w.read_i, w.read_j] {
+                        if stamp[v] != c as u32 {
+                            stamp[v] = c as u32;
+                            deg[v] += 1;
+                        }
+                    }
+                }
+            }
+            let mut rev_off = Vec::with_capacity(nvals + 1);
+            rev_off.push(0u32);
+            let mut total = 0u32;
+            for &d in &deg {
+                total += d;
+                rev_off.push(total);
+            }
+            let mut cursor: Vec<u32> = rev_off[..nvals].to_vec();
+            let mut rev = vec![0u32; total as usize];
+            stamp.fill(u32::MAX);
+            for (c, cell) in cells.iter().enumerate() {
+                for w in &windows[cell.win_lo..cell.win_hi] {
+                    for v in [w.read_i, w.read_j] {
+                        if stamp[v] != c as u32 {
+                            stamp[v] = c as u32;
+                            rev[cursor[v] as usize] = c as u32;
+                            cursor[v] += 1;
+                        }
+                    }
+                }
+            }
+            (rev_off, rev)
+        } else {
+            // Gauss–Seidel never walks dependents: empty CSR, every
+            // `deps_of` slice is empty by construction.
+            (vec![0u32; nvals + 1], Vec::new())
+        };
         ComponentArena {
             seeded: members.iter().map(|&g| seed_rows[g]).collect(),
             members: members.to_vec(),
@@ -213,25 +292,41 @@ impl ComponentArena {
             windows,
             cells,
             cell_off,
+            row_of_cell,
+            write_idx,
+            rev_off,
+            rev,
         }
+    }
+
+    /// Cells holding a window that reads value `v`.
+    #[inline]
+    fn deps_of(&self, v: usize) -> &[u32] {
+        &self.rev[self.rev_off[v] as usize..self.rev_off[v + 1] as usize]
     }
 }
 
-/// Reusable per-shard evaluation scratch: cleared, never reallocated.
+/// Reusable per-worker evaluation scratch: cleared, never reallocated.
 #[derive(Default)]
 struct Scratch {
-    /// Coalesced windows of the cell under evaluation.
-    merged: Vec<Window>,
-    /// First-occurrence index by `(a, period)`, mirroring
-    /// [`crate::terms::BoundFunction::coalesced`].
-    index: HashMap<(Tick, Duration), usize>,
-    /// Jump-point events of the sweep.
-    events: Vec<(Tick, Duration)>,
+    /// Jump-stream buffers of the k-way merge sweep.
+    sweep: SweepScratch,
 }
 
-/// One cell update: materialise alignments from the flat values,
-/// coalesce, sweep, add the link `Lmax`, check the guard. Arithmetic
-/// and error order replicate `wcrt_prefix` + `smax_update` exactly.
+thread_local! {
+    /// Per-worker scratch pool: one `Scratch` per thread, reused across
+    /// cells, rounds, and shards, so steady-state rounds allocate
+    /// nothing regardless of which worker evaluates which cell.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// One cell update: materialise alignments from the flat values, sweep,
+/// add the link `Lmax`, check the guard. Arithmetic and error order
+/// replicate `wcrt_prefix` + `smax_update` exactly. Unlike the
+/// monolithic path, the windows are *not* coalesced first: coalescing
+/// merges equal-`(a, period)` windows, which is value-preserving (same
+/// jump instants, tied events' costs are summed before each evaluation
+/// either way), so skipping the hash pass changes nothing but time.
 fn eval_cell(
     arena: &ComponentArena,
     cell: &ArenaCell,
@@ -249,45 +344,23 @@ fn eval_cell(
         }
         Err(o) => return Err(Verdict::from(o)),
     };
-    scratch.merged.clear();
-    scratch.index.clear();
-    let push = |merged: &mut Vec<Window>,
-                index: &mut HashMap<(Tick, Duration), usize>,
-                a: Tick,
-                period: Duration,
-                cost: Duration| {
-        match index.entry((a, period)) {
-            std::collections::hash_map::Entry::Occupied(e) => merged[*e.get()].cost += cost,
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(merged.len());
-                merged.push(Window {
-                    // The flow id is reporting-only; the sweep ignores it.
-                    flow: arena.flow_ids[l],
-                    a,
-                    period,
-                    cost,
-                });
-            }
-        }
-    };
-    for w in &arena.windows[cell.win_lo..cell.win_hi] {
-        let a = arena.vals[w.read_i] + arena.vals[w.read_j] + w.base;
-        push(&mut scratch.merged, &mut scratch.index, a, w.period, w.cost);
-    }
-    let sw = cell.self_window;
-    push(
-        &mut scratch.merged,
-        &mut scratch.index,
-        sw.a,
-        sw.period,
-        sw.cost,
-    );
+    // The flow id is reporting-only; the sweep ignores it.
+    let flow = arena.flow_ids[l];
+    let materialised = arena.windows[cell.win_lo..cell.win_hi]
+        .iter()
+        .map(|w| Window {
+            flow,
+            a: arena.vals[w.read_i] + arena.vals[w.read_j] + w.base,
+            period: w.period,
+            cost: w.cost,
+        })
+        .chain(std::iter::once(cell.self_window));
     let m = sweep_merged(
-        &scratch.merged,
+        materialised,
         cell.constant,
         cell.t_lo,
         busy,
-        &mut scratch.events,
+        &mut scratch.sweep,
     )
     .map_err(Verdict::from)?;
     let val = m.value + cell.link_lmax;
@@ -321,26 +394,88 @@ struct SolveOut {
     arena: ComponentArena,
     rounds: usize,
     per_round: Vec<RoundTelemetry>,
+    parallel_rounds: usize,
     micros: u64,
     end: ShardEnd,
 }
 
+/// Whether (and above which worklist size) a Jacobi round fans out
+/// across the rayon pool; resolved once per sharded run from
+/// [`IntraParallel`] and the live pool width.
+#[derive(Clone, Copy)]
+struct ParallelPlan {
+    min_cells: Option<usize>,
+}
+
+impl ParallelPlan {
+    fn resolve(cfg: &AnalysisConfig) -> ParallelPlan {
+        let min_cells = match cfg.intra_parallel {
+            IntraParallel::Never => None,
+            IntraParallel::Always => Some(0),
+            // A one-thread pool would pay the fork/join for zero overlap.
+            IntraParallel::Auto => {
+                (rayon::current_num_threads() > 1).then_some(INTRA_PARALLEL_MIN_CELLS)
+            }
+        };
+        ParallelPlan { min_cells }
+    }
+
+    #[inline]
+    fn fan_out(&self, worklist: usize) -> bool {
+        self.min_cells.map(|m| worklist >= m).unwrap_or(false) && worklist > 1
+    }
+}
+
 /// Iterates one component to its least fixed point with the chosen
 /// strategy, mirroring the monolithic round schedule per component.
-fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrategy) -> SolveOut {
+///
+/// Jacobi rounds run a dirty-cell worklist: round 0 holds the seeded
+/// rows' cells plus every cell reading a seeded row's value (exactly the
+/// monolithic `force` + dirty-read criterion), and applying a changed
+/// value pushes its reverse-adjacency dependents for the next round.
+/// The worklist is sorted ascending before evaluation, so values,
+/// telemetry counts, and error order match the monolithic scan
+/// bit-for-bit — warm starts (few seeded rows) and cold starts (all
+/// rows) are the same code path, differing only in the initial list.
+fn solve(
+    mut arena: ComponentArena,
+    cfg: &AnalysisConfig,
+    chosen: FixpointStrategy,
+    plan: ParallelPlan,
+) -> SolveOut {
     let start = Instant::now();
-    let rows = arena.members.len();
+    let cells_total = arena.cells.len();
     let jacobi = chosen == FixpointStrategy::Jacobi;
-    let mut dirty = vec![false; arena.vals.len()];
-    for l in 0..rows {
-        if arena.seeded[l] {
-            dirty[arena.row_off[l]..arena.row_off[l + 1]].fill(true);
+    let mut dirty_cell = vec![false; cells_total];
+    let mut cur: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+    if jacobi {
+        for l in 0..arena.members.len() {
+            if !arena.seeded[l] {
+                continue;
+            }
+            let cells = arena.cell_off[l]..arena.cell_off[l] + (arena.path_len[l] - 1);
+            for (dirty, c) in dirty_cell[cells.clone()].iter_mut().zip(cells) {
+                if !*dirty {
+                    *dirty = true;
+                    cur.push(c as u32);
+                }
+            }
+            for v in arena.row_off[l]..arena.row_off[l + 1] {
+                for &d in arena.deps_of(v) {
+                    if !dirty_cell[d as usize] {
+                        dirty_cell[d as usize] = true;
+                        cur.push(d);
+                    }
+                }
+            }
         }
     }
-    let mut scratch = Scratch::default();
-    let mut updates: Vec<(usize, usize, Duration)> = Vec::new();
+    let mut updates: Vec<(u32, Duration)> = Vec::new();
+    let mut par_results: Vec<Result<Duration, Verdict>> = Vec::new();
     let mut per_round = Vec::new();
     let mut rounds = 0;
+    let mut parallel_rounds = 0;
     let mut last_changed: Option<(usize, usize)> = None;
     for round in 0..cfg.max_smax_rounds {
         rounds = round + 1;
@@ -354,74 +489,115 @@ fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrate
         let mut round_changed: Option<(usize, usize)> = None;
         let mut err: Option<(usize, Verdict)> = None;
         if jacobi {
-            // Frozen-table round: evaluate row-major against the
-            // pre-round values, apply afterwards — the per-component
-            // projection of the parallel monolithic round, errors
-            // surfacing in the same (flow, position) order.
+            // Frozen-table round over the worklist, ascending arena
+            // order — the per-component projection of the monolithic
+            // round, errors surfacing in the same (flow, position)
+            // order. Values are applied only after every evaluation.
+            cur.sort_unstable();
+            rt.skipped = cells_total - cur.len();
             updates.clear();
-            'jrows: for l in 0..rows {
-                let forced = round == 0 && arena.seeded[l];
-                for pos in 1..arena.path_len[l] {
-                    let cell = &arena.cells[arena.cell_off[l] + pos - 1];
-                    if !forced
-                        && !arena.windows[cell.win_lo..cell.win_hi]
-                            .iter()
-                            .any(|w| dirty[w.read_i] || dirty[w.read_j])
-                    {
-                        rt.skipped += 1;
-                        continue;
-                    }
-                    match eval_cell(&arena, cell, l, cfg, &mut scratch) {
+            if plan.fan_out(cur.len()) {
+                parallel_rounds += 1;
+                let arena_ref = &arena;
+                cur.par_iter()
+                    .map(|&c| {
+                        SCRATCH.with(|s| {
+                            let scratch = &mut *s.borrow_mut();
+                            eval_cell(
+                                arena_ref,
+                                &arena_ref.cells[c as usize],
+                                arena_ref.row_of_cell[c as usize] as usize,
+                                cfg,
+                                scratch,
+                            )
+                        })
+                    })
+                    .collect_into_vec(&mut par_results);
+                for (i, r) in par_results.iter().enumerate() {
+                    match r {
                         Ok(v) => {
-                            updates.push((l, pos, v));
+                            updates.push((cur[i], *v));
                             rt.recomputed += 1;
                         }
                         Err(v) => {
-                            err = Some((l, v));
-                            break 'jrows;
+                            // First erroring cell in arena order — the
+                            // serial sweep's break point; later results
+                            // are discarded.
+                            err = Some((arena.row_of_cell[cur[i] as usize] as usize, v.clone()));
+                            break;
                         }
                     }
                 }
+            } else {
+                SCRATCH.with(|s| {
+                    let scratch = &mut *s.borrow_mut();
+                    for &c in &cur {
+                        let l = arena.row_of_cell[c as usize] as usize;
+                        match eval_cell(&arena, &arena.cells[c as usize], l, cfg, scratch) {
+                            Ok(v) => {
+                                updates.push((c, v));
+                                rt.recomputed += 1;
+                            }
+                            Err(v) => {
+                                err = Some((l, v));
+                                break;
+                            }
+                        }
+                    }
+                });
             }
             if err.is_none() {
-                dirty.fill(false);
-                for &(l, pos, val) in &updates {
-                    let idx = arena.row_off[l] + pos;
+                // Consume this round's marks, then push each changed
+                // value's dependents as the next round's worklist.
+                for &c in &cur {
+                    dirty_cell[c as usize] = false;
+                }
+                next.clear();
+                for &(c, val) in &updates {
+                    let idx = arena.write_idx[c as usize] as usize;
                     let old = arena.vals[idx];
                     if old != val {
                         arena.vals[idx] = val;
-                        dirty[idx] = true;
-                        round_changed = Some((l, pos));
                         rt.changed += 1;
                         rt.max_delta = rt.max_delta.max(val.saturating_sub(old));
+                        let l = arena.row_of_cell[c as usize] as usize;
+                        round_changed = Some((l, idx - arena.row_off[l]));
+                        for &d in arena.deps_of(idx) {
+                            if !dirty_cell[d as usize] {
+                                dirty_cell[d as usize] = true;
+                                next.push(d);
+                            }
+                        }
                     }
                 }
+                std::mem::swap(&mut cur, &mut next);
             }
         } else {
-            // Gauss–Seidel: in-place ascending sweep over every row,
+            // Gauss–Seidel: in-place ascending sweep over every cell,
             // each update immediately visible to the next.
-            'grows: for l in 0..rows {
-                for pos in 1..arena.path_len[l] {
-                    let cell = &arena.cells[arena.cell_off[l] + pos - 1];
-                    match eval_cell(&arena, cell, l, cfg, &mut scratch) {
+            SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                for c in 0..cells_total {
+                    let l = arena.row_of_cell[c] as usize;
+                    match eval_cell(&arena, &arena.cells[c], l, cfg, scratch) {
                         Ok(val) => {
                             rt.recomputed += 1;
-                            let idx = arena.row_off[l] + pos;
+                            let idx = arena.write_idx[c] as usize;
                             let old = arena.vals[idx];
                             if old != val {
                                 arena.vals[idx] = val;
-                                round_changed = Some((l, pos));
+                                round_changed = Some((l, idx - arena.row_off[l]));
                                 rt.changed += 1;
                                 rt.max_delta = rt.max_delta.max(val.saturating_sub(old));
                             }
                         }
                         Err(v) => {
                             err = Some((l, v));
-                            break 'grows;
+                            break;
                         }
                     }
                 }
-            }
+            });
         }
         if let Some((l, verdict)) = err {
             return SolveOut {
@@ -433,6 +609,7 @@ fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrate
                 arena,
                 rounds,
                 per_round,
+                parallel_rounds,
                 micros: start.elapsed().as_micros() as u64,
             };
         }
@@ -444,6 +621,7 @@ fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrate
                     arena,
                     rounds,
                     per_round,
+                    parallel_rounds,
                     micros: start.elapsed().as_micros() as u64,
                 };
             }
@@ -456,6 +634,7 @@ fn solve(mut arena: ComponentArena, cfg: &AnalysisConfig, chosen: FixpointStrate
         arena,
         rounds,
         per_round,
+        parallel_rounds,
         micros: start.elapsed().as_micros() as u64,
     }
 }
@@ -468,14 +647,16 @@ pub(crate) struct ShardedRun {
     /// Monolithic-shaped per-round record: shard rounds merged
     /// index-wise (counts summed, deltas maxed).
     pub(crate) per_round: Vec<RoundTelemetry>,
-    /// One record per component actually solved.
+    /// One record per component actually solved, ordered by first
+    /// member flow index.
     pub(crate) shards: Vec<ShardTelemetry>,
 }
 
 /// Solves every component holding a seeded row (components without one
 /// already sit at their block of the standing fixed point — recomputing
-/// them would reproduce every value), in parallel, then writes the
-/// converged values back into `smax`.
+/// them would reproduce every value), largest estimated cost first
+/// across the rayon pool, then writes the converged values back into
+/// `smax`.
 pub(crate) fn solve_sharded(
     set: &FlowSet,
     cfg: &AnalysisConfig,
@@ -485,18 +666,54 @@ pub(crate) fn solve_sharded(
     chosen: FixpointStrategy,
     components: &[Vec<usize>],
 ) -> Result<ShardedRun, Verdict> {
-    let work: Vec<&Vec<usize>> = components
+    struct WorkItem<'m> {
+        members: &'m [usize],
+        cost: usize,
+    }
+    let mut work: Vec<WorkItem> = components
         .iter()
         .filter(|m| m.iter().any(|&g| seed_rows[g]))
+        .map(|m| WorkItem {
+            members: m,
+            cost: m.iter().map(|&g| cache.row_cost_estimate(g)).sum(),
+        })
         .collect();
+    // Largest-estimated-cost first: a dominant component starts
+    // immediately instead of serialising the tail of the queue behind
+    // it. Ties (and the final telemetry) stay in first-member order.
+    work.sort_by(|a, b| {
+        b.cost
+            .cmp(&a.cost)
+            .then_with(|| a.members[0].cmp(&b.members[0]))
+    });
+    // Shared global→local row index: components partition the universe,
+    // so one flat vector serves every arena build (the per-component
+    // hash map this replaces dominated small-shard build time).
+    let mut local_of = vec![0u32; set.len()];
+    for item in &work {
+        for (l, &g) in item.members.iter().enumerate() {
+            local_of[g] = l as u32;
+        }
+    }
+    let plan = ParallelPlan::resolve(cfg);
     let snapshot: &SmaxTable = smax;
-    let outs: Vec<SolveOut> = work
+    let local_ref: &[u32] = &local_of;
+    let mut outs: Vec<SolveOut> = work
         .par_iter()
-        .map(|members| {
+        .map(|item| {
             solve(
-                ComponentArena::build(set, cache, snapshot, seed_rows, members),
+                ComponentArena::build(
+                    set,
+                    cache,
+                    snapshot,
+                    seed_rows,
+                    item.members,
+                    local_ref,
+                    chosen == FixpointStrategy::Jacobi,
+                ),
                 cfg,
                 chosen,
+                plan,
             )
         })
         .collect();
@@ -542,6 +759,9 @@ pub(crate) fn solve_sharded(
         });
     }
 
+    // Telemetry is surfaced in first-member order whatever schedule the
+    // cost sort executed.
+    outs.sort_by_key(|o| o.arena.members.first().copied().unwrap_or(0));
     let mut run = ShardedRun {
         rounds: 0,
         per_round: Vec::new(),
@@ -570,6 +790,9 @@ pub(crate) fn solve_sharded(
             flows: o.arena.members.len(),
             cells: o.arena.cells.len(),
             rounds: o.rounds,
+            recomputed: o.per_round.iter().map(|r| r.recomputed).sum(),
+            skipped: o.per_round.iter().map(|r| r.skipped).sum(),
+            parallel_rounds: o.parallel_rounds,
             solve_micros: o.micros,
         });
         for (l, &g) in o.arena.members.iter().enumerate() {
@@ -629,6 +852,56 @@ mod tests {
         assert!(firsts.windows(2).all(|w| w[0] < w[1]));
         for m in &comps {
             assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn arena_reverse_adjacency_is_deduplicated_and_complete() {
+        // Every (window read → owning cell) edge must appear exactly
+        // once in the CSR lists, whatever the duplication in windows.
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let universe = vec![true; set.len()];
+        let cache = InterferenceCache::build(&set, &cfg, &universe, &NoDelta);
+        let comps = partition(&set, &universe, &cache);
+        let seed = crate::smax::SmaxTable::transit(&set).unwrap();
+        let seeded = vec![true; set.len()];
+        let mut local_of = vec![0u32; set.len()];
+        for m in &comps {
+            for (l, &g) in m.iter().enumerate() {
+                local_of[g] = l as u32;
+            }
+        }
+        for m in &comps {
+            let arena = ComponentArena::build(&set, &cache, &seed, &seeded, m, &local_of, true);
+            for (c, cell) in arena.cells.iter().enumerate() {
+                let mut reads: Vec<usize> = arena.windows[cell.win_lo..cell.win_hi]
+                    .iter()
+                    .flat_map(|w| [w.read_i, w.read_j])
+                    .collect();
+                reads.sort_unstable();
+                reads.dedup();
+                for v in reads {
+                    let hits = arena
+                        .deps_of(v)
+                        .iter()
+                        .filter(|&&d| d as usize == c)
+                        .count();
+                    assert_eq!(hits, 1, "cell {c} listed {hits} times for value {v}");
+                }
+            }
+            // No spurious edges: every listed dependent really reads v.
+            for v in 0..arena.vals.len() {
+                for &d in arena.deps_of(v) {
+                    let cell = &arena.cells[d as usize];
+                    assert!(
+                        arena.windows[cell.win_lo..cell.win_hi]
+                            .iter()
+                            .any(|w| w.read_i == v || w.read_j == v),
+                        "cell {d} listed for value {v} it never reads"
+                    );
+                }
+            }
         }
     }
 }

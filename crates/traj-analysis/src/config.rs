@@ -55,6 +55,40 @@ pub const AUTO_JACOBI_MIN_FLOWS: usize = 16;
 /// the [`FixpointStrategy::cached_equivalent`] instead.
 pub const AUTO_REFERENCE_MAX_FLOWS: usize = 8;
 
+/// Minimum dirty-worklist size (cells due for evaluation this round)
+/// for which an intra-component Jacobi round fans out across the rayon
+/// pool under [`IntraParallel::Auto`]. Below it the per-round fork/join
+/// costs more than the evaluations it spreads — the same economics as
+/// [`AUTO_JACOBI_MIN_FLOWS`], one level down.
+pub const INTRA_PARALLEL_MIN_CELLS: usize = 512;
+
+/// Whether the Jacobi rounds *inside* one crossing-graph component fan
+/// their cell evaluations out across the rayon pool.
+///
+/// A Jacobi round evaluates every due cell against the frozen previous
+/// table, so the evaluations are independent; the parallel round writes
+/// them into a buffer indexed by worklist position and applies them in
+/// ascending arena order — the exact sequence the serial sweep produces,
+/// hence bit-identical values, telemetry counts, and error selection
+/// (the first erroring cell in arena order wins, evaluated results are
+/// discarded). Orthogonal to the across-component parallelism of
+/// [`ShardMode::Components`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IntraParallel {
+    /// Parallelise a round only when the pool has more than one thread
+    /// and the round's worklist holds at least
+    /// [`INTRA_PARALLEL_MIN_CELLS`] cells; stay serial otherwise
+    /// (default).
+    #[default]
+    Auto,
+    /// Never fan a round out (serial oracle).
+    Never,
+    /// Fan every Jacobi round out regardless of worklist size or pool
+    /// width — the differential suites force the parallel code path
+    /// with this even on small examples.
+    Always,
+}
+
 /// Iteration scheme of the global `Smax` fixed point.
 ///
 /// All schemes iterate the same monotone operator from the same
@@ -106,6 +140,29 @@ impl FixpointStrategy {
         }
     }
 
+    /// [`Self::resolve`] refined with run-shape context: whether the run
+    /// is *cold* (every row seeded for recomputation) and how many
+    /// workers the rayon pool offers. Jacobi's two structural advantages
+    /// are its parallelisable rounds (worthless on a one-thread pool) and
+    /// its dirty-cell worklist (worthless on a cold start, where round 1
+    /// touches everything and later rounds shrink for Gauss–Seidel too —
+    /// in-place propagation converges in roughly half the rounds, E19).
+    /// So `Auto` demotes a would-be Jacobi pick to Gauss–Seidel exactly
+    /// when both advantages are absent: a cold run on a single-thread
+    /// pool. Warm starts keep Jacobi regardless of pool width — the
+    /// seeded-skip worklist is what makes re-analysis incremental — and
+    /// explicit choices are never overridden.
+    pub fn resolve_for_run(self, n_flows: usize, cold: bool, pool_threads: usize) -> Self {
+        match self.resolve(n_flows) {
+            FixpointStrategy::Jacobi
+                if self == FixpointStrategy::Auto && cold && pool_threads <= 1 =>
+            {
+                FixpointStrategy::GaussSeidel
+            }
+            resolved => resolved,
+        }
+    }
+
     /// The nearest strategy an engine that *requires* the interference
     /// cache can run: [`FixpointStrategy::Reference`] maps to
     /// Gauss–Seidel (the same sequential in-place sweep the reference
@@ -146,10 +203,12 @@ impl FixpointStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ShardMode {
     /// Decompose (default): each component is solved independently over
-    /// a struct-of-arrays arena — components run in parallel, converged
-    /// components stop doing *any* work, and warm starts skip components
-    /// containing no re-seeded row entirely. Sets whose crossing graph
-    /// is a single component fall back to the monolithic loop verbatim.
+    /// a struct-of-arrays arena — components run in parallel (largest
+    /// estimated cost first), converged components stop doing *any*
+    /// work, and warm starts skip components containing no re-seeded
+    /// row entirely. A single-component graph still runs the arena
+    /// kernel: its allocation-free dirty-cell worklist beats the
+    /// monolithic loop even without cross-shard parallelism.
     #[default]
     Components,
     /// Always run the monolithic loop over the whole universe (the
@@ -186,6 +245,10 @@ pub struct AnalysisConfig {
     /// orthogonal to `fixpoint` — the chosen strategy runs per component.
     #[serde(default)]
     pub shard_mode: ShardMode,
+    /// Intra-component round parallelism (see [`IntraParallel`]); only
+    /// meaningful for Jacobi rounds under [`ShardMode::Components`].
+    #[serde(default)]
+    pub intra_parallel: IntraParallel,
 }
 
 impl Default for AnalysisConfig {
@@ -199,6 +262,7 @@ impl Default for AnalysisConfig {
             max_smax_rounds: 256,
             fixpoint: FixpointStrategy::default(),
             shard_mode: ShardMode::default(),
+            intra_parallel: IntraParallel::default(),
         }
     }
 }
@@ -290,6 +354,22 @@ mod tests {
         let back: AnalysisConfig = serde_json::from_str(json).unwrap();
         assert_eq!(back.fixpoint, FixpointStrategy::Auto);
         assert_eq!(back.shard_mode, ShardMode::Components);
+        assert_eq!(back.intra_parallel, IntraParallel::Auto);
+    }
+
+    #[test]
+    fn intra_parallel_roundtrips_and_defaults_to_auto() {
+        assert_eq!(
+            AnalysisConfig::default().intra_parallel,
+            IntraParallel::Auto
+        );
+        let c = AnalysisConfig {
+            intra_parallel: IntraParallel::Always,
+            ..AnalysisConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AnalysisConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.intra_parallel, IntraParallel::Always);
     }
 
     #[test]

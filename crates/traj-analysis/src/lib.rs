@@ -36,7 +36,8 @@ pub mod terms;
 pub mod wcrt;
 
 pub use config::{
-    config_grid, AnalysisConfig, FixpointStrategy, ReverseCounting, ShardMode, SmaxMode,
+    config_grid, AnalysisConfig, FixpointStrategy, IntraParallel, ReverseCounting, ShardMode,
+    SmaxMode, INTRA_PARALLEL_MIN_CELLS,
 };
 pub use ef::{analyze_ef, nonpreemption_delta};
 pub use explain::{explain_flow, provenance_all, provenance_flow, BoundBreakdown, BoundProvenance};

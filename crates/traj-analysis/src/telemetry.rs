@@ -74,9 +74,11 @@ pub struct FixpointTelemetry {
     #[serde(default)]
     pub largest_component: usize,
     /// Per-shard solve record, one entry per component the sharded
-    /// solver actually ran (empty when the monolithic loop ran — a
-    /// single-component graph delegates to it — or when a warm start
-    /// skipped every component). Ordered by first member flow index.
+    /// solver actually ran (empty under [`crate::ShardMode::Monolithic`]
+    /// or when a warm start skipped every component — single-component
+    /// graphs run the arena solver and record one shard). Ordered by
+    /// first member flow index regardless of the cost-based schedule the
+    /// solver executed them in.
     #[serde(default)]
     pub shards: Vec<ShardTelemetry>,
 }
@@ -91,6 +93,18 @@ pub struct ShardTelemetry {
     /// Rounds this component took to converge (components terminate
     /// independently; the run's `rounds` is the maximum over shards).
     pub rounds: usize,
+    /// Cells this shard actually evaluated across all rounds — the
+    /// dirty-cell worklist's total work.
+    #[serde(default)]
+    pub recomputed: usize,
+    /// Cells the worklist skipped across all rounds (none of their
+    /// read values changed in the previous round).
+    #[serde(default)]
+    pub skipped: usize,
+    /// Jacobi rounds whose evaluation fanned out across the rayon pool
+    /// (see [`crate::IntraParallel`]).
+    #[serde(default)]
+    pub parallel_rounds: usize,
     /// Wall-clock of this component's solve, in microseconds (integral
     /// so the record stays `Eq`-comparable).
     pub solve_micros: u64,
@@ -144,6 +158,9 @@ mod tests {
                 flows: 3,
                 cells: 11,
                 rounds: 2,
+                recomputed: 18,
+                skipped: 4,
+                parallel_rounds: 1,
                 solve_micros: 40,
             }],
         };

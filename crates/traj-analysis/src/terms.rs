@@ -8,7 +8,7 @@
 //! node) that can delay the packet under study.
 
 use serde::{Deserialize, Serialize};
-use traj_model::{checked_ceil_div, checked_plus_one_floor, Duration, FlowId, Tick};
+use traj_model::{checked_ceil_div, checked_plus_one_floor, floor_div, Duration, FlowId, Tick};
 
 /// An i64 overflow inside term arithmetic; carries the overflowed
 /// quantity's name. Mapped to [`crate::Verdict::Overflow`] at the
@@ -163,58 +163,124 @@ impl BoundFunction {
     /// and jump-point candidates deduplicated before evaluation.
     pub fn maximise_given_busy(&self, busy: Duration) -> Result<MaxPoint, Overflowed> {
         let windows = self.coalesced();
-        let mut events: Vec<(Tick, Duration)> = Vec::new();
-        sweep_merged(&windows, self.constant, self.t_lo, busy, &mut events)
+        let mut scratch = SweepScratch::default();
+        sweep_merged(
+            windows.iter().copied(),
+            self.constant,
+            self.t_lo,
+            busy,
+            &mut scratch,
+        )
     }
 }
 
+/// Reusable buffers of [`sweep_merged`]: cleared every call, reallocated
+/// (almost) never. The arena solver threads one instance per worker
+/// through millions of cell evaluations.
+#[derive(Default)]
+pub(crate) struct SweepScratch {
+    /// `(period, first jump, cost)` per window; the class-merge path
+    /// sorts it by `(period, first jump)` so equal periods form
+    /// contiguous classes.
+    jumps: Vec<(Duration, Tick, Duration)>,
+    /// One streaming cursor per period class.
+    classes: Vec<ClassCursor>,
+    /// `(jump, cost)` buffer of the sorted-event fallback path.
+    events: Vec<(Tick, Duration)>,
+}
+
+/// Cursor over one period class's merged jump stream (see
+/// [`sweep_merged`]): walks `jumps[start..end]` cyclically, adding one
+/// period per lap. `t` is the head event, `>= t_hi` once exhausted.
+struct ClassCursor {
+    start: usize,
+    end: usize,
+    /// Current element of the lap.
+    p: usize,
+    /// `lap × period`, added to the element's first jump.
+    lap_off: Tick,
+    period: Duration,
+    /// Head event time (sentinel `t_hi` when the class is spent).
+    t: Tick,
+}
+
+/// Above this many *distinct periods* among a sweep's windows, the
+/// pre-sorted class merge degrades (each event pays a scan over all
+/// class cursors) and [`sweep_merged`] falls back to the sorted event
+/// buffer, whose `E log E` is cheap precisely in that regime (many
+/// distinct periods ⇒ few jumps per window ⇒ `E ≈ W`).
+const SWEEP_MERGE_MAX_CLASSES: usize = 8;
+
 /// The event-sweep core of [`BoundFunction::maximise_given_busy`], over
-/// already-coalesced windows and a caller-owned scratch buffer.
+/// coalesced-or-not windows (coalescing is value-preserving and purely
+/// an optimisation: duplicate `(a, period)` windows just produce tied
+/// events) and caller-owned scratch buffers.
 ///
 /// Between jump points `R(t)` is `const − t`, and at a window's jump
-/// `t = k·T − A` its workload steps up by exactly one packet cost, so the
-/// maximum lies at `t_lo` or at a jump. Sweep the jumps in order,
-/// carrying the workload sum: each event costs O(1) instead of a full
-/// O(windows) re-evaluation. Shared with the component-sharded arena
-/// solver, which reuses `events` across millions of cell evaluations
-/// instead of allocating per cell.
+/// `t = k·T − A` its workload steps up by exactly one packet cost, so
+/// the maximum lies at `t_lo` or at a jump. Each window's jumps form an
+/// arithmetic progression, and every window's *first* jump lies in
+/// `(t_lo, t_lo + T]` — so within one period class (windows sharing `T`)
+/// the first jumps span less than one period and the class's merged
+/// stream is its windows in first-jump order, repeated with `+T` per
+/// lap: pre-sorted by construction. With few classes (harmonic traffic,
+/// the steady-state shape the fixed point re-evaluates millions of
+/// times) the sweep sorts the W `(period, first)` pairs once and runs a
+/// linear cursor merge across the classes — O(W log W + E·classes), no
+/// event buffer. Past [`SWEEP_MERGE_MAX_CLASSES`] distinct periods the
+/// cursor scan would dominate, so the sweep materialises the events
+/// into a reused buffer and sorts them instead — O(E log E), which in
+/// that regime is within a constant of the class sort since `E ≈ W`.
+/// Both paths visit the same jump instants, group equal-`t` events
+/// before evaluating (costs are non-negative, so the grouped sum — and
+/// its overflow behaviour — is order-independent), and are therefore
+/// bit-identical.
 pub(crate) fn sweep_merged(
-    windows: &[Window],
+    windows: impl Iterator<Item = Window>,
     constant: Duration,
     t_lo: Tick,
     busy: Duration,
-    events: &mut Vec<(Tick, Duration)>,
+    scratch: &mut SweepScratch,
 ) -> Result<MaxPoint, Overflowed> {
     let t_hi = t_lo
         .checked_add(busy)
         .ok_or(Overflowed("maximisation horizon"))?; // exclusive
-    events.clear();
-    for w in windows {
-        let first = t_lo
-            .checked_add(w.a)
-            .and_then(|v| v.checked_add(1))
-            .ok_or(Overflowed("jump-point seed"))?;
-        let mut k = checked_ceil_div(first, w.period).ok_or(Overflowed("jump-point index"))?;
-        loop {
-            let t = k
-                .checked_mul(w.period)
-                .and_then(|v| v.checked_sub(w.a))
-                .ok_or(Overflowed("jump point"))?;
-            if t >= t_hi {
-                break;
-            }
-            if t > t_lo {
-                events.push((t, w.cost));
-            }
-            k += 1;
-        }
-    }
-    events.sort_unstable();
+    scratch.jumps.clear();
+    // Distinct periods seen so far, tracked only up to the class cap —
+    // one linear probe of a register-sized array per window.
+    let mut periods = [0 as Duration; SWEEP_MERGE_MAX_CLASSES];
+    let mut n_periods = 0usize;
     let mut workload: Duration = 0;
     for w in windows {
+        // One floor division serves both the seed workload and the
+        // first jump: with `s = t_lo + A` and `q = ⌊s/T⌋`, the packets
+        // at `t_lo` are `(1 + q)⁺ · C`, and the first jump strictly
+        // after `t_lo` — the smallest `k·T − A > t_lo` — has
+        // `k = ⌈(s+1)/T⌉ = q + 1` (integer identity, any sign of `s`).
+        let s = t_lo.checked_add(w.a).ok_or(Overflowed("t + A"))?;
+        let k = floor_div(s, w.period)
+            .checked_add(1)
+            .ok_or(Overflowed("packet count"))?;
+        let wl = k
+            .max(0)
+            .checked_mul(w.cost)
+            .ok_or(Overflowed("window workload"))?;
         workload = workload
-            .checked_add(w.workload(t_lo)?)
+            .checked_add(wl)
             .ok_or(Overflowed("interference workload sum"))?;
+        let t = k
+            .checked_mul(w.period)
+            .and_then(|v| v.checked_sub(w.a))
+            .ok_or(Overflowed("jump point"))?;
+        scratch.jumps.push((w.period, t, w.cost));
+        if n_periods <= SWEEP_MERGE_MAX_CLASSES
+            && !periods[..n_periods.min(SWEEP_MERGE_MAX_CLASSES)].contains(&w.period)
+        {
+            if n_periods < SWEEP_MERGE_MAX_CLASSES {
+                periods[n_periods] = w.period;
+            }
+            n_periods += 1;
+        }
     }
     let seed_value = workload
         .checked_add(constant)
@@ -224,6 +290,119 @@ pub(crate) fn sweep_merged(
         value: seed_value,
         t_star: t_lo,
     };
+    if n_periods <= SWEEP_MERGE_MAX_CLASSES {
+        sweep_class_merge(scratch, constant, t_hi, workload, &mut best)?;
+    } else {
+        sweep_event_sort(scratch, constant, t_hi, workload, &mut best)?;
+    }
+    Ok(best)
+}
+
+/// Class-merge path of [`sweep_merged`]: per-period pre-sorted streams,
+/// linear cursor merge.
+fn sweep_class_merge(
+    scratch: &mut SweepScratch,
+    constant: Duration,
+    t_hi: Tick,
+    mut workload: Duration,
+    best: &mut MaxPoint,
+) -> Result<(), Overflowed> {
+    scratch.classes.clear();
+    scratch
+        .jumps
+        .sort_unstable_by_key(|&(period, t, _)| (period, t));
+    let jumps = &scratch.jumps[..];
+    let mut lo = 0;
+    while lo < jumps.len() {
+        let period = jumps[lo].0;
+        let mut hi = lo + 1;
+        while hi < jumps.len() && jumps[hi].0 == period {
+            hi += 1;
+        }
+        // The class head is its minimum first jump; the stream is
+        // sorted, so a head at or past the horizon means no events.
+        if jumps[lo].1 < t_hi {
+            scratch.classes.push(ClassCursor {
+                start: lo,
+                end: hi,
+                p: lo,
+                lap_off: 0,
+                period,
+                t: jumps[lo].1,
+            });
+        }
+        lo = hi;
+    }
+    loop {
+        // Next event: minimum head over the live cursors.
+        let mut t = t_hi;
+        for c in &scratch.classes {
+            if c.t < t {
+                t = c.t;
+            }
+        }
+        if t >= t_hi {
+            break;
+        }
+        // Drain every cursor sitting at this t, advancing each along its
+        // stream (next element of the lap, `+period` on wrap-around).
+        for c in &mut scratch.classes {
+            while c.t == t {
+                workload = workload
+                    .checked_add(jumps[c.p].2)
+                    .ok_or(Overflowed("interference workload sum"))?;
+                c.p += 1;
+                if c.p == c.end {
+                    c.p = c.start;
+                    c.lap_off = c
+                        .lap_off
+                        .checked_add(c.period)
+                        .ok_or(Overflowed("jump point"))?;
+                }
+                let next = jumps[c.p]
+                    .1
+                    .checked_add(c.lap_off)
+                    .ok_or(Overflowed("jump point"))?;
+                c.t = if next < t_hi { next } else { t_hi };
+                if c.t == t_hi {
+                    break;
+                }
+            }
+        }
+        let v = workload
+            .checked_add(constant)
+            .and_then(|x| x.checked_sub(t))
+            .ok_or(Overflowed("bound value"))?;
+        if v > best.value {
+            *best = MaxPoint {
+                value: v,
+                t_star: t,
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Sorted-event-buffer path of [`sweep_merged`]: each window's
+/// progression is materialised into the reused buffer, sorted once, and
+/// swept linearly with equal-`t` grouping.
+fn sweep_event_sort(
+    scratch: &mut SweepScratch,
+    constant: Duration,
+    t_hi: Tick,
+    mut workload: Duration,
+    best: &mut MaxPoint,
+) -> Result<(), Overflowed> {
+    scratch.events.clear();
+    for &(period, first, cost) in &scratch.jumps {
+        let mut t = first;
+        while t < t_hi {
+            scratch.events.push((t, cost));
+            t = t.checked_add(period).ok_or(Overflowed("jump point"))?;
+        }
+    }
+    scratch.events.sort_unstable();
+    let events = &scratch.events[..];
     let mut i = 0;
     while i < events.len() {
         let t = events[i].0;
@@ -238,13 +417,13 @@ pub(crate) fn sweep_merged(
             .and_then(|x| x.checked_sub(t))
             .ok_or(Overflowed("bound value"))?;
         if v > best.value {
-            best = MaxPoint {
+            *best = MaxPoint {
                 value: v,
                 t_star: t,
             };
         }
     }
-    Ok(best)
+    Ok(())
 }
 
 /// Smallest positive fixed point of `B = Σ (period, cost) ⌈B/T⌉·C`, on
@@ -256,6 +435,43 @@ pub(crate) fn busy_period_of_pairs(
     pairs: &[(Duration, Duration)],
     max_busy_period: Duration,
 ) -> Result<Option<Duration>, Overflowed> {
+    busy_period_from(pairs, max_busy_period, 0)
+}
+
+/// [`busy_period_of_pairs`] fast-forwarded from a known below-fixed-point
+/// seed. Sound whenever `F(seed) ≥ seed` and `seed ≤ lfp`: the recurrence
+/// is monotone, so Kleene iteration from the seed climbs to the *same*
+/// least fixed point as from the cost sum — bit-identical on the
+/// converging path. The cache build exploits this across prefix lengths:
+/// prefix `k+1`'s `(period, cost)` pairs dominate prefix `k`'s per period
+/// (clipped crossing pieces only grow with `k`, window costs are running
+/// maxima, and windows are only added), so `Fₖ₊₁(busyₖ) ≥ Fₖ(busyₖ) =
+/// busyₖ ≤ lfpₖ₊₁` and prefix `k`'s converged busy period seeds prefix
+/// `k+1`'s in one or two rounds instead of a climb from the cost sum.
+///
+/// The overload (`None`) and overflow (`Err`) classifications depend on
+/// the iterate *trajectory*, not just the fixed point, so a seeded run
+/// that fails to converge replays the unseeded iteration — those are the
+/// error paths, hit at most once per offending prefix.
+pub(crate) fn busy_period_of_pairs_seeded(
+    pairs: &[(Duration, Duration)],
+    max_busy_period: Duration,
+    seed: Option<Duration>,
+) -> Result<Option<Duration>, Overflowed> {
+    match seed {
+        Some(s) if s > 0 => match busy_period_from(pairs, max_busy_period, s) {
+            ok @ Ok(Some(_)) => ok,
+            _ => busy_period_of_pairs(pairs, max_busy_period),
+        },
+        _ => busy_period_of_pairs(pairs, max_busy_period),
+    }
+}
+
+fn busy_period_from(
+    pairs: &[(Duration, Duration)],
+    max_busy_period: Duration,
+    seed: Duration,
+) -> Result<Option<Duration>, Overflowed> {
     let mut b: Duration = 0;
     for &(_, c) in pairs {
         b = b
@@ -265,6 +481,7 @@ pub(crate) fn busy_period_of_pairs(
     if b == 0 {
         return Ok(Some(0));
     }
+    b = b.max(seed);
     loop {
         let mut nb: Duration = 0;
         for &(t, c) in pairs {

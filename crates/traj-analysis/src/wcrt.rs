@@ -161,7 +161,10 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         let requested = cfg.fixpoint;
         // `Reference` (explicit or Auto-selected) has no cache-based
         // incarnation; run its sequential equivalent and record that.
-        let chosen = requested.resolve(set.len()).cached_equivalent();
+        let cold = seed_rows.iter().all(|&s| s);
+        let chosen = requested
+            .resolve_for_run(set.len(), cold, rayon::current_num_threads())
+            .cached_equivalent();
         let cells = set
             .flows()
             .iter()
@@ -381,12 +384,14 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
         // resolution never yields `Auto` back, so the non-Jacobi branch
         // below is Gauss–Seidel.
         let chosen = self.telemetry.chosen;
-        // Component decomposition: with two or more crossing-graph
-        // components the equation system is block-diagonal and the
-        // sharded arena solver runs each block independently (bit-
-        // identical values, see `components`). A single component
-        // delegates to the monolithic loop below — same work, none of
-        // the arena build cost.
+        // Component decomposition: the crossing-graph components make
+        // the equation system block-diagonal and the sharded arena
+        // solver runs each block independently (bit-identical values,
+        // see `components`). A single component still runs through the
+        // arena — its flat reads, reusable scratch, and dirty-cell
+        // worklist beat the monolithic loop even without inter-shard
+        // parallelism. Only an empty universe falls through, keeping
+        // the monolithic loop's zero-round telemetry shape.
         if self.cfg.shard_mode == crate::config::ShardMode::Components {
             let comps = crate::components::partition(self.set, &self.universe, &self.cache);
             self.telemetry.components = comps.len();
@@ -399,7 +404,7 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
                         .field("flows", self.set.len()),
                 );
             }
-            if comps.len() >= 2 {
+            if !comps.is_empty() {
                 return self.fixpoint_smax_sharded(seed_rows, chosen, &comps);
             }
         }
@@ -517,6 +522,20 @@ impl<'a, D: DeltaProvider> Analyzer<'a, D> {
             }
         }
         self.telemetry.per_round = run.per_round;
+        if traj_obs::enabled() {
+            for s in &run.shards {
+                traj_obs::emit(
+                    Event::new("fixpoint.shard")
+                        .field("flows", s.flows)
+                        .field("cells", s.cells)
+                        .field("rounds", s.rounds)
+                        .field("recomputed", s.recomputed)
+                        .field("skipped", s.skipped)
+                        .field("parallel_rounds", s.parallel_rounds)
+                        .field("solve_micros", s.solve_micros),
+                );
+            }
+        }
         self.telemetry.shards = run.shards;
         if traj_obs::enabled() {
             traj_obs::emit(

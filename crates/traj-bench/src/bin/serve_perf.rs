@@ -19,7 +19,13 @@
 //! 4. **baseline** — the same warm decision path in-process
 //!    ([`evaluate_whatif`] on the standing [`ConvergedState`]) at the
 //!    same thread count. The quiesced wire p99 must stay within
-//!    `MAX_P99_RATIO`× of this.
+//!    `MAX_P99_RATIO`× of this;
+//! 5. **admit throughput** — concurrent connections pipeline windows
+//!    of `admit`/`release` cycles at the single writer, the regime the
+//!    engine's burst drain batches: queued mutations share one view
+//!    publication per burst. The sub-entry records sustained mutation
+//!    throughput plus the daemon's `write_ops` / `write_batches`
+//!    counters, whose ratio is the observed amortisation.
 //!
 //! Latency-phase concurrency is `min(8, available_parallelism)`: wire
 //! latency compared against an in-process baseline is only meaningful
@@ -55,6 +61,10 @@ const IDENTITY_WORKERS: usize = 8;
 /// Quiesced wire p99 must stay within this factor of the in-process
 /// warm p99 at the same concurrency.
 const MAX_P99_RATIO: f64 = 2.0;
+/// Requests each admit-phase connection keeps in flight before reading
+/// responses back. Workers × depth stays under the default queue depth
+/// (64) so nothing is shed as overloaded.
+const ADMIT_PIPELINE: usize = 4;
 
 const NODES_PER_CLUSTER: u32 = 10;
 const FLOWS_PER_CLUSTER: u32 = 5;
@@ -121,6 +131,16 @@ impl Client {
     fn call(&mut self, line: &str) -> String {
         self.stream.write_all(line.as_bytes()).expect("send");
         self.stream.write_all(b"\n").expect("send");
+        self.recv_line()
+    }
+
+    /// Writes pre-framed request lines without awaiting responses —
+    /// the pipelined half of the admit-throughput phase.
+    fn send_raw(&mut self, lines: &str) {
+        self.stream.write_all(lines.as_bytes()).expect("send");
+    }
+
+    fn recv_line(&mut self) -> String {
         let mut out = String::new();
         self.reader.read_line(&mut out).expect("recv");
         out.trim_end().to_string()
@@ -183,6 +203,24 @@ fn sorted(mut v: Vec<f64>) -> Vec<f64> {
     v
 }
 
+/// Sustained mutation throughput against the single writer, with the
+/// burst-drain amortisation counters the daemon reports.
+#[derive(Serialize)]
+struct AdmitEntry {
+    workers: usize,
+    pipeline_depth: usize,
+    /// Admit + release ops acknowledged over the wire.
+    ops: u64,
+    admitted: u64,
+    ops_per_sec: f64,
+    /// Daemon-lifetime mutation count at the end of the run.
+    write_ops: i128,
+    /// View publications the writer performed for those ops.
+    write_batches: i128,
+    /// `write_ops / write_batches` — ops sharing one view swap.
+    batch_amortisation: f64,
+}
+
 #[derive(Serialize)]
 struct Entry {
     flows: u32,
@@ -199,6 +237,7 @@ struct Entry {
     p99_ratio: f64,
     decisions_per_sec: f64,
     churn_cycles: u64,
+    admit: AdmitEntry,
     protocol_errors: i128,
     overloaded: i128,
 }
@@ -213,7 +252,81 @@ struct Output {
     entries: Vec<Entry>,
 }
 
-fn run_entry(flows: u32, workers: usize, per_worker: u64, churn_target: u64) -> Entry {
+/// Phase 5: every worker connection pipelines [`ADMIT_PIPELINE`]-deep
+/// windows of admits, reads the decisions back, then releases whatever
+/// was admitted (pipelined too) — cycling so the standing set returns
+/// to its initial size. Returns `(acknowledged ops, admitted, wall)`.
+fn admit_storm(
+    addr: std::net::SocketAddr,
+    flows: u32,
+    workers: usize,
+    cycles_per_worker: u64,
+) -> (u64, u64, f64) {
+    let t0 = Instant::now();
+    let (ops, admitted) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers as u64 {
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let (mut ops, mut admitted) = (0u64, 0u64);
+                let mut cycle = 0u64;
+                while cycle < cycles_per_worker {
+                    let window = (ADMIT_PIPELINE as u64).min(cycles_per_worker - cycle);
+                    let mut ids = Vec::with_capacity(window as usize);
+                    let mut lines = String::new();
+                    for k in 0..window {
+                        let mut f = candidate(flows, cycle + k);
+                        // Disjoint per-worker id ranges, clear of the
+                        // standing set, the identity candidates and the
+                        // churn phase.
+                        f.id = FlowId(300_000 + w as u32 * 10_000 + ((cycle + k) as u32 % 10_000));
+                        ids.push(f.id.0);
+                        lines.push_str(&format!(
+                            "{{\"op\":\"admit\",\"flow\":{}}}\n",
+                            serde_json::to_string(&f).expect("flow serialises")
+                        ));
+                    }
+                    client.send_raw(&lines);
+                    let mut to_release = Vec::new();
+                    for id in &ids {
+                        let resp = client.recv_line();
+                        ops += 1;
+                        if resp.contains("\"decision\":\"admitted\"") {
+                            admitted += 1;
+                            to_release.push(*id);
+                        }
+                    }
+                    if !to_release.is_empty() {
+                        let mut lines = String::new();
+                        for id in &to_release {
+                            lines.push_str(&format!("{{\"op\":\"release\",\"flow_id\":{id}}}\n"));
+                        }
+                        client.send_raw(&lines);
+                        for _ in &to_release {
+                            let _ = client.recv_line();
+                            ops += 1;
+                        }
+                    }
+                    cycle += window;
+                }
+                (ops, admitted)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    });
+    (ops, admitted, t0.elapsed().as_secs_f64())
+}
+
+fn run_entry(
+    flows: u32,
+    workers: usize,
+    per_worker: u64,
+    churn_target: u64,
+    admit_cycles: u64,
+) -> Entry {
     let set = clustered_instance(flows);
     let cfg = AnalysisConfig::default();
     let standing = ConvergedState::build_ef(&set, &cfg).expect("standing set converges");
@@ -308,16 +421,18 @@ fn run_entry(flows: u32, workers: usize, per_worker: u64, churn_target: u64) -> 
     });
     let inproc = sorted(inproc);
 
+    // Phase 5: sustained admit/release throughput at the writer.
+    let (admit_ops, admitted, admit_wall) = admit_storm(addr, flows, workers, admit_cycles);
+
     // Daemon-side health counters, then shut the daemon down.
     let mut client = Client::connect(addr);
     let metrics = result_of(&client.call("{\"op\":\"metrics\"}"));
     let entries = metrics.as_map().expect("metrics object");
-    let protocol_errors = field(entries, "protocol_errors")
-        .and_then(Value::as_int)
-        .unwrap_or(-1);
-    let overloaded = field(entries, "overloaded")
-        .and_then(Value::as_int)
-        .unwrap_or(-1);
+    let counter = |name| field(entries, name).and_then(Value::as_int).unwrap_or(-1);
+    let protocol_errors = counter("protocol_errors");
+    let overloaded = counter("overloaded");
+    let write_ops = counter("write_ops");
+    let write_batches = counter("write_batches");
     client.call("{\"op\":\"shutdown\"}");
     server.wait();
 
@@ -335,6 +450,16 @@ fn run_entry(flows: u32, workers: usize, per_worker: u64, churn_target: u64) -> 
         p99_ratio: wire_p99 / inproc_p99.max(1e-9),
         decisions_per_sec: decisions as f64 / wall.max(1e-9),
         churn_cycles: churn_cycles.load(Ordering::Relaxed),
+        admit: AdmitEntry {
+            workers,
+            pipeline_depth: ADMIT_PIPELINE,
+            ops: admit_ops,
+            admitted,
+            ops_per_sec: admit_ops as f64 / admit_wall.max(1e-9),
+            write_ops,
+            write_batches,
+            batch_amortisation: write_ops as f64 / (write_batches.max(1)) as f64,
+        },
         protocol_errors,
         overloaded,
     }
@@ -355,10 +480,11 @@ fn main() {
         25_000 / workers as u64 + 1
     };
     let churn_target: u64 = if smoke { 50 } else { 500 };
+    let admit_cycles: u64 = if smoke { 40 } else { 400 };
 
     let entries: Vec<Entry> = FLOW_COUNTS
         .iter()
-        .map(|&flows| run_entry(flows, workers, per_worker, churn_target))
+        .map(|&flows| run_entry(flows, workers, per_worker, churn_target, admit_cycles))
         .collect();
     let total: u64 = entries.iter().map(|e| e.decisions).sum();
 
@@ -375,6 +501,8 @@ fn main() {
                 format!("{:.2}x", e.p99_ratio),
                 format!("{:.0}", e.decisions_per_sec),
                 e.churn_cycles.to_string(),
+                format!("{:.0}", e.admit.ops_per_sec),
+                format!("{:.2}", e.admit.batch_amortisation),
                 if e.identity_ok { "yes" } else { "NO" }.to_string(),
             ]
         })
@@ -396,6 +524,8 @@ fn main() {
                 "ratio",
                 "dec/s",
                 "churn",
+                "admit/s",
+                "batch",
                 "identity",
             ],
             &rows,
@@ -436,6 +566,18 @@ fn main() {
             e.churn_cycles >= 1,
             "churn never committed at {} flows",
             e.flows
+        );
+        assert!(
+            e.admit.admitted >= 1 && e.admit.ops_per_sec > 0.0,
+            "admit storm never committed at {} flows",
+            e.flows
+        );
+        assert!(
+            e.admit.write_batches >= 1 && e.admit.write_batches <= e.admit.write_ops,
+            "burst counters inconsistent at {} flows: {} batches for {} ops",
+            e.flows,
+            e.admit.write_batches,
+            e.admit.write_ops
         );
     }
     if !smoke {

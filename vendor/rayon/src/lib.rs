@@ -102,6 +102,22 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
     pub fn collect<C: FromIterator<R>>(self) -> C {
         parallel_map(self.items, &self.f).into_iter().collect()
     }
+
+    /// Runs the map and writes the results (input order) into `out`,
+    /// reusing its allocation — mirrors rayon's `collect_into_vec`.
+    pub fn collect_into_vec(self, out: &mut Vec<R>) {
+        out.clear();
+        out.extend(parallel_map(self.items, &self.f));
+    }
+}
+
+/// Worker count the shim would fan out over — mirrors rayon's
+/// `current_num_threads` (the machine's available parallelism; there is
+/// no configurable pool in the shim).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Order-preserving parallel map over scoped threads.
