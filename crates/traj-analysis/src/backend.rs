@@ -1,0 +1,68 @@
+//! Pluggable analysis backends behind a common trait.
+//!
+//! The workspace has two ways to bound the EF class end to end: the
+//! exact trajectory fixed point ([`crate::analyze_ef`], this crate) and
+//! the closed-form network-calculus bounds (`traj-netcalc`, which
+//! implements this trait for its `NetcalcAnalyzer`). Both consume a
+//! [`FlowSet`] and produce a [`SetReport`] with per-flow verdicts, so
+//! consumers that only need *a* sound bound — reporting, screening,
+//! cross-validation — can be written once against the trait and handed
+//! either engine, or both (the serving layer reports the tightest
+//! per-flow bound of the two with its provenance).
+//!
+//! The trait deliberately covers the *stateless* whole-set analysis
+//! only. The warm incremental machinery ([`crate::ConvergedState`]) and
+//! the O(path) screen (`traj-netcalc`'s `AggregateCache`) stay typed:
+//! their contracts (bit-identity, checked-overflow fallback) are
+//! stronger than a common interface could express.
+
+use traj_model::FlowSet;
+
+use crate::config::AnalysisConfig;
+use crate::report::SetReport;
+
+/// A whole-set schedulability analysis backend.
+///
+/// Implementations must be *sound*: every [`crate::Verdict::Bounded`]
+/// value is a true upper bound on the flow's worst-case end-to-end
+/// response time. They need not be tight — the cross-validation suite
+/// checks soundness (bounds dominate the simulator's observed worst
+/// case), not tightness.
+pub trait Analyzer {
+    /// Short stable name for reports and provenance fields.
+    fn name(&self) -> &'static str;
+
+    /// Analyses `set` and returns one verdict per flow, set order.
+    fn analyze(&self, set: &FlowSet, cfg: &AnalysisConfig) -> SetReport;
+}
+
+/// The exact trajectory engine (Property 3 / [`crate::analyze_ef`])
+/// behind the backend trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrajectoryAnalyzer;
+
+impl Analyzer for TrajectoryAnalyzer {
+    fn name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn analyze(&self, set: &FlowSet, cfg: &AnalysisConfig) -> SetReport {
+        crate::analyze_ef(set, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_model::examples::paper_example;
+
+    #[test]
+    fn trajectory_backend_matches_direct_analyze_ef() {
+        let set = paper_example();
+        let cfg = AnalysisConfig::default();
+        let via_trait = TrajectoryAnalyzer.analyze(&set, &cfg);
+        let direct = crate::analyze_ef(&set, &cfg);
+        assert_eq!(via_trait.bounds(), direct.bounds());
+        assert_eq!(TrajectoryAnalyzer.name(), "trajectory");
+    }
+}

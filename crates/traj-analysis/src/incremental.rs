@@ -233,10 +233,46 @@ impl ConvergedState {
     /// the module docs for why the result is bit-identical to a cold
     /// [`crate::analyze_ef`] of the extended set.
     pub fn extend(&self, candidate: SporadicFlow) -> Result<EfWhatIf, ModelError> {
-        let extended = self.set.extended_with(candidate)?;
+        self.extend_many(std::slice::from_ref(&candidate))
+    }
+
+    /// Warm what-if over a *batch* of candidates: the standing set
+    /// extended with all of `candidates` at once, solved with **one**
+    /// warm fixed point instead of one per candidate.
+    ///
+    /// This is the settlement primitive behind the tiered admission
+    /// fast path: a burst of screen-admitted flows is folded into the
+    /// converged state in a single solve. The dirty-closure machinery
+    /// ([`direct_extension_crossers`], [`addition_dirty_closure`])
+    /// already ranges over `appended_from..`, and appending preserves
+    /// every standing index, so the construction is the `extend` code
+    /// verbatim with the append loop generalised — and the result is
+    /// bit-identical both to a cold [`crate::analyze_ef`] of the
+    /// extended set and to chaining single `extend` commits (asserted
+    /// by the admission differential suites).
+    ///
+    /// An empty batch returns the standing state unchanged. `Err` when
+    /// any candidate makes the extension structurally invalid; the
+    /// whole batch is rejected (callers settle one by one to attribute
+    /// the failure).
+    pub fn extend_many(&self, candidates: &[SporadicFlow]) -> Result<EfWhatIf, ModelError> {
+        if candidates.is_empty() {
+            return Ok(EfWhatIf {
+                report: self.report.clone(),
+                stale: vec![false; self.set.len()],
+                rounds: 0,
+                state: Some(self.clone()),
+            });
+        }
         let n = self.set.len();
+        let mut extended = self.set.extended_with(candidates[0].clone())?;
+        for c in &candidates[1..] {
+            extended = extended.extended_with(c.clone())?;
+        }
         let mut universe = self.universe.clone();
-        universe.push(extended.flows()[n].class.is_ef());
+        for f in &extended.flows()[n..] {
+            universe.push(f.class.is_ef());
+        }
         // Two invalidation grades. `rebuilt` — the candidate plus the
         // standing flows it *directly* crosses — is where interference
         // structure changes: new windows, `M` terms, `δ`. `stale` — the

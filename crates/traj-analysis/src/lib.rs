@@ -18,6 +18,7 @@
 //! Entry points: [`analyze_all`], [`analyze_flow`], [`ef::analyze_ef`],
 //! and [`explain::explain_flow`] for a Figure-2-style breakdown.
 
+pub mod backend;
 mod cache;
 mod components;
 pub mod config;
@@ -35,6 +36,7 @@ pub mod telemetry;
 pub mod terms;
 pub mod wcrt;
 
+pub use backend::TrajectoryAnalyzer;
 pub use config::{
     config_grid, AnalysisConfig, FixpointStrategy, IntraParallel, ReverseCounting, ShardMode,
     SmaxMode, INTRA_PARALLEL_MIN_CELLS,

@@ -1,0 +1,379 @@
+//! E20 — Tiered admission fast path: network-calculus screen in front
+//! of the trajectory fixed point.
+//!
+//! On clustered instances of 250–1000 standing flows (the same
+//! independent-island shape as E15), measures the two legs the tiered
+//! controller accelerates:
+//!
+//! * **what-if latency** — [`evaluate_whatif_screened`] (an O(path)
+//!   Charny screen over the published [`AggregateCache`]) against the
+//!   exact [`evaluate_whatif`] (a warm `ConvergedState::extend`), p50
+//!   per-call latency across a candidate sweep;
+//! * **pipelined admit storm** — a [`TieredPolicy::Screened`]
+//!   controller admitting candidates in bursts (screen hits append in
+//!   O(path), one deferred settlement per burst folds the suffix with
+//!   `extend_many`) against a [`TieredPolicy::TrajectoryOnly`]
+//!   controller paying one warm fixed point per admit.
+//!
+//! Every screened decision is checked against the exact engine —
+//! admit/reject/invalid identity per candidate, screen bounds
+//! dominating the exact trajectory WCRTs, and the settled standing
+//! bounds bit-identical between the tiered and pure controllers. The
+//! measurements go to `BENCH_tiered.json`; the binary asserts the
+//! ratio gates (≥5x what-if p50 and ≥3x admit storm at 1000 standing
+//! flows) so a stale artifact cannot hide a regression.
+//!
+//! Run: `cargo run --release -p traj-bench --bin tiered_perf`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use traj_analysis::{AnalysisConfig, ConvergedState};
+use traj_bench::{percentile, render_table};
+use traj_diffserv::{
+    evaluate_whatif, evaluate_whatif_screened, AdmissionController, AdmissionDecision, TieredPolicy,
+};
+use traj_model::{FlowSet, Network, Path, SporadicFlow};
+use traj_netcalc::AggregateCache;
+
+const NODES_PER_CLUSTER: u32 = 10;
+const FLOWS_PER_CLUSTER: u32 = 5;
+const FLOW_COUNTS: [u32; 3] = [250, 500, 1000];
+const REPS: usize = 5;
+/// Candidates in the what-if sweep and the admit storm.
+const CANDIDATES: usize = 96;
+/// Screen-hit admits folded per deferred settlement.
+const BURST: usize = 32;
+/// Inner iterations when timing the (sub-microsecond) screened path.
+const SCREEN_INNER: u32 = 256;
+/// Generous-but-finite deadline: far above both the trajectory WCRT
+/// and the Charny bound on these lightly-loaded clusters, so the
+/// screen passes and both engines admit — the regime the fast path is
+/// built for.
+const EASY_DEADLINE: i64 = 1_000_000;
+
+/// Disjoint clusters of five chained flows each (see E15): per-node
+/// utilisation stays near 7.5%, well under the Charny validity ceiling
+/// `nu < 1/(H-1)`, so the screen has real reach.
+fn clustered_instance(flows: u32) -> FlowSet {
+    let clusters = flows / FLOWS_PER_CLUSTER;
+    let network =
+        Network::uniform(clusters * NODES_PER_CLUSTER, 1, 1).expect("valid uniform network");
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for k in 0..clusters {
+        let b = k * NODES_PER_CLUSTER;
+        for s in 1..=FLOWS_PER_CLUSTER {
+            id += 1;
+            out.push(
+                SporadicFlow::uniform(
+                    id,
+                    Path::from_ids((b + s..=b + s + 4).collect::<Vec<_>>())
+                        .expect("valid cluster path"),
+                    200,
+                    3,
+                    0,
+                    EASY_DEADLINE,
+                )
+                .expect("valid cluster flow"),
+            );
+        }
+    }
+    FlowSet::new(network, out).expect("valid clustered instance")
+}
+
+/// Two-hop candidates at cluster heads, cycling across clusters.
+fn candidates(flows: u32, count: usize) -> Vec<SporadicFlow> {
+    let clusters = flows / FLOWS_PER_CLUSTER;
+    (0..count)
+        .map(|i| {
+            let b = (i as u32 % clusters) * NODES_PER_CLUSTER;
+            SporadicFlow::uniform(
+                10_000 + i as u32,
+                Path::from_ids([b + 1, b + 2]).expect("valid candidate path"),
+                400,
+                2,
+                0,
+                EASY_DEADLINE,
+            )
+            .expect("valid candidate")
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Entry {
+    flows: u32,
+    whatifs: usize,
+    /// Median per-call latency of the screened what-if (microseconds).
+    p50_us_screened: f64,
+    /// Median per-call latency of the exact warm what-if.
+    p50_us_exact: f64,
+    /// `p50_us_exact / p50_us_screened`.
+    whatif_speedup_p50: f64,
+    storm_candidates: usize,
+    burst: usize,
+    storm_ms_tiered: f64,
+    storm_ms_pure: f64,
+    /// Pure (per-admit warm fixed point) wall over tiered
+    /// (screen + per-burst settlement) wall for the same decisions.
+    storm_speedup: f64,
+    screen_hits: u64,
+    screen_fallbacks: u64,
+    screen_hit_rate: f64,
+    screen_settles: u64,
+    /// Tiered and pure decisions agreed on every candidate (admit
+    /// kind-identical; reject/invalid bit-identical).
+    identical: bool,
+    /// Settled standing bounds bit-identical after the storm.
+    bounds_identical: bool,
+    /// Every screen bound dominated the exact trajectory WCRT.
+    screen_bound_dominates: bool,
+}
+
+#[derive(Serialize)]
+struct Output {
+    experiment: String,
+    reps: usize,
+    entries: Vec<Entry>,
+}
+
+fn decisions_match(tiered: &AdmissionDecision, pure: &AdmissionDecision) -> bool {
+    match (tiered, pure) {
+        // The screen's admit carries its own (looser, sound) bound —
+        // identity is on the verdict, not the bound value.
+        (AdmissionDecision::Admitted { .. }, AdmissionDecision::Admitted { .. }) => true,
+        (a, b) => a == b,
+    }
+}
+
+fn main() {
+    let cfg = AnalysisConfig::default();
+    let mut entries = Vec::new();
+
+    for &flows in &FLOW_COUNTS {
+        let set = clustered_instance(flows);
+        let cands = candidates(flows, CANDIDATES);
+        let Ok(standing) = ConvergedState::build_ef(&set, &cfg) else {
+            eprintln!("standing instance at {flows} flows did not converge");
+            continue;
+        };
+        let screen = AggregateCache::build(&set);
+
+        // What-if sweep: per-candidate p50, screened vs exact. The
+        // screened call is far below timer resolution, so it is timed
+        // over an inner loop; identity and domination are checked on
+        // every candidate along the way.
+        let mut screened_us = Vec::with_capacity(cands.len());
+        let mut exact_us = Vec::with_capacity(cands.len());
+        let mut identical = true;
+        let mut dominates = true;
+        for cand in &cands {
+            let mut best_screen = f64::INFINITY;
+            let mut best_exact = f64::INFINITY;
+            let mut screened_decision = None;
+            let mut exact_decision = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                for _ in 0..SCREEN_INNER {
+                    screened_decision =
+                        Some(evaluate_whatif_screened(&screen, &standing, cand.clone()));
+                }
+                best_screen =
+                    best_screen.min(t0.elapsed().as_secs_f64() * 1e6 / f64::from(SCREEN_INNER));
+                let t1 = Instant::now();
+                exact_decision = Some(evaluate_whatif(&standing, cand.clone()));
+                best_exact = best_exact.min(t1.elapsed().as_secs_f64() * 1e6);
+            }
+            let (Some((sd, was_screened)), Some(ed)) = (screened_decision, exact_decision) else {
+                continue;
+            };
+            identical &= was_screened && decisions_match(&sd, &ed);
+            if let (
+                AdmissionDecision::Admitted { wcrt: loose },
+                AdmissionDecision::Admitted { wcrt: exact },
+            ) = (&sd, &ed)
+            {
+                dominates &= loose >= exact && *loose <= cand.deadline;
+            } else {
+                dominates = false;
+            }
+            screened_us.push(best_screen);
+            exact_us.push(best_exact);
+        }
+
+        // Structural-error identity: duplicate ids and unknown nodes
+        // must produce the exact engine's ModelError strings even when
+        // the screen vouches for the rate-level feasibility.
+        let dup = set.flows()[0].clone();
+        let (dup_screened, _) = evaluate_whatif_screened(&screen, &standing, dup.clone());
+        identical &= dup_screened == evaluate_whatif(&standing, dup);
+
+        // Pipelined admit storm: both controllers prewarmed, then the
+        // same candidates in the same order; the tiered side settles
+        // once per burst, the pure side pays a warm solve per admit.
+        let mut tiered_proto =
+            AdmissionController::new(set.clone(), cfg.clone()).with_tiered(TieredPolicy::Screened);
+        tiered_proto.converged_state();
+        let mut pure_proto = AdmissionController::new(set.clone(), cfg.clone());
+        pure_proto.converged_state();
+
+        let mut best_tiered = f64::INFINITY;
+        let mut best_pure = f64::INFINITY;
+        let mut storm_result = None;
+        for _ in 0..REPS {
+            let mut tiered = tiered_proto.clone();
+            let t0 = Instant::now();
+            let mut tiered_decisions = Vec::with_capacity(cands.len());
+            for chunk in cands.chunks(BURST) {
+                for cand in chunk {
+                    tiered_decisions.push(tiered.try_admit(cand.clone()));
+                }
+                tiered.converged_state(); // settle the burst
+            }
+            best_tiered = best_tiered.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            let mut pure = pure_proto.clone();
+            let t1 = Instant::now();
+            let mut pure_decisions = Vec::with_capacity(cands.len());
+            for cand in &cands {
+                pure_decisions.push(pure.try_admit(cand.clone()));
+            }
+            best_pure = best_pure.min(t1.elapsed().as_secs_f64() * 1e3);
+            storm_result = Some((tiered, pure, tiered_decisions, pure_decisions));
+        }
+        let Some((mut tiered, mut pure, tiered_decisions, pure_decisions)) = storm_result else {
+            continue;
+        };
+        identical &= tiered_decisions.len() == pure_decisions.len()
+            && tiered_decisions
+                .iter()
+                .zip(&pure_decisions)
+                .all(|(t, p)| decisions_match(t, p));
+        let bounds_identical = match (tiered.converged_state(), pure.converged_state()) {
+            (Some(t), Some(p)) => t.report().bounds() == p.report().bounds(),
+            _ => false,
+        };
+        let m = tiered.metrics();
+        let attempts = m.screen_hits + m.screen_fallbacks;
+        let hit_rate = if attempts > 0 {
+            m.screen_hits as f64 / attempts as f64
+        } else {
+            0.0
+        };
+
+        entries.push(Entry {
+            flows,
+            whatifs: screened_us.len(),
+            p50_us_screened: percentile(&screened_us, 0.5),
+            p50_us_exact: percentile(&exact_us, 0.5),
+            whatif_speedup_p50: percentile(&exact_us, 0.5)
+                / percentile(&screened_us, 0.5).max(1e-9),
+            storm_candidates: cands.len(),
+            burst: BURST,
+            storm_ms_tiered: best_tiered,
+            storm_ms_pure: best_pure,
+            storm_speedup: best_pure / best_tiered.max(1e-9),
+            screen_hits: m.screen_hits,
+            screen_fallbacks: m.screen_fallbacks,
+            screen_hit_rate: hit_rate,
+            screen_settles: m.screen_settles,
+            identical,
+            bounds_identical,
+            screen_bound_dominates: dominates,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.flows.to_string(),
+                format!("{:.2}", e.p50_us_screened),
+                format!("{:.1}", e.p50_us_exact),
+                format!("{:.0}x", e.whatif_speedup_p50),
+                format!("{:.1}", e.storm_ms_tiered),
+                format!("{:.1}", e.storm_ms_pure),
+                format!("{:.1}x", e.storm_speedup),
+                format!("{:.2}", e.screen_hit_rate),
+                if e.identical && e.bounds_identical {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("E20 - tiered admission fast path (storm of {CANDIDATES}, burst {BURST}, best of {REPS})"),
+            &[
+                "flows",
+                "whatif p50 scr (us)",
+                "whatif p50 exact (us)",
+                "whatif",
+                "storm tiered (ms)",
+                "storm pure (ms)",
+                "storm",
+                "hit rate",
+                "match",
+            ],
+            &rows,
+        )
+    );
+
+    let out = Output {
+        experiment: "tiered_perf".to_string(),
+        reps: REPS,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialisable");
+    std::fs::write("BENCH_tiered.json", &json).expect("write BENCH_tiered.json");
+    println!("wrote BENCH_tiered.json");
+
+    assert!(!out.entries.is_empty(), "no entry converged");
+    for e in &out.entries {
+        assert!(
+            e.identical,
+            "tiered and pure decisions diverged at {} flows",
+            e.flows
+        );
+        assert!(
+            e.bounds_identical,
+            "settled standing bounds diverged at {} flows",
+            e.flows
+        );
+        assert!(
+            e.screen_bound_dominates,
+            "a screen bound fell below the exact trajectory WCRT at {} flows",
+            e.flows
+        );
+        assert!(
+            e.screen_hit_rate > 0.0,
+            "the screen never fired at {} flows",
+            e.flows
+        );
+        if e.flows >= 1000 {
+            assert!(
+                e.whatif_speedup_p50 >= 5.0,
+                "screened what-if p50 must reach 5x over exact at {} flows, got {:.1}x",
+                e.flows,
+                e.whatif_speedup_p50
+            );
+            assert!(
+                e.storm_speedup >= 3.0,
+                "pipelined admit storm must reach 3x over per-admit solves at {} flows, got {:.1}x",
+                e.flows,
+                e.storm_speedup
+            );
+        }
+    }
+    let best = out
+        .entries
+        .iter()
+        .map(|e| e.storm_speedup)
+        .fold(0.0, f64::max);
+    println!("best tiered admit-storm speedup: {best:.1}x (decision identity verified)");
+}

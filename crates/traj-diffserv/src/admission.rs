@@ -46,6 +46,7 @@ use serde::{Deserialize, Serialize};
 use traj_analysis::{analyze_ef, AnalysisConfig, ConvergedState, EfWhatIf, SetReport};
 use traj_model::flow::TrafficClass;
 use traj_model::{FaultScenario, FlowFate, FlowId, FlowSet, ModelError, SporadicFlow};
+use traj_netcalc::{AggregateCache, ScreenOutcome};
 
 /// Batches at or below this size evaluate their what-ifs serially.
 ///
@@ -108,6 +109,61 @@ struct AdmitMeta {
     warm: bool,
     /// Size of the dirty closure the warm path re-solved.
     closure: Option<usize>,
+    /// Decided by the O(path) network-calculus screen — no fixed point
+    /// ran at all (see [`TieredPolicy::Screened`]).
+    screened: bool,
+}
+
+impl AdmitMeta {
+    fn warm(closure: Option<usize>) -> Self {
+        AdmitMeta {
+            warm: true,
+            closure,
+            screened: false,
+        }
+    }
+
+    fn cold() -> Self {
+        AdmitMeta {
+            warm: false,
+            closure: None,
+            screened: false,
+        }
+    }
+
+    fn screened() -> Self {
+        AdmitMeta {
+            warm: true,
+            closure: None,
+            screened: true,
+        }
+    }
+}
+
+/// Which evaluation tiers an [`AdmissionController`] runs per decision.
+///
+/// [`TieredPolicy::Screened`] puts the O(path-length) network-calculus
+/// screen ([`traj_netcalc::AggregateCache`]) in front of the trajectory
+/// fixed point: when the (sound, looser) Charny-style closed-form bound
+/// already meets every affected flow's deadline the admit commits
+/// immediately, and the standing converged state is *settled* lazily —
+/// pending screen-admitted flows are folded in with **one** warm fixed
+/// point the next time an exact answer is needed (a screen miss, a
+/// release, an audit). The decision *kind* is identical to
+/// [`TieredPolicy::TrajectoryOnly`] by construction on misses (same
+/// code path) and by bound domination on hits (a screen pass implies
+/// the trajectory analysis would also admit — enforced by the
+/// differential proptest suites and the soak screening audit); the
+/// reported `wcrt` of a screen-hit admit carries the netcalc bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TieredPolicy {
+    /// Every decision runs the exact trajectory what-if (seed behaviour).
+    #[default]
+    TrajectoryOnly,
+    /// Screen first; fall back to the exact what-if when the screen
+    /// cannot vouch (above the Charny threshold, deadline not covered,
+    /// non-EF candidate, or checked-arithmetic overflow).
+    Screened,
 }
 
 /// Which admitted flow to sacrifice first when a fault leaves the
@@ -231,6 +287,18 @@ pub struct AdmissionMetrics {
     /// Largest batch ever evaluated.
     #[serde(default)]
     pub batch_peak: u64,
+    /// Decisions served by the O(path) network-calculus screen without
+    /// running any trajectory fixed point.
+    #[serde(default)]
+    pub screen_hits: u64,
+    /// Screen evaluations that could not vouch and fell back to the
+    /// exact trajectory path.
+    #[serde(default)]
+    pub screen_fallbacks: u64,
+    /// Settlements run: pending screen-admitted flows folded into the
+    /// standing converged state with one warm fixed point.
+    #[serde(default)]
+    pub screen_settles: u64,
 }
 
 /// Serializable image of an [`AdmissionController`]: the admitted set,
@@ -263,6 +331,10 @@ pub struct ControllerSnapshot {
     pub next_seq: u64,
     /// Monotone clock high-water mark (see [`AdmissionController::clock`]).
     pub last_tick: u64,
+    /// Tiered-evaluation policy in force (absent in pre-tiering
+    /// snapshots, defaulting to [`TieredPolicy::TrajectoryOnly`]).
+    #[serde(default)]
+    pub tiered: TieredPolicy,
 }
 
 /// Why [`AdmissionController::restore`] rejected a snapshot.
@@ -304,7 +376,16 @@ pub struct AdmissionController {
     /// The standing set's converged analysis, extended/shrunk in place
     /// by admissions and releases. `None` after structural invalidation
     /// (a fault) or a failed build; rebuilt lazily on the next what-if.
+    /// Under [`TieredPolicy::Screened`] it may cover only a settled
+    /// *prefix* of `current` — screen-hit admits are appended to
+    /// `current` without touching it, and [`Self::settle`] folds the
+    /// pending suffix in with one warm fixed point.
     state: Option<ConvergedState>,
+    /// Incrementally maintained aggregates behind the admission screen;
+    /// `None` until first use (or after a fault) and rebuilt lazily.
+    /// Tracks `current` exactly whenever present.
+    screen: Option<AggregateCache>,
+    tiered: TieredPolicy,
     policy: EvictionPolicy,
     retry_policy: RetryPolicy,
     retry: Vec<RetryEntry>,
@@ -342,6 +423,8 @@ impl AdmissionController {
             current,
             cfg,
             state: None,
+            screen: None,
+            tiered: TieredPolicy::default(),
             policy,
             retry_policy: RetryPolicy::default(),
             retry: Vec::new(),
@@ -356,6 +439,40 @@ impl AdmissionController {
     pub fn with_retry_policy(mut self, retry_policy: RetryPolicy) -> Self {
         self.retry_policy = retry_policy;
         self
+    }
+
+    /// Selects the tiered-evaluation policy (builder style). Under
+    /// [`TieredPolicy::Screened`] the aggregate cache is built eagerly
+    /// so read-side consumers (the serve view) can screen what-ifs
+    /// before the first admit.
+    pub fn with_tiered(mut self, tiered: TieredPolicy) -> Self {
+        self.tiered = tiered;
+        if self.tiered == TieredPolicy::Screened && self.screen.is_none() {
+            self.screen = Some(AggregateCache::build(&self.current));
+        }
+        self
+    }
+
+    /// The active tiered-evaluation policy.
+    pub fn tiered(&self) -> TieredPolicy {
+        self.tiered
+    }
+
+    /// Screen-admitted flows not yet folded into the standing converged
+    /// state (always 0 under [`TieredPolicy::TrajectoryOnly`]).
+    pub fn pending_settlement(&self) -> usize {
+        match &self.state {
+            Some(st) => self.current.len().saturating_sub(st.set().len()),
+            None => 0,
+        }
+    }
+
+    /// The screen's aggregate cache, if one has been built. Serving
+    /// layers publish a clone next to the converged-state snapshot so
+    /// read-only what-ifs can screen too; audits compare it against a
+    /// cold rebuild via [`AggregateCache::verify_against`].
+    pub fn screen_cache(&self) -> Option<&AggregateCache> {
+        self.screen.as_ref()
     }
 
     /// The active eviction policy.
@@ -436,6 +553,9 @@ impl AdmissionController {
     /// [`traj_analysis::ConvergedState::verify_bit_identity`] on the
     /// result to spot-check the warm state against a cold re-analysis.
     pub fn converged_state(&mut self) -> Option<&ConvergedState> {
+        // Fold any screen-admitted pending flows in first, so the
+        // returned state always covers the full admitted set.
+        self.settle();
         self.ensure_state()
     }
 
@@ -508,9 +628,23 @@ impl AdmissionController {
         if let Some(st) = &self.state {
             let state_ids: Vec<FlowId> = st.set().flows().iter().map(|f| f.id).collect();
             let current_ids: Vec<FlowId> = self.current.flows().iter().map(|f| f.id).collect();
-            if state_ids != current_ids {
+            // Under the screened policy the state may lag behind by the
+            // pending (screen-admitted, unsettled) suffix; it must still
+            // describe a prefix of the admitted set in admission order.
+            let settled_prefix =
+                self.tiered == TieredPolicy::Screened && current_ids.starts_with(&state_ids);
+            if state_ids != current_ids && !settled_prefix {
                 violations
                     .push("standing converged state diverged from the admitted set".to_string());
+            }
+        }
+        if let Some(sc) = &self.screen {
+            if sc.len() != self.current.len() {
+                violations.push(format!(
+                    "screen cache tracks {} flows but {} are admitted",
+                    sc.len(),
+                    self.current.len()
+                ));
             }
         }
         violations
@@ -531,6 +665,7 @@ impl AdmissionController {
             order: self.order.clone(),
             next_seq: self.next_seq,
             last_tick: self.last_tick,
+            tiered: self.tiered,
         }
     }
 
@@ -544,9 +679,11 @@ impl AdmissionController {
         let flows = FlowSet::new(snap.flows.network().clone(), snap.flows.flows().to_vec())
             .map_err(|e| RestoreError::InvalidFlowSet(format!("{e:?}")))?;
         let ac = AdmissionController {
+            screen: (snap.tiered == TieredPolicy::Screened).then(|| AggregateCache::build(&flows)),
             current: flows,
             cfg: snap.cfg,
             state: None,
+            tiered: snap.tiered,
             policy: snap.policy,
             retry_policy: snap.retry_policy,
             retry: snap.retry,
@@ -622,6 +759,17 @@ impl AdmissionController {
                     .field("flows", self.current.len()),
             );
         }
+        if self.tiered == TieredPolicy::Screened {
+            // Screen-first sequential drain: hits commit in O(path)
+            // without touching the fixed point, so there is no warm
+            // fan-out to amortise; misses settle once, then take the
+            // exact path. Decision kinds match the pure batch (itself
+            // sequential-equivalent by monotonicity).
+            return candidates
+                .into_iter()
+                .map(|c| (c.id, self.try_admit(c)))
+                .collect();
+        }
         if self.ensure_state().is_none() {
             // No warm state to fan out against: sequential cold path.
             return candidates
@@ -671,26 +819,14 @@ impl AdmissionController {
                     // through the re-evaluation branch below).
                     Err(e) => {
                         let d = AdmissionDecision::Invalid(e.to_string());
-                        self.record_decision(
-                            &d,
-                            AdmitMeta {
-                                warm: true,
-                                closure: None,
-                            },
-                        );
+                        self.record_decision(&d, AdmitMeta::warm(None));
                         d
                     }
                     // Provisional miss: final by monotonicity.
                     Ok(w) if Self::first_miss(&w.report).is_some() => {
                         let (victim, wcrt) = Self::first_miss(&w.report).unwrap_or((id, None));
                         let d = AdmissionDecision::Rejected { victim, wcrt };
-                        self.record_decision(
-                            &d,
-                            AdmitMeta {
-                                warm: true,
-                                closure: Some(w.recomputed()),
-                            },
-                        );
+                        self.record_decision(&d, AdmitMeta::warm(Some(w.recomputed())));
                         d
                     }
                     // Provisional winner: the standing set grew since
@@ -712,20 +848,123 @@ impl AdmissionController {
         self.state.as_ref()
     }
 
+    /// Lazily (re)builds the screen's aggregate cache from the admitted
+    /// set. O(flows · path), amortised across every later O(path) screen.
+    fn ensure_screen(&mut self) -> &AggregateCache {
+        self.screen
+            .get_or_insert_with(|| AggregateCache::build(&self.current))
+    }
+
+    /// Folds screen-admitted pending flows into the standing converged
+    /// state with **one** warm fixed point ([`ConvergedState::extend_many`],
+    /// bit-identical to chained single extends and to a cold rebuild).
+    /// No-op when nothing is pending; a failed fold drops the state for
+    /// a lazy cold rebuild, never losing admitted flows.
+    fn settle(&mut self) {
+        let Some(st) = self.state.take() else {
+            // No standing state: the next `ensure_state` builds cold
+            // from `current`, which already contains every admit.
+            return;
+        };
+        let n = st.set().len();
+        if n >= self.current.len() {
+            self.state = Some(st);
+            return;
+        }
+        let _span =
+            traj_obs::ScopedTimer::new("admission.settle").field("pending", self.current.len() - n);
+        self.metrics.screen_settles += 1;
+        let pending: Vec<SporadicFlow> = self.current.flows()[n..].to_vec();
+        self.state = match st.extend_many(&pending) {
+            Ok(whatif) => whatif.into_state(),
+            Err(_) => None,
+        };
+        if traj_obs::enabled() {
+            traj_obs::counter_add("admission.screen_settles", 1);
+        }
+    }
+
+    /// The O(path) screened fast path. `Some` when the screen could
+    /// decide on its own (a pass commits the admit immediately, deferring
+    /// settlement); `None` when it cannot vouch and the exact trajectory
+    /// path must run.
+    fn screened_admit(
+        &mut self,
+        candidate: &SporadicFlow,
+    ) -> Option<(AdmissionDecision, AdmitMeta)> {
+        self.ensure_screen();
+        let outcome = self
+            .screen
+            .as_ref()
+            .map(|sc| sc.screen_admit(candidate))
+            .unwrap_or(ScreenOutcome::Overflow);
+        match outcome {
+            ScreenOutcome::Pass { bound } => {
+                // Structural validation identical to the exact path —
+                // same `ModelError` strings on duplicates and unknown
+                // nodes, so Invalid decisions stay bit-identical.
+                let tentative = match self.current.extended_with(candidate.clone()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Some((
+                            AdmissionDecision::Invalid(e.to_string()),
+                            AdmitMeta::screened(),
+                        ))
+                    }
+                };
+                self.current = tentative;
+                if let Some(sc) = self.screen.as_mut() {
+                    sc.admit(candidate);
+                }
+                self.order.push((candidate.id, self.next_seq));
+                self.next_seq += 1;
+                // Mirror the warm/cold commits: a successful admission
+                // settles any pending retry for this flow.
+                self.retry.retain(|e| e.flow.id != candidate.id);
+                Some((
+                    AdmissionDecision::Admitted { wcrt: bound },
+                    AdmitMeta::screened(),
+                ))
+            }
+            ScreenOutcome::Fail { why } => {
+                self.metrics.screen_fallbacks += 1;
+                if traj_obs::enabled() {
+                    traj_obs::counter_add("admission.screen_fallbacks", 1);
+                    traj_obs::emit(
+                        traj_obs::Event::new("admission.screen_fallback").field("why", why),
+                    );
+                }
+                None
+            }
+            ScreenOutcome::Overflow => {
+                self.metrics.screen_fallbacks += 1;
+                if traj_obs::enabled() {
+                    traj_obs::counter_add("admission.screen_fallbacks", 1);
+                    traj_obs::emit(
+                        traj_obs::Event::new("admission.screen_fallback").field("why", "overflow"),
+                    );
+                }
+                None
+            }
+        }
+    }
+
     fn admit_inner(&mut self, candidate: SporadicFlow) -> (AdmissionDecision, AdmitMeta) {
+        if self.tiered == TieredPolicy::Screened {
+            if let Some(decided) = self.screened_admit(&candidate) {
+                return decided;
+            }
+            // The screen could not vouch: fold pending screen admits in
+            // (one warm fixed point) and take the exact path below.
+            self.settle();
+        }
         // Warm path: extend the standing converged state; only the
         // candidate's dirty closure is re-solved and the bounds are
         // bit-identical to the cold analysis below.
         let res = self.ensure_state().map(|st| st.extend(candidate.clone()));
         match res {
             Some(res) => self.finish_warm(&candidate, res),
-            None => (
-                self.cold_admit(candidate),
-                AdmitMeta {
-                    warm: false,
-                    closure: None,
-                },
-            ),
+            None => (self.cold_admit(candidate), AdmitMeta::cold()),
         }
     }
 
@@ -771,17 +1010,11 @@ impl AdmissionController {
             Err(e) => {
                 return (
                     AdmissionDecision::Invalid(e.to_string()),
-                    AdmitMeta {
-                        warm: true,
-                        closure: None,
-                    },
+                    AdmitMeta::warm(None),
                 )
             }
         };
-        let meta = AdmitMeta {
-            warm: true,
-            closure: Some(whatif.recomputed()),
-        };
+        let meta = AdmitMeta::warm(Some(whatif.recomputed()));
         let decision = Self::decision_for(&whatif.report, cand_id);
         let AdmissionDecision::Admitted { wcrt } = decision else {
             return (decision, meta);
@@ -790,6 +1023,9 @@ impl AdmissionController {
             Some(st) => {
                 self.current = st.set().clone();
                 self.state = Some(st);
+                if let Some(sc) = self.screen.as_mut() {
+                    sc.admit(candidate);
+                }
                 self.order.push((cand_id, self.next_seq));
                 self.next_seq += 1;
                 // A successful admission settles any pending retry for
@@ -806,13 +1042,7 @@ impl AdmissionController {
             // converged state); degrade to the cold path, never panic.
             None => {
                 self.state = None;
-                (
-                    self.cold_admit(candidate.clone()),
-                    AdmitMeta {
-                        warm: false,
-                        closure: None,
-                    },
-                )
+                (self.cold_admit(candidate.clone()), AdmitMeta::cold())
             }
         }
     }
@@ -835,6 +1065,9 @@ impl AdmissionController {
             return decision;
         };
         self.current = tentative;
+        if let (Some(sc), Some(f)) = (self.screen.as_mut(), self.current.flows().last()) {
+            sc.admit(f);
+        }
         self.order.push((cand_id, self.next_seq));
         self.next_seq += 1;
         // Mirror the warm commit: a successful admission settles any
@@ -850,7 +1083,9 @@ impl AdmissionController {
             AdmissionDecision::Rejected { .. } => self.metrics.rejected += 1,
             AdmissionDecision::Invalid(_) => self.metrics.invalid += 1,
         }
-        if meta.warm {
+        if meta.screened {
+            self.metrics.screen_hits += 1;
+        } else if meta.warm {
             self.metrics.warm_hits += 1;
         } else {
             self.metrics.cold_fallbacks += 1;
@@ -862,7 +1097,9 @@ impl AdmissionController {
                 AdmissionDecision::Invalid(_) => "invalid",
             };
             traj_obs::counter_add("admission.decisions", 1);
-            if meta.warm {
+            if meta.screened {
+                traj_obs::counter_add("admission.screen_hits", 1);
+            } else if meta.warm {
                 traj_obs::counter_add("admission.warm_hits", 1);
             } else {
                 traj_obs::counter_add("admission.cold_fallbacks", 1);
@@ -870,7 +1107,8 @@ impl AdmissionController {
             let mut ev = traj_obs::Event::new("admission.decision")
                 .field("outcome", outcome)
                 .field("flows", self.current.len())
-                .field("warm", meta.warm);
+                .field("warm", meta.warm)
+                .field("screened", meta.screened);
             if let Some(closure) = meta.closure {
                 ev = ev.field("closure", closure);
             }
@@ -891,11 +1129,17 @@ impl AdmissionController {
             // FlowSet cannot be empty: the final flow stays admitted.
             return ReleaseOutcome::LastFlowRetained;
         }
+        // The warm shrink removes by id from the converged state, so any
+        // screen-admitted pending flows must be folded in first.
+        self.settle();
         match self.current.without_flow(id) {
             Ok(rest) => {
                 // Warm maintenance; a failed shrink degrades to a lazy
                 // cold rebuild on the next what-if.
                 self.state = self.state.take().and_then(|s| s.remove(id));
+                if let Some(sc) = self.screen.as_mut() {
+                    sc.release(id);
+                }
                 self.current = rest;
                 self.order.retain(|(f, _)| *f != id);
                 ReleaseOutcome::Released
@@ -978,8 +1222,11 @@ impl AdmissionController {
         self.current = set;
         // Structural invalidation: paths and the universe changed in
         // ways the append/remove deltas do not model; the next what-if
-        // rebuilds the converged state cold.
+        // rebuilds the converged state cold. The screen is rebuilt
+        // eagerly under `Screened` so published views never go dark.
         self.state = None;
+        self.screen =
+            (self.tiered == TieredPolicy::Screened).then(|| AggregateCache::build(&self.current));
         self.metrics.dropped += response.dropped.len() as u64;
         self.metrics.evicted += response.evicted.len() as u64;
         if traj_obs::enabled() {
@@ -1120,6 +1367,50 @@ pub fn evaluate_whatif(state: &ConvergedState, candidate: SporadicFlow) -> Admis
         Err(e) => AdmissionDecision::Invalid(e.to_string()),
         Ok(whatif) => AdmissionController::decision_for(&whatif.report, cand_id),
     }
+}
+
+/// Tiered read-only what-if: screens `candidate` against the published
+/// aggregate cache first and only falls back to the exact
+/// [`evaluate_whatif`] when the screen cannot vouch. Returns the
+/// decision plus whether the screen served it (for hit/fallback
+/// counters). `screen` and `state` must describe the same standing set.
+///
+/// On a screen pass the candidate is still validated structurally
+/// (duplicate id, unknown path nodes) with the same [`ModelError`]
+/// strings the exact path would produce — without cloning the flow set,
+/// so a screened what-if stays O(path).
+pub fn evaluate_whatif_screened(
+    screen: &AggregateCache,
+    state: &ConvergedState,
+    candidate: SporadicFlow,
+) -> (AdmissionDecision, bool) {
+    if let ScreenOutcome::Pass { bound } = screen.screen_admit(&candidate) {
+        let set = state.set();
+        if set.index_of(candidate.id).is_some() {
+            return (
+                AdmissionDecision::Invalid(
+                    ModelError::DuplicateFlowId { id: candidate.id }.to_string(),
+                ),
+                true,
+            );
+        }
+        for &n in candidate.path.nodes() {
+            if !set.network().contains(n) {
+                return (
+                    AdmissionDecision::Invalid(
+                        ModelError::UnknownNode {
+                            flow: candidate.id,
+                            node: n,
+                        }
+                        .to_string(),
+                    ),
+                    true,
+                );
+            }
+        }
+        return (AdmissionDecision::Admitted { wcrt: bound }, true);
+    }
+    (evaluate_whatif(state, candidate), false)
 }
 
 #[cfg(test)]
@@ -1795,5 +2086,136 @@ mod tests {
             AdmissionController::restore(snap),
             Err(RestoreError::Inconsistent(_))
         ));
+    }
+
+    /// A light standing set the screen can vouch for: low utilisation,
+    /// generous deadlines, well below the Charny threshold.
+    fn light_controller(tiered: TieredPolicy) -> AdmissionController {
+        let set = traj_model::examples::line_topology(2, 3, 4000, 4, 0, 1).unwrap();
+        AdmissionController::new(set, AnalysisConfig::default()).with_tiered(tiered)
+    }
+
+    fn light_candidate(id: u32, deadline: i64) -> SporadicFlow {
+        SporadicFlow::uniform(id, Path::from_ids([1, 2, 3]).unwrap(), 4000, 4, 0, deadline)
+            .unwrap()
+            .with_class(traj_model::flow::TrafficClass::Ef)
+    }
+
+    #[test]
+    fn screened_admits_without_running_the_fixed_point() {
+        let mut ac = light_controller(TieredPolicy::Screened);
+        for id in 100..110 {
+            assert!(matches!(
+                ac.try_admit(light_candidate(id, 50_000)),
+                AdmissionDecision::Admitted { .. }
+            ));
+        }
+        assert_eq!(ac.metrics().screen_hits, 10);
+        assert_eq!(ac.metrics().warm_hits, 0);
+        assert_eq!(ac.metrics().cold_fallbacks, 0);
+        assert_eq!(ac.pending_settlement(), 0, "no state was ever built");
+        assert!(ac.check_invariants().is_empty());
+        // The settled state covers everyone and every deadline holds.
+        let st = ac.converged_state().unwrap();
+        assert_eq!(st.set().len(), 12);
+        assert!(st
+            .report()
+            .per_flow()
+            .iter()
+            .all(|r| r.meets_deadline() == Some(true)));
+    }
+
+    #[test]
+    fn screened_decisions_match_the_pure_controller() {
+        let mut pure = light_controller(TieredPolicy::TrajectoryOnly);
+        let mut tiered = light_controller(TieredPolicy::Screened);
+        // Feasible admits, an infeasible deadline, a duplicate id, a
+        // release, then more admits: kinds (and victims) must agree.
+        let script: Vec<SporadicFlow> = vec![
+            light_candidate(100, 50_000),
+            light_candidate(101, 50_000),
+            light_candidate(102, 5),      // misses its own deadline
+            light_candidate(100, 50_000), // duplicate
+            light_candidate(103, 50_000),
+        ];
+        for cand in script {
+            let p = pure.try_admit(cand.clone());
+            let t = tiered.try_admit(cand);
+            match (&p, &t) {
+                (AdmissionDecision::Admitted { .. }, AdmissionDecision::Admitted { .. }) => {}
+                _ => assert_eq!(p, t),
+            }
+        }
+        assert_eq!(pure.release(FlowId(101)), tiered.release(FlowId(101)));
+        let p = pure.try_admit(light_candidate(104, 50_000));
+        let t = tiered.try_admit(light_candidate(104, 50_000));
+        assert!(matches!(p, AdmissionDecision::Admitted { .. }));
+        assert!(matches!(t, AdmissionDecision::Admitted { .. }));
+        // Settled standing analyses are bit-identical.
+        let pb = pure.converged_state().unwrap().report().bounds();
+        let tb = tiered.converged_state().unwrap().report().bounds();
+        assert_eq!(pb, tb);
+        assert!(tiered.metrics().screen_hits > 0, "the screen served admits");
+        assert!(tiered.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn screen_fallback_still_decides_exactly() {
+        // paper_example sits above the Charny threshold: every screened
+        // decision must fall back and agree with the pure path exactly.
+        let cfg = AnalysisConfig::default();
+        let mut pure = AdmissionController::new(paper_example(), cfg.clone());
+        let mut tiered =
+            AdmissionController::new(paper_example(), cfg).with_tiered(TieredPolicy::Screened);
+        for (id, deadline) in [(10u32, 200i64), (11, 5), (12, 200)] {
+            let p = pure.try_admit(candidate(id, 360, deadline));
+            let t = tiered.try_admit(candidate(id, 360, deadline));
+            assert_eq!(p, t, "fallback decisions are bit-identical");
+        }
+        assert_eq!(tiered.metrics().screen_hits, 0);
+        assert!(tiered.metrics().screen_fallbacks >= 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_tiered_policy() {
+        let mut ac = light_controller(TieredPolicy::Screened);
+        assert!(matches!(
+            ac.try_admit(light_candidate(100, 50_000)),
+            AdmissionDecision::Admitted { .. }
+        ));
+        let snap = ac.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ControllerSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = AdmissionController::restore(back).unwrap();
+        assert_eq!(restored.tiered(), TieredPolicy::Screened);
+        assert_eq!(restored.flows().len(), ac.flows().len());
+        // Pre-tiering snapshots (no field) default to TrajectoryOnly.
+        let stripped = json.replace(",\"tiered\":\"Screened\"", "");
+        assert_ne!(stripped, json, "the field must actually be stripped");
+        let old: ControllerSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(
+            AdmissionController::restore(old).unwrap().tiered(),
+            TieredPolicy::TrajectoryOnly
+        );
+    }
+
+    #[test]
+    fn screened_whatif_matches_controller_outcomes() {
+        let mut ac = light_controller(TieredPolicy::Screened);
+        ac.try_admit(light_candidate(100, 50_000));
+        let screen = ac.screen_cache().cloned().unwrap();
+        let state = ac.converged_state().unwrap().clone();
+        let (d, hit) = evaluate_whatif_screened(&screen, &state, light_candidate(101, 50_000));
+        assert!(hit);
+        assert!(matches!(d, AdmissionDecision::Admitted { .. }));
+        // Duplicate id: same Invalid string as the exact path.
+        let (d, hit) = evaluate_whatif_screened(&screen, &state, light_candidate(100, 50_000));
+        assert!(hit);
+        let exact = evaluate_whatif(&state, light_candidate(100, 50_000));
+        assert_eq!(d, exact);
+        // Tight deadline: screen falls back, exact rejection.
+        let (d, hit) = evaluate_whatif_screened(&screen, &state, light_candidate(102, 5));
+        assert!(!hit);
+        assert_eq!(d, evaluate_whatif(&state, light_candidate(102, 5)));
     }
 }

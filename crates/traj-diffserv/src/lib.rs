@@ -23,8 +23,9 @@ pub mod dscp;
 pub mod router;
 
 pub use admission::{
-    evaluate_whatif, AdmissionController, AdmissionDecision, AdmissionMetrics, ControllerSnapshot,
-    EvictionPolicy, FaultResponse, ReleaseOutcome, RestoreError, RetryEntry, RetryPolicy,
+    evaluate_whatif, evaluate_whatif_screened, AdmissionController, AdmissionDecision,
+    AdmissionMetrics, ControllerSnapshot, EvictionPolicy, FaultResponse, ReleaseOutcome,
+    RestoreError, RetryEntry, RetryPolicy, TieredPolicy,
 };
 pub use af::{af_delay_estimates, AfDelayEstimate};
 pub use conditioner::TokenBucket;

@@ -1,0 +1,200 @@
+//! Differential suite: the tiered controller must be
+//! decision-identical to the pure trajectory controller.
+//!
+//! Two controllers over the same random mesh replay the same script of
+//! admits (a mix of generously- and tightly-deadlined candidates, so
+//! both screen hits and fallbacks occur) and releases. After every
+//! operation the decisions must agree — same admit/reject/invalid
+//! outcome, same victim and same invalid message on the negative paths
+//! (those run the identical exact code). An admitted bound may differ
+//! in *value* (the screen hands out its own sound bound) but never in
+//! kind. At the end, the settled converged bounds must be bit-identical
+//! to the pure controller's: settlement folds the screened suffix
+//! through the same warm fixed point an eager admit would have used.
+
+use proptest::prelude::*;
+use traj_analysis::AnalysisConfig;
+use traj_diffserv::{
+    evaluate_whatif, evaluate_whatif_screened, AdmissionController, AdmissionDecision, TieredPolicy,
+};
+use traj_model::gen::{random_mesh, MeshParams};
+use traj_model::{FlowId, FlowSet, SporadicFlow};
+
+/// A mesh split into a standing prefix and a candidate suffix, with
+/// candidate deadlines alternating between relaxed (screenable) and the
+/// generator's native tight ones (screen fallback territory).
+fn mesh_and_candidates(seed: u64, flows: u32) -> Option<(FlowSet, Vec<SporadicFlow>)> {
+    let params = MeshParams {
+        nodes: 10,
+        flows,
+        path_len: (2, 3),
+        max_utilisation: 0.3,
+        ..Default::default()
+    };
+    let set = random_mesh(seed, &params).ok()?;
+    let all = set.flows().to_vec();
+    let split = (all.len() / 2).max(1);
+    let standing: Vec<SporadicFlow> = all[..split]
+        .iter()
+        .cloned()
+        .map(|mut f| {
+            f.deadline = f.deadline.saturating_mul(100);
+            f
+        })
+        .collect();
+    let candidates: Vec<SporadicFlow> = all[split..]
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, mut f)| {
+            if i % 2 == 0 {
+                f.deadline = f.deadline.saturating_mul(100);
+            }
+            f
+        })
+        .collect();
+    let standing = FlowSet::new(set.network().clone(), standing).ok()?;
+    Some((standing, candidates))
+}
+
+/// Admit/reject/invalid kinds must match; negative decisions must match
+/// exactly (victim, bound, message) since both run the exact path.
+fn assert_identical(
+    tiered: &AdmissionDecision,
+    pure: &AdmissionDecision,
+) -> Result<(), TestCaseError> {
+    match (tiered, pure) {
+        (AdmissionDecision::Admitted { .. }, AdmissionDecision::Admitted { .. }) => Ok(()),
+        (t @ AdmissionDecision::Rejected { .. }, p @ AdmissionDecision::Rejected { .. })
+        | (t @ AdmissionDecision::Invalid(_), p @ AdmissionDecision::Invalid(_)) => {
+            prop_assert_eq!(t, p);
+            Ok(())
+        }
+        (t, p) => Err(TestCaseError::fail(format!(
+            "decisions diverged: tiered {t:?} vs pure {p:?}"
+        ))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiered_controller_matches_pure_decisions(
+        seed in 0u64..1_000_000,
+        flows in 4u32..12,
+    ) {
+        let Some((standing, candidates)) = mesh_and_candidates(seed, flows) else {
+            return Err(TestCaseError::reject());
+        };
+        let cfg = AnalysisConfig::default();
+        let mut tiered = AdmissionController::new(standing.clone(), cfg.clone())
+            .with_tiered(TieredPolicy::Screened);
+        let mut pure = AdmissionController::new(standing, cfg);
+
+        for (i, c) in candidates.iter().enumerate() {
+            // What-if identity first: the read-only screened evaluation
+            // must agree in kind with the exact one on the same state.
+            if let (Some(screen), Some(state)) =
+                (tiered.screen_cache().cloned(), tiered.converged_state().cloned())
+            {
+                let (sd, _) = evaluate_whatif_screened(&screen, &state, c.clone());
+                let ed = evaluate_whatif(&state, c.clone());
+                assert_identical(&sd, &ed)?;
+            }
+
+            let td = tiered.try_admit(c.clone());
+            let pd = pure.try_admit(c.clone());
+            assert_identical(&td, &pd)?;
+
+            // A duplicate admit must produce the identical invalid
+            // string through either path.
+            if matches!(td, AdmissionDecision::Admitted { .. }) {
+                let t_dup = tiered.try_admit(c.clone());
+                let p_dup = pure.try_admit(c.clone());
+                prop_assert_eq!(&t_dup, &p_dup);
+                prop_assert!(matches!(t_dup, AdmissionDecision::Invalid(_)));
+            }
+
+            // Periodically release the oldest admitted flow from both.
+            if i % 3 == 2 {
+                if let Some(f) = tiered.flows().flows().first() {
+                    let id = f.id;
+                    let tr = tiered.release(id);
+                    let pr = pure.release(id);
+                    prop_assert_eq!(tr, pr);
+                }
+            }
+            prop_assert_eq!(
+                tiered.flows().flows().len(),
+                pure.flows().flows().len(),
+                "standing sets diverged"
+            );
+        }
+
+        // Settlement: the tiered controller's converged bounds must be
+        // bit-identical to the pure controller's on the same final set.
+        let t_state = tiered.converged_state().cloned();
+        let p_state = pure.converged_state().cloned();
+        match (t_state, p_state) {
+            (Some(t), Some(p)) => {
+                prop_assert_eq!(t.report().bounds(), p.report().bounds());
+            }
+            (t, p) => prop_assert!(
+                t.is_none() && p.is_none(),
+                "one controller settled, the other did not"
+            ),
+        }
+    }
+}
+
+/// The screen must actually serve a share of the admits across the
+/// sweep — identity alone could hold with a screen that never fires.
+#[test]
+fn tiered_sweep_has_real_screen_traffic() {
+    let mut hits = 0u64;
+    let mut fallbacks = 0u64;
+    for seed in 0..60u64 {
+        let Some((standing, candidates)) = mesh_and_candidates(seed, 8) else {
+            continue;
+        };
+        let mut ac = AdmissionController::new(standing, AnalysisConfig::default())
+            .with_tiered(TieredPolicy::Screened);
+        for c in candidates {
+            let _ = ac.try_admit(c);
+        }
+        hits += ac.metrics().screen_hits;
+        fallbacks += ac.metrics().screen_fallbacks;
+    }
+    assert!(
+        hits > 0,
+        "the screen never served an admit across the sweep"
+    );
+    assert!(
+        fallbacks > 0,
+        "the screen never fell back — tight candidates were not exercised"
+    );
+}
+
+/// Releases on a screened controller keep the screen and the standing
+/// set in lockstep (exercised via the controller's own invariants).
+#[test]
+fn release_after_screened_admits_settles_and_stays_consistent() {
+    let Some((standing, candidates)) = mesh_and_candidates(7, 10) else {
+        panic!("seed 7 must generate");
+    };
+    let mut ac = AdmissionController::new(standing, AnalysisConfig::default())
+        .with_tiered(TieredPolicy::Screened);
+    let mut admitted: Vec<FlowId> = Vec::new();
+    for c in candidates {
+        let id = c.id;
+        if matches!(ac.try_admit(c), AdmissionDecision::Admitted { .. }) {
+            admitted.push(id);
+        }
+    }
+    for id in admitted {
+        assert!(ac.release(id).released());
+    }
+    assert_eq!(ac.pending_settlement(), 0);
+    assert!(ac.converged_state().is_some());
+}

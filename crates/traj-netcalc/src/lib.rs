@@ -16,16 +16,25 @@
 //!   only below the utilisation threshold `1/(H−1)` — the very limitation
 //!   the paper cites when motivating the trajectory approach ([`charny`]);
 //! * exact staircase curves for sporadic flows ([`staircase`]), tighter
-//!   than the affine approximation on single nodes.
+//!   than the affine approximation on single nodes;
+//! * the whole-set analysis behind the common backend trait plus
+//!   tightest-per-flow bound selection across engines ([`analyzer`]);
+//! * an incremental aggregate-curve cache giving an O(path-length)
+//!   admission *screen* in front of the trajectory fixed point
+//!   ([`screen`]).
 
+pub mod analyzer;
 pub mod charny;
 pub mod curves;
 pub mod fifo;
 pub mod rational;
+pub mod screen;
 pub mod staircase;
 
+pub use analyzer::{tightest_bounds, BoundSelection, BoundSource, NetcalcAnalyzer};
 pub use charny::{charny_le_boudec_bound, CharnyParams};
 pub use curves::{ArrivalCurve, ServiceCurve};
 pub use fifo::{analyze_netcalc, NetcalcFlowResult};
 pub use rational::Ratio;
+pub use screen::{AggregateCache, ScreenOutcome};
 pub use staircase::{staircase_delay_bound, staircase_node_delay, Staircase};

@@ -3,8 +3,16 @@
 //! Network-calculus slopes (`ρ = C/T`) are rarely integers; floating point
 //! would make bound comparisons flaky. This minimal rational type keeps
 //! every curve operation exact. Values stay tiny (numerators bounded by
-//! products of a few periods), so `i128` never overflows in practice and
-//! every operation normalises eagerly.
+//! products of a few periods), so `i128` rarely overflows — but a dense
+//! mesh can stack enough denominators that "rarely" is not "never", and
+//! this crate now sits on the admission hot path. Overflow therefore
+//! **saturates** instead of aborting: the operator impls clamp to
+//! [`Ratio::MAX`]/[`Ratio::MIN`] (detectable via
+//! [`Ratio::is_saturated`]), which is sound for upper-bound arithmetic —
+//! a saturated delay bound only gets *larger*, so deadline checks fail
+//! safe and callers surface a typed overflow verdict instead of a wrong
+//! finite bound. Hot-path code that wants to branch on overflow uses the
+//! `checked_*` methods directly.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -28,11 +36,20 @@ fn gcd(a: i128, b: i128) -> i128 {
     a.max(1)
 }
 
+/// Saturation magnitude: far above any meaningful bound, far enough
+/// below `i128::MAX` that comparisons against saturated values cannot
+/// themselves overflow the cross products with small denominators.
+const SAT: i128 = 1 << 126;
+
 impl Ratio {
     /// Zero.
     pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
     /// One.
     pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+    /// The positive saturation value overflowing operations clamp to.
+    pub const MAX: Ratio = Ratio { num: SAT, den: 1 };
+    /// The negative saturation value overflowing operations clamp to.
+    pub const MIN: Ratio = Ratio { num: -SAT, den: 1 };
 
     /// Builds and normalises `num / den`; panics on a zero denominator.
     pub fn new(num: i128, den: i128) -> Ratio {
@@ -135,6 +152,25 @@ impl Ratio {
             *self
         }
     }
+
+    /// True when the value sits at (or beyond) the saturation clamp —
+    /// some earlier unchecked operation overflowed. Downstream code maps
+    /// this to a typed overflow verdict rather than reporting the
+    /// clamped value as a real bound.
+    pub fn is_saturated(&self) -> bool {
+        self.num.saturating_abs() >= SAT
+    }
+
+    /// The saturation value with the sign of `hint` (an f64
+    /// approximation of the true result, which is always representable
+    /// even when the exact rational is not).
+    fn saturated(hint: f64) -> Ratio {
+        if hint < 0.0 {
+            Ratio::MIN
+        } else {
+            Ratio::MAX
+        }
+    }
 }
 
 fn saturate_i64(v: i128) -> i64 {
@@ -145,7 +181,7 @@ impl Add for Ratio {
     type Output = Ratio;
     fn add(self, o: Ratio) -> Ratio {
         self.checked_add(o)
-            .unwrap_or_else(|| unreachable!("rational overflow: {self} + {o} exceeds i128"))
+            .unwrap_or_else(|| Ratio::saturated(self.to_f64() + o.to_f64()))
     }
 }
 
@@ -153,7 +189,7 @@ impl Sub for Ratio {
     type Output = Ratio;
     fn sub(self, o: Ratio) -> Ratio {
         self.checked_sub(o)
-            .unwrap_or_else(|| unreachable!("rational overflow: {self} - {o} exceeds i128"))
+            .unwrap_or_else(|| Ratio::saturated(self.to_f64() - o.to_f64()))
     }
 }
 
@@ -161,7 +197,7 @@ impl Mul for Ratio {
     type Output = Ratio;
     fn mul(self, o: Ratio) -> Ratio {
         self.checked_mul(o)
-            .unwrap_or_else(|| unreachable!("rational overflow: {self} * {o} exceeds i128"))
+            .unwrap_or_else(|| Ratio::saturated((self.num.signum() * o.num.signum()) as f64))
     }
 }
 
@@ -170,7 +206,7 @@ impl Div for Ratio {
     fn div(self, o: Ratio) -> Ratio {
         assert!(o.num != 0, "division by zero");
         self.checked_div(o)
-            .unwrap_or_else(|| unreachable!("rational overflow: {self} / {o} exceeds i128"))
+            .unwrap_or_else(|| Ratio::saturated((self.num.signum() * o.num.signum()) as f64))
     }
 }
 
@@ -277,6 +313,27 @@ mod tests {
         assert_eq!(m.ceil(), i64::MAX);
         // Comparison stays total even where cross products overflow.
         assert!(Ratio::new(i128::MAX, 2) > Ratio::new(2, i128::MAX));
+    }
+
+    #[test]
+    fn operators_saturate_instead_of_aborting() {
+        let huge = Ratio::new(i128::MAX - 1, 1);
+        // Addition past i128 clamps to the positive saturation value…
+        let s = huge + huge;
+        assert!(s.is_saturated());
+        assert_eq!(s, Ratio::MAX);
+        // …and stays an upper bound: any finite comparison fails safe.
+        assert!(s > Ratio::int(i64::MAX));
+        assert_eq!(s.ceil(), i64::MAX);
+        // Subtraction and negative products clamp to the negative side.
+        assert_eq!(-huge - huge, Ratio::MIN);
+        assert_eq!(huge * Ratio::new(-i128::MAX, 3), Ratio::MIN);
+        assert!((-huge - huge).is_saturated());
+        // Ordinary values never look saturated.
+        assert!(!Ratio::new(7, 3).is_saturated());
+        assert!(!Ratio::int(i64::MAX).is_saturated());
+        // Saturated values survive further arithmetic without wrapping.
+        assert!((s + Ratio::ONE).is_saturated());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Cross-engine soundness on random meshes.
+//!
+//! Three contracts keep the tiered fast path honest:
+//!
+//! 1. **Screen domination** — whenever the aggregate-curve screen
+//!    passes a candidate, the *exact* trajectory analysis of the
+//!    extended set must agree: every flow bounded and inside its
+//!    deadline, and the candidate's trajectory bound at most the
+//!    screen's. This is the property that makes a screened admit
+//!    decision-identical to the pure controller.
+//! 2. **Netcalc soundness** — the per-flow FIFO network-calculus
+//!    bounds must dominate the worst response the adversarial
+//!    simulator can produce (`observed ≤ bound`).
+//! 3. **Non-vacuity** — over a deterministic seed sweep the screen
+//!    must actually pass somewhere, or contract 1 tests nothing.
+
+use proptest::prelude::*;
+use traj_analysis::{AnalysisConfig, ConvergedState};
+use traj_model::gen::{random_mesh, MeshParams};
+use traj_model::{FlowSet, SporadicFlow};
+use traj_netcalc::{analyze_netcalc, AggregateCache, ScreenOutcome};
+use traj_sim::{validate_bounds, AdversaryParams};
+
+/// A lightly-loaded mesh whose deadlines are inflated enough that the
+/// (sound, very conservative) Charny screen has room to pass. The
+/// generator's native `transit * 5` deadlines sit close to the
+/// trajectory bound, where only the exact engine can decide.
+fn screenable_mesh(seed: u64, flows: u32) -> Option<FlowSet> {
+    let params = MeshParams {
+        nodes: 10,
+        flows,
+        path_len: (2, 3),
+        max_utilisation: 0.25,
+        ..Default::default()
+    };
+    let set = random_mesh(seed, &params).ok()?;
+    let network = set.network().clone();
+    let relaxed: Vec<SporadicFlow> = set
+        .flows()
+        .iter()
+        .cloned()
+        .map(|mut f| {
+            f.deadline = f.deadline.saturating_mul(200);
+            f
+        })
+        .collect();
+    FlowSet::new(network, relaxed).ok()
+}
+
+/// Contract 1: a screen pass implies the exact trajectory decision is
+/// an admit, with the candidate's exact bound under the screened one.
+fn check_screen_domination(set: &FlowSet) -> Result<bool, TestCaseError> {
+    let flows = set.flows();
+    let candidate = flows[flows.len() - 1].clone();
+    let standing: Vec<SporadicFlow> = flows[..flows.len() - 1].to_vec();
+    let standing = match FlowSet::new(set.network().clone(), standing) {
+        Ok(s) => s,
+        Err(_) => return Ok(false),
+    };
+    let cache = AggregateCache::build(&standing);
+    let ScreenOutcome::Pass { bound } = cache.screen_admit(&candidate) else {
+        return Ok(false);
+    };
+    // The screen vouched: the exact engine must agree on "admit".
+    let cfg = AnalysisConfig::default();
+    let state = ConvergedState::build_ef(set, &cfg).map_err(|v| {
+        TestCaseError::fail(format!("screen passed but trajectory diverged: {v:?}"))
+    })?;
+    let report = state.report();
+    for r in report.per_flow() {
+        let wcrt = r.wcrt.value().ok_or_else(|| {
+            TestCaseError::fail(format!("screen passed but flow {} unbounded", r.flow))
+        })?;
+        prop_assert!(
+            wcrt <= r.deadline,
+            "screen passed but flow {} misses: wcrt {} > deadline {}",
+            r.flow,
+            wcrt,
+            r.deadline
+        );
+        if r.flow == candidate.id {
+            prop_assert!(
+                wcrt <= bound,
+                "trajectory bound {} above the screen bound {} for the candidate",
+                wcrt,
+                bound
+            );
+        }
+    }
+    Ok(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn screen_pass_implies_exact_admit(
+        seed in 0u64..1_000_000,
+        flows in 3u32..10,
+    ) {
+        let Some(set) = screenable_mesh(seed, flows) else {
+            return Err(TestCaseError::reject());
+        };
+        check_screen_domination(&set)?;
+    }
+
+    #[test]
+    fn netcalc_bounds_dominate_observed_worst_cases(
+        seed in 0u64..1_000_000,
+        flows in 3u32..8,
+    ) {
+        let params = MeshParams {
+            nodes: 8,
+            flows,
+            path_len: (2, 3),
+            max_utilisation: 0.4,
+            ..Default::default()
+        };
+        let Ok(set) = random_mesh(seed, &params) else {
+            return Err(TestCaseError::reject());
+        };
+        let bounds: Vec<Option<i64>> =
+            analyze_netcalc(&set).into_iter().map(|r| r.total).collect();
+        let rows = validate_bounds(
+            &set,
+            &bounds,
+            &AdversaryParams {
+                trials: 8,
+                seed,
+                ..Default::default()
+            },
+        );
+        for r in rows {
+            prop_assert!(
+                r.sound,
+                "flow {}: observed {} above the netcalc bound {:?}",
+                r.flow, r.observed, r.bound
+            );
+        }
+    }
+}
+
+/// Contract 3: the domination property must not hold vacuously — the
+/// screen has to pass on a healthy fraction of lightly-loaded meshes.
+#[test]
+fn screen_passes_are_not_vacuous() {
+    let mut passes = 0usize;
+    let mut tried = 0usize;
+    for seed in 0..120u64 {
+        let Some(set) = screenable_mesh(seed, 5) else {
+            continue;
+        };
+        tried += 1;
+        if check_screen_domination(&set).expect("domination holds") {
+            passes += 1;
+        }
+    }
+    assert!(
+        passes >= 10,
+        "screen passed only {passes}/{tried} lightly-loaded meshes; the \
+         domination proptest is close to vacuous"
+    );
+}

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use traj_analysis::AnalysisConfig;
+use traj_diffserv::TieredPolicy;
 use traj_serve::engine::{Engine, EngineConfig};
 use traj_serve::persist;
 use traj_serve::server::{serve_connection, TcpServer};
@@ -25,15 +26,18 @@ struct Args {
     snapshot: Option<std::path::PathBuf>,
     autosave: u64,
     queue_depth: usize,
+    tiered: bool,
 }
 
 const USAGE: &str = "usage: traj-serve [--listen ADDR | --stdio] [--snapshot PATH] \
-[--autosave N] [--queue-depth N]\n\
+[--autosave N] [--queue-depth N] [--tiered]\n\
   --listen ADDR    serve the line protocol on a TCP address (e.g. 127.0.0.1:7171)\n\
   --stdio          serve the line protocol on stdin/stdout\n\
   --snapshot PATH  restore from PATH if it exists; save there on save/shutdown\n\
   --autosave N     additionally save after every N commits (default 0 = off)\n\
-  --queue-depth N  bounded write queue depth before `overloaded` (default 64)";
+  --queue-depth N  bounded write queue depth before `overloaded` (default 64)\n\
+  --tiered         screen admissions with the network-calculus bound before\n\
+                   the trajectory fixed point (same decisions, less work)";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -42,6 +46,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         snapshot: None,
         autosave: 0,
         queue_depth: 64,
+        tiered: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -64,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue-depth: {e}"))?
             }
+            "--tiered" => args.tiered = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -89,6 +95,12 @@ fn main() -> ExitCode {
         }
     };
 
+    let tiered = if args.tiered {
+        TieredPolicy::Screened
+    } else {
+        TieredPolicy::TrajectoryOnly
+    };
+
     let initial = match args.snapshot.as_ref() {
         Some(path) if path.exists() => match persist::load(path).and_then(|s| s.restore()) {
             Ok(ac) => {
@@ -109,6 +121,12 @@ fn main() -> ExitCode {
         },
         _ => None,
     };
+    // The flag overrides a restored snapshot's policy only when given;
+    // otherwise the snapshot's own tier survives the restart.
+    let initial = match initial {
+        Some(ac) if args.tiered => Some(ac.with_tiered(tiered)),
+        other => other,
+    };
 
     let engine = Arc::new(Engine::start(
         initial,
@@ -117,6 +135,7 @@ fn main() -> ExitCode {
             snapshot_path: args.snapshot.clone(),
             autosave_every: args.autosave,
             analysis: AnalysisConfig::default(),
+            tiered,
         },
     ));
 

@@ -19,6 +19,14 @@
 //! the same `extend` + decision code `try_admit` runs, so a concurrent
 //! read is bit-identical to the sequential answer on the same set.
 //!
+//! Under [`TieredPolicy::Screened`] the view additionally carries the
+//! controller's aggregate-curve screen: a `whatif` whose candidate the
+//! (sound, looser) network-calculus bound already covers is answered in
+//! O(path length) without touching the warm fixed point, and the writer
+//! settles a burst of screen-admitted flows with **one** warm solve at
+//! publication time. Decisions stay identical to the pure trajectory
+//! controller — the screen only ever short-circuits clear admits.
+//!
 //! # Backpressure
 //!
 //! The write queue is a `sync_channel` of configurable depth submitted
@@ -49,10 +57,16 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use serde::{Serialize, Value};
+use traj_analysis::backend::Analyzer as _;
 use traj_analysis::{AnalysisConfig, ConvergedState};
-use traj_diffserv::{evaluate_whatif, AdmissionController, AdmissionMetrics};
+use traj_diffserv::{
+    evaluate_whatif, evaluate_whatif_screened, AdmissionController, AdmissionMetrics, TieredPolicy,
+};
 use traj_model::{FaultScenario, FlowId, FlowSet, Network, SporadicFlow};
-use traj_netcalc::{charny_le_boudec_bound, CharnyParams};
+use traj_netcalc::{
+    charny_le_boudec_bound, tightest_bounds, AggregateCache, BoundSource, CharnyParams,
+    NetcalcAnalyzer,
+};
 use traj_obs::Histogram;
 
 use crate::persist::{save_atomic, DaemonSnapshot};
@@ -73,6 +87,10 @@ pub struct EngineConfig {
     pub autosave_every: u64,
     /// Analysis configuration used when `init` installs a fresh set.
     pub analysis: AnalysisConfig,
+    /// Admission tier used when `init` installs a fresh set:
+    /// [`TieredPolicy::Screened`] puts the O(path) network-calculus
+    /// screen in front of the trajectory fixed point.
+    pub tiered: TieredPolicy,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +100,7 @@ impl Default for EngineConfig {
             snapshot_path: None,
             autosave_every: 0,
             analysis: AnalysisConfig::default(),
+            tiered: TieredPolicy::default(),
         }
     }
 }
@@ -118,6 +137,10 @@ struct View {
     /// Standing converged analysis; `None` before `init` or when the
     /// standing set cannot be bounded.
     state: Option<Arc<ConvergedState>>,
+    /// Aggregate-curve screen tracking the standing set; present only
+    /// under [`TieredPolicy::Screened`]. Lets a `whatif` answer a
+    /// clearly-feasible candidate in O(path) without the warm solve.
+    screen: Option<Arc<AggregateCache>>,
     /// Admitted flow count (0 before `init`).
     flows: usize,
     metrics: AdmissionMetrics,
@@ -130,6 +153,7 @@ impl View {
     fn empty() -> Self {
         View {
             state: None,
+            screen: None,
             flows: 0,
             metrics: AdmissionMetrics::default(),
             retry: Vec::new(),
@@ -149,6 +173,11 @@ struct Shared {
     /// Bursts the writer has drained; `write_ops / write_batches` is
     /// the view-publication amortisation factor under load.
     write_batches: AtomicU64,
+    /// `whatif` requests answered by the network-calculus screen alone.
+    whatif_screen_hits: AtomicU64,
+    /// `whatif` requests where the screen was present but could not
+    /// vouch, falling back to the exact warm what-if.
+    whatif_screen_fallbacks: AtomicU64,
     stopping: AtomicBool,
 }
 
@@ -186,6 +215,8 @@ pub struct Engine {
     tx: SyncSender<Cmd>,
     writer: Mutex<Option<JoinHandle<()>>>,
     queue_depth: usize,
+    /// Copy of the analysis config for read-side netcalc reports.
+    analysis: AnalysisConfig,
 }
 
 impl Engine {
@@ -199,6 +230,8 @@ impl Engine {
             overloaded: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
             write_batches: AtomicU64::new(0),
+            whatif_screen_hits: AtomicU64::new(0),
+            whatif_screen_fallbacks: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
         });
         // Publish the restored state before accepting any request:
@@ -207,6 +240,7 @@ impl Engine {
         let mut initial = initial;
         publish(&shared, &mut initial, true);
         let queue_depth = cfg.queue_depth.max(1);
+        let analysis = cfg.analysis.clone();
         let (tx, rx) = sync_channel(queue_depth);
         let sh = shared.clone();
         let writer = std::thread::spawn(move || writer_loop(initial, rx, sh, cfg));
@@ -215,6 +249,7 @@ impl Engine {
             tx,
             writer: Mutex::new(Some(writer)),
             queue_depth,
+            analysis,
         }
     }
 
@@ -327,7 +362,20 @@ impl Engine {
                 "no standing converged state (init a flow set first)",
             ));
         };
-        Ok(decision_to_value(&evaluate_whatif(state, flow)))
+        let decision = match view.screen.as_ref() {
+            Some(screen) => {
+                let (decision, screened) = evaluate_whatif_screened(screen, state, flow);
+                let counter = if screened {
+                    &self.shared.whatif_screen_hits
+                } else {
+                    &self.shared.whatif_screen_fallbacks
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                decision
+            }
+            None => evaluate_whatif(state, flow),
+        };
+        Ok(decision_to_value(&decision))
     }
 
     fn report(&self) -> Result<Value, WireError> {
@@ -339,10 +387,17 @@ impl Engine {
             ));
         };
         let report = state.report();
+        // Tightest-per-flow selection across engines: the closed-form
+        // netcalc bound occasionally beats the trajectory bound (and
+        // covers flows the trajectory pass left unbounded); `source`
+        // records which engine the published `bound` came from.
+        let netcalc = NetcalcAnalyzer.analyze(state.set(), &self.analysis);
+        let selections = tightest_bounds(report, &netcalc);
         let flows: Vec<Value> = report
             .per_flow()
             .iter()
-            .map(|r| {
+            .zip(selections.iter())
+            .map(|(r, sel)| {
                 obj(vec![
                     ("id", Value::Int(r.flow.0 as i128)),
                     ("name", Value::Str(r.name.clone())),
@@ -363,6 +418,20 @@ impl Engine {
                     (
                         "meets",
                         r.meets_deadline().map(Value::Bool).unwrap_or(Value::Null),
+                    ),
+                    (
+                        "bound",
+                        sel.tightest
+                            .map(|b| Value::Int(b as i128))
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "source",
+                        match sel.source {
+                            Some(BoundSource::Trajectory) => Value::Str("trajectory".into()),
+                            Some(BoundSource::Netcalc) => Value::Str("netcalc".into()),
+                            None => Value::Null,
+                        },
                     ),
                 ])
             })
@@ -426,6 +495,14 @@ impl Engine {
                 "write_batches",
                 Value::Int(self.shared.write_batches.load(Ordering::Relaxed) as i128),
             ),
+            (
+                "whatif_screen_hits",
+                Value::Int(self.shared.whatif_screen_hits.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "whatif_screen_fallbacks",
+                Value::Int(self.shared.whatif_screen_fallbacks.load(Ordering::Relaxed) as i128),
+            ),
             ("admission", serde_value(&view.metrics)),
             ("flows", Value::Int(view.flows as i128)),
             ("retry_depth", Value::Int(view.retry.len() as i128)),
@@ -467,13 +544,19 @@ fn publish(shared: &Shared, ac: &mut Option<AdmissionController>, remake_state: 
     let next = match ac.as_mut() {
         None => View::empty(),
         Some(ac) => {
-            let state = if remake_state {
-                ac.converged_state().cloned().map(Arc::new)
+            // `converged_state` settles any screen-admitted suffix in
+            // one warm solve before the state is published — the
+            // per-burst settlement that amortises an admit storm.
+            let (state, screen) = if remake_state {
+                let state = ac.converged_state().cloned().map(Arc::new);
+                (state, ac.screen_cache().cloned().map(Arc::new))
             } else {
-                read_lock(&shared.view).state.clone()
+                let prev = read_lock(&shared.view);
+                (prev.state.clone(), prev.screen.clone())
             };
             View {
                 state,
+                screen,
                 flows: ac.flows().len(),
                 metrics: *ac.metrics(),
                 retry: ac
@@ -524,7 +607,9 @@ fn apply_op(
         WriteOp::Init(network, flows) => match FlowSet::new(network, flows) {
             Ok(set) => {
                 let n = set.len();
-                *ac = Some(AdmissionController::new(set, cfg.analysis.clone()));
+                *ac = Some(
+                    AdmissionController::new(set, cfg.analysis.clone()).with_tiered(cfg.tiered),
+                );
                 *mutated = true;
                 Ok(obj(vec![("flows", Value::Int(n as i128))]))
             }
@@ -870,6 +955,77 @@ mod tests {
             (1..=ops).contains(&batches),
             "batches {batches} out of range for {ops} ops"
         );
+        engine.dispatch_line("{\"op\":\"shutdown\"}");
+        engine.join();
+    }
+
+    #[test]
+    fn tiered_engine_screens_whatifs_admits_and_reports_bound_sources() {
+        // A lightly-loaded line: the screen's Charny bound covers every
+        // generous deadline, so both read-side what-ifs and writer-side
+        // admits are served without the trajectory fixed point.
+        let set = traj_model::examples::line_topology(2, 3, 4000, 4, 0, 1).unwrap();
+        let ac = AdmissionController::new(set, AnalysisConfig::default())
+            .with_tiered(TieredPolicy::Screened);
+        let engine = Engine::start(
+            Some(ac),
+            EngineConfig {
+                tiered: TieredPolicy::Screened,
+                ..EngineConfig::default()
+            },
+        );
+        let mk = |id: u32| {
+            let f =
+                SporadicFlow::uniform(id, Path::from_ids([1, 2, 3]).unwrap(), 4000, 4, 0, 50_000)
+                    .unwrap()
+                    .with_class(traj_model::flow::TrafficClass::Ef);
+            serde_json::to_string(&f).unwrap()
+        };
+
+        // Read-side what-if: answered by the published screen.
+        let wi = engine.dispatch_line(&format!("{{\"op\":\"whatif\",\"flow\":{}}}", mk(100)));
+        assert!(wi.contains("\"decision\":\"admitted\""), "{wi}");
+
+        // Writer-side admits: screened, settled once per burst.
+        for id in 100..108 {
+            let ad = engine.dispatch_line(&format!("{{\"op\":\"admit\",\"flow\":{}}}", mk(id)));
+            assert!(ad.contains("\"decision\":\"admitted\""), "{ad}");
+        }
+        // A duplicate-id what-if after the publishes: identical invalid
+        // decision whether screened or exact.
+        let dup = engine.dispatch_line(&format!("{{\"op\":\"whatif\",\"flow\":{}}}", mk(100)));
+        assert!(dup.contains("\"decision\":\"invalid\""), "{dup}");
+
+        let met = engine.dispatch_line("{\"op\":\"metrics\"}");
+        assert!(met.contains("\"whatif_screen_hits\":2"), "{met}");
+        assert!(met.contains("\"whatif_screen_fallbacks\":0"), "{met}");
+        // Controller counters ride along in the admission sub-object.
+        assert!(met.contains("\"screen_hits\":8"), "{met}");
+
+        // The report renders the tightest bound with engine provenance.
+        let rep = engine.dispatch_line("{\"op\":\"report\"}");
+        assert!(rep.contains("\"all_schedulable\":true"), "{rep}");
+        assert!(
+            rep.contains("\"source\":\"trajectory\"") || rep.contains("\"source\":\"netcalc\""),
+            "{rep}"
+        );
+        assert!(rep.contains("\"bound\":"), "{rep}");
+        engine.dispatch_line("{\"op\":\"shutdown\"}");
+        engine.join();
+    }
+
+    #[test]
+    fn untiered_engine_reports_no_screen_activity() {
+        let engine = engine_with_example();
+        let flow = flow_json(10, 360, 200);
+        let wi = engine.dispatch_line(&format!("{{\"op\":\"whatif\",\"flow\":{flow}}}"));
+        assert!(wi.contains("\"decision\":\"admitted\""), "{wi}");
+        let met = engine.dispatch_line("{\"op\":\"metrics\"}");
+        assert!(met.contains("\"whatif_screen_hits\":0"), "{met}");
+        assert!(met.contains("\"whatif_screen_fallbacks\":0"), "{met}");
+        // The bound/source provenance columns render regardless of tier.
+        let rep = engine.dispatch_line("{\"op\":\"report\"}");
+        assert!(rep.contains("\"source\":"), "{rep}");
         engine.dispatch_line("{\"op\":\"shutdown\"}");
         engine.join();
     }

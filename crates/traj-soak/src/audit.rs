@@ -1,6 +1,6 @@
 //! The continuous audit passes the driver interleaves with churn.
 //!
-//! Three independent families, each checking a different contract of
+//! Four independent families, each checking a different contract of
 //! the warm incremental machinery while it is being churned:
 //!
 //! * **bit identity** — the standing
@@ -13,14 +13,19 @@
 //!   `analyze_degraded` of the same degraded set;
 //! * **bound domination** — observed simulated tail latency must stay
 //!   at or below the analytic bound for every surviving flow
-//!   ([`traj_sim::window_validate`]).
+//!   ([`traj_sim::window_validate`]);
+//! * **screening consistency** — on tiered scenarios, screen-served
+//!   admits are re-checked against the cold trajectory engine (every
+//!   settled flow must still meet its deadline) and the screen's
+//!   incremental aggregates against a cold rebuild; zero mismatches
+//!   tolerated.
 //!
 //! Every failure increments a counter in
 //! [`crate::report::AuditCounters`] and (capped) pushes a readable
 //! message; the report's gates tolerate zero.
 
 use traj_analysis::{analyze_ef, reanalyze, AnalysisConfig, Analyzer};
-use traj_diffserv::AdmissionController;
+use traj_diffserv::{AdmissionController, TieredPolicy};
 use traj_model::{FaultScenario, FlowSet};
 use traj_sim::{window_validate, SimConfig, WindowParams};
 
@@ -114,6 +119,65 @@ pub fn storm_reanalysis(
     }
 }
 
+/// Screening-consistency audit for tiered controllers: settles any
+/// screen-admitted suffix, then re-checks the whole standing set with
+/// the *exact* trajectory engine — a screen admit the cold engine would
+/// have refused shows up as a deadline miss (or a divergent set). The
+/// screen's incremental aggregates must also equal a cold rebuild.
+///
+/// The single-flow case is exempt from the deadline re-check: the
+/// controller deliberately retains an unguaranteed last flow
+/// (`LastFlowRetained`), which is not the screen's doing.
+pub fn screening_consistency(
+    controller: &mut AdmissionController,
+    now: u64,
+    counters: &mut AuditCounters,
+    messages: &mut Vec<String>,
+) {
+    if controller.tiered() != TieredPolicy::Screened {
+        return;
+    }
+    let _t = traj_obs::ScopedTimer::new("soak.audit.screening").field("now", now);
+    counters.screening_checks += 1;
+    let standing = controller.flows().len();
+    match controller.converged_state() {
+        Some(state) => {
+            for r in state.report().per_flow() {
+                if standing > 1 && r.meets_deadline() != Some(true) {
+                    counters.screening_failures += 1;
+                    push_message(
+                        messages,
+                        format!(
+                            "t={now}: screened-set re-check: flow {} wcrt {:?} vs deadline {}",
+                            r.flow,
+                            r.wcrt.value(),
+                            r.deadline
+                        ),
+                    );
+                }
+            }
+        }
+        None => {
+            if standing > 1 {
+                counters.screening_failures += 1;
+                push_message(
+                    messages,
+                    format!("t={now}: screened-set re-check: standing analysis diverged"),
+                );
+            }
+        }
+    }
+    if let Some(cache) = controller.screen_cache() {
+        if !cache.verify_against(controller.flows()) {
+            counters.screening_failures += 1;
+            push_message(
+                messages,
+                format!("t={now}: screen aggregate cache drifted from a cold rebuild"),
+            );
+        }
+    }
+}
+
 /// Windowed bound-domination sweep: simulate the standing set for a few
 /// windows and require every observation at or below its analytic
 /// bound. Uses the warm state's report when available (itself audited
@@ -178,6 +242,42 @@ mod tests {
         assert_eq!(counters.bound_violations, 0, "{messages:?}");
         assert!(counters.window_flows_checked >= 5);
         assert!(messages.is_empty());
+    }
+
+    #[test]
+    fn screening_audit_is_clean_on_a_screened_controller() {
+        let set = traj_model::examples::line_topology(2, 3, 4000, 4, 0, 1).unwrap();
+        let mut ac = AdmissionController::new(set, AnalysisConfig::default())
+            .with_tiered(TieredPolicy::Screened);
+        for id in 100..106 {
+            let f = traj_model::SporadicFlow::uniform(
+                id,
+                traj_model::Path::from_ids([1, 2, 3]).unwrap(),
+                4000,
+                4,
+                0,
+                50_000,
+            )
+            .unwrap();
+            ac.try_admit(f);
+        }
+        assert!(ac.metrics().screen_hits > 0);
+        let mut counters = AuditCounters::default();
+        let mut messages = Vec::new();
+        screening_consistency(&mut ac, 5, &mut counters, &mut messages);
+        assert_eq!(counters.screening_checks, 1);
+        assert_eq!(counters.screening_failures, 0, "{messages:?}");
+        // Everything pending was settled by the re-check itself.
+        assert_eq!(ac.pending_settlement(), 0);
+    }
+
+    #[test]
+    fn screening_audit_skips_untiered_controllers() {
+        let mut ac = AdmissionController::new(paper_example(), AnalysisConfig::default());
+        let mut counters = AuditCounters::default();
+        let mut messages = Vec::new();
+        screening_consistency(&mut ac, 0, &mut counters, &mut messages);
+        assert_eq!(counters.screening_checks, 0);
     }
 
     #[test]

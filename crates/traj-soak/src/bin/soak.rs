@@ -108,12 +108,24 @@ fn summary_table(report: &SoakReport) -> String {
         vec![
             "audits".to_string(),
             format!(
-                "{} bit-identity, {} reanalysis, {} window",
+                "{} bit-identity, {} reanalysis, {} window, {} screening",
                 report.audits.bit_identity_checks,
                 report.audits.reanalysis_checks,
-                report.audits.window_checks
+                report.audits.window_checks,
+                report.audits.screening_checks
             ),
             format!("{} failures", report.audit_failures()),
+        ],
+        vec![
+            "screen".to_string(),
+            format!(
+                "{} hits / {} fallbacks",
+                report.admission.screen_hits, report.admission.screen_fallbacks
+            ),
+            format!(
+                "hit rate {:.2}, {} settles",
+                report.screen_hit_rate, report.admission.screen_settles
+            ),
         ],
         vec![
             "admit latency".to_string(),

@@ -39,7 +39,7 @@ use traj_model::gen::{
     backbone_core_adjacency, backbone_mesh, backbone_path, fat_tree, fat_tree_path, BackboneParams,
     FatTreeParams,
 };
-use traj_model::{Fault, FaultScenario, FlowId, Path, RepairSchedule, SporadicFlow};
+use traj_model::{Fault, FaultScenario, FlowId, FlowSet, Path, RepairSchedule, SporadicFlow};
 use traj_obs::Histogram;
 
 use crate::audit;
@@ -166,8 +166,27 @@ pub fn run_scenario(scenario: &SoakScenario) -> Result<SoakReport, String> {
     if initial.is_empty() {
         return Err("topology generated no initial flows".to_string());
     }
+    // Honour the template's deadline factor on the initial set too (the
+    // generators hard-code factor 5, the template default — a no-op
+    // there): churn arrivals and the initial load share one deadline
+    // shape, so a feasible-heavy scenario is feasible-heavy throughout.
+    let initial = {
+        let t = &scenario.template;
+        let network = initial.network().clone();
+        let flows: Vec<SporadicFlow> = initial
+            .flows()
+            .iter()
+            .cloned()
+            .map(|mut f| {
+                f.deadline = t.deadline_factor * (f.max_cost() + topo.lmax()) * f.path.len() as i64;
+                f
+            })
+            .collect();
+        FlowSet::new(network, flows).map_err(|e| format!("deadline reshape: {e}"))?
+    };
     let mut next_id = initial.flows().iter().map(|f| f.id.0).max().unwrap_or(0) + 1000;
-    let mut controller = AdmissionController::new(initial, cfg.clone());
+    let mut controller =
+        AdmissionController::new(initial, cfg.clone()).with_tiered(scenario.tiered);
 
     let mut churn = ChurnCounters::default();
     let mut storms = StormCounters::default();
@@ -381,6 +400,7 @@ pub fn run_scenario(scenario: &SoakScenario) -> Result<SoakReport, String> {
 
             Ev::BitIdentity => {
                 audit::bit_identity(&mut controller, now, &mut audits, &mut messages);
+                audit::screening_consistency(&mut controller, now, &mut audits, &mut messages);
             }
 
             Ev::Window => {
@@ -398,6 +418,12 @@ pub fn run_scenario(scenario: &SoakScenario) -> Result<SoakReport, String> {
 
     let wall = wall_start.elapsed().as_secs_f64();
     let metrics = *controller.metrics();
+    let screen_attempts = metrics.screen_hits + metrics.screen_fallbacks;
+    let screen_hit_rate = if screen_attempts > 0 {
+        metrics.screen_hits as f64 / screen_attempts as f64
+    } else {
+        0.0
+    };
     Ok(SoakReport {
         scenario: scenario.clone(),
         sim_seconds: scenario.duration_ticks as f64 / 1000.0,
@@ -419,6 +445,7 @@ pub fn run_scenario(scenario: &SoakScenario) -> Result<SoakReport, String> {
             0.0
         },
         admission: metrics,
+        screen_hit_rate,
         obs_metrics: traj_obs::metrics_snapshot(),
         failure_messages: messages,
     })

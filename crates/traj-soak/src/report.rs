@@ -90,6 +90,15 @@ pub struct AuditCounters {
     pub window_flows_checked: u64,
     /// Observations exceeding their analytic bound (soundness bugs).
     pub bound_violations: u64,
+    /// Screening-consistency audits run (tiered scenarios: the settled
+    /// standing set is re-checked against the cold trajectory engine
+    /// and the screen's aggregates against a cold rebuild).
+    #[serde(default)]
+    pub screening_checks: u64,
+    /// Screening audits where a screened admit did not survive the
+    /// exact re-check, or the aggregate cache drifted.
+    #[serde(default)]
+    pub screening_failures: u64,
 }
 
 /// Decision-latency summary from the run's histogram (microseconds).
@@ -131,6 +140,11 @@ pub struct SoakReport {
     pub events_per_sec_wall: f64,
     /// The controller's own monotone counters.
     pub admission: AdmissionMetrics,
+    /// Fraction of admission attempts the screen served without the
+    /// trajectory fixed point (`screen_hits / (screen_hits +
+    /// screen_fallbacks)`, 0 when untiered or no attempts).
+    #[serde(default)]
+    pub screen_hit_rate: f64,
     /// traj-obs counter/gauge snapshot (empty when no sink installed).
     pub obs_metrics: Vec<(String, i64)>,
     /// First few human-readable audit failure messages, for debugging.
@@ -144,6 +158,7 @@ impl SoakReport {
             + self.audits.invariant_failures
             + self.audits.reanalysis_failures
             + self.audits.bound_violations
+            + self.audits.screening_failures
             + self.storms.detour_fallback_failures
     }
 
@@ -175,6 +190,17 @@ impl SoakReport {
         {
             v.push("an audit family never ran".to_string());
         }
+        if self.scenario.tiered == traj_diffserv::TieredPolicy::Screened
+            && self.audits.screening_checks == 0
+        {
+            v.push("the screening-consistency audit never ran".to_string());
+        }
+        if self.admission.screen_hits < self.scenario.gates.min_screen_hits {
+            v.push(format!(
+                "screen hits {} below the gate {}",
+                self.admission.screen_hits, self.scenario.gates.min_screen_hits
+            ));
+        }
         v
     }
 }
@@ -197,6 +223,7 @@ mod tests {
             wall_seconds: 0.0,
             events_per_sec_wall: 0.0,
             admission: AdmissionMetrics::default(),
+            screen_hit_rate: 0.0,
             obs_metrics: Vec::new(),
             failure_messages: Vec::new(),
         }
@@ -217,6 +244,8 @@ mod tests {
         ok.audits.bit_identity_checks = 4;
         ok.audits.invariant_checks = 4;
         ok.audits.window_checks = 2;
+        ok.audits.screening_checks = 4;
+        ok.admission.screen_hits = 5;
         assert!(
             ok.gate_violations().is_empty(),
             "{:?}",
@@ -226,6 +255,30 @@ mod tests {
         ok.audits.bound_violations = 1;
         assert_eq!(ok.audit_failures(), 1);
         assert!(ok
+            .gate_violations()
+            .iter()
+            .any(|m| m.contains("audit failures")));
+    }
+
+    #[test]
+    fn tiered_gates_catch_silent_screens() {
+        // The smoke preset is tiered: a run whose screen never fired,
+        // or whose screening audit never ran, must not pass.
+        let mut r = empty_report();
+        r.churn.arrivals = 3_000;
+        r.storms.storms = 3;
+        r.audits.bit_identity_checks = 4;
+        r.audits.invariant_checks = 4;
+        r.audits.window_checks = 2;
+        let v = r.gate_violations();
+        assert!(
+            v.iter().any(|m| m.contains("screening-consistency")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|m| m.contains("screen hits")), "{v:?}");
+
+        r.audits.screening_failures = 2;
+        assert!(r
             .gate_violations()
             .iter()
             .any(|m| m.contains("audit failures")));

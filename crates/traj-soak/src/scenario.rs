@@ -13,6 +13,7 @@
 //! simulated second, so `duration_ticks = 3_600_000` is one hour.
 
 use serde::{Deserialize, Serialize};
+use traj_diffserv::TieredPolicy;
 use traj_model::gen::{BackboneParams, FatTreeParams};
 
 /// Which generator builds the topology and samples candidate routes.
@@ -131,6 +132,10 @@ pub struct GateSpec {
     pub min_churn_events: u64,
     /// Minimum storms the run must have injected.
     pub min_storms: u32,
+    /// Minimum writer-side screen hits (only meaningful for
+    /// [`TieredPolicy::Screened`] scenarios; 0 disables the gate).
+    #[serde(default)]
+    pub min_screen_hits: u64,
 }
 
 /// One complete soak scenario.
@@ -156,6 +161,12 @@ pub struct SoakScenario {
     pub audits: AuditSpec,
     /// Pass/fail gates.
     pub gates: GateSpec,
+    /// Admission tier: [`TieredPolicy::Screened`] routes every admit
+    /// through the O(path) network-calculus screen first, with the
+    /// screening-consistency audit re-checking screened admits against
+    /// the cold trajectory engine at the bit-identity cadence.
+    #[serde(default)]
+    pub tiered: TieredPolicy,
 }
 
 impl SoakScenario {
@@ -176,7 +187,13 @@ impl SoakScenario {
                 locality: 0.7,
             },
             initial_flows: 48,
-            template: FlowTemplate::default(),
+            template: FlowTemplate {
+                // Generous deadlines keep a healthy share of the churn
+                // inside the Charny screen's reach, so the tiered fast
+                // path (and its consistency audit) actually exercises.
+                deadline_factor: 25,
+                ..FlowTemplate::default()
+            },
             churn: ChurnSpec {
                 events_per_kilotick: 25,
                 arrival_fraction: 0.55,
@@ -201,7 +218,9 @@ impl SoakScenario {
             gates: GateSpec {
                 min_churn_events: 2_000,
                 min_storms: 3,
+                min_screen_hits: 1,
             },
+            tiered: TieredPolicy::Screened,
         }
     }
 
@@ -221,7 +240,10 @@ impl SoakScenario {
                 locality: 0.7,
             },
             initial_flows: 48,
-            template: FlowTemplate::default(),
+            template: FlowTemplate {
+                deadline_factor: 25,
+                ..FlowTemplate::default()
+            },
             churn: ChurnSpec {
                 events_per_kilotick: 30,
                 arrival_fraction: 0.55,
@@ -246,7 +268,9 @@ impl SoakScenario {
             gates: GateSpec {
                 min_churn_events: 100_000,
                 min_storms: 20,
+                min_screen_hits: 1,
             },
+            tiered: TieredPolicy::Screened,
         }
     }
 
